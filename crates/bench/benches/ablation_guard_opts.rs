@@ -1,0 +1,78 @@
+//! ABL-OPT: end-to-end interpreter cost of the workload module compiled
+//! with the paper's unoptimized guards vs the CARAT CAKE-style optimized
+//! pipeline, plus the cost of the transformation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use kop_bench::corpus;
+use kop_compiler::{compile_module, CompileOptions, CompilerKey};
+use kop_interp::Interp;
+use kop_kernel::{Kernel, KernelConfig};
+use kop_policy::{DefaultAction, PolicyModule};
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "carat-kop-dev")
+}
+
+fn booted(opts: &CompileOptions) -> Kernel {
+    let module = corpus::parse(corpus::OPT_WORKLOAD_IR);
+    let out = compile_module(module, opts, &key()).expect("compiles");
+    let policy = Arc::new(PolicyModule::new());
+    policy.set_default_action(DefaultAction::Allow);
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    kernel.insmod(&out.signed).expect("loads");
+    kernel
+}
+
+fn bench_guard_opts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guard_opts");
+    group.sample_size(20);
+
+    group.bench_function("interp_unoptimized_guards", |b| {
+        let mut kernel = booted(&CompileOptions::carat_kop());
+        let buf = kernel.kmalloc(4096).unwrap();
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        interp.set_fuel(u64::MAX);
+        b.iter(|| {
+            black_box(interp.call("opt-workload", "run", &[buf.raw(), 128]).unwrap())
+        });
+    });
+
+    group.bench_function("interp_optimized_guards", |b| {
+        let mut kernel = booted(&CompileOptions::optimized());
+        let buf = kernel.kmalloc(4096).unwrap();
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        interp.set_fuel(u64::MAX);
+        b.iter(|| {
+            black_box(interp.call("opt-workload", "run", &[buf.raw(), 128]).unwrap())
+        });
+    });
+
+    group.bench_function("interp_baseline_no_guards", |b| {
+        let mut kernel = booted(&CompileOptions::baseline());
+        let buf = kernel.kmalloc(4096).unwrap();
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        interp.set_fuel(u64::MAX);
+        b.iter(|| {
+            black_box(interp.call("opt-workload", "run", &[buf.raw(), 128]).unwrap())
+        });
+    });
+
+    // Compilation cost: the paper stresses the pass is ~200 lines and
+    // cheap; measure transform+attest+sign end to end.
+    group.bench_function("compile_mini_e1000e_carat", |b| {
+        let module = corpus::parse(corpus::MINI_E1000E_IR);
+        b.iter(|| {
+            black_box(
+                compile_module(module.clone(), &CompileOptions::carat_kop(), &key()).unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_guard_opts);
+criterion_main!(benches);

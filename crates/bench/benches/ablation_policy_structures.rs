@@ -1,0 +1,88 @@
+//! ABL-DS: guard-check latency across every policy data structure and
+//! region count — the quantitative version of the paper's §3.1/§4.2
+//! discussion of AMQ filters, sorted tables, splay trees, and caches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kop_core::{AccessFlags, Protection, Region, Size, VAddr};
+use kop_policy::store::{make_store, RegionStore, StoreKind};
+
+fn filled(kind: StoreKind, n: usize) -> Box<dyn RegionStore + Send> {
+    let mut store = make_store(kind);
+    for i in 0..n as u64 {
+        store
+            .insert(
+                Region::new(
+                    VAddr(0x10_0000 + i * 0x10_000),
+                    Size(0x1000),
+                    Protection::READ_WRITE,
+                )
+                .expect("region"),
+            )
+            .expect("insert");
+    }
+    store
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_structures");
+    group.sample_size(30);
+
+    for kind in StoreKind::ALL {
+        for n in [2usize, 16, 64, 512] {
+            // Array-backed structures cap at 64 regions.
+            if n > 64
+                && matches!(
+                    kind,
+                    StoreKind::Table
+                        | StoreKind::BloomFront
+                        | StoreKind::CuckooFront
+                        | StoreKind::Cached
+                )
+            {
+                continue;
+            }
+            // Worst-case-hit workload: the region at the end of the scan.
+            let hot = 0x10_0000 + (n as u64 - 1) * 0x10_000;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_hot_hit", kind.name()), n),
+                &n,
+                |b, _| {
+                    let mut store = filled(kind, n);
+                    b.iter(|| {
+                        black_box(store.lookup(
+                            black_box(VAddr(hot + 8)),
+                            Size(8),
+                            AccessFlags::RW,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+
+    // Miss workload at n=64 (default-deny fast path; where the Bloom
+    // front should shine).
+    for kind in StoreKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{}_miss", kind.name()), 64),
+            &64,
+            |b, _| {
+                let mut store = filled(kind, 64);
+                b.iter(|| {
+                    black_box(store.lookup(
+                        black_box(VAddr(0xdead_0000)),
+                        Size(8),
+                        AccessFlags::RW,
+                    ))
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 3 (host wall-clock counterpart): the real driver-model transmit
+//! path, baseline vs CARAT KOP, two regions, 128-byte packets. The paper's
+//! claim to verify on real hardware: the carat path costs at most a
+//! fraction of a percent more than the baseline. (The simulated R415
+//! series comes from `reproduce fig3`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kop_bench::setup;
+use kop_net::{EtherType, MacAddr};
+use kop_sim::MachineProfile;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_throughput_slow");
+    group.sample_size(30);
+
+    group.bench_function("baseline_xmit_128B", |b| {
+        let mut s = setup::baseline_sender(MachineProfile::r415());
+        let payload = [0u8; 114];
+        b.iter(|| {
+            black_box(
+                s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
+                    .unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("carat_xmit_128B_2regions", |b| {
+        let mut s = setup::carat_sender(MachineProfile::r415(), setup::two_region_policy(), 0);
+        let payload = [0u8; 114];
+        b.iter(|| {
+            black_box(
+                s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
+                    .unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

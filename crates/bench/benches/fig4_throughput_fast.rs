@@ -1,0 +1,42 @@
+//! Figure 4 (host wall-clock counterpart): as fig3 but with the R350
+//! profile driving the cycle model. The wall-clock driver cost is the
+//! same code path; what differs in the simulation is the machine model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kop_bench::setup;
+use kop_net::{EtherType, MacAddr};
+use kop_sim::MachineProfile;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_throughput_fast");
+    group.sample_size(30);
+
+    group.bench_function("baseline_xmit_128B", |b| {
+        let mut s = setup::baseline_sender(MachineProfile::r350());
+        let payload = [0u8; 114];
+        b.iter(|| {
+            black_box(
+                s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
+                    .unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("carat_xmit_128B_2regions", |b| {
+        let mut s = setup::carat_sender(MachineProfile::r350(), setup::two_region_policy(), 0);
+        let payload = [0u8; 114];
+        b.iter(|| {
+            black_box(
+                s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
+                    .unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

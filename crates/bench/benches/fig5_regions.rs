@@ -1,0 +1,37 @@
+//! Figure 5 (host wall-clock counterpart): transmit cost as the number of
+//! policy regions grows (2, 16, 64) with the matching rules scanned last —
+//! the worst case for the paper's linear table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kop_bench::setup;
+use kop_net::{EtherType, MacAddr};
+use kop_sim::MachineProfile;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_regions");
+    group.sample_size(30);
+
+    for n in [2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("carat_xmit_128B", n), &n, |b, &n| {
+            let mut s = setup::carat_sender(
+                MachineProfile::r350(),
+                setup::n_region_policy(n),
+                setup::hit_pos_for(n),
+            );
+            let payload = [0u8; 114];
+            b.iter(|| {
+                black_box(
+                    s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
+                        .unwrap(),
+                )
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

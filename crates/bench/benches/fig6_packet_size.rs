@@ -1,0 +1,42 @@
+//! Figure 6 (host wall-clock counterpart): transmit cost across packet
+//! sizes, baseline vs carat. The paper's point: guard cost is constant
+//! per packet, so its *relative* weight shrinks as packets grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use kop_bench::setup;
+use kop_net::{EtherType, MacAddr};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_packet_size");
+    group.sample_size(25);
+
+    for size in [64usize, 128, 256, 512, 1024, 1500] {
+        let payload = vec![0u8; size.saturating_sub(14)];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("baseline", size), &size, |b, _| {
+            let mut s = setup::baseline_sender(setup::r350_burst());
+            b.iter(|| {
+                black_box(
+                    s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
+                        .unwrap(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("carat", size), &size, |b, _| {
+            let mut s = setup::carat_sender(setup::r350_burst(), setup::n_region_policy(2), 0);
+            b.iter(|| {
+                black_box(
+                    s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
+                        .unwrap(),
+                )
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

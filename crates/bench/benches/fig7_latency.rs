@@ -1,0 +1,46 @@
+//! Figure 7 (host wall-clock counterpart): the bare driver `xmit` path
+//! (descriptor queue + doorbell, without the synchronous DMA tick) —
+//! the closest native analogue of the paper's per-`sendmsg` latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kop_bench::setup;
+use kop_e1000e::{MemSpace, VecSink};
+use kop_sim::MachineProfile;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_latency");
+    group.sample_size(40);
+
+    let dst = [0xffu8; 6];
+
+    group.bench_function("baseline_queue_only", |b| {
+        let mut s = setup::baseline_sender(MachineProfile::r350());
+        let payload = [0u8; 114];
+        let mut sink = VecSink::default();
+        b.iter(|| {
+            s.driver().xmit(dst, 0x88b5, black_box(&payload)).unwrap();
+            // Drain the ring outside the measured region is impossible in
+            // criterion's iter; tick inline (dominated by queueing cost).
+            s.driver().mem().tx_tick(&mut sink);
+            sink.frames.clear();
+        });
+    });
+
+    group.bench_function("carat_queue_only_2regions", |b| {
+        let mut s = setup::carat_sender(MachineProfile::r350(), setup::two_region_policy(), 0);
+        let payload = [0u8; 114];
+        let mut sink = VecSink::default();
+        b.iter(|| {
+            s.driver().xmit(dst, 0x88b5, black_box(&payload)).unwrap();
+            s.driver().mem().tx_tick(&mut sink);
+            sink.frames.clear();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

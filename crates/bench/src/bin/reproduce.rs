@@ -1,0 +1,73 @@
+//! `reproduce` — regenerate the paper's figures from the simulation.
+//!
+//! ```text
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|ablation-ds|ablation-opt|all]
+//!           [--csv]        # raw series to stdout instead of the report
+//!           [--out DIR]    # additionally write one CSV per figure into DIR
+//! ```
+
+use kop_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let what = {
+        let mut skip_next = false;
+        let mut found = None;
+        for a in &args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if a == "--out" {
+                skip_next = true;
+                continue;
+            }
+            if !a.starts_with("--") {
+                found = Some(a.as_str());
+                break;
+            }
+        }
+        found.unwrap_or("all")
+    };
+
+    let figs = match what {
+        "fig3" => vec![figures::fig3()],
+        "fig4" => vec![figures::fig4()],
+        "fig5" => vec![figures::fig5()],
+        "fig6" => vec![figures::fig6()],
+        "fig7" => vec![figures::fig7()],
+        "claims" => vec![figures::claims()],
+        "ablation-ds" => vec![figures::ablation_ds()],
+        "ablation-opt" => vec![figures::ablation_opt()],
+        "all" => figures::all_figures(),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|ablation-ds|ablation-opt|all] [--csv]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+    for fig in figs {
+        if csv {
+            print!("{}", fig.render_csv());
+        } else {
+            println!("{}", fig.render_text());
+        }
+        if let Some(dir) = &out_dir {
+            let path = std::path::Path::new(dir).join(format!("{}.csv", fig.id));
+            std::fs::write(&path, fig.render_csv()).expect("write figure CSV");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

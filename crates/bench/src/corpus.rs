@@ -1,0 +1,252 @@
+//! KIR module corpus: the IR-level driver model and workloads used by the
+//! engineering-effort claim (CLAIM-T), the guard-optimization ablation
+//! (ABL-OPT), and the examples.
+
+use kop_ir::{parse_module, Module};
+
+/// A miniature e1000e transmit path expressed in KIR — the module the
+/// "transform a production module with zero source changes" claim is
+/// exercised on. Layout matches the native driver model: a descriptor
+/// ring of `{ i64 buffer, i32 len_cmd, i32 status }`, a stats block, and
+/// an MMIO doorbell.
+pub const MINI_E1000E_IR: &str = r#"
+module "mini-e1000e"
+
+global @stats : { i64, i64, i64 } = zero
+
+define void @write_header(ptr %buf, i64 %dst_src, i64 %src_rest, i64 %ethertype) {
+entry:
+  store i64 %dst_src, ptr %buf
+  %p1 = gep i8, ptr %buf, i64 8
+  %src32 = trunc i64 %src_rest to i32
+  store i32 %src32, ptr %p1
+  %p2 = gep i8, ptr %buf, i64 12
+  %et16 = trunc i64 %ethertype to i16
+  store i16 %et16, ptr %p2
+  ret void
+}
+
+define i64 @clean_tx(ptr %ring, i64 %head, i64 %tail) {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [ %head, %entry ], [ %i.next, %advance ]
+  %cleaned = phi i64 [ 0, %entry ], [ %cleaned.next, %advance ]
+  %more = icmp ne i64 %i, %tail
+  condbr i1 %more, %check, %done
+check:
+  %slot = gep { i64, i32, i32 }, ptr %ring, i64 %i
+  %sts.p = gep { i64, i32, i32 }, ptr %ring, i64 %i, i32 2
+  %sts = load i32, ptr %sts.p
+  %dd = and i32 %sts, 1
+  %isdone = icmp ne i32 %dd, 0
+  condbr i1 %isdone, %reclaim, %done
+reclaim:
+  store i32 0, ptr %sts.p
+  br %advance
+advance:
+  %i.next.raw = add i64 %i, 1
+  %i.next = and i64 %i.next.raw, 255
+  %cleaned.next = add i64 %cleaned, 1
+  br %loop
+done:
+  %result = phi i64 [ %cleaned, %loop ], [ %cleaned, %check ]
+  ret i64 %result
+}
+
+define void @queue_desc(ptr %ring, i64 %slot, i64 %buf, i64 %len_cmd) {
+entry:
+  %addr.p = gep { i64, i32, i32 }, ptr %ring, i64 %slot
+  store i64 %buf, ptr %addr.p
+  %len.p = gep { i64, i32, i32 }, ptr %ring, i64 %slot, i32 1
+  %len32 = trunc i64 %len_cmd to i32
+  store i32 %len32, ptr %len.p
+  ret void
+}
+
+define void @bump_stats(i64 %bytes) {
+entry:
+  %pk.p = gep { i64, i64, i64 }, ptr @stats, i64 0, i32 0
+  %pk = load i64, ptr %pk.p
+  %pk2 = add i64 %pk, 1
+  store i64 %pk2, ptr %pk.p
+  %by.p = gep { i64, i64, i64 }, ptr @stats, i64 0, i32 1
+  %by = load i64, ptr %by.p
+  %by2 = add i64 %by, %bytes
+  store i64 %by2, ptr %by.p
+  ret void
+}
+
+define void @xmit(ptr %ring, ptr %buf, ptr %mmio, i64 %slot, i64 %len, i64 %head) {
+entry:
+  %cleaned = call i64 @clean_tx(ptr %ring, i64 %head, i64 %slot)
+  call void @write_header(ptr %buf, i64 0x02ffffffffffff, i64 0x4b4f5001, i64 0xb588)
+  %cmd = or i64 %len, 0x0b000000
+  call void @queue_desc(ptr %ring, i64 %slot, i64 0, i64 %cmd)
+  call void @bump_stats(i64 %len)
+  %tdt.p = gep i8, ptr %mmio, i64 0x3818
+  %slot.next.raw = add i64 %slot, 1
+  %slot.next = and i64 %slot.next.raw, 255
+  %tdt32 = trunc i64 %slot.next to i32
+  store i32 %tdt32, ptr %tdt.p
+  ret void
+}
+"#;
+
+/// A guard-optimization workload: a hot loop with loop-invariant global
+/// accesses (hoistable) and repeated same-pointer accesses (deduplicable).
+pub const OPT_WORKLOAD_IR: &str = r#"
+module "opt-workload"
+
+global @config : i64 = 7
+global @acc : i64 = 0
+
+define i64 @run(ptr %buf, i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %cfg = load i64, ptr @config
+  %cfg2 = load i64, ptr @config
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
+  %v2 = mul i64 %v, %cfg
+  %v3 = add i64 %v2, %cfg2
+  %old = load i64, ptr @acc
+  %new = add i64 %old, %v3
+  store i64 %new, ptr @acc
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  %r = load i64, ptr @acc
+  ret i64 %r
+}
+"#;
+
+/// A rootkit-style module: scans low (user-half) memory looking for
+/// credentials — the class of attack the paper's firewall stops.
+pub const ROOTKIT_IR: &str = r#"
+module "credscan"
+
+global @found : i64 = 0
+
+define i64 @scan(i64 %start, i64 %len) {
+entry:
+  br %head
+head:
+  %off = phi i64 [ 0, %entry ], [ %off.next, %next ]
+  %c = icmp ult i64 %off, %len
+  condbr i1 %c, %body, %done
+body:
+  %addr = add i64 %start, %off
+  %p = inttoptr i64 %addr to ptr
+  %word = load i64, ptr %p
+  %hit = icmp eq i64 %word, 0x6472777373617020
+  condbr i1 %hit, %record, %next
+record:
+  store i64 %addr, ptr @found
+  br %next
+next:
+  %off.next = add i64 %off, 8
+  br %head
+done:
+  %r = load i64, ptr @found
+  ret i64 %r
+}
+"#;
+
+/// Parse one of the corpus modules (panics on corpus bugs — these are
+/// compiled into the binary and covered by tests).
+pub fn parse(src: &str) -> Module {
+    parse_module(src).expect("corpus module parses")
+}
+
+/// Generate a large synthetic module with `n_funcs` functions, each a
+/// loop over guarded loads/stores — the scale stand-in for the paper's
+/// 19 kLoC e1000e. At `n_funcs = 800` the printed IR is ~19,000 lines of
+/// KIR, so CLAIM-T can exercise "transform a ~19 kLoC module" literally.
+pub fn synthetic_large(n_funcs: usize) -> Module {
+    use kop_ir::{GlobalInit, IcmpPred, IrBuilder, Type, Value};
+    let mut b = IrBuilder::new("synthetic-large");
+    b.global("total", Type::I64, GlobalInit::Int(0));
+    for fi in 0..n_funcs {
+        let mut f = b.function(format!("work{fi}"), vec![Type::Ptr, Type::I64], Type::I64);
+        f.name_params(&["buf", "n"]);
+        let entry = f.block("entry");
+        let head = f.block("head");
+        let body = f.block("body");
+        let exit = f.block("exit");
+        f.switch_to(entry);
+        f.br(head);
+        f.switch_to(head);
+        let i = f.phi(Type::I64, vec![(entry, Value::i64(0))]);
+        let acc = f.phi(Type::I64, vec![(entry, Value::i64(fi as u64))]);
+        let c = f.icmp(IcmpPred::Ult, Type::I64, i.clone(), Value::Arg(1));
+        f.condbr(c, body, exit);
+        f.switch_to(body);
+        // A spread of accesses so the module isn't one repeated pattern:
+        // stride and field offsets vary per function.
+        let stride = (fi % 7 + 1) as u64;
+        let idx = f.mul(Type::I64, i.clone(), Value::i64(stride));
+        let p = f.gep(Type::I64, Value::Arg(0), vec![idx]);
+        let v = f.load(Type::I64, p.clone());
+        let v2 = f.add(Type::I64, v, Value::i64(fi as u64 + 1));
+        f.store(Type::I64, v2.clone(), p);
+        let g = Value::Global("total".into());
+        let t = f.load(Type::I64, g.clone());
+        let t2 = f.add(Type::I64, t, v2.clone());
+        f.store(Type::I64, t2, g);
+        let acc2 = f.add(Type::I64, acc.clone(), v2);
+        let i2 = f.add(Type::I64, i.clone(), Value::i64(1));
+        f.br(head);
+        // Patch loop phis.
+        let func = f.raw();
+        for (phi, val) in [(&i, i2), (&acc, acc2)] {
+            if let Value::Inst(id) = phi {
+                if let kop_ir::Inst::Phi { incomings, .. } = func.inst_mut(*id) {
+                    incomings.push((body, val));
+                }
+            }
+        }
+        f.switch_to(exit);
+        f.ret(Some(acc));
+        f.finish();
+    }
+    b.finish()
+}
+
+/// All corpus modules with labels (for sweeps).
+pub fn all() -> Vec<(&'static str, Module)> {
+    vec![
+        ("mini-e1000e", parse(MINI_E1000E_IR)),
+        ("opt-workload", parse(OPT_WORKLOAD_IR)),
+        ("credscan", parse(ROOTKIT_IR)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_ir::verify_module;
+
+    #[test]
+    fn corpus_parses_and_verifies() {
+        for (name, module) in all() {
+            verify_module(&module).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(module.memory_access_count() > 0, "{name} touches memory");
+        }
+    }
+
+    #[test]
+    fn mini_driver_has_expected_shape() {
+        let m = parse(MINI_E1000E_IR);
+        assert_eq!(m.functions.len(), 5);
+        assert!(m.function("xmit").is_some());
+        // Header (3 stores) + clean (1 load, 1 store) + desc (2 stores) +
+        // stats (2 loads, 2 stores) + doorbell (1 store).
+        assert!(m.memory_access_count() >= 12);
+    }
+}

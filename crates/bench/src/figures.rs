@@ -1,0 +1,622 @@
+//! Figure and claim generators — one per table/figure in the paper.
+//!
+//! Each generator runs the full pipeline (real driver model → counted
+//! work → calibrated machine model → jittered trials) and returns a
+//! [`FigureData`] with the same series the paper plots. The shapes — who
+//! wins, by roughly what factor, where the crossovers sit — are the
+//! reproduction target; absolute numbers are calibrated, as documented in
+//! DESIGN.md and EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use kop_compiler::{compile_module, CompileOptions, CompilerKey};
+use kop_core::{AccessFlags, Protection, Region, Size, VAddr};
+use kop_kernel::{Kernel, KernelConfig};
+use kop_net::{tool, EtherType, MacAddr, ToolConfig};
+use kop_policy::store::{make_store, StoreKind};
+use kop_policy::{DefaultAction, PolicyModule};
+use kop_sim::{cdf_points, histogram, median, MachineProfile, Summary, TrialRunner};
+
+use crate::corpus;
+use crate::setup;
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (e.g. `"carat"`, `"baseline"`, `"carat64"`).
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A regenerated figure: series plus headline numbers.
+#[derive(Clone, Debug)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig3"`.
+    pub id: &'static str,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// Axis labels `(x, y)`.
+    pub axes: (&'static str, &'static str),
+    /// The plotted series.
+    pub series: Vec<Series>,
+    /// Headline `name = value` results (medians, deltas, ...).
+    pub headlines: Vec<(String, f64)>,
+    /// Free-form notes (paper expectations, substitutions).
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// Look up a headline value.
+    pub fn headline(&self, name: &str) -> Option<f64> {
+        self.headlines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render as a text report (what `reproduce` prints).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "==== {} — {}", self.id.to_uppercase(), self.title);
+        let _ = writeln!(out, "     x: {}   y: {}", self.axes.0, self.axes.1);
+        for s in &self.series {
+            let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+            let xs: Vec<f64> = s.points.iter().map(|p| p.0).collect();
+            if self.id == "fig6" || self.id.starts_with("ablation") {
+                // Small table: x → y.
+                let _ = writeln!(out, "  series {:<14}", s.label);
+                for (x, y) in &s.points {
+                    let _ = writeln!(out, "    x={:<8.0} y={:.4}", x, y);
+                }
+            } else if self.id == "fig7" {
+                let _ = writeln!(
+                    out,
+                    "  series {:<10} {} buckets, total count {}",
+                    s.label,
+                    s.points.len(),
+                    ys.iter().sum::<f64>() as u64
+                );
+            } else {
+                // CDF series: print quartiles of the x values.
+                let _ = writeln!(
+                    out,
+                    "  series {:<10} p5 {:>12.1}  p25 {:>12.1}  median {:>12.1}  p75 {:>12.1}  p95 {:>12.1}",
+                    s.label,
+                    kop_sim::percentile(&xs, 5.0),
+                    kop_sim::percentile(&xs, 25.0),
+                    kop_sim::percentile(&xs, 50.0),
+                    kop_sim::percentile(&xs, 75.0),
+                    kop_sim::percentile(&xs, 95.0),
+                );
+            }
+        }
+        if let Some(plot) = self.ascii_plot() {
+            out.push_str(&plot);
+        }
+        for (name, value) in &self.headlines {
+            let _ = writeln!(out, "  => {name} = {value:.6}");
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// A terminal rendering of the figure (CDF overlays and histograms),
+    /// so `reproduce` output looks like the paper's plots.
+    pub fn ascii_plot(&self) -> Option<String> {
+        const W: usize = 64;
+        const H: usize = 12;
+        if self.series.is_empty() || self.series.iter().any(|s| s.points.len() < 2) {
+            return None;
+        }
+        let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+        let xmin = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .fold(f64::INFINITY, f64::min);
+        let xmax = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ymin = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(f64::INFINITY, f64::min);
+        let ymax = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if xmax <= xmin || ymax <= ymin {
+            return None;
+        }
+        let mut grid = vec![[' '; W]; H];
+        for (si, s) in self.series.iter().enumerate() {
+            let g = glyphs[si % glyphs.len()];
+            for &(x, y) in &s.points {
+                let cx = ((x - xmin) / (xmax - xmin) * (W - 1) as f64).round() as usize;
+                let cy = ((y - ymin) / (ymax - ymin) * (H - 1) as f64).round() as usize;
+                let row = H - 1 - cy.min(H - 1);
+                let col = cx.min(W - 1);
+                // First series wins contested cells; overlap reads as
+                // "curves coincide", which is the story anyway.
+                if grid[row][col] == ' ' {
+                    grid[row][col] = g;
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "  {ymax:>11.4} +");
+        for row in &grid {
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "              |{line}");
+        }
+        let _ = writeln!(out, "  {:>11.4} +{}", ymin, "-".repeat(W));
+        let _ = writeln!(
+            out,
+            "              {:<32}{:>32}",
+            format!("{xmin:.1}"),
+            format!("{xmax:.1}")
+        );
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(si, s)| format!("{} {}", glyphs[si % glyphs.len()], s.label))
+            .collect();
+        let _ = writeln!(out, "              legend: {}", legend.join("   "));
+        Some(out)
+    }
+
+    /// Render as CSV (`series,x,y` rows).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for (x, y) in &s.points {
+                let _ = writeln!(out, "{},{},{}", s.label, x, y);
+            }
+        }
+        out
+    }
+}
+
+/// Standard trial configuration (paper: ~100k packets/trial, many trials).
+fn cfg(seed: u64) -> ToolConfig {
+    ToolConfig {
+        packets_per_trial: 100_000,
+        trials: 41,
+        frame_size: 128,
+        seed,
+    }
+}
+
+fn throughput_series(
+    machine: MachineProfile,
+    label: &str,
+    guarded: Option<(usize, u64)>, // (n regions, hit position)
+    seed: u64,
+) -> (Series, Summary) {
+    let report = match guarded {
+        None => {
+            let mut s = setup::baseline_sender(machine);
+            tool::run_throughput(&mut s, &cfg(seed)).expect("baseline trial")
+        }
+        Some((n, hit)) => {
+            let mut s = setup::carat_sender(machine, setup::n_region_policy(n), hit);
+            tool::run_throughput(&mut s, &cfg(seed)).expect("carat trial")
+        }
+    };
+    let summary = report.summary;
+    (
+        Series {
+            label: label.to_string(),
+            points: cdf_points(&report.samples),
+        },
+        summary,
+    )
+}
+
+/// Figure 3: CARAT KOP effect on packet launch throughput, slow R415,
+/// two regions, 128-byte packets. Expected: minimal effect, median delta
+/// <0.8% (~1,000 pps).
+pub fn fig3() -> FigureData {
+    let (base_s, base) = throughput_series(MachineProfile::r415(), "baseline", None, 3001);
+    let (carat_s, carat) =
+        throughput_series(MachineProfile::r415(), "carat", Some((2, 0)), 3001);
+    let delta = base.median - carat.median;
+    let rel = base.median_rel_change(&carat);
+    FigureData {
+        id: "fig3",
+        title: "throughput CDF, carat vs baseline (R415, 128 B, 2 regions)".into(),
+        axes: ("packets per second", "CDF"),
+        series: vec![carat_s, base_s],
+        headlines: vec![
+            ("baseline_median_pps".into(), base.median),
+            ("carat_median_pps".into(), carat.median),
+            ("median_delta_pps".into(), delta),
+            ("median_rel_change".into(), rel),
+        ],
+        notes: vec![
+            "paper: median changes by ~1,000 pps, a relative change of <0.8%".into(),
+        ],
+    }
+}
+
+/// Figure 4: same experiment on the faster R350. Expected: "even smaller,
+/// and, indeed, almost unmeasurable" — <0.1%.
+pub fn fig4() -> FigureData {
+    let (base_s, base) = throughput_series(MachineProfile::r350(), "baseline", None, 3002);
+    let (carat_s, carat) =
+        throughput_series(MachineProfile::r350(), "carat", Some((2, 0)), 3002);
+    FigureData {
+        id: "fig4",
+        title: "throughput CDF, carat vs baseline (R350, 128 B, 2 regions)".into(),
+        axes: ("packets per second", "CDF"),
+        series: vec![carat_s, base_s],
+        headlines: vec![
+            ("baseline_median_pps".into(), base.median),
+            ("carat_median_pps".into(), carat.median),
+            ("median_rel_change".into(), base.median_rel_change(&carat)),
+        ],
+        notes: vec!["paper: relative change in the median is <0.1%".into()],
+    }
+}
+
+/// Figure 5: throughput vs number of policy regions (R350, 128 B):
+/// baseline, carat (2), carat16, carat64. Expected: effect exists but is
+/// small; worst case (<1% median change).
+pub fn fig5() -> FigureData {
+    let machine = MachineProfile::r350;
+    let (base_s, base) = throughput_series(machine(), "baseline", None, 3003);
+    let mut series = Vec::new();
+    let mut headlines = vec![("baseline_median_pps".into(), base.median)];
+    for (label, n) in [("carat", 2usize), ("carat16", 16), ("carat64", 64)] {
+        let (s, sum) =
+            throughput_series(machine(), label, Some((n, setup::hit_pos_for(n))), 3003);
+        headlines.push((format!("{label}_median_pps"), sum.median));
+        headlines.push((
+            format!("{label}_median_rel_change"),
+            base.median_rel_change(&sum),
+        ));
+        series.push(s);
+    }
+    series.push(base_s);
+    FigureData {
+        id: "fig5",
+        title: "throughput vs number of policy regions (R350, 128 B)".into(),
+        axes: ("packets per second", "CDF"),
+        series,
+        headlines,
+        notes: vec![
+            "paper: n has a small but significant effect; even n=64 changes the median <1%".into(),
+            "paper: for large n an O(log n) structure would ameliorate this (see ablation-ds)".into(),
+        ],
+    }
+}
+
+/// Figure 6: mean slowdown vs packet size (64..1500 B, 2 regions, burst
+/// tool path). Expected: slowdown concentrated on small packets, max
+/// ~2.5%, approaching 1.0 at 1500 B.
+pub fn fig6() -> FigureData {
+    let sizes = [64u64, 128, 256, 512, 1024, 1500];
+    let mut points = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let seed = 3100 + i as u64;
+        let c = ToolConfig {
+            frame_size: size as usize,
+            ..cfg(seed)
+        };
+        let mut base = setup::baseline_sender(setup::r350_burst());
+        let rb = tool::run_throughput(&mut base, &c).expect("baseline");
+        let mut carat = setup::carat_sender(setup::r350_burst(), setup::n_region_policy(2), 0);
+        let rc = tool::run_throughput(&mut carat, &c).expect("carat");
+        points.push((size as f64, kop_sim::slowdown(&rb.samples, &rc.samples)));
+    }
+    let max_slowdown = points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    let last = points.last().expect("nonempty").1;
+    FigureData {
+        id: "fig6",
+        title: "mean throughput slowdown vs packet size (R350 burst, 2 regions)".into(),
+        axes: ("packet size (bytes)", "slowdown (baseline/carat)"),
+        series: vec![Series {
+            label: "carat".into(),
+            points,
+        }],
+        headlines: vec![
+            ("max_slowdown".into(), max_slowdown),
+            ("slowdown_at_1500".into(), last),
+        ],
+        notes: vec![
+            "paper: impact largely independent of size; to the extent it varies (max ~2.5%) it is concentrated on small packets".into(),
+            "uses the burst tool path (see EXPERIMENTS.md on the Fig.4/Fig.6 tension in the paper)".into(),
+        ],
+    }
+}
+
+/// Figure 7: `sendmsg` latency histograms (cycles), carat vs baseline
+/// (R350, 128 B, 2 regions), outliers excluded as in the paper. Expected:
+/// closely matched histograms; medians 686 (base) vs 694 (carat) with
+/// outliers included — within cycle-counter noise.
+pub fn fig7() -> FigureData {
+    let machine = MachineProfile::r350();
+    // Counted per-packet work (the paper measures the live system; we
+    // probe the real driver model).
+    let mut probe = setup::baseline_sender(machine.clone());
+    let work = probe
+        .probe_work(MacAddr::BROADCAST, EtherType::Experimental, 128)
+        .expect("probe");
+
+    let base_lat = machine.sendmsg_latency_cycles(&work);
+    let carat_lat = base_lat + machine.packet_cycles_guard_overhead(&work, 1);
+
+    let n = 40_000;
+    let outlier_p = 0.0004; // ring-full descheduling
+    let mut base_runner = TrialRunner::new(machine.clone(), 1, 777);
+    let base_samples = base_runner.latency_samples(base_lat, n, outlier_p);
+    let mut carat_runner = TrialRunner::new(machine.clone(), 1, 778);
+    let carat_samples = carat_runner.latency_samples(carat_lat, n, outlier_p);
+
+    // Medians including outliers (the paper quotes 694 vs 686 this way).
+    let base_median = median(&base_samples);
+    let carat_median = median(&carat_samples);
+
+    // Histograms excluding outliers, like the figure.
+    let keep = |v: &Vec<f64>| -> Vec<f64> { v.iter().copied().filter(|&c| c < 5_000.0).collect() };
+    let base_clean = keep(&base_samples);
+    let carat_clean = keep(&carat_samples);
+    let to_series = |label: &str, samples: &[f64]| Series {
+        label: label.into(),
+        points: histogram(samples, 500.0, 1200.0, 28)
+            .into_iter()
+            .map(|(edge, count)| (edge, count as f64))
+            .collect(),
+    };
+    FigureData {
+        id: "fig7",
+        title: "sendmsg latency histogram (R350, 128 B, 2 regions), outliers excluded".into(),
+        axes: ("latency (cycles)", "count"),
+        series: vec![to_series("base", &base_clean), to_series("carat", &carat_clean)],
+        headlines: vec![
+            ("base_median_cycles".into(), base_median),
+            ("carat_median_cycles".into(), carat_median),
+            ("median_delta_cycles".into(), carat_median - base_median),
+            (
+                "outliers_excluded".into(),
+                (base_samples.len() - base_clean.len() + carat_samples.len() - carat_clean.len())
+                    as f64,
+            ),
+        ],
+        notes: vec![
+            "paper: medians 694 (carat) vs 686 (baseline) cycles — within measurement noise".into(),
+            "outliers (>10M cycles when the ring fills and the app is descheduled) excluded, as in the paper".into(),
+        ],
+    }
+}
+
+/// CLAIM-T (§4.1): applying CARAT KOP to an existing module is a
+/// recompilation — no source changes — and every load/store gets exactly
+/// one guard.
+pub fn claims() -> FigureData {
+    let key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+    let mut headlines = Vec::new();
+    let mut notes = Vec::new();
+    for (name, module) in corpus::all() {
+        let accesses = module.memory_access_count() as f64;
+        let lines = module.text_lines() as f64;
+        // Baseline and carat builds from the *same* input module.
+        let base = compile_module(module.clone(), &CompileOptions::baseline(), &key)
+            .expect("baseline build");
+        let carat = compile_module(module, &CompileOptions::carat_kop(), &key)
+            .expect("carat build");
+        headlines.push((format!("{name}_ir_lines"), lines));
+        headlines.push((format!("{name}_mem_accesses"), accesses));
+        headlines.push((
+            format!("{name}_guards_injected"),
+            carat.stats.get("guards_injected") as f64,
+        ));
+        assert_eq!(
+            carat.stats.get("guards_injected") as f64, accesses,
+            "one guard per access"
+        );
+        assert_eq!(base.stats.get("guards_injected"), 0);
+        // Both validate and load under the same kernel.
+        let mut kernel = Kernel::boot(
+            std::sync::Arc::new(PolicyModule::new()),
+            vec![key.clone()],
+            KernelConfig::default(),
+        );
+        kernel.insmod(&carat.signed).expect("carat module loads");
+        notes.push(format!(
+            "{name}: same input IR for both builds (zero source changes); carat build signed {} and loaded",
+            &carat.signed.content_hash()[..12]
+        ));
+    }
+    // The scale claim, literally: a ~19 kLoC module transformed by
+    // recompilation, timed.
+    let big = corpus::synthetic_large(800);
+    let big_lines = big.text_lines() as f64;
+    let big_accesses = big.memory_access_count() as f64;
+    let t0 = Instant::now();
+    let big_out = compile_module(big, &CompileOptions::carat_kop(), &key)
+        .expect("large module compiles");
+    let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        big_out.stats.get("guards_injected") as f64,
+        big_accesses,
+        "one guard per access at scale"
+    );
+    headlines.push(("synthetic_19k_ir_lines".into(), big_lines));
+    headlines.push(("synthetic_19k_mem_accesses".into(), big_accesses));
+    headlines.push((
+        "synthetic_19k_guards_injected".into(),
+        big_out.stats.get("guards_injected") as f64,
+    ));
+    headlines.push(("synthetic_19k_compile_ms".into(), compile_ms));
+    notes.push(format!(
+        "scale: a {big_lines:.0}-line synthetic module (paper's e1000e: ~19,000 lines of C) transformed, attested, and signed in {compile_ms:.0} ms"
+    ));
+    notes.push("paper: the 19 kLoC e1000e transformed with no source changes; ours: every corpus module".into());
+    FigureData {
+        id: "claims",
+        title: "engineering-effort claims (§4.1): zero-source-change transformation".into(),
+        axes: ("", ""),
+        series: vec![],
+        headlines,
+        notes,
+    }
+}
+
+/// ABL-DS: guard-check latency across policy data structures × region
+/// count — quantifying §3.1/§4.2's sketched alternatives. Wall-clock
+/// measured on the host (relative ordering is the result).
+pub fn ablation_ds() -> FigureData {
+    let counts = [2usize, 8, 16, 64, 256, 1024];
+    let lookups = 200_000u64;
+    let mut series = Vec::new();
+    let mut headlines = Vec::new();
+    for kind in StoreKind::ALL {
+        let mut points = Vec::new();
+        for &n in &counts {
+            let table_backed = matches!(
+                kind,
+                StoreKind::Table
+                    | StoreKind::BloomFront
+                    | StoreKind::CuckooFront
+                    | StoreKind::Cached
+            );
+            if table_backed && n > 64 {
+                continue; // fixed 64-entry backing table
+            }
+            let mut store = make_store(kind);
+            for i in 0..n as u64 {
+                store
+                    .insert(
+                        Region::new(
+                            VAddr(0x10_0000 + i * 0x10_000),
+                            Size(0x1000),
+                            Protection::READ_WRITE,
+                        )
+                        .expect("region"),
+                    )
+                    .expect("insert");
+            }
+            // Skewed access pattern: 90% hit the last-inserted (worst-case
+            // for the scan) region, 10% sweep the others.
+            let hot = 0x10_0000 + (n as u64 - 1) * 0x10_000;
+            let start = Instant::now();
+            let mut acc = 0u64;
+            for i in 0..lookups {
+                let addr = if i % 10 != 0 {
+                    hot + (i % 0x800)
+                } else {
+                    0x10_0000 + (i % n as u64) * 0x10_000 + (i % 0x800)
+                };
+                let r = store.lookup(VAddr(addr), Size(8), AccessFlags::RW);
+                acc = acc.wrapping_add(matches!(r, kop_policy::store::Lookup::Permitted(_)) as u64);
+            }
+            let ns = start.elapsed().as_nanos() as f64 / lookups as f64;
+            assert!(acc > 0, "lookups must hit");
+            points.push((n as f64, ns));
+        }
+        if let Some(&(_, ns64)) = points.iter().find(|(n, _)| *n == 64.0) {
+            headlines.push((format!("{}_ns_at_64", kind.name()), ns64));
+        }
+        series.push(Series {
+            label: kind.name().to_string(),
+            points,
+        });
+    }
+    FigureData {
+        id: "ablation-ds",
+        title: "policy-structure ablation: ns/guard-check vs region count (host wall-clock)".into(),
+        axes: ("regions", "ns per lookup"),
+        series,
+        headlines,
+        notes: vec![
+            "paper §4.2: linear scan is fine to ~64 regions; beyond that a logarithmic or popularity structure should win".into(),
+            "expected ordering at large n: cached/splay (hot hits) < sorted/interval (log n) < table (linear)".into(),
+        ],
+    }
+}
+
+/// ABL-OPT: what the CARAT CAKE-style guard optimizations the paper
+/// deliberately omits would buy — static and dynamic guard counts for the
+/// unoptimized vs optimized pipelines.
+pub fn ablation_opt() -> FigureData {
+    use kop_interp::Interp;
+    let key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+    let module = corpus::parse(corpus::OPT_WORKLOAD_IR);
+
+    let run = |opts: &CompileOptions| -> (f64, f64, u64) {
+        let out = compile_module(module.clone(), opts, &key).expect("compiles");
+        let static_guards = out.signed.attestation.guard_count as f64;
+        let policy = std::sync::Arc::new(PolicyModule::new());
+        policy.set_default_action(DefaultAction::Allow);
+        let mut kernel = Kernel::boot(policy, vec![key.clone()], KernelConfig::default());
+        kernel.insmod(&out.signed).expect("loads");
+        let buf = kernel.kmalloc(4096).expect("buf");
+        let mut interp = Interp::new(&mut kernel).expect("interp");
+        let r = interp
+            .call("opt-workload", "run", &[buf.raw(), 256])
+            .expect("runs")
+            .expect("returns");
+        (static_guards, interp.stats().guards as f64, r)
+    };
+
+    let (static_plain, dyn_plain, r_plain) = run(&CompileOptions::carat_kop());
+    let (static_opt, dyn_opt, r_opt) = run(&CompileOptions::optimized());
+    assert_eq!(r_plain, r_opt, "optimizations must preserve semantics");
+
+    FigureData {
+        id: "ablation-opt",
+        title: "guard-optimization ablation: CARAT KOP (unoptimized) vs CARAT CAKE-style passes"
+            .into(),
+        axes: ("", ""),
+        series: vec![
+            Series {
+                label: "static_guards".into(),
+                points: vec![(0.0, static_plain), (1.0, static_opt)],
+            },
+            Series {
+                label: "dynamic_guards".into(),
+                points: vec![(0.0, dyn_plain), (1.0, dyn_opt)],
+            },
+        ],
+        headlines: vec![
+            ("static_guards_unopt".into(), static_plain),
+            ("static_guards_opt".into(), static_opt),
+            ("dynamic_guards_unopt".into(), dyn_plain),
+            ("dynamic_guards_opt".into(), dyn_opt),
+            ("dynamic_reduction".into(), 1.0 - dyn_opt / dyn_plain),
+        ],
+        notes: vec![
+            "x=0: paper configuration (every access guarded); x=1: redundant-elim + loop hoisting".into(),
+            "the paper argues the unoptimized overhead is already <1%, so these passes are optional — this quantifies what they would save anyway".into(),
+        ],
+    }
+}
+
+/// Run every generator (the `reproduce all` path).
+pub fn all_figures() -> Vec<FigureData> {
+    vec![
+        fig3(),
+        fig4(),
+        fig5(),
+        fig6(),
+        fig7(),
+        claims(),
+        ablation_ds(),
+        ablation_opt(),
+    ]
+}

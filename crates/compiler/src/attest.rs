@@ -1,0 +1,283 @@
+//! Compile-time attestation.
+//!
+//! From the paper (§2): *"The signature also is in effect an assertion, by
+//! the compilation process, that the code it compiled does not include any
+//! problematic elements such as inline or separate assembly."* And §5 notes
+//! that privileged intrinsics/builtins are a known hole that instrumentation
+//! could close.
+//!
+//! [`Attestation::check`] scans a module and either produces an attestation
+//! record (which the signer binds into the signature) or refuses with
+//! [`AttestError`], in which case the module cannot be signed at all.
+
+use std::fmt;
+
+use kop_ir::{Inst, Module};
+
+use crate::guard::{validate_guards, GUARD_SYMBOL};
+
+/// Privileged intrinsics a kernel module must not call directly. Mirrors
+/// the x86 privileged-instruction surface a real attestor would reject
+/// (paper §5 lists this as future work; we implement the check).
+pub const PRIVILEGED_INTRINSICS: &[&str] = &[
+    "__wrmsr", "__rdmsr", "__cli", "__sti", "__hlt", "__invlpg", "__lgdt", "__lidt", "__ltr",
+    "__mov_cr0", "__mov_cr3", "__mov_cr4", "__outb", "__outw", "__outl", "__vmcall",
+];
+
+/// Why attestation refused a module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttestError {
+    /// The module contains an inline-assembly instruction.
+    InlineAsm {
+        /// Function containing the asm.
+        function: String,
+        /// The assembly text found.
+        text: String,
+    },
+    /// The module calls a privileged intrinsic.
+    PrivilegedIntrinsic {
+        /// Function containing the call.
+        function: String,
+        /// The intrinsic called.
+        intrinsic: String,
+    },
+    /// Wrapped-intrinsic mode was requested but some privileged call is
+    /// not immediately preceded by its matching intrinsic guard.
+    UnwrappedIntrinsic,
+}
+
+impl fmt::Display for AttestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttestError::InlineAsm { function, text } => {
+                write!(f, "inline assembly in @{function}: \"{text}\"")
+            }
+            AttestError::PrivilegedIntrinsic {
+                function,
+                intrinsic,
+            } => write!(f, "privileged intrinsic @{intrinsic} called from @{function}"),
+            AttestError::UnwrappedIntrinsic => {
+                f.write_str("privileged intrinsic call lacks its intrinsic guard")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+/// The attestation record bound into a module's signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attestation {
+    /// Module name the record was computed for.
+    pub module_name: String,
+    /// Asserted: no inline assembly anywhere in the module.
+    pub no_inline_asm: bool,
+    /// Asserted: no calls to privileged intrinsics.
+    pub no_privileged_calls: bool,
+    /// Whether every load/store is immediately preceded by a matching
+    /// guard (true for unoptimized CARAT KOP output; false once the
+    /// optional optimization passes have moved or removed guards).
+    pub guards_strict: bool,
+    /// Static count of guard call sites.
+    pub guard_count: u64,
+    /// Static count of loads + stores.
+    pub mem_access_count: u64,
+    /// Static count of privileged-intrinsic call sites (0 unless the
+    /// module was built with `wrap_privileged` — unwrapped privileged
+    /// calls are refused outright).
+    pub privileged_calls: u64,
+    /// Whether every privileged call carries its intrinsic guard (§5
+    /// extension). Always true when `privileged_calls > 0`.
+    pub privileged_wrapped: bool,
+    /// Identifier of the compiler that produced the module.
+    pub compiler_id: String,
+}
+
+impl Attestation {
+    /// The compiler identifier embedded in every attestation. The paper
+    /// pins clang 14.0.0; we pin this crate.
+    pub const COMPILER_ID: &'static str = concat!("carat-kop-kir-", env!("CARGO_PKG_VERSION"));
+
+    /// Scan `module` and produce an attestation, or refuse. Privileged
+    /// intrinsic calls are refused outright (the paper's base behaviour).
+    pub fn check(module: &Module) -> Result<Attestation, AttestError> {
+        Self::check_with(module, false)
+    }
+
+    /// Input-side scan only: refuse inline assembly always, and privileged
+    /// calls unless `allow_privileged`. Used by the driver *before* the
+    /// wrap pass has run, so wrap validation is not yet applicable.
+    pub fn precheck(module: &Module, allow_privileged: bool) -> Result<(), AttestError> {
+        scan(module, allow_privileged)
+    }
+
+    /// Like [`Attestation::check`], but when `allow_wrapped` is set,
+    /// privileged-intrinsic calls are accepted *iff* each one is
+    /// immediately preceded by its matching `carat_intrinsic_guard` call
+    /// (the §5 extension).
+    pub fn check_with(module: &Module, allow_wrapped: bool) -> Result<Attestation, AttestError> {
+        scan(module, allow_wrapped)?;
+        let privileged_calls = crate::intrinsics::privileged_call_count(module);
+        if privileged_calls > 0 && !crate::intrinsics::validate_intrinsic_wraps(module) {
+            return Err(AttestError::UnwrappedIntrinsic);
+        }
+        Ok(Attestation {
+            module_name: module.name.clone(),
+            no_inline_asm: true,
+            no_privileged_calls: privileged_calls == 0,
+            guards_strict: validate_guards(module),
+            guard_count: module.call_count(GUARD_SYMBOL) as u64,
+            mem_access_count: module.memory_access_count() as u64,
+            privileged_calls,
+            privileged_wrapped: privileged_calls > 0,
+            compiler_id: Self::COMPILER_ID.to_string(),
+        })
+    }
+
+    /// Canonical byte encoding, bound into the module signature.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format!(
+            "attestation-v2\nmodule={}\nno_asm={}\nno_priv={}\nstrict={}\nguards={}\naccesses={}\npriv_calls={}\npriv_wrapped={}\ncompiler={}\n",
+            self.module_name,
+            self.no_inline_asm,
+            self.no_privileged_calls,
+            self.guards_strict,
+            self.guard_count,
+            self.mem_access_count,
+            self.privileged_calls,
+            self.privileged_wrapped,
+            self.compiler_id,
+        )
+        .into_bytes()
+    }
+}
+
+
+/// Shared scan: refuse inline asm always; refuse privileged calls unless
+/// `allow_privileged`.
+fn scan(module: &Module, allow_privileged: bool) -> Result<(), AttestError> {
+    for f in &module.functions {
+        for (_, iid) in f.placed_insts() {
+            match f.inst(iid) {
+                Inst::Asm { text } => {
+                    return Err(AttestError::InlineAsm {
+                        function: f.name.clone(),
+                        text: text.clone(),
+                    })
+                }
+                Inst::Call { callee, .. }
+                    if PRIVILEGED_INTRINSICS.contains(&callee.as_str()) && !allow_privileged => {
+                        return Err(AttestError::PrivilegedIntrinsic {
+                            function: f.name.clone(),
+                            intrinsic: callee.clone(),
+                        });
+                    }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::GuardInjectionPass;
+    use crate::pass::Pass;
+    use kop_ir::parse_module;
+
+    #[test]
+    fn clean_module_attests() {
+        let src = r#"
+module "clean"
+define i64 @f(ptr %p) {
+entry:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        let a = Attestation::check(&m).expect("attests");
+        assert!(a.no_inline_asm);
+        assert!(a.guards_strict);
+        assert_eq!(a.guard_count, 1);
+        assert_eq!(a.mem_access_count, 1);
+        assert_eq!(a.compiler_id, Attestation::COMPILER_ID);
+    }
+
+    #[test]
+    fn inline_asm_rejected() {
+        let src = r#"
+module "sneaky"
+define void @f() {
+entry:
+  asm "mov %cr3, %rax"
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let err = Attestation::check(&m).unwrap_err();
+        match err {
+            AttestError::InlineAsm { function, .. } => assert_eq!(function, "f"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn privileged_intrinsic_rejected() {
+        let src = r#"
+module "priv"
+declare void @__wrmsr(i64, i64)
+define void @f() {
+entry:
+  call void @__wrmsr(i64 0xC0000080, i64 0)
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let err = Attestation::check(&m).unwrap_err();
+        match err {
+            AttestError::PrivilegedIntrinsic { intrinsic, .. } => {
+                assert_eq!(intrinsic, "__wrmsr")
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn unguarded_module_attests_non_strict() {
+        let src = r#"
+module "raw"
+define i64 @f(ptr %p) {
+entry:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let a = Attestation::check(&m).expect("attests");
+        assert!(!a.guards_strict);
+        assert_eq!(a.guard_count, 0);
+        assert_eq!(a.mem_access_count, 1);
+    }
+
+    #[test]
+    fn byte_encoding_is_stable_and_distinct() {
+        let src = r#"
+module "x"
+define void @f() {
+entry:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let a = Attestation::check(&m).unwrap();
+        let b1 = a.to_bytes();
+        let b2 = a.to_bytes();
+        assert_eq!(b1, b2);
+        let mut a2 = a.clone();
+        a2.guard_count = 99;
+        assert_ne!(b1, a2.to_bytes());
+    }
+}

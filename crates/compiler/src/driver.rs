@@ -1,0 +1,258 @@
+//! The compiler driver — CARAT KOP's "wrapper script around clang".
+//!
+//! From the paper (§3.3): the pass "is separately compiled from the core
+//! compiler, and invoked by a script that wraps the underlying clang
+//! compiler". [`compile_module`] is that script: it verifies the input,
+//! runs guard injection (and, optionally, the ablation optimizations),
+//! attests, re-verifies, and signs — producing a [`SignedModule`] ready
+//! for `insmod`.
+
+use kop_ir::{verify_module, Module, VerifyError};
+
+use crate::attest::{AttestError, Attestation};
+use crate::guard::GuardInjectionPass;
+use crate::intrinsics::IntrinsicWrapPass;
+use crate::opt::{LoopGuardHoisting, RedundantGuardElim};
+use crate::pass::{PassManager, PassStats};
+use crate::signing::{CompilerKey, SignedModule};
+
+/// Options for a compilation.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Inject guards (turn off to build the *baseline* module the paper
+    /// compares against — same compiler, same flags, no transformation).
+    pub inject_guards: bool,
+    /// Run redundant-guard elimination (CARAT CAKE-style; off in the paper).
+    pub optimize_redundant: bool,
+    /// Run loop-invariant guard hoisting (CARAT CAKE-style; off in the
+    /// paper).
+    pub optimize_hoist: bool,
+    /// Wrap privileged-intrinsic calls with intrinsic guards instead of
+    /// refusing them (the §5 extension). Off by default — the paper's
+    /// base system refuses such modules at attestation time.
+    pub wrap_privileged: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        // The paper's configuration: guards on, optimizations off.
+        CompileOptions {
+            inject_guards: true,
+            optimize_redundant: false,
+            optimize_hoist: false,
+            wrap_privileged: false,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The paper's CARAT KOP configuration (unoptimized guards).
+    pub fn carat_kop() -> Self {
+        Self::default()
+    }
+
+    /// The baseline: no transformation at all, just verify + sign.
+    pub fn baseline() -> Self {
+        CompileOptions {
+            inject_guards: false,
+            ..Self::default()
+        }
+    }
+
+    /// CARAT CAKE-style optimized guards (for the ablation).
+    pub fn optimized() -> Self {
+        CompileOptions {
+            optimize_redundant: true,
+            optimize_hoist: true,
+            ..Self::default()
+        }
+    }
+
+    /// The §5 extension: memory guards plus wrapped privileged intrinsics.
+    pub fn carat_kop_privileged() -> Self {
+        CompileOptions {
+            wrap_privileged: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// What a compilation failed on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input module did not verify.
+    InputVerify(VerifyError),
+    /// The transformed module did not verify (compiler bug guard).
+    OutputVerify(VerifyError),
+    /// Attestation refused the module.
+    Attest(AttestError),
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompileError::InputVerify(e) => write!(f, "input module invalid: {e}"),
+            CompileError::OutputVerify(e) => write!(f, "transformed module invalid: {e}"),
+            CompileError::Attest(e) => write!(f, "attestation refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Result of a successful compilation.
+#[derive(Clone, Debug)]
+pub struct CompileOutput {
+    /// The signed, loadable container.
+    pub signed: SignedModule,
+    /// Aggregate pass statistics (guards injected/removed/hoisted).
+    pub stats: PassStats,
+}
+
+/// Compile (transform + attest + sign) a module.
+///
+/// Note the input is **unmodified source IR** — per the paper, "No code was
+/// modified in the driver": applying CARAT KOP is a recompilation, nothing
+/// more.
+pub fn compile_module(
+    mut module: Module,
+    options: &CompileOptions,
+    key: &CompilerKey,
+) -> Result<CompileOutput, CompileError> {
+    verify_module(&module).map_err(CompileError::InputVerify)?;
+
+    // Attest *before* transformation too: inline asm must be rejected even
+    // in baseline builds (it is an assertion about the input code). When
+    // privileged wrapping is enabled, raw privileged calls in the input
+    // are tolerated here — the wrap pass instruments them, and the final
+    // attestation proves it did.
+    Attestation::precheck(&module, options.wrap_privileged).map_err(CompileError::Attest)?;
+
+    let mut pm = PassManager::new();
+    if options.inject_guards {
+        pm.add(GuardInjectionPass);
+    }
+    if options.wrap_privileged {
+        pm.add(IntrinsicWrapPass);
+    }
+    if options.optimize_redundant {
+        pm.add(RedundantGuardElim);
+    }
+    if options.optimize_hoist {
+        pm.add(LoopGuardHoisting);
+    }
+    let mut stats = PassStats::new();
+    for (_, s) in pm.run(&mut module) {
+        stats.merge(&s);
+    }
+
+    verify_module(&module).map_err(CompileError::OutputVerify)?;
+    let attestation =
+        Attestation::check_with(&module, options.wrap_privileged).map_err(CompileError::Attest)?;
+    let signed = SignedModule::sign(&module, attestation, key);
+    Ok(CompileOutput { signed, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_ir::parse_module;
+
+    const SRC: &str = r#"
+module "drv"
+global @reg : i64 = 0
+define void @poke(ptr %mmio, i64 %v) {
+entry:
+  store i64 %v, ptr %mmio
+  %old = load i64, ptr @reg
+  %new = add i64 %old, 1
+  store i64 %new, ptr @reg
+  ret void
+}
+"#;
+
+    fn key() -> CompilerKey {
+        CompilerKey::from_passphrase("k", "s")
+    }
+
+    #[test]
+    fn carat_kop_build_guards_everything() {
+        let m = parse_module(SRC).unwrap();
+        let out = compile_module(m, &CompileOptions::carat_kop(), &key()).unwrap();
+        assert_eq!(out.stats.get("guards_injected"), 3);
+        assert!(out.signed.attestation.guards_strict);
+        assert_eq!(out.signed.attestation.guard_count, 3);
+        let verified = out.signed.verify(&[key()]).unwrap();
+        assert_eq!(verified.call_count("carat_guard"), 3);
+    }
+
+    #[test]
+    fn baseline_build_injects_nothing() {
+        let m = parse_module(SRC).unwrap();
+        let out = compile_module(m, &CompileOptions::baseline(), &key()).unwrap();
+        assert_eq!(out.stats.get("guards_injected"), 0);
+        assert_eq!(out.signed.attestation.guard_count, 0);
+        // Baseline is still signed and verifiable.
+        out.signed.verify(&[key()]).unwrap();
+    }
+
+    #[test]
+    fn optimized_build_is_not_strict() {
+        // Loop so that hoisting has something to do.
+        let src = r#"
+module "opt"
+global @g : i64 = 0
+define void @f(i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %v = load i64, ptr @g
+  %v2 = add i64 %v, 1
+  store i64 %v2, ptr @g
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let out = compile_module(m, &CompileOptions::optimized(), &key()).unwrap();
+        assert!(out.stats.get("guards_hoisted") > 0);
+        assert!(!out.signed.attestation.guards_strict);
+        // Optimized modules still verify and load.
+        out.signed.verify(&[key()]).unwrap();
+    }
+
+    #[test]
+    fn asm_refused_even_in_baseline() {
+        let src = r#"
+module "evil"
+define void @f() {
+entry:
+  asm "cli"
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let err = compile_module(m, &CompileOptions::baseline(), &key()).unwrap_err();
+        assert!(matches!(err, CompileError::Attest(_)));
+    }
+
+    #[test]
+    fn invalid_input_refused() {
+        let src = r#"
+module "bad"
+define i64 @f() {
+entry:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let err = compile_module(m, &CompileOptions::carat_kop(), &key()).unwrap_err();
+        assert!(matches!(err, CompileError::InputVerify(_)));
+    }
+}

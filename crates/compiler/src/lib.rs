@@ -1,0 +1,44 @@
+//! # kop-compiler — the CARAT KOP compiler
+//!
+//! The paper's "compiler" is a ~200-line LLVM pass plus a wrapper script
+//! around clang 14 (§3.3). This crate reproduces that pipeline over KIR:
+//!
+//! * [`guard`] — the guard-injection pass: a call to `@carat_guard` is
+//!   inserted before **every** `load` and `store`, unconditionally and
+//!   unoptimized, exactly as the paper describes.
+//! * [`opt`] — the optimizations the paper deliberately *omits* (they
+//!   belong to CARAT CAKE's NOELLE-based pipeline): redundant-guard
+//!   elimination and loop-invariant guard hoisting. These exist for the
+//!   ablation benchmarks.
+//! * [`attest`] — compile-time attestation that the module contains no
+//!   inline assembly and no calls to privileged intrinsics (§2, §5).
+//! * [`sha256`] — a from-scratch SHA-256/HMAC-SHA256 (FIPS 180-4 / RFC
+//!   2104) so code signing needs no external crypto dependency.
+//! * [`signing`] — cryptographic code signing of the canonical module text
+//!   plus its attestation; the kernel loader verifies this before linking
+//!   (§2: "prove to the kernel that the proper processing has been
+//!   performed ... and by which compiler").
+//! * [`driver`] — the "wrapper script": transform → attest → sign in one
+//!   call, yielding a [`signing::SignedModule`] ready for insertion.
+
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod driver;
+pub mod guard;
+pub mod intrinsics;
+pub mod opt;
+pub mod pass;
+pub mod sha256;
+pub mod signing;
+
+pub use attest::{Attestation, AttestError};
+pub use driver::{compile_module, CompileError, CompileOptions, CompileOutput};
+pub use guard::{validate_guards, GuardInjectionPass, GUARD_SYMBOL};
+pub use intrinsics::{
+    intrinsic_id, intrinsic_name, validate_intrinsic_wraps, IntrinsicWrapPass,
+    INTRINSIC_GUARD_SYMBOL,
+};
+pub use opt::{LoopGuardHoisting, RedundantGuardElim};
+pub use pass::{Pass, PassManager, PassStats};
+pub use signing::{CompilerKey, SignedModule, SigningError};

@@ -1,0 +1,385 @@
+//! Guard optimizations — the passes CARAT KOP deliberately does *not* run.
+//!
+//! The paper (§2, §3.3) explains that CARAT CAKE amortizes guards through
+//! extensive compiler analysis, while CARAT KOP skips all of it for
+//! engineering simplicity and still sees <1% overhead. These passes
+//! implement the two cheapest of those optimizations so the ablation
+//! benchmarks (`ablation_guard_opts`) can quantify what the paper left on
+//! the table:
+//!
+//! * [`RedundantGuardElim`] — within a basic block, a guard is removed if an
+//!   earlier guard in the same block already covers the same pointer with
+//!   at least the same size and intent, with no intervening non-guard call
+//!   (an intervening call could unload/alter the policy).
+//! * [`LoopGuardHoisting`] — guards inside a natural loop whose operands
+//!   are loop-invariant are moved to the end of the loop header's immediate
+//!   dominator, executing once instead of once per iteration. Like LLVM's
+//!   speculative hoisting this can over-approximate (a guard may fire for
+//!   an access the loop never performs); CARAT KOP's policy model treats
+//!   that as acceptable because policies are per-module, not per-path.
+
+use std::collections::BTreeSet;
+
+use kop_ir::dom::{natural_loops, DomTree};
+use kop_ir::{BlockId, Function, Inst, InstId, Module, Type, Value};
+
+use crate::guard::GUARD_SYMBOL;
+use crate::pass::{Pass, PassStats};
+
+/// Remove intra-block redundant guards.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RedundantGuardElim;
+
+impl Pass for RedundantGuardElim {
+    fn name(&self) -> &'static str {
+        "carat-kop-redundant-guard-elim"
+    }
+
+    fn run(&self, module: &mut Module) -> PassStats {
+        let mut stats = PassStats::new();
+        for f in &mut module.functions {
+            stats.bump("guards_removed", elim_in_function(f));
+        }
+        stats
+    }
+}
+
+/// A guard call's key: pointer operand, size, flags.
+fn guard_key(f: &Function, iid: InstId) -> Option<(Value, u64, u64)> {
+    if let Inst::Call { callee, args, .. } = f.inst(iid) {
+        if callee == GUARD_SYMBOL && args.len() == 3 {
+            if let (Value::ConstInt(_, size), Value::ConstInt(_, flags)) = (&args[1], &args[2]) {
+                return Some((args[0].clone(), *size, *flags));
+            }
+        }
+    }
+    None
+}
+
+fn elim_in_function(f: &mut Function) -> u64 {
+    let mut removed = 0u64;
+    for bid in f.block_ids().collect::<Vec<_>>() {
+        let old = f.block(bid).insts.clone();
+        // Guards seen since the last clobbering call: (ptr, size, flags).
+        let mut seen: Vec<(Value, u64, u64)> = Vec::new();
+        let mut new_list = Vec::with_capacity(old.len());
+        for iid in old {
+            if let Some((ptr, size, flags)) = guard_key(f, iid) {
+                let covered = seen.iter().any(|(p, s, fl)| {
+                    p == &ptr && *s >= size && (fl & flags) == flags
+                });
+                if covered {
+                    removed += 1;
+                    continue; // drop the redundant guard
+                }
+                seen.push((ptr, size, flags));
+                new_list.push(iid);
+                continue;
+            }
+            // A non-guard call may change the policy or transfer control to
+            // code that does; conservatively clobber the seen-set.
+            if matches!(f.inst(iid), Inst::Call { .. }) {
+                seen.clear();
+            }
+            new_list.push(iid);
+        }
+        f.block_mut(bid).insts = new_list;
+    }
+    removed
+}
+
+/// Hoist loop-invariant guards out of natural loops.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoopGuardHoisting;
+
+impl Pass for LoopGuardHoisting {
+    fn name(&self) -> &'static str {
+        "carat-kop-loop-guard-hoisting"
+    }
+
+    fn run(&self, module: &mut Module) -> PassStats {
+        let mut stats = PassStats::new();
+        for f in &mut module.functions {
+            stats.bump("guards_hoisted", hoist_in_function(f));
+        }
+        stats
+    }
+}
+
+fn hoist_in_function(f: &mut Function) -> u64 {
+    let dom = DomTree::compute(f);
+    let loops = natural_loops(f, &dom);
+    if loops.is_empty() {
+        return 0;
+    }
+    let mut hoisted = 0u64;
+
+    for l in loops {
+        // Hoist target: the header's immediate dominator, provided it is
+        // outside the loop (this is where a preheader would sit).
+        let Some(target) = dom.idom(l.header) else {
+            continue;
+        };
+        if l.body.contains(&target) {
+            continue;
+        }
+
+        // Definitions inside the loop.
+        let mut defined_in_loop: BTreeSet<InstId> = BTreeSet::new();
+        for &b in &l.body {
+            for &iid in &f.block(b).insts {
+                defined_in_loop.insert(iid);
+            }
+        }
+        let is_invariant = |v: &Value| -> bool {
+            match v {
+                Value::Inst(id) => !defined_in_loop.contains(id),
+                _ => true, // consts, args, globals
+            }
+        };
+
+        // Collect hoistable guards per block, then move them.
+        let body_blocks: Vec<BlockId> = l.body.iter().copied().collect();
+        for bid in body_blocks {
+            let old = f.block(bid).insts.clone();
+            let mut keep = Vec::with_capacity(old.len());
+            let mut moved = Vec::new();
+            for iid in old {
+                let hoistable = match f.inst(iid) {
+                    Inst::Call { callee, args, .. } if callee == GUARD_SYMBOL => {
+                        args.iter().all(is_invariant)
+                    }
+                    _ => false,
+                };
+                if hoistable {
+                    moved.push(iid);
+                } else {
+                    keep.push(iid);
+                }
+            }
+            if moved.is_empty() {
+                continue;
+            }
+            hoisted += moved.len() as u64;
+            f.block_mut(bid).insts = keep;
+            // Append to the end of the target block (before its
+            // terminator, which lives separately from `insts`).
+            for iid in moved {
+                f.push_inst(target, iid);
+            }
+        }
+    }
+    hoisted
+}
+
+/// Convenience: total static guard count of a module.
+pub fn guard_count(module: &Module) -> usize {
+    module.call_count(GUARD_SYMBOL)
+}
+
+/// Convenience: make a guard call instruction (used by tests).
+pub fn make_guard(ptr: Value, size: u64, flags: u64) -> Inst {
+    Inst::Call {
+        callee: GUARD_SYMBOL.to_string(),
+        ret_ty: Type::Void,
+        args: vec![
+            ptr,
+            Value::ConstInt(Type::I64, size),
+            Value::ConstInt(Type::I32, flags),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::GuardInjectionPass;
+    use kop_ir::{parse_module, verify_module};
+
+    #[test]
+    fn elim_removes_same_block_duplicates() {
+        // Two i64 loads through the same pointer in one block: the second
+        // guard is redundant.
+        let src = r#"
+module "dup"
+define i64 @f(ptr %p) {
+entry:
+  %a = load i64, ptr %p
+  %b = load i64, ptr %p
+  %s = add i64 %a, %b
+  ret i64 %s
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        assert_eq!(guard_count(&m), 2);
+        let stats = RedundantGuardElim.run(&mut m);
+        assert_eq!(stats.get("guards_removed"), 1);
+        assert_eq!(guard_count(&m), 1);
+        verify_module(&m).expect("still verifies");
+    }
+
+    #[test]
+    fn elim_respects_smaller_earlier_guard() {
+        // An earlier 4-byte guard does not cover a later 8-byte access.
+        let src = r#"
+module "sz"
+define i64 @f(ptr %p) {
+entry:
+  %a = load i32, ptr %p
+  %b = load i64, ptr %p
+  %a64 = zext i32 %a to i64
+  %s = add i64 %a64, %b
+  ret i64 %s
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        let stats = RedundantGuardElim.run(&mut m);
+        assert_eq!(stats.get("guards_removed"), 0);
+        assert_eq!(guard_count(&m), 2);
+    }
+
+    #[test]
+    fn elim_read_guard_does_not_cover_write() {
+        let src = r#"
+module "rw"
+define void @f(ptr %p) {
+entry:
+  %a = load i64, ptr %p
+  store i64 %a, ptr %p
+  ret void
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        let stats = RedundantGuardElim.run(&mut m);
+        // Read guard (flags=1) does not imply write permission (flags=2).
+        assert_eq!(stats.get("guards_removed"), 0);
+    }
+
+    #[test]
+    fn elim_clobbered_by_intervening_call() {
+        let src = r#"
+module "clob"
+declare void @ext()
+define i64 @f(ptr %p) {
+entry:
+  %a = load i64, ptr %p
+  call void @ext()
+  %b = load i64, ptr %p
+  %s = add i64 %a, %b
+  ret i64 %s
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        let stats = RedundantGuardElim.run(&mut m);
+        assert_eq!(stats.get("guards_removed"), 0);
+    }
+
+    #[test]
+    fn hoist_moves_invariant_guard_out_of_loop() {
+        // The guard on @flag (loop-invariant global) hoists; the guard on
+        // the per-iteration element pointer stays.
+        let src = r#"
+module "hoist"
+global @flag : i64 = 0
+define i64 @sum(ptr %buf, i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %acc = phi i64 [ 0, %entry ], [ %acc.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %fl = load i64, ptr @flag
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
+  %vv = add i64 %v, %fl
+  %acc.next = add i64 %acc, %vv
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 %acc
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        assert_eq!(guard_count(&m), 2);
+        let stats = LoopGuardHoisting.run(&mut m);
+        assert_eq!(stats.get("guards_hoisted"), 1);
+        assert_eq!(guard_count(&m), 2, "hoisting moves, never removes");
+        verify_module(&m).expect("still verifies");
+
+        // The hoisted guard must now be in `entry` (idom of the header).
+        let f = m.function("sum").unwrap();
+        let entry = f.block_by_name("entry").unwrap();
+        let entry_guards = f
+            .block(entry)
+            .insts
+            .iter()
+            .filter(|&&iid| guard_key(f, iid).is_some())
+            .count();
+        assert_eq!(entry_guards, 1);
+        let body = f.block_by_name("body").unwrap();
+        let body_guards = f
+            .block(body)
+            .insts
+            .iter()
+            .filter(|&&iid| guard_key(f, iid).is_some())
+            .count();
+        assert_eq!(body_guards, 1);
+    }
+
+    #[test]
+    fn hoist_noop_without_loops() {
+        let src = r#"
+module "flat"
+define i64 @f(ptr %p) {
+entry:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        let stats = LoopGuardHoisting.run(&mut m);
+        assert_eq!(stats.get("guards_hoisted"), 0);
+    }
+
+    #[test]
+    fn combined_pipeline_reduces_dynamic_guards() {
+        // elim + hoist on a loop with both an invariant and repeated access.
+        let src = r#"
+module "combo"
+global @g : i64 = 0
+define i64 @f(ptr %p, i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %a = load i64, ptr @g
+  %b = load i64, ptr @g
+  %ab = add i64 %a, %b
+  store i64 %ab, ptr @g
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 0
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        assert_eq!(guard_count(&m), 3);
+        let e = RedundantGuardElim.run(&mut m);
+        assert_eq!(e.get("guards_removed"), 1); // second read guard on @g
+        let h = LoopGuardHoisting.run(&mut m);
+        assert_eq!(h.get("guards_hoisted"), 2); // read + write guards on @g
+        verify_module(&m).expect("verifies");
+    }
+}

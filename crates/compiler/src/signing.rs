@@ -1,0 +1,431 @@
+//! Cryptographic code signing of transformed modules.
+//!
+//! From the paper (§2): *"the compilation process also performs
+//! cryptographic code signing. This is then used at load time to prove to
+//! the kernel that the proper processing has been performed (e.g., that
+//! guards have been injected) and by which compiler."*
+//!
+//! The scheme here is HMAC-SHA256 under a compiler key that the kernel
+//! also holds (a symmetric trust anchor — operationally, the operator
+//! provisions the same key into the kernel's trusted-key list and the
+//! build machine). The MAC covers the canonical printed module text plus
+//! the canonical attestation bytes, so tampering with either invalidates
+//! the signature.
+
+use core::fmt;
+
+use kop_ir::{parse_module, print_module, Module, ParseError};
+
+use crate::attest::Attestation;
+use crate::sha256::{digest_eq, hex, hmac_sha256, sha256, DIGEST_LEN};
+
+/// A compiler signing key (symmetric trust anchor).
+#[derive(Clone)]
+pub struct CompilerKey {
+    /// Short identifier the kernel uses to pick the verification key.
+    pub key_id: String,
+    secret: [u8; 32],
+}
+
+impl CompilerKey {
+    /// Create a key from raw secret bytes.
+    pub fn new(key_id: impl Into<String>, secret: [u8; 32]) -> CompilerKey {
+        CompilerKey {
+            key_id: key_id.into(),
+            secret,
+        }
+    }
+
+    /// Derive a deterministic key from a passphrase (test/demo helper; a
+    /// deployment would provision random keys).
+    pub fn from_passphrase(key_id: impl Into<String>, passphrase: &str) -> CompilerKey {
+        CompilerKey {
+            key_id: key_id.into(),
+            secret: sha256(passphrase.as_bytes()),
+        }
+    }
+
+    fn mac(&self, message: &[u8]) -> [u8; DIGEST_LEN] {
+        hmac_sha256(&self.secret, message)
+    }
+}
+
+impl fmt::Debug for CompilerKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret.
+        write!(f, "CompilerKey({})", self.key_id)
+    }
+}
+
+/// Signature verification / container errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SigningError {
+    /// MAC did not verify.
+    BadSignature,
+    /// The key id on the container is not a trusted key.
+    UnknownKey(String),
+    /// The embedded IR text no longer parses (container corrupted).
+    CorruptIr(ParseError),
+    /// The attestation embedded in the container does not match the IR.
+    AttestationMismatch(String),
+    /// The on-disk container bytes are malformed.
+    Malformed(String),
+}
+
+impl fmt::Display for SigningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigningError::BadSignature => f.write_str("module signature verification failed"),
+            SigningError::UnknownKey(id) => write!(f, "unknown signing key '{id}'"),
+            SigningError::CorruptIr(e) => write!(f, "corrupt module IR: {e}"),
+            SigningError::AttestationMismatch(s) => write!(f, "attestation mismatch: {s}"),
+            SigningError::Malformed(s) => write!(f, "malformed module container: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SigningError {}
+
+/// A signed, loadable module container: canonical IR text + attestation +
+/// MAC. This is CARAT KOP's analogue of a signed `.ko` file.
+#[derive(Clone, Debug)]
+pub struct SignedModule {
+    /// Canonical printed IR of the transformed module.
+    pub ir_text: String,
+    /// The compile-time attestation.
+    pub attestation: Attestation,
+    /// Key identifier used to sign.
+    pub key_id: String,
+    /// HMAC-SHA256 over `ir_text || attestation bytes`.
+    pub signature: [u8; DIGEST_LEN],
+}
+
+fn signed_message(ir_text: &str, attestation: &Attestation) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(ir_text.len() + 128);
+    msg.extend_from_slice(ir_text.as_bytes());
+    msg.extend_from_slice(&attestation.to_bytes());
+    msg
+}
+
+impl SignedModule {
+    /// Sign a transformed module with its attestation.
+    pub fn sign(module: &Module, attestation: Attestation, key: &CompilerKey) -> SignedModule {
+        let ir_text = print_module(module);
+        let signature = key.mac(&signed_message(&ir_text, &attestation));
+        SignedModule {
+            ir_text,
+            attestation,
+            key_id: key.key_id.clone(),
+            signature,
+        }
+    }
+
+    /// Verify the container against a set of trusted keys and re-derive the
+    /// parsed module. This is the load-time check the kernel performs: MAC
+    /// valid, IR parses, attestation consistent with the IR it shipped
+    /// with.
+    pub fn verify(&self, trusted_keys: &[CompilerKey]) -> Result<Module, SigningError> {
+        let key = trusted_keys
+            .iter()
+            .find(|k| k.key_id == self.key_id)
+            .ok_or_else(|| SigningError::UnknownKey(self.key_id.clone()))?;
+        let expect = key.mac(&signed_message(&self.ir_text, &self.attestation));
+        if !digest_eq(&expect, &self.signature) {
+            return Err(SigningError::BadSignature);
+        }
+        let module = parse_module(&self.ir_text).map_err(SigningError::CorruptIr)?;
+        // Cross-check the attestation's counts against the module: a
+        // correctly signed container can still be internally inconsistent
+        // if a buggy compiler signed it; the kernel refuses those too.
+        let guards = module.call_count(crate::guard::GUARD_SYMBOL) as u64;
+        if guards != self.attestation.guard_count {
+            return Err(SigningError::AttestationMismatch(format!(
+                "guard count {} vs attested {}",
+                guards, self.attestation.guard_count
+            )));
+        }
+        let accesses = module.memory_access_count() as u64;
+        if accesses != self.attestation.mem_access_count {
+            return Err(SigningError::AttestationMismatch(format!(
+                "memory access count {} vs attested {}",
+                accesses, self.attestation.mem_access_count
+            )));
+        }
+        if self.attestation.guards_strict && !crate::guard::validate_guards(&module) {
+            return Err(SigningError::AttestationMismatch(
+                "attested strict guards but validation failed".into(),
+            ));
+        }
+        Ok(module)
+    }
+
+    /// The content hash (SHA-256 of the signed message) — a stable module
+    /// identity for logs.
+    pub fn content_hash(&self) -> String {
+        hex(&sha256(&signed_message(&self.ir_text, &self.attestation)))
+    }
+
+    /// Serialize the container to its on-disk format (the analogue of a
+    /// signed `.ko` file an operator would copy onto the machine).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::with_capacity(self.ir_text.len() + 256);
+        out.extend_from_slice(MAGIC);
+        put_str(&mut out, &self.key_id);
+        out.extend_from_slice(&self.signature);
+        let a = &self.attestation;
+        put_str(&mut out, &a.module_name);
+        let flags = (a.no_inline_asm as u8)
+            | (a.no_privileged_calls as u8) << 1
+            | (a.guards_strict as u8) << 2
+            | (a.privileged_wrapped as u8) << 3;
+        out.push(flags);
+        out.extend_from_slice(&a.guard_count.to_le_bytes());
+        out.extend_from_slice(&a.mem_access_count.to_le_bytes());
+        out.extend_from_slice(&a.privileged_calls.to_le_bytes());
+        put_str(&mut out, &a.compiler_id);
+        put_str(&mut out, &self.ir_text);
+        out
+    }
+
+    /// Parse a container from its on-disk format. Parsing does **not**
+    /// imply trust — callers must still [`SignedModule::verify`].
+    pub fn from_bytes(data: &[u8]) -> Result<SignedModule, SigningError> {
+        fn get_str<'a>(data: &'a [u8], off: &mut usize) -> Result<&'a str, SigningError> {
+            let malformed = || SigningError::Malformed("truncated string".into());
+            let len_end = off.checked_add(4).ok_or_else(malformed)?;
+            if len_end > data.len() {
+                return Err(malformed());
+            }
+            let len = u32::from_le_bytes(data[*off..len_end].try_into().expect("4 bytes")) as usize;
+            let end = len_end.checked_add(len).ok_or_else(malformed)?;
+            if end > data.len() {
+                return Err(malformed());
+            }
+            let s = std::str::from_utf8(&data[len_end..end])
+                .map_err(|_| SigningError::Malformed("invalid utf-8".into()))?;
+            *off = end;
+            Ok(s)
+        }
+        fn get_u64(data: &[u8], off: &mut usize) -> Result<u64, SigningError> {
+            let end = *off + 8;
+            if end > data.len() {
+                return Err(SigningError::Malformed("truncated u64".into()));
+            }
+            let v = u64::from_le_bytes(data[*off..end].try_into().expect("8 bytes"));
+            *off = end;
+            Ok(v)
+        }
+        if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+            return Err(SigningError::Malformed("bad magic".into()));
+        }
+        let mut off = MAGIC.len();
+        let key_id = get_str(data, &mut off)?.to_string();
+        if off + DIGEST_LEN > data.len() {
+            return Err(SigningError::Malformed("truncated signature".into()));
+        }
+        let mut signature = [0u8; DIGEST_LEN];
+        signature.copy_from_slice(&data[off..off + DIGEST_LEN]);
+        off += DIGEST_LEN;
+        let module_name = get_str(data, &mut off)?.to_string();
+        let flags = *data
+            .get(off)
+            .ok_or_else(|| SigningError::Malformed("truncated flags".into()))?;
+        off += 1;
+        let guard_count = get_u64(data, &mut off)?;
+        let mem_access_count = get_u64(data, &mut off)?;
+        let privileged_calls = get_u64(data, &mut off)?;
+        let compiler_id = get_str(data, &mut off)?.to_string();
+        let ir_text = get_str(data, &mut off)?.to_string();
+        if off != data.len() {
+            return Err(SigningError::Malformed("trailing bytes".into()));
+        }
+        Ok(SignedModule {
+            ir_text,
+            attestation: Attestation {
+                module_name,
+                no_inline_asm: flags & 1 != 0,
+                no_privileged_calls: flags & 2 != 0,
+                guards_strict: flags & 4 != 0,
+                guard_count,
+                mem_access_count,
+                privileged_calls,
+                privileged_wrapped: flags & 8 != 0,
+                compiler_id,
+            },
+            key_id,
+            signature,
+        })
+    }
+}
+
+/// On-disk container magic: "KOPMOD" + format version.
+const MAGIC: &[u8; 8] = b"KOPMOD ";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::GuardInjectionPass;
+    use crate::pass::Pass;
+
+    fn demo_module() -> Module {
+        let src = r#"
+module "demo"
+define i64 @f(ptr %p) {
+entry:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        m
+    }
+
+    fn key() -> CompilerKey {
+        CompilerKey::from_passphrase("build-key-1", "correct horse battery staple")
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let signed = SignedModule::sign(&m, att, &key());
+        let out = signed.verify(&[key()]).expect("verifies");
+        assert_eq!(print_module(&out), signed.ir_text);
+    }
+
+    #[test]
+    fn tampered_ir_rejected() {
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let mut signed = SignedModule::sign(&m, att, &key());
+        signed.ir_text = signed.ir_text.replace("i64 8", "i64 1");
+        assert_eq!(
+            signed.verify(&[key()]).unwrap_err(),
+            SigningError::BadSignature
+        );
+    }
+
+    #[test]
+    fn tampered_attestation_rejected() {
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let mut signed = SignedModule::sign(&m, att, &key());
+        signed.attestation.guard_count = 0;
+        assert_eq!(
+            signed.verify(&[key()]).unwrap_err(),
+            SigningError::BadSignature
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let signed = SignedModule::sign(&m, att, &key());
+        let other = CompilerKey::from_passphrase("build-key-1", "different secret");
+        assert_eq!(
+            signed.verify(&[other]).unwrap_err(),
+            SigningError::BadSignature
+        );
+    }
+
+    #[test]
+    fn unknown_key_id_rejected() {
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let signed = SignedModule::sign(&m, att, &key());
+        let unrelated = CompilerKey::from_passphrase("other-key", "zzz");
+        assert_eq!(
+            signed.verify(&[unrelated]).unwrap_err(),
+            SigningError::UnknownKey("build-key-1".into())
+        );
+    }
+
+    #[test]
+    fn buggy_compiler_attestation_mismatch_rejected() {
+        // Sign with an attestation whose counts don't match the module:
+        // MAC verifies (same key, consistent container) but the kernel's
+        // cross-check refuses it.
+        let m = demo_module();
+        let mut att = Attestation::check(&m).unwrap();
+        att.guard_count += 7;
+        let signed = SignedModule::sign(&m, att, &key());
+        match signed.verify(&[key()]).unwrap_err() {
+            SigningError::AttestationMismatch(msg) => {
+                assert!(msg.contains("guard count"), "{msg}")
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn container_bytes_roundtrip() {
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let signed = SignedModule::sign(&m, att, &key());
+        let bytes = signed.to_bytes();
+        let back = SignedModule::from_bytes(&bytes).expect("parses");
+        assert_eq!(back.ir_text, signed.ir_text);
+        assert_eq!(back.attestation, signed.attestation);
+        assert_eq!(back.key_id, signed.key_id);
+        assert_eq!(back.signature, signed.signature);
+        // And the re-parsed container still verifies.
+        back.verify(&[key()]).expect("verifies after roundtrip");
+    }
+
+    #[test]
+    fn container_rejects_garbage_and_truncation() {
+        assert!(SignedModule::from_bytes(b"").is_err());
+        assert!(SignedModule::from_bytes(b"ELF....").is_err());
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let bytes = SignedModule::sign(&m, att, &key()).to_bytes();
+        for cut in [8usize, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                SignedModule::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SignedModule::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn container_bitflip_fails_verification() {
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let mut bytes = SignedModule::sign(&m, att, &key()).to_bytes();
+        // Flip a bit in the IR text region (near the end).
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x40;
+        match SignedModule::from_bytes(&bytes) {
+            Ok(parsed) => assert!(parsed.verify(&[key()]).is_err()),
+            Err(_) => {} // structurally invalid is fine too
+        }
+    }
+
+    #[test]
+    fn content_hash_stable() {
+        let m = demo_module();
+        let att = Attestation::check(&m).unwrap();
+        let s1 = SignedModule::sign(&m, att.clone(), &key());
+        let s2 = SignedModule::sign(&m, att, &key());
+        assert_eq!(s1.content_hash(), s2.content_hash());
+        assert_eq!(s1.content_hash().len(), 64);
+    }
+
+    #[test]
+    fn debug_never_leaks_secret() {
+        let k = key();
+        let s = format!("{k:?}");
+        assert!(s.contains("build-key-1"));
+        assert!(!s.contains("horse"));
+        assert_eq!(s, "CompilerKey(build-key-1)");
+    }
+}

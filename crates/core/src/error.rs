@@ -1,0 +1,204 @@
+//! Error and violation vocabulary.
+//!
+//! A [`Violation`] is what `carat_guard` produces when an access is not
+//! permitted by the policy: the faulting triple plus why it was rejected.
+//! [`KernelError`] covers everything else the simulated kernel can report
+//! (load failures, bad ioctls, faults).
+
+use core::fmt;
+
+use crate::access::AccessFlags;
+use crate::addr::{Size, VAddr};
+
+/// Why a guarded access was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No policy region covered the access and the default action is deny.
+    NoMatchingRegion,
+    /// A region covered the access but did not grant the requested intent.
+    InsufficientPermissions,
+    /// The access had no intent bits set, or a zero size — malformed guard
+    /// call (should be impossible for compiler-injected guards).
+    MalformedAccess,
+    /// The access wrapped around the top of the address space.
+    AddressOverflow,
+    /// A privileged intrinsic was invoked that the intrinsic policy does
+    /// not grant (the §5 extension; the "address" carries the intrinsic
+    /// id).
+    ForbiddenIntrinsic,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::NoMatchingRegion => "no matching policy region",
+            ViolationKind::InsufficientPermissions => "insufficient permissions",
+            ViolationKind::MalformedAccess => "malformed access",
+            ViolationKind::AddressOverflow => "address overflow",
+            ViolationKind::ForbiddenIntrinsic => "forbidden privileged intrinsic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A rejected guarded access: the faulting triple plus diagnosis.
+///
+/// In the paper, a violation logs and causes a kernel panic (§3.1); in this
+/// simulation the panic is modelled as a value so tests can assert on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Faulting address.
+    pub addr: VAddr,
+    /// Access size in bytes.
+    pub size: Size,
+    /// Requested intent.
+    pub flags: AccessFlags,
+    /// Why the policy rejected it.
+    pub kind: ViolationKind,
+}
+
+impl Violation {
+    /// Construct a violation record.
+    pub fn new(addr: VAddr, size: Size, flags: AccessFlags, kind: ViolationKind) -> Self {
+        Violation {
+            addr,
+            size,
+            flags,
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CARAT KOP violation: {} access of {} at {} — {}",
+            self.flags, self.size, self.addr, self.kind
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Errors reported by the simulated kernel substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// A guarded access was rejected and the violation action was Panic:
+    /// the simulated kernel has panicked.
+    Panic {
+        /// Human-readable panic message (what the console would print).
+        message: String,
+        /// The violation that triggered the panic, if any.
+        violation: Option<Violation>,
+    },
+    /// A module failed signature validation at insertion time.
+    BadSignature(String),
+    /// A module referenced a symbol the kernel does not export.
+    UnresolvedSymbol(String),
+    /// A module with the same name is already loaded.
+    ModuleAlreadyLoaded(String),
+    /// No such module.
+    NoSuchModule(String),
+    /// The module attestation was rejected (e.g. contains inline assembly).
+    AttestationRejected(String),
+    /// Out of module mapping space or other allocation failure.
+    NoMemory(String),
+    /// An access faulted against unmapped simulated memory.
+    Fault {
+        /// Faulting address.
+        addr: VAddr,
+        /// What the access was trying to do.
+        what: String,
+    },
+    /// Bad ioctl command or argument.
+    BadIoctl(String),
+    /// No such device node.
+    NoSuchDevice(String),
+    /// Catch-all invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Panic { message, violation } => {
+                write!(f, "KERNEL PANIC: {message}")?;
+                if let Some(v) = violation {
+                    write!(f, " ({v})")?;
+                }
+                Ok(())
+            }
+            KernelError::BadSignature(s) => write!(f, "bad module signature: {s}"),
+            KernelError::UnresolvedSymbol(s) => write!(f, "unresolved symbol: {s}"),
+            KernelError::ModuleAlreadyLoaded(s) => write!(f, "module already loaded: {s}"),
+            KernelError::NoSuchModule(s) => write!(f, "no such module: {s}"),
+            KernelError::AttestationRejected(s) => write!(f, "attestation rejected: {s}"),
+            KernelError::NoMemory(s) => write!(f, "out of memory: {s}"),
+            KernelError::Fault { addr, what } => write!(f, "fault at {addr}: {what}"),
+            KernelError::BadIoctl(s) => write!(f, "bad ioctl: {s}"),
+            KernelError::NoSuchDevice(s) => write!(f, "no such device: {s}"),
+            KernelError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<Violation> for KernelError {
+    fn from(v: Violation) -> Self {
+        KernelError::Panic {
+            message: "guard check failed".into(),
+            violation: Some(v),
+        }
+    }
+}
+
+/// Result alias for kernel-substrate operations.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_mentions_everything() {
+        let v = Violation::new(
+            VAddr(0x1000),
+            Size(8),
+            AccessFlags::WRITE,
+            ViolationKind::NoMatchingRegion,
+        );
+        let s = v.to_string();
+        assert!(s.contains("0x0000000000001000"));
+        assert!(s.contains("8 B"));
+        assert!(s.contains("-w-"));
+        assert!(s.contains("no matching policy region"));
+    }
+
+    #[test]
+    fn violation_converts_to_panic() {
+        let v = Violation::new(
+            VAddr(0x10),
+            Size(4),
+            AccessFlags::READ,
+            ViolationKind::InsufficientPermissions,
+        );
+        let e: KernelError = v.into();
+        match e {
+            KernelError::Panic { violation, .. } => assert_eq!(violation, Some(v)),
+            other => panic!("expected Panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kernel_error_display() {
+        let e = KernelError::UnresolvedSymbol("carat_guard".into());
+        assert_eq!(e.to_string(), "unresolved symbol: carat_guard");
+        let e = KernelError::Fault {
+            addr: VAddr(0x42),
+            what: "read".into(),
+        };
+        assert!(e.to_string().contains("fault at"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Canonical address-space layout of the simulated kernel.
+//!
+//! The constants mirror the x86-64 Linux virtual memory map (4-level paging,
+//! `Documentation/x86/x86_64/mm.rst` for kernel 5.17): a 47-bit user half, a
+//! guard hole, the direct map of all physical memory at `PAGE_OFFSET`, the
+//! vmalloc area, and the module mapping space. CARAT KOP policies are
+//! expressed over this layout — e.g. the paper's two-region policy is
+//! "allow the kernel half, deny the user half".
+
+/// Base of the canonical kernel ("high") half.
+pub const KERNEL_HALF_BASE: u64 = 0xffff_8000_0000_0000;
+
+/// End of the canonical user ("low") half (exclusive).
+pub const USER_HALF_END: u64 = 0x0000_8000_0000_0000;
+
+/// `PAGE_OFFSET`: base of the direct mapping of all physical memory.
+pub const DIRECT_MAP_BASE: u64 = 0xffff_8880_0000_0000;
+
+/// Size of the direct map window (64 TiB, as on 4-level x86-64).
+pub const DIRECT_MAP_SIZE: u64 = 64 << 40;
+
+/// Base of the vmalloc/ioremap space.
+pub const VMALLOC_BASE: u64 = 0xffff_c900_0000_0000;
+
+/// Size of the vmalloc/ioremap space (32 TiB).
+pub const VMALLOC_SIZE: u64 = 32 << 40;
+
+/// Base of the kernel text mapping.
+pub const KERNEL_TEXT_BASE: u64 = 0xffff_ffff_8000_0000;
+
+/// Size of the kernel text mapping (512 MiB).
+pub const KERNEL_TEXT_SIZE: u64 = 512 << 20;
+
+/// Base of the module mapping space (modules are loaded here).
+pub const MODULE_SPACE_BASE: u64 = 0xffff_ffff_a000_0000;
+
+/// Size of the module mapping space (1 GiB to leave room for many modules;
+/// real kernels use ~1.5 GiB minus the text mapping).
+pub const MODULE_SPACE_SIZE: u64 = 1 << 30;
+
+/// Base of the simulated MMIO window inside the vmalloc/ioremap area.
+/// Device BARs (e.g. the e1000e register block) are ioremapped here.
+pub const MMIO_WINDOW_BASE: u64 = 0xffff_c9ff_0000_0000;
+
+/// Size of the simulated MMIO window (4 GiB).
+pub const MMIO_WINDOW_SIZE: u64 = 4 << 30;
+
+/// Simulated page size.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Page shift corresponding to [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate: documents layout invariants
+    fn layout_is_ordered_and_disjoint() {
+        // user half < kernel half
+        assert!(USER_HALF_END <= KERNEL_HALF_BASE);
+        // direct map inside kernel half and below vmalloc
+        assert!(DIRECT_MAP_BASE >= KERNEL_HALF_BASE);
+        assert!(DIRECT_MAP_BASE + DIRECT_MAP_SIZE <= VMALLOC_BASE);
+        // vmalloc below kernel text
+        assert!(VMALLOC_BASE + VMALLOC_SIZE <= KERNEL_TEXT_BASE);
+        // kernel text below module space
+        assert!(KERNEL_TEXT_BASE + KERNEL_TEXT_SIZE <= MODULE_SPACE_BASE);
+        // module space fits before the end of the address space
+        assert!(MODULE_SPACE_BASE.checked_add(MODULE_SPACE_SIZE).is_some());
+        // MMIO window inside the vmalloc/ioremap area
+        assert!(MMIO_WINDOW_BASE >= VMALLOC_BASE);
+        assert!(MMIO_WINDOW_BASE + MMIO_WINDOW_SIZE <= VMALLOC_BASE + VMALLOC_SIZE);
+    }
+
+    #[test]
+    fn page_constants_consistent() {
+        assert_eq!(1u64 << PAGE_SHIFT, PAGE_SIZE);
+        assert!(PAGE_SIZE.is_power_of_two());
+    }
+}

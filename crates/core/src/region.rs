@@ -1,0 +1,359 @@
+//! Memory regions and their algebra.
+//!
+//! A policy is a set of [`Region`]s — "firewall rules" in the paper's
+//! terminology. Each entry stores a lower bound, a length, and protection
+//! flags (§3.1). The algebra here (containment, overlap, splitting) is the
+//! foundation shared by every policy data structure in `kop-policy`.
+
+use core::fmt;
+
+use crate::access::{AccessFlags, Protection};
+use crate::addr::{Size, VAddr};
+
+/// A contiguous address range with a protection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Lower bound (inclusive).
+    pub base: VAddr,
+    /// Length in bytes. A zero-length region matches nothing.
+    pub len: Size,
+    /// Permissions granted inside the region.
+    pub prot: Protection,
+}
+
+impl Region {
+    /// Construct a region. Returns `None` if `base + len` overflows the
+    /// address space (the policy module rejects such rules at insert time).
+    pub fn new(base: VAddr, len: Size, prot: Protection) -> Option<Region> {
+        // `base + len` may equal 2^64 exactly (a region ending at the very
+        // top); we allow that by checking `len - 1`.
+        if len.raw() == 0 {
+            return Some(Region { base, len, prot });
+        }
+        base.checked_add(len.raw() - 1)?;
+        Some(Region { base, len, prot })
+    }
+
+    /// Construct from inclusive-exclusive bounds `[start, end)`.
+    pub fn from_range(start: VAddr, end: VAddr, prot: Protection) -> Option<Region> {
+        let len = end.offset_from(start)?;
+        Region::new(start, Size::new(len), prot)
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len.raw() == 0
+    }
+
+    /// The last address contained in the region. `None` for empty regions.
+    #[inline]
+    pub fn last(&self) -> Option<VAddr> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.base.wrapping_add(self.len.raw() - 1))
+        }
+    }
+
+    /// One past the last contained address, if representable.
+    #[inline]
+    pub fn end(&self) -> Option<VAddr> {
+        self.base.checked_add(self.len.raw())
+    }
+
+    /// Whether `addr` lies inside the region.
+    #[inline]
+    pub fn contains_addr(&self, addr: VAddr) -> bool {
+        match addr.offset_from(self.base) {
+            Some(off) => off < self.len.raw(),
+            None => false,
+        }
+    }
+
+    /// Whether the whole access `[addr, addr+size)` lies inside the region.
+    ///
+    /// This is the check the guard performs: an access is covered by a rule
+    /// only if *every* byte it touches is covered — an access straddling the
+    /// region boundary is not covered.
+    #[inline]
+    pub fn covers(&self, addr: VAddr, size: Size) -> bool {
+        if size.raw() == 0 {
+            // Zero-sized accesses are vacuously covered if the address is in
+            // range; the guard layer rejects them before lookup anyway.
+            return self.contains_addr(addr);
+        }
+        let Some(off) = addr.offset_from(self.base) else {
+            return false;
+        };
+        // off + size <= len, avoiding overflow.
+        match off.checked_add(size.raw()) {
+            Some(end) => end <= self.len.raw(),
+            None => false,
+        }
+    }
+
+    /// Whether the access is covered *and* the region grants the intent.
+    #[inline]
+    pub fn permits(&self, addr: VAddr, size: Size, flags: AccessFlags) -> bool {
+        self.covers(addr, size) && self.prot.allows(flags)
+    }
+
+    /// Whether two regions overlap in at least one byte.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        let a_last = self.last().expect("non-empty");
+        let b_last = other.last().expect("non-empty");
+        self.base <= b_last && other.base <= a_last
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    pub fn contains_region(&self, other: &Region) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        other.base >= self.base && other.last().expect("non-empty") <= self.last().expect("non-empty")
+    }
+
+    /// Intersection of two regions (protection taken from `self`).
+    pub fn intersection(&self, other: &Region) -> Option<Region> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        let start = self.base.max(other.base);
+        let last = self.last()?.min(other.last()?);
+        let len = (last - start) + 1;
+        Some(Region {
+            base: start,
+            len: Size::new(len),
+            prot: self.prot,
+        })
+    }
+
+    /// Subtract `hole` from `self`, yielding up to two remaining pieces
+    /// (protection preserved). Used when a policy removes a sub-range of an
+    /// existing rule.
+    pub fn subtract(&self, hole: &Region) -> Vec<Region> {
+        let Some(cut) = hole.intersection(self) else {
+            return vec![*self];
+        };
+        let mut out = Vec::with_capacity(2);
+        if cut.base > self.base {
+            let left_len = cut.base - self.base;
+            out.push(Region {
+                base: self.base,
+                len: Size::new(left_len),
+                prot: self.prot,
+            });
+        }
+        let cut_last = cut.last().expect("non-empty cut");
+        let self_last = self.last().expect("non-empty self");
+        if cut_last < self_last {
+            let right_base = cut_last.wrapping_add(1);
+            let right_len = (self_last - right_base) + 1;
+            out.push(Region {
+                base: right_base,
+                len: Size::new(right_len),
+                prot: self.prot,
+            });
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Region[{:#x}..{:#x} {} ({} B)]",
+            self.base.raw(),
+            self.base.raw().wrapping_add(self.len.raw()),
+            self.prot,
+            self.len.raw()
+        )
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#018x} +{:#x} {}",
+            self.base.raw(),
+            self.len.raw(),
+            self.prot
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(base: u64, len: u64) -> Region {
+        Region::new(VAddr(base), Size(len), Protection::READ_WRITE).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_overflow() {
+        assert!(Region::new(VAddr(u64::MAX), Size(2), Protection::ALL).is_none());
+        // A region ending exactly at the top of the address space is fine.
+        assert!(Region::new(VAddr(u64::MAX), Size(1), Protection::ALL).is_some());
+        assert!(Region::new(VAddr(u64::MAX - 9), Size(10), Protection::ALL).is_some());
+    }
+
+    #[test]
+    fn from_range() {
+        let reg = Region::from_range(VAddr(0x1000), VAddr(0x2000), Protection::READ_ONLY).unwrap();
+        assert_eq!(reg.base, VAddr(0x1000));
+        assert_eq!(reg.len, Size(0x1000));
+        assert!(Region::from_range(VAddr(0x2000), VAddr(0x1000), Protection::READ_ONLY).is_none());
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let reg = r(100, 50);
+        assert!(reg.contains_addr(VAddr(100)));
+        assert!(reg.contains_addr(VAddr(149)));
+        assert!(!reg.contains_addr(VAddr(150)));
+        assert!(!reg.contains_addr(VAddr(99)));
+
+        assert!(reg.covers(VAddr(100), Size(50)));
+        assert!(reg.covers(VAddr(140), Size(10)));
+        assert!(!reg.covers(VAddr(140), Size(11))); // straddles the end
+        assert!(!reg.covers(VAddr(99), Size(2))); // straddles the start
+    }
+
+    #[test]
+    fn covers_top_of_address_space() {
+        let reg = Region::new(VAddr(u64::MAX - 7), Size(8), Protection::ALL).unwrap();
+        assert!(reg.covers(VAddr(u64::MAX - 7), Size(8)));
+        assert!(reg.covers(VAddr(u64::MAX), Size(1)));
+        assert!(!reg.covers(VAddr(u64::MAX), Size(2))); // would wrap
+    }
+
+    #[test]
+    fn permits_checks_protection() {
+        let ro = Region::new(VAddr(0x1000), Size(0x100), Protection::READ_ONLY).unwrap();
+        assert!(ro.permits(VAddr(0x1000), Size(8), AccessFlags::READ));
+        assert!(!ro.permits(VAddr(0x1000), Size(8), AccessFlags::WRITE));
+        assert!(!ro.permits(VAddr(0x1000), Size(8), AccessFlags::RW));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        assert!(r(0, 10).overlaps(&r(9, 10)));
+        assert!(!r(0, 10).overlaps(&r(10, 10)));
+        assert!(r(5, 1).overlaps(&r(0, 10)));
+        assert!(!r(0, 0).overlaps(&r(0, 10)));
+        assert!(!r(0, 10).overlaps(&r(5, 0)));
+    }
+
+    #[test]
+    fn containment() {
+        assert!(r(0, 100).contains_region(&r(10, 20)));
+        assert!(r(0, 100).contains_region(&r(0, 100)));
+        assert!(!r(0, 100).contains_region(&r(90, 20)));
+        assert!(r(0, 100).contains_region(&r(50, 0))); // empty contained
+    }
+
+    #[test]
+    fn intersection() {
+        let i = r(0, 100).intersection(&r(50, 100)).unwrap();
+        assert_eq!(i.base, VAddr(50));
+        assert_eq!(i.len, Size(50));
+        assert!(r(0, 10).intersection(&r(20, 10)).is_none());
+    }
+
+    #[test]
+    fn subtract_middle_splits() {
+        let pieces = r(0, 100).subtract(&r(40, 20));
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].base, VAddr(0));
+        assert_eq!(pieces[0].len, Size(40));
+        assert_eq!(pieces[1].base, VAddr(60));
+        assert_eq!(pieces[1].len, Size(40));
+    }
+
+    #[test]
+    fn subtract_edges() {
+        // Hole at the start.
+        let pieces = r(0, 100).subtract(&r(0, 30));
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].base, VAddr(30));
+        // Hole at the end.
+        let pieces = r(0, 100).subtract(&r(70, 30));
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].len, Size(70));
+        // Hole covering everything.
+        assert!(r(0, 100).subtract(&r(0, 100)).is_empty());
+        // Disjoint hole: unchanged.
+        let pieces = r(0, 100).subtract(&r(200, 10));
+        assert_eq!(pieces, vec![r(0, 100)]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_region() -> impl Strategy<Value = Region> {
+        (0u64..10_000, 0u64..1_000).prop_map(|(b, l)| {
+            Region::new(VAddr(b), Size(l), Protection::READ_WRITE).unwrap()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_is_symmetric(a in arb_region(), b in arb_region()) {
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        }
+
+        #[test]
+        fn intersection_contained_in_both(a in arb_region(), b in arb_region()) {
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains_region(&i));
+                prop_assert!(b.contains_region(&i));
+                prop_assert!(!i.is_empty());
+            }
+        }
+
+        #[test]
+        fn subtract_pieces_disjoint_from_hole(a in arb_region(), hole in arb_region()) {
+            for piece in a.subtract(&hole) {
+                prop_assert!(!piece.overlaps(&hole));
+                prop_assert!(a.contains_region(&piece));
+            }
+        }
+
+        #[test]
+        fn subtract_preserves_non_hole_bytes(a in arb_region(), hole in arb_region()) {
+            // Every address in `a` but not in `hole` must be in exactly one piece.
+            let pieces = a.subtract(&hole);
+            if a.len.raw() > 0 {
+                for addr in (a.base.raw()..a.base.raw() + a.len.raw()).step_by(7) {
+                    let va = VAddr(addr);
+                    let in_hole = hole.contains_addr(va);
+                    let n = pieces.iter().filter(|p| p.contains_addr(va)).count();
+                    prop_assert_eq!(n, usize::from(!in_hole));
+                }
+            }
+        }
+
+        #[test]
+        fn covers_implies_contains_every_byte(a in arb_region(), off in 0u64..1200, sz in 1u64..64) {
+            let addr = VAddr(a.base.raw().wrapping_add(off));
+            if a.covers(addr, Size(sz)) {
+                for i in 0..sz {
+                    prop_assert!(a.contains_addr(addr.wrapping_add(i)));
+                }
+            }
+        }
+    }
+}

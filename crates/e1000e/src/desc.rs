@@ -1,0 +1,162 @@
+//! Legacy transmit and receive descriptor layouts (16 bytes each), as on
+//! the 8254x family. The driver writes these into ring memory; the
+//! device's DMA engine reads them back and writes status.
+
+/// Legacy TX descriptor command bits.
+pub mod txcmd {
+    /// End of packet.
+    pub const EOP: u8 = 1 << 0;
+    /// Insert FCS (ignored by the model; frames carry no FCS).
+    pub const IFCS: u8 = 1 << 1;
+    /// Report status (device sets DD when done).
+    pub const RS: u8 = 1 << 3;
+}
+
+/// TX/RX descriptor status bits.
+pub mod txsts {
+    /// Descriptor done.
+    pub const DD: u8 = 1 << 0;
+}
+
+/// A legacy transmit descriptor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxDesc {
+    /// Physical address of the packet buffer.
+    pub buffer: u64,
+    /// Length of the data in the buffer.
+    pub length: u16,
+    /// Checksum offset (unused by the model).
+    pub cso: u8,
+    /// Command bits.
+    pub cmd: u8,
+    /// Status bits (written back by the device).
+    pub status: u8,
+    /// Checksum start (unused by the model).
+    pub css: u8,
+    /// VLAN tag (unused by the model).
+    pub special: u16,
+}
+
+/// Size of a descriptor in ring memory.
+pub const DESC_SIZE: u64 = 16;
+
+impl TxDesc {
+    /// Serialize to ring-memory layout (little endian).
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[0..8].copy_from_slice(&self.buffer.to_le_bytes());
+        b[8..10].copy_from_slice(&self.length.to_le_bytes());
+        b[10] = self.cso;
+        b[11] = self.cmd;
+        b[12] = self.status;
+        b[13] = self.css;
+        b[14..16].copy_from_slice(&self.special.to_le_bytes());
+        b
+    }
+
+    /// Deserialize from ring-memory layout.
+    pub fn from_bytes(b: &[u8; 16]) -> TxDesc {
+        TxDesc {
+            buffer: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            length: u16::from_le_bytes(b[8..10].try_into().expect("2 bytes")),
+            cso: b[10],
+            cmd: b[11],
+            status: b[12],
+            css: b[13],
+            special: u16::from_le_bytes(b[14..16].try_into().expect("2 bytes")),
+        }
+    }
+}
+
+/// A legacy receive descriptor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RxDesc {
+    /// Physical address of the receive buffer.
+    pub buffer: u64,
+    /// Length of the received data (written back by the device).
+    pub length: u16,
+    /// Packet checksum (unused by the model).
+    pub checksum: u16,
+    /// Status bits (DD set by the device on writeback).
+    pub status: u8,
+    /// Error bits.
+    pub errors: u8,
+    /// VLAN tag.
+    pub special: u16,
+}
+
+impl RxDesc {
+    /// Serialize to ring-memory layout (little endian).
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[0..8].copy_from_slice(&self.buffer.to_le_bytes());
+        b[8..10].copy_from_slice(&self.length.to_le_bytes());
+        b[10..12].copy_from_slice(&self.checksum.to_le_bytes());
+        b[12] = self.status;
+        b[13] = self.errors;
+        b[14..16].copy_from_slice(&self.special.to_le_bytes());
+        b
+    }
+
+    /// Deserialize from ring-memory layout.
+    pub fn from_bytes(b: &[u8; 16]) -> RxDesc {
+        RxDesc {
+            buffer: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            length: u16::from_le_bytes(b[8..10].try_into().expect("2 bytes")),
+            checksum: u16::from_le_bytes(b[10..12].try_into().expect("2 bytes")),
+            status: b[12],
+            errors: b[13],
+            special: u16::from_le_bytes(b[14..16].try_into().expect("2 bytes")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_roundtrip() {
+        let d = TxDesc {
+            buffer: 0x1234_5678_9abc_def0,
+            length: 1500,
+            cso: 1,
+            cmd: txcmd::EOP | txcmd::RS,
+            status: txsts::DD,
+            css: 3,
+            special: 0xbeef,
+        };
+        assert_eq!(TxDesc::from_bytes(&d.to_bytes()), d);
+    }
+
+    #[test]
+    fn rx_roundtrip() {
+        let d = RxDesc {
+            buffer: 0xdead_beef_0000_1000,
+            length: 64,
+            checksum: 0xabcd,
+            status: txsts::DD,
+            errors: 0,
+            special: 7,
+        };
+        assert_eq!(RxDesc::from_bytes(&d.to_bytes()), d);
+    }
+
+    #[test]
+    fn layout_matches_datasheet_offsets() {
+        let d = TxDesc {
+            buffer: 0x0102_0304_0506_0708,
+            length: 0x1122,
+            cso: 0x33,
+            cmd: 0x44,
+            status: 0x55,
+            css: 0x66,
+            special: 0x7788,
+        };
+        let b = d.to_bytes();
+        assert_eq!(b[0], 0x08); // little-endian buffer
+        assert_eq!(b[8], 0x22); // length low byte at offset 8
+        assert_eq!(b[11], 0x44); // cmd at offset 11
+        assert_eq!(b[12], 0x55); // status at offset 12
+    }
+}

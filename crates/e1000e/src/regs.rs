@@ -1,0 +1,129 @@
+//! Register map of the simulated 8254x/82574-family NIC (the subset the
+//! driver uses), with bit definitions. Offsets follow the Intel PCIe GbE
+//! controller datasheets.
+
+/// Device control register.
+pub const CTRL: u64 = 0x0000;
+/// Device status register (read-only).
+pub const STATUS: u64 = 0x0008;
+/// EEPROM read register.
+pub const EERD: u64 = 0x0014;
+/// Interrupt cause read (read-to-clear).
+pub const ICR: u64 = 0x00C0;
+/// Interrupt mask set/read.
+pub const IMS: u64 = 0x00D0;
+/// Interrupt mask clear.
+pub const IMC: u64 = 0x00D8;
+/// Receive control.
+pub const RCTL: u64 = 0x0100;
+/// Transmit control.
+pub const TCTL: u64 = 0x0400;
+/// Transmit descriptor base address low.
+pub const TDBAL: u64 = 0x3800;
+/// Transmit descriptor base address high.
+pub const TDBAH: u64 = 0x3804;
+/// Transmit descriptor ring length (bytes).
+pub const TDLEN: u64 = 0x3808;
+/// Transmit descriptor head (device-owned).
+pub const TDH: u64 = 0x3810;
+/// Transmit descriptor tail (driver doorbell).
+pub const TDT: u64 = 0x3818;
+/// Receive descriptor base address low.
+pub const RDBAL: u64 = 0x2800;
+/// Receive descriptor base address high.
+pub const RDBAH: u64 = 0x2804;
+/// Receive descriptor ring length (bytes).
+pub const RDLEN: u64 = 0x2808;
+/// Receive descriptor head (device-owned).
+pub const RDH: u64 = 0x2810;
+/// Receive descriptor tail (driver doorbell).
+pub const RDT: u64 = 0x2818;
+/// Receive address low (MAC address bytes 0-3).
+pub const RAL0: u64 = 0x5400;
+/// Receive address high (MAC bytes 4-5 + valid bit).
+pub const RAH0: u64 = 0x5404;
+/// Good packets transmitted count (statistics, read-to-clear on real HW;
+/// we keep it accumulating).
+pub const GPTC: u64 = 0x4080;
+/// Good octets transmitted count (low 32 bits).
+pub const GOTCL: u64 = 0x4088;
+/// Good octets transmitted count (high 32 bits).
+pub const GOTCH: u64 = 0x408C;
+/// Good packets received count.
+pub const GPRC: u64 = 0x4074;
+
+/// Size of the MMIO register window (128 KiB, as on real parts).
+pub const BAR_SIZE: u64 = 0x20000;
+
+/// CTRL bits.
+pub mod ctrl {
+    /// Software reset. Self-clearing.
+    pub const RST: u64 = 1 << 26;
+    /// Set link up.
+    pub const SLU: u64 = 1 << 6;
+}
+
+/// STATUS bits.
+pub mod status {
+    /// Link up.
+    pub const LU: u64 = 1 << 1;
+    /// Full duplex.
+    pub const FD: u64 = 1 << 0;
+}
+
+/// TCTL bits.
+pub mod tctl {
+    /// Transmit enable.
+    pub const EN: u64 = 1 << 1;
+    /// Pad short packets.
+    pub const PSP: u64 = 1 << 3;
+}
+
+/// RCTL bits.
+pub mod rctl {
+    /// Receive enable.
+    pub const EN: u64 = 1 << 1;
+    /// Broadcast accept mode.
+    pub const BAM: u64 = 1 << 15;
+}
+
+/// Interrupt cause bits (ICR/IMS/IMC).
+pub mod intr {
+    /// Transmit descriptor written back.
+    pub const TXDW: u64 = 1 << 0;
+    /// Link status change.
+    pub const LSC: u64 = 1 << 2;
+    /// Receiver timer interrupt (packet received).
+    pub const RXT0: u64 = 1 << 7;
+}
+
+/// EERD bits/fields.
+pub mod eerd {
+    /// Start read.
+    pub const START: u64 = 1 << 0;
+    /// Read done.
+    pub const DONE: u64 = 1 << 4;
+    /// Address shift.
+    pub const ADDR_SHIFT: u32 = 8;
+    /// Data shift.
+    pub const DATA_SHIFT: u32 = 16;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_distinct_and_in_bar() {
+        let regs = [
+            CTRL, STATUS, EERD, ICR, IMS, IMC, RCTL, TCTL, TDBAL, TDBAH, TDLEN, TDH, TDT, RDBAL,
+            RDBAH, RDLEN, RDH, RDT, RAL0, RAH0, GPTC, GOTCL, GOTCH, GPRC,
+        ];
+        let set: std::collections::BTreeSet<u64> = regs.iter().copied().collect();
+        assert_eq!(set.len(), regs.len());
+        for r in regs {
+            assert!(r < BAR_SIZE);
+            assert_eq!(r % 4, 0, "registers are dword-aligned");
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! # kop-interp — executing KIR modules inside the simulated kernel
+//!
+//! This is the runtime half of the end-to-end CARAT KOP story: a loaded
+//! module's functions execute against the kernel's simulated memory, and
+//! the compiler-injected `carat_guard` calls dispatch into the policy
+//! module. A failing guard behaves per the configured
+//! [`kop_policy::ViolationAction`]:
+//!
+//! * `Panic` — the paper's behaviour: the violation is logged and the
+//!   (simulated) kernel panics; execution aborts.
+//! * `LogAndDeny` — the following memory access is *squashed* ("something
+//!   similar to a page fault", §2): a squashed load yields 0, a squashed
+//!   store is dropped.
+//! * `LogAndAllow` — audit mode; the access proceeds.
+//!
+//! The interpreter also hosts the tiny kernel ABI modules may import:
+//! `printk(i64)`, `kmalloc(i64) -> ptr`, `kfree(ptr)`, `panic(i64)`.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use kop_core::{AccessFlags, KernelError, KernelResult, Size, VAddr};
+use kop_ir::{BinOp, BlockId, CastOp, IcmpPred, Inst, Module, Terminator, Type, Value};
+use kop_kernel::Kernel;
+use kop_policy::module::GuardOutcome;
+
+/// Execution statistics accumulated across `call`s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed (including terminators).
+    pub insts: u64,
+    /// Dynamic guard calls executed.
+    pub guards: u64,
+    /// Dynamic loads + stores executed (including squashed ones).
+    pub mem_accesses: u64,
+    /// Accesses squashed by a denying guard.
+    pub squashed: u64,
+}
+
+/// The interpreter. Borrows the kernel mutably for the duration of a run —
+/// module code *is* kernel code in a monolithic kernel.
+pub struct Interp<'k> {
+    kernel: &'k mut Kernel,
+    fuel: u64,
+    stack_base: VAddr,
+    stack_size: u64,
+    stack_cursor: u64,
+    stats: ExecStats,
+    squash_next: bool,
+    squash_intrinsic: bool,
+    cur_args: Vec<u64>,
+    depth: u32,
+}
+
+const DEFAULT_FUEL: u64 = 50_000_000;
+const STACK_SIZE: u64 = 1 << 20;
+/// Maximum module call depth — kernel stacks are small (two 4 KiB pages
+/// on Linux); unbounded module recursion is a bug this models as a stack
+/// overflow rather than letting it take down the host.
+const MAX_CALL_DEPTH: u32 = 200;
+
+fn mask(ty: &Type, v: u64) -> u64 {
+    match ty.int_bits() {
+        Some(64) | None => v,
+        Some(bits) => v & ((1u64 << bits) - 1),
+    }
+}
+
+fn sign_extend(v: u64, bits: u32) -> i64 {
+    if bits == 64 {
+        return v as i64;
+    }
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+/// Per-call module context (IR + layout addresses).
+struct ModuleCtx<'a> {
+    ir: &'a Module,
+    globals: &'a BTreeMap<String, VAddr>,
+    func_addrs: &'a BTreeMap<String, VAddr>,
+}
+
+impl<'k> Interp<'k> {
+    /// Create an interpreter with default fuel. Allocates the module stack
+    /// from the kernel heap.
+    pub fn new(kernel: &'k mut Kernel) -> KernelResult<Interp<'k>> {
+        let stack_base = kernel.kmalloc(STACK_SIZE)?;
+        Ok(Interp {
+            kernel,
+            fuel: DEFAULT_FUEL,
+            stack_base,
+            stack_size: STACK_SIZE,
+            stack_cursor: 0,
+            stats: ExecStats::default(),
+            squash_next: false,
+            squash_intrinsic: false,
+            cur_args: Vec::new(),
+            depth: 0,
+        })
+    }
+
+    /// Limit the number of executed instructions (tests / runaway modules).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Statistics from calls so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// The kernel being driven.
+    pub fn kernel(&mut self) -> &mut Kernel {
+        self.kernel
+    }
+
+    /// Call `func` in loaded module `module_name` with integer/pointer
+    /// arguments. Returns the function's return value, if any.
+    pub fn call(
+        &mut self,
+        module_name: &str,
+        func: &str,
+        args: &[u64],
+    ) -> KernelResult<Option<u64>> {
+        self.kernel.check_alive()?;
+        let loaded = self
+            .kernel
+            .module(module_name)
+            .ok_or_else(|| KernelError::NoSuchModule(module_name.to_string()))?;
+        // Clone the module context out of the kernel borrow. Modules are
+        // IR (small), and `call` is not the measured fast path — the
+        // native driver in kop-e1000e is.
+        let ir = loaded.ir.clone();
+        let globals = loaded.globals.clone();
+        let func_addrs = loaded.func_addrs.clone();
+        let ctx = ModuleCtx {
+            ir: &ir,
+            globals: &globals,
+            func_addrs: &func_addrs,
+        };
+        self.call_in(&ctx, func, args)
+    }
+
+    fn burn(&mut self, n: u64) -> KernelResult<()> {
+        self.stats.insts += n;
+        if self.fuel < n {
+            return Err(KernelError::Fault {
+                addr: VAddr::NULL,
+                what: "interpreter fuel exhausted".into(),
+            });
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
+    /// Execute one function frame (recursion happens through
+    /// [`Self::dispatch_call`]).
+    fn call_in(
+        &mut self,
+        ctx: &ModuleCtx<'_>,
+        func: &str,
+        args: &[u64],
+    ) -> KernelResult<Option<u64>> {
+        let f = ctx.ir.function(func).ok_or_else(|| {
+            KernelError::InvalidArgument(format!("no function @{func} in module {}", ctx.ir.name))
+        })?;
+        if f.params.len() != args.len() {
+            return Err(KernelError::InvalidArgument(format!(
+                "@{func} takes {} args, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let entry = f
+            .entry()
+            .ok_or_else(|| KernelError::InvalidArgument(format!("@{func} has no blocks")))?;
+
+        if self.depth >= MAX_CALL_DEPTH {
+            return Err(KernelError::NoMemory(format!(
+                "kernel stack overflow: module call depth exceeds {MAX_CALL_DEPTH}"
+            )));
+        }
+        self.depth += 1;
+        let saved_args = std::mem::replace(&mut self.cur_args, args.to_vec());
+        let saved_stack = self.stack_cursor;
+        let result = self.run_frame(ctx, f, entry);
+        self.stack_cursor = saved_stack;
+        self.cur_args = saved_args;
+        self.depth -= 1;
+        result
+    }
+
+    fn run_frame(
+        &mut self,
+        ctx: &ModuleCtx<'_>,
+        f: &kop_ir::Function,
+        entry: BlockId,
+    ) -> KernelResult<Option<u64>> {
+        let mut regs: Vec<u64> = vec![0; f.inst_count()];
+        let mut cur = entry;
+        let mut prev: Option<BlockId> = None;
+
+        loop {
+            let blk = f.block(cur);
+
+            // Phi nodes first, evaluated in parallel against `prev`.
+            let phi_count = blk
+                .insts
+                .iter()
+                .take_while(|&&iid| matches!(f.inst(iid), Inst::Phi { .. }))
+                .count();
+            if phi_count > 0 {
+                let pb = prev.expect("phi in entry block impossible (verified)");
+                let mut staged = Vec::with_capacity(phi_count);
+                for &iid in &blk.insts[..phi_count] {
+                    let Inst::Phi { ty, incomings } = f.inst(iid) else {
+                        unreachable!()
+                    };
+                    let (_, v) = incomings
+                        .iter()
+                        .find(|(b, _)| *b == pb)
+                        .expect("verified phi covers predecessor");
+                    staged.push((iid, mask(ty, self.eval(ctx, &regs, v))));
+                }
+                for (iid, v) in staged {
+                    regs[iid.0 as usize] = v;
+                }
+                self.burn(phi_count as u64)?;
+            }
+
+            for &iid in &blk.insts[phi_count..] {
+                self.burn(1)?;
+                let inst = f.inst(iid).clone();
+                match inst {
+                    Inst::Phi { .. } => unreachable!("phis are leading (verified)"),
+                    Inst::Alloca { ty, count } => {
+                        let size = ty.size_of().max(1) * count;
+                        let align = ty.align_of().max(1);
+                        self.stack_cursor = self.stack_cursor.div_ceil(align) * align;
+                        if self.stack_cursor + size > self.stack_size {
+                            return Err(KernelError::NoMemory("module stack overflow".into()));
+                        }
+                        let addr = self.stack_base.raw() + self.stack_cursor;
+                        self.stack_cursor += size;
+                        regs[iid.0 as usize] = addr;
+                    }
+                    Inst::Load { ty, ptr } => {
+                        self.stats.mem_accesses += 1;
+                        let addr = VAddr(self.eval(ctx, &regs, &ptr));
+                        if std::mem::take(&mut self.squash_next) {
+                            self.stats.squashed += 1;
+                            regs[iid.0 as usize] = 0;
+                        } else {
+                            let v = self.kernel.mem.read_uint(addr, Size(ty.size_of()))?;
+                            regs[iid.0 as usize] = mask(&ty, v);
+                        }
+                    }
+                    Inst::Store { ty, val, ptr } => {
+                        self.stats.mem_accesses += 1;
+                        let addr = VAddr(self.eval(ctx, &regs, &ptr));
+                        let v = mask(&ty, self.eval(ctx, &regs, &val));
+                        if std::mem::take(&mut self.squash_next) {
+                            self.stats.squashed += 1;
+                        } else {
+                            self.kernel.mem.write_uint(addr, Size(ty.size_of()), v)?;
+                        }
+                    }
+                    Inst::Gep {
+                        base_ty,
+                        ptr,
+                        indices,
+                    } => {
+                        let mut addr = self.eval(ctx, &regs, &ptr);
+                        let first = self.eval(ctx, &regs, &indices[0]);
+                        addr = addr.wrapping_add(base_ty.size_of().wrapping_mul(first));
+                        let mut cur_ty = base_ty;
+                        for idx in &indices[1..] {
+                            match cur_ty {
+                                Type::Array(elem, _) => {
+                                    let i = self.eval(ctx, &regs, idx);
+                                    addr = addr.wrapping_add(elem.size_of().wrapping_mul(i));
+                                    cur_ty = *elem;
+                                }
+                                Type::Struct(_) => {
+                                    let Value::ConstInt(_, c) = idx else {
+                                        unreachable!("verified const struct index")
+                                    };
+                                    let off = cur_ty
+                                        .struct_field_offset(*c as usize)
+                                        .expect("verified index");
+                                    addr = addr.wrapping_add(off);
+                                    cur_ty =
+                                        cur_ty.indexed_type(*c).expect("verified index").clone();
+                                }
+                                _ => unreachable!("verified gep walk"),
+                            }
+                        }
+                        regs[iid.0 as usize] = addr;
+                    }
+                    Inst::Bin { op, ty, lhs, rhs } => {
+                        let a = mask(&ty, self.eval(ctx, &regs, &lhs));
+                        let b = mask(&ty, self.eval(ctx, &regs, &rhs));
+                        let bits = ty.int_bits().unwrap_or(64);
+                        let r = match op {
+                            BinOp::Add => a.wrapping_add(b),
+                            BinOp::Sub => a.wrapping_sub(b),
+                            BinOp::Mul => a.wrapping_mul(b),
+                            BinOp::UDiv | BinOp::URem | BinOp::SDiv | BinOp::SRem if b == 0 => {
+                                return Err(KernelError::Fault {
+                                    addr: VAddr::NULL,
+                                    what: format!("division by zero in @{}", f.name),
+                                });
+                            }
+                            BinOp::UDiv => a / b,
+                            BinOp::URem => a % b,
+                            BinOp::SDiv => {
+                                sign_extend(a, bits).wrapping_div(sign_extend(b, bits)) as u64
+                            }
+                            BinOp::SRem => {
+                                sign_extend(a, bits).wrapping_rem(sign_extend(b, bits)) as u64
+                            }
+                            BinOp::And => a & b,
+                            BinOp::Or => a | b,
+                            BinOp::Xor => a ^ b,
+                            BinOp::Shl => a.wrapping_shl((b % bits as u64) as u32),
+                            BinOp::LShr => a.wrapping_shr((b % bits as u64) as u32),
+                            BinOp::AShr => (sign_extend(a, bits) >> (b % bits as u64)) as u64,
+                        };
+                        regs[iid.0 as usize] = mask(&ty, r);
+                    }
+                    Inst::Icmp { pred, ty, lhs, rhs } => {
+                        let a = mask(&ty, self.eval(ctx, &regs, &lhs));
+                        let b = mask(&ty, self.eval(ctx, &regs, &rhs));
+                        let bits = ty.int_bits().unwrap_or(64);
+                        let (sa, sb) = (sign_extend(a, bits), sign_extend(b, bits));
+                        let r = match pred {
+                            IcmpPred::Eq => a == b,
+                            IcmpPred::Ne => a != b,
+                            IcmpPred::Ult => a < b,
+                            IcmpPred::Ule => a <= b,
+                            IcmpPred::Ugt => a > b,
+                            IcmpPred::Uge => a >= b,
+                            IcmpPred::Slt => sa < sb,
+                            IcmpPred::Sle => sa <= sb,
+                            IcmpPred::Sgt => sa > sb,
+                            IcmpPred::Sge => sa >= sb,
+                        };
+                        regs[iid.0 as usize] = r as u64;
+                    }
+                    Inst::Cast {
+                        op,
+                        from_ty,
+                        to_ty,
+                        val,
+                    } => {
+                        let v = mask(&from_ty, self.eval(ctx, &regs, &val));
+                        let r = match op {
+                            CastOp::Zext | CastOp::PtrToInt | CastOp::IntToPtr => v,
+                            CastOp::Trunc => mask(&to_ty, v),
+                            CastOp::Sext => {
+                                let bits = from_ty.int_bits().expect("verified");
+                                mask(&to_ty, sign_extend(v, bits) as u64)
+                            }
+                        };
+                        regs[iid.0 as usize] = r;
+                    }
+                    Inst::Select {
+                        ty,
+                        cond,
+                        then_val,
+                        else_val,
+                    } => {
+                        let c = self.eval(ctx, &regs, &cond) & 1;
+                        let v = if c == 1 {
+                            self.eval(ctx, &regs, &then_val)
+                        } else {
+                            self.eval(ctx, &regs, &else_val)
+                        };
+                        regs[iid.0 as usize] = mask(&ty, v);
+                    }
+                    Inst::Call { callee, args, .. } => {
+                        let argv: Vec<u64> =
+                            args.iter().map(|a| self.eval(ctx, &regs, a)).collect();
+                        if let Some(v) = self.dispatch_call(ctx, &callee, &argv)? {
+                            regs[iid.0 as usize] = v;
+                        }
+                    }
+                    Inst::Asm { .. } => {
+                        // Attestation prevents signed modules from containing
+                        // asm; executing one (unsafe-mode kernels) is a fault.
+                        return Err(KernelError::Fault {
+                            addr: VAddr::NULL,
+                            what: format!("inline assembly executed in @{}", f.name),
+                        });
+                    }
+                }
+            }
+
+            self.burn(1)?;
+            let term = blk.term.as_ref().expect("verified terminator");
+            match term {
+                Terminator::Br(b) => {
+                    prev = Some(cur);
+                    cur = *b;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    let c = self.eval(ctx, &regs, cond) & 1;
+                    prev = Some(cur);
+                    cur = if c == 1 { *then_blk } else { *else_blk };
+                }
+                Terminator::Switch {
+                    ty,
+                    val,
+                    default,
+                    arms,
+                } => {
+                    let v = mask(ty, self.eval(ctx, &regs, val));
+                    prev = Some(cur);
+                    cur = arms
+                        .iter()
+                        .find(|(c, _)| mask(ty, *c) == v)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                }
+                Terminator::Ret(None) => return Ok(None),
+                Terminator::Ret(Some(v)) => return Ok(Some(self.eval(ctx, &regs, v))),
+                Terminator::Unreachable => {
+                    return Err(KernelError::Fault {
+                        addr: VAddr::NULL,
+                        what: format!("unreachable executed in @{}", f.name),
+                    })
+                }
+            }
+        }
+    }
+
+    fn eval(&self, ctx: &ModuleCtx<'_>, regs: &[u64], v: &Value) -> u64 {
+        match v {
+            Value::ConstInt(ty, val) => mask(ty, *val),
+            Value::NullPtr => 0,
+            Value::Global(name) => ctx
+                .globals
+                .get(name)
+                .map(|a| a.raw())
+                .unwrap_or_else(|| panic!("unknown global @{name} (verified module)")),
+            Value::FuncAddr(name) => ctx
+                .func_addrs
+                .get(name)
+                .map(|a| a.raw())
+                .unwrap_or(0xffff_ffff_dead_0000),
+            Value::Arg(i) => self.cur_args[*i as usize],
+            Value::Inst(id) => regs[id.0 as usize],
+        }
+    }
+
+    /// Host/internal call dispatch.
+    fn dispatch_call(
+        &mut self,
+        ctx: &ModuleCtx<'_>,
+        callee: &str,
+        args: &[u64],
+    ) -> KernelResult<Option<u64>> {
+        if ctx.ir.function(callee).is_some() {
+            return self.call_in(ctx, callee, args);
+        }
+        match callee {
+            "carat_guard" => {
+                self.stats.guards += 1;
+                let addr = VAddr(args[0]);
+                let size = Size(args[1]);
+                let flags = AccessFlags::from_raw(args[2] as u32);
+                // Per-module policy (§5): guards consult the policy
+                // governing the module that executed them.
+                let policy = self.kernel.policy_for(&ctx.ir.name);
+                match policy.enforce(addr, size, flags) {
+                    GuardOutcome::Allowed => Ok(None),
+                    GuardOutcome::Denied(_) => {
+                        self.squash_next = true;
+                        Ok(None)
+                    }
+                    GuardOutcome::Panicked(e) => Err(self.kernel.do_panic(e)),
+                }
+            }
+            "carat_intrinsic_guard" => {
+                self.stats.guards += 1;
+                let id = args.first().copied().unwrap_or(u64::MAX) as u32;
+                let policy = self.kernel.policy_for(&ctx.ir.name);
+                match policy.enforce_intrinsic(id) {
+                    GuardOutcome::Allowed => Ok(None),
+                    GuardOutcome::Denied(_) => {
+                        // Squash the intrinsic itself.
+                        self.squash_intrinsic = true;
+                        Ok(None)
+                    }
+                    GuardOutcome::Panicked(e) => Err(self.kernel.do_panic(e)),
+                }
+            }
+            // Privileged builtins (§5 extension). A preceding denied
+            // intrinsic guard squashes the builtin (reads return 0).
+            "__wrmsr" => {
+                if !std::mem::take(&mut self.squash_intrinsic) {
+                    self.kernel
+                        .wrmsr(args.first().copied().unwrap_or(0), args.get(1).copied().unwrap_or(0));
+                }
+                Ok(None)
+            }
+            "__rdmsr" => {
+                if std::mem::take(&mut self.squash_intrinsic) {
+                    Ok(Some(0))
+                } else {
+                    Ok(Some(self.kernel.rdmsr(args.first().copied().unwrap_or(0))))
+                }
+            }
+            "__cli" => {
+                if !std::mem::take(&mut self.squash_intrinsic) {
+                    self.kernel.cli();
+                }
+                Ok(None)
+            }
+            "__sti" => {
+                if !std::mem::take(&mut self.squash_intrinsic) {
+                    self.kernel.sti();
+                }
+                Ok(None)
+            }
+            "__invlpg" => {
+                // TLB shootdown: no architectural state in the model.
+                let _ = std::mem::take(&mut self.squash_intrinsic);
+                Ok(None)
+            }
+            "__hlt" => {
+                let _ = std::mem::take(&mut self.squash_intrinsic);
+                Err(self.kernel.do_panic(KernelError::Panic {
+                    message: "module executed __hlt".into(),
+                    violation: None,
+                }))
+            }
+            "printk" => {
+                let msg = format!("module printk: {:#x}", args.first().copied().unwrap_or(0));
+                self.kernel.printk(&msg);
+                Ok(None)
+            }
+            "kmalloc" => {
+                let addr = self.kernel.kmalloc(args.first().copied().unwrap_or(0))?;
+                Ok(Some(addr.raw()))
+            }
+            "kfree" => {
+                self.kernel.kfree(VAddr(args.first().copied().unwrap_or(0)));
+                Ok(None)
+            }
+            "panic" => Err(self.kernel.do_panic(KernelError::Panic {
+                message: format!(
+                    "module called panic({:#x})",
+                    args.first().copied().unwrap_or(0)
+                ),
+                violation: None,
+            })),
+            other => Err(KernelError::UnresolvedSymbol(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,363 @@
+//! Ergonomic programmatic construction of KIR.
+//!
+//! Used throughout the workspace to build test modules, the synthetic
+//! driver-model modules, and workload corpora without writing textual IR by
+//! hand.
+//!
+//! ```
+//! use kop_ir::{IrBuilder, Type, Value};
+//!
+//! let mut b = IrBuilder::new("demo");
+//! let mut f = b.function("double", vec![Type::I64], Type::I64);
+//! let entry = f.block("entry");
+//! f.switch_to(entry);
+//! let doubled = f.add(Type::I64, Value::Arg(0), Value::Arg(0));
+//! f.ret(Some(doubled));
+//! f.finish();
+//! let module = b.finish();
+//! assert!(kop_ir::verify_module(&module).is_ok());
+//! ```
+
+use crate::function::{BlockId, Function};
+use crate::inst::{BinOp, CastOp, IcmpPred, Inst, Terminator, Value};
+use crate::module::{ExternDecl, Global, GlobalInit, Module};
+use crate::types::Type;
+
+/// Builds a [`Module`].
+pub struct IrBuilder {
+    module: Module,
+}
+
+impl IrBuilder {
+    /// Start a new module.
+    pub fn new(name: impl Into<String>) -> IrBuilder {
+        IrBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Declare an external function (import).
+    pub fn declare_extern(&mut self, name: impl Into<String>, params: Vec<Type>, ret_ty: Type) {
+        self.module.declare_extern(ExternDecl {
+            name: name.into(),
+            params,
+            ret_ty,
+        });
+    }
+
+    /// Declare the canonical `carat_guard` import:
+    /// `void carat_guard(ptr, i64, i32)`.
+    pub fn declare_carat_guard(&mut self) {
+        self.declare_extern(
+            "carat_guard",
+            vec![Type::Ptr, Type::I64, Type::I32],
+            Type::Void,
+        );
+    }
+
+    /// Add a global variable.
+    pub fn global(&mut self, name: impl Into<String>, ty: Type, init: GlobalInit) -> Value {
+        let name = name.into();
+        self.module.globals.push(Global {
+            name: name.clone(),
+            ty,
+            init,
+        });
+        Value::Global(name)
+    }
+
+    /// Start building a function. Call [`FuncBuilder::finish`] to add it to
+    /// the module.
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<Type>,
+        ret_ty: Type,
+    ) -> FuncBuilder<'_> {
+        FuncBuilder {
+            func: Function::new(name, params, ret_ty),
+            cur: None,
+            module: &mut self.module,
+        }
+    }
+
+    /// Finish and return the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+/// Builds a [`Function`] inside an [`IrBuilder`].
+pub struct FuncBuilder<'a> {
+    func: Function,
+    cur: Option<BlockId>,
+    module: &'a mut Module,
+}
+
+impl FuncBuilder<'_> {
+    /// Create a new block (does not switch to it).
+    pub fn block(&mut self, name: impl Into<String>) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Make `b` the insertion point.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = Some(b);
+    }
+
+    /// Rename the function parameters (for readable printed IR).
+    pub fn name_params(&mut self, names: &[&str]) {
+        assert_eq!(names.len(), self.func.params.len());
+        self.func.param_names = names.iter().map(|s| s.to_string()).collect();
+    }
+
+    fn emit(&mut self, inst: Inst) -> Value {
+        let b = self.cur.expect("no insertion block; call switch_to first");
+        let id = self.func.alloc_inst(inst);
+        self.func.push_inst(b, id);
+        Value::Inst(id)
+    }
+
+    fn set_term(&mut self, t: Terminator) {
+        let b = self.cur.expect("no insertion block; call switch_to first");
+        let blk = self.func.block_mut(b);
+        assert!(blk.term.is_none(), "block already terminated");
+        blk.term = Some(t);
+    }
+
+    /// `alloca ty, count`
+    pub fn alloca(&mut self, ty: Type, count: u64) -> Value {
+        self.emit(Inst::Alloca { ty, count })
+    }
+
+    /// `load ty, ptr`
+    pub fn load(&mut self, ty: Type, ptr: Value) -> Value {
+        self.emit(Inst::Load { ty, ptr })
+    }
+
+    /// `store ty val, ptr`
+    pub fn store(&mut self, ty: Type, val: Value, ptr: Value) {
+        self.emit(Inst::Store { ty, val, ptr });
+    }
+
+    /// `gep base_ty, ptr, indices...`
+    pub fn gep(&mut self, base_ty: Type, ptr: Value, indices: Vec<Value>) -> Value {
+        self.emit(Inst::Gep {
+            base_ty,
+            ptr,
+            indices,
+        })
+    }
+
+    /// Generic binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.emit(Inst::Bin { op, ty, lhs, rhs })
+    }
+
+    /// `add`
+    pub fn add(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Add, ty, lhs, rhs)
+    }
+
+    /// `sub`
+    pub fn sub(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Sub, ty, lhs, rhs)
+    }
+
+    /// `mul`
+    pub fn mul(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Mul, ty, lhs, rhs)
+    }
+
+    /// `and`
+    pub fn and(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::And, ty, lhs, rhs)
+    }
+
+    /// `or`
+    pub fn or(&mut self, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Or, ty, lhs, rhs)
+    }
+
+    /// `icmp pred ty lhs, rhs`
+    pub fn icmp(&mut self, pred: IcmpPred, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.emit(Inst::Icmp { pred, ty, lhs, rhs })
+    }
+
+    /// Cast.
+    pub fn cast(&mut self, op: CastOp, from_ty: Type, to_ty: Type, val: Value) -> Value {
+        self.emit(Inst::Cast {
+            op,
+            from_ty,
+            to_ty,
+            val,
+        })
+    }
+
+    /// `select i1 cond, ty a, ty b`
+    pub fn select(&mut self, ty: Type, cond: Value, then_val: Value, else_val: Value) -> Value {
+        self.emit(Inst::Select {
+            ty,
+            cond,
+            then_val,
+            else_val,
+        })
+    }
+
+    /// `call ret_ty @callee(args...)`
+    pub fn call(&mut self, callee: impl Into<String>, ret_ty: Type, args: Vec<Value>) -> Value {
+        self.emit(Inst::Call {
+            callee: callee.into(),
+            ret_ty,
+            args,
+        })
+    }
+
+    /// `phi ty [v, b]...`
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Value)>) -> Value {
+        self.emit(Inst::Phi { ty, incomings })
+    }
+
+    /// Inline assembly marker.
+    pub fn asm(&mut self, text: impl Into<String>) {
+        self.emit(Inst::Asm { text: text.into() });
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.set_term(Terminator::Br(target));
+    }
+
+    /// Conditional branch.
+    pub fn condbr(&mut self, cond: Value, then_blk: BlockId, else_blk: BlockId) {
+        self.set_term(Terminator::CondBr {
+            cond,
+            then_blk,
+            else_blk,
+        });
+    }
+
+    /// Switch.
+    pub fn switch(&mut self, ty: Type, val: Value, default: BlockId, arms: Vec<(u64, BlockId)>) {
+        self.set_term(Terminator::Switch {
+            ty,
+            val,
+            default,
+            arms,
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, val: Option<Value>) {
+        self.set_term(Terminator::Ret(val));
+    }
+
+    /// Unreachable terminator.
+    pub fn unreachable(&mut self) {
+        self.set_term(Terminator::Unreachable);
+    }
+
+    /// Name the most recently emitted instruction's result.
+    pub fn name_last(&mut self, name: impl Into<String>) {
+        let n = self.func.inst_count();
+        assert!(n > 0, "no instruction emitted yet");
+        self.func
+            .set_inst_name(crate::function::InstId((n - 1) as u32), name);
+    }
+
+    /// Direct access to the function under construction.
+    pub fn raw(&mut self) -> &mut Function {
+        &mut self.func
+    }
+
+    /// Finish the function and add it to the module.
+    pub fn finish(self) {
+        self.module.functions.push(self.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn build_loop_and_verify() {
+        // Equivalent to the parser test's sum function.
+        let mut b = IrBuilder::new("sum");
+        b.declare_carat_guard();
+        b.global("total", Type::I64, GlobalInit::Int(0));
+        let mut f = b.function("sum", vec![Type::Ptr, Type::I64], Type::I64);
+        f.name_params(&["buf", "n"]);
+        let entry = f.block("entry");
+        let head = f.block("head");
+        let body = f.block("body");
+        let exit = f.block("exit");
+
+        f.switch_to(entry);
+        f.br(head);
+
+        f.switch_to(head);
+        let i = f.phi(Type::I64, vec![(entry, Value::i64(0))]);
+        let acc = f.phi(Type::I64, vec![(entry, Value::i64(0))]);
+        let c = f.icmp(IcmpPred::Ult, Type::I64, i.clone(), Value::Arg(1));
+        f.condbr(c, body, exit);
+
+        f.switch_to(body);
+        let p = f.gep(Type::I64, Value::Arg(0), vec![i.clone()]);
+        let v = f.load(Type::I64, p);
+        let acc_next = f.add(Type::I64, acc.clone(), v);
+        let i_next = f.add(Type::I64, i.clone(), Value::i64(1));
+        f.br(head);
+
+        // Patch the phis with the loop-carried values.
+        if let (Value::Inst(i_id), Value::Inst(acc_id)) = (&i, &acc) {
+            if let Inst::Phi { incomings, .. } = f.raw().inst_mut(*i_id) {
+                incomings.push((body, i_next.clone()));
+            }
+            if let Inst::Phi { incomings, .. } = f.raw().inst_mut(*acc_id) {
+                incomings.push((body, acc_next.clone()));
+            }
+        }
+
+        f.switch_to(exit);
+        f.store(Type::I64, acc, Value::Global("total".into()));
+        f.ret(Some(Value::i64(0)));
+        f.finish();
+
+        let m = b.finish();
+        verify_module(&m).expect("verifies");
+        assert_eq!(m.memory_access_count(), 2);
+
+        // And the printed form round-trips.
+        let text = crate::print_module(&m);
+        let m2 = crate::parse_module(&text).expect("reparses");
+        assert_eq!(crate::print_module(&m2), text);
+    }
+
+    #[test]
+    #[should_panic(expected = "block already terminated")]
+    fn double_terminate_panics() {
+        let mut b = IrBuilder::new("x");
+        let mut f = b.function("f", vec![], Type::Void);
+        let e = f.block("entry");
+        f.switch_to(e);
+        f.ret(None);
+        f.ret(None);
+    }
+
+    #[test]
+    fn named_instructions_print_nicely() {
+        let mut b = IrBuilder::new("n");
+        let mut f = b.function("f", vec![Type::I64], Type::I64);
+        let e = f.block("entry");
+        f.switch_to(e);
+        let x = f.add(Type::I64, Value::Arg(0), Value::i64(5));
+        f.name_last("plus5");
+        f.ret(Some(x));
+        f.finish();
+        let m = b.finish();
+        let text = crate::print_module(&m);
+        assert!(text.contains("%plus5 = add i64 %arg0, 5"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Dominator analysis and natural-loop discovery.
+//!
+//! Used by the verifier (SSA dominance checking) and by the guard-hoisting
+//! optimization pass in `kop-compiler`. The implementation is the classic
+//! iterative dataflow algorithm — KIR functions are small enough that the
+//! asymptotically faster algorithms are unnecessary.
+
+use std::collections::BTreeSet;
+
+use crate::function::{BlockId, Function};
+
+/// Dominator tree for a function's CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of block `b` (`None` for the entry
+    /// block and for unreachable blocks).
+    idom: Vec<Option<BlockId>>,
+    /// Whether each block is reachable from the entry.
+    reachable: Vec<bool>,
+}
+
+impl DomTree {
+    /// Compute the dominator tree of `f`. Returns a tree where unreachable
+    /// blocks have no dominator and are flagged unreachable.
+    pub fn compute(f: &Function) -> DomTree {
+        let n = f.blocks.len();
+        if n == 0 {
+            return DomTree {
+                idom: vec![],
+                reachable: vec![],
+            };
+        }
+
+        // Reverse-postorder over reachable blocks.
+        let mut visited = vec![false; n];
+        let mut postorder: Vec<BlockId> = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        while let Some((b, child)) = stack.last().copied() {
+            let succs = f
+                .block(b)
+                .term
+                .as_ref()
+                .map(|t| t.successors())
+                .unwrap_or_default();
+            if child < succs.len() {
+                stack.last_mut().unwrap().1 += 1;
+                let s = succs[child];
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = postorder.iter().rev().copied().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+
+        let preds = f.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0)); // sentinel: entry dominated by itself
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed");
+                }
+                while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0 as usize] {
+                    if !visited[p.0 as usize] || idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Clear the entry sentinel.
+        idom[0] = None;
+        DomTree {
+            idom,
+            reachable: visited,
+        }
+    }
+
+    /// Immediate dominator of `b` (`None` for entry/unreachable).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.0 as usize).copied().flatten()
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable.get(b.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether `a` dominates `b` (reflexive). Unreachable blocks dominate
+    /// nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// A natural loop: a back edge `latch -> header` where the header dominates
+/// the latch, plus the set of blocks in the loop body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header.
+    pub header: BlockId,
+    /// The latch (source of the back edge).
+    pub latch: BlockId,
+    /// All blocks in the loop (including header and latch).
+    pub body: BTreeSet<BlockId>,
+}
+
+/// Find all natural loops in `f` (one per back edge).
+pub fn natural_loops(f: &Function, dom: &DomTree) -> Vec<NaturalLoop> {
+    let mut loops = Vec::new();
+    for b in f.block_ids() {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        let Some(term) = &f.block(b).term else {
+            continue;
+        };
+        for succ in term.successors() {
+            if dom.dominates(succ, b) {
+                // Back edge b -> succ. Collect the loop body: all nodes that
+                // can reach `b` without passing through `succ`.
+                let header = succ;
+                let latch = b;
+                let mut body: BTreeSet<BlockId> = BTreeSet::new();
+                body.insert(header);
+                body.insert(latch);
+                let preds = f.predecessors();
+                let mut work = vec![latch];
+                while let Some(x) = work.pop() {
+                    if x == header {
+                        continue;
+                    }
+                    for &p in &preds[x.0 as usize] {
+                        if body.insert(p) {
+                            work.push(p);
+                        }
+                    }
+                }
+                loops.push(NaturalLoop { header, latch, body });
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    fn loop_func_src() -> &'static str {
+        r#"
+module "looped"
+define i64 @f(i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 %i
+}
+"#
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let m = parse_module(loop_func_src()).unwrap();
+        let f = m.function("f").unwrap();
+        let dom = DomTree::compute(f);
+        let entry = f.block_by_name("entry").unwrap();
+        let head = f.block_by_name("head").unwrap();
+        let body = f.block_by_name("body").unwrap();
+        let exit = f.block_by_name("exit").unwrap();
+
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(head), Some(entry));
+        assert_eq!(dom.idom(body), Some(head));
+        assert_eq!(dom.idom(exit), Some(head));
+
+        assert!(dom.dominates(entry, exit));
+        assert!(dom.dominates(head, body));
+        assert!(!dom.dominates(body, exit));
+        assert!(dom.dominates(head, head));
+    }
+
+    #[test]
+    fn natural_loop_discovery() {
+        let m = parse_module(loop_func_src()).unwrap();
+        let f = m.function("f").unwrap();
+        let dom = DomTree::compute(f);
+        let loops = natural_loops(f, &dom);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, f.block_by_name("head").unwrap());
+        assert_eq!(l.latch, f.block_by_name("body").unwrap());
+        assert_eq!(l.body.len(), 2); // head + body
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let src = r#"
+module "d"
+define void @f(i1 %c) {
+entry:
+  condbr i1 %c, %a, %b
+a:
+  br %join
+b:
+  br %join
+join:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let dom = DomTree::compute(f);
+        let entry = f.block_by_name("entry").unwrap();
+        let a = f.block_by_name("a").unwrap();
+        let b = f.block_by_name("b").unwrap();
+        let join = f.block_by_name("join").unwrap();
+        assert_eq!(dom.idom(join), Some(entry));
+        assert!(!dom.dominates(a, join));
+        assert!(!dom.dominates(b, join));
+        assert!(dom.dominates(entry, join));
+        assert!(natural_loops(f, &dom).is_empty());
+    }
+
+    #[test]
+    fn unreachable_block() {
+        let src = r#"
+module "u"
+define void @f() {
+entry:
+  ret void
+dead:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let dom = DomTree::compute(f);
+        let dead = f.block_by_name("dead").unwrap();
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(BlockId(0), dead));
+    }
+}

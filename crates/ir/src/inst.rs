@@ -1,0 +1,596 @@
+//! KIR instructions, values, and terminators.
+
+use core::fmt;
+
+use crate::function::{BlockId, InstId};
+use crate::types::Type;
+
+/// An SSA operand.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// Integer constant of the given type (stored sign-agnostic as u64,
+    /// truncated to the type's width).
+    ConstInt(Type, u64),
+    /// The null pointer.
+    NullPtr,
+    /// Address of a global variable.
+    Global(String),
+    /// The address of a function (internal or external) — used for taking
+    /// function pointers.
+    FuncAddr(String),
+    /// The `idx`-th formal parameter of the enclosing function.
+    Arg(u32),
+    /// The result of another instruction.
+    Inst(InstId),
+}
+
+impl Value {
+    /// Convenience: an `i64` constant.
+    pub fn i64(v: u64) -> Value {
+        Value::ConstInt(Type::I64, v)
+    }
+
+    /// Convenience: an `i32` constant.
+    pub fn i32(v: u32) -> Value {
+        Value::ConstInt(Type::I32, v as u64)
+    }
+
+    /// Convenience: an `i1` constant.
+    pub fn i1(v: bool) -> Value {
+        Value::ConstInt(Type::I1, v as u64)
+    }
+}
+
+/// Binary integer operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    SDiv,
+    URem,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+}
+
+impl BinOp {
+    /// Mnemonic used in the textual syntax.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::UDiv => "udiv",
+            BinOp::SDiv => "sdiv",
+            BinOp::URem => "urem",
+            BinOp::SRem => "srem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+        }
+    }
+
+    /// Parse a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<BinOp> {
+        Some(match s {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "udiv" => BinOp::UDiv,
+            "sdiv" => BinOp::SDiv,
+            "urem" => BinOp::URem,
+            "srem" => BinOp::SRem,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "shl" => BinOp::Shl,
+            "lshr" => BinOp::LShr,
+            "ashr" => BinOp::AShr,
+            _ => return None,
+        })
+    }
+}
+
+/// Integer comparison predicates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum IcmpPred {
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+}
+
+impl IcmpPred {
+    /// Mnemonic used in the textual syntax.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IcmpPred::Eq => "eq",
+            IcmpPred::Ne => "ne",
+            IcmpPred::Ult => "ult",
+            IcmpPred::Ule => "ule",
+            IcmpPred::Ugt => "ugt",
+            IcmpPred::Uge => "uge",
+            IcmpPred::Slt => "slt",
+            IcmpPred::Sle => "sle",
+            IcmpPred::Sgt => "sgt",
+            IcmpPred::Sge => "sge",
+        }
+    }
+
+    /// Parse a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<IcmpPred> {
+        Some(match s {
+            "eq" => IcmpPred::Eq,
+            "ne" => IcmpPred::Ne,
+            "ult" => IcmpPred::Ult,
+            "ule" => IcmpPred::Ule,
+            "ugt" => IcmpPred::Ugt,
+            "uge" => IcmpPred::Uge,
+            "slt" => IcmpPred::Slt,
+            "sle" => IcmpPred::Sle,
+            "sgt" => IcmpPred::Sgt,
+            "sge" => IcmpPred::Sge,
+            _ => return None,
+        })
+    }
+}
+
+/// Cast operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CastOp {
+    Zext,
+    Sext,
+    Trunc,
+    PtrToInt,
+    IntToPtr,
+}
+
+impl CastOp {
+    /// Mnemonic used in the textual syntax.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastOp::Zext => "zext",
+            CastOp::Sext => "sext",
+            CastOp::Trunc => "trunc",
+            CastOp::PtrToInt => "ptrtoint",
+            CastOp::IntToPtr => "inttoptr",
+        }
+    }
+
+    /// Parse a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<CastOp> {
+        Some(match s {
+            "zext" => CastOp::Zext,
+            "sext" => CastOp::Sext,
+            "trunc" => CastOp::Trunc,
+            "ptrtoint" => CastOp::PtrToInt,
+            "inttoptr" => CastOp::IntToPtr,
+            _ => return None,
+        })
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// Stack allocation of `count` items of `ty`; yields `ptr`.
+    Alloca {
+        /// Element type.
+        ty: Type,
+        /// Number of elements.
+        count: u64,
+    },
+    /// Load a scalar of `ty` from `ptr`.
+    Load {
+        /// Loaded type (must be a memory scalar).
+        ty: Type,
+        /// Address operand.
+        ptr: Value,
+    },
+    /// Store scalar `val` of `ty` to `ptr`.
+    Store {
+        /// Stored type (must be a memory scalar).
+        ty: Type,
+        /// Value operand.
+        val: Value,
+        /// Address operand.
+        ptr: Value,
+    },
+    /// Address arithmetic: `gep base_ty, ptr, idx0 [, idx1, ...]`.
+    ///
+    /// As in LLVM, `idx0` scales by `size_of(base_ty)`; subsequent indices
+    /// step into arrays/structs. Struct indices must be constants.
+    Gep {
+        /// The pointee type the pointer is treated as.
+        base_ty: Type,
+        /// Base address.
+        ptr: Value,
+        /// Indices.
+        indices: Vec<Value>,
+    },
+    /// Integer binary operation.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Operand type.
+        ty: Type,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Integer or pointer comparison; yields `i1`.
+    Icmp {
+        /// Predicate.
+        pred: IcmpPred,
+        /// Operand type (`iN` or `ptr`).
+        ty: Type,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Cast `val` to `to_ty`.
+    Cast {
+        /// Kind of cast.
+        op: CastOp,
+        /// Source operand type.
+        from_ty: Type,
+        /// Destination type.
+        to_ty: Type,
+        /// Operand.
+        val: Value,
+    },
+    /// Ternary select; yields `ty`.
+    Select {
+        /// Result/operand type.
+        ty: Type,
+        /// Condition (`i1`).
+        cond: Value,
+        /// Value if true.
+        then_val: Value,
+        /// Value if false.
+        else_val: Value,
+    },
+    /// Direct call by symbol name.
+    Call {
+        /// Callee symbol (internal function or external declaration).
+        callee: String,
+        /// Declared return type.
+        ret_ty: Type,
+        /// Actual arguments.
+        args: Vec<Value>,
+    },
+    /// SSA phi node.
+    Phi {
+        /// Result type.
+        ty: Type,
+        /// `(predecessor block, incoming value)` pairs.
+        incomings: Vec<(BlockId, Value)>,
+    },
+    /// Inline assembly marker. Exists so the attestation step has something
+    /// to reject — CARAT KOP refuses to sign modules containing inline asm
+    /// (paper §2, §5).
+    Asm {
+        /// The assembly text (opaque).
+        text: String,
+    },
+}
+
+impl Inst {
+    /// The type of the value this instruction produces (`Void` for stores,
+    /// asm, and void calls).
+    pub fn result_type(&self) -> Type {
+        match self {
+            Inst::Alloca { .. } => Type::Ptr,
+            Inst::Load { ty, .. } => ty.clone(),
+            Inst::Store { .. } => Type::Void,
+            Inst::Gep { .. } => Type::Ptr,
+            Inst::Bin { ty, .. } => ty.clone(),
+            Inst::Icmp { .. } => Type::I1,
+            Inst::Cast { to_ty, .. } => to_ty.clone(),
+            Inst::Select { ty, .. } => ty.clone(),
+            Inst::Call { ret_ty, .. } => ret_ty.clone(),
+            Inst::Phi { ty, .. } => ty.clone(),
+            Inst::Asm { .. } => Type::Void,
+        }
+    }
+
+    /// Whether this instruction accesses memory as a CPU load/store (the
+    /// instructions CARAT KOP guards).
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+
+    /// Visit every operand.
+    pub fn for_each_operand(&self, mut f: impl FnMut(&Value)) {
+        match self {
+            Inst::Alloca { .. } | Inst::Asm { .. } => {}
+            Inst::Load { ptr, .. } => f(ptr),
+            Inst::Store { val, ptr, .. } => {
+                f(val);
+                f(ptr);
+            }
+            Inst::Gep { ptr, indices, .. } => {
+                f(ptr);
+                for i in indices {
+                    f(i);
+                }
+            }
+            Inst::Bin { lhs, rhs, .. } | Inst::Icmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Cast { val, .. } => f(val),
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                f(cond);
+                f(then_val);
+                f(else_val);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Inst::Phi { incomings, .. } => {
+                for (_, v) in incomings {
+                    f(v);
+                }
+            }
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch on an `i1` value.
+    CondBr {
+        /// Condition.
+        cond: Value,
+        /// Target if true.
+        then_blk: BlockId,
+        /// Target if false.
+        else_blk: BlockId,
+    },
+    /// Multi-way switch on an integer value.
+    Switch {
+        /// Scrutinee type.
+        ty: Type,
+        /// Scrutinee.
+        val: Value,
+        /// Default target.
+        default: BlockId,
+        /// `(case constant, target)` arms.
+        arms: Vec<(u64, BlockId)>,
+    },
+    /// Return, optionally with a value.
+    Ret(Option<Value>),
+    /// Unreachable (e.g. after a guaranteed panic).
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks in order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
+            Terminator::Switch { default, arms, .. } => {
+                let mut v = vec![*default];
+                v.extend(arms.iter().map(|(_, b)| *b));
+                v
+            }
+            Terminator::Ret(_) | Terminator::Unreachable => vec![],
+        }
+    }
+
+    /// Visit every value operand of the terminator.
+    pub fn for_each_operand(&self, mut f: impl FnMut(&Value)) {
+        match self {
+            Terminator::CondBr { cond, .. } => f(cond),
+            Terminator::Switch { val, .. } => f(val),
+            Terminator::Ret(Some(v)) => f(v),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for IcmpPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for CastOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_types() {
+        assert_eq!(
+            Inst::Alloca {
+                ty: Type::I64,
+                count: 1
+            }
+            .result_type(),
+            Type::Ptr
+        );
+        assert_eq!(
+            Inst::Load {
+                ty: Type::I32,
+                ptr: Value::NullPtr
+            }
+            .result_type(),
+            Type::I32
+        );
+        assert_eq!(
+            Inst::Store {
+                ty: Type::I32,
+                val: Value::i32(0),
+                ptr: Value::NullPtr
+            }
+            .result_type(),
+            Type::Void
+        );
+        assert_eq!(
+            Inst::Icmp {
+                pred: IcmpPred::Eq,
+                ty: Type::I64,
+                lhs: Value::i64(0),
+                rhs: Value::i64(0)
+            }
+            .result_type(),
+            Type::I1
+        );
+    }
+
+    #[test]
+    fn memory_access_classification() {
+        assert!(Inst::Load {
+            ty: Type::I8,
+            ptr: Value::NullPtr
+        }
+        .is_memory_access());
+        assert!(Inst::Store {
+            ty: Type::I8,
+            val: Value::i64(0),
+            ptr: Value::NullPtr
+        }
+        .is_memory_access());
+        assert!(!Inst::Alloca {
+            ty: Type::I8,
+            count: 1
+        }
+        .is_memory_access());
+        // Guard calls themselves are calls, not memory accesses.
+        assert!(!Inst::Call {
+            callee: "carat_guard".into(),
+            ret_ty: Type::Void,
+            args: vec![]
+        }
+        .is_memory_access());
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::UDiv,
+            BinOp::SDiv,
+            BinOp::URem,
+            BinOp::SRem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::LShr,
+            BinOp::AShr,
+        ] {
+            assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        for p in [
+            IcmpPred::Eq,
+            IcmpPred::Ne,
+            IcmpPred::Ult,
+            IcmpPred::Ule,
+            IcmpPred::Ugt,
+            IcmpPred::Uge,
+            IcmpPred::Slt,
+            IcmpPred::Sle,
+            IcmpPred::Sgt,
+            IcmpPred::Sge,
+        ] {
+            assert_eq!(IcmpPred::from_mnemonic(p.mnemonic()), Some(p));
+        }
+        for c in [
+            CastOp::Zext,
+            CastOp::Sext,
+            CastOp::Trunc,
+            CastOp::PtrToInt,
+            CastOp::IntToPtr,
+        ] {
+            assert_eq!(CastOp::from_mnemonic(c.mnemonic()), Some(c));
+        }
+        assert_eq!(BinOp::from_mnemonic("frobnicate"), None);
+    }
+
+    #[test]
+    fn successors() {
+        let b0 = BlockId(0);
+        let b1 = BlockId(1);
+        let b2 = BlockId(2);
+        assert_eq!(Terminator::Br(b0).successors(), vec![b0]);
+        assert_eq!(
+            Terminator::CondBr {
+                cond: Value::i1(true),
+                then_blk: b1,
+                else_blk: b2
+            }
+            .successors(),
+            vec![b1, b2]
+        );
+        assert_eq!(Terminator::Ret(None).successors(), vec![]);
+        let sw = Terminator::Switch {
+            ty: Type::I32,
+            val: Value::i32(1),
+            default: b0,
+            arms: vec![(1, b1), (2, b2)],
+        };
+        assert_eq!(sw.successors(), vec![b0, b1, b2]);
+    }
+
+    #[test]
+    fn operand_visiting() {
+        let inst = Inst::Select {
+            ty: Type::I64,
+            cond: Value::i1(true),
+            then_val: Value::Arg(0),
+            else_val: Value::Inst(InstId(3)),
+        };
+        let mut n = 0;
+        inst.for_each_operand(|_| n += 1);
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! Textual KIR printer.
+//!
+//! The printed form is the *canonical* representation: code signing hashes
+//! it (see `kop-compiler::signing`), and the parser accepts exactly what the
+//! printer emits (plus whitespace/comments), so `parse(print(m))` is
+//! structurally equal to `m`.
+
+use core::fmt::Write;
+
+use crate::function::{Function, InstId};
+use crate::inst::{Inst, Terminator, Value};
+use crate::module::{GlobalInit, Module};
+use crate::types::Type;
+
+/// Print a whole module in canonical textual form.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", m.name);
+    if !m.externs.is_empty() {
+        out.push('\n');
+    }
+    for e in &m.externs {
+        let params: Vec<String> = e.params.iter().map(|t| t.to_string()).collect();
+        let _ = writeln!(out, "declare {} @{}({})", e.ret_ty, e.name, params.join(", "));
+    }
+    if !m.globals.is_empty() {
+        out.push('\n');
+    }
+    for g in &m.globals {
+        let init = match &g.init {
+            GlobalInit::Zero => "zero".to_string(),
+            GlobalInit::Int(v) => format!("{v}"),
+            GlobalInit::Bytes(bytes) => {
+                let hex: Vec<String> = bytes.iter().map(|b| format!("{b:#04x}")).collect();
+                format!("bytes [{}]", hex.join(" "))
+            }
+        };
+        let _ = writeln!(out, "global @{} : {} = {}", g.name, g.ty, init);
+    }
+    for f in &m.functions {
+        out.push('\n');
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+/// Print a single function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .zip(f.param_names.iter())
+        .map(|(t, n)| format!("{t} %{n}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "define {} @{}({}) {{",
+        f.ret_ty,
+        f.name,
+        params.join(", ")
+    );
+    for bid in f.block_ids() {
+        let blk = f.block(bid);
+        let _ = writeln!(out, "{}:", blk.name);
+        for &iid in &blk.insts {
+            let _ = writeln!(out, "  {}", print_inst(f, iid));
+        }
+        match &blk.term {
+            Some(t) => {
+                let _ = writeln!(out, "  {}", print_term(f, t));
+            }
+            None => {
+                let _ = writeln!(out, "  ; <no terminator>");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The printable name of an instruction result: the user name if set,
+/// otherwise a generated `__t<id>` name.
+pub fn result_name(f: &Function, id: InstId) -> String {
+    let n = f.inst_name(id);
+    if n.is_empty() {
+        format!("__t{}", id.0)
+    } else {
+        n.to_string()
+    }
+}
+
+fn print_value(f: &Function, v: &Value) -> String {
+    match v {
+        Value::ConstInt(_, val) => format!("{val}"),
+        Value::NullPtr => "null".to_string(),
+        Value::Global(name) | Value::FuncAddr(name) => format!("@{name}"),
+        Value::Arg(i) => format!(
+            "%{}",
+            f.param_names
+                .get(*i as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("arg{i}"))
+        ),
+        Value::Inst(id) => format!("%{}", result_name(f, *id)),
+    }
+}
+
+fn print_inst(f: &Function, id: InstId) -> String {
+    let inst = f.inst(id);
+    let lhs = if inst.result_type() == Type::Void {
+        String::new()
+    } else {
+        format!("%{} = ", result_name(f, id))
+    };
+    let body = match inst {
+        Inst::Alloca { ty, count } => format!("alloca {ty}, {count}"),
+        Inst::Load { ty, ptr } => format!("load {ty}, ptr {}", print_value(f, ptr)),
+        Inst::Store { ty, val, ptr } => format!(
+            "store {ty} {}, ptr {}",
+            print_value(f, val),
+            print_value(f, ptr)
+        ),
+        Inst::Gep {
+            base_ty,
+            ptr,
+            indices,
+        } => {
+            let mut s = format!("gep {base_ty}, ptr {}", print_value(f, ptr));
+            for idx in indices {
+                let ty = f.value_type(idx).unwrap_or(Type::I64);
+                let _ = write!(s, ", {ty} {}", print_value(f, idx));
+            }
+            s
+        }
+        Inst::Bin { op, ty, lhs, rhs } => format!(
+            "{op} {ty} {}, {}",
+            print_value(f, lhs),
+            print_value(f, rhs)
+        ),
+        Inst::Icmp { pred, ty, lhs, rhs } => format!(
+            "icmp {pred} {ty} {}, {}",
+            print_value(f, lhs),
+            print_value(f, rhs)
+        ),
+        Inst::Cast {
+            op,
+            from_ty,
+            to_ty,
+            val,
+        } => format!("{op} {from_ty} {} to {to_ty}", print_value(f, val)),
+        Inst::Select {
+            ty,
+            cond,
+            then_val,
+            else_val,
+        } => format!(
+            "select i1 {}, {ty} {}, {ty} {}",
+            print_value(f, cond),
+            print_value(f, then_val),
+            print_value(f, else_val)
+        ),
+        Inst::Call {
+            callee,
+            ret_ty,
+            args,
+        } => {
+            let printed: Vec<String> = args
+                .iter()
+                .map(|a| {
+                    let ty = f.value_type(a).unwrap_or(Type::I64);
+                    format!("{ty} {}", print_value(f, a))
+                })
+                .collect();
+            format!("call {ret_ty} @{callee}({})", printed.join(", "))
+        }
+        Inst::Phi { ty, incomings } => {
+            let arms: Vec<String> = incomings
+                .iter()
+                .map(|(b, v)| format!("[ {}, %{} ]", print_value(f, v), f.block(*b).name))
+                .collect();
+            format!("phi {ty} {}", arms.join(", "))
+        }
+        Inst::Asm { text } => format!("asm \"{}\"", escape(text)),
+    };
+    format!("{lhs}{body}")
+}
+
+fn print_term(f: &Function, t: &Terminator) -> String {
+    match t {
+        Terminator::Br(b) => format!("br %{}", f.block(*b).name),
+        Terminator::CondBr {
+            cond,
+            then_blk,
+            else_blk,
+        } => format!(
+            "condbr i1 {}, %{}, %{}",
+            print_value(f, cond),
+            f.block(*then_blk).name,
+            f.block(*else_blk).name
+        ),
+        Terminator::Switch {
+            ty,
+            val,
+            default,
+            arms,
+        } => {
+            let printed: Vec<String> = arms
+                .iter()
+                .map(|(c, b)| format!("{c}: %{}", f.block(*b).name))
+                .collect();
+            format!(
+                "switch {ty} {}, %{} [ {} ]",
+                print_value(f, val),
+                f.block(*default).name,
+                printed.join(", ")
+            )
+        }
+        Terminator::Ret(None) => "ret void".to_string(),
+        Terminator::Ret(Some(v)) => {
+            let ty = f.value_type(v).unwrap_or(Type::I64);
+            format!("ret {ty} {}", print_value(f, v))
+        }
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::inst::{BinOp, Inst, Terminator, Value};
+    use crate::module::{ExternDecl, Global, GlobalInit, Module};
+
+    #[test]
+    fn print_simple_module() {
+        let mut m = Module::new("demo");
+        m.declare_extern(ExternDecl {
+            name: "carat_guard".into(),
+            params: vec![Type::Ptr, Type::I64, Type::I32],
+            ret_ty: Type::Void,
+        });
+        m.globals.push(Global {
+            name: "g".into(),
+            ty: Type::I64,
+            init: GlobalInit::Int(7),
+        });
+        let mut f = Function::new("f", vec![Type::I64], Type::I64);
+        f.param_names = vec!["a".into()];
+        let entry = f.add_block("entry");
+        let x = f.alloc_named_inst(
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::I64,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(1),
+            },
+            "x",
+        );
+        f.push_inst(entry, x);
+        f.block_mut(entry).term = Some(Terminator::Ret(Some(Value::Inst(x))));
+        m.functions.push(f);
+
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("declare void @carat_guard(ptr, i64, i32)"));
+        assert!(text.contains("global @g : i64 = 7"));
+        assert!(text.contains("define i64 @f(i64 %a) {"));
+        assert!(text.contains("%x = add i64 %a, 1"));
+        assert!(text.contains("ret i64 %x"));
+    }
+
+    #[test]
+    fn unnamed_results_get_generated_names() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let entry = f.add_block("entry");
+        let a = f.alloc_inst(Inst::Alloca {
+            ty: Type::I64,
+            count: 1,
+        });
+        f.push_inst(entry, a);
+        f.block_mut(entry).term = Some(Terminator::Ret(None));
+        let text = print_function(&f);
+        assert!(text.contains("%__t0 = alloca i64, 1"));
+    }
+
+    #[test]
+    fn asm_text_is_escaped() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let entry = f.add_block("entry");
+        let a = f.alloc_inst(Inst::Asm {
+            text: "mov \"x\"".into(),
+        });
+        f.push_inst(entry, a);
+        f.block_mut(entry).term = Some(Terminator::Ret(None));
+        let text = print_function(&f);
+        assert!(text.contains(r#"asm "mov \"x\"""#));
+    }
+
+    #[test]
+    fn bytes_global() {
+        let mut m = Module::new("b");
+        m.globals.push(Global {
+            name: "blob".into(),
+            ty: Type::Array(Box::new(Type::I8), 4),
+            init: GlobalInit::Bytes(vec![0xde, 0xad, 0xbe, 0xef]),
+        });
+        let text = print_module(&m);
+        assert!(text.contains("global @blob : [4 x i8] = bytes [0xde 0xad 0xbe 0xef]"));
+    }
+}

@@ -1,0 +1,243 @@
+//! The KIR type system and its layout rules.
+//!
+//! Types are structural. Pointers are opaque (`ptr`), as in modern LLVM.
+//! Layout follows the usual C rules for x86-64: integer types are naturally
+//! aligned, arrays have the element layout, struct fields are padded to
+//! their alignment and the struct is padded to the max field alignment.
+
+use core::fmt;
+
+/// A KIR type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// No value. Only valid as a function return type.
+    Void,
+    /// 1-bit boolean.
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// Opaque pointer (64-bit).
+    Ptr,
+    /// Fixed-length array `[n x elem]`.
+    Array(Box<Type>, u64),
+    /// Structural struct `{ f0, f1, ... }`.
+    Struct(Vec<Type>),
+}
+
+impl Type {
+    /// Whether this is an integer type (including `i1`).
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+    }
+
+    /// Whether this type can be the type of an SSA value.
+    pub fn is_first_class(&self) -> bool {
+        !matches!(self, Type::Void)
+    }
+
+    /// Whether values of this type can be loaded/stored directly.
+    /// Aggregates must be accessed field-by-field through `gep`.
+    pub fn is_memory_scalar(&self) -> bool {
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::Ptr
+        )
+    }
+
+    /// Bit width of an integer type; `None` otherwise.
+    pub fn int_bits(&self) -> Option<u32> {
+        match self {
+            Type::I1 => Some(1),
+            Type::I8 => Some(8),
+            Type::I16 => Some(16),
+            Type::I32 => Some(32),
+            Type::I64 => Some(64),
+            _ => None,
+        }
+    }
+
+    /// Size in bytes, including trailing padding (like LLVM's alloc size).
+    pub fn size_of(&self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::I1 | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::Ptr => 8,
+            Type::Array(elem, n) => elem.size_of() * n,
+            Type::Struct(fields) => {
+                let mut off = 0u64;
+                let mut max_align = 1u64;
+                for f in fields {
+                    let a = f.align_of();
+                    max_align = max_align.max(a);
+                    off = round_up(off, a) + f.size_of();
+                }
+                round_up(off, max_align)
+            }
+        }
+    }
+
+    /// Alignment in bytes.
+    pub fn align_of(&self) -> u64 {
+        match self {
+            Type::Void => 1,
+            Type::I1 | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::Ptr => 8,
+            Type::Array(elem, _) => elem.align_of(),
+            Type::Struct(fields) => fields.iter().map(|f| f.align_of()).max().unwrap_or(1),
+        }
+    }
+
+    /// Byte offset of struct field `idx`; `None` if not a struct or out of
+    /// range.
+    pub fn struct_field_offset(&self, idx: usize) -> Option<u64> {
+        let Type::Struct(fields) = self else {
+            return None;
+        };
+        if idx >= fields.len() {
+            return None;
+        }
+        let mut off = 0u64;
+        for (i, f) in fields.iter().enumerate() {
+            off = round_up(off, f.align_of());
+            if i == idx {
+                return Some(off);
+            }
+            off += f.size_of();
+        }
+        unreachable!()
+    }
+
+    /// The type of struct field `idx` or array element.
+    pub fn indexed_type(&self, idx: u64) -> Option<&Type> {
+        match self {
+            Type::Array(elem, n) => {
+                if idx < *n {
+                    Some(elem)
+                } else {
+                    None
+                }
+            }
+            Type::Struct(fields) => fields.get(usize::try_from(idx).ok()?),
+            _ => None,
+        }
+    }
+}
+
+#[inline]
+fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align >= 1);
+    v.div_ceil(align) * align
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::I1 => f.write_str("i1"),
+            Type::I8 => f.write_str("i8"),
+            Type::I16 => f.write_str("i16"),
+            Type::I32 => f.write_str("i32"),
+            Type::I64 => f.write_str("i64"),
+            Type::Ptr => f.write_str("ptr"),
+            Type::Array(elem, n) => write!(f, "[{n} x {elem}]"),
+            Type::Struct(fields) => {
+                f.write_str("{ ")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{field}")?;
+                }
+                f.write_str(" }")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Type::I1.size_of(), 1);
+        assert_eq!(Type::I8.size_of(), 1);
+        assert_eq!(Type::I16.size_of(), 2);
+        assert_eq!(Type::I32.size_of(), 4);
+        assert_eq!(Type::I64.size_of(), 8);
+        assert_eq!(Type::Ptr.size_of(), 8);
+        assert_eq!(Type::Void.size_of(), 0);
+    }
+
+    #[test]
+    fn array_layout() {
+        let t = Type::Array(Box::new(Type::I32), 10);
+        assert_eq!(t.size_of(), 40);
+        assert_eq!(t.align_of(), 4);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        // { i8, i64, i16 } -> i8 at 0, pad to 8, i64 at 8, i16 at 16, pad to 24.
+        let t = Type::Struct(vec![Type::I8, Type::I64, Type::I16]);
+        assert_eq!(t.struct_field_offset(0), Some(0));
+        assert_eq!(t.struct_field_offset(1), Some(8));
+        assert_eq!(t.struct_field_offset(2), Some(16));
+        assert_eq!(t.size_of(), 24);
+        assert_eq!(t.align_of(), 8);
+        assert_eq!(t.struct_field_offset(3), None);
+    }
+
+    #[test]
+    fn nested_aggregate_layout() {
+        // Like an e1000e TX descriptor: { i64 addr, i32 fields, i32 status }.
+        let desc = Type::Struct(vec![Type::I64, Type::I32, Type::I32]);
+        assert_eq!(desc.size_of(), 16);
+        let ring = Type::Array(Box::new(desc.clone()), 256);
+        assert_eq!(ring.size_of(), 4096);
+        assert_eq!(ring.align_of(), 8);
+        assert_eq!(ring.indexed_type(0), Some(&desc));
+        assert_eq!(ring.indexed_type(256), None);
+    }
+
+    #[test]
+    fn empty_struct() {
+        let t = Type::Struct(vec![]);
+        assert_eq!(t.size_of(), 0);
+        assert_eq!(t.align_of(), 1);
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        assert_eq!(Type::I64.to_string(), "i64");
+        assert_eq!(
+            Type::Array(Box::new(Type::I8), 4).to_string(),
+            "[4 x i8]"
+        );
+        assert_eq!(
+            Type::Struct(vec![Type::I64, Type::Ptr]).to_string(),
+            "{ i64, ptr }"
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::I1.is_int());
+        assert!(!Type::Ptr.is_int());
+        assert!(Type::Ptr.is_memory_scalar());
+        assert!(!Type::Struct(vec![]).is_memory_scalar());
+        assert!(!Type::Void.is_first_class());
+        assert_eq!(Type::I32.int_bits(), Some(32));
+        assert_eq!(Type::Ptr.int_bits(), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! Parser robustness: arbitrary input must never panic — the kernel
+//! loader parses module text from untrusted containers (after MAC
+//! verification, but defense in depth is free here).
+
+use proptest::prelude::*;
+
+use kop_ir::{parse_module, print_module};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totally random bytes: parse returns Ok or Err, never panics.
+    #[test]
+    fn random_strings_never_panic(s in "\\PC*") {
+        let _ = parse_module(&s);
+    }
+
+    /// Random token soup from the IR alphabet: much more likely to get
+    /// deep into the parser; still must never panic.
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("module".to_string()),
+            Just("define".to_string()),
+            Just("declare".to_string()),
+            Just("global".to_string()),
+            Just("i64".to_string()),
+            Just("ptr".to_string()),
+            Just("void".to_string()),
+            Just("load".to_string()),
+            Just("store".to_string()),
+            Just("call".to_string()),
+            Just("gep".to_string()),
+            Just("phi".to_string()),
+            Just("br".to_string()),
+            Just("condbr".to_string()),
+            Just("ret".to_string()),
+            Just("add".to_string()),
+            Just("icmp".to_string()),
+            Just("entry:".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just("[".to_string()),
+            Just("]".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just(",".to_string()),
+            Just("=".to_string()),
+            Just("@f".to_string()),
+            Just("%x".to_string()),
+            Just("\"name\"".to_string()),
+            Just("42".to_string()),
+            Just("-1".to_string()),
+            Just("0xff".to_string()),
+        ],
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        let _ = parse_module(&src);
+    }
+
+    /// A valid prefix plus garbage suffix: never panics, and if it parses,
+    /// the result round-trips.
+    #[test]
+    fn corrupted_valid_module_never_panics(garbage in "\\PC{0,40}") {
+        let src = format!(
+            "module \"m\"\ndefine i64 @f(i64 %x) {{\nentry:\n  %y = add i64 %x, 1\n  ret i64 %y\n}}\n{garbage}"
+        );
+        if let Ok(m) = parse_module(&src) {
+            let text = print_module(&m);
+            let m2 = parse_module(&text).expect("canonical text parses");
+            assert_eq!(print_module(&m2), text);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The simulated kernel: boot, memory, devices, policy wiring, panic
+//! model, and the kernel log.
+
+use std::sync::Arc;
+
+use kop_compiler::CompilerKey;
+use kop_core::layout::{DIRECT_MAP_BASE, MODULE_SPACE_BASE, PAGE_SIZE};
+use kop_core::{KernelError, KernelResult, VAddr};
+use kop_policy::{PolicyCmd, PolicyModule};
+
+use crate::chardev::DevRegistry;
+use crate::loader::LoadedModule;
+use crate::mem::SimMemory;
+use crate::symbols::{Symbol, SymbolKind, SymbolTable, Visibility};
+
+/// Kernel boot configuration.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Refuse modules whose signature does not verify (default true —
+    /// turning this off reproduces the "dangerous Linux default" for the
+    /// malicious-module demo).
+    pub require_signature: bool,
+    /// Additionally require the strict guard layout (every access
+    /// immediately preceded by its guard). Off by default because the
+    /// optimized ablation builds legitimately violate it.
+    pub require_strict_guards: bool,
+    /// Bytes reserved for the kernel heap (kmalloc arena in the direct
+    /// map).
+    pub heap_size: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            require_signature: true,
+            require_strict_guards: false,
+            heap_size: 64 << 20,
+        }
+    }
+}
+
+/// The path of the policy module's control device.
+pub const CARAT_DEV: &str = "/dev/carat";
+
+/// The simulated kernel.
+pub struct Kernel {
+    /// Simulated memory (RAM + MMIO windows).
+    pub mem: SimMemory,
+    /// Exported symbols.
+    pub symbols: SymbolTable,
+    /// Character devices.
+    pub devices: DevRegistry,
+    config: KernelConfig,
+    policy: Arc<PolicyModule>,
+    trusted_keys: Vec<CompilerKey>,
+    modules: Vec<LoadedModule>,
+    dmesg: Vec<String>,
+    panic: Option<KernelError>,
+    module_space_cursor: VAddr,
+    heap_base: VAddr,
+    heap_cursor: VAddr,
+    heap_end: VAddr,
+    /// Model-specific registers (the state privileged intrinsics touch).
+    msrs: std::collections::BTreeMap<u64, u64>,
+    /// Whether maskable interrupts are enabled (cli/sti state).
+    interrupts_enabled: bool,
+    /// Per-module policy overrides (§5: "determine if a *given* kernel
+    /// module has access"). Modules without an override use the global
+    /// policy module.
+    module_policies: std::collections::BTreeMap<String, Arc<PolicyModule>>,
+    /// Registered VFS files (§5 object protection).
+    pub(crate) files: Vec<crate::objects::FileHandle>,
+    /// Registered IPC queues (§5 object protection).
+    pub(crate) queues: Vec<crate::objects::QueueHandle>,
+}
+
+impl Kernel {
+    /// Boot a kernel with the given policy module and trusted compiler
+    /// keys. Registers `/dev/carat` wired to the policy module and
+    /// privately exports `carat_guard`.
+    pub fn boot(
+        policy: Arc<PolicyModule>,
+        trusted_keys: Vec<CompilerKey>,
+        config: KernelConfig,
+    ) -> Kernel {
+        let mut devices = DevRegistry::new();
+        let pm = Arc::clone(&policy);
+        devices.register(
+            CARAT_DEV,
+            Box::new(move |req| {
+                let cmd = PolicyCmd::decode(req)
+                    .map_err(|e| KernelError::BadIoctl(e.to_string()))?;
+                Ok(cmd.apply(&pm).encode())
+            }),
+        );
+
+        let mut symbols = SymbolTable::new();
+        // The single symbol the policy module provides (§3.1), privately
+        // exported (§2).
+        symbols.export(Symbol {
+            name: "carat_guard".into(),
+            kind: SymbolKind::Function,
+            visibility: Visibility::Private,
+            addr: VAddr(kop_core::layout::KERNEL_TEXT_BASE + 0x1000),
+            provider: "policy".into(),
+        });
+        // The §5 extension: the intrinsic-guard entry point, also private.
+        symbols.export(Symbol {
+            name: "carat_intrinsic_guard".into(),
+            kind: SymbolKind::Function,
+            visibility: Visibility::Private,
+            addr: VAddr(kop_core::layout::KERNEL_TEXT_BASE + 0x1040),
+            provider: "policy".into(),
+        });
+        // Privileged intrinsics themselves resolve as kernel-provided
+        // builtins (their *use* is controlled by attestation + the
+        // intrinsic policy, not by symbol visibility).
+        for (i, name) in kop_compiler::attest::PRIVILEGED_INTRINSICS.iter().enumerate() {
+            symbols.export(Symbol {
+                name: (*name).into(),
+                kind: SymbolKind::Function,
+                visibility: Visibility::Public,
+                addr: VAddr(kop_core::layout::KERNEL_TEXT_BASE + 0x3000 + (i as u64) * 0x40),
+                provider: "kernel".into(),
+            });
+        }
+        // A few ordinary kernel exports modules commonly import.
+        for (i, name) in ["printk", "kmalloc", "kfree", "panic"].iter().enumerate() {
+            symbols.export(Symbol {
+                name: (*name).into(),
+                kind: SymbolKind::Function,
+                visibility: Visibility::Public,
+                addr: VAddr(kop_core::layout::KERNEL_TEXT_BASE + 0x2000 + (i as u64) * 0x40),
+                provider: "kernel".into(),
+            });
+        }
+
+        let heap_base = VAddr(DIRECT_MAP_BASE + (1 << 30)); // 1 GiB into the direct map
+        let mut kernel = Kernel {
+            mem: SimMemory::new(),
+            symbols,
+            devices,
+            policy,
+            trusted_keys,
+            modules: Vec::new(),
+            dmesg: Vec::new(),
+            panic: None,
+            module_space_cursor: VAddr(MODULE_SPACE_BASE),
+            heap_base,
+            heap_cursor: heap_base,
+            heap_end: VAddr(heap_base.raw() + config.heap_size),
+            config,
+            msrs: std::collections::BTreeMap::new(),
+            interrupts_enabled: true,
+            module_policies: std::collections::BTreeMap::new(),
+            files: Vec::new(),
+            queues: Vec::new(),
+        };
+        kernel.printk("CARAT KOP simulated kernel booted");
+        kernel.printk(&format!("policy store: {}", kernel.policy.store_kind()));
+        kernel
+    }
+
+    /// Boot with defaults: table-backed policy, one trusted key.
+    pub fn boot_default() -> (Kernel, CompilerKey) {
+        let key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+        let policy = Arc::new(PolicyModule::new());
+        let kernel = Kernel::boot(policy, vec![key.clone()], KernelConfig::default());
+        (kernel, key)
+    }
+
+    /// The (global) policy module.
+    pub fn policy(&self) -> &Arc<PolicyModule> {
+        &self.policy
+    }
+
+    /// Install a per-module policy override: guards executed by `module`
+    /// consult this policy instead of the global one. This is how an
+    /// operator gives, say, a perf-monitoring module MSR access while the
+    /// NIC driver keeps a tight memory-only policy.
+    pub fn set_module_policy(&mut self, module: &str, policy: Arc<PolicyModule>) {
+        self.printk(&format!("policy: per-module override for '{module}'"));
+        self.module_policies.insert(module.to_string(), policy);
+    }
+
+    /// Remove a per-module override; returns whether one existed.
+    pub fn clear_module_policy(&mut self, module: &str) -> bool {
+        self.module_policies.remove(module).is_some()
+    }
+
+    /// The policy governing `module`: its override if installed, else the
+    /// global policy.
+    pub fn policy_for(&self, module: &str) -> Arc<PolicyModule> {
+        self.module_policies
+            .get(module)
+            .cloned()
+            .unwrap_or_else(|| Arc::clone(&self.policy))
+    }
+
+    /// The boot configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Trusted compiler keys (loader uses these to verify signatures).
+    pub(crate) fn trusted_keys(&self) -> &[CompilerKey] {
+        &self.trusted_keys
+    }
+
+    /// Append to the kernel log.
+    pub fn printk(&mut self, msg: &str) {
+        self.dmesg.push(msg.to_string());
+    }
+
+    /// The kernel log.
+    pub fn dmesg(&self) -> &[String] {
+        &self.dmesg
+    }
+
+    /// Record a kernel panic (first one wins, as on real hardware where
+    /// the machine stops). Returns the panic error for propagation.
+    pub fn do_panic(&mut self, err: KernelError) -> KernelError {
+        self.printk(&format!("{err}"));
+        if self.panic.is_none() {
+            self.panic = Some(err.clone());
+        }
+        err
+    }
+
+    /// Whether the kernel has panicked, and why.
+    pub fn panicked(&self) -> Option<&KernelError> {
+        self.panic.as_ref()
+    }
+
+    /// Fail with `KernelError::Panic` if the kernel has already panicked —
+    /// callers use this to model "the machine is down".
+    pub fn check_alive(&self) -> KernelResult<()> {
+        match &self.panic {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Allocate `size` bytes from the kernel heap (kmalloc). Returns a
+    /// direct-map address. The arena is a bump allocator — modules in this
+    /// simulation never free enough to matter, and kfree is a no-op apart
+    /// from logging.
+    pub fn kmalloc(&mut self, size: u64) -> KernelResult<VAddr> {
+        let aligned = size.div_ceil(16) * 16;
+        let addr = self.heap_cursor;
+        let next = VAddr(
+            addr.raw()
+                .checked_add(aligned)
+                .ok_or_else(|| KernelError::NoMemory("heap wrap".into()))?,
+        );
+        if next > self.heap_end {
+            return Err(KernelError::NoMemory(format!(
+                "kmalloc of {size} bytes exhausts heap"
+            )));
+        }
+        self.heap_cursor = next;
+        Ok(addr)
+    }
+
+    /// Free a kmalloc'd allocation (no-op bump allocator; logged).
+    pub fn kfree(&mut self, addr: VAddr) {
+        debug_assert!(addr >= self.heap_base && addr < self.heap_end);
+    }
+
+    /// Bytes currently allocated from the heap.
+    pub fn heap_used(&self) -> u64 {
+        self.heap_cursor.raw() - self.heap_base.raw()
+    }
+
+    /// Reserve `size` bytes of module space (page-aligned).
+    pub(crate) fn alloc_module_space(&mut self, size: u64) -> KernelResult<VAddr> {
+        let aligned = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let base = self.module_space_cursor;
+        let next = base.raw() + aligned;
+        if next > MODULE_SPACE_BASE + kop_core::layout::MODULE_SPACE_SIZE {
+            return Err(KernelError::NoMemory("module space exhausted".into()));
+        }
+        self.module_space_cursor = VAddr(next);
+        Ok(base)
+    }
+
+    /// The loaded-module list (lsmod).
+    pub fn modules(&self) -> &[LoadedModule] {
+        &self.modules
+    }
+
+    /// Find a loaded module by name.
+    pub fn module(&self, name: &str) -> Option<&LoadedModule> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    pub(crate) fn push_module(&mut self, m: LoadedModule) {
+        self.modules.push(m);
+    }
+
+    pub(crate) fn take_module(&mut self, name: &str) -> Option<LoadedModule> {
+        let idx = self.modules.iter().position(|m| m.name == name)?;
+        Some(self.modules.remove(idx))
+    }
+
+    /// Issue an ioctl from "user space".
+    pub fn ioctl(&self, dev: &str, request: &[u8]) -> KernelResult<Vec<u8>> {
+        self.check_alive()?;
+        self.devices.ioctl(dev, request)
+    }
+
+    /// Write a model-specific register (the `__wrmsr` builtin).
+    pub fn wrmsr(&mut self, msr: u64, value: u64) {
+        self.msrs.insert(msr, value);
+    }
+
+    /// Read a model-specific register (the `__rdmsr` builtin).
+    pub fn rdmsr(&self, msr: u64) -> u64 {
+        self.msrs.get(&msr).copied().unwrap_or(0)
+    }
+
+    /// Disable maskable interrupts (the `__cli` builtin).
+    pub fn cli(&mut self) {
+        self.interrupts_enabled = false;
+    }
+
+    /// Enable maskable interrupts (the `__sti` builtin).
+    pub fn sti(&mut self) {
+        self.interrupts_enabled = true;
+    }
+
+    /// Whether maskable interrupts are enabled.
+    pub fn interrupts_enabled(&self) -> bool {
+        self.interrupts_enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::{AccessFlags, Protection, Region, Size};
+    use kop_policy::PolicyResponse;
+
+    #[test]
+    fn boot_exports_guard_privately() {
+        let (kernel, _) = Kernel::boot_default();
+        let guard = kernel.symbols.get("carat_guard").unwrap();
+        assert_eq!(guard.visibility, Visibility::Private);
+        assert!(kernel.symbols.resolve("carat_guard", false).is_none());
+        assert!(kernel.symbols.resolve("carat_guard", true).is_some());
+        assert!(kernel.dmesg()[0].contains("booted"));
+    }
+
+    #[test]
+    fn carat_ioctl_controls_policy() {
+        let (kernel, _) = Kernel::boot_default();
+        let region =
+            Region::new(VAddr(0xffff_8880_0000_0000), Size(0x1000), Protection::READ_WRITE)
+                .unwrap();
+        let resp = kernel
+            .ioctl(CARAT_DEV, &PolicyCmd::AddRegion(region).encode())
+            .unwrap();
+        assert_eq!(PolicyResponse::decode(&resp).unwrap(), PolicyResponse::Ok);
+        assert_eq!(kernel.policy().region_count(), 1);
+        assert!(kernel
+            .policy()
+            .check(VAddr(0xffff_8880_0000_0800), Size(8), AccessFlags::RW)
+            .is_ok());
+    }
+
+    #[test]
+    fn bad_ioctl_payload_rejected() {
+        let (kernel, _) = Kernel::boot_default();
+        assert!(matches!(
+            kernel.ioctl(CARAT_DEV, &[0xee, 0xff]).unwrap_err(),
+            KernelError::BadIoctl(_)
+        ));
+    }
+
+    #[test]
+    fn kmalloc_bump_and_exhaustion() {
+        let key = CompilerKey::from_passphrase("k", "s");
+        let policy = Arc::new(PolicyModule::new());
+        let mut kernel = Kernel::boot(
+            policy,
+            vec![key],
+            KernelConfig {
+                heap_size: 1024,
+                ..KernelConfig::default()
+            },
+        );
+        let a = kernel.kmalloc(100).unwrap();
+        let b = kernel.kmalloc(100).unwrap();
+        assert!(b.raw() >= a.raw() + 100);
+        assert!(a.is_kernel_half());
+        assert_eq!(kernel.heap_used(), 224); // 2 × 112 (16-aligned)
+        assert!(matches!(
+            kernel.kmalloc(2048).unwrap_err(),
+            KernelError::NoMemory(_)
+        ));
+    }
+
+    #[test]
+    fn panic_model() {
+        let (mut kernel, _) = Kernel::boot_default();
+        assert!(kernel.check_alive().is_ok());
+        let err = KernelError::Panic {
+            message: "guard check failed".into(),
+            violation: None,
+        };
+        kernel.do_panic(err.clone());
+        assert_eq!(kernel.panicked(), Some(&err));
+        // The machine is down: ioctls fail.
+        assert!(kernel.ioctl(CARAT_DEV, &PolicyCmd::List.encode()).is_err());
+        // First panic wins.
+        kernel.do_panic(KernelError::Panic {
+            message: "second".into(),
+            violation: None,
+        });
+        assert_eq!(kernel.panicked(), Some(&err));
+        // Both are in the log.
+        assert!(kernel.dmesg().iter().any(|l| l.contains("guard check")));
+        assert!(kernel.dmesg().iter().any(|l| l.contains("second")));
+    }
+}

@@ -1,0 +1,369 @@
+//! Module loading: `insmod`/`rmmod` with signature validation.
+//!
+//! Paper §3.2: *"When a protected module is inserted into the kernel
+//! (after validating its signature), it is linked against the policy
+//! module's implementation of carat_guard. This allows one guard function
+//! to be swapped for another without having to recompile the guarded
+//! module."*
+//!
+//! The loader:
+//! 1. verifies the container signature against the kernel's trusted keys,
+//! 2. re-verifies the IR (§2: the guarding process "can be validated by
+//!    the kernel when the transformed module is inserted"),
+//! 3. resolves imports against the export table (private symbols like
+//!    `carat_guard` resolve only because the module passed verification),
+//! 4. lays the module out in module space — text pages read-only (§2) —
+//!    and initializes its globals in simulated memory.
+
+use std::collections::BTreeMap;
+
+use kop_compiler::SignedModule;
+use kop_core::{KernelError, KernelResult, VAddr};
+use kop_ir::{verify_module, GlobalInit, Module};
+
+use crate::kernel::Kernel;
+
+/// A module resident in the kernel.
+#[derive(Debug)]
+pub struct LoadedModule {
+    /// Module name.
+    pub name: String,
+    /// The verified IR the interpreter executes.
+    pub ir: Module,
+    /// Base of the module's text mapping (read-only).
+    pub text_base: VAddr,
+    /// Size of the text mapping.
+    pub text_size: u64,
+    /// Base of the module's data mapping (globals).
+    pub data_base: VAddr,
+    /// Size of the data mapping.
+    pub data_size: u64,
+    /// Address of each global.
+    pub globals: BTreeMap<String, VAddr>,
+    /// Address assigned to each function symbol (for `FuncAddr` values).
+    pub func_addrs: BTreeMap<String, VAddr>,
+    /// Content hash of the signed container (module identity in logs).
+    pub content_hash: String,
+    /// Whether the module was guard-injected (`guard_count > 0`).
+    pub is_protected: bool,
+}
+
+impl Kernel {
+    /// Insert a signed module (insmod).
+    pub fn insmod(&mut self, signed: &SignedModule) -> KernelResult<&LoadedModule> {
+        self.check_alive()?;
+
+        // 1. Signature validation.
+        let verify_result = signed.verify(self.trusted_keys());
+        let ir = match verify_result {
+            Ok(ir) => ir,
+            Err(e) => {
+                if self.config().require_signature {
+                    let err = KernelError::BadSignature(e.to_string());
+                    self.printk(&format!("insmod: {err}"));
+                    return Err(err);
+                }
+                // Unsafe mode (for the malicious-module demo): parse without
+                // trusting the signature.
+                kop_ir::parse_module(&signed.ir_text)
+                    .map_err(|pe| KernelError::BadSignature(pe.to_string()))?
+            }
+        };
+
+        if self.module(&ir.name).is_some() {
+            return Err(KernelError::ModuleAlreadyLoaded(ir.name.clone()));
+        }
+
+        // 2. Kernel-side re-verification.
+        verify_module(&ir).map_err(|e| KernelError::BadSignature(format!("IR invalid: {e}")))?;
+        if self.config().require_strict_guards && !signed.attestation.guards_strict {
+            return Err(KernelError::AttestationRejected(
+                "kernel requires strict guard layout".into(),
+            ));
+        }
+
+        // 3. Import resolution. The module is "trusted" for private-symbol
+        // purposes iff its signature verified.
+        let trusted = verify_result_trusted(signed, self);
+        for import in ir.imported_symbols() {
+            if self.symbols.resolve(import, trusted).is_none() {
+                let err = KernelError::UnresolvedSymbol(import.to_string());
+                self.printk(&format!("insmod {}: {err}", ir.name));
+                return Err(err);
+            }
+        }
+
+        // 4. Layout: text (one slot per function, page-ish sizing by IR
+        // length) then data (globals).
+        let text_size = (ir.functions.len().max(1) as u64) * 0x100;
+        let text_base = self.alloc_module_space(text_size)?;
+        let mut func_addrs = BTreeMap::new();
+        for (i, f) in ir.functions.iter().enumerate() {
+            func_addrs.insert(f.name.clone(), VAddr(text_base.raw() + (i as u64) * 0x100));
+        }
+
+        let mut data_size = 0u64;
+        let mut global_offsets = BTreeMap::new();
+        for g in &ir.globals {
+            let align = g.ty.align_of().max(1);
+            data_size = data_size.div_ceil(align) * align;
+            global_offsets.insert(g.name.clone(), data_size);
+            data_size += g.ty.size_of().max(1);
+        }
+        let data_base = self.alloc_module_space(data_size.max(1))?;
+        let mut globals = BTreeMap::new();
+        for g in &ir.globals {
+            let addr = VAddr(data_base.raw() + global_offsets[&g.name]);
+            match &g.init {
+                GlobalInit::Zero => {
+                    // Memory reads zero by default; nothing to write.
+                }
+                GlobalInit::Int(v) => {
+                    let size = g.ty.size_of().clamp(1, 8);
+                    self.mem
+                        .write_uint(addr, kop_core::Size(size), *v)
+                        .map_err(|e| KernelError::NoMemory(e.to_string()))?;
+                }
+                GlobalInit::Bytes(bytes) => {
+                    self.mem
+                        .write_bytes(addr, bytes)
+                        .map_err(|e| KernelError::NoMemory(e.to_string()))?;
+                }
+            }
+            globals.insert(g.name.clone(), addr);
+        }
+
+        // Text pages are mapped read-only (§2: paging prevents
+        // self-modifying module code).
+        self.mem.protect_readonly(text_base, text_size);
+
+        let is_protected = signed.attestation.guard_count > 0;
+        let loaded = LoadedModule {
+            name: ir.name.clone(),
+            text_base,
+            text_size,
+            data_base,
+            data_size,
+            globals,
+            func_addrs,
+            content_hash: signed.content_hash(),
+            is_protected,
+            ir,
+        };
+        self.printk(&format!(
+            "insmod {}: {} function(s), {} global(s), {} guard(s), text at {}",
+            loaded.name,
+            loaded.ir.functions.len(),
+            loaded.ir.globals.len(),
+            signed.attestation.guard_count,
+            loaded.text_base,
+        ));
+        self.push_module(loaded);
+        Ok(self.modules().last().expect("just pushed"))
+    }
+
+    /// Remove a module (rmmod). Restores its text pages to writable and
+    /// unexports anything it provided.
+    pub fn rmmod(&mut self, name: &str) -> KernelResult<()> {
+        self.check_alive()?;
+        let m = self
+            .take_module(name)
+            .ok_or_else(|| KernelError::NoSuchModule(name.to_string()))?;
+        self.mem.protect_readwrite(m.text_base, m.text_size);
+        self.symbols.remove_provider(name);
+        self.printk(&format!("rmmod {name}"));
+        Ok(())
+    }
+}
+
+/// Whether the signed module's signature verified against the kernel's
+/// keys (used for private-symbol visibility).
+fn verify_result_trusted(signed: &SignedModule, kernel: &Kernel) -> bool {
+    signed.verify(kernel.trusted_keys()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+    use kop_compiler::{compile_module, CompileOptions, CompilerKey};
+    use kop_core::Size;
+    use kop_policy::PolicyModule;
+    use std::sync::Arc;
+
+    const SRC: &str = r#"
+module "demo"
+global @counter : i64 = 41
+global @table : [8 x i64] = zero
+define i64 @bump(ptr %p) {
+entry:
+  %v = load i64, ptr %p
+  %v2 = add i64 %v, 1
+  store i64 %v2, ptr %p
+  ret i64 %v2
+}
+"#;
+
+    fn compile(src: &str, opts: &CompileOptions, key: &CompilerKey) -> SignedModule {
+        let m = kop_ir::parse_module(src).unwrap();
+        compile_module(m, opts, key).unwrap().signed
+    }
+
+    #[test]
+    fn insmod_verified_module() {
+        let (mut kernel, key) = Kernel::boot_default();
+        let signed = compile(SRC, &CompileOptions::carat_kop(), &key);
+        let loaded = kernel.insmod(&signed).unwrap();
+        assert_eq!(loaded.name, "demo");
+        assert!(loaded.is_protected);
+        assert_eq!(loaded.globals.len(), 2);
+        let counter = loaded.globals["counter"];
+        let mut mem_val = [0u8; 8];
+        // Global initializer landed in memory.
+        kernel.mem.read_bytes(counter, &mut mem_val).unwrap();
+        assert_eq!(u64::from_le_bytes(mem_val), 41);
+        assert!(kernel.module("demo").is_some());
+    }
+
+    #[test]
+    fn insmod_rejects_bad_signature() {
+        let (mut kernel, key) = Kernel::boot_default();
+        let mut signed = compile(SRC, &CompileOptions::carat_kop(), &key);
+        signed.ir_text.push(' '); // any tamper breaks the MAC
+        let err = kernel.insmod(&signed).unwrap_err();
+        assert!(matches!(err, KernelError::BadSignature(_)));
+        assert!(kernel.module("demo").is_none());
+        assert!(kernel.dmesg().iter().any(|l| l.contains("insmod")));
+    }
+
+    #[test]
+    fn insmod_rejects_untrusted_key() {
+        let (mut kernel, _) = Kernel::boot_default();
+        let rogue = CompilerKey::from_passphrase("rogue", "rogue");
+        let signed = compile(SRC, &CompileOptions::carat_kop(), &rogue);
+        assert!(matches!(
+            kernel.insmod(&signed).unwrap_err(),
+            KernelError::BadSignature(_)
+        ));
+    }
+
+    #[test]
+    fn unprotected_module_cannot_import_guard() {
+        // A module that imports carat_guard but was signed by an untrusted
+        // key, inserted into a kernel with signatures not required: the
+        // private export must not resolve.
+        let (_, _key) = Kernel::boot_default();
+        let rogue = CompilerKey::from_passphrase("rogue", "rogue");
+        let src = r#"
+module "sneak"
+declare void @carat_guard(ptr, i64, i32)
+define void @f(ptr %p) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  ret void
+}
+"#;
+        let signed = compile(src, &CompileOptions::baseline(), &rogue);
+        let policy = Arc::new(PolicyModule::new());
+        let mut kernel = Kernel::boot(
+            policy,
+            vec![CompilerKey::from_passphrase("operator-key", "carat-kop-dev")],
+            KernelConfig {
+                require_signature: false,
+                ..KernelConfig::default()
+            },
+        );
+        let err = kernel.insmod(&signed).unwrap_err();
+        assert!(matches!(err, KernelError::UnresolvedSymbol(s) if s == "carat_guard"));
+    }
+
+    #[test]
+    fn duplicate_insmod_rejected() {
+        let (mut kernel, key) = Kernel::boot_default();
+        let signed = compile(SRC, &CompileOptions::carat_kop(), &key);
+        kernel.insmod(&signed).unwrap();
+        assert!(matches!(
+            kernel.insmod(&signed).unwrap_err(),
+            KernelError::ModuleAlreadyLoaded(_)
+        ));
+    }
+
+    #[test]
+    fn rmmod_restores_text_and_unloads() {
+        let (mut kernel, key) = Kernel::boot_default();
+        let signed = compile(SRC, &CompileOptions::carat_kop(), &key);
+        let text_base = kernel.insmod(&signed).unwrap().text_base;
+        // Text is read-only while loaded.
+        assert!(kernel.mem.write_uint(text_base, Size(8), 1).is_err());
+        kernel.rmmod("demo").unwrap();
+        assert!(kernel.module("demo").is_none());
+        assert!(kernel.mem.write_uint(text_base, Size(8), 1).is_ok());
+        assert!(matches!(
+            kernel.rmmod("demo").unwrap_err(),
+            KernelError::NoSuchModule(_)
+        ));
+    }
+
+    #[test]
+    fn strict_guard_kernel_rejects_optimized_module() {
+        let key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+        let policy = Arc::new(PolicyModule::new());
+        let mut kernel = Kernel::boot(
+            policy,
+            vec![key.clone()],
+            KernelConfig {
+                require_strict_guards: true,
+                ..KernelConfig::default()
+            },
+        );
+        // A loop module whose guards get hoisted (non-strict layout).
+        let src = r#"
+module "opt"
+global @g : i64 = 0
+define void @f(i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %v = load i64, ptr @g
+  %i2 = add i64 %i, 1
+  br %head
+exit:
+  ret void
+}
+"#;
+        let signed = compile(src, &CompileOptions::optimized(), &key);
+        assert!(!signed.attestation.guards_strict);
+        assert!(matches!(
+            kernel.insmod(&signed).unwrap_err(),
+            KernelError::AttestationRejected(_)
+        ));
+        // The strict (paper-default) build loads fine.
+        let signed = compile(src, &CompileOptions::carat_kop(), &key);
+        kernel.insmod(&signed).unwrap();
+    }
+
+    #[test]
+    fn globals_layout_is_aligned_and_disjoint() {
+        let (mut kernel, key) = Kernel::boot_default();
+        let src = r#"
+module "layout"
+global @a : i8 = 1
+global @b : i64 = 2
+global @c : i16 = 3
+"#;
+        let signed = compile(src, &CompileOptions::carat_kop(), &key);
+        let loaded = kernel.insmod(&signed).unwrap();
+        let a = loaded.globals["a"];
+        let b = loaded.globals["b"];
+        let c = loaded.globals["c"];
+        assert!(b.is_aligned(8));
+        assert!(c.is_aligned(2));
+        assert!(a < b && b < c);
+        assert!(b.raw() - a.raw() >= 1);
+        assert!(c.raw() - b.raw() >= 8);
+    }
+}

@@ -1,0 +1,312 @@
+//! Simulated kernel memory: sparse pages with permissions, plus MMIO
+//! ranges dispatched to device models.
+//!
+//! Loads and stores of 1/2/4/8 bytes are little-endian, as on x86-64. A
+//! page is materialized (zero-filled) on first touch, like anonymous
+//! kernel memory. Module text pages are mapped read-only: CARAT KOP "can
+//! fall back on the Linux kernel's use of traditional hardware-based
+//! virtual memory for some enforcement. For example, paging can be used to
+//! mark the kernel module's code pages as unwritable, thus avoiding the
+//! problem of self-modifying code" (§2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use kop_core::layout::{PAGE_SHIFT, PAGE_SIZE};
+use kop_core::{KernelError, KernelResult, Size, VAddr};
+
+/// A memory-mapped device: register reads/writes at offsets within its
+/// window. Offsets and values are raw; access widths are 1/2/4/8.
+pub trait MmioDevice: Send {
+    /// Handle a read of `size` bytes at `offset` within the window.
+    fn mmio_read(&mut self, offset: u64, size: u64) -> u64;
+    /// Handle a write of `size` bytes at `offset` within the window.
+    fn mmio_write(&mut self, offset: u64, size: u64, value: u64);
+}
+
+struct MmioRange {
+    base: VAddr,
+    len: u64,
+    device: Arc<Mutex<dyn MmioDevice>>,
+}
+
+struct Page {
+    bytes: Box<[u8; PAGE_SIZE as usize]>,
+    writable: bool,
+}
+
+/// Sparse simulated memory with page permissions and MMIO windows.
+#[derive(Default)]
+pub struct SimMemory {
+    pages: HashMap<u64, Page>,
+    mmio: Vec<MmioRange>,
+}
+
+impl SimMemory {
+    /// Empty memory.
+    pub fn new() -> SimMemory {
+        SimMemory::default()
+    }
+
+    /// Register an MMIO window. Accesses inside `[base, base+len)` are
+    /// dispatched to `device` instead of RAM. Windows must not overlap.
+    pub fn map_mmio(&mut self, base: VAddr, len: u64, device: Arc<Mutex<dyn MmioDevice>>) {
+        for r in &self.mmio {
+            let disjoint = base.raw() + len <= r.base.raw() || r.base.raw() + r.len <= base.raw();
+            assert!(disjoint, "overlapping MMIO windows");
+        }
+        self.mmio.push(MmioRange { base, len, device });
+    }
+
+    fn find_mmio(&self, addr: VAddr, size: u64) -> Option<&MmioRange> {
+        self.mmio.iter().find(|r| {
+            addr.raw() >= r.base.raw() && addr.raw() + size <= r.base.raw() + r.len
+        })
+    }
+
+    /// Mark the pages covering `[base, base+len)` read-only (they are
+    /// materialized if missing). Used for module text.
+    pub fn protect_readonly(&mut self, base: VAddr, len: u64) {
+        let first = base.raw() >> PAGE_SHIFT;
+        let last = (base.raw() + len.saturating_sub(1)) >> PAGE_SHIFT;
+        for pfn in first..=last {
+            let page = self.pages.entry(pfn).or_insert_with(|| Page {
+                bytes: Box::new([0u8; PAGE_SIZE as usize]),
+                writable: true,
+            });
+            page.writable = false;
+        }
+    }
+
+    /// Make the pages covering a range writable again (module unload).
+    pub fn protect_readwrite(&mut self, base: VAddr, len: u64) {
+        let first = base.raw() >> PAGE_SHIFT;
+        let last = (base.raw() + len.saturating_sub(1)) >> PAGE_SHIFT;
+        for pfn in first..=last {
+            if let Some(page) = self.pages.get_mut(&pfn) {
+                page.writable = true;
+            }
+        }
+    }
+
+    /// Number of materialized pages (testing/telemetry aid).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Read `buf.len()` bytes at `addr`.
+    pub fn read_bytes(&mut self, addr: VAddr, buf: &mut [u8]) -> KernelResult<()> {
+        if let Some(r) = self.find_mmio(addr, buf.len() as u64) {
+            // Byte-wise MMIO reads are legal but unusual; do one access of
+            // the full width when it is a power of two <= 8.
+            let off = addr.raw() - r.base.raw();
+            let n = buf.len() as u64;
+            if matches!(n, 1 | 2 | 4 | 8) {
+                let v = r.device.lock().mmio_read(off, n);
+                buf.copy_from_slice(&v.to_le_bytes()[..buf.len()]);
+                return Ok(());
+            }
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = r.device.lock().mmio_read(off + i as u64, 1) as u8;
+            }
+            return Ok(());
+        }
+        let mut addr = addr.raw();
+        let mut rest = buf;
+        while !rest.is_empty() {
+            let pfn = addr >> PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let take = rest.len().min(PAGE_SIZE as usize - off);
+            match self.pages.get(&pfn) {
+                Some(page) => rest[..take].copy_from_slice(&page.bytes[off..off + take]),
+                None => rest[..take].fill(0), // untouched memory reads zero
+            }
+            rest = &mut rest[take..];
+            addr = addr
+                .checked_add(take as u64)
+                .ok_or(KernelError::Fault {
+                    addr: VAddr(addr),
+                    what: "read wraps address space".into(),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Write `buf` at `addr`.
+    pub fn write_bytes(&mut self, addr: VAddr, buf: &[u8]) -> KernelResult<()> {
+        if let Some(r) = self.find_mmio(addr, buf.len() as u64) {
+            let off = addr.raw() - r.base.raw();
+            let n = buf.len() as u64;
+            if matches!(n, 1 | 2 | 4 | 8) {
+                let mut bytes = [0u8; 8];
+                bytes[..buf.len()].copy_from_slice(buf);
+                r.device
+                    .lock()
+                    .mmio_write(off, n, u64::from_le_bytes(bytes));
+                return Ok(());
+            }
+            for (i, b) in buf.iter().enumerate() {
+                r.device.lock().mmio_write(off + i as u64, 1, *b as u64);
+            }
+            return Ok(());
+        }
+        let mut addr_raw = addr.raw();
+        let mut rest = buf;
+        while !rest.is_empty() {
+            let pfn = addr_raw >> PAGE_SHIFT;
+            let off = (addr_raw & (PAGE_SIZE - 1)) as usize;
+            let take = rest.len().min(PAGE_SIZE as usize - off);
+            let page = self.pages.entry(pfn).or_insert_with(|| Page {
+                bytes: Box::new([0u8; PAGE_SIZE as usize]),
+                writable: true,
+            });
+            if !page.writable {
+                return Err(KernelError::Fault {
+                    addr: VAddr(addr_raw),
+                    what: "write to read-only page".into(),
+                });
+            }
+            page.bytes[off..off + take].copy_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            addr_raw = addr_raw.checked_add(take as u64).ok_or(KernelError::Fault {
+                addr: VAddr(addr_raw),
+                what: "write wraps address space".into(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Read a little-endian unsigned integer of `size` (1/2/4/8) bytes.
+    pub fn read_uint(&mut self, addr: VAddr, size: Size) -> KernelResult<u64> {
+        let n = size.raw();
+        debug_assert!(matches!(n, 1 | 2 | 4 | 8), "bad access width {n}");
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf[..n as usize])?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Write a little-endian unsigned integer of `size` (1/2/4/8) bytes.
+    pub fn write_uint(&mut self, addr: VAddr, size: Size, value: u64) -> KernelResult<()> {
+        let n = size.raw();
+        debug_assert!(matches!(n, 1 | 2 | 4 | 8), "bad access width {n}");
+        self.write_bytes(addr, &value.to_le_bytes()[..n as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_on_first_read() {
+        let mut m = SimMemory::new();
+        assert_eq!(m.read_uint(VAddr(0x5000), Size(8)).unwrap(), 0);
+        assert_eq!(m.resident_pages(), 0, "reads must not materialize pages");
+    }
+
+    #[test]
+    fn write_read_roundtrip_all_widths() {
+        let mut m = SimMemory::new();
+        let a = VAddr(0xffff_8880_0000_1000);
+        for (size, val) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX - 5)] {
+            m.write_uint(a, Size(size), val).unwrap();
+            assert_eq!(m.read_uint(a, Size(size)).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SimMemory::new();
+        let a = VAddr(0x1ffc); // 4 bytes in page 1, 4 bytes in page 2
+        m.write_uint(a, Size(8), 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read_uint(a, Size(8)).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+        // Byte-granular check across the boundary (little endian).
+        assert_eq!(m.read_uint(VAddr(0x1ffc), Size(1)).unwrap(), 0x88);
+        assert_eq!(m.read_uint(VAddr(0x2003), Size(1)).unwrap(), 0x11);
+    }
+
+    #[test]
+    fn readonly_pages_fault_on_write() {
+        let mut m = SimMemory::new();
+        let text = VAddr(0xffff_ffff_a000_0000);
+        m.write_uint(text, Size(8), 42).unwrap();
+        m.protect_readonly(text, 0x2000);
+        let err = m.write_uint(text, Size(8), 43).unwrap_err();
+        assert!(matches!(err, KernelError::Fault { .. }));
+        // Reads still fine; data intact.
+        assert_eq!(m.read_uint(text, Size(8)).unwrap(), 42);
+        // Unprotect (module unloaded) and write again.
+        m.protect_readwrite(text, 0x2000);
+        m.write_uint(text, Size(8), 43).unwrap();
+    }
+
+    struct ScratchReg {
+        value: u64,
+        reads: u32,
+        writes: u32,
+    }
+
+    impl MmioDevice for ScratchReg {
+        fn mmio_read(&mut self, offset: u64, _size: u64) -> u64 {
+            self.reads += 1;
+            if offset == 0 {
+                self.value
+            } else {
+                0
+            }
+        }
+        fn mmio_write(&mut self, offset: u64, _size: u64, value: u64) {
+            self.writes += 1;
+            if offset == 0 {
+                self.value = value;
+            }
+        }
+    }
+
+    #[test]
+    fn mmio_dispatch() {
+        let mut m = SimMemory::new();
+        let dev = Arc::new(Mutex::new(ScratchReg {
+            value: 7,
+            reads: 0,
+            writes: 0,
+        }));
+        let base = VAddr(kop_core::layout::MMIO_WINDOW_BASE);
+        m.map_mmio(base, 0x1000, dev.clone());
+        assert_eq!(m.read_uint(base, Size(4)).unwrap(), 7);
+        m.write_uint(base, Size(4), 0x1234).unwrap();
+        assert_eq!(m.read_uint(base, Size(4)).unwrap(), 0x1234);
+        // Off-window accesses hit RAM, not the device.
+        m.write_uint(base + 0x1000, Size(4), 9).unwrap();
+        let d = dev.lock();
+        assert_eq!(d.reads, 2);
+        assert_eq!(d.writes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping MMIO windows")]
+    fn overlapping_mmio_rejected() {
+        let mut m = SimMemory::new();
+        let dev = Arc::new(Mutex::new(ScratchReg {
+            value: 0,
+            reads: 0,
+            writes: 0,
+        }));
+        m.map_mmio(VAddr(0x1000), 0x1000, dev.clone());
+        m.map_mmio(VAddr(0x1800), 0x1000, dev);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = SimMemory::new();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let a = VAddr(0xffff_8880_1234_0000);
+        m.write_bytes(a, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(a, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+}

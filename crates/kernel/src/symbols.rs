@@ -1,0 +1,156 @@
+//! The kernel's exported-symbol table.
+//!
+//! Linux modules link against symbols the kernel (or other modules)
+//! export. CARAT KOP's policy module "provides a single symbol,
+//! `carat_guard` ... privately exported from the kernel" (§2, §3.1).
+//! Private exports resolve only for *protected* (signed, guard-injected)
+//! modules — an arbitrary module cannot call the guard entry point
+//! directly.
+
+use std::collections::BTreeMap;
+
+use kop_core::VAddr;
+
+/// What a symbol names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// A callable function (dispatched by the interpreter to a host
+    /// implementation or to module IR).
+    Function,
+    /// A data object.
+    Data,
+}
+
+/// Who may link against a symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Visibility {
+    /// Any module.
+    Public,
+    /// Only signature-verified protected modules (like `carat_guard`).
+    Private,
+}
+
+/// An exported symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Function or data.
+    pub kind: SymbolKind,
+    /// Export visibility.
+    pub visibility: Visibility,
+    /// Address (for data symbols and for taking function addresses).
+    pub addr: VAddr,
+    /// Which component provides it (`"kernel"`, `"policy"`, module name).
+    pub provider: String,
+}
+
+/// The kernel symbol table.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    symbols: BTreeMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Export a symbol. Returns `false` (and leaves the table unchanged)
+    /// if the name is already exported.
+    pub fn export(&mut self, sym: Symbol) -> bool {
+        if self.symbols.contains_key(&sym.name) {
+            return false;
+        }
+        self.symbols.insert(sym.name.clone(), sym);
+        true
+    }
+
+    /// Remove every symbol provided by `provider` (module unload).
+    pub fn remove_provider(&mut self, provider: &str) -> usize {
+        let before = self.symbols.len();
+        self.symbols.retain(|_, s| s.provider != provider);
+        before - self.symbols.len()
+    }
+
+    /// Look up a symbol by name.
+    pub fn get(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(name)
+    }
+
+    /// Resolve an import for a module: public symbols always resolve;
+    /// private symbols only when `trusted` (the importer passed signature
+    /// verification).
+    pub fn resolve(&self, name: &str, trusted: bool) -> Option<&Symbol> {
+        let sym = self.symbols.get(name)?;
+        match sym.visibility {
+            Visibility::Public => Some(sym),
+            Visibility::Private if trusted => Some(sym),
+            Visibility::Private => None,
+        }
+    }
+
+    /// Number of exported symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// All symbols in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(name: &str, vis: Visibility, provider: &str) -> Symbol {
+        Symbol {
+            name: name.into(),
+            kind: SymbolKind::Function,
+            visibility: vis,
+            addr: VAddr(0xffff_ffff_8000_1000),
+            provider: provider.into(),
+        }
+    }
+
+    #[test]
+    fn export_and_lookup() {
+        let mut t = SymbolTable::new();
+        assert!(t.export(sym("printk", Visibility::Public, "kernel")));
+        assert!(!t.export(sym("printk", Visibility::Public, "kernel")));
+        assert_eq!(t.len(), 1);
+        assert!(t.get("printk").is_some());
+        assert!(t.get("missing").is_none());
+    }
+
+    #[test]
+    fn private_symbols_require_trust() {
+        let mut t = SymbolTable::new();
+        t.export(sym("carat_guard", Visibility::Private, "policy"));
+        t.export(sym("printk", Visibility::Public, "kernel"));
+        // Untrusted importer: public ok, private hidden.
+        assert!(t.resolve("printk", false).is_some());
+        assert!(t.resolve("carat_guard", false).is_none());
+        // Trusted importer: both visible.
+        assert!(t.resolve("carat_guard", true).is_some());
+    }
+
+    #[test]
+    fn remove_provider_unexports() {
+        let mut t = SymbolTable::new();
+        t.export(sym("a", Visibility::Public, "mod1"));
+        t.export(sym("b", Visibility::Public, "mod1"));
+        t.export(sym("c", Visibility::Public, "mod2"));
+        assert_eq!(t.remove_provider("mod1"), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.get("c").is_some());
+    }
+}

@@ -1,0 +1,81 @@
+//! The packet sink the test NIC is "attached to" (§4.2).
+
+use kop_e1000e::FrameSink;
+
+use crate::frame::Frame;
+
+/// Counts delivered frames; optionally captures the first few for
+/// inspection.
+#[derive(Clone, Debug, Default)]
+pub struct PacketSink {
+    /// Frames delivered.
+    pub frames: u64,
+    /// Wire bytes delivered.
+    pub bytes: u64,
+    capture_limit: usize,
+    captured: Vec<Vec<u8>>,
+}
+
+impl PacketSink {
+    /// A counting-only sink.
+    pub fn new() -> PacketSink {
+        PacketSink::default()
+    }
+
+    /// A sink that keeps the first `limit` frames for inspection.
+    pub fn capturing(limit: usize) -> PacketSink {
+        PacketSink {
+            capture_limit: limit,
+            ..PacketSink::default()
+        }
+    }
+
+    /// Captured frames, parsed.
+    pub fn captured_frames(&self) -> Vec<Frame> {
+        self.captured
+            .iter()
+            .filter_map(|b| Frame::parse(b))
+            .collect()
+    }
+
+    /// Raw captured bytes.
+    pub fn captured_raw(&self) -> &[Vec<u8>] {
+        &self.captured
+    }
+}
+
+impl FrameSink for PacketSink {
+    fn deliver(&mut self, frame: &[u8]) {
+        self.frames += 1;
+        self.bytes += frame.len() as u64;
+        if self.captured.len() < self.capture_limit {
+            self.captured.push(frame.to_vec());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_captures() {
+        let mut sink = PacketSink::capturing(2);
+        sink.deliver(&[0u8; 60]);
+        sink.deliver(&[1u8; 128]);
+        sink.deliver(&[2u8; 1514]);
+        assert_eq!(sink.frames, 3);
+        assert_eq!(sink.bytes, 60 + 128 + 1514);
+        assert_eq!(sink.captured_raw().len(), 2, "capture limit respected");
+        let parsed = sink.captured_frames();
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn counting_only_by_default() {
+        let mut sink = PacketSink::new();
+        sink.deliver(&[0u8; 64]);
+        assert!(sink.captured_raw().is_empty());
+        assert_eq!(sink.frames, 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! A small sk_buff pool.
+//!
+//! The kernel allocates socket buffers for every packet that crosses the
+//! user/kernel boundary; the raw sender models that allocation cost by
+//! recycling buffers through a freelist, the way the slab allocator
+//! effectively does for hot paths.
+
+/// A kernel packet buffer.
+#[derive(Clone, Debug, Default)]
+pub struct SkBuff {
+    data: Vec<u8>,
+    len: usize,
+}
+
+impl SkBuff {
+    /// Buffer with the given capacity.
+    pub fn with_capacity(cap: usize) -> SkBuff {
+        SkBuff {
+            data: vec![0; cap],
+            len: 0,
+        }
+    }
+
+    /// Copy `bytes` into the buffer ("copy_from_user").
+    pub fn fill(&mut self, bytes: &[u8]) {
+        assert!(bytes.len() <= self.data.len(), "skb overflow");
+        self.data[..bytes.len()].copy_from_slice(bytes);
+        self.len = bytes.len();
+    }
+
+    /// Valid data.
+    pub fn data(&self) -> &[u8] {
+        &self.data[..self.len]
+    }
+
+    /// Valid length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A recycling pool of sk_buffs.
+#[derive(Debug, Default)]
+pub struct SkBuffPool {
+    free: Vec<SkBuff>,
+    buf_size: usize,
+    /// Total allocations that could not be served from the freelist.
+    pub slab_allocs: u64,
+    /// Allocations served from the freelist.
+    pub recycled: u64,
+}
+
+impl SkBuffPool {
+    /// Pool of buffers of `buf_size` bytes.
+    pub fn new(buf_size: usize) -> SkBuffPool {
+        SkBuffPool {
+            free: Vec::new(),
+            buf_size,
+            slab_allocs: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Allocate a buffer.
+    pub fn alloc(&mut self) -> SkBuff {
+        match self.free.pop() {
+            Some(mut skb) => {
+                self.recycled += 1;
+                skb.len = 0;
+                skb
+            }
+            None => {
+                self.slab_allocs += 1;
+                SkBuff::with_capacity(self.buf_size)
+            }
+        }
+    }
+
+    /// Return a buffer to the pool.
+    pub fn free(&mut self, skb: SkBuff) {
+        debug_assert_eq!(skb.capacity(), self.buf_size);
+        self.free.push(skb);
+    }
+
+    /// Buffers currently in the freelist.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_read() {
+        let mut skb = SkBuff::with_capacity(2048);
+        assert!(skb.is_empty());
+        skb.fill(b"data");
+        assert_eq!(skb.data(), b"data");
+        assert_eq!(skb.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "skb overflow")]
+    fn overflow_panics() {
+        let mut skb = SkBuff::with_capacity(2);
+        skb.fill(b"toolong");
+    }
+
+    #[test]
+    fn pool_recycles() {
+        let mut pool = SkBuffPool::new(2048);
+        let a = pool.alloc();
+        assert_eq!(pool.slab_allocs, 1);
+        pool.free(a);
+        let mut b = pool.alloc();
+        assert_eq!(pool.recycled, 1);
+        assert_eq!(pool.slab_allocs, 1);
+        assert!(b.is_empty(), "recycled buffer is reset");
+        b.fill(&[1, 2, 3]);
+        pool.free(b);
+        assert_eq!(pool.available(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Last-hit cache over the region table — "a simple cache over the region
+//! data structure (as done in CARAT CAKE)" (paper §4.2).
+//!
+//! The guard's common case is that consecutive accesses land in the same
+//! policy region (the driver hammers its descriptor ring and MMIO block).
+//! A one-entry cache in front of the table turns the O(n) scan into a
+//! single compare on that path. The cache entry is invalidated on any
+//! mutation.
+
+use kop_core::{AccessFlags, Region, Size, VAddr};
+
+use crate::store::{Lookup, PolicyError, RegionStore, StoreKind};
+use crate::table::RegionTable;
+
+/// Region table with a single-entry most-recently-hit cache.
+#[derive(Clone, Debug, Default)]
+pub struct CachedTable {
+    table: RegionTable,
+    /// The region that satisfied the previous lookup, if any.
+    hot: Option<Region>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CachedTable {
+    /// An empty store.
+    pub fn new() -> CachedTable {
+        CachedTable::default()
+    }
+
+    /// Cache hits since creation.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (table walks) since creation.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+impl RegionStore for CachedTable {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Cached
+    }
+
+    fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
+        self.hot = None;
+        self.table.insert(region)
+    }
+
+    fn remove(&mut self, base: VAddr) -> Result<Region, PolicyError> {
+        self.hot = None;
+        self.table.remove(base)
+    }
+
+    fn clear(&mut self) {
+        self.hot = None;
+        self.table.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn snapshot(&self) -> Vec<Region> {
+        self.table.snapshot()
+    }
+
+    #[inline]
+    fn lookup(&mut self, addr: VAddr, size: Size, flags: AccessFlags) -> Lookup {
+        if let Some(hot) = self.hot {
+            if hot.permits(addr, size, flags) {
+                self.hits += 1;
+                return Lookup::Permitted(hot);
+            }
+        }
+        self.misses += 1;
+        let result = self.table.lookup(addr, size, flags);
+        if let Lookup::Permitted(r) = result {
+            self.hot = Some(r);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Protection;
+
+    fn r(base: u64, len: u64) -> Region {
+        Region::new(VAddr(base), Size(len), Protection::READ_WRITE).unwrap()
+    }
+
+    #[test]
+    fn repeated_hits_use_cache() {
+        let mut t = CachedTable::new();
+        for i in 0..32u64 {
+            t.insert(r(i * 0x1000, 0x800)).unwrap();
+        }
+        let addr = VAddr(31 * 0x1000 + 8);
+        for _ in 0..100 {
+            assert!(matches!(
+                t.lookup(addr, Size(8), AccessFlags::RW),
+                Lookup::Permitted(_)
+            ));
+        }
+        assert_eq!(t.cache_misses(), 1);
+        assert_eq!(t.cache_hits(), 99);
+    }
+
+    #[test]
+    fn cache_invalidated_on_mutation() {
+        let mut t = CachedTable::new();
+        t.insert(r(0x1000, 0x800)).unwrap();
+        assert!(matches!(
+            t.lookup(VAddr(0x1000), Size(8), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+        // Remove the region; the cached entry must not survive.
+        t.remove(VAddr(0x1000)).unwrap();
+        assert_eq!(
+            t.lookup(VAddr(0x1000), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        );
+    }
+
+    #[test]
+    fn cache_not_used_across_regions() {
+        let mut t = CachedTable::new();
+        t.insert(r(0x1000, 0x800)).unwrap();
+        t.insert(r(0x9000, 0x800)).unwrap();
+        let _ = t.lookup(VAddr(0x1000), Size(8), AccessFlags::READ);
+        let result = t.lookup(VAddr(0x9000), Size(8), AccessFlags::READ);
+        assert!(matches!(result, Lookup::Permitted(reg) if reg.base == VAddr(0x9000)));
+    }
+
+    #[test]
+    fn forbidden_not_cached() {
+        let mut t = CachedTable::new();
+        t.insert(Region::new(VAddr(0x1000), Size(0x800), Protection::READ_ONLY).unwrap())
+            .unwrap();
+        assert!(matches!(
+            t.lookup(VAddr(0x1000), Size(8), AccessFlags::WRITE),
+            Lookup::Forbidden(_)
+        ));
+        // A subsequent read must be permitted (the forbidden outcome must
+        // not have poisoned the cache).
+        assert!(matches!(
+            t.lookup(VAddr(0x1000), Size(8), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+        // And a repeat write is still forbidden, not served stale from
+        // the (read) cache entry.
+        assert!(matches!(
+            t.lookup(VAddr(0x1000), Size(8), AccessFlags::WRITE),
+            Lookup::Forbidden(_)
+        ));
+    }
+}

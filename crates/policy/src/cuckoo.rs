@@ -1,0 +1,293 @@
+//! Cuckoo-filter front over the region table — the second AMQ family the
+//! paper cites (§3.1 references Fan et al.'s cuckoo filters and Wang et
+//! al.'s vacuum filters alongside Bloom filters).
+//!
+//! Versus the Bloom front ([`crate::bloom`]), a cuckoo filter supports
+//! **deletion**: removing a policy rule removes its page fingerprints
+//! directly instead of rebuilding the whole filter. The soundness
+//! argument is identical — "definitely not present" short-circuits to
+//! the default action; "possibly present" falls through to the
+//! authoritative table, so false positives only cost time, never safety.
+
+use kop_core::layout::PAGE_SHIFT;
+use kop_core::{AccessFlags, Region, Size, VAddr};
+
+use crate::store::{Lookup, PolicyError, RegionStore, StoreKind};
+use crate::table::RegionTable;
+
+const BUCKETS: usize = 1 << 12;
+const SLOTS: usize = 4;
+const MAX_KICKS: usize = 256;
+
+/// A 4-way bucketed cuckoo filter over page numbers with 8-bit
+/// fingerprints (0 = empty).
+#[derive(Clone)]
+struct CuckooFilter {
+    slots: Vec<[u8; SLOTS]>,
+    /// Fingerprints evicted past MAX_KICKS land here (rare); kept so
+    /// deletion stays exact. A non-empty stash also answers "maybe".
+    stash: Vec<(usize, u8)>,
+    /// Deterministic kick selector (no RNG dependency in the hot path).
+    kick_seq: u32,
+}
+
+fn hash64(x: u64, salt: u64) -> u64 {
+    let mut v = x.wrapping_add(salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    v ^= v >> 29;
+    v = v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    v ^= v >> 32;
+    v
+}
+
+impl CuckooFilter {
+    fn new() -> CuckooFilter {
+        CuckooFilter {
+            slots: vec![[0u8; SLOTS]; BUCKETS],
+            stash: Vec::new(),
+            kick_seq: 0,
+        }
+    }
+
+    fn fingerprint(page: u64) -> u8 {
+        let f = (hash64(page, 0xfee1) & 0xff) as u8;
+        if f == 0 {
+            1
+        } else {
+            f
+        }
+    }
+
+    fn index1(page: u64) -> usize {
+        (hash64(page, 0x1d) as usize) % BUCKETS
+    }
+
+    fn index2(i1: usize, fp: u8) -> usize {
+        (i1 ^ (hash64(fp as u64, 0x2d) as usize)) % BUCKETS
+    }
+
+    fn insert(&mut self, page: u64) {
+        let fp = Self::fingerprint(page);
+        let i1 = Self::index1(page);
+        let i2 = Self::index2(i1, fp);
+        for idx in [i1, i2] {
+            for s in &mut self.slots[idx] {
+                if *s == 0 {
+                    *s = fp;
+                    return;
+                }
+            }
+        }
+        // Kick loop.
+        let mut idx = if self.kick_seq & 1 == 0 { i1 } else { i2 };
+        let mut fp = fp;
+        for _ in 0..MAX_KICKS {
+            self.kick_seq = self.kick_seq.wrapping_add(1);
+            let victim_slot = (self.kick_seq as usize) % SLOTS;
+            std::mem::swap(&mut fp, &mut self.slots[idx][victim_slot]);
+            idx = Self::index2(idx, fp);
+            for s in &mut self.slots[idx] {
+                if *s == 0 {
+                    *s = fp;
+                    return;
+                }
+            }
+        }
+        self.stash.push((idx, fp));
+    }
+
+    fn remove(&mut self, page: u64) -> bool {
+        let fp = Self::fingerprint(page);
+        let i1 = Self::index1(page);
+        let i2 = Self::index2(i1, fp);
+        for idx in [i1, i2] {
+            for s in &mut self.slots[idx] {
+                if *s == fp {
+                    *s = 0;
+                    return true;
+                }
+            }
+        }
+        // The kick loop may have parked the fingerprint anywhere; fall
+        // back to scanning the stash, then give up conservatively (a
+        // stale fingerprint is safe — it only costs a table walk).
+        if let Some(pos) = self.stash.iter().position(|&(_, f)| f == fp) {
+            self.stash.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    fn maybe_contains(&self, page: u64) -> bool {
+        let fp = Self::fingerprint(page);
+        let i1 = Self::index1(page);
+        let i2 = Self::index2(i1, fp);
+        self.slots[i1].contains(&fp)
+            || self.slots[i2].contains(&fp)
+            || self.stash.iter().any(|&(_, f)| f == fp)
+    }
+}
+
+/// Cuckoo-filter front + authoritative region table.
+#[derive(Clone)]
+pub struct CuckooFrontTable {
+    filter: CuckooFilter,
+    table: RegionTable,
+}
+
+impl Default for CuckooFrontTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CuckooFrontTable {
+    /// An empty store.
+    pub fn new() -> CuckooFrontTable {
+        CuckooFrontTable {
+            filter: CuckooFilter::new(),
+            table: RegionTable::new(),
+        }
+    }
+
+    fn pages(r: &Region) -> impl Iterator<Item = u64> {
+        let first = r.base.raw() >> PAGE_SHIFT;
+        let last = r.last().expect("validated non-empty").raw() >> PAGE_SHIFT;
+        first..=last
+    }
+}
+
+impl RegionStore for CuckooFrontTable {
+    fn kind(&self) -> StoreKind {
+        StoreKind::CuckooFront
+    }
+
+    fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
+        self.table.insert(region)?;
+        for page in Self::pages(&region) {
+            self.filter.insert(page);
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, base: VAddr) -> Result<Region, PolicyError> {
+        let removed = self.table.remove(base)?;
+        // Exact deletion — the cuckoo filter's advantage over the Bloom
+        // front's full rebuild. Pages shared with other regions may lose
+        // their fingerprint only if fingerprints collide; stale entries
+        // are safe, missing entries are not, so re-insert pages still
+        // covered by remaining rules.
+        for page in Self::pages(&removed) {
+            self.filter.remove(page);
+        }
+        for r in self.table.snapshot() {
+            for page in Self::pages(&r) {
+                if !self.filter.maybe_contains(page) {
+                    self.filter.insert(page);
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    fn clear(&mut self) {
+        self.table.clear();
+        self.filter = CuckooFilter::new();
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn snapshot(&self) -> Vec<Region> {
+        self.table.snapshot()
+    }
+
+    #[inline]
+    fn lookup(&mut self, addr: VAddr, size: Size, flags: AccessFlags) -> Lookup {
+        let page = addr.raw() >> PAGE_SHIFT;
+        if !self.filter.maybe_contains(page) {
+            return Lookup::NoMatch;
+        }
+        self.table.lookup(addr, size, flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Protection;
+
+    fn r(base: u64, len: u64) -> Region {
+        Region::new(VAddr(base), Size(len), Protection::READ_WRITE).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_plain_table() {
+        let mut cuckoo = CuckooFrontTable::new();
+        let mut table = RegionTable::new();
+        for i in 0..32u64 {
+            let reg = r(0x10_0000 + i * 0x10_000, 0x1000);
+            cuckoo.insert(reg).unwrap();
+            table.insert(reg).unwrap();
+        }
+        for probe in (0u64..0x40_0000).step_by(0x777) {
+            let a = VAddr(0x10_0000 + probe);
+            assert_eq!(
+                cuckoo.lookup(a, Size(8), AccessFlags::RW),
+                table.lookup(a, Size(8), AccessFlags::RW),
+                "disagreement at {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn deletion_without_rebuild() {
+        let mut cuckoo = CuckooFrontTable::new();
+        cuckoo.insert(r(0x10_0000, 0x1000)).unwrap();
+        cuckoo.insert(r(0x20_0000, 0x1000)).unwrap();
+        cuckoo.remove(VAddr(0x10_0000)).unwrap();
+        assert_eq!(
+            cuckoo.lookup(VAddr(0x10_0000), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        );
+        assert!(matches!(
+            cuckoo.lookup(VAddr(0x20_0000), Size(8), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+    }
+
+    #[test]
+    fn shared_page_survives_removal_of_one_rule() {
+        // Two rules on the same 4 KiB page: removing one must not hide
+        // the other.
+        let mut cuckoo = CuckooFrontTable::new();
+        cuckoo.insert(r(0x30_0000, 0x100)).unwrap();
+        cuckoo.insert(r(0x30_0800, 0x100)).unwrap();
+        cuckoo.remove(VAddr(0x30_0000)).unwrap();
+        assert!(matches!(
+            cuckoo.lookup(VAddr(0x30_0800), Size(8), AccessFlags::RW),
+            Lookup::Permitted(_)
+        ));
+    }
+
+    #[test]
+    fn filter_fill_and_kick_paths() {
+        // Enough multi-page regions to force kicks; correctness must hold.
+        let mut cuckoo = CuckooFrontTable::new();
+        for i in 0..64u64 {
+            cuckoo.insert(r(0x100_0000 + i * 0x80_000, 0x40_000)).unwrap(); // 64 pages each
+        }
+        for i in 0..64u64 {
+            let a = VAddr(0x100_0000 + i * 0x80_000 + 0x2_0000);
+            assert!(
+                matches!(cuckoo.lookup(a, Size(8), AccessFlags::RW), Lookup::Permitted(_)),
+                "region {i} lost"
+            );
+        }
+        // Definite misses still short-circuit.
+        assert_eq!(
+            cuckoo.lookup(VAddr(0xdead_dead_0000), Size(8), AccessFlags::RW),
+            Lookup::NoMatch
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! Augmented interval tree — the comparator the paper names directly
+//! (§3.1): *"the Linux kernel's red-black tree (even though the tree would
+//! have O(log n) time complexity)"*. Linux tracks VMAs in an rbtree
+//! augmented with subtree max-end; this is the same structure implemented
+//! as an AVL tree (same O(log n) bound, simpler balancing).
+//!
+//! Unlike the sorted table and splay tree, the interval tree *can* maintain
+//! overlapping regions — the augmentation exists precisely to answer
+//! stabbing queries over overlapping intervals.
+
+use kop_core::{AccessFlags, Region, Size, VAddr};
+
+use crate::store::{validate_region, Lookup, PolicyError, RegionStore, StoreKind};
+
+#[derive(Clone, Debug)]
+struct Node {
+    region: Region,
+    /// Last address of the region (inclusive) — cached.
+    last: VAddr,
+    /// Max `last` over this whole subtree (the augmentation).
+    max_last: VAddr,
+    height: i32,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl Node {
+    fn new(region: Region) -> Box<Node> {
+        let last = region.last().expect("validated non-empty");
+        Box::new(Node {
+            region,
+            last,
+            max_last: last,
+            height: 1,
+            left: None,
+            right: None,
+        })
+    }
+
+    fn update(&mut self) {
+        self.height = 1 + height(&self.left).max(height(&self.right));
+        self.max_last = self.last;
+        if let Some(l) = &self.left {
+            self.max_last = self.max_last.max(l.max_last);
+        }
+        if let Some(r) = &self.right {
+            self.max_last = self.max_last.max(r.max_last);
+        }
+    }
+
+    fn balance_factor(&self) -> i32 {
+        height(&self.left) - height(&self.right)
+    }
+}
+
+fn height(n: &Option<Box<Node>>) -> i32 {
+    n.as_ref().map_or(0, |x| x.height)
+}
+
+fn rotate_right(mut root: Box<Node>) -> Box<Node> {
+    let mut new_root = root.left.take().expect("rotate_right needs left child");
+    root.left = new_root.right.take();
+    root.update();
+    new_root.right = Some(root);
+    new_root.update();
+    new_root
+}
+
+fn rotate_left(mut root: Box<Node>) -> Box<Node> {
+    let mut new_root = root.right.take().expect("rotate_left needs right child");
+    root.right = new_root.left.take();
+    root.update();
+    new_root.left = Some(root);
+    new_root.update();
+    new_root
+}
+
+fn rebalance(mut node: Box<Node>) -> Box<Node> {
+    node.update();
+    let bf = node.balance_factor();
+    if bf > 1 {
+        if node.left.as_ref().expect("bf>1").balance_factor() < 0 {
+            node.left = Some(rotate_left(node.left.take().expect("bf>1")));
+        }
+        rotate_right(node)
+    } else if bf < -1 {
+        if node.right.as_ref().expect("bf<-1").balance_factor() > 0 {
+            node.right = Some(rotate_right(node.right.take().expect("bf<-1")));
+        }
+        rotate_left(node)
+    } else {
+        node
+    }
+}
+
+fn insert_node(node: Option<Box<Node>>, region: Region) -> Box<Node> {
+    match node {
+        None => Node::new(region),
+        Some(mut n) => {
+            if region.base < n.region.base {
+                n.left = Some(insert_node(n.left.take(), region));
+            } else {
+                n.right = Some(insert_node(n.right.take(), region));
+            }
+            rebalance(n)
+        }
+    }
+}
+
+fn remove_node(node: Option<Box<Node>>, base: VAddr) -> (Option<Box<Node>>, Option<Region>) {
+    let Some(mut n) = node else {
+        return (None, None);
+    };
+    let removed;
+    if base < n.region.base {
+        let (l, r) = remove_node(n.left.take(), base);
+        n.left = l;
+        removed = r;
+    } else if base > n.region.base {
+        let (rnode, r) = remove_node(n.right.take(), base);
+        n.right = rnode;
+        removed = r;
+    } else {
+        // Found (first node with this base on the search path).
+        removed = Some(n.region);
+        match (n.left.take(), n.right.take()) {
+            (None, None) => return (None, removed),
+            (Some(l), None) => return (Some(l), removed),
+            (None, Some(r)) => return (Some(r), removed),
+            (Some(l), Some(r)) => {
+                // Replace with in-order successor (min of right subtree).
+                let (r_rest, succ) = take_min(r);
+                let mut replacement = Node::new(succ);
+                replacement.left = Some(l);
+                replacement.right = r_rest;
+                return (Some(rebalance(replacement)), removed);
+            }
+        }
+    }
+    (Some(rebalance(n)), removed)
+}
+
+fn take_min(mut node: Box<Node>) -> (Option<Box<Node>>, Region) {
+    if let Some(l) = node.left.take() {
+        let (rest, min) = take_min(l);
+        node.left = rest;
+        (Some(rebalance(node)), min)
+    } else {
+        (node.right.take(), node.region)
+    }
+}
+
+/// Stabbing query: visit every region covering the whole `[addr, size)`
+/// access, pruned by the max-last augmentation.
+fn query(
+    node: &Option<Box<Node>>,
+    addr: VAddr,
+    size: Size,
+    flags: AccessFlags,
+    covering: &mut Option<Region>,
+) -> Option<Region> {
+    let n = node.as_ref()?;
+    // If nothing in this subtree ends at or after addr, no interval here
+    // can contain it.
+    if n.max_last < addr {
+        return None;
+    }
+    // Left subtree may contain covering intervals.
+    if let Some(found) = query(&n.left, addr, size, flags, covering) {
+        return Some(found);
+    }
+    if n.region.covers(addr, size) {
+        if n.region.prot.allows(flags) {
+            return Some(n.region);
+        }
+        covering.get_or_insert(n.region);
+    }
+    // Right subtree only if intervals there can start at or before addr.
+    if n.region.base <= addr {
+        if let Some(found) = query(&n.right, addr, size, flags, covering) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// AVL interval tree with max-end augmentation; supports overlapping rules.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalTree {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl IntervalTree {
+    /// An empty tree.
+    pub fn new() -> IntervalTree {
+        IntervalTree::default()
+    }
+
+    /// Tree height (testing aid for the balance invariant).
+    pub fn height(&self) -> i32 {
+        height(&self.root)
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn walk(n: &Option<Box<Node>>) -> Option<(VAddr, i32)> {
+            let node = n.as_ref()?;
+            let mut max_last = node.last;
+            let mut h = 1;
+            if let Some((l_max, l_h)) = walk(&node.left) {
+                max_last = max_last.max(l_max);
+                h = h.max(1 + l_h);
+            }
+            if let Some((r_max, r_h)) = walk(&node.right) {
+                max_last = max_last.max(r_max);
+                h = h.max(1 + r_h);
+            }
+            assert_eq!(node.max_last, max_last, "augmentation out of date");
+            assert_eq!(node.height, h, "height out of date");
+            assert!(node.balance_factor().abs() <= 1, "AVL balance violated");
+            Some((max_last, h))
+        }
+        walk(&self.root);
+    }
+}
+
+impl RegionStore for IntervalTree {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Interval
+    }
+
+    fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
+        validate_region(&region)?;
+        self.root = Some(insert_node(self.root.take(), region));
+        self.len += 1;
+        Ok(())
+    }
+
+    fn remove(&mut self, base: VAddr) -> Result<Region, PolicyError> {
+        let (root, removed) = remove_node(self.root.take(), base);
+        self.root = root;
+        match removed {
+            Some(r) => {
+                self.len -= 1;
+                Ok(r)
+            }
+            None => Err(PolicyError::NoSuchRegion { base }),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn snapshot(&self) -> Vec<Region> {
+        fn walk(n: &Option<Box<Node>>, out: &mut Vec<Region>) {
+            if let Some(node) = n {
+                walk(&node.left, out);
+                out.push(node.region);
+                walk(&node.right, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.root, &mut out);
+        out
+    }
+
+    #[inline]
+    fn lookup(&mut self, addr: VAddr, size: Size, flags: AccessFlags) -> Lookup {
+        let mut covering = None;
+        match query(&self.root, addr, size, flags, &mut covering) {
+            Some(r) => Lookup::Permitted(r),
+            None => match covering {
+                Some(r) => Lookup::Forbidden(r),
+                None => Lookup::NoMatch,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Protection;
+
+    fn r(base: u64, len: u64) -> Region {
+        Region::new(VAddr(base), Size(len), Protection::READ_WRITE).unwrap()
+    }
+
+    #[test]
+    fn insert_many_stays_balanced() {
+        let mut t = IntervalTree::new();
+        for i in 0..1024u64 {
+            t.insert(r(i * 0x1000, 0x800)).unwrap();
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1024);
+        // AVL height bound: 1.44 log2(n+2) ≈ 14.5 for n=1024.
+        assert!(t.height() <= 15, "height {} too large", t.height());
+        // All lookups work.
+        assert!(matches!(
+            t.lookup(VAddr(512 * 0x1000 + 4), Size(8), AccessFlags::RW),
+            Lookup::Permitted(_)
+        ));
+        assert!(matches!(
+            t.lookup(VAddr(512 * 0x1000 + 0x800), Size(8), AccessFlags::RW),
+            Lookup::NoMatch
+        ));
+    }
+
+    #[test]
+    fn supports_overlapping_rules() {
+        let mut t = IntervalTree::new();
+        t.insert(Region::new(VAddr(0x1000), Size(0x10000), Protection::READ_ONLY).unwrap())
+            .unwrap();
+        t.insert(Region::new(VAddr(0x4000), Size(0x1000), Protection::READ_WRITE).unwrap())
+            .unwrap();
+        t.check_invariants();
+        // Write inside the RW window: permitted via the overlapping rule.
+        assert!(matches!(
+            t.lookup(VAddr(0x4800), Size(8), AccessFlags::WRITE),
+            Lookup::Permitted(_)
+        ));
+        // Write outside the window but inside the RO blanket: forbidden.
+        assert!(matches!(
+            t.lookup(VAddr(0x2000), Size(8), AccessFlags::WRITE),
+            Lookup::Forbidden(_)
+        ));
+        // Read anywhere in the blanket: permitted.
+        assert!(matches!(
+            t.lookup(VAddr(0x2000), Size(8), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+    }
+
+    #[test]
+    fn remove_rebalances() {
+        let mut t = IntervalTree::new();
+        for i in 0..256u64 {
+            t.insert(r(i * 0x1000, 0x800)).unwrap();
+        }
+        for i in (0..256u64).step_by(2) {
+            t.remove(VAddr(i * 0x1000)).unwrap();
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 128);
+        assert!(matches!(
+            t.lookup(VAddr(3 * 0x1000), Size(8), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+        assert!(matches!(
+            t.lookup(VAddr(2 * 0x1000), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        ));
+        assert!(t.remove(VAddr(2 * 0x1000)).is_err());
+    }
+
+    #[test]
+    fn snapshot_sorted_by_base() {
+        let mut t = IntervalTree::new();
+        for base in [0x9000u64, 0x1000, 0x5000] {
+            t.insert(r(base, 0x100)).unwrap();
+        }
+        let bases: Vec<u64> = t.snapshot().iter().map(|x| x.base.raw()).collect();
+        assert_eq!(bases, vec![0x1000, 0x5000, 0x9000]);
+    }
+
+    #[test]
+    fn nested_overlaps_resolve() {
+        // Three nested regions with increasing permissiveness inside.
+        let mut t = IntervalTree::new();
+        t.insert(Region::new(VAddr(0x0), Size(0x100000), Protection::NONE).unwrap())
+            .unwrap();
+        t.insert(Region::new(VAddr(0x10000), Size(0x10000), Protection::READ_ONLY).unwrap())
+            .unwrap();
+        t.insert(Region::new(VAddr(0x14000), Size(0x1000), Protection::READ_WRITE).unwrap())
+            .unwrap();
+        t.check_invariants();
+        assert!(matches!(
+            t.lookup(VAddr(0x14000), Size(8), AccessFlags::WRITE),
+            Lookup::Permitted(_)
+        ));
+        assert!(matches!(
+            t.lookup(VAddr(0x10000), Size(8), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+        assert!(matches!(
+            t.lookup(VAddr(0x10000), Size(8), AccessFlags::WRITE),
+            Lookup::Forbidden(_)
+        ));
+        assert!(matches!(
+            t.lookup(VAddr(0x50000), Size(8), AccessFlags::READ),
+            Lookup::Forbidden(_)
+        ));
+    }
+}

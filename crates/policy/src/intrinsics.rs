@@ -1,0 +1,102 @@
+//! The intrinsic policy table — "a different policy table could be
+//! consulted to determine if a given kernel module has access to a
+//! privileged intrinsic" (paper §5).
+//!
+//! Where the region table answers "may this module touch these bytes?",
+//! the intrinsic table answers "may this module execute this privileged
+//! operation?" — e.g. a performance-monitoring module may be granted
+//! `__rdmsr`/`__wrmsr` but not `__cli`.
+
+use std::collections::BTreeSet;
+
+use kop_core::error::ViolationKind;
+use kop_core::{AccessFlags, Size, VAddr, Violation};
+
+/// A set of permitted privileged-intrinsic ids.
+#[derive(Clone, Debug, Default)]
+pub struct IntrinsicPolicy {
+    allowed: BTreeSet<u32>,
+    /// When true, unlisted intrinsics are permitted (audit-style); default
+    /// is deny.
+    pub default_allow: bool,
+}
+
+impl IntrinsicPolicy {
+    /// An empty, default-deny table.
+    pub fn new() -> IntrinsicPolicy {
+        IntrinsicPolicy::default()
+    }
+
+    /// Grant an intrinsic id.
+    pub fn allow(&mut self, id: u32) {
+        self.allowed.insert(id);
+    }
+
+    /// Revoke an intrinsic id. Returns whether it was granted.
+    pub fn revoke(&mut self, id: u32) -> bool {
+        self.allowed.remove(&id)
+    }
+
+    /// Clear all grants.
+    pub fn clear(&mut self) {
+        self.allowed.clear();
+        self.default_allow = false;
+    }
+
+    /// The granted ids in order.
+    pub fn granted(&self) -> Vec<u32> {
+        self.allowed.iter().copied().collect()
+    }
+
+    /// Classify an invocation of intrinsic `id`.
+    pub fn check(&self, id: u32) -> Result<(), Violation> {
+        if self.allowed.contains(&id) || self.default_allow {
+            Ok(())
+        } else {
+            // The violation record reuses the memory-violation shape: the
+            // "address" carries the intrinsic id, size 0, EXEC intent.
+            Err(Violation::new(
+                VAddr(id as u64),
+                Size(0),
+                AccessFlags::EXEC,
+                ViolationKind::ForbiddenIntrinsic,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_deny() {
+        let p = IntrinsicPolicy::new();
+        let v = p.check(0).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::ForbiddenIntrinsic);
+        assert_eq!(v.addr, VAddr(0));
+    }
+
+    #[test]
+    fn allow_and_revoke() {
+        let mut p = IntrinsicPolicy::new();
+        p.allow(1);
+        p.allow(3);
+        assert!(p.check(1).is_ok());
+        assert!(p.check(3).is_ok());
+        assert!(p.check(2).is_err());
+        assert_eq!(p.granted(), vec![1, 3]);
+        assert!(p.revoke(1));
+        assert!(!p.revoke(1));
+        assert!(p.check(1).is_err());
+    }
+
+    #[test]
+    fn default_allow_mode() {
+        let mut p = IntrinsicPolicy::new();
+        p.default_allow = true;
+        assert!(p.check(42).is_ok());
+        p.clear();
+        assert!(p.check(42).is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! The policy module itself: a region store + default action + violation
+//! action + statistics behind the `carat_guard` entry point.
+//!
+//! §3.1: *"this module is inserted into the kernel and provides a single
+//! symbol, `carat_guard`, which is invoked by modules which have been
+//! transformed by the compiler. This interface is general enough — and
+//! simple enough — that potentially any memory policy system could be
+//! built on top of it."*
+
+use std::sync::Mutex as StdMutex;
+
+use parking_lot::Mutex;
+
+use kop_core::error::ViolationKind;
+use kop_core::{AccessFlags, KernelError, Region, Size, VAddr, Violation};
+
+use crate::intrinsics::IntrinsicPolicy;
+use crate::stats::{GuardStats, GuardStatsSnapshot};
+use crate::store::{make_store, Lookup, PolicyError, RegionStore, StoreKind};
+use crate::PolicyCheck;
+
+/// What happens when no region covers an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefaultAction {
+    /// Allow unmatched accesses (regions then act as deny/downgrade rules).
+    Allow,
+    /// Deny unmatched accesses (regions act as allow rules) — the safe
+    /// default for firewalling a module.
+    Deny,
+}
+
+/// What the policy module does when a check fails.
+///
+/// The paper (§3.1): forcibly unloading a running module is dangerous
+/// (locks held, state shared), so CARAT KOP "log[s] that they occur and
+/// cause[s] a kernel panic" — and argues a hard stop is the *right* call in
+/// production HPC. The other two actions exist for development.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationAction {
+    /// Log and panic the (simulated) kernel — the paper's behaviour.
+    Panic,
+    /// Log and squash the access (like a page fault that skips the op).
+    LogAndDeny,
+    /// Log and let the access proceed (audit mode).
+    LogAndAllow,
+}
+
+/// Outcome of an enforced guard check.
+#[derive(Debug)]
+pub enum GuardOutcome {
+    /// The access may proceed.
+    Allowed,
+    /// The access must be squashed; execution may continue.
+    Denied(Violation),
+    /// The kernel has panicked (the paper's configuration).
+    Panicked(KernelError),
+}
+
+impl GuardOutcome {
+    /// Whether the access may proceed.
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, GuardOutcome::Allowed)
+    }
+}
+
+/// Maximum violation log entries retained.
+const LOG_CAP: usize = 1024;
+
+/// The CARAT KOP policy module.
+///
+/// ```
+/// use kop_core::{AccessFlags, Protection, Region, Size, VAddr};
+/// use kop_policy::PolicyModule;
+///
+/// let pm = PolicyModule::new(); // default deny
+/// pm.add_region(Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).unwrap())
+///     .unwrap();
+/// assert!(pm.check(VAddr(0x1800), Size(8), AccessFlags::RW).is_ok());
+/// assert!(pm.check(VAddr(0x9000), Size(8), AccessFlags::READ).is_err());
+/// ```
+pub struct PolicyModule {
+    store: Mutex<Box<dyn RegionStore + Send>>,
+    intrinsics: Mutex<IntrinsicPolicy>,
+    default_action: Mutex<DefaultAction>,
+    violation_action: Mutex<ViolationAction>,
+    stats: GuardStats,
+    // Std mutex here: the log is cold and std's poisoning is irrelevant for
+    // a Vec of strings.
+    log: StdMutex<Vec<String>>,
+}
+
+impl PolicyModule {
+    /// A policy module backed by the paper's 64-entry table, default deny,
+    /// panic on violation.
+    pub fn new() -> PolicyModule {
+        Self::with_kind(StoreKind::Table)
+    }
+
+    /// A policy module backed by a chosen structure.
+    pub fn with_kind(kind: StoreKind) -> PolicyModule {
+        PolicyModule {
+            store: Mutex::new(make_store(kind)),
+            intrinsics: Mutex::new(IntrinsicPolicy::new()),
+            default_action: Mutex::new(DefaultAction::Deny),
+            violation_action: Mutex::new(ViolationAction::Panic),
+            stats: GuardStats::new(),
+            log: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// The paper's two-region evaluation policy (§4.2, footnote 5): *"For
+    /// two regions specifically, the policy rule is that kernel addresses
+    /// (the 'high half') are allowed, but user addresses (the 'low half')
+    /// are disallowed."*
+    pub fn two_region_paper_policy() -> PolicyModule {
+        use kop_core::layout::{KERNEL_HALF_BASE, USER_HALF_END};
+        use kop_core::Protection;
+        let pm = PolicyModule::new();
+        // Rule 1: the whole kernel half, read-write.
+        pm.add_region(
+            Region::new(
+                VAddr(KERNEL_HALF_BASE),
+                Size(u64::MAX - KERNEL_HALF_BASE + 1),
+                Protection::READ_WRITE,
+            )
+            .expect("kernel half region"),
+        )
+        .expect("insert kernel half");
+        // Rule 2: the whole user half, no permissions (explicit deny).
+        pm.add_region(
+            Region::new(VAddr(0), Size(USER_HALF_END), Protection::NONE).expect("user half"),
+        )
+        .expect("insert user half");
+        pm
+    }
+
+    /// Backing structure kind.
+    pub fn store_kind(&self) -> StoreKind {
+        self.store.lock().kind()
+    }
+
+    /// Add a firewall rule.
+    pub fn add_region(&self, region: Region) -> Result<(), PolicyError> {
+        self.store.lock().insert(region)
+    }
+
+    /// Remove the rule with this base address.
+    pub fn remove_region(&self, base: VAddr) -> Result<Region, PolicyError> {
+        self.store.lock().remove(base)
+    }
+
+    /// Drop all rules.
+    pub fn clear_regions(&self) {
+        self.store.lock().clear()
+    }
+
+    /// Number of rules.
+    pub fn region_count(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// Snapshot of all rules.
+    pub fn regions(&self) -> Vec<Region> {
+        self.store.lock().snapshot()
+    }
+
+    /// Grant a privileged intrinsic (§5 extension).
+    pub fn allow_intrinsic(&self, id: u32) {
+        self.intrinsics.lock().allow(id);
+    }
+
+    /// Revoke a privileged intrinsic; returns whether it was granted.
+    pub fn revoke_intrinsic(&self, id: u32) -> bool {
+        self.intrinsics.lock().revoke(id)
+    }
+
+    /// The granted intrinsic ids.
+    pub fn granted_intrinsics(&self) -> Vec<u32> {
+        self.intrinsics.lock().granted()
+    }
+
+    /// The pure intrinsic check: classify, update stats, log violations.
+    pub fn check_intrinsic(&self, id: u32) -> Result<(), Violation> {
+        match self.intrinsics.lock().check(id) {
+            Ok(()) => {
+                self.stats.record_permitted();
+                Ok(())
+            }
+            Err(v) => {
+                self.stats.record_insufficient();
+                self.log_violation(&v);
+                Err(v)
+            }
+        }
+    }
+
+    /// Check an intrinsic and apply the configured violation action.
+    pub fn enforce_intrinsic(&self, id: u32) -> GuardOutcome {
+        match self.check_intrinsic(id) {
+            Ok(()) => GuardOutcome::Allowed,
+            Err(v) => match self.violation_action() {
+                ViolationAction::Panic => GuardOutcome::Panicked(v.into()),
+                ViolationAction::LogAndDeny => GuardOutcome::Denied(v),
+                ViolationAction::LogAndAllow => GuardOutcome::Allowed,
+            },
+        }
+    }
+
+    /// Set the default action.
+    pub fn set_default_action(&self, action: DefaultAction) {
+        *self.default_action.lock() = action;
+    }
+
+    /// Current default action.
+    pub fn default_action(&self) -> DefaultAction {
+        *self.default_action.lock()
+    }
+
+    /// Set the violation action.
+    pub fn set_violation_action(&self, action: ViolationAction) {
+        *self.violation_action.lock() = action;
+    }
+
+    /// Current violation action.
+    pub fn violation_action(&self) -> ViolationAction {
+        *self.violation_action.lock()
+    }
+
+    /// Guard statistics snapshot.
+    pub fn stats(&self) -> GuardStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&self) {
+        self.stats.reset()
+    }
+
+    /// The violation log (most recent last).
+    pub fn violation_log(&self) -> Vec<String> {
+        self.log.lock().expect("log lock").clone()
+    }
+
+    fn log_violation(&self, v: &Violation) {
+        let mut log = self.log.lock().expect("log lock");
+        if log.len() == LOG_CAP {
+            log.remove(0);
+        }
+        log.push(v.to_string());
+    }
+
+    /// The pure check: classify the access, update stats, log violations.
+    /// Does **not** apply the violation action — see [`Self::enforce`].
+    pub fn check(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+        if size.raw() == 0 || flags.is_empty() {
+            let v = Violation::new(addr, size, flags, ViolationKind::MalformedAccess);
+            self.stats.record_malformed();
+            self.log_violation(&v);
+            return Err(v);
+        }
+        if addr.checked_add(size.raw() - 1).is_none() {
+            let v = Violation::new(addr, size, flags, ViolationKind::AddressOverflow);
+            self.stats.record_malformed();
+            self.log_violation(&v);
+            return Err(v);
+        }
+        let lookup = self.store.lock().lookup(addr, size, flags);
+        match lookup {
+            Lookup::Permitted(_) => {
+                self.stats.record_permitted();
+                Ok(())
+            }
+            Lookup::Forbidden(_) => {
+                let v = Violation::new(addr, size, flags, ViolationKind::InsufficientPermissions);
+                self.stats.record_insufficient();
+                self.log_violation(&v);
+                Err(v)
+            }
+            Lookup::NoMatch => match self.default_action() {
+                DefaultAction::Allow => {
+                    self.stats.record_permitted();
+                    Ok(())
+                }
+                DefaultAction::Deny => {
+                    let v = Violation::new(addr, size, flags, ViolationKind::NoMatchingRegion);
+                    self.stats.record_no_match();
+                    self.log_violation(&v);
+                    Err(v)
+                }
+            },
+        }
+    }
+
+    /// Check and apply the configured violation action.
+    pub fn enforce(&self, addr: VAddr, size: Size, flags: AccessFlags) -> GuardOutcome {
+        match self.check(addr, size, flags) {
+            Ok(()) => GuardOutcome::Allowed,
+            Err(v) => match self.violation_action() {
+                ViolationAction::Panic => GuardOutcome::Panicked(v.into()),
+                ViolationAction::LogAndDeny => GuardOutcome::Denied(v),
+                ViolationAction::LogAndAllow => GuardOutcome::Allowed,
+            },
+        }
+    }
+}
+
+impl Default for PolicyModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PolicyCheck for PolicyModule {
+    #[inline]
+    fn carat_guard(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+        self.check(addr, size, flags)
+    }
+}
+
+impl PolicyCheck for &PolicyModule {
+    #[inline]
+    fn carat_guard(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+        (*self).check(addr, size, flags)
+    }
+}
+
+impl PolicyCheck for std::sync::Arc<PolicyModule> {
+    #[inline]
+    fn carat_guard(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+        self.as_ref().check(addr, size, flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::layout::{DIRECT_MAP_BASE, KERNEL_HALF_BASE};
+    use kop_core::Protection;
+
+    #[test]
+    fn two_region_paper_policy_semantics() {
+        let pm = PolicyModule::two_region_paper_policy();
+        assert_eq!(pm.region_count(), 2);
+        // Kernel-half access allowed.
+        assert!(pm
+            .check(VAddr(DIRECT_MAP_BASE + 0x1000), Size(8), AccessFlags::RW)
+            .is_ok());
+        // User-half access denied with InsufficientPermissions (covered by
+        // the explicit NONE rule).
+        let v = pm
+            .check(VAddr(0x40_0000), Size(8), AccessFlags::READ)
+            .unwrap_err();
+        assert_eq!(v.kind, ViolationKind::InsufficientPermissions);
+        // Exec in the kernel half is not granted by the RW rule.
+        let v = pm
+            .check(VAddr(KERNEL_HALF_BASE), Size(1), AccessFlags::EXEC)
+            .unwrap_err();
+        assert_eq!(v.kind, ViolationKind::InsufficientPermissions);
+    }
+
+    #[test]
+    fn default_allow_vs_deny() {
+        let pm = PolicyModule::new();
+        let addr = VAddr(0x1234_5678);
+        // Default deny, empty policy: everything denied.
+        let v = pm.check(addr, Size(4), AccessFlags::READ).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::NoMatchingRegion);
+        // Flip to allow: everything permitted.
+        pm.set_default_action(DefaultAction::Allow);
+        assert!(pm.check(addr, Size(4), AccessFlags::READ).is_ok());
+    }
+
+    #[test]
+    fn malformed_accesses_rejected() {
+        let pm = PolicyModule::new();
+        pm.set_default_action(DefaultAction::Allow);
+        let v = pm
+            .check(VAddr(0x1000), Size(0), AccessFlags::READ)
+            .unwrap_err();
+        assert_eq!(v.kind, ViolationKind::MalformedAccess);
+        let v = pm
+            .check(VAddr(0x1000), Size(8), AccessFlags::NONE)
+            .unwrap_err();
+        assert_eq!(v.kind, ViolationKind::MalformedAccess);
+        let v = pm
+            .check(VAddr(u64::MAX), Size(2), AccessFlags::READ)
+            .unwrap_err();
+        assert_eq!(v.kind, ViolationKind::AddressOverflow);
+    }
+
+    #[test]
+    fn enforce_applies_violation_action() {
+        let pm = PolicyModule::new(); // default deny + panic
+        let addr = VAddr(0x1000);
+        match pm.enforce(addr, Size(8), AccessFlags::READ) {
+            GuardOutcome::Panicked(KernelError::Panic { violation, .. }) => {
+                assert!(violation.is_some());
+            }
+            other => panic!("expected panic, got {other:?}"),
+        }
+        pm.set_violation_action(ViolationAction::LogAndDeny);
+        assert!(matches!(
+            pm.enforce(addr, Size(8), AccessFlags::READ),
+            GuardOutcome::Denied(_)
+        ));
+        pm.set_violation_action(ViolationAction::LogAndAllow);
+        assert!(pm.enforce(addr, Size(8), AccessFlags::READ).is_allowed());
+    }
+
+    #[test]
+    fn stats_and_log_track_checks() {
+        let pm = PolicyModule::new();
+        pm.add_region(Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).unwrap())
+            .unwrap();
+        assert!(pm.check(VAddr(0x1800), Size(8), AccessFlags::RW).is_ok());
+        let _ = pm.check(VAddr(0x9000), Size(8), AccessFlags::RW);
+        let s = pm.stats();
+        assert_eq!(s.checks, 2);
+        assert_eq!(s.permitted, 1);
+        assert_eq!(s.denied_no_match, 1);
+        let log = pm.violation_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].contains("no matching policy region"));
+        pm.reset_stats();
+        assert_eq!(pm.stats().checks, 0);
+    }
+
+    #[test]
+    fn policy_mutable_at_runtime_without_reloading() {
+        // §3.2: swapping the policy does not require recompiling the
+        // guarded module — the module just calls carat_guard.
+        let pm = PolicyModule::new();
+        let addr = VAddr(0xffff_8880_0000_1000);
+        assert!(pm.check(addr, Size(8), AccessFlags::READ).is_err());
+        pm.add_region(
+            Region::new(VAddr(0xffff_8880_0000_0000), Size(1 << 30), Protection::READ_WRITE)
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(pm.check(addr, Size(8), AccessFlags::READ).is_ok());
+        pm.remove_region(VAddr(0xffff_8880_0000_0000)).unwrap();
+        assert!(pm.check(addr, Size(8), AccessFlags::READ).is_err());
+    }
+
+    #[test]
+    fn works_with_every_store_kind() {
+        for kind in StoreKind::ALL {
+            let pm = PolicyModule::with_kind(kind);
+            assert_eq!(pm.store_kind(), kind);
+            pm.add_region(
+                Region::new(VAddr(0x10_0000), Size(0x1000), Protection::READ_WRITE).unwrap(),
+            )
+            .unwrap();
+            assert!(
+                pm.check(VAddr(0x10_0800), Size(8), AccessFlags::RW).is_ok(),
+                "{kind} should permit"
+            );
+            assert!(
+                pm.check(VAddr(0x20_0000), Size(8), AccessFlags::RW).is_err(),
+                "{kind} should deny"
+            );
+        }
+    }
+
+    #[test]
+    fn log_capped() {
+        let pm = PolicyModule::new();
+        for i in 0..(LOG_CAP + 10) {
+            let _ = pm.check(VAddr(i as u64 * 8), Size(8), AccessFlags::READ);
+        }
+        assert_eq!(pm.violation_log().len(), LOG_CAP);
+    }
+}

@@ -1,0 +1,174 @@
+//! Sorted region table with binary search — the paper's first suggested
+//! scaling step (§4.2): *"The first of these would be simply to sort the
+//! regions in the policy in order, and then do a binary search over the
+//! table instead of a linear scan."*
+//!
+//! Sorting requires non-overlapping regions (the tradeoff the paper calls
+//! out in §3.1): overlapping inserts are rejected.
+
+use kop_core::{AccessFlags, Region, Size, VAddr};
+
+use crate::store::{validate_region, Lookup, PolicyError, RegionStore, StoreKind};
+
+/// Regions sorted by base address; lookup is a binary search.
+#[derive(Clone, Debug, Default)]
+pub struct SortedRegionTable {
+    regions: Vec<Region>,
+}
+
+impl SortedRegionTable {
+    /// An empty table.
+    pub fn new() -> SortedRegionTable {
+        SortedRegionTable::default()
+    }
+
+    /// Index of the candidate region for `addr`: the last region with
+    /// `base <= addr`.
+    fn candidate(&self, addr: VAddr) -> Option<usize> {
+        // partition_point returns the count of regions with base <= addr.
+        let n = self.regions.partition_point(|r| r.base <= addr);
+        n.checked_sub(1)
+    }
+}
+
+impl RegionStore for SortedRegionTable {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Sorted
+    }
+
+    fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
+        validate_region(&region)?;
+        let pos = self.regions.partition_point(|r| r.base < region.base);
+        // Overlap can only involve the immediate neighbours in sorted order.
+        if pos > 0 && self.regions[pos - 1].overlaps(&region) {
+            return Err(PolicyError::Overlap {
+                existing: self.regions[pos - 1],
+            });
+        }
+        if pos < self.regions.len() && self.regions[pos].overlaps(&region) {
+            return Err(PolicyError::Overlap {
+                existing: self.regions[pos],
+            });
+        }
+        self.regions.insert(pos, region);
+        Ok(())
+    }
+
+    fn remove(&mut self, base: VAddr) -> Result<Region, PolicyError> {
+        match self.regions.binary_search_by(|r| r.base.cmp(&base)) {
+            Ok(idx) => Ok(self.regions.remove(idx)),
+            Err(_) => Err(PolicyError::NoSuchRegion { base }),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.regions.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    fn snapshot(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    #[inline]
+    fn lookup(&mut self, addr: VAddr, size: Size, flags: AccessFlags) -> Lookup {
+        let Some(idx) = self.candidate(addr) else {
+            return Lookup::NoMatch;
+        };
+        let r = self.regions[idx];
+        if r.covers(addr, size) {
+            if r.prot.allows(flags) {
+                Lookup::Permitted(r)
+            } else {
+                Lookup::Forbidden(r)
+            }
+        } else {
+            Lookup::NoMatch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Protection;
+
+    fn r(base: u64, len: u64) -> Region {
+        Region::new(VAddr(base), Size(len), Protection::READ_WRITE).unwrap()
+    }
+
+    #[test]
+    fn sorted_insert_and_lookup() {
+        let mut t = SortedRegionTable::new();
+        // Insert out of order.
+        t.insert(r(0x3000, 0x100)).unwrap();
+        t.insert(r(0x1000, 0x100)).unwrap();
+        t.insert(r(0x2000, 0x100)).unwrap();
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.iter().map(|x| x.base.raw()).collect::<Vec<_>>(),
+            vec![0x1000, 0x2000, 0x3000]
+        );
+        assert!(matches!(
+            t.lookup(VAddr(0x2080), Size(8), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+        assert!(matches!(
+            t.lookup(VAddr(0x2100), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        ));
+        assert!(matches!(
+            t.lookup(VAddr(0x800), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        ));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut t = SortedRegionTable::new();
+        t.insert(r(0x1000, 0x1000)).unwrap();
+        let err = t.insert(r(0x1800, 0x1000)).unwrap_err();
+        assert!(matches!(err, PolicyError::Overlap { .. }));
+        // Adjacent (non-overlapping) is fine.
+        t.insert(r(0x2000, 0x1000)).unwrap();
+        assert_eq!(t.len(), 2);
+        // Overlap with successor also detected.
+        let err = t.insert(r(0x0800, 0x900)).unwrap_err();
+        assert!(matches!(err, PolicyError::Overlap { .. }));
+    }
+
+    #[test]
+    fn remove_by_base() {
+        let mut t = SortedRegionTable::new();
+        t.insert(r(0x1000, 0x100)).unwrap();
+        t.insert(r(0x2000, 0x100)).unwrap();
+        assert_eq!(t.remove(VAddr(0x1000)).unwrap().base, VAddr(0x1000));
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(VAddr(0x1000)).is_err());
+    }
+
+    #[test]
+    fn forbidden_classification() {
+        let mut t = SortedRegionTable::new();
+        t.insert(Region::new(VAddr(0x1000), Size(0x100), Protection::READ_ONLY).unwrap())
+            .unwrap();
+        assert!(matches!(
+            t.lookup(VAddr(0x1000), Size(4), AccessFlags::WRITE),
+            Lookup::Forbidden(_)
+        ));
+    }
+
+    #[test]
+    fn straddle_denied() {
+        let mut t = SortedRegionTable::new();
+        t.insert(r(0x1000, 0x100)).unwrap();
+        t.insert(r(0x1100, 0x100)).unwrap();
+        assert!(matches!(
+            t.lookup(VAddr(0x10fc), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        ));
+    }
+}

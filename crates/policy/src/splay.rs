@@ -1,0 +1,412 @@
+//! Splay-tree region store — the popularity-adaptive structure the paper
+//! speculates about (§4.2): *"It also stands to reason that the regions of
+//! a policy will vary in popularity. Consequently, with a large enough
+//! number of regions, a popularity-based data structure such as a splay
+//! tree ... might be able to do better than a logarithmic search in the
+//! common case."*
+//!
+//! Nodes are keyed by region base (non-overlapping regions only). Every
+//! lookup splays the matched (or nearest) node to the root, so repeatedly
+//! hit regions are found in O(1) amortized.
+
+use kop_core::{AccessFlags, Region, Size, VAddr};
+
+use crate::store::{validate_region, Lookup, PolicyError, RegionStore, StoreKind};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    region: Region,
+    left: usize,
+    right: usize,
+    parent: usize,
+}
+
+/// A bottom-up splay tree of non-overlapping regions keyed by base address.
+#[derive(Clone, Debug, Default)]
+pub struct SplayRegionTree {
+    nodes: Vec<Node>,
+    root: usize,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl SplayRegionTree {
+    /// An empty tree.
+    pub fn new() -> SplayRegionTree {
+        SplayRegionTree {
+            nodes: Vec::new(),
+            root: NIL,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Depth of the node currently holding `base` (root = 0); testing aid
+    /// for the splay property.
+    pub fn depth_of(&self, base: VAddr) -> Option<usize> {
+        let mut cur = self.root;
+        let mut depth = 0;
+        while cur != NIL {
+            let n = &self.nodes[cur];
+            if n.region.base == base {
+                return Some(depth);
+            }
+            cur = if base < n.region.base { n.left } else { n.right };
+            depth += 1;
+        }
+        None
+    }
+
+    fn alloc(&mut self, region: Region) -> usize {
+        let node = Node {
+            region,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn rotate_up(&mut self, x: usize) {
+        let p = self.nodes[x].parent;
+        debug_assert_ne!(p, NIL);
+        let g = self.nodes[p].parent;
+        if self.nodes[p].left == x {
+            // Right rotation.
+            let b = self.nodes[x].right;
+            self.nodes[p].left = b;
+            if b != NIL {
+                self.nodes[b].parent = p;
+            }
+            self.nodes[x].right = p;
+        } else {
+            // Left rotation.
+            let b = self.nodes[x].left;
+            self.nodes[p].right = b;
+            if b != NIL {
+                self.nodes[b].parent = p;
+            }
+            self.nodes[x].left = p;
+        }
+        self.nodes[p].parent = x;
+        self.nodes[x].parent = g;
+        if g == NIL {
+            self.root = x;
+        } else if self.nodes[g].left == p {
+            self.nodes[g].left = x;
+        } else {
+            self.nodes[g].right = x;
+        }
+    }
+
+    fn splay(&mut self, x: usize) {
+        while self.nodes[x].parent != NIL {
+            let p = self.nodes[x].parent;
+            let g = self.nodes[p].parent;
+            if g == NIL {
+                // Zig.
+                self.rotate_up(x);
+            } else {
+                let p_is_left = self.nodes[g].left == p;
+                let x_is_left = self.nodes[p].left == x;
+                if p_is_left == x_is_left {
+                    // Zig-zig: rotate parent first.
+                    self.rotate_up(p);
+                    self.rotate_up(x);
+                } else {
+                    // Zig-zag.
+                    self.rotate_up(x);
+                    self.rotate_up(x);
+                }
+            }
+        }
+    }
+
+    /// Find the node with the greatest base <= addr, without splaying.
+    fn floor_node(&self, addr: VAddr) -> Option<usize> {
+        let mut cur = self.root;
+        let mut best = None;
+        while cur != NIL {
+            let n = &self.nodes[cur];
+            if n.region.base <= addr {
+                best = Some(cur);
+                cur = n.right;
+            } else {
+                cur = n.left;
+            }
+        }
+        best
+    }
+}
+
+impl RegionStore for SplayRegionTree {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Splay
+    }
+
+    fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
+        validate_region(&region)?;
+        // Overlap check against floor and its successor.
+        if let Some(fl) = self.floor_node(region.base) {
+            if self.nodes[fl].region.overlaps(&region) {
+                return Err(PolicyError::Overlap {
+                    existing: self.nodes[fl].region,
+                });
+            }
+        }
+        if let Some(last) = region.last() {
+            if let Some(fl_end) = self.floor_node(last) {
+                if self.nodes[fl_end].region.overlaps(&region) {
+                    return Err(PolicyError::Overlap {
+                        existing: self.nodes[fl_end].region,
+                    });
+                }
+            }
+        }
+
+        // BST insert by base.
+        let idx = self.alloc(region);
+        if self.root == NIL {
+            self.root = idx;
+        } else {
+            let mut cur = self.root;
+            loop {
+                if region.base < self.nodes[cur].region.base {
+                    if self.nodes[cur].left == NIL {
+                        self.nodes[cur].left = idx;
+                        self.nodes[idx].parent = cur;
+                        break;
+                    }
+                    cur = self.nodes[cur].left;
+                } else {
+                    if self.nodes[cur].right == NIL {
+                        self.nodes[cur].right = idx;
+                        self.nodes[idx].parent = cur;
+                        break;
+                    }
+                    cur = self.nodes[cur].right;
+                }
+            }
+        }
+        self.splay(idx);
+        self.len += 1;
+        Ok(())
+    }
+
+    fn remove(&mut self, base: VAddr) -> Result<Region, PolicyError> {
+        // Find exact node.
+        let mut cur = self.root;
+        while cur != NIL {
+            let b = self.nodes[cur].region.base;
+            if b == base {
+                break;
+            }
+            cur = if base < b {
+                self.nodes[cur].left
+            } else {
+                self.nodes[cur].right
+            };
+        }
+        if cur == NIL {
+            return Err(PolicyError::NoSuchRegion { base });
+        }
+        self.splay(cur);
+        let removed = self.nodes[cur].region;
+        // Standard splay delete: join left and right subtrees.
+        let left = self.nodes[cur].left;
+        let right = self.nodes[cur].right;
+        if left != NIL {
+            self.nodes[left].parent = NIL;
+        }
+        if right != NIL {
+            self.nodes[right].parent = NIL;
+        }
+        self.root = if left == NIL {
+            right
+        } else {
+            // Splay max of left subtree to its root, then attach right.
+            let mut m = left;
+            while self.nodes[m].right != NIL {
+                m = self.nodes[m].right;
+            }
+            self.root = left; // temporary so splay() updates root correctly
+            self.splay(m);
+            self.nodes[m].right = right;
+            if right != NIL {
+                self.nodes[right].parent = m;
+            }
+            m
+        };
+        self.free.push(cur);
+        self.len -= 1;
+        Ok(removed)
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn snapshot(&self) -> Vec<Region> {
+        // In-order walk.
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur].left;
+            }
+            let n = stack.pop().expect("nonempty");
+            out.push(self.nodes[n].region);
+            cur = self.nodes[n].right;
+        }
+        out
+    }
+
+    #[inline]
+    fn lookup(&mut self, addr: VAddr, size: Size, flags: AccessFlags) -> Lookup {
+        let Some(idx) = self.floor_node(addr) else {
+            return Lookup::NoMatch;
+        };
+        // Splay the touched node: this is the adaptivity the paper wants —
+        // hot regions migrate to the root.
+        self.splay(idx);
+        let r = self.nodes[idx].region;
+        if r.covers(addr, size) {
+            if r.prot.allows(flags) {
+                Lookup::Permitted(r)
+            } else {
+                Lookup::Forbidden(r)
+            }
+        } else {
+            Lookup::NoMatch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Protection;
+
+    fn r(base: u64, len: u64) -> Region {
+        Region::new(VAddr(base), Size(len), Protection::READ_WRITE).unwrap()
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = SplayRegionTree::new();
+        for i in 0..32u64 {
+            t.insert(r(i * 0x1000, 0x800)).unwrap();
+        }
+        assert_eq!(t.len(), 32);
+        assert!(matches!(
+            t.lookup(VAddr(5 * 0x1000 + 0x10), Size(8), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+        // Gap between regions.
+        assert!(matches!(
+            t.lookup(VAddr(5 * 0x1000 + 0x900), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        ));
+        let removed = t.remove(VAddr(5 * 0x1000)).unwrap();
+        assert_eq!(removed.base, VAddr(5 * 0x1000));
+        assert!(matches!(
+            t.lookup(VAddr(5 * 0x1000 + 0x10), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        ));
+        assert_eq!(t.len(), 31);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let mut t = SplayRegionTree::new();
+        for base in [0x5000u64, 0x1000, 0x9000, 0x3000, 0x7000] {
+            t.insert(r(base, 0x100)).unwrap();
+        }
+        let snap = t.snapshot();
+        let bases: Vec<u64> = snap.iter().map(|x| x.base.raw()).collect();
+        assert_eq!(bases, vec![0x1000, 0x3000, 0x5000, 0x7000, 0x9000]);
+    }
+
+    #[test]
+    fn lookup_splays_hot_region_to_root() {
+        let mut t = SplayRegionTree::new();
+        for i in 0..64u64 {
+            t.insert(r(i * 0x1000, 0x800)).unwrap();
+        }
+        let hot = VAddr(17 * 0x1000);
+        let _ = t.lookup(hot, Size(8), AccessFlags::READ);
+        assert_eq!(t.depth_of(hot), Some(0), "hot region must be at the root");
+        // Hit it again: still at root, O(1).
+        let _ = t.lookup(hot, Size(8), AccessFlags::READ);
+        assert_eq!(t.depth_of(hot), Some(0));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut t = SplayRegionTree::new();
+        t.insert(r(0x1000, 0x1000)).unwrap();
+        assert!(matches!(
+            t.insert(r(0x1800, 0x1000)).unwrap_err(),
+            PolicyError::Overlap { .. }
+        ));
+        assert!(matches!(
+            t.insert(r(0x0800, 0x900)).unwrap_err(),
+            PolicyError::Overlap { .. }
+        ));
+        // Enclosing region also rejected.
+        assert!(matches!(
+            t.insert(r(0x0, 0x10000)).unwrap_err(),
+            PolicyError::Overlap { .. }
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_joins_subtrees_correctly() {
+        let mut t = SplayRegionTree::new();
+        for base in [0x4000u64, 0x2000, 0x6000, 0x1000, 0x3000, 0x5000, 0x7000] {
+            t.insert(r(base, 0x100)).unwrap();
+        }
+        t.remove(VAddr(0x4000)).unwrap();
+        let snap = t.snapshot();
+        let bases: Vec<u64> = snap.iter().map(|x| x.base.raw()).collect();
+        assert_eq!(bases, vec![0x1000, 0x2000, 0x3000, 0x5000, 0x6000, 0x7000]);
+        // All remaining regions still reachable.
+        for b in bases {
+            assert!(matches!(
+                t.lookup(VAddr(b), Size(1), AccessFlags::READ),
+                Lookup::Permitted(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn node_reuse_after_remove() {
+        let mut t = SplayRegionTree::new();
+        t.insert(r(0x1000, 0x100)).unwrap();
+        t.remove(VAddr(0x1000)).unwrap();
+        t.insert(r(0x2000, 0x100)).unwrap();
+        assert_eq!(t.nodes.len(), 1, "freed node must be reused");
+        assert!(matches!(
+            t.lookup(VAddr(0x2000), Size(1), AccessFlags::READ),
+            Lookup::Permitted(_)
+        ));
+    }
+}

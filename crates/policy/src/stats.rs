@@ -1,0 +1,160 @@
+//! Guard statistics — what the policy module reports through the
+//! `Stats` ioctl.
+
+use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by the policy module across guard invocations.
+///
+/// Counters are atomics so the guard path can update them from concurrent
+/// driver contexts without taking the policy lock.
+#[derive(Debug, Default)]
+pub struct GuardStats {
+    checks: AtomicU64,
+    permitted: AtomicU64,
+    denied_no_match: AtomicU64,
+    denied_insufficient: AtomicU64,
+    denied_malformed: AtomicU64,
+}
+
+/// A plain snapshot of [`GuardStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GuardStatsSnapshot {
+    /// Total guard invocations.
+    pub checks: u64,
+    /// Accesses permitted.
+    pub permitted: u64,
+    /// Denied: no region covered the access.
+    pub denied_no_match: u64,
+    /// Denied: covered but intent not granted.
+    pub denied_insufficient: u64,
+    /// Denied: malformed guard call (zero size / empty intent).
+    pub denied_malformed: u64,
+}
+
+impl GuardStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> GuardStats {
+        GuardStats::default()
+    }
+
+    /// Record a permitted access.
+    #[inline]
+    pub fn record_permitted(&self) {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        self.permitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a denial with no covering region.
+    #[inline]
+    pub fn record_no_match(&self) {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        self.denied_no_match.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a denial with a covering region lacking the intent.
+    #[inline]
+    pub fn record_insufficient(&self) {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        self.denied_insufficient.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a malformed guard call.
+    #[inline]
+    pub fn record_malformed(&self) {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        self.denied_malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> GuardStatsSnapshot {
+        GuardStatsSnapshot {
+            checks: self.checks.load(Ordering::Relaxed),
+            permitted: self.permitted.load(Ordering::Relaxed),
+            denied_no_match: self.denied_no_match.load(Ordering::Relaxed),
+            denied_insufficient: self.denied_insufficient.load(Ordering::Relaxed),
+            denied_malformed: self.denied_malformed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.checks.store(0, Ordering::Relaxed);
+        self.permitted.store(0, Ordering::Relaxed);
+        self.denied_no_match.store(0, Ordering::Relaxed);
+        self.denied_insufficient.store(0, Ordering::Relaxed);
+        self.denied_malformed.store(0, Ordering::Relaxed);
+    }
+}
+
+impl GuardStatsSnapshot {
+    /// Total denials.
+    pub fn denied(&self) -> u64 {
+        self.denied_no_match + self.denied_insufficient + self.denied_malformed
+    }
+}
+
+impl fmt::Display for GuardStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checks={} permitted={} denied={} (no_match={}, insufficient={}, malformed={})",
+            self.checks,
+            self.permitted,
+            self.denied(),
+            self.denied_no_match,
+            self.denied_insufficient,
+            self.denied_malformed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = GuardStats::new();
+        s.record_permitted();
+        s.record_permitted();
+        s.record_no_match();
+        s.record_insufficient();
+        s.record_malformed();
+        let snap = s.snapshot();
+        assert_eq!(snap.checks, 5);
+        assert_eq!(snap.permitted, 2);
+        assert_eq!(snap.denied(), 3);
+        assert_eq!(snap.denied_no_match, 1);
+        assert_eq!(snap.denied_insufficient, 1);
+        assert_eq!(snap.denied_malformed, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = GuardStats::new();
+        s.record_permitted();
+        s.reset();
+        assert_eq!(s.snapshot(), GuardStatsSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_updates_dont_lose_counts() {
+        use std::sync::Arc;
+        let s = Arc::new(GuardStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.record_permitted();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().permitted, 80_000);
+        assert_eq!(s.snapshot().checks, 80_000);
+    }
+}

@@ -1,0 +1,211 @@
+//! The [`RegionStore`] abstraction over policy data structures.
+//!
+//! The paper stresses that CARAT KOP "does not attempt to define an optimal
+//! policy or method of policy checking, but provides the methodology to
+//! easily iterate upon a simplistic structure, the 64-entry table". This
+//! trait is that methodology: every structure (the table and all the
+//! sketched alternatives) implements the same insert/remove/lookup surface,
+//! and [`crate::module::PolicyModule`] is generic over it.
+
+use core::fmt;
+
+use kop_core::{AccessFlags, Region, Size, VAddr};
+
+/// Errors raised by policy mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The structure's capacity is exhausted (the paper's table holds 64).
+    TableFull {
+        /// The capacity that was hit.
+        capacity: usize,
+    },
+    /// This structure cannot hold overlapping regions (the paper notes this
+    /// as "the primary tradeoff" of the non-table structures).
+    Overlap {
+        /// The existing region that overlaps the inserted one.
+        existing: Region,
+    },
+    /// Zero-length regions are meaningless firewall rules.
+    ZeroLength,
+    /// `base + len` would overflow the address space.
+    Overflow,
+    /// No region with the given base exists.
+    NoSuchRegion {
+        /// The base address requested.
+        base: VAddr,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::TableFull { capacity } => {
+                write!(f, "policy table full ({capacity} regions)")
+            }
+            PolicyError::Overlap { existing } => {
+                write!(f, "region overlaps existing rule {existing}")
+            }
+            PolicyError::ZeroLength => f.write_str("zero-length region"),
+            PolicyError::Overflow => f.write_str("region overflows address space"),
+            PolicyError::NoSuchRegion { base } => write!(f, "no region with base {base}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// Outcome of a region lookup for a specific access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// Some region covers the whole access and grants the intent.
+    Permitted(Region),
+    /// At least one region covers the whole access, but none grant the
+    /// intent (e.g. a write to a read-only region).
+    Forbidden(Region),
+    /// No region covers the whole access — fall back to the default action.
+    NoMatch,
+}
+
+/// A policy data structure: a set of regions with whole-access lookup.
+///
+/// `lookup` takes `&mut self` because self-adjusting structures (the splay
+/// tree, the last-hit cache) reorganize on reads — precisely the behaviour
+/// the paper speculates about in §4.2.
+pub trait RegionStore {
+    /// Structure name for reports.
+    fn kind(&self) -> StoreKind;
+
+    /// Add a rule. Structures differ in overlap/capacity behaviour.
+    fn insert(&mut self, region: Region) -> Result<(), PolicyError>;
+
+    /// Remove the rule with exactly this base address.
+    fn remove(&mut self, base: VAddr) -> Result<Region, PolicyError>;
+
+    /// Drop all rules.
+    fn clear(&mut self);
+
+    /// Number of rules.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no rules.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all rules (ordering is structure-specific).
+    fn snapshot(&self) -> Vec<Region>;
+
+    /// Classify an access.
+    fn lookup(&mut self, addr: VAddr, size: Size, flags: AccessFlags) -> Lookup;
+}
+
+/// Which structure a store is — used in reports and the ioctl protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// The paper's 64-entry linear-scan table.
+    Table,
+    /// Sorted table with binary search (the paper's O(log n) suggestion).
+    Sorted,
+    /// Splay tree (popularity-adaptive).
+    Splay,
+    /// Augmented interval tree (the "Linux rbtree" comparator).
+    Interval,
+    /// Bloom/AMQ filter front over the table.
+    BloomFront,
+    /// Cuckoo-filter front over the table (deletable AMQ, also cited in
+    /// §3.1).
+    CuckooFront,
+    /// Last-hit cache over the table (CARAT CAKE style).
+    Cached,
+}
+
+impl StoreKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::Table => "table64",
+            StoreKind::Sorted => "sorted",
+            StoreKind::Splay => "splay",
+            StoreKind::Interval => "interval",
+            StoreKind::BloomFront => "bloom-front",
+            StoreKind::CuckooFront => "cuckoo-front",
+            StoreKind::Cached => "cached",
+        }
+    }
+
+    /// All kinds (for sweeps in benches/tests).
+    pub const ALL: [StoreKind; 7] = [
+        StoreKind::Table,
+        StoreKind::Sorted,
+        StoreKind::Splay,
+        StoreKind::Interval,
+        StoreKind::BloomFront,
+        StoreKind::CuckooFront,
+        StoreKind::Cached,
+    ];
+}
+
+impl fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Validate a region before insertion (shared by all stores).
+pub(crate) fn validate_region(region: &Region) -> Result<(), PolicyError> {
+    if region.len.raw() == 0 {
+        return Err(PolicyError::ZeroLength);
+    }
+    if region.base.checked_add(region.len.raw() - 1).is_none() {
+        return Err(PolicyError::Overflow);
+    }
+    Ok(())
+}
+
+/// Construct a boxed store of the given kind (table-backed hybrids use the
+/// default table capacity).
+pub fn make_store(kind: StoreKind) -> Box<dyn RegionStore + Send> {
+    match kind {
+        StoreKind::Table => Box::new(crate::table::RegionTable::new()),
+        StoreKind::Sorted => Box::new(crate::sorted::SortedRegionTable::new()),
+        StoreKind::Splay => Box::new(crate::splay::SplayRegionTree::new()),
+        StoreKind::Interval => Box::new(crate::interval::IntervalTree::new()),
+        StoreKind::BloomFront => Box::new(crate::bloom::BloomFrontTable::new()),
+        StoreKind::CuckooFront => Box::new(crate::cuckoo::CuckooFrontTable::new()),
+        StoreKind::Cached => Box::new(crate::cache::CachedTable::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Protection;
+
+    #[test]
+    fn validate_rejects_degenerate_regions() {
+        let zero = Region {
+            base: VAddr(0x1000),
+            len: Size(0),
+            prot: Protection::ALL,
+        };
+        assert_eq!(validate_region(&zero), Err(PolicyError::ZeroLength));
+        let ok = Region::new(VAddr(0x1000), Size(0x1000), Protection::ALL).unwrap();
+        assert_eq!(validate_region(&ok), Ok(()));
+    }
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let names: std::collections::BTreeSet<&str> =
+            StoreKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), StoreKind::ALL.len());
+    }
+
+    #[test]
+    fn make_store_produces_matching_kind() {
+        for kind in StoreKind::ALL {
+            let s = make_store(kind);
+            assert_eq!(s.kind(), kind);
+            assert!(s.is_empty());
+        }
+    }
+}

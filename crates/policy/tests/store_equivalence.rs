@@ -1,0 +1,150 @@
+//! Property tests: every policy data structure must agree with the
+//! reference 64-entry linear-scan table on non-overlapping region sets.
+//!
+//! This is the key soundness property of the "iterate on the structure"
+//! methodology (§3.1): swapping the structure must never change which
+//! accesses the firewall permits.
+
+use proptest::prelude::*;
+
+use kop_core::{AccessFlags, Protection, Region, Size, VAddr};
+use kop_policy::store::{make_store, Lookup, StoreKind};
+
+/// Generate a set of non-overlapping regions with varied protections, by
+/// carving disjoint slots from a grid.
+fn arb_regions(max: usize) -> impl Strategy<Value = Vec<Region>> {
+    proptest::collection::vec(
+        (0u64..200, 1u64..0x800, 0u32..4),
+        1..max,
+    )
+    .prop_map(|specs| {
+        let mut regions = Vec::new();
+        let mut used = std::collections::BTreeSet::new();
+        for (slot, len, prot_sel) in specs {
+            if !used.insert(slot) {
+                continue; // one region per grid slot => disjoint
+            }
+            let prot = match prot_sel {
+                0 => Protection::READ_ONLY,
+                1 => Protection::READ_WRITE,
+                2 => Protection::ALL,
+                _ => Protection::NONE,
+            };
+            let base = VAddr(slot * 0x1000 + 0x10_0000);
+            regions.push(Region::new(base, Size(len.min(0x1000)), prot).expect("fits"));
+        }
+        regions
+    })
+}
+
+fn arb_access() -> impl Strategy<Value = (VAddr, Size, AccessFlags)> {
+    (0u64..220, 0u64..0x1100, 1u64..65, 0u32..3).prop_map(|(slot, off, size, f)| {
+        let flags = match f {
+            0 => AccessFlags::READ,
+            1 => AccessFlags::WRITE,
+            _ => AccessFlags::RW,
+        };
+        (VAddr(slot * 0x1000 + 0x10_0000 + off), Size(size), flags)
+    })
+}
+
+fn classify(l: Lookup) -> &'static str {
+    match l {
+        Lookup::Permitted(_) => "permitted",
+        Lookup::Forbidden(_) => "forbidden",
+        Lookup::NoMatch => "no-match",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_stores_agree_with_reference_table(
+        regions in arb_regions(48),
+        accesses in proptest::collection::vec(arb_access(), 1..64),
+    ) {
+        let mut reference = make_store(StoreKind::Table);
+        for r in &regions {
+            reference.insert(*r).expect("table accepts disjoint regions");
+        }
+        for kind in [
+            StoreKind::Sorted,
+            StoreKind::Splay,
+            StoreKind::Interval,
+            StoreKind::BloomFront,
+            StoreKind::CuckooFront,
+            StoreKind::Cached,
+        ] {
+            let mut store = make_store(kind);
+            for r in &regions {
+                store.insert(*r).expect("disjoint regions accepted by all stores");
+            }
+            prop_assert_eq!(store.len(), reference.len());
+            for &(addr, size, flags) in &accesses {
+                let expect = classify(reference.lookup(addr, size, flags));
+                let got = classify(store.lookup(addr, size, flags));
+                prop_assert_eq!(
+                    got, expect,
+                    "store {} disagrees at {:?} size {:?} flags {:?}",
+                    kind, addr, size, flags
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removal_agrees_across_stores(
+        regions in arb_regions(32),
+        remove_idx in any::<prop::sample::Index>(),
+        accesses in proptest::collection::vec(arb_access(), 1..32),
+    ) {
+        prop_assume!(!regions.is_empty());
+        let victim = regions[remove_idx.index(regions.len())].base;
+        let mut reference = make_store(StoreKind::Table);
+        for r in &regions {
+            reference.insert(*r).unwrap();
+        }
+        reference.remove(victim).unwrap();
+        for kind in [
+            StoreKind::Sorted,
+            StoreKind::Splay,
+            StoreKind::Interval,
+            StoreKind::BloomFront,
+            StoreKind::CuckooFront,
+            StoreKind::Cached,
+        ] {
+            let mut store = make_store(kind);
+            for r in &regions {
+                store.insert(*r).unwrap();
+            }
+            store.remove(victim).unwrap();
+            prop_assert_eq!(store.len(), reference.len());
+            for &(addr, size, flags) in &accesses {
+                prop_assert_eq!(
+                    classify(store.lookup(addr, size, flags)),
+                    classify(reference.lookup(addr, size, flags)),
+                    "store {} disagrees after removal", kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_contain_same_regions(regions in arb_regions(32)) {
+        let canonical = {
+            let mut v = regions.clone();
+            v.sort_by_key(|r| r.base);
+            v
+        };
+        for kind in StoreKind::ALL {
+            let mut store = make_store(kind);
+            for r in &regions {
+                store.insert(*r).unwrap();
+            }
+            let mut snap = store.snapshot();
+            snap.sort_by_key(|r| r.base);
+            prop_assert_eq!(&snap, &canonical, "snapshot mismatch for {}", kind);
+        }
+    }
+}

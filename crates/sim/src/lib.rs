@@ -1,0 +1,29 @@
+//! # kop-sim — machine models, cycle accounting, and statistics
+//!
+//! The paper evaluates CARAT KOP on two physical machines (a slow Dell
+//! R415 and a fast Dell R350) with an Intel 82574L NIC, measuring packet
+//! throughput distributions and per-`sendmsg` cycle latencies. Those
+//! machines are not available here, so this crate provides the
+//! substitution: [`machine::MachineProfile`]s whose cycle-cost parameters
+//! are calibrated to the paper's published medians, a deterministic
+//! [`clock::CycleClock`] + jitter model so trial distributions have
+//! realistic spread, a [`trial::TrialRunner`], and the
+//! [`stats`] needed to regenerate each figure (CDFs, histograms,
+//! medians, slowdowns).
+//!
+//! The key modelling choice (documented in DESIGN.md): the *event counts*
+//! per packet (guarded loads/stores, MMIO writes, DMA bytes) come from the
+//! actual simulated driver in `kop-e1000e` — only the *cycles per event*
+//! are calibrated constants.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod machine;
+pub mod stats;
+pub mod trial;
+
+pub use clock::{CycleClock, Jitter};
+pub use machine::{GuardCostModel, MachineProfile, PacketWork};
+pub use stats::{cdf_points, histogram, mean, median, percentile, slowdown, Summary};
+pub use trial::{Trial, TrialRunner};

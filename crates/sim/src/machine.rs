@@ -1,0 +1,295 @@
+//! Machine profiles and the per-packet cycle-cost model.
+//!
+//! Two presets mirror the paper's testbed (§4.2):
+//!
+//! * **R415** — "an outdated Dell R415 containing dual 2.2 GHz AMD 4122
+//!   processors" — the *slow* machine, where guard overhead is most
+//!   visible (<0.8% median throughput change, Figure 3).
+//! * **R350** — "a current Dell R350 containing a 2.8 GHz Intel Xeon
+//!   E-2378G" — the *fast* machine, where improved caching, branch
+//!   prediction, and speculation make the overhead "almost unmeasurable"
+//!   (<0.1%, Figure 4). That microarchitectural effect is modelled as
+//!   `predictor_discount`, a multiplier on all guard-path cycles.
+//!
+//! Cost parameters are calibrated so the simulated medians land near the
+//! paper's reported numbers (~118k pps on the R415, ~112k pps on the R350
+//! for 128-byte packets; `sendmsg` medians 686 vs 694 cycles on the R350).
+
+use kop_core::Cycles;
+
+/// Work performed per transmitted packet — *counted by the driver model*,
+/// not assumed. Produced by `kop-e1000e`'s transmit path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PacketWork {
+    /// CPU loads the driver performed (guarded under CARAT KOP).
+    pub reads: u64,
+    /// CPU stores the driver performed (guarded under CARAT KOP).
+    pub writes: u64,
+    /// MMIO register accesses (also guarded — they are loads/stores).
+    pub mmio: u64,
+    /// Bytes moved by the NIC's DMA engine (never guarded, §4: "the
+    /// overwhelming amount of data transfer occurs due to the DMA engine
+    /// ... which is not checked (and thus not slowed)").
+    pub dma_bytes: u64,
+}
+
+impl PacketWork {
+    /// Total guarded CPU accesses.
+    pub fn guarded_accesses(&self) -> u64 {
+        self.reads + self.writes + self.mmio
+    }
+}
+
+/// Cost model for one guard invocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardCostModel {
+    /// Fixed cost of the call + flag checks (cycles).
+    pub call_cycles: f64,
+    /// Cost per region-table entry scanned (cycles) — the linear-scan term
+    /// Figure 5 varies.
+    pub per_entry_cycles: f64,
+}
+
+impl GuardCostModel {
+    /// Cycles for one guard with the matching region at scan position
+    /// `hit_pos` (0-based; a miss scans the whole table).
+    pub fn guard_cycles(&self, hit_pos: u64) -> f64 {
+        self.call_cycles + self.per_entry_cycles * (hit_pos as f64 + 1.0)
+    }
+}
+
+/// A simulated machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Core clock in Hz.
+    pub cpu_hz: f64,
+    /// Cost of the `sendmsg` syscall path (user→kernel→driver entry).
+    pub syscall_cycles: f64,
+    /// Fixed per-packet driver/tool cost beyond the syscall (descriptor
+    /// management, queue bookkeeping, tool loop).
+    pub fixed_packet_cycles: f64,
+    /// Cycles per wire byte (1 Gbit/s serialization seen from this CPU's
+    /// clock: 8 ns/byte × cpu_hz).
+    pub wire_cycles_per_byte: f64,
+    /// Cycles per ordinary CPU memory access in the driver.
+    pub mem_access_cycles: f64,
+    /// Cycles per MMIO (uncached) register access.
+    pub mmio_access_cycles: f64,
+    /// Guard cost model (before the discount).
+    pub guard_cost: GuardCostModel,
+    /// Multiplier on guard-path cycles modelling branch prediction /
+    /// speculation hiding the guard in the common case (≤ 1.0; the paper's
+    /// explanation for the R350's near-zero overhead).
+    pub predictor_discount: f64,
+    /// Log-normal sigma of per-trial throughput jitter (dimensionless).
+    pub jitter_sigma: f64,
+}
+
+impl MachineProfile {
+    /// The slow machine: Dell R415, dual 2.2 GHz AMD Opteron 4122.
+    pub fn r415() -> MachineProfile {
+        let cpu_hz = 2.2e9;
+        MachineProfile {
+            name: "R415 (2.2 GHz AMD 4122)",
+            cpu_hz,
+            syscall_cycles: 900.0,
+            fixed_packet_cycles: 15_200.0,
+            wire_cycles_per_byte: 8.0e-9 * cpu_hz, // 1 Gbit/s wire
+            mem_access_cycles: 6.0,
+            mmio_access_cycles: 250.0,
+            guard_cost: GuardCostModel {
+                call_cycles: 9.2,
+                per_entry_cycles: 0.8,
+            },
+            predictor_discount: 1.0,
+            jitter_sigma: 0.012,
+        }
+    }
+
+    /// The fast machine: Dell R350, 2.8 GHz Intel Xeon E-2378G.
+    pub fn r350() -> MachineProfile {
+        let cpu_hz = 2.8e9;
+        MachineProfile {
+            name: "R350 (2.8 GHz Xeon E-2378G)",
+            cpu_hz,
+            syscall_cycles: 460.0,
+            fixed_packet_cycles: 21_450.0,
+            wire_cycles_per_byte: 8.0e-9 * cpu_hz,
+            mem_access_cycles: 4.0,
+            mmio_access_cycles: 180.0,
+            guard_cost: GuardCostModel {
+                call_cycles: 6.0,
+                per_entry_cycles: 0.5,
+            },
+            predictor_discount: 0.2,
+            jitter_sigma: 0.018,
+        }
+    }
+
+    /// Baseline (unguarded) cycles for one packet of `size` bytes with the
+    /// driver work `w`.
+    pub fn packet_cycles_base(&self, w: &PacketWork, size: u64) -> f64 {
+        self.syscall_cycles
+            + self.fixed_packet_cycles
+            + self.wire_cycles_per_byte * size as f64
+            + self.mem_access_cycles * (w.reads + w.writes) as f64
+            + self.mmio_access_cycles * w.mmio as f64
+    }
+
+    /// Additional cycles CARAT KOP guards add for one packet, with the
+    /// matching policy region at scan position `hit_pos`.
+    pub fn packet_cycles_guard_overhead(&self, w: &PacketWork, hit_pos: u64) -> f64 {
+        self.predictor_discount * w.guarded_accesses() as f64
+            * self.guard_cost.guard_cycles(hit_pos)
+    }
+
+    /// Cycles for one `sendmsg` call *as seen from user space* (Figure 7):
+    /// "effectively the cost of a system call and (usually) the time
+    /// needed to queue a set of transmit DMA descriptors on a ring buffer"
+    /// — i.e. syscall entry/exit plus the driver's CPU work, **excluding**
+    /// wire serialization and the fixed tool-loop costs that only matter
+    /// for throughput.
+    pub fn sendmsg_latency_cycles(&self, w: &PacketWork) -> f64 {
+        self.syscall_cycles
+            + self.mem_access_cycles * (w.reads + w.writes) as f64
+            + self.mmio_access_cycles * w.mmio as f64
+    }
+
+    /// Convert cycles to seconds on this machine.
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / self.cpu_hz
+    }
+
+    /// Convert a per-packet cycle cost to packets/second.
+    pub fn cycles_to_pps(&self, cycles_per_packet: f64) -> f64 {
+        self.cpu_hz / cycles_per_packet
+    }
+
+    /// Integer cycles (for latency histograms).
+    pub fn to_cycles(&self, cycles: f64) -> Cycles {
+        Cycles(cycles.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical per-packet driver work for a single e1000e transmit
+    /// (validated against the driver model in kop-e1000e's tests).
+    fn typical_work() -> PacketWork {
+        // Counted by kop-e1000e's driver tests: per transmitted packet the
+        // driver performs 3 CPU loads (descriptor-status poll + stats),
+        // 8 CPU stores (header, descriptor, stats, status clear), and one
+        // MMIO doorbell write; payload bytes travel by DMA.
+        PacketWork {
+            reads: 3,
+            writes: 8,
+            mmio: 1,
+            dma_bytes: 142,
+        }
+    }
+
+    #[test]
+    fn r415_median_throughput_near_paper() {
+        let m = MachineProfile::r415();
+        let base = m.packet_cycles_base(&typical_work(), 128);
+        let pps = m.cycles_to_pps(base);
+        // Paper Figure 3: roughly 105k–130k pps; median ~118k.
+        assert!(pps > 105_000.0 && pps < 130_000.0, "pps={pps}");
+    }
+
+    #[test]
+    fn r350_median_throughput_near_paper() {
+        let m = MachineProfile::r350();
+        let base = m.packet_cycles_base(&typical_work(), 128);
+        let pps = m.cycles_to_pps(base);
+        // Paper Figure 4: roughly 90k–130k pps; median ~112k.
+        assert!(pps > 100_000.0 && pps < 125_000.0, "pps={pps}");
+    }
+
+    #[test]
+    fn r415_guard_overhead_under_one_percent() {
+        let m = MachineProfile::r415();
+        let w = typical_work();
+        let base = m.packet_cycles_base(&w, 128);
+        let over = m.packet_cycles_guard_overhead(&w, 0);
+        let rel = over / base;
+        // Paper: "<0.8%" relative change in median.
+        assert!(rel > 0.002 && rel < 0.008, "relative overhead {rel}");
+    }
+
+    #[test]
+    fn r350_guard_overhead_under_point_one_percent() {
+        let m = MachineProfile::r350();
+        let w = typical_work();
+        let base = m.packet_cycles_base(&w, 128);
+        let over = m.packet_cycles_guard_overhead(&w, 0);
+        let rel = over / base;
+        // Paper: "<0.1%", "almost unmeasurable".
+        assert!(rel < 0.001, "relative overhead {rel}");
+        assert!(rel > 0.0);
+    }
+
+    #[test]
+    fn region_count_effect_small_but_present() {
+        // Figure 5: n=64 visibly slower than n=2, but still <1% of median.
+        let m = MachineProfile::r350();
+        let w = typical_work();
+        let base = m.packet_cycles_base(&w, 128);
+        let over2 = m.packet_cycles_guard_overhead(&w, 1);
+        let over64 = m.packet_cycles_guard_overhead(&w, 63);
+        assert!(over64 > over2 * 2.0, "n=64 must cost visibly more");
+        assert!(over64 / base < 0.01, "even n=64 stays under 1%");
+    }
+
+    #[test]
+    fn faster_machine_hides_guards_better() {
+        let slow = MachineProfile::r415();
+        let fast = MachineProfile::r350();
+        let w = typical_work();
+        let rel_slow = slow.packet_cycles_guard_overhead(&w, 1)
+            / slow.packet_cycles_base(&w, 128);
+        let rel_fast = fast.packet_cycles_guard_overhead(&w, 1)
+            / fast.packet_cycles_base(&w, 128);
+        assert!(rel_fast < rel_slow / 3.0);
+    }
+
+    #[test]
+    fn wire_cost_grows_with_packet_size() {
+        let m = MachineProfile::r350();
+        let w = typical_work();
+        let c64 = m.packet_cycles_base(&w, 64);
+        let c1500 = m.packet_cycles_base(&w, 1500);
+        assert!(c1500 > c64);
+        // Guard overhead constant ⇒ relative slowdown shrinks with size
+        // (Figure 6's shape).
+        let over = m.packet_cycles_guard_overhead(&w, 1);
+        assert!(over / c1500 < over / c64);
+    }
+
+    #[test]
+    fn sendmsg_latency_matches_paper_medians() {
+        // Paper Figure 7 (R350, 128 B, two regions): medians 686 cycles
+        // (baseline) vs 694 cycles (CARAT KOP) — within cycle-counter
+        // noise of each other.
+        let m = MachineProfile::r350();
+        let w = typical_work();
+        let base = m.sendmsg_latency_cycles(&w);
+        assert!((base - 686.0).abs() < 15.0, "baseline latency {base}");
+        let carat = base + m.packet_cycles_guard_overhead(&w, 1);
+        assert!((carat - 694.0).abs() < 15.0, "carat latency {carat}");
+        assert!(carat > base);
+        assert!(carat - base < 25.0, "delta within measurement noise");
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let m = MachineProfile::r350();
+        assert!((m.cycles_to_secs(2.8e9) - 1.0).abs() < 1e-12);
+        assert!((m.cycles_to_pps(2.8e6) - 1000.0).abs() < 1e-9);
+        assert_eq!(m.to_cycles(693.6), Cycles(694));
+    }
+}

@@ -1,0 +1,178 @@
+//! Statistics for figure regeneration: medians, percentiles, CDF point
+//! series (Figures 3–5), histograms (Figure 7), and slowdown ratios
+//! (Figure 6).
+
+/// Mean of a sample set (0 for empty).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Median (p50).
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// Percentile in `[0, 100]`, linear interpolation between order statistics.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// CDF points `(value, cumulative_fraction)` — what Figures 3–5 plot.
+pub fn cdf_points(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Fixed-width histogram over `[min, max]` with `bins` buckets — what
+/// Figure 7 plots. Returns `(bucket_low_edge, count)` per bucket.
+/// Out-of-range samples are clamped into the edge buckets.
+pub fn histogram(samples: &[f64], min: f64, max: f64, bins: usize) -> Vec<(f64, u64)> {
+    assert!(bins > 0 && max > min);
+    let width = (max - min) / bins as f64;
+    let mut counts = vec![0u64; bins];
+    for &s in samples {
+        let idx = ((s - min) / width).floor();
+        let idx = (idx.max(0.0) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (min + i as f64 * width, c))
+        .collect()
+}
+
+/// Summary statistics of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize samples.
+    pub fn of(samples: &[f64]) -> Summary {
+        Summary {
+            n: samples.len(),
+            mean: mean(samples),
+            median: median(samples),
+            p5: percentile(samples, 5.0),
+            p95: percentile(samples, 95.0),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Relative change of another summary's median vs this one
+    /// (`(self - other) / self`), e.g. baseline vs carat throughput.
+    pub fn median_rel_change(&self, other: &Summary) -> f64 {
+        (self.median - other.median) / self.median
+    }
+}
+
+/// Mean slowdown `baseline/variant` per the paper's Figure 6 definition
+/// (ratio of mean throughputs; >1 means the variant is slower).
+pub fn slowdown(baseline_throughput: &[f64], variant_throughput: &[f64]) -> f64 {
+    mean(baseline_throughput) / mean(variant_throughput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolation() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert_eq!(median(&s), 2.5);
+        assert_eq!(percentile(&s, 50.0), 2.5);
+        // Order independence.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(median(&shuffled), 2.5);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let s = [5.0, 1.0, 3.0];
+        let cdf = cdf_points(&s);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (5.0, 1.0));
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let s = [0.5, 1.5, 1.6, 2.5, 99.0, -5.0];
+        let h = histogram(&s, 0.0, 3.0, 3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0], (0.0, 2)); // 0.5 and clamped -5.0
+        assert_eq!(h[1].1, 2); // 1.5, 1.6
+        assert_eq!(h[2].1, 2); // 2.5 and clamped 99.0
+        let total: u64 = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(total as usize, s.len());
+    }
+
+    #[test]
+    fn summary_and_rel_change() {
+        let base = Summary::of(&[100.0, 110.0, 120.0]);
+        let carat = Summary::of(&[99.0, 109.0, 119.0]);
+        assert_eq!(base.median, 110.0);
+        let rel = base.median_rel_change(&carat);
+        assert!((rel - 1.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let base = [100.0, 100.0];
+        let variant = [98.0, 98.0];
+        let s = slowdown(&base, &variant);
+        assert!((s - 100.0 / 98.0).abs() < 1e-12);
+        assert!(s > 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert!(cdf_points(&[]).is_empty());
+    }
+}

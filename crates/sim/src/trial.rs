@@ -1,0 +1,124 @@
+//! Trial running: "We run many trials, launching about 100,000 packets
+//! per trial. The figure plots the CDF of these trials." (§4.2)
+
+use crate::clock::Jitter;
+use crate::machine::MachineProfile;
+
+/// One trial's outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Trial {
+    /// Packets sent.
+    pub packets: u64,
+    /// Total cycles consumed.
+    pub cycles: f64,
+    /// Throughput in packets/second.
+    pub pps: f64,
+}
+
+/// Runs repeated trials of a per-packet cycle cost function and collects
+/// throughput samples.
+pub struct TrialRunner {
+    machine: MachineProfile,
+    packets_per_trial: u64,
+    jitter: Jitter,
+}
+
+impl TrialRunner {
+    /// Create a runner. `seed` controls the deterministic jitter stream.
+    pub fn new(machine: MachineProfile, packets_per_trial: u64, seed: u64) -> TrialRunner {
+        let sigma = machine.jitter_sigma;
+        TrialRunner {
+            machine,
+            packets_per_trial,
+            jitter: Jitter::new(seed, sigma),
+        }
+    }
+
+    /// The machine profile in use.
+    pub fn machine(&self) -> &MachineProfile {
+        &self.machine
+    }
+
+    /// Run one trial: `cycles_per_packet` is the deterministic per-packet
+    /// cost; trial-level jitter perturbs the whole trial (cache state,
+    /// interrupts land on the trial granularity, as in the paper's runs).
+    pub fn run_trial(&mut self, cycles_per_packet: f64) -> Trial {
+        let factor = self.jitter.factor();
+        let total = cycles_per_packet * self.packets_per_trial as f64 * factor;
+        let secs = self.machine.cycles_to_secs(total);
+        Trial {
+            packets: self.packets_per_trial,
+            cycles: total,
+            pps: self.packets_per_trial as f64 / secs,
+        }
+    }
+
+    /// Run `n` trials and return the throughput samples.
+    pub fn throughput_samples(&mut self, cycles_per_packet: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.run_trial(cycles_per_packet).pps).collect()
+    }
+
+    /// Per-packet latency samples (for Figure 7): per-packet jitter plus
+    /// rare huge outliers (ring full → deschedule) that the caller may
+    /// exclude exactly as the paper does.
+    pub fn latency_samples(
+        &mut self,
+        cycles_per_packet: f64,
+        n: usize,
+        outlier_p: f64,
+    ) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                if let Some(big) = self.jitter.outlier(outlier_p, 10_000_000.0) {
+                    return big;
+                }
+                cycles_per_packet * self.jitter.factor()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn trials_are_reproducible() {
+        let mut a = TrialRunner::new(MachineProfile::r350(), 100_000, 1);
+        let mut b = TrialRunner::new(MachineProfile::r350(), 100_000, 1);
+        assert_eq!(a.run_trial(25_000.0), b.run_trial(25_000.0));
+    }
+
+    #[test]
+    fn throughput_matches_cost() {
+        let mut r = TrialRunner::new(MachineProfile::r350(), 100_000, 2);
+        let samples = r.throughput_samples(25_000.0, 200);
+        let s = Summary::of(&samples);
+        let ideal = 2.8e9 / 25_000.0; // 112k pps
+        assert!((s.median - ideal).abs() / ideal < 0.01, "median {}", s.median);
+        // Jitter produces a genuine spread.
+        assert!(s.max > s.min * 1.01);
+    }
+
+    #[test]
+    fn higher_cost_lower_throughput() {
+        let mut r = TrialRunner::new(MachineProfile::r415(), 100_000, 3);
+        let base = Summary::of(&r.throughput_samples(18_000.0, 100));
+        let mut r2 = TrialRunner::new(MachineProfile::r415(), 100_000, 3);
+        let slow = Summary::of(&r2.throughput_samples(18_200.0, 100));
+        assert!(base.median > slow.median);
+    }
+
+    #[test]
+    fn latency_outliers_present_then_excludable() {
+        let mut r = TrialRunner::new(MachineProfile::r350(), 100_000, 4);
+        let samples = r.latency_samples(690.0, 50_000, 0.0005);
+        let outliers: Vec<&f64> = samples.iter().filter(|&&c| c > 1_000_000.0).collect();
+        assert!(!outliers.is_empty(), "outliers should occur");
+        // Excluding them (as Figure 7 does) leaves a tight distribution.
+        let clean: Vec<f64> = samples.into_iter().filter(|&c| c < 1_000_000.0).collect();
+        let s = Summary::of(&clean);
+        assert!((s.median - 690.0).abs() < 20.0, "median {}", s.median);
+    }
+}

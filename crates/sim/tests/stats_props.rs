@@ -1,0 +1,87 @@
+//! Property tests on the statistics used to regenerate the figures — a
+//! wrong percentile or a non-monotone CDF would silently corrupt every
+//! experiment.
+
+use proptest::prelude::*;
+
+use kop_sim::{cdf_points, histogram, mean, median, percentile, Summary};
+
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e9, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn percentiles_are_monotone_and_bounded(samples in arb_samples()) {
+        let p0 = percentile(&samples, 0.0);
+        let p25 = percentile(&samples, 25.0);
+        let p50 = percentile(&samples, 50.0);
+        let p75 = percentile(&samples, 75.0);
+        let p100 = percentile(&samples, 100.0);
+        prop_assert!(p0 <= p25 && p25 <= p50 && p50 <= p75 && p75 <= p100);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(p0, min);
+        prop_assert_eq!(p100, max);
+    }
+
+    #[test]
+    fn percentile_is_permutation_invariant(samples in arb_samples(), seed in any::<u64>()) {
+        // Fisher-Yates with a deterministic LCG.
+        let mut shuffled = samples.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        for p in [5.0, 50.0, 95.0] {
+            prop_assert_eq!(percentile(&samples, p), percentile(&shuffled, p));
+        }
+    }
+
+    #[test]
+    fn mean_within_min_max(samples in arb_samples()) {
+        let m = mean(&samples);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_a_distribution(samples in arb_samples()) {
+        let cdf = cdf_points(&samples);
+        prop_assert_eq!(cdf.len(), samples.len());
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "x monotone");
+            prop_assert!(w[0].1 < w[1].1, "y strictly increasing");
+        }
+        // The CDF at the median x must be ~0.5.
+        let med = median(&samples);
+        let frac_below = samples.iter().filter(|&&s| s <= med).count() as f64
+            / samples.len() as f64;
+        prop_assert!(frac_below >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(samples in arb_samples(), bins in 1usize..40) {
+        let h = histogram(&samples, 0.0, 1e9, bins);
+        prop_assert_eq!(h.len(), bins);
+        let total: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total as usize, samples.len());
+        // Bucket edges are evenly spaced and ascending.
+        for w in h.windows(2) {
+            prop_assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn summary_consistent(samples in arb_samples()) {
+        let s = Summary::of(&samples);
+        prop_assert_eq!(s.n, samples.len());
+        prop_assert!(s.min <= s.p5 && s.p5 <= s.median);
+        prop_assert!(s.median <= s.p95 && s.p95 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+}

@@ -1,0 +1,167 @@
+//! A rootkit-style module versus the CARAT KOP firewall.
+//!
+//! The module scans low memory for a credential marker — the class of
+//! "full-fledged rootkit-style attack" the paper's introduction warns
+//! about. Three scenarios:
+//!
+//! 1. **Unprotected Linux default**: the module is built *without* CARAT
+//!    KOP and inserted; the scan quietly succeeds.
+//! 2. **CARAT KOP, audit mode**: guards log every forbidden access but let
+//!    them through — the operator sees the module's true behaviour.
+//! 3. **CARAT KOP, production mode**: the first forbidden access panics
+//!    the kernel before the scan reads a single secret byte.
+//!
+//! Also demonstrated: a module containing inline assembly is refused at
+//! *compile* time (attestation), and a tampered container is refused at
+//! *insmod* time (signature).
+//!
+//! Run with: `cargo run --example malicious_module`
+
+use std::sync::Arc;
+
+use carat_kop::compiler::{compile_module, CompileError, CompileOptions, CompilerKey};
+use carat_kop::core::{KernelError, Size, VAddr};
+use carat_kop::interp::Interp;
+use carat_kop::ir::parse_module;
+use carat_kop::kernel::{Kernel, KernelConfig};
+use carat_kop::policy::{PolicyModule, ViolationAction};
+
+const CREDSCAN_SRC: &str = r#"
+module "credscan"
+global @found : i64 = 0
+define i64 @scan(i64 %start, i64 %len) {
+entry:
+  br %head
+head:
+  %off = phi i64 [ 0, %entry ], [ %off.next, %next ]
+  %c = icmp ult i64 %off, %len
+  condbr i1 %c, %body, %done
+body:
+  %addr = add i64 %start, %off
+  %p = inttoptr i64 %addr to ptr
+  %word = load i64, ptr %p
+  %hit = icmp eq i64 %word, 0x6472777373617020
+  condbr i1 %hit, %record, %next
+record:
+  store i64 %addr, ptr @found
+  br %next
+next:
+  %off.next = add i64 %off, 8
+  br %head
+done:
+  %r = load i64, ptr @found
+  ret i64 %r
+}
+"#;
+
+const SECRET_ADDR: u64 = 0x0060_0000; // user-half address holding "secret"
+const SECRET_WORD: u64 = 0x6472_7773_7361_7020; // " passwrd" little-endian
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "demo")
+}
+
+fn plant_secret(kernel: &mut Kernel) {
+    kernel
+        .mem
+        .write_uint(VAddr(SECRET_ADDR), Size(8), SECRET_WORD)
+        .expect("plant secret");
+}
+
+fn scenario_unprotected() {
+    println!("--- scenario 1: unprotected module (the Linux default) ---");
+    let module = parse_module(CREDSCAN_SRC).unwrap();
+    let out = compile_module(module, &CompileOptions::baseline(), &key()).unwrap();
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    plant_secret(&mut kernel);
+    kernel.insmod(&out.signed).unwrap();
+    let mut interp = Interp::new(&mut kernel).unwrap();
+    let found = interp
+        .call("credscan", "scan", &[0x60_0000, 0x1000])
+        .unwrap()
+        .unwrap();
+    println!("rootkit found credentials at {found:#x} — nothing stopped it");
+    assert_eq!(found, SECRET_ADDR);
+    println!(
+        "guard checks executed: {} (no guards were ever injected)\n",
+        kernel.policy().stats().checks
+    );
+}
+
+fn scenario_audit() {
+    println!("--- scenario 2: CARAT KOP in audit mode (LogAndAllow) ---");
+    let module = parse_module(CREDSCAN_SRC).unwrap();
+    let out = compile_module(module, &CompileOptions::carat_kop(), &key()).unwrap();
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    policy.set_violation_action(ViolationAction::LogAndAllow);
+    let mut kernel = Kernel::boot(policy.clone(), vec![key()], KernelConfig::default());
+    plant_secret(&mut kernel);
+    kernel.insmod(&out.signed).unwrap();
+    let mut interp = Interp::new(&mut kernel).unwrap();
+    let _ = interp.call("credscan", "scan", &[0x60_0000, 0x1000]).unwrap();
+    let stats = policy.stats();
+    println!(
+        "scan completed under audit; {} of {} accesses violated policy",
+        stats.denied(),
+        stats.checks
+    );
+    println!("first logged violation: {}\n", policy.violation_log()[0]);
+}
+
+fn scenario_production() {
+    println!("--- scenario 3: CARAT KOP in production mode (Panic) ---");
+    let module = parse_module(CREDSCAN_SRC).unwrap();
+    let out = compile_module(module, &CompileOptions::carat_kop(), &key()).unwrap();
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    plant_secret(&mut kernel);
+    kernel.insmod(&out.signed).unwrap();
+    let mut interp = Interp::new(&mut kernel).unwrap();
+    let err = interp
+        .call("credscan", "scan", &[0x60_0000, 0x1000])
+        .expect_err("scan must be stopped");
+    let squashed = interp.stats().squashed;
+    println!("hard stop on the FIRST forbidden access: {err}");
+    assert!(kernel.panicked().is_some());
+    println!("secrets read before the stop: 0 (squashed count: {squashed})\n");
+}
+
+fn scenario_inline_asm_refused() {
+    println!("--- bonus: inline assembly refused at compile time ---");
+    let sneaky = r#"
+module "sneaky"
+define void @escalate() {
+entry:
+  asm "mov %rax, %cr3"
+  ret void
+}
+"#;
+    let module = parse_module(sneaky).unwrap();
+    match compile_module(module, &CompileOptions::carat_kop(), &key()) {
+        Err(CompileError::Attest(e)) => println!("compiler refused to sign: {e}"),
+        other => panic!("expected attestation refusal, got {other:?}"),
+    }
+}
+
+fn scenario_tampered_container_refused() {
+    println!("\n--- bonus: tampered container refused at insmod ---");
+    let module = parse_module(CREDSCAN_SRC).unwrap();
+    let mut out = compile_module(module, &CompileOptions::carat_kop(), &key()).unwrap();
+    // Strip the guards after signing (what an attacker would love to do).
+    out.signed.ir_text = out.signed.ir_text.replace("call void @carat_guard", "; call void @carat_guard");
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    match kernel.insmod(&out.signed) {
+        Err(KernelError::BadSignature(e)) => println!("kernel refused the module: {e}"),
+        other => panic!("expected signature refusal, got {other:?}"),
+    }
+}
+
+fn main() {
+    scenario_unprotected();
+    scenario_audit();
+    scenario_production();
+    scenario_inline_asm_refused();
+    scenario_tampered_container_refused();
+}

@@ -1,0 +1,103 @@
+//! The paper's headline experiment as a runnable demo: the e1000e-style
+//! driver under a CARAT KOP firewall, baseline vs guarded, with the
+//! measured throughput/latency deltas printed.
+//!
+//! Run with: `cargo run --release --example nic_firewall`
+
+use std::sync::Arc;
+
+use carat_kop::core::{Protection, Region, Size, VAddr};
+use carat_kop::e1000e::{DirectMem, E1000Device, E1000Driver, GuardedMem};
+use carat_kop::net::{tool, EtherType, MacAddr, RawSender, ToolConfig};
+use carat_kop::policy::{PolicyModule, ViolationAction};
+use carat_kop::sim::MachineProfile;
+
+fn two_region_policy() -> Arc<PolicyModule> {
+    // Paper §4.2 footnote 5: allow the kernel half, deny the user half.
+    Arc::new(PolicyModule::two_region_paper_policy())
+}
+
+fn main() {
+    let machine = MachineProfile::r350();
+    println!("machine: {}", machine.name);
+
+    // --- Baseline build: same driver code, direct memory space. --------
+    let mut baseline = {
+        let mem = DirectMem::with_defaults(E1000Device::default());
+        let mut drv = E1000Driver::probe(mem).expect("probe");
+        drv.up().expect("up");
+        RawSender::new(drv, machine.clone())
+    };
+
+    // --- CARAT KOP build: identical driver over the guarded space. -----
+    let policy = two_region_policy();
+    let mut carat = {
+        let mem = GuardedMem::new(DirectMem::with_defaults(E1000Device::default()), policy.clone());
+        let mut drv = E1000Driver::probe(mem).expect("probe (guarded)");
+        drv.up().expect("up (guarded)");
+        RawSender::new(drv, machine.clone())
+    };
+
+    let cfg = ToolConfig {
+        packets_per_trial: 100_000,
+        trials: 41,
+        frame_size: 128,
+        seed: 42,
+    };
+    println!(
+        "sending {} trials x {} packets of {} bytes...",
+        cfg.trials, cfg.packets_per_trial, cfg.frame_size
+    );
+
+    let rb = tool::run_throughput(&mut baseline, &cfg).expect("baseline trials");
+    let rc = tool::run_throughput(&mut carat, &cfg).expect("carat trials");
+
+    println!("baseline: median {:>10.0} pps  (p5 {:.0}, p95 {:.0})", rb.summary.median, rb.summary.p5, rb.summary.p95);
+    println!("carat:    median {:>10.0} pps  (p5 {:.0}, p95 {:.0})", rc.summary.median, rc.summary.p5, rc.summary.p95);
+    let rel = rb.summary.median_rel_change(&rc.summary);
+    println!("median change: {:.3}% (paper: <0.1% on this machine)", rel * 100.0);
+
+    println!(
+        "guard checks executed: {} ({} denied)",
+        policy.stats().checks,
+        policy.stats().denied()
+    );
+
+    // --- The firewall part: a buggy DMA address is caught. -------------
+    // Suppose the driver were handed a user-half buffer pointer (a classic
+    // driver bug / attack). The guarded build stops it cold.
+    policy.set_violation_action(ViolationAction::LogAndDeny);
+    // Shrink the policy to prove the *driver's own* accesses are what is
+    // being checked: deny writes to the NIC ring region by replacing the
+    // blanket rule with a read-only one.
+    policy.clear_regions();
+    policy
+        .add_region(
+            Region::new(
+                VAddr(carat_kop::core::layout::DIRECT_MAP_BASE),
+                Size(64 << 20),
+                Protection::READ_ONLY, // ring writes now forbidden!
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    policy
+        .add_region(
+            Region::new(
+                VAddr(carat_kop::core::layout::MMIO_WINDOW_BASE),
+                Size(4 << 30),
+                Protection::READ_WRITE,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    match carat.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, &[0u8; 114]) {
+        Err(e) => println!("policy tightened at runtime; driver write stopped: {e}"),
+        Ok(_) => unreachable!("ring write should be denied"),
+    }
+    println!(
+        "violations logged: {}",
+        policy.violation_log().len()
+    );
+    println!("last violation: {}", policy.violation_log().last().unwrap());
+}

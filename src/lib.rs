@@ -1,0 +1,31 @@
+//! # carat-kop
+//!
+//! Umbrella crate for the CARAT KOP reproduction: re-exports every subsystem
+//! so downstream users (and the examples in `examples/`) can depend on a
+//! single crate.
+//!
+//! The pipeline, end to end:
+//!
+//! 1. [`ir`] — author or parse a kernel module in KIR (a miniature LLVM-like
+//!    IR).
+//! 2. [`compiler`] — run the CARAT KOP guard-injection pass, attest that the
+//!    module has no inline assembly, and sign it.
+//! 3. [`kernel`] — insert the signed module into the simulated kernel, which
+//!    validates the signature and links `carat_guard` against the policy
+//!    module.
+//! 4. [`policy`] — configure the memory-access policy ("firewall rules")
+//!    through the ioctl interface.
+//! 5. [`interp`] — run module code; every load/store now calls the guard.
+//! 6. [`e1000e`]/[`net`]/[`sim`] — the paper's evaluation vehicle: a
+//!    simulated e1000e NIC driver whose transmit path is measured with and
+//!    without guards.
+
+pub use kop_compiler as compiler;
+pub use kop_core as core;
+pub use kop_e1000e as e1000e;
+pub use kop_interp as interp;
+pub use kop_ir as ir;
+pub use kop_kernel as kernel;
+pub use kop_net as net;
+pub use kop_policy as policy;
+pub use kop_sim as sim;

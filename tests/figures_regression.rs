@@ -1,0 +1,144 @@
+//! Regression tests over the figure generators: the paper's qualitative
+//! claims must keep holding. These assert *shapes* — who wins, by what
+//! rough factor, where trends point — not absolute host performance.
+
+use kop_bench::figures;
+
+#[test]
+fn fig3_slow_machine_overhead_under_0_8_percent() {
+    let fig = figures::fig3();
+    let rel = fig.headline("median_rel_change").unwrap();
+    assert!(rel > 0.0, "carat must be (slightly) slower: rel={rel}");
+    assert!(rel < 0.008, "paper: <0.8% — got {rel}");
+    let delta = fig.headline("median_delta_pps").unwrap();
+    assert!(
+        delta > 100.0 && delta < 2_000.0,
+        "paper: ~1,000 pps delta — got {delta}"
+    );
+    // Median throughput in the figure's plotted range (105k–130k pps).
+    let base = fig.headline("baseline_median_pps").unwrap();
+    assert!(base > 105_000.0 && base < 130_000.0, "{base}");
+    // Both CDFs span the full 0..1 range and are monotone.
+    for s in &fig.series {
+        assert!(s.points.len() > 10);
+        assert!((s.points.last().unwrap().1 - 1.0).abs() < 1e-9);
+        for w in s.points.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+}
+
+#[test]
+fn fig4_fast_machine_overhead_under_0_1_percent() {
+    let fig = figures::fig4();
+    let rel = fig.headline("median_rel_change").unwrap();
+    assert!(rel > 0.0);
+    assert!(rel < 0.001, "paper: <0.1% — got {rel}");
+    let base = fig.headline("baseline_median_pps").unwrap();
+    assert!(base > 90_000.0 && base < 130_000.0, "{base}");
+}
+
+#[test]
+fn fig4_effect_smaller_than_fig3() {
+    let slow = figures::fig3().headline("median_rel_change").unwrap();
+    let fast = figures::fig4().headline("median_rel_change").unwrap();
+    assert!(
+        fast < slow / 3.0,
+        "the faster machine must hide guards much better ({fast} vs {slow})"
+    );
+}
+
+#[test]
+fn fig5_regions_ordered_and_all_under_1_percent() {
+    let fig = figures::fig5();
+    let r2 = fig.headline("carat_median_rel_change").unwrap();
+    let r16 = fig.headline("carat16_median_rel_change").unwrap();
+    let r64 = fig.headline("carat64_median_rel_change").unwrap();
+    assert!(r2 < r16 && r16 < r64, "effect must grow with n: {r2} {r16} {r64}");
+    assert!(r64 < 0.01, "paper: even n=64 changes the median <1% — got {r64}");
+    assert!(r64 > r2 * 2.0, "n=64 must be visibly worse than n=2");
+}
+
+#[test]
+fn fig6_slowdown_concentrated_on_small_packets() {
+    let fig = figures::fig6();
+    let series = fig.series("carat").unwrap();
+    // Monotonically non-increasing slowdown with size.
+    for w in series.points.windows(2) {
+        assert!(
+            w[1].1 <= w[0].1 + 1e-4,
+            "slowdown must shrink with packet size: {:?}",
+            series.points
+        );
+    }
+    let max = fig.headline("max_slowdown").unwrap();
+    assert!(max > 1.01 && max < 1.03, "paper: max ~2.5% — got {max}");
+    let at1500 = fig.headline("slowdown_at_1500").unwrap();
+    assert!(at1500 < 1.005, "large packets nearly unaffected — got {at1500}");
+}
+
+#[test]
+fn fig7_latency_medians_closely_matched() {
+    let fig = figures::fig7();
+    let base = fig.headline("base_median_cycles").unwrap();
+    let carat = fig.headline("carat_median_cycles").unwrap();
+    // Paper: 686 vs 694 cycles.
+    assert!((base - 686.0).abs() < 25.0, "baseline median {base}");
+    assert!(carat > base, "carat must be slower");
+    assert!(carat - base < 30.0, "within measurement noise: {}", carat - base);
+    // Histograms overlap: same bucket grid, both non-empty in the bulk.
+    let b = fig.series("base").unwrap();
+    let c = fig.series("carat").unwrap();
+    assert_eq!(b.points.len(), c.points.len());
+    let b_total: f64 = b.points.iter().map(|p| p.1).sum();
+    let c_total: f64 = c.points.iter().map(|p| p.1).sum();
+    assert!(b_total > 30_000.0 && c_total > 30_000.0);
+    assert!(fig.headline("outliers_excluded").unwrap() > 0.0);
+}
+
+#[test]
+fn claims_zero_source_change_guards() {
+    let fig = figures::claims();
+    // One guard per memory access for every corpus module.
+    for module in ["mini-e1000e", "opt-workload", "credscan", "synthetic_19k"] {
+        let accesses = fig.headline(&format!("{module}_mem_accesses")).unwrap();
+        let guards = fig.headline(&format!("{module}_guards_injected")).unwrap();
+        assert_eq!(accesses, guards, "{module}");
+        assert!(accesses > 0.0);
+    }
+    // The paper-scale module (~19 kLoC) transforms in interactive time.
+    let lines = fig.headline("synthetic_19k_ir_lines").unwrap();
+    assert!(lines > 18_000.0, "scale module is paper-sized: {lines}");
+    let ms = fig.headline("synthetic_19k_compile_ms").unwrap();
+    assert!(ms < 5_000.0, "transformation stays interactive: {ms} ms");
+}
+
+#[test]
+fn ablation_opt_reduces_dynamic_guards() {
+    let fig = figures::ablation_opt();
+    let unopt = fig.headline("dynamic_guards_unopt").unwrap();
+    let opt = fig.headline("dynamic_guards_opt").unwrap();
+    assert!(opt < unopt, "optimization must reduce dynamic guards");
+    let reduction = fig.headline("dynamic_reduction").unwrap();
+    assert!(
+        reduction > 0.5,
+        "hoisting + dedup should eliminate most loop guards: {reduction}"
+    );
+    // Static count barely changes (guards move, and one dedups).
+    let s_unopt = fig.headline("static_guards_unopt").unwrap();
+    let s_opt = fig.headline("static_guards_opt").unwrap();
+    assert!(s_opt <= s_unopt);
+}
+
+#[test]
+fn renders_are_nonempty_and_csv_parses() {
+    for fig in [figures::fig6(), figures::claims()] {
+        let text = fig.render_text();
+        assert!(text.contains(&fig.id.to_uppercase()));
+        let csv = fig.render_csv();
+        assert!(csv.starts_with("series,x,y"));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 3, "bad csv line: {line}");
+        }
+    }
+}

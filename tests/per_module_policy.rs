@@ -1,0 +1,160 @@
+//! Per-module policies: two modules in the same kernel with different
+//! firewalls — §5's "determine if a *given* kernel module has access",
+//! applied to both memory regions and privileged intrinsics.
+
+use std::sync::Arc;
+
+use carat_kop::compiler::{compile_module, intrinsic_id, CompileOptions, CompilerKey};
+use carat_kop::core::{Protection, Region, Size, VAddr};
+use carat_kop::interp::Interp;
+use carat_kop::ir::parse_module;
+use carat_kop::kernel::{Kernel, KernelConfig};
+use carat_kop::policy::{DefaultAction, PolicyModule, ViolationAction};
+
+const POKER_A: &str = r#"
+module "driver-a"
+define void @poke(ptr %p) {
+entry:
+  store i64 0xa, ptr %p
+  ret void
+}
+"#;
+
+const POKER_B: &str = r#"
+module "driver-b"
+declare void @__wrmsr(i64, i64)
+define void @poke(ptr %p) {
+entry:
+  store i64 0xb, ptr %p
+  ret void
+}
+define void @tune() {
+entry:
+  call void @__wrmsr(i64 0x1A0, i64 1)
+  ret void
+}
+"#;
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "per-module")
+}
+
+fn region(base: u64, len: u64) -> Region {
+    Region::new(VAddr(base), Size(len), Protection::READ_WRITE).unwrap()
+}
+
+#[test]
+fn two_modules_two_firewalls() {
+    // Global policy: deny everything (so an un-overridden module can do
+    // nothing). Two overrides: A may touch page P_A, B may touch P_B.
+    let global = Arc::new(PolicyModule::new());
+    let mut kernel = Kernel::boot(global, vec![key()], KernelConfig::default());
+
+    let a_page = kop_core::layout::DIRECT_MAP_BASE + 0x10_0000;
+    let b_page = kop_core::layout::DIRECT_MAP_BASE + 0x20_0000;
+
+    let policy_a = Arc::new(PolicyModule::new());
+    policy_a.set_violation_action(ViolationAction::LogAndDeny);
+    policy_a.add_region(region(a_page, 0x1000)).unwrap();
+    let policy_b = Arc::new(PolicyModule::new());
+    policy_b.set_violation_action(ViolationAction::LogAndDeny);
+    policy_b.add_region(region(b_page, 0x1000)).unwrap();
+    policy_b.allow_intrinsic(intrinsic_id("__wrmsr").unwrap());
+
+    let out_a = compile_module(
+        parse_module(POKER_A).unwrap(),
+        &CompileOptions::carat_kop(),
+        &key(),
+    )
+    .unwrap();
+    let out_b = compile_module(
+        parse_module(POKER_B).unwrap(),
+        &CompileOptions::carat_kop_privileged(),
+        &key(),
+    )
+    .unwrap();
+    kernel.insmod(&out_a.signed).unwrap();
+    kernel.insmod(&out_b.signed).unwrap();
+    kernel.set_module_policy("driver-a", policy_a.clone());
+    kernel.set_module_policy("driver-b", policy_b.clone());
+
+    let mut interp = Interp::new(&mut kernel).unwrap();
+    // A writes its own page: lands. A writes B's page: squashed.
+    interp.call("driver-a", "poke", &[a_page]).unwrap();
+    interp.call("driver-a", "poke", &[b_page]).unwrap();
+    // B writes its own page: lands. B writes A's page: squashed.
+    interp.call("driver-b", "poke", &[b_page]).unwrap();
+    interp.call("driver-b", "poke", &[a_page]).unwrap();
+    drop(interp);
+
+    assert_eq!(kernel.mem.read_uint(VAddr(a_page), Size(8)).unwrap(), 0xa);
+    assert_eq!(kernel.mem.read_uint(VAddr(b_page), Size(8)).unwrap(), 0xb);
+    assert_eq!(policy_a.violation_log().len(), 1, "A denied once");
+    assert_eq!(policy_b.violation_log().len(), 1, "B denied once");
+    // The global policy never saw a check from either module.
+    assert_eq!(kernel.policy().stats().checks, 0);
+}
+
+#[test]
+fn intrinsic_grants_are_per_module_too() {
+    let global = Arc::new(PolicyModule::new());
+    global.set_default_action(DefaultAction::Allow);
+    let mut kernel = Kernel::boot(global.clone(), vec![key()], KernelConfig::default());
+    let out_b = compile_module(
+        parse_module(POKER_B).unwrap(),
+        &CompileOptions::carat_kop_privileged(),
+        &key(),
+    )
+    .unwrap();
+    kernel.insmod(&out_b.signed).unwrap();
+
+    // Without an override, the global policy has no grant: panic.
+    {
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        assert!(interp.call("driver-b", "tune", &[]).is_err());
+    }
+    assert!(kernel.panicked().is_some());
+
+    // Fresh kernel with a per-module grant: runs.
+    let mut kernel = Kernel::boot(global, vec![key()], KernelConfig::default());
+    kernel.insmod(&out_b.signed).unwrap();
+    let pb = Arc::new(PolicyModule::new());
+    pb.set_default_action(DefaultAction::Allow);
+    pb.allow_intrinsic(intrinsic_id("__wrmsr").unwrap());
+    kernel.set_module_policy("driver-b", pb);
+    let mut interp = Interp::new(&mut kernel).unwrap();
+    interp.call("driver-b", "tune", &[]).unwrap();
+    drop(interp);
+    assert_eq!(kernel.rdmsr(0x1A0), 1);
+}
+
+#[test]
+fn clearing_override_falls_back_to_global() {
+    let global = Arc::new(PolicyModule::new());
+    global.set_default_action(DefaultAction::Allow);
+    let mut kernel = Kernel::boot(global.clone(), vec![key()], KernelConfig::default());
+    let out = compile_module(
+        parse_module(POKER_A).unwrap(),
+        &CompileOptions::carat_kop(),
+        &key(),
+    )
+    .unwrap();
+    kernel.insmod(&out.signed).unwrap();
+    let tight = Arc::new(PolicyModule::new());
+    tight.set_violation_action(ViolationAction::LogAndDeny);
+    kernel.set_module_policy("driver-a", tight.clone());
+
+    let target = kop_core::layout::DIRECT_MAP_BASE + 0x30_0000;
+    {
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        interp.call("driver-a", "poke", &[target]).unwrap(); // squashed
+    }
+    assert_eq!(kernel.mem.read_uint(VAddr(target), Size(8)).unwrap(), 0);
+    assert!(kernel.clear_module_policy("driver-a"));
+    assert!(!kernel.clear_module_policy("driver-a"));
+    {
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        interp.call("driver-a", "poke", &[target]).unwrap(); // now global allow
+    }
+    assert_eq!(kernel.mem.read_uint(VAddr(target), Size(8)).unwrap(), 0xa);
+}

@@ -1,0 +1,247 @@
+//! Differential property testing over randomly generated KIR programs.
+//!
+//! For every random program P:
+//! 1. `print(parse(print(P))) == print(P)` — the textual form round-trips,
+//! 2. the verifier accepts P and the guard-injected P,
+//! 3. `guards injected == loads + stores` (the core CARAT KOP invariant),
+//! 4. **baseline, carat, and optimized-carat builds compute identical
+//!    results and identical memory effects** under an allow-all policy —
+//!    guard injection must be semantically invisible when the policy
+//!    permits everything (the paper's whole premise),
+//! 5. dynamic guard count equals dynamic memory-access count for the
+//!    unoptimized carat build.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use carat_kop::compiler::{compile_module, CompileOptions, CompilerKey};
+use carat_kop::interp::Interp;
+use carat_kop::ir::{
+    print_module, verify_module, BinOp, GlobalInit, IcmpPred, IrBuilder, Type, Value,
+};
+use carat_kop::kernel::{Kernel, KernelConfig};
+use carat_kop::policy::{DefaultAction, PolicyModule};
+
+/// One step of a random straight-line program over 4 registers and an
+/// 8-slot scratch buffer.
+#[derive(Clone, Debug)]
+enum Op {
+    /// dst = a <op> b
+    Arith(u8, BinOp, u8, u8),
+    /// dst = buf[slot]
+    Load(u8, u8),
+    /// buf[slot] = src
+    Store(u8, u8),
+    /// dst = (a < b) ? a : b  (exercises icmp + select)
+    Min(u8, u8, u8),
+    /// g = g + src (global traffic)
+    BumpGlobal(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let reg = 0u8..4;
+    let slot = 0u8..8;
+    prop_oneof![
+        (reg.clone(), arb_binop(), reg.clone(), reg.clone())
+            .prop_map(|(d, o, a, b)| Op::Arith(d, o, a, b)),
+        (reg.clone(), slot.clone()).prop_map(|(d, s)| Op::Load(d, s)),
+        (slot, reg.clone()).prop_map(|(s, r)| Op::Store(s, r)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Op::Min(d, a, b)),
+        reg.prop_map(Op::BumpGlobal),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    // Division excluded: a divide-by-zero fault is legitimate but makes
+    // equivalence vacuous; shifts included (they mask their RHS).
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::LShr),
+    ]
+}
+
+/// Build a module from the op list: a function `run(ptr buf, i64 seed)`
+/// executing the ops `loop_n` times (loop_n in 1..=4 exercises phis).
+fn build_program(ops: &[Op], loop_n: u64) -> carat_kop::ir::Module {
+    let mut b = IrBuilder::new("random");
+    b.global("g", Type::I64, GlobalInit::Int(1));
+    let mut f = b.function("run", vec![Type::Ptr, Type::I64], Type::I64);
+    f.name_params(&["buf", "seed"]);
+    let entry = f.block("entry");
+    let head = f.block("head");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    f.switch_to(entry);
+    f.br(head);
+
+    f.switch_to(head);
+    let i = f.phi(Type::I64, vec![(entry, Value::i64(0))]);
+    let regs_phi: Vec<Value> = (0..4)
+        .map(|k| {
+            f.phi(
+                Type::I64,
+                vec![(entry, Value::ConstInt(Type::I64, 0x9e37 + k as u64))],
+            )
+        })
+        .collect();
+    let cond = f.icmp(IcmpPred::Ult, Type::I64, i.clone(), Value::i64(loop_n));
+    f.condbr(cond, body, exit);
+
+    f.switch_to(body);
+    let mut regs: Vec<Value> = regs_phi.clone();
+    // Mix the seed in so runs depend on inputs.
+    regs[0] = f.add(Type::I64, regs[0].clone(), Value::Arg(1));
+    for op in ops {
+        match op {
+            Op::Arith(d, o, a, b2) => {
+                let v = f.bin(*o, Type::I64, regs[*a as usize].clone(), regs[*b2 as usize].clone());
+                regs[*d as usize] = v;
+            }
+            Op::Load(d, s) => {
+                let p = f.gep(Type::I64, Value::Arg(0), vec![Value::i64(*s as u64)]);
+                regs[*d as usize] = f.load(Type::I64, p);
+            }
+            Op::Store(s, r) => {
+                let p = f.gep(Type::I64, Value::Arg(0), vec![Value::i64(*s as u64)]);
+                f.store(Type::I64, regs[*r as usize].clone(), p);
+            }
+            Op::Min(d, a, b2) => {
+                let c = f.icmp(
+                    IcmpPred::Slt,
+                    Type::I64,
+                    regs[*a as usize].clone(),
+                    regs[*b2 as usize].clone(),
+                );
+                regs[*d as usize] = f.select(
+                    Type::I64,
+                    c,
+                    regs[*a as usize].clone(),
+                    regs[*b2 as usize].clone(),
+                );
+            }
+            Op::BumpGlobal(r) => {
+                let g = Value::Global("g".into());
+                let old = f.load(Type::I64, g.clone());
+                let new = f.add(Type::I64, old, regs[*r as usize].clone());
+                f.store(Type::I64, new, g);
+            }
+        }
+    }
+    let i_next = f.add(Type::I64, i.clone(), Value::i64(1));
+    f.br(head);
+
+    // Patch loop-carried phis.
+    let func = f.raw();
+    let patch = |func: &mut carat_kop::ir::Function, phi: &Value, val: Value| {
+        if let Value::Inst(id) = phi {
+            if let carat_kop::ir::Inst::Phi { incomings, .. } = func.inst_mut(*id) {
+                incomings.push((body, val));
+            }
+        }
+    };
+    patch(func, &i, i_next);
+    for (k, phi) in regs_phi.iter().enumerate() {
+        patch(func, phi, regs[k].clone());
+    }
+
+    f.switch_to(exit);
+    // Result folds all registers together.
+    let mut acc = regs_phi[0].clone();
+    for r in &regs_phi[1..] {
+        acc = f.bin(BinOp::Xor, Type::I64, acc, r.clone());
+    }
+    let gfin = f.load(Type::I64, Value::Global("g".into()));
+    let result = f.add(Type::I64, acc, gfin);
+    f.ret(Some(result));
+    f.finish();
+    b.finish()
+}
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "proptest")
+}
+
+/// Run a build and return (result, final scratch buffer, dynamic stats).
+fn run_build(
+    module: carat_kop::ir::Module,
+    opts: &CompileOptions,
+    seed: u64,
+) -> (u64, Vec<u8>, carat_kop::interp::ExecStats) {
+    let out = compile_module(module, opts, &key()).expect("compiles");
+    let policy = Arc::new(PolicyModule::new());
+    policy.set_default_action(DefaultAction::Allow);
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    kernel.insmod(&out.signed).expect("loads");
+    let buf = kernel.kmalloc(8 * 8).expect("buf");
+    let mut interp = Interp::new(&mut kernel).expect("interp");
+    let r = interp
+        .call("random", "run", &[buf.raw(), seed])
+        .expect("runs")
+        .expect("returns");
+    let stats = interp.stats();
+    let mut mem = vec![0u8; 64];
+    kernel.mem.read_bytes(buf, &mut mem).expect("read back");
+    (r, mem, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_roundtrip_and_verify(
+        ops in proptest::collection::vec(arb_op(), 1..24),
+        loop_n in 1u64..4,
+    ) {
+        let module = build_program(&ops, loop_n);
+        verify_module(&module).expect("generated program verifies");
+        let text = print_module(&module);
+        let reparsed = carat_kop::ir::parse_module(&text).expect("reparses");
+        prop_assert_eq!(print_module(&reparsed), text);
+    }
+
+    #[test]
+    fn guard_injection_is_semantically_invisible(
+        ops in proptest::collection::vec(arb_op(), 1..24),
+        loop_n in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let module = build_program(&ops, loop_n);
+        let accesses = module.memory_access_count() as u64;
+
+        let (r_base, mem_base, s_base) =
+            run_build(module.clone(), &CompileOptions::baseline(), seed);
+        let (r_carat, mem_carat, s_carat) =
+            run_build(module.clone(), &CompileOptions::carat_kop(), seed);
+        let (r_opt, mem_opt, _) =
+            run_build(module, &CompileOptions::optimized(), seed);
+
+        // Same results, same memory effects.
+        prop_assert_eq!(r_base, r_carat);
+        prop_assert_eq!(r_base, r_opt);
+        prop_assert_eq!(&mem_base, &mem_carat);
+        prop_assert_eq!(&mem_base, &mem_opt);
+
+        // Baseline executes zero guards; carat executes exactly one guard
+        // per dynamic memory access.
+        prop_assert_eq!(s_base.guards, 0);
+        prop_assert_eq!(s_carat.guards, s_carat.mem_accesses);
+        prop_assert_eq!(s_base.mem_accesses, s_carat.mem_accesses);
+
+        // Static invariant: one injected guard per static access.
+        let out = compile_module(
+            build_program(&ops, loop_n),
+            &CompileOptions::carat_kop(),
+            &key(),
+        )
+        .unwrap();
+        prop_assert_eq!(out.signed.attestation.guard_count, accesses);
+    }
+}
