@@ -1,0 +1,491 @@
+//! GuardCoverage: prove that every load/store is covered by a guard.
+//!
+//! A *guard fact* is the triple `(ptr, size, flags)` carried by a
+//! `call @carat_guard(ptr, i64 size, i32 flags)`. The analysis is a
+//! forward must-dataflow over those facts: a fact holds at a program
+//! point iff a guard establishing it executes on **every** path from
+//! the function entry to that point. An access `(p, sz, fl)` is covered
+//! when some fact with the same pointer SSA value grants at least `sz`
+//! bytes and all of `fl`.
+//!
+//! ## Soundness model
+//!
+//! Facts are *not* killed by intervening calls: guard validity is
+//! per-module and control-flow based, matching the paper's policy model
+//! (policies change per-module, not per-instruction), and matching what
+//! `LoopGuardHoisting` already assumes when it moves a guard above a
+//! loop containing calls. `RedundantGuardElim` is strictly more
+//! conservative than this verifier requires, so everything the
+//! optimizer produces stays provably covered.
+//!
+//! Accesses in blocks unreachable from the entry are skipped — they
+//! cannot execute, and the loader lays out only reachable code paths.
+
+use std::collections::HashSet;
+
+use kop_ir::dom::DomTree;
+use kop_ir::{BlockId, Function, Inst, InstId, Module, Value};
+
+use crate::dataflow::{solve, ForwardAnalysis};
+use crate::diagnostics::{AnalysisReport, Diagnostic, LintCode};
+
+/// The guard symbol whose calls establish facts. Mirrors
+/// `kop_compiler::GUARD_SYMBOL` (duplicated to keep this crate
+/// independent of the compiler — the loader must not trust it).
+pub const GUARD_SYMBOL: &str = "carat_guard";
+
+/// One proven guard: pointer SSA value, byte size, access-flag bits.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GuardFact {
+    /// The guarded pointer value.
+    pub ptr: Value,
+    /// Guarded byte count.
+    pub size: u64,
+    /// Granted `AccessFlags` bits.
+    pub flags: u64,
+}
+
+impl GuardFact {
+    /// Does this fact cover an access of `size` bytes with `flags` intent
+    /// through the same pointer?
+    pub fn covers(&self, ptr: &Value, size: u64, flags: u64) -> bool {
+        &self.ptr == ptr && self.size >= size && (self.flags & flags) == flags
+    }
+}
+
+/// Parse a placed instruction as a guard call with constant size/flags.
+pub fn guard_fact(f: &Function, iid: InstId) -> Option<GuardFact> {
+    if let Inst::Call { callee, args, .. } = f.inst(iid) {
+        if callee == GUARD_SYMBOL && args.len() == 3 {
+            if let (Value::ConstInt(_, size), Value::ConstInt(_, flags)) = (&args[1], &args[2]) {
+                return Some(GuardFact {
+                    ptr: args[0].clone(),
+                    size: *size,
+                    flags: *flags,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The access key of a load/store: pointer, byte size, needed flags
+/// (1 = read, 2 = write, per `kop_core::AccessFlags`).
+fn access_key(f: &Function, iid: InstId) -> Option<(Value, u64, u64)> {
+    match f.inst(iid) {
+        Inst::Load { ty, ptr } => Some((ptr.clone(), ty.size_of(), 1)),
+        Inst::Store { ty, ptr, .. } => Some((ptr.clone(), ty.size_of(), 2)),
+        _ => None,
+    }
+}
+
+/// The must-dataflow analysis over guard facts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GuardCoverage;
+
+impl ForwardAnalysis for GuardCoverage {
+    type Domain = HashSet<GuardFact>;
+
+    fn entry_state(&self, _f: &Function) -> Self::Domain {
+        HashSet::new()
+    }
+
+    fn merge(&self, states: &[&Self::Domain]) -> Self::Domain {
+        let mut it = states.iter();
+        let first = (*it.next().expect("merge of ≥1 state")).clone();
+        it.fold(first, |acc, s| acc.intersection(s).cloned().collect())
+    }
+
+    fn transfer(&self, f: &Function, _bid: BlockId, iid: InstId, state: &mut Self::Domain) {
+        if let Some(fact) = guard_fact(f, iid) {
+            state.insert(fact);
+        }
+    }
+}
+
+/// Prove guard coverage for every function in `module`.
+///
+/// Emits `KA001` for an access with no fact on its pointer, `KA002` when
+/// a fact exists but grants too few bytes or the wrong intent, and
+/// `KA004` (warning) for guards that cover no reachable access.
+pub fn verify_guard_coverage(module: &Module) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    for f in &module.functions {
+        verify_function(f, &mut report);
+    }
+    report.bump("functions_analyzed", module.functions.len() as u64);
+    report
+}
+
+fn diag(
+    f: &Function,
+    bid: BlockId,
+    idx: usize,
+    iid: InstId,
+    code: LintCode,
+    message: String,
+) -> Diagnostic {
+    let name = f.inst_name(iid);
+    let inst = if name.is_empty() {
+        // Unnamed instructions (stores, guard calls) get a rendered stub.
+        match f.inst(iid) {
+            Inst::Store { .. } => format!("store #{idx}"),
+            Inst::Call { callee, .. } => format!("call @{callee} #{idx}"),
+            other => format!("{other:?}"),
+        }
+    } else {
+        format!("%{name}")
+    };
+    Diagnostic {
+        code,
+        function: f.name.clone(),
+        block: f.block(bid).name.clone(),
+        inst_index: idx,
+        inst,
+        message,
+    }
+}
+
+fn verify_function(f: &Function, report: &mut AnalysisReport) {
+    if f.blocks.is_empty() {
+        return;
+    }
+    let states = solve(f, &GuardCoverage);
+    let dom = DomTree::compute(f);
+
+    // Every guard occurrence, for the dead-guard pass:
+    // (block, index-in-block, inst id, fact, covers-something).
+    let mut guards: Vec<(BlockId, usize, InstId, GuardFact, bool)> = Vec::new();
+    // Every reachable access: (block, index-in-block, key).
+    let mut accesses: Vec<(BlockId, usize, (Value, u64, u64))> = Vec::new();
+
+    for bid in f.block_ids() {
+        let Some(in_state) = states.entry_of(bid) else {
+            continue; // unreachable: cannot execute, nothing to prove
+        };
+        let mut state = in_state.clone();
+        for (idx, &iid) in f.block(bid).insts.iter().enumerate() {
+            if let Some(fact) = guard_fact(f, iid) {
+                guards.push((bid, idx, iid, fact.clone(), false));
+                state.insert(fact);
+                continue;
+            }
+            let Some((ptr, size, flags)) = access_key(f, iid) else {
+                continue;
+            };
+            report.bump("accesses_checked", 1);
+            accesses.push((bid, idx, (ptr.clone(), size, flags)));
+            if state.iter().any(|g| g.covers(&ptr, size, flags)) {
+                report.bump("accesses_proven", 1);
+                continue;
+            }
+            // Not covered: mismatch if some fact names this pointer.
+            let near: Vec<&GuardFact> = state.iter().filter(|g| g.ptr == ptr).collect();
+            if near.is_empty() {
+                report.push(diag(
+                    f,
+                    bid,
+                    idx,
+                    iid,
+                    LintCode::UnguardedAccess,
+                    format!(
+                        "no guard for this pointer reaches the access on all paths \
+                         (needs size {size}, flags {flags})"
+                    ),
+                ));
+            } else {
+                let have = near
+                    .iter()
+                    .map(|g| format!("size {} flags {}", g.size, g.flags))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                report.push(diag(
+                    f,
+                    bid,
+                    idx,
+                    iid,
+                    LintCode::GuardMismatch,
+                    format!(
+                        "guard on this pointer grants {have}, access needs \
+                         size {size} flags {flags}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    report.bump("guards_seen", guards.len() as u64);
+
+    // Dead-guard scan: a guard is live if it can cover some reachable
+    // access it precedes — same block and earlier, or in a block that
+    // dominates the access's block.
+    for (gb, gidx, giid, fact, live) in guards.iter_mut() {
+        for (ab, aidx, (ptr, size, flags)) in &accesses {
+            let ordered = if *gb == *ab {
+                *gidx < *aidx
+            } else {
+                dom.dominates(*gb, *ab)
+            };
+            if ordered && fact.covers(ptr, *size, *flags) {
+                *live = true;
+                break;
+            }
+        }
+        if !*live {
+            let d = diag(
+                f,
+                *gb,
+                *gidx,
+                *giid,
+                LintCode::DeadGuard,
+                format!(
+                    "guard (size {} flags {}) covers no reachable access",
+                    fact.size, fact.flags
+                ),
+            );
+            report.push(d);
+            report.bump("dead_guards", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_ir::parse_module;
+
+    /// Hand-guarded straight-line module (what GuardInjectionPass emits).
+    const GUARDED: &str = r#"
+module "g"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+
+    #[test]
+    fn accepts_guarded_access() {
+        let m = parse_module(GUARDED).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.stat("accesses_checked"), 1);
+        assert_eq!(r.stat("accesses_proven"), 1);
+    }
+
+    #[test]
+    fn rejects_unguarded_access_with_ka001() {
+        let src = r#"
+module "u"
+define i64 @f(ptr %p) {
+entry:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert!(!r.is_clean());
+        let d = r.with_code(LintCode::UnguardedAccess).next().unwrap();
+        assert_eq!(d.function, "f");
+        assert_eq!(d.inst, "%v", "diagnostic names the offending instruction");
+    }
+
+    #[test]
+    fn rejects_undersized_guard_with_ka002() {
+        let src = r#"
+module "sz"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p) {
+entry:
+  call void @carat_guard(ptr %p, i64 4, i32 1)
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert!(!r.is_clean());
+        assert_eq!(r.with_code(LintCode::GuardMismatch).count(), 1);
+    }
+
+    #[test]
+    fn read_guard_does_not_cover_store() {
+        let src = r#"
+module "rw"
+declare void @carat_guard(ptr, i64, i32)
+define void @f(ptr %p) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  store i64 0, ptr %p
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert_eq!(r.with_code(LintCode::GuardMismatch).count(), 1);
+    }
+
+    #[test]
+    fn rw_guard_covers_both_directions() {
+        let src = r#"
+module "rw2"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 3)
+  %v = load i64, ptr %p
+  store i64 %v, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.stat("accesses_proven"), 2);
+    }
+
+    #[test]
+    fn guard_on_one_branch_only_is_rejected() {
+        // The guard executes only on the `a` path; at the join it is not
+        // a must-fact, so the access is KA001.
+        let src = r#"
+module "br"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p, i1 %c) {
+entry:
+  condbr i1 %c, %a, %b
+a:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  br %join
+b:
+  br %join
+join:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert_eq!(r.with_code(LintCode::UnguardedAccess).count(), 1);
+    }
+
+    #[test]
+    fn guards_on_both_branches_are_accepted() {
+        let src = r#"
+module "br2"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p, i1 %c) {
+entry:
+  condbr i1 %c, %a, %b
+a:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  br %join
+b:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  br %join
+join:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn hoisted_guard_covers_loop_body() {
+        // Guard in the preheader, access in the loop body — the shape
+        // LoopGuardHoisting produces. Calls inside the loop must not
+        // invalidate the fact.
+        let src = r#"
+module "hoisted"
+global @acc : i64 = 0
+declare void @carat_guard(ptr, i64, i32)
+declare void @other()
+define i64 @sum(i64 %n) {
+entry:
+  call void @carat_guard(ptr @acc, i64 8, i32 3)
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  call void @other()
+  %v = load i64, ptr @acc
+  %v2 = add i64 %v, 1
+  store i64 %v2, ptr @acc
+  %i2 = add i64 %i, 1
+  br %head
+exit:
+  %r = load i64, ptr @acc
+  ret i64 %r
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.stat("accesses_proven"), 3);
+    }
+
+    #[test]
+    fn dead_guard_warns_ka004_but_stays_clean() {
+        let src = r#"
+module "dead"
+declare void @carat_guard(ptr, i64, i32)
+define void @f(ptr %p, ptr %q) {
+entry:
+  call void @carat_guard(ptr %q, i64 8, i32 2)
+  call void @carat_guard(ptr %p, i64 8, i32 2)
+  store i64 0, ptr %p
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert!(r.is_clean(), "dead guard is only a warning: {r}");
+        assert_eq!(r.with_code(LintCode::DeadGuard).count(), 1);
+        assert_eq!(r.stat("dead_guards"), 1);
+    }
+
+    #[test]
+    fn unreachable_access_is_skipped() {
+        let src = r#"
+module "unreach"
+define void @f(ptr %p) {
+entry:
+  ret void
+dead:
+  store i64 0, ptr %p
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.stat("accesses_checked"), 0);
+    }
+
+    #[test]
+    fn fact_equality_is_on_ssa_value_not_name() {
+        // Two distinct pointers with identical types: a guard on one must
+        // not cover the other.
+        let src = r#"
+module "alias"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p, ptr %q) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  %v = load i64, ptr %q
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert_eq!(r.with_code(LintCode::UnguardedAccess).count(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! A reusable forward-dataflow framework over KIR CFGs.
+//!
+//! The framework is the classic worklist algorithm: block in-states are
+//! the merge of predecessor out-states, out-states are computed by a
+//! per-instruction transfer function, and blocks requeue until fixpoint.
+//! `Option<D>` encodes ⊤ ("not yet reached"): unvisited predecessors are
+//! skipped during merges, so states only ever flow along realizable
+//! paths. Iteration order is reverse postorder, which converges in one
+//! or two passes for the reducible CFGs the guard passes produce.
+
+use kop_ir::{BlockId, Function, InstId};
+
+/// A forward analysis over a function.
+///
+/// `Domain` is a join-semilattice element; [`ForwardAnalysis::merge`]
+/// combines the out-states of all *reached* predecessors (a must-analysis
+/// intersects, a may-analysis unions).
+pub trait ForwardAnalysis {
+    /// The abstract state attached to each program point.
+    type Domain: Clone + PartialEq;
+
+    /// State on entry to the function's entry block.
+    fn entry_state(&self, f: &Function) -> Self::Domain;
+
+    /// Combine the out-states of reached predecessors. Never called with
+    /// an empty slice.
+    fn merge(&self, states: &[&Self::Domain]) -> Self::Domain;
+
+    /// Apply one instruction's effect to the state.
+    fn transfer(&self, f: &Function, bid: BlockId, iid: InstId, state: &mut Self::Domain);
+}
+
+/// Fixpoint result: per-block in-states. `None` = block never reached
+/// from the entry (⊤).
+#[derive(Clone, Debug)]
+pub struct BlockStates<D> {
+    /// State at each block's entry, indexed by `BlockId`.
+    pub in_states: Vec<Option<D>>,
+}
+
+impl<D> BlockStates<D> {
+    /// In-state of `b`, if the block is reachable.
+    pub fn entry_of(&self, b: BlockId) -> Option<&D> {
+        self.in_states.get(b.0 as usize).and_then(|s| s.as_ref())
+    }
+}
+
+/// Reverse postorder over the reachable blocks of `f`.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    if n == 0 {
+        return vec![];
+    }
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+    visited[0] = true;
+    while let Some((b, child)) = stack.last().copied() {
+        let succs = f
+            .block(b)
+            .term
+            .as_ref()
+            .map(|t| t.successors())
+            .unwrap_or_default();
+        if child < succs.len() {
+            stack.last_mut().expect("stack non-empty").1 += 1;
+            let s = succs[child];
+            if !visited[s.0 as usize] {
+                visited[s.0 as usize] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            postorder.push(b);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Run `analysis` over `f` to fixpoint and return per-block in-states.
+pub fn solve<A: ForwardAnalysis>(f: &Function, analysis: &A) -> BlockStates<A::Domain> {
+    let n = f.blocks.len();
+    let mut in_states: Vec<Option<A::Domain>> = vec![None; n];
+    let mut out_states: Vec<Option<A::Domain>> = vec![None; n];
+    if n == 0 {
+        return BlockStates { in_states };
+    }
+
+    let rpo = reverse_postorder(f);
+    let mut rpo_pos = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_pos[b.0 as usize] = i;
+    }
+    let preds = f.predecessors();
+
+    in_states[0] = Some(analysis.entry_state(f));
+    // Worklist of RPO positions, deduplicated via an in-queue flag.
+    let mut queued = vec![false; rpo.len()];
+    let mut work: std::collections::VecDeque<usize> = (0..rpo.len()).collect();
+    for q in queued.iter_mut() {
+        *q = true;
+    }
+
+    while let Some(pos) = work.pop_front() {
+        queued[pos] = false;
+        let b = rpo[pos];
+        let bi = b.0 as usize;
+
+        // Merge reached predecessors (entry keeps its boundary state).
+        if b != BlockId(0) {
+            let reached: Vec<&A::Domain> = preds[bi]
+                .iter()
+                .filter_map(|p| out_states[p.0 as usize].as_ref())
+                .collect();
+            if reached.is_empty() {
+                continue; // not yet reachable
+            }
+            in_states[bi] = Some(analysis.merge(&reached));
+        }
+
+        // Transfer through the block.
+        let mut state = in_states[bi].clone().expect("reached block has state");
+        for &iid in &f.block(b).insts {
+            analysis.transfer(f, b, iid, &mut state);
+        }
+
+        if out_states[bi].as_ref() != Some(&state) {
+            out_states[bi] = Some(state);
+            if let Some(term) = &f.block(b).term {
+                for succ in term.successors() {
+                    let spos = rpo_pos[succ.0 as usize];
+                    if spos != usize::MAX && !queued[spos] {
+                        queued[spos] = true;
+                        work.push_back(spos);
+                    }
+                }
+            }
+        }
+    }
+
+    BlockStates { in_states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_ir::{parse_module, Inst};
+    use std::collections::HashSet;
+
+    /// A toy must-analysis: the set of callee names invoked on *every*
+    /// path into a point.
+    struct MustCalls;
+
+    impl ForwardAnalysis for MustCalls {
+        type Domain = HashSet<String>;
+
+        fn entry_state(&self, _f: &Function) -> Self::Domain {
+            HashSet::new()
+        }
+
+        fn merge(&self, states: &[&Self::Domain]) -> Self::Domain {
+            let mut it = states.iter();
+            let first = (*it.next().expect("non-empty")).clone();
+            it.fold(first, |acc, s| acc.intersection(s).cloned().collect())
+        }
+
+        fn transfer(&self, f: &Function, _b: BlockId, iid: InstId, state: &mut Self::Domain) {
+            if let Inst::Call { callee, .. } = f.inst(iid) {
+                state.insert(callee.clone());
+            }
+        }
+    }
+
+    const DIAMOND: &str = r#"
+module "d"
+declare void @both()
+declare void @left()
+declare void @right()
+define void @f(i1 %c) {
+entry:
+  call void @both()
+  condbr i1 %c, %a, %b
+a:
+  call void @left()
+  br %join
+b:
+  call void @right()
+  br %join
+join:
+  ret void
+dead:
+  ret void
+}
+"#;
+
+    #[test]
+    fn must_analysis_intersects_at_joins() {
+        let m = parse_module(DIAMOND).unwrap();
+        let f = m.function("f").unwrap();
+        let states = solve(f, &MustCalls);
+        let join = f.block_by_name("join").unwrap();
+        let at_join = states.entry_of(join).expect("join reachable");
+        assert!(at_join.contains("both"));
+        assert!(!at_join.contains("left"), "only on one path");
+        assert!(!at_join.contains("right"), "only on one path");
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_state() {
+        let m = parse_module(DIAMOND).unwrap();
+        let f = m.function("f").unwrap();
+        let states = solve(f, &MustCalls);
+        let dead = f.block_by_name("dead").unwrap();
+        assert!(states.entry_of(dead).is_none());
+    }
+
+    #[test]
+    fn loop_converges_to_fixpoint() {
+        let src = r#"
+module "l"
+declare void @pre()
+declare void @inloop()
+define void @f(i64 %n) {
+entry:
+  call void @pre()
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  call void @inloop()
+  %i2 = add i64 %i, 1
+  br %head
+exit:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let states = solve(f, &MustCalls);
+        let head = f.block_by_name("head").unwrap();
+        let exit = f.block_by_name("exit").unwrap();
+        // @pre is on every path into the loop head and the exit.
+        assert!(states.entry_of(head).unwrap().contains("pre"));
+        assert!(states.entry_of(exit).unwrap().contains("pre"));
+        // @inloop is only on the back edge, not on the zero-trip path.
+        assert!(!states.entry_of(head).unwrap().contains("inloop"));
+        assert!(!states.entry_of(exit).unwrap().contains("inloop"));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let m = parse_module(DIAMOND).unwrap();
+        let f = m.function("f").unwrap();
+        let rpo = reverse_postorder(f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4, "dead block excluded");
+    }
+}

@@ -1,0 +1,40 @@
+//! `kop-analysis`: static analysis over KIR.
+//!
+//! This crate gives the CARAT KOP stack an *independent proof* that a
+//! module is guarded, instead of trusting the compiler that signed it:
+//!
+//! * [`dataflow`] — a reusable forward-dataflow framework (join
+//!   semilattice + worklist engine over the CFG).
+//! * [`coverage`] — the GuardCoverage analysis: proves every load and
+//!   store is covered on all paths by a dominating `carat_guard` call.
+//! * [`provenance`] — pointer provenance classification used to justify
+//!   guard elision and to flag laundered or constant-address pointers.
+//! * [`diagnostics`] — stable lint codes (`KA001`…) with precise
+//!   function/block/instruction locations.
+//!
+//! The top-level entry points are [`analyze_module`] (full report) and
+//! [`verify_guard_coverage`] (coverage only).
+
+pub mod coverage;
+pub mod dataflow;
+pub mod diagnostics;
+pub mod provenance;
+
+pub use coverage::{verify_guard_coverage, GuardCoverage};
+pub use diagnostics::{AnalysisReport, Diagnostic, LintCode, Severity};
+pub use provenance::{PointerProvenance, Provenance};
+
+use kop_ir::Module;
+
+/// Run every analysis on `module` and collect the merged report.
+pub fn analyze_module(module: &Module) -> AnalysisReport {
+    analyze_module_with_policy(module, &[])
+}
+
+/// Like [`analyze_module`], but also checks constant-address accesses
+/// against a policy snapshot (regions the module may touch).
+pub fn analyze_module_with_policy(module: &Module, allowed: &[kop_core::Region]) -> AnalysisReport {
+    let mut report = coverage::verify_guard_coverage(module);
+    report.merge(provenance::analyze_provenance(module, allowed));
+    report
+}

@@ -1,0 +1,506 @@
+//! PointerProvenance: classify where every pointer comes from.
+//!
+//! Provenance answers two questions the rest of the stack cares about:
+//!
+//! 1. **Which guards could be elided soundly?** An access through a
+//!    pointer derived from a *non-escaping* `alloca` can only touch the
+//!    module's own stack frame, so its guard is pure overhead (the
+//!    CARAT CAKE-style optimization the paper skips). The analysis
+//!    counts these as `elidable_accesses`.
+//! 2. **Which pointers are suspicious?** `inttoptr` of a non-constant
+//!    integer *launders* provenance — the classic rootkit trick for
+//!    reaching kernel objects the module was never given (KA003).
+//!    `inttoptr` of a constant is a fixed absolute address; when a
+//!    policy snapshot is supplied, accesses through it are checked
+//!    statically and violations are reported as KA005.
+//!
+//! The classification is a flat lattice solved to fixpoint per function
+//! (phis and selects join; unequal classes collapse to `Unknown`).
+
+use std::collections::{HashMap, HashSet};
+
+use kop_core::{AccessFlags, Region, Size, VAddr};
+use kop_ir::{CastOp, Function, Inst, InstId, Module, Type, Value};
+
+use crate::coverage::GUARD_SYMBOL;
+use crate::diagnostics::{AnalysisReport, Diagnostic, LintCode};
+
+/// Where a pointer value comes from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Provenance {
+    /// The null pointer.
+    Null,
+    /// Derived from an `alloca` in this function; the id is the root
+    /// allocation.
+    Stack(InstId),
+    /// Derived from a named global / kernel symbol.
+    KernelSymbol(String),
+    /// Derived from a formal parameter (the caller vouches for it).
+    Argument(u32),
+    /// The address of a function.
+    FuncPtr(String),
+    /// A constant absolute address materialized via `inttoptr`.
+    Constant(u64),
+    /// `inttoptr` applied to a non-constant integer: provenance erased.
+    Laundered,
+    /// Anything else (loaded from memory, returned from a call, or a
+    /// join of different classes).
+    Unknown,
+}
+
+impl Provenance {
+    /// Flat-lattice join.
+    fn join(&self, other: &Provenance) -> Provenance {
+        if self == other {
+            self.clone()
+        } else {
+            Provenance::Unknown
+        }
+    }
+
+    /// Stable name for stats buckets.
+    pub fn bucket(&self) -> &'static str {
+        match self {
+            Provenance::Null => "ptr_null",
+            Provenance::Stack(_) => "ptr_stack",
+            Provenance::KernelSymbol(_) => "ptr_kernel_symbol",
+            Provenance::Argument(_) => "ptr_argument",
+            Provenance::FuncPtr(_) => "ptr_func",
+            Provenance::Constant(_) => "ptr_constant",
+            Provenance::Laundered => "ptr_laundered",
+            Provenance::Unknown => "ptr_unknown",
+        }
+    }
+}
+
+/// Per-function provenance solution.
+#[derive(Clone, Debug)]
+pub struct PointerProvenance {
+    env: HashMap<InstId, Provenance>,
+    escaped: HashSet<InstId>,
+}
+
+impl PointerProvenance {
+    /// Solve provenance for one function.
+    pub fn compute(f: &Function) -> PointerProvenance {
+        let mut env: HashMap<InstId, Provenance> = HashMap::new();
+        // Fixpoint: flat lattice of bounded height, so this terminates
+        // in at most a few passes even through phi cycles.
+        loop {
+            let mut changed = false;
+            for (_, iid) in f.placed_insts() {
+                let new = transfer(f, iid, &env);
+                if env.get(&iid) != Some(&new) {
+                    env.insert(iid, new);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Escape scan: a stack root escapes when a pointer derived from
+        // it is stored to memory, passed to a non-guard call, returned,
+        // or cast to an integer.
+        let mut escaped: HashSet<InstId> = HashSet::new();
+        let value_root = |v: &Value| -> Option<InstId> {
+            match value_prov(f, v, &env) {
+                Provenance::Stack(root) => Some(root),
+                _ => None,
+            }
+        };
+        for (bid, iid) in f.placed_insts() {
+            match f.inst(iid) {
+                Inst::Store { val, .. } => {
+                    if let Some(root) = value_root(val) {
+                        escaped.insert(root);
+                    }
+                }
+                Inst::Call { callee, args, .. } if callee != GUARD_SYMBOL => {
+                    for a in args {
+                        if let Some(root) = value_root(a) {
+                            escaped.insert(root);
+                        }
+                    }
+                }
+                Inst::Cast {
+                    op: CastOp::PtrToInt,
+                    val,
+                    ..
+                } => {
+                    if let Some(root) = value_root(val) {
+                        escaped.insert(root);
+                    }
+                }
+                _ => {}
+            }
+            let _ = bid;
+        }
+        for bid in f.block_ids() {
+            if let Some(kop_ir::Terminator::Ret(Some(v))) = &f.block(bid).term {
+                if let Some(root) = value_root(v) {
+                    escaped.insert(root);
+                }
+            }
+        }
+
+        PointerProvenance { env, escaped }
+    }
+
+    /// Provenance of an arbitrary operand in this function.
+    pub fn of(&self, f: &Function, v: &Value) -> Provenance {
+        value_prov(f, v, &self.env)
+    }
+
+    /// Whether a stack root's address leaves the function.
+    pub fn escapes(&self, root: InstId) -> bool {
+        self.escaped.contains(&root)
+    }
+}
+
+fn value_prov(_f: &Function, v: &Value, env: &HashMap<InstId, Provenance>) -> Provenance {
+    match v {
+        Value::NullPtr => Provenance::Null,
+        Value::Global(name) => Provenance::KernelSymbol(name.clone()),
+        Value::FuncAddr(name) => Provenance::FuncPtr(name.clone()),
+        Value::Arg(i) => Provenance::Argument(*i),
+        Value::ConstInt(_, _) => Provenance::Unknown, // an int, not a pointer
+        Value::Inst(id) => env.get(id).cloned().unwrap_or(Provenance::Unknown),
+    }
+}
+
+fn transfer(f: &Function, iid: InstId, env: &HashMap<InstId, Provenance>) -> Provenance {
+    match f.inst(iid) {
+        Inst::Alloca { .. } => Provenance::Stack(iid),
+        Inst::Gep { ptr, .. } => value_prov(f, ptr, env),
+        Inst::Cast {
+            op: CastOp::IntToPtr,
+            val,
+            ..
+        } => match val {
+            Value::ConstInt(_, addr) => Provenance::Constant(*addr),
+            // A round-tripped pointer (ptrtoint→inttoptr) keeps its
+            // class only when the int's source is itself a cast we
+            // tracked; everything else is laundering.
+            Value::Inst(id) => match f.inst(*id) {
+                Inst::Cast {
+                    op: CastOp::PtrToInt,
+                    val: inner,
+                    ..
+                } => value_prov(f, inner, env),
+                _ => Provenance::Laundered,
+            },
+            _ => Provenance::Laundered,
+        },
+        Inst::Select {
+            then_val, else_val, ..
+        } => value_prov(f, then_val, env).join(&value_prov(f, else_val, env)),
+        Inst::Phi { incomings, ty } if *ty == Type::Ptr => {
+            let mut it = incomings.iter();
+            match it.next() {
+                None => Provenance::Unknown,
+                Some((_, first)) => it.fold(value_prov(f, first, env), |acc, (_, v)| {
+                    acc.join(&value_prov(f, v, env))
+                }),
+            }
+        }
+        // Loads of pointers, call results, arithmetic, …: no provenance.
+        _ => Provenance::Unknown,
+    }
+}
+
+/// Run provenance over a module: classify every access pointer, flag
+/// laundered accesses (KA003), and — when `allowed` is non-empty —
+/// statically check constant-address accesses against it (KA005).
+pub fn analyze_provenance(module: &Module, allowed: &[Region]) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    for f in &module.functions {
+        if f.blocks.is_empty() {
+            continue;
+        }
+        let prov = PointerProvenance::compute(f);
+        for bid in f.block_ids() {
+            for (idx, &iid) in f.block(bid).insts.iter().enumerate() {
+                let (ptr, size, flags) = match f.inst(iid) {
+                    Inst::Load { ty, ptr } => (ptr, ty.size_of(), AccessFlags::READ),
+                    Inst::Store { ty, ptr, .. } => (ptr, ty.size_of(), AccessFlags::WRITE),
+                    _ => continue,
+                };
+                let p = prov.of(f, ptr);
+                report.bump(p.bucket(), 1);
+                match p {
+                    Provenance::Stack(root) if !prov.escapes(root) => {
+                        report.bump("elidable_accesses", 1);
+                    }
+                    Provenance::Laundered => {
+                        report.push(access_diag(
+                            f,
+                            bid,
+                            idx,
+                            iid,
+                            LintCode::LaunderedPointer,
+                            "pointer provenance erased by inttoptr; \
+                             the guard cannot be elided and the access \
+                             deserves scrutiny"
+                                .to_string(),
+                        ));
+                    }
+                    Provenance::Constant(addr) if !allowed.is_empty() => {
+                        let ok = allowed
+                            .iter()
+                            .any(|r| r.permits(VAddr(addr), Size(size), flags));
+                        if !ok {
+                            report.push(access_diag(
+                                f,
+                                bid,
+                                idx,
+                                iid,
+                                LintCode::PolicyViolation,
+                                format!(
+                                    "constant address {addr:#x} (+{size}) is outside \
+                                     every permitted policy region for flags {}",
+                                    flags.raw()
+                                ),
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    report
+}
+
+fn access_diag(
+    f: &Function,
+    bid: kop_ir::BlockId,
+    idx: usize,
+    iid: InstId,
+    code: LintCode,
+    message: String,
+) -> Diagnostic {
+    let name = f.inst_name(iid);
+    let inst = if name.is_empty() {
+        format!("store #{idx}")
+    } else {
+        format!("%{name}")
+    };
+    Diagnostic {
+        code,
+        function: f.name.clone(),
+        block: f.block(bid).name.clone(),
+        inst_index: idx,
+        inst,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Protection;
+    use kop_ir::parse_module;
+
+    #[test]
+    fn classifies_basic_sources() {
+        let src = r#"
+module "cls"
+global @g : i64 = 0
+define void @f(ptr %arg) {
+entry:
+  %slot = alloca i64, 1
+  %gp = gep i64, ptr @g, i64 0
+  %ap = gep i64, ptr %arg, i64 2
+  store i64 1, ptr %slot
+  store i64 2, ptr %gp
+  store i64 3, ptr %ap
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let prov = PointerProvenance::compute(f);
+        let slot = Value::Inst(InstId(0));
+        assert_eq!(prov.of(f, &slot), Provenance::Stack(InstId(0)));
+        assert_eq!(
+            prov.of(f, &Value::Global("g".into())),
+            Provenance::KernelSymbol("g".into())
+        );
+        assert_eq!(prov.of(f, &Value::Arg(0)), Provenance::Argument(0));
+    }
+
+    #[test]
+    fn gep_preserves_provenance() {
+        let src = r#"
+module "gep"
+define i64 @f(ptr %p) {
+entry:
+  %q = gep i64, ptr %p, i64 4
+  %v = load i64, ptr %q
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let prov = PointerProvenance::compute(f);
+        let q = f
+            .block_by_name("entry")
+            .map(|b| f.block(b).insts[0])
+            .unwrap();
+        assert_eq!(prov.of(f, &Value::Inst(q)), Provenance::Argument(0));
+    }
+
+    #[test]
+    fn inttoptr_of_variable_launders_and_warns_ka003() {
+        let src = r#"
+module "rootkit"
+define i64 @peek(i64 %addr) {
+entry:
+  %p = inttoptr i64 %addr to ptr
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = analyze_provenance(&m, &[]);
+        assert_eq!(r.with_code(LintCode::LaunderedPointer).count(), 1);
+        assert_eq!(r.stat("ptr_laundered"), 1);
+        // A warning, not an error: runtime guards still police it.
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn roundtrip_cast_keeps_provenance() {
+        let src = r#"
+module "rt"
+define i64 @f(ptr %p) {
+entry:
+  %i = ptrtoint ptr %p to i64
+  %q = inttoptr i64 %i to ptr
+  %v = load i64, ptr %q
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let prov = PointerProvenance::compute(f);
+        let q = f
+            .block_by_name("entry")
+            .map(|b| f.block(b).insts[1])
+            .unwrap();
+        assert_eq!(prov.of(f, &Value::Inst(q)), Provenance::Argument(0));
+        let r = analyze_provenance(&m, &[]);
+        assert_eq!(r.with_code(LintCode::LaunderedPointer).count(), 0);
+    }
+
+    #[test]
+    fn constant_address_checked_against_policy() {
+        let src = r#"
+module "abs"
+define i64 @f() {
+entry:
+  %p = inttoptr i64 4096 to ptr
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        // No policy: nothing to check.
+        assert!(analyze_provenance(&m, &[]).is_clean());
+        // Policy that covers 0x1000: clean.
+        let covering = Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).unwrap();
+        assert!(analyze_provenance(&m, &[covering]).is_clean());
+        // Policy elsewhere: KA005.
+        let elsewhere = Region::new(VAddr(0x100000), Size(0x1000), Protection::READ_WRITE).unwrap();
+        let r = analyze_provenance(&m, &[elsewhere]);
+        assert_eq!(r.with_code(LintCode::PolicyViolation).count(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn nonescaping_alloca_accesses_are_elidable() {
+        let src = r#"
+module "stk"
+define i64 @f() {
+entry:
+  %slot = alloca i64, 1
+  store i64 7, ptr %slot
+  %v = load i64, ptr %slot
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = analyze_provenance(&m, &[]);
+        assert_eq!(r.stat("elidable_accesses"), 2);
+        assert_eq!(r.stat("ptr_stack"), 2);
+    }
+
+    #[test]
+    fn escaping_alloca_is_not_elidable() {
+        let src = r#"
+module "esc"
+declare void @sink(ptr)
+define i64 @f() {
+entry:
+  %slot = alloca i64, 1
+  store i64 7, ptr %slot
+  call void @sink(ptr %slot)
+  %v = load i64, ptr %slot
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = analyze_provenance(&m, &[]);
+        assert_eq!(r.stat("elidable_accesses"), 0);
+        assert_eq!(r.stat("ptr_stack"), 2);
+    }
+
+    #[test]
+    fn guard_call_does_not_escape_its_pointer() {
+        let src = r#"
+module "ge"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f() {
+entry:
+  %slot = alloca i64, 1
+  call void @carat_guard(ptr %slot, i64 8, i32 2)
+  store i64 7, ptr %slot
+  %v = load i64, ptr %slot
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = analyze_provenance(&m, &[]);
+        assert_eq!(r.stat("elidable_accesses"), 2);
+    }
+
+    #[test]
+    fn phi_of_same_source_keeps_class_mixed_goes_unknown() {
+        let src = r#"
+module "phi"
+global @a : i64 = 0
+define i64 @f(i1 %c, ptr %p) {
+entry:
+  condbr i1 %c, %l, %r
+l:
+  %lp = gep i64, ptr %p, i64 0
+  br %join
+r:
+  %rp = gep i64, ptr %p, i64 1
+  br %join
+join:
+  %m = phi ptr [ %lp, %l ], [ %rp, %r ]
+  %v = load i64, ptr %m
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let prov = PointerProvenance::compute(f);
+        let join = f.block_by_name("join").unwrap();
+        let phi = f.block(join).insts[0];
+        assert_eq!(prov.of(f, &Value::Inst(phi)), Provenance::Argument(1));
+    }
+}

@@ -36,7 +36,11 @@ fn bench_guard_opts(c: &mut Criterion) {
         let mut interp = Interp::new(&mut kernel).unwrap();
         interp.set_fuel(u64::MAX);
         b.iter(|| {
-            black_box(interp.call("opt-workload", "run", &[buf.raw(), 128]).unwrap())
+            black_box(
+                interp
+                    .call("opt-workload", "run", &[buf.raw(), 128])
+                    .unwrap(),
+            )
         });
     });
 
@@ -46,7 +50,11 @@ fn bench_guard_opts(c: &mut Criterion) {
         let mut interp = Interp::new(&mut kernel).unwrap();
         interp.set_fuel(u64::MAX);
         b.iter(|| {
-            black_box(interp.call("opt-workload", "run", &[buf.raw(), 128]).unwrap())
+            black_box(
+                interp
+                    .call("opt-workload", "run", &[buf.raw(), 128])
+                    .unwrap(),
+            )
         });
     });
 
@@ -56,7 +64,11 @@ fn bench_guard_opts(c: &mut Criterion) {
         let mut interp = Interp::new(&mut kernel).unwrap();
         interp.set_fuel(u64::MAX);
         b.iter(|| {
-            black_box(interp.call("opt-workload", "run", &[buf.raw(), 128]).unwrap())
+            black_box(
+                interp
+                    .call("opt-workload", "run", &[buf.raw(), 128])
+                    .unwrap(),
+            )
         });
     });
 
@@ -65,9 +77,7 @@ fn bench_guard_opts(c: &mut Criterion) {
     group.bench_function("compile_mini_e1000e_carat", |b| {
         let module = corpus::parse(corpus::MINI_E1000E_IR);
         b.iter(|| {
-            black_box(
-                compile_module(module.clone(), &CompileOptions::carat_kop(), &key()).unwrap(),
-            )
+            black_box(compile_module(module.clone(), &CompileOptions::carat_kop(), &key()).unwrap())
         });
     });
 

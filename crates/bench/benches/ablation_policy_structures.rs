@@ -51,11 +51,7 @@ fn bench_structures(c: &mut Criterion) {
                 |b, _| {
                     let mut store = filled(kind, n);
                     b.iter(|| {
-                        black_box(store.lookup(
-                            black_box(VAddr(hot + 8)),
-                            Size(8),
-                            AccessFlags::RW,
-                        ))
+                        black_box(store.lookup(black_box(VAddr(hot + 8)), Size(8), AccessFlags::RW))
                     });
                 },
             );
@@ -71,11 +67,7 @@ fn bench_structures(c: &mut Criterion) {
             |b, _| {
                 let mut store = filled(kind, 64);
                 b.iter(|| {
-                    black_box(store.lookup(
-                        black_box(VAddr(0xdead_0000)),
-                        Size(8),
-                        AccessFlags::RW,
-                    ))
+                    black_box(store.lookup(black_box(VAddr(0xdead_0000)), Size(8), AccessFlags::RW))
                 });
             },
         );

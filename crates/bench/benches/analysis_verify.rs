@@ -1,0 +1,63 @@
+//! Wall-clock of the static guard-coverage verifier — the analysis the
+//! loader's `Verification::Static` mode runs once per insmod. Measured
+//! over the corpus (guarded paper builds and optimized builds) and over
+//! the synthetic scale module, plus the provenance classifier alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use kop_bench::corpus;
+use kop_compiler::{compile_module, CompileOptions, CompilerKey};
+use kop_ir::Module;
+
+fn guarded(module: Module, opts: &CompileOptions) -> Module {
+    let key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+    let out = compile_module(module, opts, &key).expect("compiles");
+    out.signed.verify(&[key]).expect("verifies")
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_verify");
+    group.sample_size(30);
+
+    for (name, module) in corpus::all() {
+        let ir = guarded(module, &CompileOptions::carat_kop());
+        group.throughput(Throughput::Elements(ir.memory_access_count() as u64));
+        group.bench_with_input(BenchmarkId::new("coverage", name), &ir, |b, ir| {
+            b.iter(|| black_box(kop_analysis::verify_guard_coverage(black_box(ir))))
+        });
+    }
+
+    // Optimized (hoisted + deduplicated) guards exercise the dominance
+    // reasoning instead of the same-block fast path.
+    let opt = guarded(
+        corpus::parse(corpus::OPT_WORKLOAD_IR),
+        &CompileOptions::optimized(),
+    );
+    group.bench_function("coverage/opt-workload-optimized", |b| {
+        b.iter(|| black_box(kop_analysis::verify_guard_coverage(black_box(&opt))))
+    });
+
+    // Scale: the ~19 kLoC-equivalent synthetic module.
+    let big = guarded(corpus::synthetic_large(200), &CompileOptions::carat_kop());
+    group.throughput(Throughput::Elements(big.memory_access_count() as u64));
+    group.bench_function("coverage/synthetic-200", |b| {
+        b.iter(|| black_box(kop_analysis::verify_guard_coverage(black_box(&big))))
+    });
+
+    // Provenance classification alone (the KA003/KA005 layer).
+    let rootkit = corpus::parse(corpus::ROOTKIT_IR);
+    group.bench_function("provenance/credscan", |b| {
+        b.iter(|| {
+            black_box(kop_analysis::provenance::analyze_provenance(
+                black_box(&rootkit),
+                &[],
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

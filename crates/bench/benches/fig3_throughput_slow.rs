@@ -20,8 +20,12 @@ fn bench_fig3(c: &mut Criterion) {
         let payload = [0u8; 114];
         b.iter(|| {
             black_box(
-                s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
-                    .unwrap(),
+                s.sendmsg(
+                    MacAddr::BROADCAST,
+                    EtherType::Experimental,
+                    black_box(&payload),
+                )
+                .unwrap(),
             )
         });
     });
@@ -31,8 +35,12 @@ fn bench_fig3(c: &mut Criterion) {
         let payload = [0u8; 114];
         b.iter(|| {
             black_box(
-                s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
-                    .unwrap(),
+                s.sendmsg(
+                    MacAddr::BROADCAST,
+                    EtherType::Experimental,
+                    black_box(&payload),
+                )
+                .unwrap(),
             )
         });
     });

@@ -18,8 +18,12 @@ fn bench_fig4(c: &mut Criterion) {
         let payload = [0u8; 114];
         b.iter(|| {
             black_box(
-                s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
-                    .unwrap(),
+                s.sendmsg(
+                    MacAddr::BROADCAST,
+                    EtherType::Experimental,
+                    black_box(&payload),
+                )
+                .unwrap(),
             )
         });
     });
@@ -29,8 +33,12 @@ fn bench_fig4(c: &mut Criterion) {
         let payload = [0u8; 114];
         b.iter(|| {
             black_box(
-                s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
-                    .unwrap(),
+                s.sendmsg(
+                    MacAddr::BROADCAST,
+                    EtherType::Experimental,
+                    black_box(&payload),
+                )
+                .unwrap(),
             )
         });
     });

@@ -23,8 +23,12 @@ fn bench_fig5(c: &mut Criterion) {
             let payload = [0u8; 114];
             b.iter(|| {
                 black_box(
-                    s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
-                        .unwrap(),
+                    s.sendmsg(
+                        MacAddr::BROADCAST,
+                        EtherType::Experimental,
+                        black_box(&payload),
+                    )
+                    .unwrap(),
                 )
             });
         });

@@ -19,8 +19,12 @@ fn bench_fig6(c: &mut Criterion) {
             let mut s = setup::baseline_sender(setup::r350_burst());
             b.iter(|| {
                 black_box(
-                    s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
-                        .unwrap(),
+                    s.sendmsg(
+                        MacAddr::BROADCAST,
+                        EtherType::Experimental,
+                        black_box(&payload),
+                    )
+                    .unwrap(),
                 )
             });
         });
@@ -28,8 +32,12 @@ fn bench_fig6(c: &mut Criterion) {
             let mut s = setup::carat_sender(setup::r350_burst(), setup::n_region_policy(2), 0);
             b.iter(|| {
                 black_box(
-                    s.sendmsg(MacAddr::BROADCAST, EtherType::Experimental, black_box(&payload))
-                        .unwrap(),
+                    s.sendmsg(
+                        MacAddr::BROADCAST,
+                        EtherType::Experimental,
+                        black_box(&payload),
+                    )
+                    .unwrap(),
                 )
             });
         });

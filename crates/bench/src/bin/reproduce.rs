@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|ablation-ds|ablation-opt|all]
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|all]
 //!           [--csv]        # raw series to stdout instead of the report
 //!           [--out DIR]    # additionally write one CSV per figure into DIR
 //! ```
@@ -43,13 +43,14 @@ fn main() {
         "fig6" => vec![figures::fig6()],
         "fig7" => vec![figures::fig7()],
         "claims" => vec![figures::claims()],
+        "analysis" => vec![figures::analysis()],
         "ablation-ds" => vec![figures::ablation_ds()],
         "ablation-opt" => vec![figures::ablation_opt()],
         "all" => figures::all_figures(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|ablation-ds|ablation-opt|all] [--csv]"
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|all] [--csv]"
             );
             std::process::exit(2);
         }

@@ -232,8 +232,7 @@ fn throughput_series(
 /// <0.8% (~1,000 pps).
 pub fn fig3() -> FigureData {
     let (base_s, base) = throughput_series(MachineProfile::r415(), "baseline", None, 3001);
-    let (carat_s, carat) =
-        throughput_series(MachineProfile::r415(), "carat", Some((2, 0)), 3001);
+    let (carat_s, carat) = throughput_series(MachineProfile::r415(), "carat", Some((2, 0)), 3001);
     let delta = base.median - carat.median;
     let rel = base.median_rel_change(&carat);
     FigureData {
@@ -247,9 +246,7 @@ pub fn fig3() -> FigureData {
             ("median_delta_pps".into(), delta),
             ("median_rel_change".into(), rel),
         ],
-        notes: vec![
-            "paper: median changes by ~1,000 pps, a relative change of <0.8%".into(),
-        ],
+        notes: vec!["paper: median changes by ~1,000 pps, a relative change of <0.8%".into()],
     }
 }
 
@@ -257,8 +254,7 @@ pub fn fig3() -> FigureData {
 /// and, indeed, almost unmeasurable" — <0.1%.
 pub fn fig4() -> FigureData {
     let (base_s, base) = throughput_series(MachineProfile::r350(), "baseline", None, 3002);
-    let (carat_s, carat) =
-        throughput_series(MachineProfile::r350(), "carat", Some((2, 0)), 3002);
+    let (carat_s, carat) = throughput_series(MachineProfile::r350(), "carat", Some((2, 0)), 3002);
     FigureData {
         id: "fig4",
         title: "throughput CDF, carat vs baseline (R350, 128 B, 2 regions)".into(),
@@ -282,8 +278,7 @@ pub fn fig5() -> FigureData {
     let mut series = Vec::new();
     let mut headlines = vec![("baseline_median_pps".into(), base.median)];
     for (label, n) in [("carat", 2usize), ("carat16", 16), ("carat64", 64)] {
-        let (s, sum) =
-            throughput_series(machine(), label, Some((n, setup::hit_pos_for(n))), 3003);
+        let (s, sum) = throughput_series(machine(), label, Some((n, setup::hit_pos_for(n))), 3003);
         headlines.push((format!("{label}_median_pps"), sum.median));
         headlines.push((
             format!("{label}_median_rel_change"),
@@ -300,7 +295,8 @@ pub fn fig5() -> FigureData {
         headlines,
         notes: vec![
             "paper: n has a small but significant effect; even n=64 changes the median <1%".into(),
-            "paper: for large n an O(log n) structure would ameliorate this (see ablation-ds)".into(),
+            "paper: for large n an O(log n) structure would ameliorate this (see ablation-ds)"
+                .into(),
         ],
     }
 }
@@ -417,8 +413,8 @@ pub fn claims() -> FigureData {
         // Baseline and carat builds from the *same* input module.
         let base = compile_module(module.clone(), &CompileOptions::baseline(), &key)
             .expect("baseline build");
-        let carat = compile_module(module, &CompileOptions::carat_kop(), &key)
-            .expect("carat build");
+        let carat =
+            compile_module(module, &CompileOptions::carat_kop(), &key).expect("carat build");
         headlines.push((format!("{name}_ir_lines"), lines));
         headlines.push((format!("{name}_mem_accesses"), accesses));
         headlines.push((
@@ -426,7 +422,8 @@ pub fn claims() -> FigureData {
             carat.stats.get("guards_injected") as f64,
         ));
         assert_eq!(
-            carat.stats.get("guards_injected") as f64, accesses,
+            carat.stats.get("guards_injected") as f64,
+            accesses,
             "one guard per access"
         );
         assert_eq!(base.stats.get("guards_injected"), 0);
@@ -448,8 +445,8 @@ pub fn claims() -> FigureData {
     let big_lines = big.text_lines() as f64;
     let big_accesses = big.memory_access_count() as f64;
     let t0 = Instant::now();
-    let big_out = compile_module(big, &CompileOptions::carat_kop(), &key)
-        .expect("large module compiles");
+    let big_out =
+        compile_module(big, &CompileOptions::carat_kop(), &key).expect("large module compiles");
     let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(
         big_out.stats.get("guards_injected") as f64,
@@ -466,7 +463,10 @@ pub fn claims() -> FigureData {
     notes.push(format!(
         "scale: a {big_lines:.0}-line synthetic module (paper's e1000e: ~19,000 lines of C) transformed, attested, and signed in {compile_ms:.0} ms"
     ));
-    notes.push("paper: the 19 kLoC e1000e transformed with no source changes; ours: every corpus module".into());
+    notes.push(
+        "paper: the 19 kLoC e1000e transformed with no source changes; ours: every corpus module"
+            .into(),
+    );
     FigureData {
         id: "claims",
         title: "engineering-effort claims (§4.1): zero-source-change transformation".into(),
@@ -474,6 +474,88 @@ pub fn claims() -> FigureData {
         series: vec![],
         headlines,
         notes,
+    }
+}
+
+/// ANALYSIS: precision and wall-clock of the `kop-analysis` static
+/// guard-coverage verifier over the KIR corpus — the "prove, don't
+/// trust" cost the static-verification loader mode pays per insmod.
+pub fn analysis() -> FigureData {
+    let key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+    let mut headlines = Vec::new();
+    let mut notes = Vec::new();
+    let mut points = Vec::new();
+
+    let mut corpus_modules = corpus::all();
+    corpus_modules.push(("synthetic-200", corpus::synthetic_large(200)));
+
+    for (name, module) in corpus_modules {
+        // The raw module must be *rejected* (that is the precision floor:
+        // no unguarded access sneaks through) ...
+        let raw_report = kop_analysis::verify_guard_coverage(&module);
+        assert!(
+            !raw_report.is_clean(),
+            "{name}: unguarded module must be rejected"
+        );
+        // ... and both the paper build and the optimized build must be
+        // *proven* (no false rejection of legitimate guard placements).
+        for (cfg_name, opts) in [
+            ("carat", CompileOptions::carat_kop()),
+            ("opt", CompileOptions::optimized()),
+        ] {
+            let out = compile_module(module.clone(), &opts, &key).expect("compiles");
+            let ir = out
+                .signed
+                .verify(std::slice::from_ref(&key))
+                .expect("verifies");
+            let t0 = Instant::now();
+            let report = kop_analysis::verify_guard_coverage(&ir);
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            assert!(report.is_clean(), "{name}/{cfg_name}: must prove clean");
+            let checked = report.stat("accesses_checked") as f64;
+            let proven = report.stat("accesses_proven") as f64;
+            headlines.push((format!("{name}_{cfg_name}_accesses"), checked));
+            headlines.push((
+                format!("{name}_{cfg_name}_precision"),
+                if checked > 0.0 { proven / checked } else { 1.0 },
+            ));
+            headlines.push((format!("{name}_{cfg_name}_verify_us"), us));
+            points.push((checked, us));
+        }
+        // Provenance classification on the raw module: the rootkit corpus
+        // member launders pointers through inttoptr and must be flagged.
+        let prov = kop_analysis::provenance::analyze_provenance(&module, &[]);
+        if name == "credscan" {
+            let laundered = prov.stat("ptr_laundered") as f64;
+            assert!(laundered > 0.0, "credscan must trip KA003");
+            headlines.push(("credscan_laundered_accesses".into(), laundered));
+            notes.push(
+                "credscan reaches kernel memory via inttoptr: flagged KA003 before it ever runs"
+                    .into(),
+            );
+        }
+    }
+
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    FigureData {
+        id: "analysis",
+        title: "static guard-coverage verification: precision and cost over the KIR corpus".into(),
+        axes: ("memory accesses in module", "verify wall-clock (us)"),
+        series: vec![Series {
+            label: "verify_us".into(),
+            points,
+        }],
+        headlines,
+        notes: {
+            notes.push(
+                "precision 1.0 = every access proven guarded; raw (unguarded) builds are rejected"
+                    .into(),
+            );
+            notes.push(
+                "this is the per-insmod cost of Verification::Static — proving instead of trusting the signature".into(),
+            );
+            notes
+        },
     }
 }
 
@@ -616,6 +698,7 @@ pub fn all_figures() -> Vec<FigureData> {
         fig6(),
         fig7(),
         claims(),
+        analysis(),
         ablation_ds(),
         ablation_opt(),
     ]

@@ -42,7 +42,10 @@ pub fn two_region_policy() -> Arc<PolicyModule> {
 /// which is what the Figure 5 sweep stresses. The first `n - 2` entries
 /// are decoy rules over the user half.
 pub fn n_region_policy(n: usize) -> Arc<PolicyModule> {
-    assert!((2..=64).contains(&n), "table policy supports 2..=64 regions");
+    assert!(
+        (2..=64).contains(&n),
+        "table policy supports 2..=64 regions"
+    );
     let pm = Arc::new(PolicyModule::with_kind(StoreKind::Table));
     pm.set_default_action(DefaultAction::Deny);
     for i in 0..(n - 2) as u64 {

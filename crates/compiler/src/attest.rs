@@ -14,14 +14,28 @@ use std::fmt;
 
 use kop_ir::{Inst, Module};
 
-use crate::guard::{validate_guards, GUARD_SYMBOL};
+use crate::guard::{check_guards, strict_guard_layout, GUARD_SYMBOL};
 
 /// Privileged intrinsics a kernel module must not call directly. Mirrors
 /// the x86 privileged-instruction surface a real attestor would reject
 /// (paper §5 lists this as future work; we implement the check).
 pub const PRIVILEGED_INTRINSICS: &[&str] = &[
-    "__wrmsr", "__rdmsr", "__cli", "__sti", "__hlt", "__invlpg", "__lgdt", "__lidt", "__ltr",
-    "__mov_cr0", "__mov_cr3", "__mov_cr4", "__outb", "__outw", "__outl", "__vmcall",
+    "__wrmsr",
+    "__rdmsr",
+    "__cli",
+    "__sti",
+    "__hlt",
+    "__invlpg",
+    "__lgdt",
+    "__lidt",
+    "__ltr",
+    "__mov_cr0",
+    "__mov_cr3",
+    "__mov_cr4",
+    "__outb",
+    "__outw",
+    "__outl",
+    "__vmcall",
 ];
 
 /// Why attestation refused a module.
@@ -55,7 +69,10 @@ impl fmt::Display for AttestError {
             AttestError::PrivilegedIntrinsic {
                 function,
                 intrinsic,
-            } => write!(f, "privileged intrinsic @{intrinsic} called from @{function}"),
+            } => write!(
+                f,
+                "privileged intrinsic @{intrinsic} called from @{function}"
+            ),
             AttestError::UnwrappedIntrinsic => {
                 f.write_str("privileged intrinsic call lacks its intrinsic guard")
             }
@@ -78,6 +95,14 @@ pub struct Attestation {
     /// guard (true for unoptimized CARAT KOP output; false once the
     /// optional optimization passes have moved or removed guards).
     pub guards_strict: bool,
+    /// Whether the dataflow verifier proved every load/store dominated by
+    /// a covering guard on all paths. Unlike [`guards_strict`] this holds
+    /// for optimized (hoisted/deduplicated) builds too — it is the
+    /// compiler's record of the proof the loader can independently
+    /// recompute in static-verification mode.
+    ///
+    /// [`guards_strict`]: Attestation::guards_strict
+    pub guards_covered: bool,
     /// Static count of guard call sites.
     pub guard_count: u64,
     /// Static count of loads + stores.
@@ -125,7 +150,8 @@ impl Attestation {
             module_name: module.name.clone(),
             no_inline_asm: true,
             no_privileged_calls: privileged_calls == 0,
-            guards_strict: validate_guards(module),
+            guards_strict: strict_guard_layout(module),
+            guards_covered: check_guards(module).is_clean(),
             guard_count: module.call_count(GUARD_SYMBOL) as u64,
             mem_access_count: module.memory_access_count() as u64,
             privileged_calls,
@@ -137,11 +163,12 @@ impl Attestation {
     /// Canonical byte encoding, bound into the module signature.
     pub fn to_bytes(&self) -> Vec<u8> {
         format!(
-            "attestation-v2\nmodule={}\nno_asm={}\nno_priv={}\nstrict={}\nguards={}\naccesses={}\npriv_calls={}\npriv_wrapped={}\ncompiler={}\n",
+            "attestation-v3\nmodule={}\nno_asm={}\nno_priv={}\nstrict={}\ncovered={}\nguards={}\naccesses={}\npriv_calls={}\npriv_wrapped={}\ncompiler={}\n",
             self.module_name,
             self.no_inline_asm,
             self.no_privileged_calls,
             self.guards_strict,
+            self.guards_covered,
             self.guard_count,
             self.mem_access_count,
             self.privileged_calls,
@@ -151,7 +178,6 @@ impl Attestation {
         .into_bytes()
     }
 }
-
 
 /// Shared scan: refuse inline asm always; refuse privileged calls unless
 /// `allow_privileged`.
@@ -166,12 +192,13 @@ fn scan(module: &Module, allow_privileged: bool) -> Result<(), AttestError> {
                     })
                 }
                 Inst::Call { callee, .. }
-                    if PRIVILEGED_INTRINSICS.contains(&callee.as_str()) && !allow_privileged => {
-                        return Err(AttestError::PrivilegedIntrinsic {
-                            function: f.name.clone(),
-                            intrinsic: callee.clone(),
-                        });
-                    }
+                    if PRIVILEGED_INTRINSICS.contains(&callee.as_str()) && !allow_privileged =>
+                {
+                    return Err(AttestError::PrivilegedIntrinsic {
+                        function: f.name.clone(),
+                        intrinsic: callee.clone(),
+                    });
+                }
                 _ => {}
             }
         }
@@ -201,6 +228,7 @@ entry:
         let a = Attestation::check(&m).expect("attests");
         assert!(a.no_inline_asm);
         assert!(a.guards_strict);
+        assert!(a.guards_covered);
         assert_eq!(a.guard_count, 1);
         assert_eq!(a.mem_access_count, 1);
         assert_eq!(a.compiler_id, Attestation::COMPILER_ID);
@@ -258,8 +286,39 @@ entry:
         let m = parse_module(src).unwrap();
         let a = Attestation::check(&m).expect("attests");
         assert!(!a.guards_strict);
+        assert!(!a.guards_covered);
         assert_eq!(a.guard_count, 0);
         assert_eq!(a.mem_access_count, 1);
+    }
+
+    #[test]
+    fn hoisted_guards_are_covered_but_not_strict() {
+        use crate::opt::LoopGuardHoisting;
+        let src = r#"
+module "hoist"
+global @g : i64 = 0
+define void @f(i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %v = load i64, ptr @g
+  %i2 = add i64 %i, 1
+  br %head
+exit:
+  ret void
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        let s = LoopGuardHoisting.run(&mut m);
+        assert!(s.get("guards_hoisted") > 0);
+        let a = Attestation::check(&m).expect("attests");
+        assert!(!a.guards_strict, "hoisted layout is not strict");
+        assert!(a.guards_covered, "but the dataflow proof still holds");
     }
 
     #[test]

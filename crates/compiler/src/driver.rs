@@ -86,6 +86,11 @@ pub enum CompileError {
     OutputVerify(VerifyError),
     /// Attestation refused the module.
     Attest(AttestError),
+    /// The guard-coverage verifier could not prove every memory access
+    /// guarded; the report carries the `KA…` diagnostics. The driver
+    /// refuses to sign such a module — signing it would attest to a
+    /// property that does not hold.
+    GuardCoverage(Box<kop_analysis::AnalysisReport>),
 }
 
 impl core::fmt::Display for CompileError {
@@ -94,6 +99,9 @@ impl core::fmt::Display for CompileError {
             CompileError::InputVerify(e) => write!(f, "input module invalid: {e}"),
             CompileError::OutputVerify(e) => write!(f, "transformed module invalid: {e}"),
             CompileError::Attest(e) => write!(f, "attestation refused: {e}"),
+            CompileError::GuardCoverage(report) => {
+                write!(f, "guard coverage not provable:\n{}", report.summary())
+            }
         }
     }
 }
@@ -147,6 +155,18 @@ pub fn compile_module(
     }
 
     verify_module(&module).map_err(CompileError::OutputVerify)?;
+
+    // Independent proof obligation: whenever this build claims guards
+    // (it injected them, or the input already carried guard calls), the
+    // dataflow verifier must be able to prove full coverage. Baseline
+    // builds of guard-free sources skip this — they claim nothing.
+    if options.inject_guards || module.call_count(crate::guard::GUARD_SYMBOL) > 0 {
+        let report = kop_analysis::verify_guard_coverage(&module);
+        if !report.is_clean() {
+            return Err(CompileError::GuardCoverage(Box::new(report)));
+        }
+    }
+
     let attestation =
         Attestation::check_with(&module, options.wrap_privileged).map_err(CompileError::Attest)?;
     let signed = SignedModule::sign(&module, attestation, key);
@@ -240,6 +260,44 @@ entry:
         let m = parse_module(src).unwrap();
         let err = compile_module(m, &CompileOptions::baseline(), &key()).unwrap_err();
         assert!(matches!(err, CompileError::Attest(_)));
+    }
+
+    #[test]
+    fn guard_stripped_input_refused() {
+        // A module that *claims* to be guarded (it calls carat_guard)
+        // but leaves one access uncovered: the coverage verifier must
+        // refuse to let it be signed, even in baseline mode where no
+        // guards are injected.
+        let src = r#"
+module "stripped"
+declare void @carat_guard(ptr, i64, i32)
+define void @f(ptr %p, ptr %q) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 2)
+  store i64 1, ptr %p
+  store i64 2, ptr %q
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let err = compile_module(m, &CompileOptions::baseline(), &key()).unwrap_err();
+        let CompileError::GuardCoverage(report) = err else {
+            panic!("expected GuardCoverage, got {err}");
+        };
+        assert!(!report.is_clean());
+        assert_eq!(
+            report
+                .with_code(kop_analysis::LintCode::UnguardedAccess)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn optimized_build_attests_covered() {
+        let m = parse_module(SRC).unwrap();
+        let out = compile_module(m, &CompileOptions::optimized(), &key()).unwrap();
+        assert!(out.signed.attestation.guards_covered);
     }
 
     #[test]

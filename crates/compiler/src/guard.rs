@@ -101,13 +101,41 @@ fn inject_guards_in_function(f: &mut Function) -> u64 {
     injected
 }
 
-/// Validate that every load/store in the module is *immediately* preceded
-/// by a matching guard call (same pointer operand, correct size and
-/// flags). This is the kernel-side check that "the proper processing has
-/// been performed" — it holds for unoptimized CARAT KOP output; optimized
-/// modules (hoisted/deduplicated guards) fail it and must rely on the
-/// compiler signature alone.
+/// Check guard coverage with the dataflow verifier and return structured
+/// diagnostics.
+///
+/// This replaces the old boolean [`validate_guards`] scan: instead of a
+/// strict same-block layout check, the [`kop_analysis`] verifier *proves*
+/// that every load/store is dominated on all paths by a covering guard —
+/// so modules whose guards were hoisted or deduplicated by the optional
+/// optimization passes still verify. Findings come back as
+/// [`kop_analysis::Diagnostic`]s with stable lint codes (`KA001`
+/// unguarded access, `KA002` guard/access mismatch, `KA004` dead guard)
+/// naming the exact function, block, and instruction.
+pub fn check_guards(module: &Module) -> kop_analysis::AnalysisReport {
+    kop_analysis::verify_guard_coverage(module)
+}
+
+/// Boolean guard check.
+///
+/// Deprecated: this now delegates to the dataflow verifier
+/// ([`check_guards`]) and returns its verdict, discarding the
+/// diagnostics. Call [`check_guards`] (or
+/// [`kop_analysis::verify_guard_coverage`] directly) to keep them.
+#[deprecated(
+    since = "0.1.0",
+    note = "use check_guards() for structured diagnostics; this returns only its verdict"
+)]
 pub fn validate_guards(module: &Module) -> bool {
+    check_guards(module).is_clean()
+}
+
+/// The strict layout check the attestation records: every load/store is
+/// *immediately* preceded by a matching guard call (same pointer operand,
+/// correct size and flags). This holds for unoptimized CARAT KOP output;
+/// optimized modules (hoisted/deduplicated guards) legitimately fail it
+/// while still passing the dataflow verifier.
+pub(crate) fn strict_guard_layout(module: &Module) -> bool {
     for f in &module.functions {
         for bid in f.block_ids() {
             let insts = &f.block(bid).insts;
@@ -201,9 +229,20 @@ entry:
     #[test]
     fn validate_accepts_transformed_rejects_raw() {
         let mut m = parse_module(DRIVERISH).unwrap();
-        assert!(!validate_guards(&m), "unguarded module must fail");
+        assert!(!check_guards(&m).is_clean(), "unguarded module must fail");
+        assert!(!strict_guard_layout(&m));
         GuardInjectionPass.run(&mut m);
-        assert!(validate_guards(&m), "guarded module must pass");
+        assert!(check_guards(&m).is_clean(), "guarded module must pass");
+        assert!(strict_guard_layout(&m));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_validate_matches_checker_verdict() {
+        let mut m = parse_module(DRIVERISH).unwrap();
+        assert_eq!(validate_guards(&m), check_guards(&m).is_clean());
+        GuardInjectionPass.run(&mut m);
+        assert_eq!(validate_guards(&m), check_guards(&m).is_clean());
     }
 
     #[test]
@@ -221,7 +260,9 @@ entry:
                 }
             }
         }
-        assert!(!validate_guards(&m));
+        let report = check_guards(&m);
+        assert!(!report.is_clean());
+        assert!(!strict_guard_layout(&m));
     }
 
     #[test]
@@ -239,7 +280,7 @@ entry:
         assert_eq!(stats.get("guards_injected"), 0);
         // No guard import added when nothing was guarded.
         assert!(m.imported_symbols().is_empty());
-        assert!(validate_guards(&m)); // vacuously true
+        assert!(check_guards(&m).is_clean()); // vacuously true
     }
 
     #[test]
@@ -282,6 +323,7 @@ exit:
         let text = print_module(&m);
         let m2 = parse_module(&text).unwrap();
         assert_eq!(print_module(&m2), text);
-        assert!(validate_guards(&m2));
+        assert!(check_guards(&m2).is_clean());
+        assert!(strict_guard_layout(&m2));
     }
 }

@@ -32,9 +32,11 @@ pub mod pass;
 pub mod sha256;
 pub mod signing;
 
-pub use attest::{Attestation, AttestError};
+pub use attest::{AttestError, Attestation};
 pub use driver::{compile_module, CompileError, CompileOptions, CompileOutput};
-pub use guard::{validate_guards, GuardInjectionPass, GUARD_SYMBOL};
+#[allow(deprecated)]
+pub use guard::validate_guards;
+pub use guard::{check_guards, GuardInjectionPass, GUARD_SYMBOL};
 pub use intrinsics::{
     intrinsic_id, intrinsic_name, validate_intrinsic_wraps, IntrinsicWrapPass,
     INTRINSIC_GUARD_SYMBOL,

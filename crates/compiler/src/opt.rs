@@ -65,9 +65,9 @@ fn elim_in_function(f: &mut Function) -> u64 {
         let mut new_list = Vec::with_capacity(old.len());
         for iid in old {
             if let Some((ptr, size, flags)) = guard_key(f, iid) {
-                let covered = seen.iter().any(|(p, s, fl)| {
-                    p == &ptr && *s >= size && (fl & flags) == flags
-                });
+                let covered = seen
+                    .iter()
+                    .any(|(p, s, fl)| p == &ptr && *s >= size && (fl & flags) == flags);
                 if covered {
                     removed += 1;
                     continue; // drop the redundant guard

@@ -151,9 +151,14 @@ impl SignedModule {
                 accesses, self.attestation.mem_access_count
             )));
         }
-        if self.attestation.guards_strict && !crate::guard::validate_guards(&module) {
+        if self.attestation.guards_strict && !crate::guard::strict_guard_layout(&module) {
             return Err(SigningError::AttestationMismatch(
                 "attested strict guards but validation failed".into(),
+            ));
+        }
+        if self.attestation.guards_covered && !crate::guard::check_guards(&module).is_clean() {
+            return Err(SigningError::AttestationMismatch(
+                "attested guard coverage but the verifier disproves it".into(),
             ));
         }
         Ok(module)
@@ -181,7 +186,8 @@ impl SignedModule {
         let flags = (a.no_inline_asm as u8)
             | (a.no_privileged_calls as u8) << 1
             | (a.guards_strict as u8) << 2
-            | (a.privileged_wrapped as u8) << 3;
+            | (a.privileged_wrapped as u8) << 3
+            | (a.guards_covered as u8) << 4;
         out.push(flags);
         out.extend_from_slice(&a.guard_count.to_le_bytes());
         out.extend_from_slice(&a.mem_access_count.to_le_bytes());
@@ -250,6 +256,7 @@ impl SignedModule {
                 no_inline_asm: flags & 1 != 0,
                 no_privileged_calls: flags & 2 != 0,
                 guards_strict: flags & 4 != 0,
+                guards_covered: flags & 16 != 0,
                 guard_count,
                 mem_access_count,
                 privileged_calls,

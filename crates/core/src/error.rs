@@ -102,6 +102,9 @@ pub enum KernelError {
     NoSuchModule(String),
     /// The module attestation was rejected (e.g. contains inline assembly).
     AttestationRejected(String),
+    /// Static guard-coverage verification of the module IR failed (the
+    /// loader could not *prove* the module is guarded).
+    StaticVerification(String),
     /// Out of module mapping space or other allocation failure.
     NoMemory(String),
     /// An access faulted against unmapped simulated memory.
@@ -134,6 +137,9 @@ impl fmt::Display for KernelError {
             KernelError::ModuleAlreadyLoaded(s) => write!(f, "module already loaded: {s}"),
             KernelError::NoSuchModule(s) => write!(f, "no such module: {s}"),
             KernelError::AttestationRejected(s) => write!(f, "attestation rejected: {s}"),
+            KernelError::StaticVerification(s) => {
+                write!(f, "static verification failed: {s}")
+            }
             KernelError::NoMemory(s) => write!(f, "out of memory: {s}"),
             KernelError::Fault { addr, what } => write!(f, "fault at {addr}: {what}"),
             KernelError::BadIoctl(s) => write!(f, "bad ioctl: {s}"),

@@ -117,7 +117,8 @@ impl Region {
         if self.is_empty() {
             return false;
         }
-        other.base >= self.base && other.last().expect("non-empty") <= self.last().expect("non-empty")
+        other.base >= self.base
+            && other.last().expect("non-empty") <= self.last().expect("non-empty")
     }
 
     /// Intersection of two regions (protection taken from `self`).
@@ -304,9 +305,8 @@ mod prop_tests {
     use proptest::prelude::*;
 
     fn arb_region() -> impl Strategy<Value = Region> {
-        (0u64..10_000, 0u64..1_000).prop_map(|(b, l)| {
-            Region::new(VAddr(b), Size(l), Protection::READ_WRITE).unwrap()
-        })
+        (0u64..10_000, 0u64..1_000)
+            .prop_map(|(b, l)| Region::new(VAddr(b), Size(l), Protection::READ_WRITE).unwrap())
     }
 
     proptest! {

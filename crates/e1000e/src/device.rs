@@ -212,13 +212,12 @@ impl E1000Device {
                     self.icr |= intr::LSC;
                 }
             }
-            regs::EERD
-                if value & eerd::START != 0 => {
-                    let addr = ((value >> eerd::ADDR_SHIFT) & 0xff) as usize;
-                    let word = self.eeprom.get(addr).copied().unwrap_or(0);
-                    self.eerd =
-                        eerd::DONE | ((word as u64) << eerd::DATA_SHIFT) | (value & !eerd::START);
-                }
+            regs::EERD if value & eerd::START != 0 => {
+                let addr = ((value >> eerd::ADDR_SHIFT) & 0xff) as usize;
+                let word = self.eeprom.get(addr).copied().unwrap_or(0);
+                self.eerd =
+                    eerd::DONE | ((word as u64) << eerd::DATA_SHIFT) | (value & !eerd::START);
+            }
             regs::IMS => self.ims |= value,
             regs::IMC => self.ims &= !value,
             regs::RCTL => self.rctl = value,
@@ -440,8 +439,7 @@ mod tests {
         // DD written back into both descriptors.
         for i in 0..2usize {
             let daddr = 0x1000 + i * 16;
-            let desc =
-                TxDesc::from_bytes(&mem[daddr..daddr + 16].try_into().expect("16 bytes"));
+            let desc = TxDesc::from_bytes(&mem[daddr..daddr + 16].try_into().expect("16 bytes"));
             assert!(desc.status & txsts::DD != 0);
         }
         // TXDW interrupt latched.

@@ -156,22 +156,29 @@ impl<M: MemSpace> E1000Driver<M> {
 
         // Program the receive address from the EEPROM MAC.
         let ral = u32::from_le_bytes(self.mac[0..4].try_into().expect("4 bytes")) as u64;
-        let rah = u16::from_le_bytes(self.mac[4..6].try_into().expect("2 bytes")) as u64 | (1 << 31);
+        let rah =
+            u16::from_le_bytes(self.mac[4..6].try_into().expect("2 bytes")) as u64 | (1 << 31);
         self.mem.write(bar + regs::RAL0, 4, ral)?;
         self.mem.write(bar + regs::RAH0, 4, rah)?;
 
         // TX ring.
-        self.mem.write(bar + regs::TDBAL, 4, (arena + TX_RING_OFF) & 0xffff_ffff)?;
-        self.mem.write(bar + regs::TDBAH, 4, (arena + TX_RING_OFF) >> 32)?;
-        self.mem.write(bar + regs::TDLEN, 4, TX_ENTRIES * DESC_SIZE)?;
+        self.mem
+            .write(bar + regs::TDBAL, 4, (arena + TX_RING_OFF) & 0xffff_ffff)?;
+        self.mem
+            .write(bar + regs::TDBAH, 4, (arena + TX_RING_OFF) >> 32)?;
+        self.mem
+            .write(bar + regs::TDLEN, 4, TX_ENTRIES * DESC_SIZE)?;
         self.mem.write(bar + regs::TDH, 4, 0)?;
         self.mem.write(bar + regs::TDT, 4, 0)?;
         self.mem.write(bar + regs::TCTL, 4, tctl::EN | tctl::PSP)?;
 
         // RX ring: descriptors point at the RX buffer slots.
-        self.mem.write(bar + regs::RDBAL, 4, (arena + RX_RING_OFF) & 0xffff_ffff)?;
-        self.mem.write(bar + regs::RDBAH, 4, (arena + RX_RING_OFF) >> 32)?;
-        self.mem.write(bar + regs::RDLEN, 4, RX_ENTRIES * DESC_SIZE)?;
+        self.mem
+            .write(bar + regs::RDBAL, 4, (arena + RX_RING_OFF) & 0xffff_ffff)?;
+        self.mem
+            .write(bar + regs::RDBAH, 4, (arena + RX_RING_OFF) >> 32)?;
+        self.mem
+            .write(bar + regs::RDLEN, 4, RX_ENTRIES * DESC_SIZE)?;
         for i in 0..RX_ENTRIES {
             let daddr = arena + RX_RING_OFF + i * DESC_SIZE;
             let buf = arena + RX_BUFS_OFF + i * BUF_SIZE;
@@ -534,12 +541,19 @@ mod tests {
         assert_eq!(w128.reads, w1024.reads, "CPU reads independent of size");
         assert_eq!(w128.writes, w1024.writes, "CPU writes independent of size");
         assert_eq!(w128.mmio, w1024.mmio);
-        assert!(w1024.dma_bytes > w128.dma_bytes, "DMA bytes scale with size");
+        assert!(
+            w1024.dma_bytes > w128.dma_bytes,
+            "DMA bytes scale with size"
+        );
         // Document the canonical counts the sim profiles are calibrated
         // against (update kop-sim's `typical_work` if this changes).
         assert_eq!(w128.mmio, 1, "one doorbell per packet");
         assert!(w128.reads >= 3 && w128.reads <= 6, "reads={}", w128.reads);
-        assert!(w128.writes >= 7 && w128.writes <= 10, "writes={}", w128.writes);
+        assert!(
+            w128.writes >= 7 && w128.writes <= 10,
+            "writes={}",
+            w128.writes
+        );
     }
 
     #[test]

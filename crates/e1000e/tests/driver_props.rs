@@ -11,10 +11,7 @@ const MAC: [u8; 6] = [0x02, 0x4b, 0x4f, 0x50, 0x00, 0x99];
 const DST: [u8; 6] = [0x02, 0xff, 0xff, 0xff, 0xff, 0x01];
 
 fn arb_payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 0..1500),
-        1..40,
-    )
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..1500), 1..40)
 }
 
 fn check_frames(payloads: &[Vec<u8>], frames: &[Vec<u8>]) {

@@ -505,8 +505,10 @@ impl<'k> Interp<'k> {
             // intrinsic guard squashes the builtin (reads return 0).
             "__wrmsr" => {
                 if !std::mem::take(&mut self.squash_intrinsic) {
-                    self.kernel
-                        .wrmsr(args.first().copied().unwrap_or(0), args.get(1).copied().unwrap_or(0));
+                    self.kernel.wrmsr(
+                        args.first().copied().unwrap_or(0),
+                        args.get(1).copied().unwrap_or(0),
+                    );
                 }
                 Ok(None)
             }

@@ -88,7 +88,9 @@ done:
     let mut kernel = boot_with(src, &CompileOptions::carat_kop(), DefaultAction::Allow);
     let buf = kernel.kmalloc(64 * 8).unwrap();
     let mut interp = Interp::new(&mut kernel).unwrap();
-    let r = interp.call("sum", "fill_and_sum", &[buf.raw(), 64]).unwrap();
+    let r = interp
+        .call("sum", "fill_and_sum", &[buf.raw(), 64])
+        .unwrap();
     assert_eq!(r, Some((0..64).sum::<u64>()));
     let stats = interp.stats();
     // One guard per dynamic access: 64 stores + 64 loads.
@@ -175,9 +177,7 @@ entry:
 
     let bad = kop_core::layout::DIRECT_MAP_BASE + 0x20_0000;
     let mut interp = Interp::new(&mut kernel).unwrap();
-    let r = interp
-        .call("squash", "readwrite", &[ok_base, bad])
-        .unwrap();
+    let r = interp.call("squash", "readwrite", &[ok_base, bad]).unwrap();
     // Squashed store dropped, squashed load reads 0: result is 0 + 77.
     assert_eq!(r, Some(77));
     let stats = interp.stats();
@@ -468,9 +468,7 @@ fn raw_privileged_module_rejected_at_compile_time() {
     let err = compile_module(m, &CompileOptions::carat_kop(), &key()).unwrap_err();
     assert!(matches!(
         err,
-        kop_compiler::CompileError::Attest(
-            kop_compiler::AttestError::PrivilegedIntrinsic { .. }
-        )
+        kop_compiler::CompileError::Attest(kop_compiler::AttestError::PrivilegedIntrinsic { .. })
     ));
 }
 

@@ -180,7 +180,11 @@ pub fn natural_loops(f: &Function, dom: &DomTree) -> Vec<NaturalLoop> {
                         }
                     }
                 }
-                loops.push(NaturalLoop { header, latch, body });
+                loops.push(NaturalLoop {
+                    header,
+                    latch,
+                    body,
+                });
             }
         }
     }

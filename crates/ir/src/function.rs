@@ -182,9 +182,9 @@ impl Function {
     pub fn call_count(&self, callee: &str) -> usize {
         self.placed_insts()
             .iter()
-            .filter(|(_, iid)| {
-                matches!(self.inst(*iid), Inst::Call { callee: c, .. } if c == callee)
-            })
+            .filter(
+                |(_, iid)| matches!(self.inst(*iid), Inst::Call { callee: c, .. } if c == callee),
+            )
             .count()
     }
 
@@ -261,10 +261,7 @@ mod tests {
         assert_eq!(f.value_type(&Value::Arg(1)), None);
         assert_eq!(f.value_type(&Value::Inst(InstId(0))), Some(Type::I64));
         assert_eq!(f.value_type(&Value::NullPtr), Some(Type::Ptr));
-        assert_eq!(
-            f.value_type(&Value::Global("g".into())),
-            Some(Type::Ptr)
-        );
+        assert_eq!(f.value_type(&Value::Global("g".into())), Some(Type::Ptr));
     }
 
     #[test]

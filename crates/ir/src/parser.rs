@@ -37,12 +37,12 @@ type PResult<T> = Result<T, ParseError>;
 
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Tok {
-    Ident(String),      // bare word: define, i64, add, zero, ...
-    Local(String),      // %name
-    GlobalSym(String),  // @name
-    Int(u64),           // integer literal (two's-complement for negatives)
-    Str(String),        // "..."
-    Punct(char),        // , : = ( ) { } [ ]
+    Ident(String),     // bare word: define, i64, add, zero, ...
+    Local(String),     // %name
+    GlobalSym(String), // @name
+    Int(u64),          // integer literal (two's-complement for negatives)
+    Str(String),       // "..."
+    Punct(char),       // , : = ( ) { } [ ]
     Eof,
 }
 
@@ -151,7 +151,11 @@ impl Lexer {
                         line,
                         message: format!("bad integer literal '{digits}'"),
                     })?;
-                    let val = if neg { (mag as i64).wrapping_neg() as u64 } else { mag };
+                    let val = if neg {
+                        (mag as i64).wrapping_neg() as u64
+                    } else {
+                        mag
+                    };
                     toks.push((Tok::Int(val), line));
                     i = j;
                 }
@@ -895,11 +899,10 @@ fn parse_raw_inst(lx: &mut Lexer) -> PResult<RawInst> {
         }
         "icmp" => {
             let predw = lx.take_ident()?;
-            let pred = IcmpPred::from_mnemonic(&predw)
-                .ok_or_else(|| ParseError {
-                    line: lx.line(),
-                    message: format!("unknown icmp predicate '{predw}'"),
-                })?;
+            let pred = IcmpPred::from_mnemonic(&predw).ok_or_else(|| ParseError {
+                line: lx.line(),
+                message: format!("unknown icmp predicate '{predw}'"),
+            })?;
             let ty = parse_type(lx)?;
             let l = parse_raw_value(lx)?;
             lx.expect_punct(',')?;

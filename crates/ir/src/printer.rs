@@ -21,7 +21,13 @@ pub fn print_module(m: &Module) -> String {
     }
     for e in &m.externs {
         let params: Vec<String> = e.params.iter().map(|t| t.to_string()).collect();
-        let _ = writeln!(out, "declare {} @{}({})", e.ret_ty, e.name, params.join(", "));
+        let _ = writeln!(
+            out,
+            "declare {} @{}({})",
+            e.ret_ty,
+            e.name,
+            params.join(", ")
+        );
     }
     if !m.globals.is_empty() {
         out.push('\n');
@@ -133,11 +139,9 @@ fn print_inst(f: &Function, id: InstId) -> String {
             }
             s
         }
-        Inst::Bin { op, ty, lhs, rhs } => format!(
-            "{op} {ty} {}, {}",
-            print_value(f, lhs),
-            print_value(f, rhs)
-        ),
+        Inst::Bin { op, ty, lhs, rhs } => {
+            format!("{op} {ty} {}, {}", print_value(f, lhs), print_value(f, rhs))
+        }
         Inst::Icmp { pred, ty, lhs, rhs } => format!(
             "icmp {pred} {ty} {}, {}",
             print_value(f, lhs),

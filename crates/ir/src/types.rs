@@ -33,7 +33,10 @@ pub enum Type {
 impl Type {
     /// Whether this is an integer type (including `i1`).
     pub fn is_int(&self) -> bool {
-        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64
+        )
     }
 
     /// Whether this type can be the type of an SSA value.
@@ -220,10 +223,7 @@ mod tests {
     #[test]
     fn display_roundtrip_shapes() {
         assert_eq!(Type::I64.to_string(), "i64");
-        assert_eq!(
-            Type::Array(Box::new(Type::I8), 4).to_string(),
-            "[4 x i8]"
-        );
+        assert_eq!(Type::Array(Box::new(Type::I8), 4).to_string(), "[4 x i8]");
         assert_eq!(
             Type::Struct(vec![Type::I64, Type::Ptr]).to_string(),
             "{ i64, ptr }"

@@ -160,10 +160,7 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                     .take_while(|&&i| matches!(f.inst(i), Inst::Phi { .. }))
                     .count();
                 if pos >= leading_phis {
-                    return Err(err(
-                        f,
-                        format!("phi not at head of block '{}'", blk.name),
-                    ));
+                    return Err(err(f, format!("phi not at head of block '{}'", blk.name)));
                 }
                 if dom.is_reachable(bid) {
                     let expected: BTreeSet<BlockId> =
@@ -256,7 +253,11 @@ fn check_use(
             if !dom.is_reachable(bid) {
                 return None; // uses in unreachable code are not checked
             }
-            let ok = if db == bid { dp < pos } else { dom.dominates(db, bid) };
+            let ok = if db == bid {
+                dp < pos
+            } else {
+                dom.dominates(db, bid)
+            };
             if ok {
                 None
             } else {
@@ -281,10 +282,7 @@ fn verify_inst_types(m: &Module, f: &Function, inst: &Inst) -> Result<(), Verify
     let want = |v: &Value, want_ty: &Type, what: &str| -> Result<(), VerifyError> {
         match f.value_type(v) {
             Some(got) if &got == want_ty => Ok(()),
-            Some(got) => Err(err(
-                f,
-                format!("{what}: expected {want_ty}, got {got}"),
-            )),
+            Some(got) => Err(err(f, format!("{what}: expected {want_ty}, got {got}"))),
             None => Err(err(f, format!("{what}: untyped operand"))),
         }
     };
@@ -377,14 +375,10 @@ fn verify_inst_types(m: &Module, f: &Function, inst: &Inst) -> Result<(), Verify
             want(val, from_ty, "cast operand")?;
             let ok = match op {
                 CastOp::Zext | CastOp::Sext => {
-                    from_ty.is_int()
-                        && to_ty.is_int()
-                        && from_ty.int_bits() < to_ty.int_bits()
+                    from_ty.is_int() && to_ty.is_int() && from_ty.int_bits() < to_ty.int_bits()
                 }
                 CastOp::Trunc => {
-                    from_ty.is_int()
-                        && to_ty.is_int()
-                        && from_ty.int_bits() > to_ty.int_bits()
+                    from_ty.is_int() && to_ty.is_int() && from_ty.int_bits() > to_ty.int_bits()
                 }
                 CastOp::PtrToInt => from_ty == &Type::Ptr && to_ty.is_int(),
                 CastOp::IntToPtr => from_ty.is_int() && to_ty == &Type::Ptr,

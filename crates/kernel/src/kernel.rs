@@ -13,17 +13,54 @@ use crate::loader::LoadedModule;
 use crate::mem::SimMemory;
 use crate::symbols::{Symbol, SymbolKind, SymbolTable, Visibility};
 
+/// How the loader decides a module is properly guarded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Verification {
+    /// Trust the compiler signature alone (the paper's base design).
+    #[default]
+    Signature,
+    /// *Prove* guard coverage by running the `kop-analysis` dataflow
+    /// verifier over the shipped IR at insmod time. A module that proves
+    /// clean is accepted — and granted private-symbol trust — even when
+    /// its signature does not verify; a guard-stripped module is refused
+    /// no matter who signed it.
+    Static,
+    /// Require both: a trusted signature *and* a clean static proof.
+    SignatureAndStatic,
+}
+
+impl Verification {
+    /// Whether this mode runs the static verifier at insmod time.
+    pub fn runs_static(self) -> bool {
+        matches!(
+            self,
+            Verification::Static | Verification::SignatureAndStatic
+        )
+    }
+
+    /// Whether this mode insists on a trusted signature.
+    pub fn needs_signature(self) -> bool {
+        matches!(
+            self,
+            Verification::Signature | Verification::SignatureAndStatic
+        )
+    }
+}
+
 /// Kernel boot configuration.
 #[derive(Clone, Debug)]
 pub struct KernelConfig {
     /// Refuse modules whose signature does not verify (default true —
     /// turning this off reproduces the "dangerous Linux default" for the
-    /// malicious-module demo).
+    /// malicious-module demo). Ignored in [`Verification::Static`] mode,
+    /// where the static proof substitutes for the signature.
     pub require_signature: bool,
     /// Additionally require the strict guard layout (every access
     /// immediately preceded by its guard). Off by default because the
     /// optimized ablation builds legitimately violate it.
     pub require_strict_guards: bool,
+    /// How guard coverage is established at insmod time.
+    pub verification: Verification,
     /// Bytes reserved for the kernel heap (kmalloc arena in the direct
     /// map).
     pub heap_size: u64,
@@ -34,6 +71,7 @@ impl Default for KernelConfig {
         KernelConfig {
             require_signature: true,
             require_strict_guards: false,
+            verification: Verification::Signature,
             heap_size: 64 << 20,
         }
     }
@@ -88,8 +126,8 @@ impl Kernel {
         devices.register(
             CARAT_DEV,
             Box::new(move |req| {
-                let cmd = PolicyCmd::decode(req)
-                    .map_err(|e| KernelError::BadIoctl(e.to_string()))?;
+                let cmd =
+                    PolicyCmd::decode(req).map_err(|e| KernelError::BadIoctl(e.to_string()))?;
                 Ok(cmd.apply(&pm).encode())
             }),
         );
@@ -115,7 +153,10 @@ impl Kernel {
         // Privileged intrinsics themselves resolve as kernel-provided
         // builtins (their *use* is controlled by attestation + the
         // intrinsic policy, not by symbol visibility).
-        for (i, name) in kop_compiler::attest::PRIVILEGED_INTRINSICS.iter().enumerate() {
+        for (i, name) in kop_compiler::attest::PRIVILEGED_INTRINSICS
+            .iter()
+            .enumerate()
+        {
             symbols.export(Symbol {
                 name: (*name).into(),
                 kind: SymbolKind::Function,
@@ -354,9 +395,12 @@ mod tests {
     #[test]
     fn carat_ioctl_controls_policy() {
         let (kernel, _) = Kernel::boot_default();
-        let region =
-            Region::new(VAddr(0xffff_8880_0000_0000), Size(0x1000), Protection::READ_WRITE)
-                .unwrap();
+        let region = Region::new(
+            VAddr(0xffff_8880_0000_0000),
+            Size(0x1000),
+            Protection::READ_WRITE,
+        )
+        .unwrap();
         let resp = kernel
             .ioctl(CARAT_DEV, &PolicyCmd::AddRegion(region).encode())
             .unwrap();

@@ -52,19 +52,27 @@ impl Kernel {
     /// Insert a signed module (insmod).
     pub fn insmod(&mut self, signed: &SignedModule) -> KernelResult<&LoadedModule> {
         self.check_alive()?;
+        let verification = self.config().verification;
 
-        // 1. Signature validation.
+        // 1. Signature validation. In `Verification::Static` mode a bad
+        // signature is tolerated — step 2b's proof is what gates the
+        // module; `SignatureAndStatic` insists on the signature always.
         let verify_result = signed.verify(self.trusted_keys());
+        let signature_ok = verify_result.is_ok();
         let ir = match verify_result {
             Ok(ir) => ir,
             Err(e) => {
-                if self.config().require_signature {
+                let signature_required = verification.needs_signature()
+                    && (self.config().require_signature
+                        || verification == crate::kernel::Verification::SignatureAndStatic);
+                if signature_required {
                     let err = KernelError::BadSignature(e.to_string());
                     self.printk(&format!("insmod: {err}"));
                     return Err(err);
                 }
-                // Unsafe mode (for the malicious-module demo): parse without
-                // trusting the signature.
+                // Parse without trusting the signature — either the
+                // unsafe demo mode, or Static mode about to prove the
+                // module on its own merits.
                 kop_ir::parse_module(&signed.ir_text)
                     .map_err(|pe| KernelError::BadSignature(pe.to_string()))?
             }
@@ -82,9 +90,36 @@ impl Kernel {
             ));
         }
 
+        // 2b. Static guard-coverage proof (paper §2: the guarding process
+        // "can be validated by the kernel when the transformed module is
+        // inserted"). The kernel re-runs the dataflow verifier over the
+        // shipped IR, so a guard-stripped module is refused even with a
+        // valid signature — the loader *proves* coverage, it does not
+        // trust the attestation bit.
+        let mut statically_proven = false;
+        if verification.runs_static() {
+            let report = kop_analysis::verify_guard_coverage(&ir);
+            if !report.is_clean() {
+                let first = report
+                    .errors()
+                    .next()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "guard coverage not provable".into());
+                let err = KernelError::StaticVerification(format!(
+                    "{} ({} error(s) total)",
+                    first,
+                    report.errors().count()
+                ));
+                self.printk(&format!("insmod {}: {err}", ir.name));
+                return Err(err);
+            }
+            statically_proven = true;
+        }
+
         // 3. Import resolution. The module is "trusted" for private-symbol
-        // purposes iff its signature verified.
-        let trusted = verify_result_trusted(signed, self);
+        // purposes iff its signature verified — or, in static mode, iff
+        // the kernel itself proved the module guarded.
+        let trusted = signature_ok || statically_proven;
         for import in ir.imported_symbols() {
             if self.symbols.resolve(import, trusted).is_none() {
                 let err = KernelError::UnresolvedSymbol(import.to_string());
@@ -176,12 +211,6 @@ impl Kernel {
     }
 }
 
-/// Whether the signed module's signature verified against the kernel's
-/// keys (used for private-symbol visibility).
-fn verify_result_trusted(signed: &SignedModule, kernel: &Kernel) -> bool {
-    signed.verify(kernel.trusted_keys()).is_ok()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,7 +296,10 @@ entry:
         let policy = Arc::new(PolicyModule::new());
         let mut kernel = Kernel::boot(
             policy,
-            vec![CompilerKey::from_passphrase("operator-key", "carat-kop-dev")],
+            vec![CompilerKey::from_passphrase(
+                "operator-key",
+                "carat-kop-dev",
+            )],
             KernelConfig {
                 require_signature: false,
                 ..KernelConfig::default()
@@ -343,6 +375,122 @@ exit:
         ));
         // The strict (paper-default) build loads fine.
         let signed = compile(src, &CompileOptions::carat_kop(), &key);
+        kernel.insmod(&signed).unwrap();
+    }
+
+    fn static_kernel(require_signature: bool) -> Kernel {
+        let key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+        Kernel::boot(
+            Arc::new(PolicyModule::new()),
+            vec![key],
+            KernelConfig {
+                require_signature,
+                verification: crate::kernel::Verification::Static,
+                ..KernelConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn static_mode_accepts_unsigned_but_proven_module() {
+        // Signed by a key the kernel does NOT trust — but the module is
+        // provably guarded, so Static mode loads it and even grants it
+        // the private carat_guard import.
+        let rogue = CompilerKey::from_passphrase("rogue", "rogue");
+        let signed = compile(SRC, &CompileOptions::carat_kop(), &rogue);
+        let mut kernel = static_kernel(false);
+        let loaded = kernel.insmod(&signed).unwrap();
+        assert!(loaded.is_protected);
+        assert!(loaded.ir.imported_symbols().contains(&"carat_guard"));
+    }
+
+    #[test]
+    fn static_mode_rejects_guard_stripped_module() {
+        // A container whose IR claims guarding but has one access whose
+        // guard was stripped: even a *trusted* signature must not save
+        // it — but such a container cannot be produced by the driver, so
+        // hand-assemble the stripped IR as an untrusted container.
+        let rogue = CompilerKey::from_passphrase("rogue", "rogue");
+        let src = r#"
+module "stripped"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @bump(ptr %p, ptr %out) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  %v = load i64, ptr %p
+  %v2 = add i64 %v, 1
+  store i64 %v2, ptr %out
+  ret i64 %v2
+}
+"#;
+        let m = kop_ir::parse_module(src).unwrap();
+        let attestation = kop_compiler::Attestation::check(&m).unwrap();
+        let signed = SignedModule::sign(&m, attestation, &rogue);
+        let mut kernel = static_kernel(false);
+        let err = kernel.insmod(&signed).unwrap_err();
+        let KernelError::StaticVerification(msg) = err else {
+            panic!("expected StaticVerification, got {err:?}");
+        };
+        // The diagnostic names the lint and the offending instruction.
+        assert!(msg.contains("KA001"), "{msg}");
+        assert!(msg.contains("store"), "{msg}");
+        assert!(kernel.module("stripped").is_none());
+        assert!(kernel
+            .dmesg()
+            .iter()
+            .any(|l| l.contains("static verification failed")));
+    }
+
+    #[test]
+    fn signature_and_static_requires_both() {
+        let trusted_key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+        let rogue = CompilerKey::from_passphrase("rogue", "rogue");
+        let mk = || {
+            Kernel::boot(
+                Arc::new(PolicyModule::new()),
+                vec![trusted_key.clone()],
+                KernelConfig {
+                    verification: crate::kernel::Verification::SignatureAndStatic,
+                    ..KernelConfig::default()
+                },
+            )
+        };
+        // Proven but unsigned: refused.
+        let unsigned = compile(SRC, &CompileOptions::carat_kop(), &rogue);
+        assert!(matches!(
+            mk().insmod(&unsigned).unwrap_err(),
+            KernelError::BadSignature(_)
+        ));
+        // Signed and proven: loads.
+        let good = compile(SRC, &CompileOptions::carat_kop(), &trusted_key);
+        mk().insmod(&good).unwrap();
+    }
+
+    #[test]
+    fn static_mode_accepts_optimized_guards() {
+        // Hoisted guards break the strict layout but still prove covered.
+        let src = r#"
+module "opt"
+global @g : i64 = 0
+define void @f(i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %v = load i64, ptr @g
+  %i2 = add i64 %i, 1
+  br %head
+exit:
+  ret void
+}
+"#;
+        let rogue = CompilerKey::from_passphrase("rogue", "rogue");
+        let signed = compile(src, &CompileOptions::optimized(), &rogue);
+        assert!(!signed.attestation.guards_strict);
+        let mut kernel = static_kernel(false);
         kernel.insmod(&signed).unwrap();
     }
 

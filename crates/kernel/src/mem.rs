@@ -61,9 +61,9 @@ impl SimMemory {
     }
 
     fn find_mmio(&self, addr: VAddr, size: u64) -> Option<&MmioRange> {
-        self.mmio.iter().find(|r| {
-            addr.raw() >= r.base.raw() && addr.raw() + size <= r.base.raw() + r.len
-        })
+        self.mmio
+            .iter()
+            .find(|r| addr.raw() >= r.base.raw() && addr.raw() + size <= r.base.raw() + r.len)
     }
 
     /// Mark the pages covering `[base, base+len)` read-only (they are
@@ -124,12 +124,10 @@ impl SimMemory {
                 None => rest[..take].fill(0), // untouched memory reads zero
             }
             rest = &mut rest[take..];
-            addr = addr
-                .checked_add(take as u64)
-                .ok_or(KernelError::Fault {
-                    addr: VAddr(addr),
-                    what: "read wraps address space".into(),
-                })?;
+            addr = addr.checked_add(take as u64).ok_or(KernelError::Fault {
+                addr: VAddr(addr),
+                what: "read wraps address space".into(),
+            })?;
         }
         Ok(())
     }
@@ -170,10 +168,12 @@ impl SimMemory {
             }
             page.bytes[off..off + take].copy_from_slice(&rest[..take]);
             rest = &rest[take..];
-            addr_raw = addr_raw.checked_add(take as u64).ok_or(KernelError::Fault {
-                addr: VAddr(addr_raw),
-                what: "write wraps address space".into(),
-            })?;
+            addr_raw = addr_raw
+                .checked_add(take as u64)
+                .ok_or(KernelError::Fault {
+                    addr: VAddr(addr_raw),
+                    what: "write wraps address space".into(),
+                })?;
         }
         Ok(())
     }
@@ -210,7 +210,12 @@ mod tests {
     fn write_read_roundtrip_all_widths() {
         let mut m = SimMemory::new();
         let a = VAddr(0xffff_8880_0000_1000);
-        for (size, val) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX - 5)] {
+        for (size, val) in [
+            (1u64, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdead_beef),
+            (8, u64::MAX - 5),
+        ] {
             m.write_uint(a, Size(size), val).unwrap();
             assert_eq!(m.read_uint(a, Size(size)).unwrap(), val);
         }

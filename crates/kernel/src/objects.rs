@@ -168,7 +168,9 @@ impl Kernel {
         let head = self.mem.read_uint(q.header + 8, Size(8))?;
         let tail = self.mem.read_uint(q.header + 16, Size(8))?;
         if head == tail {
-            return Err(KernelError::InvalidArgument(format!("queue '{name}' empty")));
+            return Err(KernelError::InvalidArgument(format!(
+                "queue '{name}' empty"
+            )));
         }
         let slot = q.header + MQ_HEADER_SIZE + (head % q.capacity) * q.elem_size;
         let mut buf = vec![0u8; q.elem_size as usize];
@@ -203,7 +205,10 @@ mod tests {
         let (mut kernel, _) = Kernel::boot_default();
         let f = kernel.vfs_create("/data", 0o644, 1000).unwrap();
         assert_eq!(
-            kernel.mem.read_uint(f.inode + INODE_UID_OFF, Size(8)).unwrap(),
+            kernel
+                .mem
+                .read_uint(f.inode + INODE_UID_OFF, Size(8))
+                .unwrap(),
             1000
         );
         // Direct memory tamper is visible through the VFS API.

@@ -27,7 +27,8 @@ fn frames_cross_the_wire_intact() {
     let mut wire = VecSink::default();
     for i in 0..100u32 {
         let payload = [i.to_le_bytes().as_slice(), &[0u8; 60]].concat();
-        a.xmit_and_flush(MAC_B, 0x88b5, &payload, &mut wire).unwrap();
+        a.xmit_and_flush(MAC_B, 0x88b5, &payload, &mut wire)
+            .unwrap();
     }
     assert_eq!(wire.frames.len(), 100);
 
@@ -58,7 +59,8 @@ fn guarded_receiver_processes_rx_ring_under_policy() {
 
     let mut a = driver(MAC_A);
     let mut wire = VecSink::default();
-    a.xmit_and_flush(MAC_B, 0x0800, &[7u8; 100], &mut wire).unwrap();
+    a.xmit_and_flush(MAC_B, 0x0800, &[7u8; 100], &mut wire)
+        .unwrap();
 
     let checks_before = pm.stats().checks;
     assert!(b.mem().rx_inject(&wire.frames[0]));
@@ -94,7 +96,8 @@ fn guarded_receiver_blocked_from_rx_ring_by_policy() {
 
     let mut a = driver(MAC_A);
     let mut wire = VecSink::default();
-    a.xmit_and_flush(MAC_B, 0x0800, &[1u8; 64], &mut wire).unwrap();
+    a.xmit_and_flush(MAC_B, 0x0800, &[1u8; 64], &mut wire)
+        .unwrap();
     assert!(b.mem().rx_inject(&wire.frames[0]), "DMA is not guarded");
     // …but the driver's CPU read of the descriptor is.
     assert!(b.rx_poll().is_err());

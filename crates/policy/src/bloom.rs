@@ -206,9 +206,7 @@ mod tests {
     #[test]
     fn negative_path_short_circuits() {
         let mut bloom = BloomFrontTable::new();
-        bloom
-            .insert(r(0x10_0000, 0x1000, Protection::ALL))
-            .unwrap();
+        bloom.insert(r(0x10_0000, 0x1000, Protection::ALL)).unwrap();
         // An address far away: almost surely a filter miss → NoMatch
         // without a table walk. (Probabilistic, but with 3 hashes over a
         // 64 Ki-bit filter holding ~2 pages, a false positive here would
@@ -223,12 +221,8 @@ mod tests {
     #[test]
     fn remove_rebuilds_filter() {
         let mut bloom = BloomFrontTable::new();
-        bloom
-            .insert(r(0x10_0000, 0x1000, Protection::ALL))
-            .unwrap();
-        bloom
-            .insert(r(0x20_0000, 0x1000, Protection::ALL))
-            .unwrap();
+        bloom.insert(r(0x10_0000, 0x1000, Protection::ALL)).unwrap();
+        bloom.insert(r(0x20_0000, 0x1000, Protection::ALL)).unwrap();
         bloom.remove(VAddr(0x10_0000)).unwrap();
         assert_eq!(
             bloom.lookup(VAddr(0x10_0000), Size(8), AccessFlags::READ),

@@ -275,12 +275,17 @@ mod tests {
         // Enough multi-page regions to force kicks; correctness must hold.
         let mut cuckoo = CuckooFrontTable::new();
         for i in 0..64u64 {
-            cuckoo.insert(r(0x100_0000 + i * 0x80_000, 0x40_000)).unwrap(); // 64 pages each
+            cuckoo
+                .insert(r(0x100_0000 + i * 0x80_000, 0x40_000))
+                .unwrap(); // 64 pages each
         }
         for i in 0..64u64 {
             let a = VAddr(0x100_0000 + i * 0x80_000 + 0x2_0000);
             assert!(
-                matches!(cuckoo.lookup(a, Size(8), AccessFlags::RW), Lookup::Permitted(_)),
+                matches!(
+                    cuckoo.lookup(a, Size(8), AccessFlags::RW),
+                    Lookup::Permitted(_)
+                ),
                 "region {i} lost"
             );
         }

@@ -193,13 +193,15 @@ impl PolicyCmd {
             OP_ALLOW_INTRINSIC => {
                 let id = get_u64(data, &mut off)?;
                 PolicyCmd::AllowIntrinsic(
-                    u32::try_from(id).map_err(|_| PolicyCmdError("intrinsic id too large".into()))?,
+                    u32::try_from(id)
+                        .map_err(|_| PolicyCmdError("intrinsic id too large".into()))?,
                 )
             }
             OP_REVOKE_INTRINSIC => {
                 let id = get_u64(data, &mut off)?;
                 PolicyCmd::RevokeIntrinsic(
-                    u32::try_from(id).map_err(|_| PolicyCmdError("intrinsic id too large".into()))?,
+                    u32::try_from(id)
+                        .map_err(|_| PolicyCmdError("intrinsic id too large".into()))?,
                 )
             }
             OP_LIST_INTRINSICS => PolicyCmd::ListIntrinsics,
@@ -296,7 +298,9 @@ impl PolicyResponse {
 
     /// Decode from the ioctl reply payload.
     pub fn decode(data: &[u8]) -> Result<PolicyResponse, PolicyCmdError> {
-        let op = *data.first().ok_or(PolicyCmdError("empty response".into()))?;
+        let op = *data
+            .first()
+            .ok_or(PolicyCmdError("empty response".into()))?;
         let mut off = 1usize;
         match op {
             RESP_OK => Ok(PolicyResponse::Ok),
@@ -327,9 +331,10 @@ impl PolicyResponse {
                 let mut ids = Vec::with_capacity(n as usize);
                 for _ in 0..n {
                     let id = get_u64(data, &mut off)?;
-                    ids.push(u32::try_from(id).map_err(|_| {
-                        PolicyCmdError("intrinsic id too large".into())
-                    })?);
+                    ids.push(
+                        u32::try_from(id)
+                            .map_err(|_| PolicyCmdError("intrinsic id too large".into()))?,
+                    );
                 }
                 Ok(PolicyResponse::Intrinsics(ids))
             }

@@ -433,8 +433,12 @@ mod tests {
         let addr = VAddr(0xffff_8880_0000_1000);
         assert!(pm.check(addr, Size(8), AccessFlags::READ).is_err());
         pm.add_region(
-            Region::new(VAddr(0xffff_8880_0000_0000), Size(1 << 30), Protection::READ_WRITE)
-                .unwrap(),
+            Region::new(
+                VAddr(0xffff_8880_0000_0000),
+                Size(1 << 30),
+                Protection::READ_WRITE,
+            )
+            .unwrap(),
         )
         .unwrap();
         assert!(pm.check(addr, Size(8), AccessFlags::READ).is_ok());
@@ -456,7 +460,8 @@ mod tests {
                 "{kind} should permit"
             );
             assert!(
-                pm.check(VAddr(0x20_0000), Size(8), AccessFlags::RW).is_err(),
+                pm.check(VAddr(0x20_0000), Size(8), AccessFlags::RW)
+                    .is_err(),
                 "{kind} should deny"
             );
         }

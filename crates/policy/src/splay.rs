@@ -53,7 +53,11 @@ impl SplayRegionTree {
             if n.region.base == base {
                 return Some(depth);
             }
-            cur = if base < n.region.base { n.left } else { n.right };
+            cur = if base < n.region.base {
+                n.left
+            } else {
+                n.right
+            };
             depth += 1;
         }
         None

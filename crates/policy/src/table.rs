@@ -226,9 +226,7 @@ mod tests {
         for i in 0..MAX_REGIONS as u64 {
             t.insert(r(i * 0x1000, 0x800, Protection::ALL)).unwrap();
         }
-        let err = t
-            .insert(r(0x100_0000, 0x800, Protection::ALL))
-            .unwrap_err();
+        let err = t.insert(r(0x100_0000, 0x800, Protection::ALL)).unwrap_err();
         assert_eq!(err, PolicyError::TableFull { capacity: 64 });
         assert_eq!(t.len(), 64);
     }

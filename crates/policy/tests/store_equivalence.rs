@@ -13,11 +13,7 @@ use kop_policy::store::{make_store, Lookup, StoreKind};
 /// Generate a set of non-overlapping regions with varied protections, by
 /// carving disjoint slots from a grid.
 fn arb_regions(max: usize) -> impl Strategy<Value = Vec<Region>> {
-    proptest::collection::vec(
-        (0u64..200, 1u64..0x800, 0u32..4),
-        1..max,
-    )
-    .prop_map(|specs| {
+    proptest::collection::vec((0u64..200, 1u64..0x800, 0u32..4), 1..max).prop_map(|specs| {
         let mut regions = Vec::new();
         let mut used = std::collections::BTreeSet::new();
         for (slot, len, prot_sel) in specs {

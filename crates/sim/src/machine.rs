@@ -141,7 +141,8 @@ impl MachineProfile {
     /// Additional cycles CARAT KOP guards add for one packet, with the
     /// matching policy region at scan position `hit_pos`.
     pub fn packet_cycles_guard_overhead(&self, w: &PacketWork, hit_pos: u64) -> f64 {
-        self.predictor_discount * w.guarded_accesses() as f64
+        self.predictor_discount
+            * w.guarded_accesses() as f64
             * self.guard_cost.guard_cycles(hit_pos)
     }
 
@@ -250,10 +251,8 @@ mod tests {
         let slow = MachineProfile::r415();
         let fast = MachineProfile::r350();
         let w = typical_work();
-        let rel_slow = slow.packet_cycles_guard_overhead(&w, 1)
-            / slow.packet_cycles_base(&w, 128);
-        let rel_fast = fast.packet_cycles_guard_overhead(&w, 1)
-            / fast.packet_cycles_base(&w, 128);
+        let rel_slow = slow.packet_cycles_guard_overhead(&w, 1) / slow.packet_cycles_base(&w, 128);
+        let rel_fast = fast.packet_cycles_guard_overhead(&w, 1) / fast.packet_cycles_base(&w, 128);
         assert!(rel_fast < rel_slow / 3.0);
     }
 

@@ -55,7 +55,9 @@ impl TrialRunner {
 
     /// Run `n` trials and return the throughput samples.
     pub fn throughput_samples(&mut self, cycles_per_packet: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|_| self.run_trial(cycles_per_packet).pps).collect()
+        (0..n)
+            .map(|_| self.run_trial(cycles_per_packet).pps)
+            .collect()
     }
 
     /// Per-packet latency samples (for Figure 7): per-packet jitter plus
@@ -96,7 +98,11 @@ mod tests {
         let samples = r.throughput_samples(25_000.0, 200);
         let s = Summary::of(&samples);
         let ideal = 2.8e9 / 25_000.0; // 112k pps
-        assert!((s.median - ideal).abs() / ideal < 0.01, "median {}", s.median);
+        assert!(
+            (s.median - ideal).abs() / ideal < 0.01,
+            "median {}",
+            s.median
+        );
         // Jitter produces a genuine spread.
         assert!(s.max > s.min * 1.01);
     }

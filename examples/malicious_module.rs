@@ -99,7 +99,9 @@ fn scenario_audit() {
     plant_secret(&mut kernel);
     kernel.insmod(&out.signed).unwrap();
     let mut interp = Interp::new(&mut kernel).unwrap();
-    let _ = interp.call("credscan", "scan", &[0x60_0000, 0x1000]).unwrap();
+    let _ = interp
+        .call("credscan", "scan", &[0x60_0000, 0x1000])
+        .unwrap();
     let stats = policy.stats();
     println!(
         "scan completed under audit; {} of {} accesses violated policy",
@@ -149,7 +151,10 @@ fn scenario_tampered_container_refused() {
     let module = parse_module(CREDSCAN_SRC).unwrap();
     let mut out = compile_module(module, &CompileOptions::carat_kop(), &key()).unwrap();
     // Strip the guards after signing (what an attacker would love to do).
-    out.signed.ir_text = out.signed.ir_text.replace("call void @carat_guard", "; call void @carat_guard");
+    out.signed.ir_text = out
+        .signed
+        .ir_text
+        .replace("call void @carat_guard", "; call void @carat_guard");
     let policy = Arc::new(PolicyModule::two_region_paper_policy());
     let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
     match kernel.insmod(&out.signed) {

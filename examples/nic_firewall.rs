@@ -32,7 +32,10 @@ fn main() {
     // --- CARAT KOP build: identical driver over the guarded space. -----
     let policy = two_region_policy();
     let mut carat = {
-        let mem = GuardedMem::new(DirectMem::with_defaults(E1000Device::default()), policy.clone());
+        let mem = GuardedMem::new(
+            DirectMem::with_defaults(E1000Device::default()),
+            policy.clone(),
+        );
         let mut drv = E1000Driver::probe(mem).expect("probe (guarded)");
         drv.up().expect("up (guarded)");
         RawSender::new(drv, machine.clone())
@@ -52,10 +55,19 @@ fn main() {
     let rb = tool::run_throughput(&mut baseline, &cfg).expect("baseline trials");
     let rc = tool::run_throughput(&mut carat, &cfg).expect("carat trials");
 
-    println!("baseline: median {:>10.0} pps  (p5 {:.0}, p95 {:.0})", rb.summary.median, rb.summary.p5, rb.summary.p95);
-    println!("carat:    median {:>10.0} pps  (p5 {:.0}, p95 {:.0})", rc.summary.median, rc.summary.p5, rc.summary.p95);
+    println!(
+        "baseline: median {:>10.0} pps  (p5 {:.0}, p95 {:.0})",
+        rb.summary.median, rb.summary.p5, rb.summary.p95
+    );
+    println!(
+        "carat:    median {:>10.0} pps  (p5 {:.0}, p95 {:.0})",
+        rc.summary.median, rc.summary.p5, rc.summary.p95
+    );
     let rel = rb.summary.median_rel_change(&rc.summary);
-    println!("median change: {:.3}% (paper: <0.1% on this machine)", rel * 100.0);
+    println!(
+        "median change: {:.3}% (paper: <0.1% on this machine)",
+        rel * 100.0
+    );
 
     println!(
         "guard checks executed: {} ({} denied)",
@@ -95,9 +107,6 @@ fn main() {
         Err(e) => println!("policy tightened at runtime; driver write stopped: {e}"),
         Ok(_) => unreachable!("ring write should be denied"),
     }
-    println!(
-        "violations logged: {}",
-        policy.violation_log().len()
-    );
+    println!("violations logged: {}", policy.violation_log().len());
     println!("last violation: {}", policy.violation_log().last().unwrap());
 }

@@ -83,7 +83,10 @@ fn main() {
     let mut interp = Interp::new(&mut kernel).unwrap();
     let err = interp.call("perfmon", "sneaky_lockup", &[]).unwrap_err();
     println!("ungranted __cli stopped: {err}");
-    assert!(kernel.interrupts_enabled(), "interrupts were never disabled");
+    assert!(
+        kernel.interrupts_enabled(),
+        "interrupts were never disabled"
+    );
     println!(
         "interrupts still enabled: {} — the lockup never happened",
         kernel.interrupts_enabled()

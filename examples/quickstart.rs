@@ -68,13 +68,20 @@ fn main() {
 
     // The module's own data section must be reachable too.
     let loaded = kernel.insmod(&out.signed).expect("insmod");
-    let data_rule = Region::new(loaded.data_base, Size(loaded.data_size.max(1)), Protection::READ_WRITE)
-        .expect("rule");
+    let data_rule = Region::new(
+        loaded.data_base,
+        Size(loaded.data_size.max(1)),
+        Protection::READ_WRITE,
+    )
+    .expect("rule");
     let name = loaded.name.clone();
     kernel
         .ioctl("/dev/carat", &PolicyCmd::AddRegion(data_rule).encode())
         .expect("ioctl");
-    println!("module '{name}' inserted; policy has {} rules", kernel.policy().region_count());
+    println!(
+        "module '{name}' inserted; policy has {} rules",
+        kernel.policy().region_count()
+    );
 
     // --- Run: permitted accesses. ---------------------------------------
     let scratch = kernel.kmalloc(64).expect("kmalloc");

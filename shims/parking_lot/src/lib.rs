@@ -1,0 +1,119 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Implements only the subset this workspace uses: `Mutex` and `RwLock`
+//! with non-poisoning lock acquisition. Backed by `std::sync`; a
+//! poisoned std lock is transparently recovered, matching parking_lot's
+//! "no poisoning" semantics.
+
+use std::sync::{MutexGuard, PoisonError, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion primitive whose `lock` never returns a `Result`.
+///
+/// Supports unsized `T` (e.g. `Mutex<dyn Trait>`) so `Arc<Mutex<Concrete>>`
+/// coerces to `Arc<Mutex<dyn Trait>>`, as with the real crate.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose guards are infallible, mirroring parking_lot.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn mutex_unsized_coercion() {
+        trait Speak {
+            fn speak(&self) -> &'static str;
+        }
+        struct Dog;
+        impl Speak for Dog {
+            fn speak(&self) -> &'static str {
+                "woof"
+            }
+        }
+        let m: Arc<Mutex<dyn Speak>> = Arc::new(Mutex::new(Dog));
+        assert_eq!(m.lock().speak(), "woof");
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(String::from("a"));
+        l.write().push('b');
+        assert_eq!(&*l.read(), "ab");
+    }
+}

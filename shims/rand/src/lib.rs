@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rand` crate (0.9-style API surface).
+//!
+//! Implements only what this workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::random::<T>()` for a handful
+//! of primitive types. The generator is splitmix64 — deterministic,
+//! fast, and statistically fine for simulation jitter; it makes no
+//! compatibility promise with upstream rand's stream.
+
+/// Types that can be produced uniformly at random by [`Rng::random`].
+pub trait Standard: Sized {
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1): 53 high bits scaled down, like upstream.
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Core RNG interface: a stream of `u64`s plus typed convenience draws.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    fn random_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded draw (Lemire); bias is negligible here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn bounded_draw_in_range() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(r.random_below(10) < 10);
+        }
+        assert_eq!(r.random_below(0), 0);
+    }
+}

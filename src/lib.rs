@@ -20,6 +20,7 @@
 //!    simulated e1000e NIC driver whose transmit path is measured with and
 //!    without guards.
 
+pub use kop_analysis as analysis;
 pub use kop_compiler as compiler;
 pub use kop_core as core;
 pub use kop_e1000e as e1000e;

@@ -148,7 +148,9 @@ fn violation_panics_kernel_with_diagnosis() {
     }
     assert!(kernel.panicked().is_some());
     // Post-panic, the whole kernel API is down.
-    assert!(kernel.ioctl("/dev/carat", &PolicyCmd::List.encode()).is_err());
+    assert!(kernel
+        .ioctl("/dev/carat", &PolicyCmd::List.encode())
+        .is_err());
     assert!(kernel.rmmod("drv").is_err());
 }
 

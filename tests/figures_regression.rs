@@ -54,8 +54,14 @@ fn fig5_regions_ordered_and_all_under_1_percent() {
     let r2 = fig.headline("carat_median_rel_change").unwrap();
     let r16 = fig.headline("carat16_median_rel_change").unwrap();
     let r64 = fig.headline("carat64_median_rel_change").unwrap();
-    assert!(r2 < r16 && r16 < r64, "effect must grow with n: {r2} {r16} {r64}");
-    assert!(r64 < 0.01, "paper: even n=64 changes the median <1% — got {r64}");
+    assert!(
+        r2 < r16 && r16 < r64,
+        "effect must grow with n: {r2} {r16} {r64}"
+    );
+    assert!(
+        r64 < 0.01,
+        "paper: even n=64 changes the median <1% — got {r64}"
+    );
     assert!(r64 > r2 * 2.0, "n=64 must be visibly worse than n=2");
 }
 
@@ -74,7 +80,10 @@ fn fig6_slowdown_concentrated_on_small_packets() {
     let max = fig.headline("max_slowdown").unwrap();
     assert!(max > 1.01 && max < 1.03, "paper: max ~2.5% — got {max}");
     let at1500 = fig.headline("slowdown_at_1500").unwrap();
-    assert!(at1500 < 1.005, "large packets nearly unaffected — got {at1500}");
+    assert!(
+        at1500 < 1.005,
+        "large packets nearly unaffected — got {at1500}"
+    );
 }
 
 #[test]
@@ -85,7 +94,11 @@ fn fig7_latency_medians_closely_matched() {
     // Paper: 686 vs 694 cycles.
     assert!((base - 686.0).abs() < 25.0, "baseline median {base}");
     assert!(carat > base, "carat must be slower");
-    assert!(carat - base < 30.0, "within measurement noise: {}", carat - base);
+    assert!(
+        carat - base < 30.0,
+        "within measurement noise: {}",
+        carat - base
+    );
     // Histograms overlap: same bucket grid, both non-empty in the bulk.
     let b = fig.series("base").unwrap();
     let c = fig.series("carat").unwrap();
@@ -111,6 +124,28 @@ fn claims_zero_source_change_guards() {
     assert!(lines > 18_000.0, "scale module is paper-sized: {lines}");
     let ms = fig.headline("synthetic_19k_compile_ms").unwrap();
     assert!(ms < 5_000.0, "transformation stays interactive: {ms} ms");
+}
+
+#[test]
+fn analysis_proves_corpus_with_full_precision() {
+    let fig = figures::analysis();
+    // Every guarded build — paper configuration and optimized — proves
+    // every access covered (precision 1.0), at interactive cost.
+    for module in ["mini-e1000e", "opt-workload", "credscan", "synthetic-200"] {
+        for cfg in ["carat", "opt"] {
+            let precision = fig
+                .headline(&format!("{module}_{cfg}_precision"))
+                .unwrap_or_else(|| panic!("missing {module}_{cfg}_precision"));
+            assert_eq!(precision, 1.0, "{module}/{cfg}");
+            let us = fig.headline(&format!("{module}_{cfg}_verify_us")).unwrap();
+            assert!(us < 1_000_000.0, "{module}/{cfg} verify cost: {us} us");
+        }
+    }
+    // The rootkit module's inttoptr laundering is surfaced.
+    assert!(fig.headline("credscan_laundered_accesses").unwrap() > 0.0);
+    // Cost series is present and covers the size spread.
+    let series = fig.series("verify_us").unwrap();
+    assert!(series.points.len() >= 8);
 }
 
 #[test]

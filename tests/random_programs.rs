@@ -102,7 +102,12 @@ fn build_program(ops: &[Op], loop_n: u64) -> carat_kop::ir::Module {
     for op in ops {
         match op {
             Op::Arith(d, o, a, b2) => {
-                let v = f.bin(*o, Type::I64, regs[*a as usize].clone(), regs[*b2 as usize].clone());
+                let v = f.bin(
+                    *o,
+                    Type::I64,
+                    regs[*a as usize].clone(),
+                    regs[*b2 as usize].clone(),
+                );
                 regs[*d as usize] = v;
             }
             Op::Load(d, s) => {
