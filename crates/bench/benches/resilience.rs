@@ -1,0 +1,87 @@
+//! Benchmark of the recovery machinery under an injected fault storm:
+//! how much wall-clock the watchdog/reset/retry stack adds to a TX
+//! workload, fault-free vs storming, baseline vs guarded.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use kop_e1000e::device::CountSink;
+use kop_e1000e::{DirectMem, E1000Device, E1000Driver, GuardedMem, MemSpace};
+use kop_faultline::{FaultPlan, FaultyMem, Trigger};
+use kop_policy::PolicyModule;
+
+const FRAMES: u64 = 512;
+const DST: [u8; 6] = [0x52, 0x54, 0x00, 0xfa, 0x11, 0x7e];
+
+fn storm_plan(rate: f64) -> FaultPlan {
+    FaultPlan::new(0xfa17)
+        .with_tx_hang(Trigger::Probability(rate))
+        .with_dma_drop(Trigger::Probability(rate))
+}
+
+fn drive<M: MemSpace>(drv: &mut E1000Driver<M>) -> u64 {
+    let mut sink = CountSink::default();
+    for i in 0..FRAMES {
+        let _ = drv.xmit_with_retry(DST, 0x0800, &[0xab; 114], &mut sink, 8);
+        if i % 8 == 0 {
+            let _ = drv.watchdog();
+        }
+    }
+    for _ in 0..1024 {
+        if drv.tx_pending() == 0 {
+            break;
+        }
+        drv.mem().tx_tick(&mut sink);
+        let _ = drv.clean_tx();
+        let _ = drv.watchdog();
+    }
+    sink.frames
+}
+
+fn bench_resilience(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(FRAMES));
+
+    group.bench_function("baseline_fault_free", |b| {
+        b.iter(|| {
+            let mem = FaultyMem::new(
+                DirectMem::with_defaults(E1000Device::default()),
+                FaultPlan::quiet(),
+            );
+            let mut drv = E1000Driver::probe(mem).expect("probe");
+            drv.up().expect("up");
+            black_box(drive(&mut drv))
+        })
+    });
+
+    group.bench_function("baseline_storm_5pct", |b| {
+        b.iter(|| {
+            let mem = FaultyMem::new(
+                DirectMem::with_defaults(E1000Device::default()),
+                storm_plan(0.05),
+            );
+            let mut drv = E1000Driver::probe(mem).expect("probe");
+            drv.up().expect("up");
+            black_box(drive(&mut drv))
+        })
+    });
+
+    group.bench_function("carat_storm_5pct", |b| {
+        b.iter(|| {
+            let policy = std::sync::Arc::new(PolicyModule::two_region_paper_policy());
+            let mem = FaultyMem::new(
+                GuardedMem::new(DirectMem::with_defaults(E1000Device::default()), policy),
+                storm_plan(0.05),
+            );
+            let mut drv = E1000Driver::probe(mem).expect("probe");
+            drv.up().expect("up");
+            black_box(drive(&mut drv))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_resilience);
+criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! `reproduce` — regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|all]
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|all]
 //!           [--csv]        # raw series to stdout instead of the report
 //!           [--out DIR]    # additionally write one CSV per figure into DIR
+//!           [--quick]      # tiny trial counts (CI smoke); not paper-scale
 //! ```
 
 use kop_bench::figures;
@@ -11,6 +12,9 @@ use kop_bench::figures;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    if args.iter().any(|a| a == "--quick") {
+        figures::set_quick(true);
+    }
     let out_dir = args
         .iter()
         .position(|a| a == "--out")
@@ -46,11 +50,12 @@ fn main() {
         "analysis" => vec![figures::analysis()],
         "ablation-ds" => vec![figures::ablation_ds()],
         "ablation-opt" => vec![figures::ablation_opt()],
+        "resilience" => figures::resilience(),
         "all" => figures::all_figures(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|all] [--csv]"
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|all] [--csv] [--quick]"
             );
             std::process::exit(2);
         }

@@ -100,6 +100,16 @@ pub enum KernelError {
     ModuleAlreadyLoaded(String),
     /// No such module.
     NoSuchModule(String),
+    /// A module exhausted its guard-violation budget and was forcibly
+    /// unloaded (quarantined) by the kernel; the kernel itself keeps
+    /// running. The payload names the module; the violation is the one
+    /// that tipped the budget.
+    ModuleQuarantined {
+        /// Name of the quarantined module.
+        module: String,
+        /// The violation that exhausted the budget.
+        violation: Violation,
+    },
     /// The module attestation was rejected (e.g. contains inline assembly).
     AttestationRejected(String),
     /// Static guard-coverage verification of the module IR failed (the
@@ -136,6 +146,9 @@ impl fmt::Display for KernelError {
             KernelError::UnresolvedSymbol(s) => write!(f, "unresolved symbol: {s}"),
             KernelError::ModuleAlreadyLoaded(s) => write!(f, "module already loaded: {s}"),
             KernelError::NoSuchModule(s) => write!(f, "no such module: {s}"),
+            KernelError::ModuleQuarantined { module, violation } => {
+                write!(f, "module quarantined: {module} ({violation})")
+            }
             KernelError::AttestationRejected(s) => write!(f, "attestation rejected: {s}"),
             KernelError::StaticVerification(s) => {
                 write!(f, "static verification failed: {s}")
@@ -149,7 +162,17 @@ impl fmt::Display for KernelError {
     }
 }
 
-impl std::error::Error for KernelError {}
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Panic {
+                violation: Some(v), ..
+            } => Some(v),
+            KernelError::ModuleQuarantined { violation, .. } => Some(violation),
+            _ => None,
+        }
+    }
+}
 
 impl From<Violation> for KernelError {
     fn from(v: Violation) -> Self {
@@ -195,6 +218,27 @@ mod tests {
             KernelError::Panic { violation, .. } => assert_eq!(violation, Some(v)),
             other => panic!("expected Panic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn kernel_error_source_chains_violation() {
+        use std::error::Error;
+        let v = Violation::new(
+            VAddr(0x10),
+            Size(4),
+            AccessFlags::READ,
+            ViolationKind::InsufficientPermissions,
+        );
+        let e: KernelError = v.into();
+        let src = e.source().expect("panic chains its violation");
+        assert_eq!(src.to_string(), v.to_string());
+        let q = KernelError::ModuleQuarantined {
+            module: "credscan".into(),
+            violation: v,
+        };
+        assert!(q.source().is_some());
+        assert!(q.to_string().contains("module quarantined: credscan"));
+        assert!(KernelError::NoSuchModule("x".into()).source().is_none());
     }
 
     #[test]

@@ -51,7 +51,14 @@ impl core::fmt::Display for DriverError {
     }
 }
 
-impl std::error::Error for DriverError {}
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Guard(v) => Some(v),
+            _ => None,
+        }
+    }
+}
 
 /// Driver statistics (mirrors the guarded in-arena stats block).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -68,6 +75,16 @@ pub struct DriverStats {
     pub ring_full_events: u64,
     /// Descriptors cleaned.
     pub cleaned: u64,
+    /// Watchdog invocations that detected a TX hang (stuck TDH with
+    /// pending descriptors) and triggered an adapter reset.
+    pub watchdog_fires: u64,
+    /// Full adapter resets performed (watchdog or explicit).
+    pub resets: u64,
+    /// Transmit attempts re-tried after a transient error.
+    pub retries: u64,
+    /// Frames that were queued but still in flight when a reset dropped
+    /// the ring (lost work the retry layer may resubmit).
+    pub tx_dropped: u64,
 }
 
 // Arena layout (offsets from arena base).
@@ -101,6 +118,10 @@ pub struct E1000Driver<M: MemSpace> {
     rx_next: u64,
     stats: DriverStats,
     up: bool,
+    /// TDH observed by the previous watchdog pass (hang detection).
+    wd_tdh: u64,
+    /// Whether the previous watchdog pass saw pending descriptors.
+    wd_armed: bool,
 }
 
 impl<M: MemSpace> E1000Driver<M> {
@@ -145,6 +166,8 @@ impl<M: MemSpace> E1000Driver<M> {
             rx_next: 0,
             stats: DriverStats::default(),
             up: false,
+            wd_tdh: 0,
+            wd_armed: false,
         })
     }
 
@@ -216,6 +239,12 @@ impl<M: MemSpace> E1000Driver<M> {
     /// Access the memory space (harness: ticking the device, counts).
     pub fn mem(&mut self) -> &mut M {
         &mut self.mem
+    }
+
+    /// Shared access to the memory space (harness: reading fault or
+    /// access statistics without a mutable borrow).
+    pub fn mem_ref(&self) -> &M {
+        &self.mem
     }
 
     /// Access counters snapshot.
@@ -325,6 +354,104 @@ impl<M: MemSpace> E1000Driver<M> {
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += frame_len as u64;
         Ok(())
+    }
+
+    /// Frames queued but not yet reclaimed (ring occupancy).
+    pub fn tx_pending(&self) -> u64 {
+        (self.next_to_use + TX_ENTRIES - self.next_to_clean) % TX_ENTRIES
+    }
+
+    /// Periodic TX-hang watchdog (mirrors `e1000_watchdog` +
+    /// `e1000_tx_timeout`): the hardware head pointer (TDH) must make
+    /// progress whenever descriptors are pending. Two consecutive passes
+    /// that see the same TDH with work outstanding declare a hang and
+    /// perform a full adapter [`Self::reset`]. Returns whether a reset
+    /// was performed.
+    ///
+    /// This is deliberately **not** on the per-packet transmit path — the
+    /// paper's per-packet access counts (and the machine-model
+    /// calibration) stay untouched; a real driver runs this off a timer.
+    pub fn watchdog(&mut self) -> Result<bool, DriverError> {
+        let pending = self.tx_pending() > 0;
+        let tdh = self.mem.read(self.bar + regs::TDH, 4)?;
+        let hung = pending && self.wd_armed && tdh == self.wd_tdh;
+        if hung {
+            self.stats.watchdog_fires += 1;
+            self.wd_armed = false;
+            self.reset()?;
+            return Ok(true);
+        }
+        self.wd_tdh = tdh;
+        self.wd_armed = pending;
+        Ok(false)
+    }
+
+    /// Full adapter reset + ring re-init (mirrors `e1000_reinit_locked`):
+    /// software reset, link bring-up, and a fresh `up()` re-programming
+    /// both rings. Driver statistics survive; frames still in flight in
+    /// the TX ring are dropped (counted in `tx_dropped`).
+    pub fn reset(&mut self) -> Result<(), DriverError> {
+        self.stats.resets += 1;
+        self.stats.tx_dropped += self.tx_pending();
+        self.mem.write(self.bar + regs::CTRL, 4, ctrl::RST)?;
+        self.mem.write(self.bar + regs::CTRL, 4, ctrl::SLU)?;
+        let st = self.mem.read(self.bar + regs::STATUS, 4)?;
+        if st & status::LU == 0 {
+            return Err(DriverError::NoLink);
+        }
+        self.next_to_use = 0;
+        self.next_to_clean = 0;
+        self.rx_next = 0;
+        self.wd_tdh = 0;
+        self.wd_armed = false;
+        self.up = false;
+        self.up()
+    }
+
+    /// Transmit with bounded retry and exponential backoff (the recovery
+    /// wrapper fault-tolerant callers use): on `RingFull` or a transient
+    /// hardware error the driver gives the DMA engine progressively more
+    /// tick rounds to drain, reclaims descriptors, lets the watchdog
+    /// reset a hung adapter, and re-attempts up to `max_attempts` times.
+    /// Returns the number of frames the device delivered to `sink` across
+    /// the call.
+    pub fn xmit_with_retry(
+        &mut self,
+        dst: [u8; 6],
+        ethertype: u16,
+        payload: &[u8],
+        sink: &mut dyn FrameSink,
+        max_attempts: u32,
+    ) -> Result<u64, DriverError> {
+        let mut delivered = 0u64;
+        let mut backoff = 1u64;
+        for attempt in 0.. {
+            match self.xmit(dst, ethertype, payload) {
+                Ok(()) => {
+                    delivered += self.mem.tx_tick(sink);
+                    return Ok(delivered);
+                }
+                Err(e @ (DriverError::RingFull | DriverError::Hw(_)))
+                    if attempt + 1 < max_attempts =>
+                {
+                    self.stats.retries += 1;
+                    // A down interface only comes back through a reset.
+                    if matches!(e, DriverError::Hw(_)) && !self.up {
+                        self.reset()?;
+                    }
+                    // Exponential backoff: 1, 2, 4, ... tick rounds for
+                    // the device to make progress before re-attempting.
+                    for _ in 0..backoff {
+                        delivered += self.mem.tx_tick(sink);
+                    }
+                    backoff = backoff.saturating_mul(2);
+                    self.clean_tx()?;
+                    self.watchdog()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on success or bounded error")
     }
 
     /// Transmit and synchronously run the DMA engine (harness
@@ -455,6 +582,84 @@ mod tests {
         assert_eq!(sink.frames.len() as u64, TX_ENTRIES - 1);
         drv.clean_tx().unwrap();
         drv.xmit(DST, 0x0800, b"y").unwrap();
+    }
+
+    #[test]
+    fn watchdog_detects_tx_hang_and_resets() {
+        let mut drv = direct_driver();
+        // Queue frames but never tick the device: TDH stays stuck.
+        for _ in 0..4 {
+            drv.xmit(DST, 0x0800, b"x").unwrap();
+        }
+        assert_eq!(drv.tx_pending(), 4);
+        // First pass arms the watchdog, second sees no TDH progress.
+        assert!(!drv.watchdog().unwrap());
+        assert!(drv.watchdog().unwrap());
+        let s = drv.stats();
+        assert_eq!(s.watchdog_fires, 1);
+        assert_eq!(s.resets, 1);
+        assert_eq!(s.tx_dropped, 4);
+        assert_eq!(drv.tx_pending(), 0);
+        assert!(drv.is_up());
+        // The adapter works again, and driver stats survived the reset.
+        let mut sink = VecSink::default();
+        drv.xmit_and_flush(DST, 0x0800, b"y", &mut sink).unwrap();
+        assert_eq!(sink.frames.len(), 1);
+        assert_eq!(drv.stats().tx_packets, 5);
+    }
+
+    #[test]
+    fn watchdog_quiet_while_device_progresses() {
+        let mut drv = direct_driver();
+        let mut sink = VecSink::default();
+        for _ in 0..3 {
+            drv.xmit_and_flush(DST, 0x0800, b"x", &mut sink).unwrap();
+            assert!(!drv.watchdog().unwrap());
+        }
+        assert_eq!(drv.stats().watchdog_fires, 0);
+        assert_eq!(drv.stats().resets, 0);
+    }
+
+    #[test]
+    fn retry_backoff_recovers_from_ring_full() {
+        let mut drv = direct_driver();
+        // Fill the ring without ticking the device.
+        loop {
+            match drv.xmit(DST, 0x0800, b"x") {
+                Ok(()) => {}
+                Err(DriverError::RingFull) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        // The retry wrapper ticks, cleans, and lands the frame.
+        let mut sink = VecSink::default();
+        let delivered = drv
+            .xmit_with_retry(DST, 0x0800, b"y", &mut sink, 5)
+            .unwrap();
+        assert_eq!(delivered, TX_ENTRIES); // backlog + the new frame
+        assert!(drv.stats().retries >= 1);
+        assert_eq!(drv.stats().resets, 0, "no reset needed for a full ring");
+    }
+
+    #[test]
+    fn retry_gives_up_after_bounded_attempts() {
+        let mut drv = direct_driver();
+        loop {
+            match drv.xmit(DST, 0x0800, b"x") {
+                Ok(()) => {}
+                Err(DriverError::RingFull) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        // A sink is required but a single attempt means no ticks happen.
+        struct NullSink;
+        impl FrameSink for NullSink {
+            fn deliver(&mut self, _frame: &[u8]) {}
+        }
+        let err = drv
+            .xmit_with_retry(DST, 0x0800, b"y", &mut NullSink, 1)
+            .unwrap_err();
+        assert_eq!(err, DriverError::RingFull);
     }
 
     #[test]

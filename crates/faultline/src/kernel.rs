@@ -1,0 +1,124 @@
+//! The kernel-memory seam: a [`FaultHook`] implementation.
+//!
+//! The simulated kernel ([`kop_kernel::SimMemory`]) accepts one installed
+//! hook and consults it on every `kmalloc` and every typed read.
+//! [`KernelFaults`] drives that hook from a seeded plan: allocations fail
+//! (the `-ENOMEM` path modules so rarely test) and reads come back with a
+//! bit flipped (a transient corruption a guarded module must not be able
+//! to turn into a kernel-wide failure).
+//!
+//! Once installed the hook is owned by the kernel, so observation goes
+//! through shared [`KernelFaultCounters`] handed out before installation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kop_core::{Size, VAddr};
+use kop_kernel::FaultHook;
+
+use crate::plan::{FaultPlan, FaultPoint};
+
+/// Shared view of what an installed [`KernelFaults`] hook has injected.
+#[derive(Clone, Debug, Default)]
+pub struct KernelFaultCounters {
+    failed_allocs: Arc<AtomicU64>,
+    corrupted_reads: Arc<AtomicU64>,
+}
+
+impl KernelFaultCounters {
+    /// Allocations the hook failed.
+    pub fn failed_allocs(&self) -> u64 {
+        self.failed_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Reads the hook corrupted.
+    pub fn corrupted_reads(&self) -> u64 {
+        self.corrupted_reads.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`FaultHook`] injecting kmalloc failures and transient read
+/// corruption per a seeded [`FaultPlan`].
+pub struct KernelFaults {
+    kmalloc_fail: FaultPoint,
+    read_corrupt: FaultPoint,
+    counters: KernelFaultCounters,
+}
+
+impl KernelFaults {
+    /// Build from a plan; only the kernel-side points are consulted.
+    pub fn new(plan: FaultPlan) -> KernelFaults {
+        KernelFaults {
+            kmalloc_fail: plan.kmalloc_fail,
+            read_corrupt: plan.read_corrupt,
+            counters: KernelFaultCounters::default(),
+        }
+    }
+
+    /// Counters that stay readable after the hook is installed.
+    pub fn counters(&self) -> KernelFaultCounters {
+        self.counters.clone()
+    }
+}
+
+impl FaultHook for KernelFaults {
+    fn fail_kmalloc(&mut self, _size: u64) -> bool {
+        if self.kmalloc_fail.check() {
+            self.counters.failed_allocs.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn corrupt_read(&mut self, _addr: VAddr, size: Size, value: u64) -> u64 {
+        if self.read_corrupt.check() {
+            self.counters
+                .corrupted_reads
+                .fetch_add(1, Ordering::Relaxed);
+            value ^ (1 << (self.read_corrupt.fired() % (size.0 * 8).max(1)))
+        } else {
+            value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Trigger;
+    use kop_core::KernelError;
+    use kop_kernel::Kernel;
+
+    #[test]
+    fn kmalloc_fails_on_schedule_and_kernel_survives() {
+        let (mut k, _key) = Kernel::boot_default();
+        let hook = KernelFaults::new(FaultPlan::quiet().with_kmalloc_fail(Trigger::Nth(2)));
+        let counters = hook.counters();
+        k.mem.set_fault_hook(Box::new(hook));
+        assert!(k.kmalloc(64).is_ok());
+        match k.kmalloc(64) {
+            Err(KernelError::NoMemory(msg)) => assert!(msg.contains("injected")),
+            other => panic!("expected injected NoMemory, got {other:?}"),
+        }
+        assert!(k.kmalloc(64).is_ok(), "failure is transient");
+        assert_eq!(counters.failed_allocs(), 1);
+        assert!(k.panicked().is_none());
+    }
+
+    #[test]
+    fn read_corruption_is_transient_and_counted() {
+        let (mut k, _key) = Kernel::boot_default();
+        let addr = k.kmalloc(8).unwrap();
+        k.mem.write_uint(addr, Size(8), 0).unwrap();
+        let hook = KernelFaults::new(FaultPlan::quiet().with_read_corrupt(Trigger::Nth(1)));
+        let counters = hook.counters();
+        k.mem.set_fault_hook(Box::new(hook));
+        let bad = k.mem.read_uint(addr, Size(8)).unwrap();
+        assert_eq!(bad.count_ones(), 1, "one bit flipped");
+        let good = k.mem.read_uint(addr, Size(8)).unwrap();
+        assert_eq!(good, 0, "stored value was never touched");
+        assert_eq!(counters.corrupted_reads(), 1);
+        k.mem.clear_fault_hook();
+    }
+}

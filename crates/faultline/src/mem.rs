@@ -1,0 +1,305 @@
+//! The device seam: a [`MemSpace`] wrapper that misbehaves like failing
+//! hardware.
+//!
+//! [`FaultyMem`] delegates every access to the wrapped space and injects
+//! faults per the plan's device-side [`FaultPoint`]s:
+//!
+//! * **surprise removal** — while active, MMIO reads return all-ones and
+//!   MMIO writes vanish, exactly what a PCIe read to a removed device
+//!   returns on real hardware;
+//! * **TX hang** — `tx_tick` does nothing, so TDH stays stuck while the
+//!   driver keeps queueing (the situation `e1000e`'s `tx_timeout`
+//!   watchdog exists for);
+//! * **DMA drop** — the tick runs (descriptors complete, TDH advances)
+//!   but the frames never reach the wire;
+//! * **link flap** — STATUS reads report link down;
+//! * **descriptor corruption** — a RAM read (the driver's RAM reads are
+//!   descriptor reads) comes back with one bit flipped.
+//!
+//! The wrapper sits *under* the guard layer (wrap `DirectMem`, then
+//! [`kop_e1000e::GuardedMem`] over it) or *over* it — either way the
+//! driver code is unchanged, mirroring how the paper instruments the
+//! stock driver without modifying it.
+
+use kop_core::Violation;
+use kop_e1000e::device::{E1000Device, FrameSink};
+use kop_e1000e::regs::{self, BAR_SIZE};
+use kop_e1000e::{AccessCounts, MemSpace};
+
+use crate::plan::FaultPlan;
+
+/// What the fault layer actually did — the injection-side ledger the
+/// resilience figure reports against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// MMIO reads answered with all-ones (surprise removal).
+    pub mmio_all_ones: u64,
+    /// MMIO writes silently dropped (surprise removal).
+    pub mmio_writes_dropped: u64,
+    /// TX ticks suppressed (TDH left stuck).
+    pub tx_ticks_suppressed: u64,
+    /// Frames completed by the device but dropped before the wire.
+    pub frames_dropped: u64,
+    /// STATUS reads answered with link down.
+    pub link_flaps: u64,
+    /// RAM reads answered with a flipped bit.
+    pub reads_corrupted: u64,
+}
+
+impl FaultStats {
+    /// Total injected fault events across all device sites.
+    pub fn total(&self) -> u64 {
+        self.mmio_all_ones
+            + self.mmio_writes_dropped
+            + self.tx_ticks_suppressed
+            + self.frames_dropped
+            + self.link_flaps
+            + self.reads_corrupted
+    }
+}
+
+/// Discards every frame — the wire side of a stalled DMA engine.
+struct DropSink;
+
+impl FrameSink for DropSink {
+    fn deliver(&mut self, _frame: &[u8]) {}
+}
+
+/// A [`MemSpace`] that injects device faults per a seeded [`FaultPlan`].
+pub struct FaultyMem<M: MemSpace> {
+    inner: M,
+    plan: FaultPlan,
+    stats: FaultStats,
+}
+
+impl<M: MemSpace> FaultyMem<M> {
+    /// Wrap `inner`; only the plan's device-side points are consulted.
+    pub fn new(inner: M, plan: FaultPlan) -> FaultyMem<M> {
+        FaultyMem {
+            inner,
+            plan,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The injection ledger so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The plan, for inspecting per-point event/fire counters.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Unwrap, discarding the fault layer.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    fn in_bar(&self, addr: u64) -> bool {
+        let bar = self.inner.mmio_base();
+        addr >= bar && addr < bar + BAR_SIZE
+    }
+}
+
+/// All-ones of the access width, what a dead PCIe device reads as.
+fn all_ones(size: u64) -> u64 {
+    if size >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (size * 8)) - 1
+    }
+}
+
+impl<M: MemSpace> MemSpace for FaultyMem<M> {
+    fn read(&mut self, addr: u64, size: u64) -> Result<u64, Violation> {
+        if self.in_bar(addr) {
+            if self.plan.surprise_removal.check() {
+                self.stats.mmio_all_ones += 1;
+                return Ok(all_ones(size));
+            }
+            let mut v = self.inner.read(addr, size)?;
+            if addr == self.inner.mmio_base() + regs::STATUS && self.plan.link_flap.check() {
+                self.stats.link_flaps += 1;
+                v &= !regs::status::LU;
+            }
+            return Ok(v);
+        }
+        let mut v = self.inner.read(addr, size)?;
+        if self.plan.desc_corrupt.check() {
+            self.stats.reads_corrupted += 1;
+            // Deterministic bit choice: walk the word as faults accumulate.
+            v ^= 1 << (self.plan.desc_corrupt.fired() % (size * 8).max(1));
+        }
+        Ok(v)
+    }
+
+    fn write(&mut self, addr: u64, size: u64, value: u64) -> Result<(), Violation> {
+        if self.in_bar(addr) && self.plan.surprise_removal.check() {
+            self.stats.mmio_writes_dropped += 1;
+            return Ok(());
+        }
+        self.inner.write(addr, size, value)
+    }
+
+    // Bulk paths carry payload, not control state — left fault-free so
+    // delivered frames stay byte-exact (corruption targets are the
+    // control-plane reads above).
+    fn bulk_write(&mut self, addr: u64, bytes: &[u8]) {
+        self.inner.bulk_write(addr, bytes)
+    }
+
+    fn bulk_read(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        self.inner.bulk_read(addr, len)
+    }
+
+    fn tx_tick(&mut self, sink: &mut dyn FrameSink) -> u64 {
+        if self.plan.tx_hang.check() {
+            self.stats.tx_ticks_suppressed += 1;
+            return 0;
+        }
+        if self.plan.dma_drop.check() {
+            let n = self.inner.tx_tick(&mut DropSink);
+            self.stats.frames_dropped += n;
+            return 0;
+        }
+        self.inner.tx_tick(sink)
+    }
+
+    fn rx_inject(&mut self, frame: &[u8]) -> bool {
+        self.inner.rx_inject(frame)
+    }
+
+    fn device(&mut self) -> &mut E1000Device {
+        self.inner.device()
+    }
+
+    fn counts(&self) -> AccessCounts {
+        self.inner.counts()
+    }
+
+    fn arena_base(&self) -> u64 {
+        self.inner.arena_base()
+    }
+
+    fn arena_len(&self) -> u64 {
+        self.inner.arena_len()
+    }
+
+    fn mmio_base(&self) -> u64 {
+        self.inner.mmio_base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Trigger;
+    use kop_e1000e::device::VecSink;
+    use kop_e1000e::{DirectMem, E1000Driver};
+
+    fn faulty(plan: FaultPlan) -> FaultyMem<DirectMem> {
+        FaultyMem::new(DirectMem::with_defaults(E1000Device::default()), plan)
+    }
+
+    #[test]
+    fn surprise_removal_reads_all_ones_and_swallows_writes() {
+        let plan = FaultPlan::quiet().with_surprise_removal(Trigger::Window { start: 1, len: 100 });
+        let mut m = faulty(plan);
+        let bar = m.mmio_base();
+        assert_eq!(m.read(bar + regs::STATUS, 4).unwrap(), 0xffff_ffff);
+        assert_eq!(m.read(bar + regs::CTRL, 8).unwrap(), u64::MAX);
+        m.write(bar + regs::CTRL, 4, regs::ctrl::SLU).unwrap();
+        let st = m.fault_stats();
+        assert_eq!(st.mmio_all_ones, 2);
+        assert_eq!(st.mmio_writes_dropped, 1);
+        // RAM is unaffected by device removal.
+        let base = m.arena_base();
+        m.write(base, 8, 7).unwrap();
+        assert_eq!(m.read(base, 8).unwrap(), 7);
+    }
+
+    #[test]
+    fn tx_hang_leaves_tdh_stuck_until_window_passes() {
+        let plan = FaultPlan::quiet().with_tx_hang(Trigger::Window { start: 1, len: 2 });
+        let mut drv = E1000Driver::probe(faulty(plan)).unwrap();
+        drv.up().unwrap();
+        drv.xmit([2; 6], 0x0800, b"stuck?").unwrap();
+        let mut sink = VecSink::default();
+        assert_eq!(drv.mem().tx_tick(&mut sink), 0);
+        assert_eq!(drv.mem().tx_tick(&mut sink), 0);
+        assert_eq!(drv.mem().fault_stats().tx_ticks_suppressed, 2);
+        // Window over: the queued frame drains.
+        assert_eq!(drv.mem().tx_tick(&mut sink), 1);
+        assert_eq!(sink.frames.len(), 1);
+    }
+
+    #[test]
+    fn watchdog_recovers_driver_from_injected_hang() {
+        let plan = FaultPlan::quiet().with_tx_hang(Trigger::Window { start: 1, len: 4 });
+        let mut drv = E1000Driver::probe(faulty(plan)).unwrap();
+        drv.up().unwrap();
+        drv.xmit([2; 6], 0x0800, b"doomed").unwrap();
+        let mut sink = VecSink::default();
+        drv.mem().tx_tick(&mut sink);
+        assert!(!drv.watchdog().unwrap(), "first pass arms");
+        drv.mem().tx_tick(&mut sink);
+        assert!(drv.watchdog().unwrap(), "second pass fires and resets");
+        assert_eq!(drv.stats().resets, 1);
+        // Post-reset the driver transmits again once the hang window ends.
+        drv.xmit([2; 6], 0x0800, b"recovered").unwrap();
+        while drv.mem().tx_tick(&mut sink) == 0 {}
+        assert_eq!(sink.frames.len(), 1);
+    }
+
+    #[test]
+    fn dma_drop_completes_descriptors_but_loses_frames() {
+        let plan = FaultPlan::quiet().with_dma_drop(Trigger::Nth(1));
+        let mut drv = E1000Driver::probe(faulty(plan)).unwrap();
+        drv.up().unwrap();
+        drv.xmit([2; 6], 0x0800, b"lost").unwrap();
+        let mut sink = VecSink::default();
+        assert_eq!(drv.mem().tx_tick(&mut sink), 0);
+        assert!(sink.frames.is_empty());
+        assert_eq!(drv.mem().fault_stats().frames_dropped, 1);
+        // Descriptors were consumed: ring is clean, not hung.
+        drv.clean_tx().unwrap();
+        assert_eq!(drv.tx_pending(), 0);
+    }
+
+    #[test]
+    fn link_flap_masks_lu_on_status_reads() {
+        let plan = FaultPlan::quiet().with_link_flap(Trigger::Nth(2));
+        let mut m = faulty(plan);
+        let bar = m.mmio_base();
+        m.write(bar + regs::CTRL, 4, regs::ctrl::SLU).unwrap();
+        assert_ne!(m.read(bar + regs::STATUS, 4).unwrap() & regs::status::LU, 0);
+        assert_eq!(m.read(bar + regs::STATUS, 4).unwrap() & regs::status::LU, 0);
+        assert_ne!(m.read(bar + regs::STATUS, 4).unwrap() & regs::status::LU, 0);
+        assert_eq!(m.fault_stats().link_flaps, 1);
+    }
+
+    #[test]
+    fn desc_corrupt_flips_exactly_one_bit_on_ram_reads() {
+        let plan = FaultPlan::quiet().with_desc_corrupt(Trigger::Nth(2));
+        let mut m = faulty(plan);
+        let base = m.arena_base();
+        m.write(base, 8, 0).unwrap();
+        assert_eq!(m.read(base, 8).unwrap(), 0);
+        let corrupted = m.read(base, 8).unwrap();
+        assert_eq!(corrupted.count_ones(), 1, "exactly one bit flipped");
+        assert_eq!(m.read(base, 8).unwrap(), 0, "fault was transient");
+        assert_eq!(m.fault_stats().reads_corrupted, 1);
+    }
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let mut m = faulty(FaultPlan::quiet());
+        let bar = m.mmio_base();
+        m.write(bar + regs::CTRL, 4, regs::ctrl::SLU).unwrap();
+        assert_ne!(m.read(bar + regs::STATUS, 4).unwrap() & regs::status::LU, 0);
+        assert_eq!(m.fault_stats(), FaultStats::default());
+        assert_eq!(m.fault_stats().total(), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Fault plans: *when* a fault fires, decided deterministically.
+//!
+//! A [`FaultPoint`] counts the events presented to it and fires according
+//! to its [`Trigger`]. A [`FaultPlan`] bundles one point per fault site
+//! across all three seams; wrappers ([`crate::FaultyMem`],
+//! [`crate::FaultyPolicy`], [`crate::KernelFaults`]) each consume the
+//! points for their seam. Probability triggers draw from a splitmix RNG
+//! seeded per point from the plan seed, so two plans built from the same
+//! seed produce identical fault schedules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// When a fault point fires, relative to its private event counter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Never fires (the quiet default).
+    Never,
+    /// Fires exactly on the `n`th event (1-based), once.
+    Nth(u64),
+    /// Fires for every event in `[start, start + len)` (1-based counter).
+    Window {
+        /// First event (1-based) on which the fault is active.
+        start: u64,
+        /// Number of consecutive events the fault stays active.
+        len: u64,
+    },
+    /// Fires independently per event with this probability, drawn from the
+    /// point's seeded RNG.
+    Probability(f64),
+}
+
+/// One injectable fault site: an event counter plus a [`Trigger`].
+#[derive(Clone, Debug)]
+pub struct FaultPoint {
+    trigger: Trigger,
+    rng: StdRng,
+    events: u64,
+    fired: u64,
+}
+
+impl FaultPoint {
+    /// A point with the given trigger; `seed` feeds the RNG used by
+    /// [`Trigger::Probability`].
+    pub fn new(trigger: Trigger, seed: u64) -> FaultPoint {
+        FaultPoint {
+            trigger,
+            rng: StdRng::seed_from_u64(seed),
+            events: 0,
+            fired: 0,
+        }
+    }
+
+    /// A point that never fires.
+    pub fn off() -> FaultPoint {
+        FaultPoint::new(Trigger::Never, 0)
+    }
+
+    /// Present one event: bump the counter and decide whether the fault
+    /// fires on it.
+    pub fn check(&mut self) -> bool {
+        self.events += 1;
+        let hit = match self.trigger {
+            Trigger::Never => false,
+            Trigger::Nth(n) => self.events == n,
+            Trigger::Window { start, len } => self.events >= start && self.events - start < len,
+            Trigger::Probability(p) => self.rng.random::<f64>() < p,
+        };
+        if hit {
+            self.fired += 1;
+        }
+        hit
+    }
+
+    /// Events presented so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events on which the fault fired.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+/// A seeded schedule of faults across all three seams.
+///
+/// Starts quiet; enable sites with the `with_*` builders. The plan is
+/// `Clone`, so one configured plan can drive several wrappers (each clone
+/// keeps independent counters but the identical schedule).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Device seam: MMIO accesses return all-ones / writes vanish
+    /// (surprise removal). Counted per MMIO access.
+    pub surprise_removal: FaultPoint,
+    /// Device seam: the TX DMA engine does nothing this tick (TDH stuck).
+    /// Counted per `tx_tick`.
+    pub tx_hang: FaultPoint,
+    /// Device seam: descriptors complete but the frame is dropped on the
+    /// wire side. Counted per `tx_tick`.
+    pub dma_drop: FaultPoint,
+    /// Device seam: STATUS reads report link down. Counted per STATUS
+    /// read.
+    pub link_flap: FaultPoint,
+    /// Device seam: a RAM (descriptor) read comes back with one bit
+    /// flipped. Counted per RAM read.
+    pub desc_corrupt: FaultPoint,
+    /// Kernel seam: `kmalloc` fails. Counted per allocation attempt.
+    pub kmalloc_fail: FaultPoint,
+    /// Kernel seam: a simulated-memory read is transiently corrupted.
+    /// Counted per read.
+    pub read_corrupt: FaultPoint,
+    /// Policy seam: `carat_guard` denies an access the policy would have
+    /// allowed. Counted per check.
+    pub spurious_deny: FaultPoint,
+    /// Policy seam: a check is delayed (costed at
+    /// [`crate::DELAY_CYCLES`]). Counted per check.
+    pub check_delay: FaultPoint,
+}
+
+/// Distinct per-point seed offsets so sites with probability triggers
+/// draw independent streams from the same plan seed.
+const POINT_SALTS: [u64; 9] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xbf58_476d_1ce4_e5b9,
+    0x94d0_49bb_1331_11eb,
+    0xd6e8_feb8_6659_fd93,
+    0xa5a5_a5a5_5a5a_5a5a,
+    0x0123_4567_89ab_cdef,
+    0xfedc_ba98_7654_3210,
+    0x0f0f_0f0f_f0f0_f0f0,
+    0x3c6e_f372_fe94_f82b,
+];
+
+impl FaultPlan {
+    /// A plan whose probability triggers will draw from streams derived
+    /// from `seed`; all sites start [`Trigger::Never`].
+    pub fn new(seed: u64) -> FaultPlan {
+        let mut salts = POINT_SALTS.iter();
+        let mut point = || FaultPoint::new(Trigger::Never, seed ^ salts.next().unwrap());
+        FaultPlan {
+            surprise_removal: point(),
+            tx_hang: point(),
+            dma_drop: point(),
+            link_flap: point(),
+            desc_corrupt: point(),
+            kmalloc_fail: point(),
+            read_corrupt: point(),
+            spurious_deny: point(),
+            check_delay: point(),
+        }
+    }
+
+    /// A plan with every site off (alias of `new(0)` for readability).
+    pub fn quiet() -> FaultPlan {
+        FaultPlan::new(0)
+    }
+
+    fn retrigger(point: &mut FaultPoint, trigger: Trigger) {
+        point.trigger = trigger;
+    }
+
+    /// Enable surprise removal with the given trigger.
+    pub fn with_surprise_removal(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.surprise_removal, t);
+        self
+    }
+
+    /// Enable TX hangs with the given trigger.
+    pub fn with_tx_hang(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.tx_hang, t);
+        self
+    }
+
+    /// Enable wire-side frame drops with the given trigger.
+    pub fn with_dma_drop(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.dma_drop, t);
+        self
+    }
+
+    /// Enable link flaps with the given trigger.
+    pub fn with_link_flap(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.link_flap, t);
+        self
+    }
+
+    /// Enable descriptor-read bit corruption with the given trigger.
+    pub fn with_desc_corrupt(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.desc_corrupt, t);
+        self
+    }
+
+    /// Enable kmalloc failures with the given trigger.
+    pub fn with_kmalloc_fail(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.kmalloc_fail, t);
+        self
+    }
+
+    /// Enable transient read corruption with the given trigger.
+    pub fn with_read_corrupt(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.read_corrupt, t);
+        self
+    }
+
+    /// Enable spurious guard denials with the given trigger.
+    pub fn with_spurious_deny(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.spurious_deny, t);
+        self
+    }
+
+    /// Enable guard-check delays with the given trigger.
+    pub fn with_check_delay(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.check_delay, t);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let mut p = FaultPoint::new(Trigger::Nth(3), 1);
+        let hits: Vec<bool> = (0..6).map(|_| p.check()).collect();
+        assert_eq!(hits, [false, false, true, false, false, false]);
+        assert_eq!(p.fired(), 1);
+        assert_eq!(p.events(), 6);
+    }
+
+    #[test]
+    fn window_covers_len_events() {
+        let mut p = FaultPoint::new(Trigger::Window { start: 2, len: 3 }, 1);
+        let hits: Vec<bool> = (0..6).map(|_| p.check()).collect();
+        assert_eq!(hits, [false, true, true, true, false, false]);
+        assert_eq!(p.fired(), 3);
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = FaultPoint::new(Trigger::Probability(0.3), seed);
+            (0..1000).map(|_| p.check()).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        let fired = run(42).iter().filter(|&&h| h).count();
+        // ~300 expected; loose bounds just catch a broken draw.
+        assert!((150..450).contains(&fired), "fired {fired} of 1000");
+    }
+
+    #[test]
+    fn never_and_off_never_fire() {
+        let mut p = FaultPoint::off();
+        assert!((0..100).all(|_| !p.check()));
+    }
+
+    #[test]
+    fn plan_clones_replay_identically() {
+        let plan = FaultPlan::new(7).with_dma_drop(Trigger::Probability(0.5));
+        let mut a = plan.clone();
+        let mut b = plan;
+        for _ in 0..200 {
+            assert_eq!(a.dma_drop.check(), b.dma_drop.check());
+        }
+    }
+
+    #[test]
+    fn plan_points_draw_independent_streams() {
+        let mut plan = FaultPlan::new(9)
+            .with_tx_hang(Trigger::Probability(0.5))
+            .with_dma_drop(Trigger::Probability(0.5));
+        let a: Vec<bool> = (0..64).map(|_| plan.tx_hang.check()).collect();
+        let b: Vec<bool> = (0..64).map(|_| plan.dma_drop.check()).collect();
+        assert_ne!(a, b, "sites must not share one RNG stream");
+    }
+}

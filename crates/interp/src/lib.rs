@@ -12,6 +12,11 @@
 //!   similar to a page fault", §2): a squashed load yields 0, a squashed
 //!   store is dropped.
 //! * `LogAndAllow` — audit mode; the access proceeds.
+//! * `Quarantine` — the access is squashed *and* the violation is charged
+//!   against the module's budget ([`kop_kernel::KernelConfig`]'s
+//!   `violation_budget`); when the budget is exhausted the kernel unloads
+//!   only the offending module and the call unwinds with
+//!   `KernelError::ModuleQuarantined` — the kernel itself keeps running.
 //!
 //! The interpreter also hosts the tiny kernel ABI modules may import:
 //! `printk(i64)`, `kmalloc(i64) -> ptr`, `kfree(ptr)`, `panic(i64)`.
@@ -484,6 +489,14 @@ impl<'k> Interp<'k> {
                         self.squash_next = true;
                         Ok(None)
                     }
+                    GuardOutcome::Quarantined(v) => {
+                        // Squash the access and charge the module; the
+                        // kernel unloads it when the budget runs out —
+                        // and stays alive either way.
+                        self.kernel.note_violation(&ctx.ir.name, v)?;
+                        self.squash_next = true;
+                        Ok(None)
+                    }
                     GuardOutcome::Panicked(e) => Err(self.kernel.do_panic(e)),
                 }
             }
@@ -495,6 +508,11 @@ impl<'k> Interp<'k> {
                     GuardOutcome::Allowed => Ok(None),
                     GuardOutcome::Denied(_) => {
                         // Squash the intrinsic itself.
+                        self.squash_intrinsic = true;
+                        Ok(None)
+                    }
+                    GuardOutcome::Quarantined(v) => {
+                        self.kernel.note_violation(&ctx.ir.name, v)?;
                         self.squash_intrinsic = true;
                         Ok(None)
                     }

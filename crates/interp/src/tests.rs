@@ -150,6 +150,57 @@ entry:
 }
 
 #[test]
+fn quarantine_mode_unloads_offender_and_kernel_survives() {
+    let src = r#"
+module "rogue"
+define void @poke(ptr %p) {
+entry:
+  store i64 1, ptr %p
+  ret void
+}
+"#;
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    policy.set_violation_action(ViolationAction::Quarantine);
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    let m = kop_ir::parse_module(src).unwrap();
+    let out = compile_module(m, &CompileOptions::carat_kop(), &key()).unwrap();
+    kernel.insmod(&out.signed).unwrap();
+
+    // Default budget 3: the first two forbidden pokes are squashed...
+    for _ in 0..2 {
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        interp.call("rogue", "poke", &[0x40_0000]).unwrap();
+        assert_eq!(interp.stats().squashed, 1);
+    }
+    assert_eq!(kernel.violation_count("rogue"), 2);
+    assert!(kernel.module("rogue").is_some());
+
+    // ...the third exhausts the budget: module quarantined mid-call.
+    let mut interp = Interp::new(&mut kernel).unwrap();
+    let err = interp.call("rogue", "poke", &[0x40_0000]).unwrap_err();
+    assert!(
+        matches!(err, KernelError::ModuleQuarantined { ref module, .. } if module == "rogue"),
+        "{err}"
+    );
+
+    // The kernel survives; the module is gone, symbols unlinked.
+    assert!(kernel.panicked().is_none());
+    assert!(kernel.check_alive().is_ok());
+    assert!(kernel.module("rogue").is_none());
+    assert!(kernel.is_quarantined("rogue"));
+    assert_eq!(kernel.quarantine_records().len(), 1);
+    assert!(kernel.dmesg().iter().any(|l| l.contains("Oops")));
+    // The store never landed.
+    assert_eq!(kernel.mem.read_uint(VAddr(0x40_0000), Size(8)).unwrap(), 0);
+    // Calls to the quarantined module now fail cleanly.
+    let mut interp = Interp::new(&mut kernel).unwrap();
+    assert!(matches!(
+        interp.call("rogue", "poke", &[0]).unwrap_err(),
+        KernelError::NoSuchModule(_)
+    ));
+}
+
+#[test]
 fn deny_mode_squashes_access() {
     let src = r#"
 module "squash"

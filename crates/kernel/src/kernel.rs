@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use kop_compiler::CompilerKey;
 use kop_core::layout::{DIRECT_MAP_BASE, MODULE_SPACE_BASE, PAGE_SIZE};
-use kop_core::{KernelError, KernelResult, VAddr};
+use kop_core::{KernelError, KernelResult, VAddr, Violation};
 use kop_policy::{PolicyCmd, PolicyModule};
 
 use crate::chardev::DevRegistry;
@@ -64,6 +64,12 @@ pub struct KernelConfig {
     /// Bytes reserved for the kernel heap (kmalloc arena in the direct
     /// map).
     pub heap_size: u64,
+    /// Guard violations tolerated per module before the kernel
+    /// quarantines (force-unloads) it. Only consulted when a policy runs
+    /// with `ViolationAction::Quarantine`; the paper's Panic action
+    /// ignores it. Must be ≥ 1 — the violation that reaches the budget is
+    /// the one that triggers the unload.
+    pub violation_budget: u32,
 }
 
 impl Default for KernelConfig {
@@ -73,8 +79,22 @@ impl Default for KernelConfig {
             require_strict_guards: false,
             verification: Verification::Signature,
             heap_size: 64 << 20,
+            violation_budget: 3,
         }
     }
+}
+
+/// One quarantined module: who, how many violations it burned, and the
+/// violation that tipped the budget. The kernel keeps these for post-mortem
+/// inspection (the analogue of an Oops record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Name of the unloaded module.
+    pub module: String,
+    /// Total guard violations charged to it (== the budget at unload).
+    pub violations: u32,
+    /// The final violation, the one that exhausted the budget.
+    pub last: Violation,
 }
 
 /// The path of the policy module's control device.
@@ -110,6 +130,10 @@ pub struct Kernel {
     pub(crate) files: Vec<crate::objects::FileHandle>,
     /// Registered IPC queues (§5 object protection).
     pub(crate) queues: Vec<crate::objects::QueueHandle>,
+    /// Guard violations charged per module (quarantine accounting).
+    violations: std::collections::BTreeMap<String, u32>,
+    /// Modules force-unloaded after exhausting their violation budget.
+    quarantined: Vec<QuarantineRecord>,
 }
 
 impl Kernel {
@@ -196,6 +220,8 @@ impl Kernel {
             module_policies: std::collections::BTreeMap::new(),
             files: Vec::new(),
             queues: Vec::new(),
+            violations: std::collections::BTreeMap::new(),
+            quarantined: Vec::new(),
         };
         kernel.printk("CARAT KOP simulated kernel booted");
         kernel.printk(&format!("policy store: {}", kernel.policy.store_kind()));
@@ -273,6 +299,71 @@ impl Kernel {
         self.panic.as_ref()
     }
 
+    /// Charge a guard violation against `module`'s quarantine budget.
+    ///
+    /// Under budget, the violation is logged and `Ok(())` returned — the
+    /// caller squashes the access and execution continues. When the
+    /// charge reaches [`KernelConfig::violation_budget`], the module is
+    /// quarantined: force-unloaded (the `rmmod` path: symbol unlink, text
+    /// unprotect, per-module policy revoke), a [`QuarantineRecord`]
+    /// appended, and `Err(KernelError::ModuleQuarantined)` returned. The
+    /// kernel does **not** panic — this is the oops-not-panic posture.
+    pub fn note_violation(&mut self, module: &str, v: Violation) -> KernelResult<()> {
+        let count = {
+            let c = self.violations.entry(module.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let budget = self.config.violation_budget.max(1);
+        self.printk(&format!(
+            "carat: guard violation by '{module}' ({count}/{budget}): {v}"
+        ));
+        if count < budget {
+            return Ok(());
+        }
+        Err(self.quarantine_module(module, v, count))
+    }
+
+    /// Force-unload `module` after `count` violations, record the
+    /// quarantine, and return the error the offending call unwinds with.
+    fn quarantine_module(&mut self, module: &str, v: Violation, count: u32) -> KernelError {
+        self.printk(&format!(
+            "Oops: quarantining module '{module}' after {count} guard violation(s)"
+        ));
+        if let Some(m) = self.take_module(module) {
+            self.mem.protect_readwrite(m.text_base, m.text_size);
+            self.symbols.remove_provider(module);
+        }
+        self.clear_module_policy(module);
+        self.quarantined.push(QuarantineRecord {
+            module: module.to_string(),
+            violations: count,
+            last: v,
+        });
+        self.printk(&format!(
+            "carat: module '{module}' unloaded; kernel continues"
+        ));
+        KernelError::ModuleQuarantined {
+            module: module.to_string(),
+            violation: v,
+        }
+    }
+
+    /// Quarantine records, oldest first.
+    pub fn quarantine_records(&self) -> &[QuarantineRecord] {
+        &self.quarantined
+    }
+
+    /// Whether `module` has been quarantined.
+    pub fn is_quarantined(&self, module: &str) -> bool {
+        self.quarantined.iter().any(|r| r.module == module)
+    }
+
+    /// Guard violations charged to `module` so far.
+    pub fn violation_count(&self, module: &str) -> u32 {
+        self.violations.get(module).copied().unwrap_or(0)
+    }
+
     /// Fail with `KernelError::Panic` if the kernel has already panicked —
     /// callers use this to model "the machine is down".
     pub fn check_alive(&self) -> KernelResult<()> {
@@ -287,6 +378,11 @@ impl Kernel {
     /// simulation never free enough to matter, and kfree is a no-op apart
     /// from logging.
     pub fn kmalloc(&mut self, size: u64) -> KernelResult<VAddr> {
+        if self.mem.hook_fail_kmalloc(size) {
+            return Err(KernelError::NoMemory(format!(
+                "kmalloc of {size} bytes failed (injected fault)"
+            )));
+        }
         let aligned = size.div_ceil(16) * 16;
         let addr = self.heap_cursor;
         let next = VAddr(
@@ -442,6 +538,31 @@ mod tests {
             kernel.kmalloc(2048).unwrap_err(),
             KernelError::NoMemory(_)
         ));
+    }
+
+    #[test]
+    fn quarantine_budget_unloads_without_panicking() {
+        use kop_core::error::ViolationKind;
+        let (mut kernel, _) = Kernel::boot_default();
+        let v = Violation::new(
+            VAddr(0x100),
+            Size(8),
+            AccessFlags::READ,
+            ViolationKind::NoMatchingRegion,
+        );
+        // Default budget is 3: two warnings, third strike unloads.
+        assert!(kernel.note_violation("rogue", v).is_ok());
+        assert!(kernel.note_violation("rogue", v).is_ok());
+        let err = kernel.note_violation("rogue", v).unwrap_err();
+        assert!(matches!(err, KernelError::ModuleQuarantined { .. }));
+        // The kernel survives — this is an oops, not a panic.
+        assert!(kernel.panicked().is_none());
+        assert!(kernel.check_alive().is_ok());
+        assert!(kernel.is_quarantined("rogue"));
+        assert_eq!(kernel.violation_count("rogue"), 3);
+        assert_eq!(kernel.quarantine_records().len(), 1);
+        assert_eq!(kernel.quarantine_records()[0].last, v);
+        assert!(kernel.dmesg().iter().any(|l| l.contains("Oops")));
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod mem;
 pub mod objects;
 pub mod symbols;
 
-pub use kernel::{Kernel, KernelConfig, Verification};
+pub use kernel::{Kernel, KernelConfig, QuarantineRecord, Verification};
 pub use loader::LoadedModule;
-pub use mem::{MmioDevice, SimMemory};
+pub use mem::{FaultHook, MmioDevice, SimMemory};
 pub use objects::{FileHandle, QueueHandle};
 pub use symbols::{Symbol, SymbolKind, SymbolTable, Visibility};

@@ -26,6 +26,36 @@ pub trait MmioDevice: Send {
     fn mmio_write(&mut self, offset: u64, size: u64, value: u64);
 }
 
+/// Deterministic fault-injection seam for kernel memory and the heap.
+///
+/// Installed with [`SimMemory::set_fault_hook`]; every method has a no-op
+/// default so implementors (notably `kop-faultline`) override only the
+/// faults they model. Implementations must be deterministic (seeded RNG
+/// only) so fault trials reproduce byte-identically.
+pub trait FaultHook: Send {
+    /// Consulted by `kmalloc` before carving an allocation; return `true`
+    /// to make this allocation fail (simulated page-allocation failure).
+    fn fail_kmalloc(&mut self, size: u64) -> bool {
+        let _ = size;
+        false
+    }
+
+    /// May corrupt the value of an integer load from simulated memory
+    /// (transient bit-flip). Return `value` unchanged for no fault.
+    fn corrupt_read(&mut self, addr: VAddr, size: Size, value: u64) -> u64 {
+        let _ = (addr, size);
+        value
+    }
+}
+
+/// Sparse simulated memory with page permissions and MMIO windows.
+#[derive(Default)]
+pub struct SimMemory {
+    pages: HashMap<u64, Page>,
+    mmio: Vec<MmioRange>,
+    fault_hook: Option<Box<dyn FaultHook>>,
+}
+
 struct MmioRange {
     base: VAddr,
     len: u64,
@@ -37,17 +67,28 @@ struct Page {
     writable: bool,
 }
 
-/// Sparse simulated memory with page permissions and MMIO windows.
-#[derive(Default)]
-pub struct SimMemory {
-    pages: HashMap<u64, Page>,
-    mmio: Vec<MmioRange>,
-}
-
 impl SimMemory {
     /// Empty memory.
     pub fn new() -> SimMemory {
         SimMemory::default()
+    }
+
+    /// Install a fault-injection hook consulted by integer reads and (via
+    /// the kernel) `kmalloc`. Replaces any previous hook.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Remove and return the installed fault hook, if any.
+    pub fn clear_fault_hook(&mut self) -> Option<Box<dyn FaultHook>> {
+        self.fault_hook.take()
+    }
+
+    /// Whether the installed hook (if any) fails a kmalloc of `size`.
+    pub(crate) fn hook_fail_kmalloc(&mut self, size: u64) -> bool {
+        self.fault_hook
+            .as_mut()
+            .is_some_and(|h| h.fail_kmalloc(size))
     }
 
     /// Register an MMIO window. Accesses inside `[base, base+len)` are
@@ -184,7 +225,11 @@ impl SimMemory {
         debug_assert!(matches!(n, 1 | 2 | 4 | 8), "bad access width {n}");
         let mut buf = [0u8; 8];
         self.read_bytes(addr, &mut buf[..n as usize])?;
-        Ok(u64::from_le_bytes(buf))
+        let value = u64::from_le_bytes(buf);
+        Ok(match self.fault_hook.as_mut() {
+            Some(h) => h.corrupt_read(addr, size, value),
+            None => value,
+        })
     }
 
     /// Write a little-endian unsigned integer of `size` (1/2/4/8) bytes.
@@ -302,6 +347,23 @@ mod tests {
         }));
         m.map_mmio(VAddr(0x1000), 0x1000, dev.clone());
         m.map_mmio(VAddr(0x1800), 0x1000, dev);
+    }
+
+    #[test]
+    fn fault_hook_corrupts_reads_until_cleared() {
+        struct FlipLowBit;
+        impl FaultHook for FlipLowBit {
+            fn corrupt_read(&mut self, _addr: VAddr, _size: Size, value: u64) -> u64 {
+                value ^ 1
+            }
+        }
+        let mut m = SimMemory::new();
+        let a = VAddr(0xffff_8880_0000_2000);
+        m.write_uint(a, Size(8), 42).unwrap();
+        m.set_fault_hook(Box::new(FlipLowBit));
+        assert_eq!(m.read_uint(a, Size(8)).unwrap(), 43);
+        assert!(m.clear_fault_hook().is_some());
+        assert_eq!(m.read_uint(a, Size(8)).unwrap(), 42);
     }
 
     #[test]

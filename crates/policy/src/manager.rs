@@ -144,6 +144,7 @@ impl PolicyCmd {
                     ViolationAction::Panic => 0,
                     ViolationAction::LogAndDeny => 1,
                     ViolationAction::LogAndAllow => 2,
+                    ViolationAction::Quarantine => 3,
                 });
             }
             PolicyCmd::Stats => out.push(OP_STATS),
@@ -185,6 +186,7 @@ impl PolicyCmd {
                     0 => ViolationAction::Panic,
                     1 => ViolationAction::LogAndDeny,
                     2 => ViolationAction::LogAndAllow,
+                    3 => ViolationAction::Quarantine,
                     other => return Err(PolicyCmdError(format!("bad violation action {other}"))),
                 })
             }
@@ -372,6 +374,7 @@ mod tests {
             PolicyCmd::SetViolation(ViolationAction::Panic),
             PolicyCmd::SetViolation(ViolationAction::LogAndDeny),
             PolicyCmd::SetViolation(ViolationAction::LogAndAllow),
+            PolicyCmd::SetViolation(ViolationAction::Quarantine),
             PolicyCmd::Stats,
             PolicyCmd::Reset,
             PolicyCmd::AllowIntrinsic(3),

@@ -34,7 +34,11 @@ pub enum DefaultAction {
 /// The paper (§3.1): forcibly unloading a running module is dangerous
 /// (locks held, state shared), so CARAT KOP "log[s] that they occur and
 /// cause[s] a kernel panic" — and argues a hard stop is the *right* call in
-/// production HPC. The other two actions exist for development.
+/// production HPC. The other actions exist for development and for the
+/// survive-the-violation mode: [`ViolationAction::Quarantine`] hands the
+/// violation to the kernel, which oopses and unloads *only* the offending
+/// module (symbol unlink, policy revoke, budget accounting) while the rest
+/// of the system keeps running — the posture MOAT and Rex argue for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ViolationAction {
     /// Log and panic the (simulated) kernel — the paper's behaviour.
@@ -43,6 +47,10 @@ pub enum ViolationAction {
     LogAndDeny,
     /// Log and let the access proceed (audit mode).
     LogAndAllow,
+    /// Log, squash, and report the violation for module quarantine: the
+    /// kernel charges it against the module's violation budget and
+    /// force-unloads the module when the budget is exhausted.
+    Quarantine,
 }
 
 /// Outcome of an enforced guard check.
@@ -52,6 +60,9 @@ pub enum GuardOutcome {
     Allowed,
     /// The access must be squashed; execution may continue.
     Denied(Violation),
+    /// The access must be squashed **and** the violation charged against
+    /// the offending module's quarantine budget by the caller.
+    Quarantined(Violation),
     /// The kernel has panicked (the paper's configuration).
     Panicked(KernelError),
 }
@@ -202,6 +213,7 @@ impl PolicyModule {
                 ViolationAction::Panic => GuardOutcome::Panicked(v.into()),
                 ViolationAction::LogAndDeny => GuardOutcome::Denied(v),
                 ViolationAction::LogAndAllow => GuardOutcome::Allowed,
+                ViolationAction::Quarantine => GuardOutcome::Quarantined(v),
             },
         }
     }
@@ -299,6 +311,7 @@ impl PolicyModule {
                 ViolationAction::Panic => GuardOutcome::Panicked(v.into()),
                 ViolationAction::LogAndDeny => GuardOutcome::Denied(v),
                 ViolationAction::LogAndAllow => GuardOutcome::Allowed,
+                ViolationAction::Quarantine => GuardOutcome::Quarantined(v),
             },
         }
     }
@@ -405,6 +418,13 @@ mod tests {
         ));
         pm.set_violation_action(ViolationAction::LogAndAllow);
         assert!(pm.enforce(addr, Size(8), AccessFlags::READ).is_allowed());
+        pm.set_violation_action(ViolationAction::Quarantine);
+        match pm.enforce(addr, Size(8), AccessFlags::READ) {
+            GuardOutcome::Quarantined(v) => {
+                assert_eq!(v.kind, ViolationKind::NoMatchingRegion)
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Survive the storm: the guarded e1000e driver under deterministic fault
+//! injection (`kop-faultline`), with the recovery machinery — TX watchdog,
+//! adapter reset, bounded retry — doing the surviving.
+//!
+//! Three runs of the same 512-frame TX workload:
+//!   1. fault-free (control),
+//!   2. a 5% storm against the baseline (unguarded) driver,
+//!   3. the same seeded storm against the CARAT-guarded driver.
+//!
+//! The point of the figure-level result is visible here too: the guard
+//! layer sits below the fault layer, sees the identical access sequence,
+//! and delivers exactly as many frames — guards do not impede recovery.
+//!
+//! Run with: `cargo run --release --example fault_storm`
+
+use std::sync::Arc;
+
+use carat_kop::e1000e::device::CountSink;
+use carat_kop::e1000e::{DirectMem, E1000Device, E1000Driver, GuardedMem, MemSpace};
+use carat_kop::faultline::{FaultPlan, FaultStats, FaultyMem, Trigger};
+use carat_kop::policy::PolicyModule;
+
+const FRAMES: u64 = 512;
+const DST: [u8; 6] = [0x52, 0x54, 0x00, 0xfa, 0x11, 0x7e];
+
+/// A 5% storm: transient DMA drops plus a sustained TX hang window —
+/// the fault shape the watchdog exists for.
+fn storm_plan(seed: u64, rate: f64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_dma_drop(Trigger::Probability(rate))
+        .with_tx_hang(Trigger::Window {
+            start: 64,
+            len: (rate * 640.0).round() as u64,
+        })
+}
+
+/// The workload: submit frames with bounded retry, run the watchdog
+/// periodically, then drain the ring.
+fn drive<M: MemSpace>(drv: &mut E1000Driver<M>) -> u64 {
+    let mut sink = CountSink::default();
+    for i in 0..FRAMES {
+        let payload: Vec<u8> = (0..114).map(|b| (i as usize * 7 + b) as u8).collect();
+        let _ = drv.xmit_with_retry(DST, 0x0800, &payload, &mut sink, 8);
+        if i % 8 == 0 {
+            let _ = drv.watchdog();
+        }
+    }
+    for _ in 0..1024 {
+        if drv.tx_pending() == 0 {
+            break;
+        }
+        drv.mem().tx_tick(&mut sink);
+        let _ = drv.clean_tx();
+        let _ = drv.watchdog();
+    }
+    sink.frames
+}
+
+fn report<M: MemSpace>(label: &str, drv: &E1000Driver<M>, faults: FaultStats, delivered: u64) {
+    let s = drv.stats();
+    println!("--- {label} ---");
+    println!(
+        "  delivered {delivered}/{FRAMES} frames ({:.1}%)",
+        100.0 * delivered as f64 / FRAMES as f64
+    );
+    println!(
+        "  injected: {} tx-ticks suppressed, {} DMA frames dropped, {} faults total",
+        faults.tx_ticks_suppressed,
+        faults.frames_dropped,
+        faults.total()
+    );
+    println!(
+        "  recovery: {} watchdog fires, {} resets, {} retries, {} descriptors dropped by reset",
+        s.watchdog_fires, s.resets, s.retries, s.tx_dropped
+    );
+}
+
+fn main() {
+    let seed = 0xfa17;
+    let rate = 0.05;
+
+    // 1. Control: the fault plan exists but never fires.
+    let mem = FaultyMem::new(
+        DirectMem::with_defaults(E1000Device::default()),
+        FaultPlan::quiet(),
+    );
+    let mut drv = E1000Driver::probe(mem).expect("probe");
+    drv.up().expect("up");
+    let delivered = drive(&mut drv);
+    report(
+        "fault-free control",
+        &drv,
+        drv.mem_ref().fault_stats(),
+        delivered,
+    );
+
+    // 2. Baseline driver in the storm.
+    let mem = FaultyMem::new(
+        DirectMem::with_defaults(E1000Device::default()),
+        storm_plan(seed, rate),
+    );
+    let mut drv = E1000Driver::probe(mem).expect("probe");
+    drv.up().expect("up");
+    let base_delivered = drive(&mut drv);
+    report(
+        "baseline, 5% storm",
+        &drv,
+        drv.mem_ref().fault_stats(),
+        base_delivered,
+    );
+
+    // 3. Guarded driver, same seed, same storm.
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    let mem = FaultyMem::new(
+        GuardedMem::new(DirectMem::with_defaults(E1000Device::default()), policy),
+        storm_plan(seed, rate),
+    );
+    let mut drv = E1000Driver::probe(mem).expect("probe (guarded)");
+    drv.up().expect("up (guarded)");
+    let carat_delivered = drive(&mut drv);
+    report(
+        "CARAT-guarded, 5% storm",
+        &drv,
+        drv.mem_ref().fault_stats(),
+        carat_delivered,
+    );
+
+    println!();
+    if carat_delivered == base_delivered {
+        println!(
+            "guards did not impede recovery: baseline and guarded runs both \
+             delivered {carat_delivered}/{FRAMES} frames under the same seeded storm"
+        );
+    } else {
+        println!(
+            "delivered under storm: baseline {base_delivered}, guarded {carat_delivered} \
+             (expected equal — investigate!)"
+        );
+    }
+}

@@ -24,6 +24,7 @@ pub use kop_analysis as analysis;
 pub use kop_compiler as compiler;
 pub use kop_core as core;
 pub use kop_e1000e as e1000e;
+pub use kop_faultline as faultline;
 pub use kop_interp as interp;
 pub use kop_ir as ir;
 pub use kop_kernel as kernel;

@@ -166,8 +166,81 @@ fn ablation_opt_reduces_dynamic_guards() {
 }
 
 #[test]
+fn resilience_degrades_smoothly_and_guards_do_not_impede_recovery() {
+    let figs = figures::resilience();
+    let fig = &figs[0];
+    assert_eq!(fig.id, "resilience");
+
+    // No faults, no loss.
+    assert_eq!(fig.headline("base_delivered_frac_r0").unwrap(), 1.0);
+    assert_eq!(fig.headline("carat_delivered_frac_r0").unwrap(), 1.0);
+
+    let carat = fig.series("carat").unwrap();
+    let base = fig.series("baseline").unwrap();
+    // Guards do not impede recovery: the fault layer stacks above the
+    // guard layer, so the two builds must degrade *identically* — a far
+    // stronger property than the ±1% acceptance bound.
+    assert_eq!(carat.points, base.points);
+    // Delivered fraction degrades smoothly (non-increasing) with rate,
+    // and even the worst storm keeps the majority of frames flowing.
+    for w in carat.points.windows(2) {
+        assert!(w[0].0 < w[1].0, "rates strictly increasing");
+        assert!(
+            w[1].1 <= w[0].1 + 1e-12,
+            "delivery must not improve with more faults: {:?}",
+            carat.points
+        );
+    }
+    let worst = carat.points.last().unwrap().1;
+    assert!(
+        worst > 0.5 && worst < 1.0,
+        "worst-case delivery degraded but survivable: {worst}"
+    );
+
+    // The sustained hang window at the top rates engages the watchdog,
+    // and every fire leads to a reset.
+    let fires = fig.headline("carat_watchdog_fires_r100").unwrap();
+    let resets = fig.headline("carat_resets_r100").unwrap();
+    assert!(fires >= 1.0, "watchdog must fire at the max rate");
+    assert_eq!(fires, resets, "each confirmed hang ends in one reset");
+
+    // Recovery latency is watchdog-bounded: transient stalls clear in a
+    // couple of ticks, the sustained hang within the injected window.
+    let p95 = fig.headline("carat_recovery_p95_ticks").unwrap();
+    let max = fig.headline("carat_recovery_max_ticks").unwrap();
+    assert!(p95 <= 4.0, "transient stalls clear quickly: p95={p95}");
+    assert!(max <= 128.0, "watchdog bounds the worst stall: max={max}");
+    assert!(max >= p95);
+
+    // The stall-length CDF is a proper monotone CDF ending at 1.
+    let latency = &figs[1];
+    assert_eq!(latency.id, "resilience-latency");
+    for s in &latency.series {
+        assert!(!s.points.is_empty());
+        assert!((s.points.last().unwrap().1 - 1.0).abs() < 1e-9);
+        for w in s.points.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1, "CDF monotone");
+        }
+    }
+}
+
+#[test]
+fn resilience_output_is_deterministic() {
+    let a = figures::resilience();
+    let b = figures::resilience();
+    assert_eq!(a.len(), b.len());
+    for (fa, fb) in a.iter().zip(&b) {
+        assert_eq!(fa.render_csv(), fb.render_csv(), "{}", fa.id);
+        assert_eq!(fa.render_text(), fb.render_text(), "{}", fa.id);
+    }
+}
+
+#[test]
 fn renders_are_nonempty_and_csv_parses() {
-    for fig in [figures::fig6(), figures::claims()] {
+    for fig in [figures::fig6(), figures::claims()]
+        .into_iter()
+        .chain(figures::resilience())
+    {
         let text = fig.render_text();
         assert!(text.contains(&fig.id.to_uppercase()));
         let csv = fig.render_csv();

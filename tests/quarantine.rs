@@ -1,0 +1,193 @@
+//! End-to-end: survive the violation.
+//!
+//! A rootkit-style module (the credscan scanner from
+//! `examples/malicious_module.rs`) runs under `ViolationAction::Quarantine`
+//! while a guarded e1000e TX workload shares the same policy module. The
+//! rootkit must be killed and unloaded mid-run — kernel alive, violation
+//! budget recorded — and the driver workload must deliver frames
+//! byte-identical to a run where the rootkit never existed.
+
+use std::sync::Arc;
+
+use carat_kop::compiler::{compile_module, CompileOptions, CompilerKey};
+use carat_kop::core::{KernelError, Size, VAddr};
+use carat_kop::e1000e::device::VecSink;
+use carat_kop::e1000e::{DirectMem, E1000Device, E1000Driver, GuardedMem};
+use carat_kop::interp::Interp;
+use carat_kop::ir::parse_module;
+use carat_kop::kernel::{Kernel, KernelConfig};
+use carat_kop::policy::{PolicyModule, ViolationAction};
+
+const CREDSCAN_SRC: &str = r#"
+module "credscan"
+global @found : i64 = 0
+define i64 @scan(i64 %start, i64 %len) {
+entry:
+  br %head
+head:
+  %off = phi i64 [ 0, %entry ], [ %off.next, %next ]
+  %c = icmp ult i64 %off, %len
+  condbr i1 %c, %body, %done
+body:
+  %addr = add i64 %start, %off
+  %p = inttoptr i64 %addr to ptr
+  %word = load i64, ptr %p
+  %hit = icmp eq i64 %word, 0x6472777373617020
+  condbr i1 %hit, %record, %next
+record:
+  store i64 %addr, ptr @found
+  br %next
+next:
+  %off.next = add i64 %off, 8
+  br %head
+done:
+  %r = load i64, ptr @found
+  ret i64 %r
+}
+"#;
+
+const SECRET_ADDR: u64 = 0x0060_0000;
+const SECRET_WORD: u64 = 0x6472_7773_7361_7020;
+const ROUNDS: usize = 6;
+const FRAMES_PER_ROUND: usize = 10;
+const DST: [u8; 6] = [0x52, 0x54, 0x00, 0x12, 0x34, 0x56];
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "carat-kop-dev")
+}
+
+fn guarded_driver(policy: Arc<PolicyModule>) -> E1000Driver<GuardedMem<Arc<PolicyModule>>> {
+    let mem = GuardedMem::new(DirectMem::with_defaults(E1000Device::default()), policy);
+    let mut drv = E1000Driver::probe(mem).expect("probe");
+    drv.up().expect("up");
+    drv
+}
+
+/// One round of guarded TX work: deterministic payloads, synchronous DMA.
+fn tx_round(
+    drv: &mut E1000Driver<GuardedMem<Arc<PolicyModule>>>,
+    sink: &mut VecSink,
+    round: usize,
+) {
+    for i in 0..FRAMES_PER_ROUND {
+        let payload: Vec<u8> = (0..114).map(|b| (round * 31 + i * 7 + b) as u8).collect();
+        drv.xmit_and_flush(DST, 0x0800, &payload, sink)
+            .expect("guarded TX must keep working");
+    }
+}
+
+/// The same TX workload with no rootkit anywhere near the system.
+fn fault_free_frames() -> Vec<Vec<u8>> {
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    let mut drv = guarded_driver(policy);
+    let mut sink = VecSink::default();
+    for round in 0..ROUNDS {
+        tx_round(&mut drv, &mut sink, round);
+    }
+    sink.frames
+}
+
+#[test]
+fn rootkit_is_quarantined_while_driver_keeps_delivering() {
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    policy.set_violation_action(ViolationAction::Quarantine);
+
+    let mut kernel = Kernel::boot(policy.clone(), vec![key()], KernelConfig::default());
+    kernel
+        .mem
+        .write_uint(VAddr(SECRET_ADDR), Size(8), SECRET_WORD)
+        .expect("plant secret");
+
+    let module = parse_module(CREDSCAN_SRC).expect("parse");
+    let out = compile_module(module, &CompileOptions::carat_kop(), &key()).expect("compile");
+    kernel.insmod(&out.signed).expect("insmod");
+    assert!(kernel.module("credscan").is_some());
+
+    // The driver shares the kernel's policy module but runs its own NIC —
+    // the concurrent workload the quarantine must not disturb.
+    let mut drv = guarded_driver(policy.clone());
+    let mut sink = VecSink::default();
+
+    let mut quarantined_at_round = None;
+    {
+        let mut interp = Interp::new(&mut kernel).expect("interp");
+        for round in 0..ROUNDS {
+            tx_round(&mut drv, &mut sink, round);
+            // Rounds 1..=3: one forbidden 8-byte probe per round. The
+            // default violation budget is 3: two squashed probes, then the
+            // third quarantines the module mid-run.
+            if (1..=3).contains(&round) {
+                match interp.call("credscan", "scan", &[SECRET_ADDR, 8]) {
+                    Ok(Some(found)) => {
+                        assert_eq!(found, 0, "squashed probe must never see the secret");
+                        assert!(quarantined_at_round.is_none());
+                    }
+                    Err(KernelError::ModuleQuarantined { module, violation }) => {
+                        assert_eq!(module, "credscan");
+                        assert_eq!(violation.addr, VAddr(SECRET_ADDR));
+                        quarantined_at_round = Some(round);
+                    }
+                    other => panic!("unexpected scan outcome: {other:?}"),
+                }
+            } else if quarantined_at_round.is_some() {
+                // The module is gone: further calls fail cleanly, the
+                // kernel does not.
+                match interp.call("credscan", "scan", &[SECRET_ADDR, 8]) {
+                    Err(KernelError::NoSuchModule(m)) => assert_eq!(m, "credscan"),
+                    other => panic!("expected NoSuchModule after quarantine, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    // The violation budget (3) was exhausted on the third probing round.
+    assert_eq!(quarantined_at_round, Some(3));
+
+    // Kernel alive; only the offender died.
+    assert!(kernel.panicked().is_none(), "kernel must not panic");
+    kernel.check_alive().expect("kernel keeps running");
+    assert!(kernel.module("credscan").is_none(), "module unloaded");
+    assert!(kernel.symbols.get("scan").is_none(), "no symbols remain");
+    assert!(kernel.is_quarantined("credscan"));
+    let rec = &kernel.quarantine_records()[0];
+    assert_eq!(rec.module, "credscan");
+    assert_eq!(rec.violations, 3, "budget recorded");
+    assert_eq!(kernel.violation_count("credscan"), 3);
+    assert!(
+        kernel.dmesg().iter().any(|l| l.contains("Oops")),
+        "quarantine leaves an oops in dmesg"
+    );
+
+    // The concurrent workload was untouched: every frame delivered,
+    // byte-identical to the fault-free run.
+    let clean = fault_free_frames();
+    assert_eq!(sink.frames.len(), ROUNDS * FRAMES_PER_ROUND);
+    assert_eq!(
+        sink.frames, clean,
+        "delivered frames must match the fault-free run byte for byte"
+    );
+    assert_eq!(drv.stats().resets, 0, "driver never needed recovery");
+}
+
+#[test]
+fn quarantine_does_not_fire_under_budget() {
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    policy.set_violation_action(ViolationAction::Quarantine);
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+
+    let module = parse_module(CREDSCAN_SRC).expect("parse");
+    let out = compile_module(module, &CompileOptions::carat_kop(), &key()).expect("compile");
+    kernel.insmod(&out.signed).expect("insmod");
+
+    let mut interp = Interp::new(&mut kernel).expect("interp");
+    for _ in 0..2 {
+        let r = interp
+            .call("credscan", "scan", &[SECRET_ADDR, 8])
+            .expect("under budget: call survives")
+            .expect("returns");
+        assert_eq!(r, 0);
+    }
+    assert_eq!(kernel.violation_count("credscan"), 2);
+    assert!(!kernel.is_quarantined("credscan"));
+    assert!(kernel.module("credscan").is_some());
+}
