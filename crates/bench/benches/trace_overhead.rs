@@ -1,0 +1,62 @@
+//! Microbenchmark of what kop-trace adds to a guard check:
+//!
+//! * `guard_untraced` — the raw `GuardedMem` guard path, no tracer;
+//! * `guard_tracing_off` — tracer wired in but disabled (shipping
+//!   config: one relaxed atomic load);
+//! * `guard_tracing_on` — full ring events + per-site histograms;
+//! * `record_disabled` / `record_enabled` — the raw `Tracer::record`
+//!   call in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use kop_e1000e::{DirectMem, E1000Device, GuardedMem, MemSpace};
+use kop_trace::{Producer, TraceEvent, Tracer};
+
+fn guarded(tracer: Option<Arc<Tracer>>) -> GuardedMem<Arc<kop_policy::PolicyModule>> {
+    let pm = Arc::new(kop_policy::PolicyModule::two_region_paper_policy());
+    let inner = DirectMem::with_defaults(E1000Device::default());
+    match tracer {
+        Some(t) => GuardedMem::with_tracer(inner, pm, t),
+        None => GuardedMem::new(inner, pm),
+    }
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(30);
+
+    let mut untraced = guarded(None);
+    let base = untraced.arena_base();
+    group.bench_function("guard_untraced", |b| {
+        b.iter(|| black_box(untraced.write(black_box(base + 0x100), 8, 1)))
+    });
+
+    let off = Tracer::new(); // disabled by default
+    let mut traced_off = guarded(Some(Arc::clone(&off)));
+    group.bench_function("guard_tracing_off", |b| {
+        b.iter(|| black_box(traced_off.write(black_box(base + 0x100), 8, 1)))
+    });
+
+    let on = Tracer::new();
+    on.set_enabled(true);
+    let mut traced_on = guarded(Some(Arc::clone(&on)));
+    group.bench_function("guard_tracing_on", |b| {
+        b.iter(|| black_box(traced_on.write(black_box(base + 0x100), 8, 1)))
+    });
+
+    let t = Tracer::new();
+    group.bench_function("record_disabled", |b| {
+        b.iter(|| t.record(Producer::Bench, TraceEvent::Reset))
+    });
+    t.set_enabled(true);
+    group.bench_function("record_enabled", |b| {
+        b.iter(|| t.record(Producer::Bench, TraceEvent::Reset))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -105,6 +105,17 @@ pub struct Attestation {
     pub guards_covered: bool,
     /// Static count of guard call sites.
     pub guard_count: u64,
+    /// Number of stable guard-site IDs assigned by the deterministic
+    /// site walk ([`kop_trace::assign_guard_sites`]) — memory *and*
+    /// intrinsic guards, so ≥ [`guard_count`].
+    ///
+    /// [`guard_count`]: Attestation::guard_count
+    pub guard_sites: u64,
+    /// SHA-256 (hex) of the canonical site text
+    /// ([`kop_trace::canonical_site_text`]). The loader recomputes this
+    /// at insmod and refuses modules whose site map diverges from what
+    /// the compiler signed, so per-site profiles can't be misattributed.
+    pub site_digest: String,
     /// Static count of loads + stores.
     pub mem_access_count: u64,
     /// Static count of privileged-intrinsic call sites (0 unless the
@@ -146,6 +157,8 @@ impl Attestation {
         if privileged_calls > 0 && !crate::intrinsics::validate_intrinsic_wraps(module) {
             return Err(AttestError::UnwrappedIntrinsic);
         }
+        let sites = kop_trace::assign_guard_sites(module);
+        let site_text = kop_trace::canonical_site_text(&module.name, &sites);
         Ok(Attestation {
             module_name: module.name.clone(),
             no_inline_asm: true,
@@ -153,6 +166,8 @@ impl Attestation {
             guards_strict: strict_guard_layout(module),
             guards_covered: check_guards(module).is_clean(),
             guard_count: module.call_count(GUARD_SYMBOL) as u64,
+            guard_sites: sites.len() as u64,
+            site_digest: crate::sha256::hex(&crate::sha256::sha256(site_text.as_bytes())),
             mem_access_count: module.memory_access_count() as u64,
             privileged_calls,
             privileged_wrapped: privileged_calls > 0,
@@ -163,13 +178,15 @@ impl Attestation {
     /// Canonical byte encoding, bound into the module signature.
     pub fn to_bytes(&self) -> Vec<u8> {
         format!(
-            "attestation-v3\nmodule={}\nno_asm={}\nno_priv={}\nstrict={}\ncovered={}\nguards={}\naccesses={}\npriv_calls={}\npriv_wrapped={}\ncompiler={}\n",
+            "attestation-v4\nmodule={}\nno_asm={}\nno_priv={}\nstrict={}\ncovered={}\nguards={}\nsites={}\nsite_digest={}\naccesses={}\npriv_calls={}\npriv_wrapped={}\ncompiler={}\n",
             self.module_name,
             self.no_inline_asm,
             self.no_privileged_calls,
             self.guards_strict,
             self.guards_covered,
             self.guard_count,
+            self.guard_sites,
+            self.site_digest,
             self.mem_access_count,
             self.privileged_calls,
             self.privileged_wrapped,
@@ -232,6 +249,38 @@ entry:
         assert_eq!(a.guard_count, 1);
         assert_eq!(a.mem_access_count, 1);
         assert_eq!(a.compiler_id, Attestation::COMPILER_ID);
+    }
+
+    #[test]
+    fn attestation_records_guard_sites_and_digest() {
+        // The site walk and the guard pass must agree on the symbol.
+        assert_eq!(kop_trace::sites::GUARD_SYMBOL, crate::guard::GUARD_SYMBOL);
+        assert_eq!(
+            kop_trace::sites::INTRINSIC_GUARD_SYMBOL,
+            crate::intrinsics::INTRINSIC_GUARD_SYMBOL
+        );
+        let src = r#"
+module "sited"
+define i64 @f(ptr %p) {
+entry:
+  %v = load i64, ptr %p
+  store i64 %v, ptr %p
+  ret i64 %v
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        GuardInjectionPass.run(&mut m);
+        let a = Attestation::check(&m).expect("attests");
+        assert_eq!(a.guard_sites, a.guard_count, "no intrinsic guards here");
+        assert_eq!(a.site_digest.len(), 64, "hex sha256");
+        // The digest is position-sensitive: a module with the same guard
+        // count in a differently-named function digests differently.
+        let src2 = src.replace("@f", "@g");
+        let mut m2 = parse_module(&src2).unwrap();
+        GuardInjectionPass.run(&mut m2);
+        let a2 = Attestation::check(&m2).expect("attests");
+        assert_eq!(a2.guard_sites, a.guard_sites);
+        assert_ne!(a2.site_digest, a.site_digest);
     }
 
     #[test]

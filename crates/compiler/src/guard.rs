@@ -104,7 +104,7 @@ fn inject_guards_in_function(f: &mut Function) -> u64 {
 /// Check guard coverage with the dataflow verifier and return structured
 /// diagnostics.
 ///
-/// This replaces the old boolean [`validate_guards`] scan: instead of a
+/// This replaces the old boolean `validate_guards` scan (removed): instead of a
 /// strict same-block layout check, the [`kop_analysis`] verifier *proves*
 /// that every load/store is dominated on all paths by a covering guard —
 /// so modules whose guards were hoisted or deduplicated by the optional
@@ -114,20 +114,6 @@ fn inject_guards_in_function(f: &mut Function) -> u64 {
 /// naming the exact function, block, and instruction.
 pub fn check_guards(module: &Module) -> kop_analysis::AnalysisReport {
     kop_analysis::verify_guard_coverage(module)
-}
-
-/// Boolean guard check.
-///
-/// Deprecated: this now delegates to the dataflow verifier
-/// ([`check_guards`]) and returns its verdict, discarding the
-/// diagnostics. Call [`check_guards`] (or
-/// [`kop_analysis::verify_guard_coverage`] directly) to keep them.
-#[deprecated(
-    since = "0.1.0",
-    note = "use check_guards() for structured diagnostics; this returns only its verdict"
-)]
-pub fn validate_guards(module: &Module) -> bool {
-    check_guards(module).is_clean()
 }
 
 /// The strict layout check the attestation records: every load/store is

@@ -34,9 +34,6 @@ pub mod signing;
 
 pub use attest::{AttestError, Attestation};
 pub use driver::{compile_module, CompileError, CompileOptions, CompileOutput};
-#[allow(deprecated)]
-#[deprecated(since = "0.1.0", note = "use `check_guards` and inspect the report")]
-pub use guard::validate_guards;
 pub use guard::{check_guards, GuardInjectionPass, GUARD_SYMBOL};
 pub use intrinsics::{
     intrinsic_id, intrinsic_name, validate_intrinsic_wraps, IntrinsicWrapPass,

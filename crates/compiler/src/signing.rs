@@ -161,6 +161,23 @@ impl SignedModule {
                 "attested guard coverage but the verifier disproves it".into(),
             ));
         }
+        let sites = kop_trace::assign_guard_sites(&module);
+        if sites.len() as u64 != self.attestation.guard_sites {
+            return Err(SigningError::AttestationMismatch(format!(
+                "guard site count {} vs attested {}",
+                sites.len(),
+                self.attestation.guard_sites
+            )));
+        }
+        let site_digest = hex(&sha256(
+            kop_trace::canonical_site_text(&module.name, &sites).as_bytes(),
+        ));
+        if site_digest != self.attestation.site_digest {
+            return Err(SigningError::AttestationMismatch(format!(
+                "guard site digest {site_digest} vs attested {}",
+                self.attestation.site_digest
+            )));
+        }
         Ok(module)
     }
 
@@ -192,6 +209,8 @@ impl SignedModule {
         out.extend_from_slice(&a.guard_count.to_le_bytes());
         out.extend_from_slice(&a.mem_access_count.to_le_bytes());
         out.extend_from_slice(&a.privileged_calls.to_le_bytes());
+        out.extend_from_slice(&a.guard_sites.to_le_bytes());
+        put_str(&mut out, &a.site_digest);
         put_str(&mut out, &a.compiler_id);
         put_str(&mut out, &self.ir_text);
         out
@@ -244,6 +263,8 @@ impl SignedModule {
         let guard_count = get_u64(data, &mut off)?;
         let mem_access_count = get_u64(data, &mut off)?;
         let privileged_calls = get_u64(data, &mut off)?;
+        let guard_sites = get_u64(data, &mut off)?;
+        let site_digest = get_str(data, &mut off)?.to_string();
         let compiler_id = get_str(data, &mut off)?.to_string();
         let ir_text = get_str(data, &mut off)?.to_string();
         if off != data.len() {
@@ -258,6 +279,8 @@ impl SignedModule {
                 guards_strict: flags & 4 != 0,
                 guards_covered: flags & 16 != 0,
                 guard_count,
+                guard_sites,
+                site_digest,
                 mem_access_count,
                 privileged_calls,
                 privileged_wrapped: flags & 8 != 0,
@@ -270,7 +293,7 @@ impl SignedModule {
 }
 
 /// On-disk container magic: "KOPMOD" + format version.
-const MAGIC: &[u8; 8] = b"KOPMOD ";
+const MAGIC: &[u8; 8] = b"KOPMOD ";
 
 #[cfg(test)]
 mod tests {

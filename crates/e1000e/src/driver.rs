@@ -11,6 +11,7 @@
 
 use kop_core::Violation;
 use kop_sim::PacketWork;
+use kop_trace::{Counter, CounterRegistry, Producer, TraceEvent};
 
 use crate::desc::{txcmd, txsts, DESC_SIZE};
 use crate::device::FrameSink;
@@ -87,12 +88,80 @@ pub struct DriverStats {
     pub tx_dropped: u64,
 }
 
-// Arena layout (offsets from arena base).
-const TX_RING_OFF: u64 = 0x1000;
-const RX_RING_OFF: u64 = 0x3000;
-const STATS_OFF: u64 = 0x5000;
-const TX_BUFS_OFF: u64 = 0x10_000;
-const RX_BUFS_OFF: u64 = 0x90_000;
+/// The driver's live counter cells. [`DriverStats`] is the *snapshot*
+/// type callers read; these are the [`kop_trace::Counter`]s behind it,
+/// so a figure (or `/dev/trace counters`) can watch the same cells the
+/// driver increments instead of polling ad-hoc struct copies.
+#[derive(Debug)]
+struct DriverCounters {
+    tx_packets: Counter,
+    tx_bytes: Counter,
+    rx_packets: Counter,
+    rx_bytes: Counter,
+    ring_full_events: Counter,
+    cleaned: Counter,
+    watchdog_fires: Counter,
+    resets: Counter,
+    retries: Counter,
+    tx_dropped: Counter,
+}
+
+impl Default for DriverCounters {
+    fn default() -> DriverCounters {
+        DriverCounters {
+            tx_packets: Counter::new("e1000e.tx_packets"),
+            tx_bytes: Counter::new("e1000e.tx_bytes"),
+            rx_packets: Counter::new("e1000e.rx_packets"),
+            rx_bytes: Counter::new("e1000e.rx_bytes"),
+            ring_full_events: Counter::new("e1000e.ring_full_events"),
+            cleaned: Counter::new("e1000e.cleaned"),
+            watchdog_fires: Counter::new("e1000e.watchdog_fires"),
+            resets: Counter::new("e1000e.resets"),
+            retries: Counter::new("e1000e.retries"),
+            tx_dropped: Counter::new("e1000e.tx_dropped"),
+        }
+    }
+}
+
+impl DriverCounters {
+    fn all(&self) -> [&Counter; 10] {
+        [
+            &self.tx_packets,
+            &self.tx_bytes,
+            &self.rx_packets,
+            &self.rx_bytes,
+            &self.ring_full_events,
+            &self.cleaned,
+            &self.watchdog_fires,
+            &self.resets,
+            &self.retries,
+            &self.tx_dropped,
+        ]
+    }
+
+    fn snapshot(&self) -> DriverStats {
+        DriverStats {
+            tx_packets: self.tx_packets.get(),
+            tx_bytes: self.tx_bytes.get(),
+            rx_packets: self.rx_packets.get(),
+            rx_bytes: self.rx_bytes.get(),
+            ring_full_events: self.ring_full_events.get(),
+            cleaned: self.cleaned.get(),
+            watchdog_fires: self.watchdog_fires.get(),
+            resets: self.resets.get(),
+            retries: self.retries.get(),
+            tx_dropped: self.tx_dropped.get(),
+        }
+    }
+}
+
+// Arena layout (offsets from arena base). pub(crate) so the memory
+// space can classify guarded addresses into trace sites.
+pub(crate) const TX_RING_OFF: u64 = 0x1000;
+pub(crate) const RX_RING_OFF: u64 = 0x3000;
+pub(crate) const STATS_OFF: u64 = 0x5000;
+pub(crate) const TX_BUFS_OFF: u64 = 0x10_000;
+pub(crate) const RX_BUFS_OFF: u64 = 0x90_000;
 
 /// TX ring entries (a typical e1000e default).
 pub const TX_ENTRIES: u64 = 256;
@@ -116,7 +185,7 @@ pub struct E1000Driver<M: MemSpace> {
     next_to_use: u64,
     next_to_clean: u64,
     rx_next: u64,
-    stats: DriverStats,
+    stats: DriverCounters,
     up: bool,
     /// TDH observed by the previous watchdog pass (hang detection).
     wd_tdh: u64,
@@ -164,7 +233,7 @@ impl<M: MemSpace> E1000Driver<M> {
             next_to_use: 0,
             next_to_clean: 0,
             rx_next: 0,
-            stats: DriverStats::default(),
+            stats: DriverCounters::default(),
             up: false,
             wd_tdh: 0,
             wd_armed: false,
@@ -231,9 +300,26 @@ impl<M: MemSpace> E1000Driver<M> {
         self.up
     }
 
-    /// Driver statistics.
+    /// Driver statistics (a point-in-time snapshot of the live counter
+    /// cells).
     pub fn stats(&self) -> DriverStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Register the driver's live counter cells into `registry` (e.g. a
+    /// tracer's registry, so `/dev/trace counters` and figures read the
+    /// same cells the driver increments).
+    pub fn register_counters(&self, registry: &CounterRegistry) {
+        for c in self.stats.all() {
+            registry.register(c);
+        }
+    }
+
+    /// Emit a driver trace event if the memory space carries a tracer.
+    fn trace_event(&self, ev: TraceEvent) {
+        if let Some(t) = self.mem.tracer() {
+            t.record(Producer::Driver, ev);
+        }
     }
 
     /// Access the memory space (harness: ticking the device, counts).
@@ -278,7 +364,7 @@ impl<M: MemSpace> E1000Driver<M> {
             self.next_to_clean = (self.next_to_clean + 1) % TX_ENTRIES;
             cleaned += 1;
         }
-        self.stats.cleaned += cleaned;
+        self.stats.cleaned.add(cleaned);
         Ok(cleaned)
     }
 
@@ -308,7 +394,7 @@ impl<M: MemSpace> E1000Driver<M> {
         // Reclaim finished slots first.
         self.clean_tx()?;
         if self.ring_full() {
-            self.stats.ring_full_events += 1;
+            self.stats.ring_full_events.inc();
             return Err(DriverError::RingFull);
         }
 
@@ -351,8 +437,11 @@ impl<M: MemSpace> E1000Driver<M> {
         self.next_to_use = (slot + 1) % TX_ENTRIES;
         self.mem.write(self.bar + regs::TDT, 4, self.next_to_use)?;
 
-        self.stats.tx_packets += 1;
-        self.stats.tx_bytes += frame_len as u64;
+        self.stats.tx_packets.inc();
+        self.stats.tx_bytes.add(frame_len as u64);
+        self.trace_event(TraceEvent::Xmit {
+            bytes: frame_len as u64,
+        });
         Ok(())
     }
 
@@ -375,8 +464,9 @@ impl<M: MemSpace> E1000Driver<M> {
         let pending = self.tx_pending() > 0;
         let tdh = self.mem.read(self.bar + regs::TDH, 4)?;
         let hung = pending && self.wd_armed && tdh == self.wd_tdh;
+        self.trace_event(TraceEvent::Watchdog { fired: hung });
         if hung {
-            self.stats.watchdog_fires += 1;
+            self.stats.watchdog_fires.inc();
             self.wd_armed = false;
             self.reset()?;
             return Ok(true);
@@ -391,8 +481,9 @@ impl<M: MemSpace> E1000Driver<M> {
     /// both rings. Driver statistics survive; frames still in flight in
     /// the TX ring are dropped (counted in `tx_dropped`).
     pub fn reset(&mut self) -> Result<(), DriverError> {
-        self.stats.resets += 1;
-        self.stats.tx_dropped += self.tx_pending();
+        self.stats.resets.inc();
+        self.stats.tx_dropped.add(self.tx_pending());
+        self.trace_event(TraceEvent::Reset);
         self.mem.write(self.bar + regs::CTRL, 4, ctrl::RST)?;
         self.mem.write(self.bar + regs::CTRL, 4, ctrl::SLU)?;
         let st = self.mem.read(self.bar + regs::STATUS, 4)?;
@@ -434,7 +525,7 @@ impl<M: MemSpace> E1000Driver<M> {
                 Err(e @ (DriverError::RingFull | DriverError::Hw(_)))
                     if attempt + 1 < max_attempts =>
                 {
-                    self.stats.retries += 1;
+                    self.stats.retries.inc();
                     // A down interface only comes back through a reset.
                     if matches!(e, DriverError::Hw(_)) && !self.up {
                         self.reset()?;
@@ -486,8 +577,8 @@ impl<M: MemSpace> E1000Driver<M> {
             self.mem.write(daddr + 12, 1, 0)?;
             self.mem.write(self.bar + regs::RDT, 4, self.rx_next)?;
             self.rx_next = (self.rx_next + 1) % RX_ENTRIES;
-            self.stats.rx_packets += 1;
-            self.stats.rx_bytes += len as u64;
+            self.stats.rx_packets.inc();
+            self.stats.rx_bytes.add(len as u64);
         }
         Ok(frames)
     }

@@ -18,10 +18,14 @@
 //! path: in the real driver, packet payload reaches the NIC by DMA from
 //! the sk_buff, never through guarded CPU code.
 
+use std::sync::Arc;
+
 use kop_core::{AccessFlags, Size, VAddr, Violation};
 use kop_policy::PolicyCheck;
+use kop_trace::{GuardDecision, Producer, SiteId, TraceEvent, Tracer};
 
 use crate::device::{DmaMem, E1000Device, FrameSink};
+use crate::driver::{RX_BUFS_OFF, RX_RING_OFF, STATS_OFF, TX_BUFS_OFF, TX_RING_OFF};
 use crate::regs::BAR_SIZE;
 
 /// Access counters — the measured "driver work" that feeds the machine
@@ -92,6 +96,13 @@ pub trait MemSpace {
 
     /// The base of the device's MMIO window.
     fn mmio_base(&self) -> u64;
+
+    /// The tracer this space reports guard checks and driver events to
+    /// (None for untraced spaces — the default, and always for the
+    /// baseline build, which has no guards to trace).
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        None
+    }
 }
 
 /// RAM arena addressed at a configurable base (the driver's slice of the
@@ -250,16 +261,86 @@ impl MemSpace for DirectMem {
     }
 }
 
+/// Synthetic guard-site identities for the hand-guarded driver build.
+///
+/// The interpreted path gets per-instruction site IDs from the compiler
+/// pass; the native `GuardedMem` build has no IR, so it classifies each
+/// guarded address into one of a fixed set of sites by arena region —
+/// the same granularity the paper's per-path breakdown uses (descriptor
+/// ring vs stats block vs doorbell ...).
+struct GuardTrace {
+    tracer: Arc<Tracer>,
+    /// Sites indexed by [`GuardTrace::classify`]'s return value.
+    sites: [SiteId; 7],
+}
+
+/// Labels for the synthetic driver sites, in `GuardTrace::sites` order.
+const DRIVER_SITE_LABELS: [&str; 7] = [
+    "mmio_doorbell",
+    "tx_desc_ring",
+    "rx_desc_ring",
+    "stats_block",
+    "tx_bufs",
+    "rx_bufs",
+    "other",
+];
+
+impl GuardTrace {
+    fn new(tracer: Arc<Tracer>) -> GuardTrace {
+        let sites = DRIVER_SITE_LABELS.map(|l| tracer.register_site("e1000e", l));
+        GuardTrace { tracer, sites }
+    }
+
+    /// Classify a guarded address into a site index.
+    fn classify(arena_base: u64, mmio_base: u64, addr: u64) -> usize {
+        if addr >= mmio_base && addr < mmio_base + BAR_SIZE {
+            return 0;
+        }
+        let Some(off) = addr.checked_sub(arena_base) else {
+            return 6;
+        };
+        match off {
+            o if (TX_RING_OFF..RX_RING_OFF).contains(&o) => 1,
+            o if (RX_RING_OFF..STATS_OFF).contains(&o) => 2,
+            o if (STATS_OFF..TX_BUFS_OFF).contains(&o) => 3,
+            o if (TX_BUFS_OFF..RX_BUFS_OFF).contains(&o) => 4,
+            o if o >= RX_BUFS_OFF => 5,
+            _ => 6,
+        }
+    }
+
+    fn site_for(&self, arena_base: u64, mmio_base: u64, addr: u64) -> SiteId {
+        self.sites[Self::classify(arena_base, mmio_base, addr)]
+    }
+}
+
 /// The transformed build: every load/store is preceded by a guard check.
 pub struct GuardedMem<P: PolicyCheck> {
     inner: DirectMem,
     policy: P,
+    trace: Option<GuardTrace>,
 }
 
 impl<P: PolicyCheck> GuardedMem<P> {
     /// Wrap a memory space with a policy.
     pub fn new(inner: DirectMem, policy: P) -> GuardedMem<P> {
-        GuardedMem { inner, policy }
+        GuardedMem {
+            inner,
+            policy,
+            trace: None,
+        }
+    }
+
+    /// Wrap a memory space with a policy and report every guard check to
+    /// `tracer` under synthetic per-region sites (see [`GuardTrace`]).
+    /// Costs one relaxed atomic load per guard while tracing is off.
+    pub fn with_tracer(inner: DirectMem, policy: P, tracer: Arc<Tracer>) -> GuardedMem<P> {
+        let trace = Some(GuardTrace::new(tracer));
+        GuardedMem {
+            inner,
+            policy,
+            trace,
+        }
     }
 
     /// The policy in use.
@@ -270,6 +351,25 @@ impl<P: PolicyCheck> GuardedMem<P> {
     #[inline(always)]
     fn guard(&mut self, addr: u64, size: u64, flags: AccessFlags) -> Result<(), Violation> {
         self.inner.counts.guard_calls += 1;
+        if let Some(t) = self.trace.as_ref().filter(|t| t.tracer.enabled()) {
+            let site = t.site_for(self.inner.arena_base, self.inner.mmio_base, addr);
+            t.tracer
+                .record(Producer::Driver, TraceEvent::GuardEnter { site });
+            let t0 = std::time::Instant::now();
+            let r = self.policy.carat_guard(VAddr(addr), Size(size), flags);
+            let ns = (t0.elapsed().as_nanos() as u64).max(1);
+            let decision = if r.is_ok() {
+                GuardDecision::Allowed
+            } else {
+                GuardDecision::Denied
+            };
+            t.tracer.record(
+                Producer::Driver,
+                TraceEvent::GuardExit { site, decision, ns },
+            );
+            t.tracer.record_check(site, ns, r.is_err());
+            return r;
+        }
         self.policy.carat_guard(VAddr(addr), Size(size), flags)
     }
 }
@@ -324,6 +424,10 @@ impl<P: PolicyCheck> MemSpace for GuardedMem<P> {
 
     fn mmio_base(&self) -> u64 {
         self.inner.mmio_base()
+    }
+
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.trace.as_ref().map(|t| &t.tracer)
     }
 }
 
@@ -435,5 +539,49 @@ mod tests {
     fn out_of_arena_access_panics() {
         let mut m = direct();
         let _ = m.read(0x1000, 8);
+    }
+
+    #[test]
+    fn traced_guards_classify_by_region() {
+        let pm = PolicyModule::new();
+        pm.set_default_action(kop_policy::DefaultAction::Allow);
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        let mut m = GuardedMem::with_tracer(direct(), &pm, Arc::clone(&tracer));
+        let base = m.arena_base();
+        let bar = m.mmio_base();
+        m.write(base + crate::driver::TX_RING_OFF, 8, 1).unwrap();
+        m.write(base + crate::driver::STATS_OFF, 8, 1).unwrap();
+        m.read(bar + crate::regs::STATUS, 4).unwrap();
+        assert_eq!(tracer.total_checks(), 3);
+        let labels: Vec<String> = tracer
+            .profile_snapshot()
+            .into_iter()
+            .map(|(meta, p)| {
+                assert_eq!(p.hits, 1);
+                assert_eq!(meta.module, "e1000e");
+                meta.label
+            })
+            .collect();
+        assert!(labels.contains(&"tx_desc_ring".to_string()), "{labels:?}");
+        assert!(labels.contains(&"stats_block".to_string()));
+        assert!(labels.contains(&"mmio_doorbell".to_string()));
+        // GuardEnter + GuardExit per check, all from the Driver producer.
+        let snap = tracer.snapshot();
+        assert_eq!(snap.records.len(), 6);
+        assert!(snap.records.iter().all(|r| r.producer == Producer::Driver));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_from_guards() {
+        let pm = PolicyModule::new();
+        pm.set_default_action(kop_policy::DefaultAction::Allow);
+        let tracer = Tracer::new(); // disabled by default
+        let mut m = GuardedMem::with_tracer(direct(), &pm, Arc::clone(&tracer));
+        let base = m.arena_base();
+        m.write(base, 8, 1).unwrap();
+        assert_eq!(m.counts().guard_calls, 1, "guard itself still runs");
+        assert_eq!(tracer.total_checks(), 0);
+        assert!(tracer.snapshot().records.is_empty());
     }
 }

@@ -21,10 +21,13 @@
 //! driver code is unchanged, mirroring how the paper instruments the
 //! stock driver without modifying it.
 
+use std::sync::Arc;
+
 use kop_core::Violation;
 use kop_e1000e::device::{E1000Device, FrameSink};
 use kop_e1000e::regs::{self, BAR_SIZE};
 use kop_e1000e::{AccessCounts, MemSpace};
+use kop_trace::{Producer, TraceEvent, Tracer};
 
 use crate::plan::FaultPlan;
 
@@ -101,6 +104,13 @@ impl<M: MemSpace> FaultyMem<M> {
         let bar = self.inner.mmio_base();
         addr >= bar && addr < bar + BAR_SIZE
     }
+
+    /// Record a fired fault in the wrapped space's tracer, if any.
+    fn note_fault(&self, what: &'static str) {
+        if let Some(t) = self.inner.tracer() {
+            t.record(Producer::Faultline, TraceEvent::FaultInjected { what });
+        }
+    }
 }
 
 /// All-ones of the access width, what a dead PCIe device reads as.
@@ -117,11 +127,13 @@ impl<M: MemSpace> MemSpace for FaultyMem<M> {
         if self.in_bar(addr) {
             if self.plan.surprise_removal.check() {
                 self.stats.mmio_all_ones += 1;
+                self.note_fault("surprise_removal_read");
                 return Ok(all_ones(size));
             }
             let mut v = self.inner.read(addr, size)?;
             if addr == self.inner.mmio_base() + regs::STATUS && self.plan.link_flap.check() {
                 self.stats.link_flaps += 1;
+                self.note_fault("link_flap");
                 v &= !regs::status::LU;
             }
             return Ok(v);
@@ -129,6 +141,7 @@ impl<M: MemSpace> MemSpace for FaultyMem<M> {
         let mut v = self.inner.read(addr, size)?;
         if self.plan.desc_corrupt.check() {
             self.stats.reads_corrupted += 1;
+            self.note_fault("desc_corrupt");
             // Deterministic bit choice: walk the word as faults accumulate.
             v ^= 1 << (self.plan.desc_corrupt.fired() % (size * 8).max(1));
         }
@@ -138,6 +151,7 @@ impl<M: MemSpace> MemSpace for FaultyMem<M> {
     fn write(&mut self, addr: u64, size: u64, value: u64) -> Result<(), Violation> {
         if self.in_bar(addr) && self.plan.surprise_removal.check() {
             self.stats.mmio_writes_dropped += 1;
+            self.note_fault("surprise_removal_write");
             return Ok(());
         }
         self.inner.write(addr, size, value)
@@ -157,11 +171,13 @@ impl<M: MemSpace> MemSpace for FaultyMem<M> {
     fn tx_tick(&mut self, sink: &mut dyn FrameSink) -> u64 {
         if self.plan.tx_hang.check() {
             self.stats.tx_ticks_suppressed += 1;
+            self.note_fault("tx_hang");
             return 0;
         }
         if self.plan.dma_drop.check() {
             let n = self.inner.tx_tick(&mut DropSink);
             self.stats.frames_dropped += n;
+            self.note_fault("dma_drop");
             return 0;
         }
         self.inner.tx_tick(sink)
@@ -189,6 +205,10 @@ impl<M: MemSpace> MemSpace for FaultyMem<M> {
 
     fn mmio_base(&self) -> u64 {
         self.inner.mmio_base()
+    }
+
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.inner.tracer()
     }
 }
 
@@ -291,6 +311,32 @@ mod tests {
         assert_eq!(corrupted.count_ones(), 1, "exactly one bit flipped");
         assert_eq!(m.read(base, 8).unwrap(), 0, "fault was transient");
         assert_eq!(m.fault_stats().reads_corrupted, 1);
+    }
+
+    #[test]
+    fn fired_faults_land_in_the_trace() {
+        let plan = FaultPlan::quiet().with_link_flap(Trigger::Nth(1));
+        let tracer = Tracer::new();
+        tracer.set_enabled(true);
+        let inner = kop_e1000e::GuardedMem::with_tracer(
+            DirectMem::with_defaults(E1000Device::default()),
+            kop_policy::NoopPolicy,
+            Arc::clone(&tracer),
+        );
+        let mut m = FaultyMem::new(inner, plan);
+        let bar = m.mmio_base();
+        let _ = m.read(bar + regs::STATUS, 4).unwrap();
+        let snap = tracer.snapshot();
+        assert!(
+            snap.records
+                .iter()
+                .any(|r| r.producer == Producer::Faultline
+                    && matches!(r.event, TraceEvent::FaultInjected { what: "link_flap" })),
+            "fault event missing from {:?}",
+            snap.records
+        );
+        // The guarded read under the fault layer was traced too.
+        assert_eq!(tracer.total_checks(), 1);
     }
 
     #[test]

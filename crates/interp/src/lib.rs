@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use kop_core::{AccessFlags, KernelError, KernelResult, Size, VAddr};
 use kop_ir::{BinOp, BlockId, CastOp, IcmpPred, Inst, Module, Terminator, Type, Value};
 use kop_kernel::Kernel;
 use kop_policy::module::GuardOutcome;
+use kop_trace::{GuardDecision, Producer, SiteId, SiteTable, TraceEvent, Tracer};
 
 /// Execution statistics accumulated across `call`s.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,11 +82,13 @@ fn sign_extend(v: u64, bits: u32) -> i64 {
     ((v << shift) as i64) >> shift
 }
 
-/// Per-call module context (IR + layout addresses).
+/// Per-call module context (IR + layout addresses + guard-site table).
 struct ModuleCtx<'a> {
     ir: &'a Module,
     globals: &'a BTreeMap<String, VAddr>,
     func_addrs: &'a BTreeMap<String, VAddr>,
+    /// Guard-site lookup registered at insmod (None: unguarded module).
+    sites: Option<Arc<SiteTable>>,
 }
 
 impl<'k> Interp<'k> {
@@ -140,10 +144,12 @@ impl<'k> Interp<'k> {
         let ir = loaded.ir.clone();
         let globals = loaded.globals.clone();
         let func_addrs = loaded.func_addrs.clone();
+        let sites = loaded.sites.clone();
         let ctx = ModuleCtx {
             ir: &ir,
             globals: &globals,
             func_addrs: &func_addrs,
+            sites,
         };
         self.call_in(&ctx, func, args)
     }
@@ -388,7 +394,14 @@ impl<'k> Interp<'k> {
                     Inst::Call { callee, args, .. } => {
                         let argv: Vec<u64> =
                             args.iter().map(|a| self.eval(ctx, &regs, a)).collect();
-                        if let Some(v) = self.dispatch_call(ctx, &callee, &argv)? {
+                        // Site attribution only matters (and only costs a
+                        // map probe) while tracing is enabled.
+                        let site = if self.kernel.tracer().enabled() {
+                            ctx.sites.as_ref().and_then(|s| s.lookup(&f.name, iid.0))
+                        } else {
+                            None
+                        };
+                        if let Some(v) = self.dispatch_call(ctx, &callee, &argv, site)? {
                             regs[iid.0 as usize] = v;
                         }
                     }
@@ -464,12 +477,36 @@ impl<'k> Interp<'k> {
         }
     }
 
+    /// Map a policy outcome onto the trace-event decision tag.
+    fn decision_of(outcome: &GuardOutcome) -> GuardDecision {
+        match outcome {
+            GuardOutcome::Allowed => GuardDecision::Allowed,
+            GuardOutcome::Denied(_) => GuardDecision::Denied,
+            GuardOutcome::Quarantined(_) => GuardDecision::Quarantined,
+            GuardOutcome::Panicked(_) => GuardDecision::Panicked,
+        }
+    }
+
+    /// Clone the kernel tracer iff tracing is on and the guard has a
+    /// site identity; the owned Arc lets us emit events without holding
+    /// a borrow across `note_violation`/`do_panic`.
+    fn guard_tracer(&self, site: Option<SiteId>) -> Option<(Arc<Tracer>, SiteId)> {
+        let site = site?;
+        let tracer = self.kernel.tracer();
+        if tracer.enabled() {
+            Some((Arc::clone(tracer), site))
+        } else {
+            None
+        }
+    }
+
     /// Host/internal call dispatch.
     fn dispatch_call(
         &mut self,
         ctx: &ModuleCtx<'_>,
         callee: &str,
         args: &[u64],
+        site: Option<SiteId>,
     ) -> KernelResult<Option<u64>> {
         if ctx.ir.function(callee).is_some() {
             return self.call_in(ctx, callee, args);
@@ -483,7 +520,26 @@ impl<'k> Interp<'k> {
                 // Per-module policy (§5): guards consult the policy
                 // governing the module that executed them.
                 let policy = self.kernel.policy_for(&ctx.ir.name);
-                match policy.enforce(addr, size, flags) {
+                let tracing = self.guard_tracer(site);
+                if let Some((tracer, site)) = &tracing {
+                    tracer.record(Producer::Interp, TraceEvent::GuardEnter { site: *site });
+                }
+                let t0 = tracing.as_ref().map(|_| std::time::Instant::now());
+                let outcome = policy.enforce(addr, size, flags);
+                if let Some((tracer, site)) = &tracing {
+                    let ns = t0.map_or(1, |t| i128::max(1, t.elapsed().as_nanos() as i128) as u64);
+                    let decision = Self::decision_of(&outcome);
+                    tracer.record(
+                        Producer::Interp,
+                        TraceEvent::GuardExit {
+                            site: *site,
+                            decision,
+                            ns,
+                        },
+                    );
+                    tracer.record_check(*site, ns, decision.is_denied());
+                }
+                match outcome {
                     GuardOutcome::Allowed => Ok(None),
                     GuardOutcome::Denied(_) => {
                         self.squash_next = true;
@@ -504,7 +560,26 @@ impl<'k> Interp<'k> {
                 self.stats.guards += 1;
                 let id = args.first().copied().unwrap_or(u64::MAX) as u32;
                 let policy = self.kernel.policy_for(&ctx.ir.name);
-                match policy.enforce_intrinsic(id) {
+                let tracing = self.guard_tracer(site);
+                if let Some((tracer, site)) = &tracing {
+                    tracer.record(Producer::Interp, TraceEvent::GuardEnter { site: *site });
+                }
+                let t0 = tracing.as_ref().map(|_| std::time::Instant::now());
+                let outcome = policy.enforce_intrinsic(id);
+                if let Some((tracer, site)) = &tracing {
+                    let ns = t0.map_or(1, |t| i128::max(1, t.elapsed().as_nanos() as i128) as u64);
+                    let decision = Self::decision_of(&outcome);
+                    tracer.record(
+                        Producer::Interp,
+                        TraceEvent::GuardExit {
+                            site: *site,
+                            decision,
+                            ns,
+                        },
+                    );
+                    tracer.record_check(*site, ns, decision.is_denied());
+                }
+                match outcome {
                     GuardOutcome::Allowed => Ok(None),
                     GuardOutcome::Denied(_) => {
                         // Squash the intrinsic itself.

@@ -7,6 +7,7 @@ use kop_compiler::CompilerKey;
 use kop_core::layout::{DIRECT_MAP_BASE, MODULE_SPACE_BASE, PAGE_SIZE};
 use kop_core::{KernelError, KernelResult, VAddr, Violation};
 use kop_policy::{PolicyCmd, PolicyModule};
+use kop_trace::{Producer, TraceEvent, Tracer};
 
 use crate::chardev::DevRegistry;
 use crate::loader::LoadedModule;
@@ -100,6 +101,10 @@ pub struct QuarantineRecord {
 /// The path of the policy module's control device.
 pub const CARAT_DEV: &str = "/dev/carat";
 
+/// The path of the kop-trace control device (the tracefs analogue:
+/// `tracing_on`, `trace`, `top`, `counters`, `perfetto`, `clear`).
+pub const TRACE_DEV: &str = "/dev/trace";
+
 /// The simulated kernel.
 pub struct Kernel {
     /// Simulated memory (RAM + MMIO windows).
@@ -134,6 +139,9 @@ pub struct Kernel {
     violations: std::collections::BTreeMap<String, u32>,
     /// Modules force-unloaded after exhausting their violation budget.
     quarantined: Vec<QuarantineRecord>,
+    /// The kernel-wide trace instance (always present, disabled until
+    /// `echo 1 > tracing_on` via [`TRACE_DEV`] or [`Tracer::set_enabled`]).
+    tracer: Arc<Tracer>,
 }
 
 impl Kernel {
@@ -153,6 +161,22 @@ impl Kernel {
                 let cmd =
                     PolicyCmd::decode(req).map_err(|e| KernelError::BadIoctl(e.to_string()))?;
                 Ok(cmd.apply(&pm).encode())
+            }),
+        );
+        let tracer = Tracer::new();
+        // The policy's guard counters live in the tracer's unified
+        // registry from boot, so `counters` shows them alongside driver
+        // counters without a second stats path.
+        policy.guard_stats().register_into(tracer.counters());
+        let tc = Arc::clone(&tracer);
+        devices.register(
+            TRACE_DEV,
+            Box::new(move |req| {
+                let text = std::str::from_utf8(req)
+                    .map_err(|_| KernelError::BadIoctl("trace request not utf-8".into()))?;
+                kop_trace::control::handle(&tc, text)
+                    .map(String::into_bytes)
+                    .map_err(KernelError::BadIoctl)
             }),
         );
 
@@ -222,6 +246,7 @@ impl Kernel {
             queues: Vec::new(),
             violations: std::collections::BTreeMap::new(),
             quarantined: Vec::new(),
+            tracer,
         };
         kernel.printk("CARAT KOP simulated kernel booted");
         kernel.printk(&format!("policy store: {}", kernel.policy.store_kind()));
@@ -239,6 +264,12 @@ impl Kernel {
     /// The (global) policy module.
     pub fn policy(&self) -> &Arc<PolicyModule> {
         &self.policy
+    }
+
+    /// The kernel-wide tracer. Always present; costs one relaxed atomic
+    /// load per emission site until enabled.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Install a per-module policy override: guards executed by `module`
@@ -318,6 +349,13 @@ impl Kernel {
         self.printk(&format!(
             "carat: guard violation by '{module}' ({count}/{budget}): {v}"
         ));
+        self.tracer.record(
+            Producer::Kernel,
+            TraceEvent::Violation {
+                module: module.to_string(),
+                addr: v.addr.raw(),
+            },
+        );
         if count < budget {
             return Ok(());
         }
@@ -343,6 +381,13 @@ impl Kernel {
         self.printk(&format!(
             "carat: module '{module}' unloaded; kernel continues"
         ));
+        self.tracer.record(
+            Producer::Kernel,
+            TraceEvent::ModuleQuarantine {
+                module: module.to_string(),
+                violations: count as u64,
+            },
+        );
         KernelError::ModuleQuarantined {
             module: module.to_string(),
             violation: v,

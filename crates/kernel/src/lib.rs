@@ -29,7 +29,7 @@ pub mod mem;
 pub mod objects;
 pub mod symbols;
 
-pub use kernel::{Kernel, KernelConfig, QuarantineRecord, Verification};
+pub use kernel::{Kernel, KernelConfig, QuarantineRecord, Verification, TRACE_DEV};
 pub use loader::LoadedModule;
 pub use mem::{FaultHook, MmioDevice, SimMemory};
 pub use objects::{FileHandle, QueueHandle};

@@ -16,10 +16,12 @@
 //!    and initializes its globals in simulated memory.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use kop_compiler::SignedModule;
 use kop_core::{KernelError, KernelResult, VAddr};
 use kop_ir::{verify_module, GlobalInit, Module};
+use kop_trace::{assign_guard_sites, Producer, SiteTable, TraceEvent};
 
 use crate::kernel::Kernel;
 
@@ -46,6 +48,11 @@ pub struct LoadedModule {
     pub content_hash: String,
     /// Whether the module was guard-injected (`guard_count > 0`).
     pub is_protected: bool,
+    /// Guard-site lookup table registered with the kernel tracer at
+    /// insmod (`None` when the module has no guard calls). The
+    /// interpreter consults this to attribute each dynamic check to its
+    /// stable site.
+    pub sites: Option<Arc<SiteTable>>,
 }
 
 impl Kernel {
@@ -172,6 +179,18 @@ impl Kernel {
         // self-modifying module code).
         self.mem.protect_readonly(text_base, text_size);
 
+        // Guard-site registration: recompute the deterministic site walk
+        // over the *shipped* IR (never the attested numbers — the signed
+        // path already cross-checked the attested site digest inside
+        // `SignedModule::verify`, and the unsigned/static path trusts
+        // only what it can derive itself) and hand the tracer the map.
+        let guard_sites = assign_guard_sites(&ir);
+        let sites = if guard_sites.is_empty() {
+            None
+        } else {
+            Some(self.tracer().register_module_sites(&ir.name, &guard_sites))
+        };
+
         let is_protected = signed.attestation.guard_count > 0;
         let loaded = LoadedModule {
             name: ir.name.clone(),
@@ -183,8 +202,16 @@ impl Kernel {
             func_addrs,
             content_hash: signed.content_hash(),
             is_protected,
+            sites,
             ir,
         };
+        self.tracer().record(
+            Producer::Loader,
+            TraceEvent::ModuleLoad {
+                module: loaded.name.clone(),
+                guard_sites: guard_sites.len() as u64,
+            },
+        );
         self.printk(&format!(
             "insmod {}: {} function(s), {} global(s), {} guard(s), text at {}",
             loaded.name,
@@ -206,6 +233,12 @@ impl Kernel {
             .ok_or_else(|| KernelError::NoSuchModule(name.to_string()))?;
         self.mem.protect_readwrite(m.text_base, m.text_size);
         self.symbols.remove_provider(name);
+        self.tracer().record(
+            Producer::Loader,
+            TraceEvent::ModuleUnload {
+                module: name.to_string(),
+            },
+        );
         self.printk(&format!("rmmod {name}"));
         Ok(())
     }

@@ -243,6 +243,12 @@ impl PolicyModule {
         self.stats.snapshot()
     }
 
+    /// The live counter cells (e.g. to
+    /// [`GuardStats::register_into`] a tracer's counter registry).
+    pub fn guard_stats(&self) -> &GuardStats {
+        &self.stats
+    }
+
     /// Reset statistics.
     pub fn reset_stats(&self) {
         self.stats.reset()

@@ -1,20 +1,40 @@
 //! Guard statistics — what the policy module reports through the
 //! `Stats` ioctl.
+//!
+//! Since the kop-trace subsystem landed, the cells behind these counters
+//! are [`kop_trace::Counter`]s rather than bare atomics: the update path
+//! costs the same (one relaxed `fetch_add` per cell), but the policy can
+//! [`GuardStats::register_into`] a tracer's [`kop_trace::CounterRegistry`]
+//! so figures and the `/dev/trace` chardev read the *same cells* as the
+//! `Stats` ioctl — one registry instead of three bespoke structs.
 
 use core::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use kop_trace::{Counter, CounterRegistry};
 
 /// Counters maintained by the policy module across guard invocations.
 ///
 /// Counters are atomics so the guard path can update them from concurrent
 /// driver contexts without taking the policy lock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GuardStats {
-    checks: AtomicU64,
-    permitted: AtomicU64,
-    denied_no_match: AtomicU64,
-    denied_insufficient: AtomicU64,
-    denied_malformed: AtomicU64,
+    checks: Counter,
+    permitted: Counter,
+    denied_no_match: Counter,
+    denied_insufficient: Counter,
+    denied_malformed: Counter,
+}
+
+impl Default for GuardStats {
+    fn default() -> GuardStats {
+        GuardStats {
+            checks: Counter::new("policy.checks"),
+            permitted: Counter::new("policy.permitted"),
+            denied_no_match: Counter::new("policy.denied_no_match"),
+            denied_insufficient: Counter::new("policy.denied_insufficient"),
+            denied_malformed: Counter::new("policy.denied_malformed"),
+        }
+    }
 }
 
 /// A plain snapshot of [`GuardStats`].
@@ -38,52 +58,66 @@ impl GuardStats {
         GuardStats::default()
     }
 
+    /// Share these counter cells with `registry` (idempotent per name;
+    /// first registration wins, which keeps live counts intact).
+    pub fn register_into(&self, registry: &CounterRegistry) {
+        for c in [
+            &self.checks,
+            &self.permitted,
+            &self.denied_no_match,
+            &self.denied_insufficient,
+            &self.denied_malformed,
+        ] {
+            registry.register(c);
+        }
+    }
+
     /// Record a permitted access.
     #[inline]
     pub fn record_permitted(&self) {
-        self.checks.fetch_add(1, Ordering::Relaxed);
-        self.permitted.fetch_add(1, Ordering::Relaxed);
+        self.checks.inc();
+        self.permitted.inc();
     }
 
     /// Record a denial with no covering region.
     #[inline]
     pub fn record_no_match(&self) {
-        self.checks.fetch_add(1, Ordering::Relaxed);
-        self.denied_no_match.fetch_add(1, Ordering::Relaxed);
+        self.checks.inc();
+        self.denied_no_match.inc();
     }
 
     /// Record a denial with a covering region lacking the intent.
     #[inline]
     pub fn record_insufficient(&self) {
-        self.checks.fetch_add(1, Ordering::Relaxed);
-        self.denied_insufficient.fetch_add(1, Ordering::Relaxed);
+        self.checks.inc();
+        self.denied_insufficient.inc();
     }
 
     /// Record a malformed guard call.
     #[inline]
     pub fn record_malformed(&self) {
-        self.checks.fetch_add(1, Ordering::Relaxed);
-        self.denied_malformed.fetch_add(1, Ordering::Relaxed);
+        self.checks.inc();
+        self.denied_malformed.inc();
     }
 
     /// Snapshot the counters.
     pub fn snapshot(&self) -> GuardStatsSnapshot {
         GuardStatsSnapshot {
-            checks: self.checks.load(Ordering::Relaxed),
-            permitted: self.permitted.load(Ordering::Relaxed),
-            denied_no_match: self.denied_no_match.load(Ordering::Relaxed),
-            denied_insufficient: self.denied_insufficient.load(Ordering::Relaxed),
-            denied_malformed: self.denied_malformed.load(Ordering::Relaxed),
+            checks: self.checks.get(),
+            permitted: self.permitted.get(),
+            denied_no_match: self.denied_no_match.get(),
+            denied_insufficient: self.denied_insufficient.get(),
+            denied_malformed: self.denied_malformed.get(),
         }
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.checks.store(0, Ordering::Relaxed);
-        self.permitted.store(0, Ordering::Relaxed);
-        self.denied_no_match.store(0, Ordering::Relaxed);
-        self.denied_insufficient.store(0, Ordering::Relaxed);
-        self.denied_malformed.store(0, Ordering::Relaxed);
+        self.checks.reset();
+        self.permitted.reset();
+        self.denied_no_match.reset();
+        self.denied_insufficient.reset();
+        self.denied_malformed.reset();
     }
 }
 
@@ -156,5 +190,19 @@ mod tests {
         }
         assert_eq!(s.snapshot().permitted, 80_000);
         assert_eq!(s.snapshot().checks, 80_000);
+    }
+
+    #[test]
+    fn registered_registry_reads_the_live_cells() {
+        let reg = CounterRegistry::new();
+        let s = GuardStats::new();
+        s.register_into(&reg);
+        s.record_permitted();
+        s.record_no_match();
+        assert_eq!(reg.get("policy.checks").unwrap().get(), 2);
+        assert_eq!(reg.get("policy.permitted").unwrap().get(), 1);
+        assert_eq!(reg.get("policy.denied_no_match").unwrap().get(), 1);
+        // The ioctl-side snapshot and the registry agree — same cells.
+        assert_eq!(s.snapshot().checks, reg.get("policy.checks").unwrap().get());
     }
 }

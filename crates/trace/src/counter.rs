@@ -1,0 +1,168 @@
+//! Named atomic counters and the registry that unifies them.
+//!
+//! Before kop-trace, every layer kept its own ad-hoc counter struct
+//! (`DriverStats`, the policy's `GuardStats`, per-figure locals). A
+//! [`Counter`] is a cheaply-cloneable named `AtomicU64`; subsystems keep
+//! holding their counters directly (same cost as before) and *also*
+//! register them into the tracer's [`CounterRegistry`], so figures and
+//! examples read one sorted snapshot instead of three structs.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+struct CounterInner {
+    name: String,
+    value: AtomicU64,
+}
+
+/// A named monotonic (resettable) counter. Clones share the same cell.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    /// New counter starting at zero.
+    pub fn new(name: impl Into<String>) -> Counter {
+        Counter {
+            inner: Arc::new(CounterInner {
+                name: name.into(),
+                value: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The counter's registry name (e.g. `"policy.checks"`).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value (used by reset paths).
+    pub fn set(&self, v: u64) {
+        self.inner.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+
+    /// True if `other` is a clone of this counter (same cell).
+    pub fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({}={})", self.name(), self.get())
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name(), self.get())
+    }
+}
+
+/// The one place figures read counters from. Registration is idempotent
+/// per name: re-registering a name keeps the first cell (so two layers
+/// can race to register without clobbering live counts).
+#[derive(Default)]
+pub struct CounterRegistry {
+    counters: Mutex<Vec<Counter>>,
+}
+
+impl CounterRegistry {
+    /// Empty registry.
+    pub fn new() -> CounterRegistry {
+        CounterRegistry::default()
+    }
+
+    /// Get the counter named `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock();
+        if let Some(c) = counters.iter().find(|c| c.name() == name) {
+            return c.clone();
+        }
+        let c = Counter::new(name);
+        counters.push(c.clone());
+        c
+    }
+
+    /// Register an externally-created counter. Returns `false` (and keeps
+    /// the existing cell) if the name is already taken by a different cell.
+    pub fn register(&self, counter: &Counter) -> bool {
+        let mut counters = self.counters.lock();
+        if let Some(existing) = counters.iter().find(|c| c.name() == counter.name()) {
+            return existing.same_cell(counter);
+        }
+        counters.push(counter.clone());
+        true
+    }
+
+    /// Look up a counter by name without creating it.
+    pub fn get(&self, name: &str) -> Option<Counter> {
+        self.counters
+            .lock()
+            .iter()
+            .find(|c| c.name() == name)
+            .cloned()
+    }
+
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .iter()
+            .map(|c| (c.name().to_string(), c.get()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.counters.lock().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reset every registered counter to zero.
+    pub fn reset_all(&self) {
+        for c in self.counters.lock().iter() {
+            c.reset();
+        }
+    }
+}
+
+impl fmt::Debug for CounterRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.snapshot()).finish()
+    }
+}

@@ -1,0 +1,556 @@
+//! # kop-trace — kernel-wide tracing & metrics
+//!
+//! The paper's headline numbers are guard *overhead* on the e1000e TX
+//! path (Fig. 5/6), but without in-kernel instrumentation nothing can say
+//! *which* guard site the cycles went to. This crate is the repo's
+//! ftrace: an always-compiled, cheap-when-disabled observability
+//! subsystem threaded through every layer.
+//!
+//! * [`Tracer`] — the per-kernel trace instance: a fixed-capacity,
+//!   overwrite-on-full ring buffer of typed [`TraceEvent`]s with
+//!   per-producer sequence numbers and drop counters, timestamped by a
+//!   deterministic virtual clock (one tick per event).
+//! * [`sites`] — stable guard-site IDs: a deterministic walk assigns each
+//!   injected guard call a `(function, site)` identity that the
+//!   attestation digests, the loader registers, and the interpreter uses
+//!   to attribute every dynamic check.
+//! * [`profile`] — per-site hit counts and log2-bucketed check-latency
+//!   histograms, aggregated independently of the ring (so totals
+//!   reconcile exactly even after wraparound).
+//! * [`Counter`] / [`CounterRegistry`] — the unified named-counter story:
+//!   `DriverStats` and the policy's `GuardStats` register their cells
+//!   here so figures read one registry instead of three structs.
+//! * [`perfetto`] — Chrome/perfetto `trace_event` JSON export.
+//! * [`report`] — text consumers (`top guard sites`, raw dump).
+//! * [`control`] — the tracefs-style text protocol behind the kernel's
+//!   `/dev/trace` chardev (`tracing_on`, `trace`, `top`, `perfetto`, …).
+//!
+//! ## Disabled-path cost
+//!
+//! Every emission site does `tracer.enabled()` first — one relaxed atomic
+//! load, no lock, no allocation. The acceptance bar (guarded TX with
+//! tracing compiled in but disabled regresses < 2%) is asserted by the
+//! root `tests/trace.rs`.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod event;
+pub mod perfetto;
+pub mod profile;
+pub mod report;
+mod ring;
+pub mod sites;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+pub use counter::{Counter, CounterRegistry};
+pub use event::{GuardDecision, Producer, TraceEvent, TraceRecord};
+pub use profile::{latency_bucket, SiteProfile, LATENCY_BUCKETS};
+pub use sites::{
+    assign_guard_sites, canonical_site_text, GuardSite, SiteId, SiteKind, SiteMeta, SiteTable,
+};
+
+/// Default ring capacity (events) used by `Tracer::new`.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A consistent view of the ring at one instant.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceSnapshot {
+    /// Retained records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Per-producer `(producer, next sequence number)` — equals the count
+    /// of events that producer has ever emitted.
+    pub seqs: Vec<(Producer, u64)>,
+    /// Per-producer `(producer, records overwritten)`.
+    pub drops: Vec<(Producer, u64)>,
+    /// Virtual clock at snapshot time (total events ever recorded).
+    pub clock: u64,
+}
+
+impl TraceSnapshot {
+    /// Total drops across all producers.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().map(|(_, d)| d).sum()
+    }
+
+    /// Records emitted by one producer, oldest first.
+    pub fn by_producer(&self, p: Producer) -> Vec<&TraceRecord> {
+        self.records.iter().filter(|r| r.producer == p).collect()
+    }
+}
+
+struct SiteRegistry {
+    metas: Vec<SiteMeta>,
+}
+
+/// The trace instance one simulated kernel (or one native test harness)
+/// owns. Always compiled in; `Arc`-share it across layers and flip
+/// [`Tracer::set_enabled`] to start paying for events.
+pub struct Tracer {
+    enabled: AtomicBool,
+    ring: Mutex<ring::Ring>,
+    sites: Mutex<SiteRegistry>,
+    profiler: Mutex<profile::Profiler>,
+    counters: CounterRegistry,
+}
+
+impl Tracer {
+    /// New disabled tracer with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Arc<Tracer> {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// New disabled tracer with an explicit ring capacity (min 1).
+    pub fn with_capacity(capacity: usize) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            enabled: AtomicBool::new(false),
+            ring: Mutex::new(ring::Ring::new(capacity)),
+            sites: Mutex::new(SiteRegistry { metas: Vec::new() }),
+            profiler: Mutex::new(profile::Profiler::default()),
+            counters: CounterRegistry::new(),
+        })
+    }
+
+    /// Is tracing on? One relaxed load — this is the *entire* cost a
+    /// disabled tracer adds to a guard check.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn tracing on or off (`echo 1 > tracing_on`).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Record an event. No-op while disabled.
+    #[inline]
+    pub fn record(&self, producer: Producer, event: TraceEvent) {
+        if !self.enabled() {
+            return;
+        }
+        self.ring.lock().push(producer, event);
+    }
+
+    /// Aggregate one guard check into the per-site profile. No-op while
+    /// disabled. Independent of the ring: wraparound never loses a check.
+    #[inline]
+    pub fn record_check(&self, site: SiteId, ns: u64, denied: bool) {
+        if !self.enabled() {
+            return;
+        }
+        self.profiler.lock().record(site, ns, denied);
+    }
+
+    /// Consistent snapshot of the ring, sequences, and drop counters.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let ring = self.ring.lock();
+        TraceSnapshot {
+            records: ring.records(),
+            seqs: Producer::ALL.iter().map(|&p| (p, ring.seq(p))).collect(),
+            drops: Producer::ALL.iter().map(|&p| (p, ring.drops(p))).collect(),
+            clock: ring.clock(),
+        }
+    }
+
+    /// Discard retained records (drop counters, sequences, and the clock
+    /// keep running).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().capacity()
+    }
+
+    /// Events ever emitted by `p` (its next sequence number).
+    pub fn seq(&self, p: Producer) -> u64 {
+        self.ring.lock().seq(p)
+    }
+
+    /// Events of `p` overwritten by wraparound.
+    pub fn drops(&self, p: Producer) -> u64 {
+        self.ring.lock().drops(p)
+    }
+
+    // --- sites ---------------------------------------------------------
+
+    /// Register a module's IR guard sites (loader calls this at insmod).
+    /// Returns the per-module lookup table the interpreter consults.
+    pub fn register_module_sites(&self, module: &str, sites: &[GuardSite]) -> Arc<SiteTable> {
+        let mut table = SiteTable::new();
+        let mut reg = self.sites.lock();
+        for site in sites {
+            let id = SiteId(reg.metas.len() as u32);
+            reg.metas.push(SiteMeta {
+                id,
+                module: module.to_string(),
+                label: site.label(),
+                kind: site.kind,
+            });
+            table.insert(&site.function, site.inst, id);
+        }
+        Arc::new(table)
+    }
+
+    /// Register one named synthetic site (native code paths — e.g. the
+    /// Rust e1000e driver's descriptor-ring stores).
+    pub fn register_site(&self, module: &str, label: &str) -> SiteId {
+        let mut reg = self.sites.lock();
+        let id = SiteId(reg.metas.len() as u32);
+        reg.metas.push(SiteMeta {
+            id,
+            module: module.to_string(),
+            label: label.to_string(),
+            kind: SiteKind::Synthetic,
+        });
+        id
+    }
+
+    /// Metadata for a site, if registered.
+    pub fn site_meta(&self, id: SiteId) -> Option<SiteMeta> {
+        self.sites.lock().metas.get(id.0 as usize).cloned()
+    }
+
+    /// Label for a site, if registered.
+    pub fn site_label(&self, id: SiteId) -> Option<String> {
+        self.site_meta(id).map(|m| m.label)
+    }
+
+    /// Number of registered sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.lock().metas.len()
+    }
+
+    // --- profiles ------------------------------------------------------
+
+    /// Profile of one site (zeros if never hit).
+    pub fn site_profile(&self, id: SiteId) -> SiteProfile {
+        self.profiler.lock().get(id)
+    }
+
+    /// All sites with at least one hit, joined with their metadata.
+    pub fn profile_snapshot(&self) -> Vec<(SiteMeta, SiteProfile)> {
+        let profiles = self.profiler.lock().snapshot();
+        let reg = self.sites.lock();
+        profiles
+            .into_iter()
+            .map(|(id, prof)| {
+                let meta = reg.metas.get(id.0 as usize).cloned().unwrap_or(SiteMeta {
+                    id,
+                    module: "?".to_string(),
+                    label: format!("{id}"),
+                    kind: SiteKind::Synthetic,
+                });
+                (meta, prof)
+            })
+            .collect()
+    }
+
+    /// Total guard checks aggregated across every site — the number that
+    /// must reconcile with the interpreter's/policy's own check count.
+    pub fn total_checks(&self) -> u64 {
+        self.profiler.lock().total_hits()
+    }
+
+    /// Reset all per-site profiles (site registrations are kept).
+    pub fn reset_profiles(&self) {
+        self.profiler.lock().reset();
+    }
+
+    // --- counters ------------------------------------------------------
+
+    /// The unified counter registry for this tracer.
+    pub fn counters(&self) -> &CounterRegistry {
+        &self.counters
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            ring: Mutex::new(ring::Ring::new(DEFAULT_CAPACITY)),
+            sites: Mutex::new(SiteRegistry { metas: Vec::new() }),
+            profiler: Mutex::new(profile::Profiler::default()),
+            counters: CounterRegistry::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("capacity", &self.capacity())
+            .field("sites", &self.site_count())
+            .field("total_checks", &self.total_checks())
+            .finish()
+    }
+}
+
+/// The tracefs-style text control protocol (`/dev/trace` speaks this).
+pub mod control {
+    use super::*;
+
+    /// Handle one request. Commands, mirroring tracefs file UX:
+    ///
+    /// * `tracing_on` → `"0"` / `"1"`
+    /// * `tracing_on 0|1` → `"ok"` (enable/disable)
+    /// * `trace` → the retained ring, one record per line
+    /// * `top` / `top N` → the top-N guard-sites table (default 10)
+    /// * `counters` → the unified counter registry, `name=value` lines
+    /// * `perfetto` → chrome://tracing JSON for the retained ring
+    /// * `clear` → `"ok"` (drop retained records)
+    ///
+    /// Unknown commands return `Err` with a usage string.
+    pub fn handle(tracer: &Tracer, request: &str) -> Result<String, String> {
+        let req = request.trim();
+        let mut parts = req.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("tracing_on"), None) => Ok(if tracer.enabled() { "1" } else { "0" }.to_string()),
+            (Some("tracing_on"), Some("1")) => {
+                tracer.set_enabled(true);
+                Ok("ok".to_string())
+            }
+            (Some("tracing_on"), Some("0")) => {
+                tracer.set_enabled(false);
+                Ok("ok".to_string())
+            }
+            (Some("trace"), None) => Ok(report::dump(tracer)),
+            (Some("top"), n) => {
+                let n = n.and_then(|s| s.parse().ok()).unwrap_or(10);
+                Ok(report::top_sites(tracer, n))
+            }
+            (Some("counters"), None) => {
+                let mut s = String::new();
+                for (name, v) in tracer.counters().snapshot() {
+                    s.push_str(&name);
+                    s.push('=');
+                    s.push_str(&v.to_string());
+                    s.push('\n');
+                }
+                Ok(s)
+            }
+            (Some("perfetto"), None) => Ok(perfetto::export_json(tracer)),
+            (Some("clear"), None) => {
+                tracer.clear();
+                Ok("ok".to_string())
+            }
+            _ => Err(format!(
+                "unknown trace command {req:?}; \
+                 usage: tracing_on [0|1] | trace | top [N] | counters | perfetto | clear"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> TraceEvent {
+        TraceEvent::Xmit { bytes: 60 }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::with_capacity(8);
+        t.record(Producer::Driver, ev());
+        t.record_check(SiteId(0), 10, false);
+        assert!(t.snapshot().records.is_empty());
+        assert_eq!(t.total_checks(), 0);
+        assert_eq!(t.seq(Producer::Driver), 0);
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_and_keeps_order() {
+        let t = Tracer::with_capacity(4);
+        t.set_enabled(true);
+        for i in 0..10u64 {
+            t.record(Producer::Bench, TraceEvent::Xmit { bytes: i });
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.records.len(), 4);
+        // The newest 4 survive, oldest first.
+        let bytes: Vec<u64> = snap
+            .records
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::Xmit { bytes } => bytes,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(bytes, vec![6, 7, 8, 9]);
+        // Timestamps and sequences strictly increase.
+        for w in snap.records.windows(2) {
+            assert!(w[0].ts < w[1].ts);
+            assert!(w[0].seq < w[1].seq);
+        }
+        assert_eq!(t.drops(Producer::Bench), 6);
+        assert_eq!(t.seq(Producer::Bench), 10);
+        assert_eq!(snap.clock, 10);
+    }
+
+    #[test]
+    fn drops_are_charged_to_the_overwritten_producer() {
+        let t = Tracer::with_capacity(2);
+        t.set_enabled(true);
+        t.record(Producer::Kernel, ev());
+        t.record(Producer::Driver, ev());
+        // These two evict the Kernel record then the first Driver record.
+        t.record(Producer::Interp, ev());
+        t.record(Producer::Interp, ev());
+        assert_eq!(t.drops(Producer::Kernel), 1);
+        assert_eq!(t.drops(Producer::Driver), 1);
+        assert_eq!(t.drops(Producer::Interp), 0);
+        assert_eq!(t.snapshot().total_drops(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_clock_and_sequences_running() {
+        let t = Tracer::with_capacity(8);
+        t.set_enabled(true);
+        t.record(Producer::Bench, ev());
+        t.clear();
+        t.record(Producer::Bench, ev());
+        let snap = t.snapshot();
+        assert_eq!(snap.records.len(), 1);
+        assert_eq!(snap.records[0].ts, 1, "clock not reset by clear");
+        assert_eq!(snap.records[0].seq, 1, "seq not reset by clear");
+        assert_eq!(snap.total_drops(), 0, "clear is not a drop");
+    }
+
+    #[test]
+    fn site_registration_assigns_dense_ids_and_labels() {
+        let t = Tracer::new();
+        let a = t.register_site("e1000e", "tx_desc_store");
+        let b = t.register_site("e1000e", "tdt_doorbell");
+        assert_eq!(a, SiteId(0));
+        assert_eq!(b, SiteId(1));
+        assert_eq!(t.site_label(b).unwrap(), "tdt_doorbell");
+        assert_eq!(t.site_count(), 2);
+        t.set_enabled(true);
+        t.record_check(a, 100, false);
+        t.record_check(a, 200, true);
+        assert_eq!(t.site_profile(a).hits, 2);
+        assert_eq!(t.site_profile(a).denied, 1);
+        assert_eq!(t.total_checks(), 2);
+        let top = report::top_sites(&t, 5);
+        assert!(top.contains("tx_desc_store"), "{top}");
+    }
+
+    #[test]
+    fn control_protocol_mirrors_tracefs() {
+        let t = Tracer::with_capacity(8);
+        assert_eq!(control::handle(&t, "tracing_on").unwrap(), "0");
+        assert_eq!(control::handle(&t, "tracing_on 1").unwrap(), "ok");
+        assert_eq!(control::handle(&t, "tracing_on").unwrap(), "1");
+        t.record(Producer::Driver, ev());
+        let dump = control::handle(&t, "trace").unwrap();
+        assert!(dump.contains("xmit bytes=60"), "{dump}");
+        assert!(control::handle(&t, "perfetto").unwrap().contains("\"ph\""));
+        assert_eq!(control::handle(&t, "clear").unwrap(), "ok");
+        assert!(control::handle(&t, "bogus").is_err());
+        assert_eq!(control::handle(&t, "tracing_on 0").unwrap(), "ok");
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn counter_registry_is_shared_and_idempotent() {
+        let t = Tracer::new();
+        let c1 = t.counters().counter("driver.tx_packets");
+        let c2 = t.counters().counter("driver.tx_packets");
+        c1.add(3);
+        c2.inc();
+        assert_eq!(c1.get(), 4);
+        assert!(c1.same_cell(&c2));
+        let external = Counter::new("policy.checks");
+        assert!(t.counters().register(&external));
+        let clash = Counter::new("policy.checks");
+        assert!(
+            !t.counters().register(&clash),
+            "second cell same name loses"
+        );
+        external.add(7);
+        assert_eq!(t.counters().get("policy.checks").unwrap().get(), 7);
+        let snap = t.counters().snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("driver.tx_packets".to_string(), 4),
+                ("policy.checks".to_string(), 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn perfetto_export_is_structurally_valid() {
+        let t = Tracer::with_capacity(64);
+        let site = t.register_site("mod_x", "f/g0");
+        t.set_enabled(true);
+        t.record(
+            Producer::Loader,
+            TraceEvent::ModuleLoad {
+                module: "mod_x".to_string(),
+                guard_sites: 1,
+            },
+        );
+        t.record(Producer::Interp, TraceEvent::GuardEnter { site });
+        t.record(
+            Producer::Interp,
+            TraceEvent::GuardExit {
+                site,
+                decision: GuardDecision::Quarantined,
+                ns: 120,
+            },
+        );
+        t.record(
+            Producer::Kernel,
+            TraceEvent::ModuleQuarantine {
+                module: "mod_x".to_string(),
+                violations: 1,
+            },
+        );
+        let snap = t.snapshot();
+        let events = perfetto::export_events(&t, &snap);
+        perfetto::validate_events(&events).expect("structurally valid");
+        // Required fields on every non-metadata event.
+        for ev in events.iter().filter(|e| e.ph != 'M') {
+            assert!(!ev.name.is_empty());
+            assert_eq!(ev.pid, perfetto::PERFETTO_PID);
+            assert!(ev.tid >= 1);
+        }
+        // Guard events are a balanced B/E pair on the interp track named
+        // by the site label.
+        assert!(events.iter().any(|e| e.ph == 'B' && e.name == "f/g0"));
+        assert!(events.iter().any(|e| e.ph == 'E' && e.name == "f/g0"));
+        let json = perfetto::to_json(&events);
+        perfetto::validate_json(&json).expect("json shape");
+        for key in [
+            "\"name\"", "\"cat\"", "\"ph\"", "\"ts\"", "\"pid\"", "\"tid\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn validate_events_rejects_nonmonotonic_tracks() {
+        let mk = |ts, tid| perfetto::PerfettoEvent {
+            name: "x".to_string(),
+            cat: "c".to_string(),
+            ph: 'i',
+            ts,
+            pid: 1,
+            tid,
+        };
+        assert!(perfetto::validate_events(&[mk(5, 1), mk(4, 1)]).is_err());
+        // Different tracks may interleave arbitrarily.
+        assert!(perfetto::validate_events(&[mk(5, 1), mk(4, 2)]).is_ok());
+    }
+}

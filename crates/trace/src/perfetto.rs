@@ -1,0 +1,179 @@
+//! Chrome / perfetto `trace_event` JSON export.
+//!
+//! Emits the legacy "JSON Array Format" that `chrome://tracing` and
+//! ui.perfetto.dev both ingest: an array of objects with `name`, `cat`,
+//! `ph`, `ts`, `pid`, `tid`. Guard enter/exit map to `B`/`E` duration
+//! events; everything else is an instant (`i`, thread scope). The
+//! virtual-clock tick is exported as 1 µs so traces render with visible
+//! extent. JSON is rendered by hand (the workspace is dependency-free);
+//! [`validate_events`] / [`validate_json`] check the structural
+//! invariants the viewer relies on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Producer, TraceEvent};
+use crate::{TraceSnapshot, Tracer};
+
+/// The `pid` all tracks share — there is one simulated kernel.
+pub const PERFETTO_PID: u32 = 1;
+
+/// One exported trace_event object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PerfettoEvent {
+    /// Event name shown on the slice.
+    pub name: String,
+    /// Category (the producer's name).
+    pub cat: String,
+    /// Phase: `B`/`E` for guard spans, `i` for instants, `M` for metadata.
+    pub ph: char,
+    /// Timestamp in µs (1 virtual tick = 1 µs).
+    pub ts: u64,
+    /// Process id.
+    pub pid: u32,
+    /// Thread id (producer track, 1-based).
+    pub tid: u32,
+}
+
+/// Convert a snapshot into trace_event objects, including one `M`
+/// (metadata) event per producer naming its track.
+pub fn export_events(tracer: &Tracer, snap: &TraceSnapshot) -> Vec<PerfettoEvent> {
+    let mut out = Vec::with_capacity(snap.records.len() + Producer::COUNT);
+    for p in Producer::ALL {
+        out.push(PerfettoEvent {
+            name: format!("thread_name:{}", p.name()),
+            cat: "__metadata".to_string(),
+            ph: 'M',
+            ts: 0,
+            pid: PERFETTO_PID,
+            tid: p.index() as u32 + 1,
+        });
+    }
+    for rec in &snap.records {
+        let name = match &rec.event {
+            TraceEvent::GuardEnter { site } | TraceEvent::GuardExit { site, .. } => tracer
+                .site_label(*site)
+                .unwrap_or_else(|| format!("{site}")),
+            other => other.name().to_string(),
+        };
+        let ph = match rec.event {
+            TraceEvent::GuardEnter { .. } => 'B',
+            TraceEvent::GuardExit { .. } => 'E',
+            _ => 'i',
+        };
+        out.push(PerfettoEvent {
+            name,
+            cat: rec.producer.name().to_string(),
+            ph,
+            ts: rec.ts,
+            pid: PERFETTO_PID,
+            tid: rec.producer.index() as u32 + 1,
+        });
+    }
+    out
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render events as a chrome://tracing JSON array.
+pub fn to_json(events: &[PerfettoEvent]) -> String {
+    let mut s = String::from("[\n");
+    for (i, ev) in events.iter().enumerate() {
+        s.push_str("  {\"name\": \"");
+        escape_json(&ev.name, &mut s);
+        s.push_str("\", \"cat\": \"");
+        escape_json(&ev.cat, &mut s);
+        let _ = write!(
+            s,
+            "\", \"ph\": \"{}\", \"ts\": {}, \"pid\": {}, \"tid\": {}}}",
+            ev.ph, ev.ts, ev.pid, ev.tid
+        );
+        if i + 1 < events.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+/// One-call export: snapshot the tracer and render JSON.
+pub fn export_json(tracer: &Tracer) -> String {
+    let snap = tracer.snapshot();
+    to_json(&export_events(tracer, &snap))
+}
+
+/// Structural validation of an event list in chrome://tracing schema
+/// terms: required fields non-degenerate, known phases, and timestamps
+/// monotonically non-decreasing per `(pid, tid)` track.
+pub fn validate_events(events: &[PerfettoEvent]) -> Result<(), String> {
+    let mut last_ts: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut depth: BTreeMap<(u32, u32), i64> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.name.is_empty() {
+            return Err(format!("event {i}: empty name"));
+        }
+        if !matches!(ev.ph, 'B' | 'E' | 'i' | 'M' | 'X') {
+            return Err(format!("event {i}: unknown phase {:?}", ev.ph));
+        }
+        if ev.ph == 'M' {
+            continue;
+        }
+        let track = (ev.pid, ev.tid);
+        if let Some(&prev) = last_ts.get(&track) {
+            if ev.ts < prev {
+                return Err(format!(
+                    "event {i}: ts {} < {} on track pid={} tid={}",
+                    ev.ts, prev, ev.pid, ev.tid
+                ));
+            }
+        }
+        last_ts.insert(track, ev.ts);
+        let d = depth.entry(track).or_insert(0);
+        match ev.ph {
+            'B' => *d += 1,
+            'E' => {
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("event {i}: E without matching B on tid={}", ev.tid));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Cheap structural check of rendered JSON: array-shaped, and every
+/// required trace_event key appears. (A parser-free sanity net for tests
+/// and CI; the real schema check is [`validate_events`].)
+pub fn validate_json(json: &str) -> Result<(), String> {
+    let t = json.trim();
+    if !t.starts_with('[') || !t.ends_with(']') {
+        return Err("not a JSON array".to_string());
+    }
+    if t.len() > 2 {
+        for key in [
+            "\"name\"", "\"cat\"", "\"ph\"", "\"ts\"", "\"pid\"", "\"tid\"",
+        ] {
+            if !t.contains(key) {
+                return Err(format!("missing required key {key}"));
+            }
+        }
+    }
+    Ok(())
+}

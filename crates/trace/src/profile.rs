@@ -1,0 +1,136 @@
+//! Per-guard-site profiling: hit counts and log2-bucketed latency
+//! histograms.
+//!
+//! Aggregation is independent of the ring buffer — the ring can overwrite
+//! old events, but the profiler never loses a check, so per-site totals
+//! reconcile exactly with the aggregate guard-check count (asserted by
+//! the root `tests/trace.rs`).
+
+use crate::sites::SiteId;
+
+/// Number of log2 latency buckets. Bucket `i` covers `[2^i, 2^(i+1))`
+/// nanoseconds (bucket 0 also absorbs 0 ns); 32 buckets reach ~4.3 s.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Map a latency to its log2 bucket.
+pub fn latency_bucket(ns: u64) -> usize {
+    (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// Aggregated profile of one guard site.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SiteProfile {
+    /// Total checks observed at this site.
+    pub hits: u64,
+    /// Checks that did not come back `Allowed`.
+    pub denied: u64,
+    /// Sum of check latencies (host ns).
+    pub total_ns: u64,
+    /// log2 latency histogram; `hist[i]` counts checks in `[2^i, 2^(i+1))` ns.
+    pub hist: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for SiteProfile {
+    fn default() -> SiteProfile {
+        SiteProfile {
+            hits: 0,
+            denied: 0,
+            total_ns: 0,
+            hist: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl SiteProfile {
+    /// Mean check latency in ns (0 when no hits).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.hits).unwrap_or(0)
+    }
+
+    /// Index of the highest non-empty histogram bucket, if any.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.hist.iter().rposition(|&n| n > 0)
+    }
+}
+
+/// Dense per-site profile store, indexed by raw [`SiteId`].
+#[derive(Debug, Default)]
+pub(crate) struct Profiler {
+    per_site: Vec<SiteProfile>,
+}
+
+impl Profiler {
+    pub(crate) fn record(&mut self, site: SiteId, ns: u64, denied: bool) {
+        let idx = site.0 as usize;
+        if idx >= self.per_site.len() {
+            self.per_site.resize(idx + 1, SiteProfile::default());
+        }
+        let p = &mut self.per_site[idx];
+        p.hits += 1;
+        if denied {
+            p.denied += 1;
+        }
+        p.total_ns += ns;
+        p.hist[latency_bucket(ns)] += 1;
+    }
+
+    pub(crate) fn get(&self, site: SiteId) -> SiteProfile {
+        self.per_site
+            .get(site.0 as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<(SiteId, SiteProfile)> {
+        self.per_site
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.hits > 0)
+            .map(|(i, p)| (SiteId(i as u32), p.clone()))
+            .collect()
+    }
+
+    pub(crate) fn total_hits(&self) -> u64 {
+        self.per_site.iter().map(|p| p.hits).sum()
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.per_site.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(4), 2);
+        assert_eq!(latency_bucket(1023), 9);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn profile_aggregates_hits_and_latency() {
+        let mut p = Profiler::default();
+        p.record(SiteId(2), 100, false);
+        p.record(SiteId(2), 300, true);
+        let prof = p.get(SiteId(2));
+        assert_eq!(prof.hits, 2);
+        assert_eq!(prof.denied, 1);
+        assert_eq!(prof.total_ns, 400);
+        assert_eq!(prof.mean_ns(), 200);
+        assert_eq!(
+            prof.hist[latency_bucket(100)] + prof.hist[latency_bucket(300)],
+            2
+        );
+        assert_eq!(p.total_hits(), 2);
+        assert_eq!(p.get(SiteId(0)).hits, 0);
+        assert_eq!(p.snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! The fixed-capacity, overwrite-on-full event ring.
+//!
+//! Mirrors ftrace's per-CPU ring buffer semantics in miniature: when the
+//! buffer is full the *oldest* record is overwritten and a drop is
+//! charged to that record's producer. Sequence numbers are assigned under
+//! the same lock as insertion, so per-producer sequences are gap-free in
+//! the set {emitted records} — a reader seeing gaps in the *retained*
+//! records can reconcile them exactly against the drop counters.
+
+use std::collections::VecDeque;
+
+use crate::event::{Producer, TraceEvent, TraceRecord};
+
+/// Ring state: buffer, virtual clock, per-producer sequence and drop
+/// counters. Everything lives under one mutex (in [`crate::Tracer`]) so a
+/// snapshot is internally consistent.
+#[derive(Debug)]
+pub(crate) struct Ring {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    /// Virtual clock: one tick per recorded event. Deterministic and
+    /// strictly monotonic — host time never leaks into the trace.
+    clock: u64,
+    seqs: [u64; Producer::COUNT],
+    drops: [u64; Producer::COUNT],
+}
+
+impl Ring {
+    pub(crate) fn new(capacity: usize) -> Ring {
+        let capacity = capacity.max(1);
+        Ring {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            seqs: [0; Producer::COUNT],
+            drops: [0; Producer::COUNT],
+        }
+    }
+
+    pub(crate) fn push(&mut self, producer: Producer, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            let evicted = self.buf.pop_front().expect("capacity >= 1");
+            self.drops[evicted.producer.index()] += 1;
+        }
+        let ts = self.clock;
+        self.clock += 1;
+        let seq = self.seqs[producer.index()];
+        self.seqs[producer.index()] += 1;
+        self.buf.push_back(TraceRecord {
+            ts,
+            seq,
+            producer,
+            event,
+        });
+    }
+
+    pub(crate) fn records(&self) -> Vec<TraceRecord> {
+        self.buf.iter().cloned().collect()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        // Clearing consumes the retained records without charging drops;
+        // sequence counters and the clock keep running so post-clear
+        // records remain globally ordered.
+        self.buf.clear();
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    pub(crate) fn seq(&self, p: Producer) -> u64 {
+        self.seqs[p.index()]
+    }
+
+    pub(crate) fn drops(&self, p: Producer) -> u64 {
+        self.drops[p.index()]
+    }
+}

@@ -1,0 +1,205 @@
+//! Stable guard-site identifiers.
+//!
+//! A *guard site* is one injected guard call in module IR (or a named
+//! synthetic site for native code paths like the Rust e1000e driver).
+//! Site assignment is a deterministic walk over the module — functions in
+//! definition order, blocks in layout order, placed instructions in block
+//! order — so the compiler, the attestation, and the loader all agree on
+//! the numbering without any side channel. The attestation records the
+//! site count and a digest of the canonical site text; the loader can
+//! recompute both and refuse modules whose site map doesn't match what
+//! the compiler signed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use kop_ir::{Inst, Module};
+
+/// Symbol name of the memory guard. Must match the compiler's
+/// `GUARD_SYMBOL` (asserted by a compiler test).
+pub const GUARD_SYMBOL: &str = "carat_guard";
+
+/// Symbol name of the intrinsic guard. Must match the compiler's
+/// `INTRINSIC_GUARD_SYMBOL`.
+pub const INTRINSIC_GUARD_SYMBOL: &str = "carat_intrinsic_guard";
+
+/// Globally unique (per [`crate::Tracer`]) identifier of a guard site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+/// What kind of guard a site is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SiteKind {
+    /// A `carat_guard` memory-access check.
+    Mem,
+    /// A `carat_intrinsic_guard` privileged-intrinsic check.
+    Intrinsic,
+    /// A named native site (no IR behind it), e.g. the Rust driver's
+    /// descriptor-ring stores.
+    Synthetic,
+}
+
+impl SiteKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteKind::Mem => "mem",
+            SiteKind::Intrinsic => "intrinsic",
+            SiteKind::Synthetic => "synthetic",
+        }
+    }
+}
+
+/// One guard site discovered in module IR, before a tracer assigns it a
+/// global [`SiteId`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct GuardSite {
+    /// Enclosing function name.
+    pub function: String,
+    /// 0-based ordinal of this guard within the function (walk order).
+    pub ordinal: u32,
+    /// Raw `InstId` of the guard call instruction, the key the
+    /// interpreter uses to attribute a dynamic check back to this site.
+    pub inst: u32,
+    /// Memory or intrinsic guard.
+    pub kind: SiteKind,
+}
+
+impl GuardSite {
+    /// Human-readable label, e.g. `tx_fill/g3` (`ig` for intrinsic sites).
+    pub fn label(&self) -> String {
+        let tag = match self.kind {
+            SiteKind::Intrinsic => "ig",
+            _ => "g",
+        };
+        format!("{}/{}{}", self.function, tag, self.ordinal)
+    }
+}
+
+/// Walk `module` and assign every guard call a stable site.
+///
+/// Order: functions in definition order; within a function, placed
+/// instructions in block layout order. Both `carat_guard` and
+/// `carat_intrinsic_guard` calls get sites (ordinals share one counter
+/// per function, so labels stay unique).
+pub fn assign_guard_sites(module: &Module) -> Vec<GuardSite> {
+    let mut out = Vec::new();
+    for func in &module.functions {
+        let mut ordinal = 0u32;
+        for block in &func.blocks {
+            for &iid in &block.insts {
+                if let Inst::Call { callee, .. } = func.inst(iid) {
+                    let kind = match callee.as_str() {
+                        GUARD_SYMBOL => SiteKind::Mem,
+                        INTRINSIC_GUARD_SYMBOL => SiteKind::Intrinsic,
+                        _ => continue,
+                    };
+                    out.push(GuardSite {
+                        function: func.name.clone(),
+                        ordinal,
+                        inst: iid.0,
+                        kind,
+                    });
+                    ordinal += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Canonical text form of a module's site map — the attestation digests
+/// this, so both sides must produce it byte-identically. Deliberately
+/// excludes [`GuardSite::inst`]: arena instruction ids are renumbered by
+/// a print/parse round trip, so only the walk-order identity
+/// `(function, ordinal, kind)` is digest-stable. The `inst` id remains a
+/// runtime-local lookup key for the loader's in-memory module.
+pub fn canonical_site_text(module_name: &str, sites: &[GuardSite]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "sites-v1 module={module_name} count={}", sites.len());
+    for site in sites {
+        let _ = writeln!(
+            s,
+            "{} ord={} kind={}",
+            site.function,
+            site.ordinal,
+            site.kind.name()
+        );
+    }
+    s
+}
+
+/// Per-module lookup table mapping a guard call instruction back to its
+/// tracer-global [`SiteId`]. Built by the loader at `insmod`, consulted
+/// by the interpreter on every guard dispatch (allocation-free lookup).
+#[derive(Clone, Debug, Default)]
+pub struct SiteTable {
+    by_function: BTreeMap<String, BTreeMap<u32, SiteId>>,
+    len: usize,
+}
+
+impl SiteTable {
+    /// Empty table (module with no guards).
+    pub fn new() -> SiteTable {
+        SiteTable::default()
+    }
+
+    /// Record that the guard call `inst` inside `function` is site `id`.
+    pub fn insert(&mut self, function: &str, inst: u32, id: SiteId) {
+        let fresh = self
+            .by_function
+            .entry(function.to_string())
+            .or_default()
+            .insert(inst, id)
+            .is_none();
+        if fresh {
+            self.len += 1;
+        }
+    }
+
+    /// Resolve a guard call back to its site.
+    pub fn lookup(&self, function: &str, inst: u32) -> Option<SiteId> {
+        self.by_function.get(function)?.get(&inst).copied()
+    }
+
+    /// Number of sites in this module.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the module has no guard sites.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All `SiteId`s in this table, ascending.
+    pub fn ids(&self) -> Vec<SiteId> {
+        let mut ids: Vec<SiteId> = self
+            .by_function
+            .values()
+            .flat_map(|m| m.values().copied())
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+/// Metadata a tracer keeps per registered site.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SiteMeta {
+    /// The global id.
+    pub id: SiteId,
+    /// Owning module (or native subsystem, e.g. `"e1000e"`).
+    pub module: String,
+    /// Human-readable label (`function/gN` or a synthetic name).
+    pub label: String,
+    /// Site kind.
+    pub kind: SiteKind,
+}

@@ -1,0 +1,128 @@
+//! Ring-buffer edge cases the satellite checklist demands: wraparound /
+//! overwrite ordering, drop-counter accuracy under a full buffer, and a
+//! property test that per-producer sequence numbers are gap-free when no
+//! drops are reported.
+
+use proptest::prelude::*;
+
+use kop_trace::{Producer, TraceEvent, Tracer};
+
+fn producer_of(i: u64) -> Producer {
+    Producer::ALL[(i % Producer::ALL.len() as u64) as usize]
+}
+
+#[test]
+fn exact_fill_has_no_drops_then_one_more_drops_one() {
+    let t = Tracer::with_capacity(8);
+    t.set_enabled(true);
+    for i in 0..8 {
+        t.record(producer_of(i), TraceEvent::Xmit { bytes: i });
+    }
+    assert_eq!(t.snapshot().total_drops(), 0, "exactly full != overflow");
+    t.record(Producer::Bench, TraceEvent::Reset);
+    let snap = t.snapshot();
+    assert_eq!(snap.total_drops(), 1);
+    assert_eq!(snap.records.len(), 8);
+    // The overwritten record was the oldest one, emitted by producer_of(0).
+    assert_eq!(
+        snap.drops
+            .iter()
+            .find(|(p, _)| *p == producer_of(0))
+            .unwrap()
+            .1,
+        1
+    );
+}
+
+#[test]
+fn sustained_overflow_keeps_exactly_the_newest_window() {
+    let t = Tracer::with_capacity(16);
+    t.set_enabled(true);
+    for i in 0..1000u64 {
+        t.record(Producer::Driver, TraceEvent::Xmit { bytes: i });
+    }
+    let snap = t.snapshot();
+    assert_eq!(snap.records.len(), 16);
+    let bytes: Vec<u64> = snap
+        .records
+        .iter()
+        .map(|r| match r.event {
+            TraceEvent::Xmit { bytes } => bytes,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(bytes, (984..1000).collect::<Vec<u64>>());
+    assert_eq!(t.drops(Producer::Driver), 984);
+    assert_eq!(t.seq(Producer::Driver), 1000);
+}
+
+#[test]
+fn drop_accounting_balances_emitted_vs_retained() {
+    // For every producer: seq (ever emitted) == retained + dropped,
+    // no matter how the producers interleave.
+    let t = Tracer::with_capacity(7);
+    t.set_enabled(true);
+    for i in 0..123u64 {
+        t.record(producer_of(i * 7 + 3), TraceEvent::Xmit { bytes: i });
+    }
+    let snap = t.snapshot();
+    for p in Producer::ALL {
+        let retained = snap.by_producer(p).len() as u64;
+        let dropped = snap.drops.iter().find(|(q, _)| *q == p).unwrap().1;
+        let emitted = snap.seqs.iter().find(|(q, _)| *q == p).unwrap().1;
+        assert_eq!(emitted, retained + dropped, "balance for {p}");
+    }
+    assert_eq!(snap.clock, 123);
+}
+
+proptest! {
+    #[test]
+    fn seqs_are_gap_free_per_producer_when_no_drops(
+        picks in proptest::collection::vec(0usize..Producer::ALL.len(), 1..200)
+    ) {
+        // Capacity >= event count: nothing can be overwritten.
+        let t = Tracer::with_capacity(picks.len());
+        t.set_enabled(true);
+        for &p in &picks {
+            t.record(Producer::ALL[p], TraceEvent::Reset);
+        }
+        let snap = t.snapshot();
+        prop_assert_eq!(snap.total_drops(), 0);
+        for p in Producer::ALL {
+            let seqs: Vec<u64> = snap.by_producer(p).iter().map(|r| r.seq).collect();
+            // Gap-free: exactly 0..k in order.
+            let expect: Vec<u64> = (0..seqs.len() as u64).collect();
+            prop_assert_eq!(&seqs, &expect, "producer {}", p);
+        }
+        // Global timestamps are unique and strictly increasing.
+        for w in snap.records.windows(2) {
+            prop_assert!(w[0].ts < w[1].ts);
+        }
+    }
+
+    #[test]
+    fn retained_seqs_stay_ordered_even_with_drops(
+        picks in proptest::collection::vec(0usize..Producer::ALL.len(), 1..300),
+        cap in 1usize..32,
+    ) {
+        let t = Tracer::with_capacity(cap);
+        t.set_enabled(true);
+        for &p in &picks {
+            t.record(Producer::ALL[p], TraceEvent::Reset);
+        }
+        let snap = t.snapshot();
+        prop_assert!(snap.records.len() <= cap);
+        for p in Producer::ALL {
+            let seqs: Vec<u64> = snap.by_producer(p).iter().map(|r| r.seq).collect();
+            // Retained records per producer are strictly ascending and
+            // contiguous at the tail (drops only eat the oldest).
+            for w in seqs.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1, "tail-contiguous for {}", p);
+            }
+            let emitted = snap.seqs.iter().find(|(q, _)| *q == p).unwrap().1;
+            if let Some(&last) = seqs.last() {
+                prop_assert_eq!(last, emitted - 1, "newest retained is newest emitted");
+            }
+        }
+    }
+}

@@ -8,6 +8,11 @@
 //! kernel module has access to a privileged intrinsic."*
 //!
 //! Run with: `cargo run --example perfmon_intrinsics`
+//!
+//! The run also demonstrates kop-trace on the intrinsic path: every
+//! wrapped `carat_intrinsic_guard` call has a guard-site identity, so
+//! the per-site profile at the end is read from the kernel's trace
+//! registry — not from ad-hoc counters in this example.
 
 use std::sync::Arc;
 
@@ -58,7 +63,14 @@ fn main() {
     let policy = Arc::new(PolicyModule::new());
     policy.set_default_action(DefaultAction::Allow);
     let mut kernel = Kernel::boot(policy, vec![key], KernelConfig::default());
+    // Turn tracing on before the module loads so every intrinsic-guard
+    // check lands in the per-site profile.
+    kernel.tracer().set_enabled(true);
     kernel.insmod(&out.signed).unwrap();
+    println!(
+        "module registered {} guard site(s) with the tracer",
+        kernel.tracer().site_count()
+    );
 
     // Operator grants exactly the MSR intrinsics over the ioctl protocol —
     // a *second* firewall table, for operations instead of bytes.
@@ -91,4 +103,20 @@ fn main() {
         "interrupts still enabled: {} — the lockup never happened",
         kernel.interrupts_enabled()
     );
+
+    // Per-site profile, straight from the trace registry: which guard
+    // sites ran, how often, and what the checks cost. The denied __cli
+    // shows up against its own site.
+    let tracer = kernel.tracer();
+    println!();
+    print!("{}", carat_kop::trace::report::top_sites(tracer, 5));
+    let total = tracer.total_checks();
+    let denied: u64 = tracer
+        .profile_snapshot()
+        .iter()
+        .map(|(_, p)| p.denied)
+        .sum();
+    println!("total intrinsic-guard checks: {total} ({denied} denied)");
+    assert!(total >= 3, "wrmsr + rdmsr + cli guards all profiled");
+    assert_eq!(denied, 1, "exactly the __cli guard was denied");
 }

@@ -1,0 +1,260 @@
+//! End-to-end kop-trace: guard checks made observable.
+//!
+//! The tracing pipeline the paper's tooling story needs: compiler-
+//! assigned guard-site identities flow through the attestation, the
+//! loader registers them at insmod, the interpreter attributes every
+//! `carat_guard` check to its site, and the consumers (per-site
+//! profiles, the `/dev/trace` chardev, the perfetto exporter) all agree
+//! with each other and with the interpreter's own counters.
+
+use std::sync::Arc;
+
+use carat_kop::compiler::{compile_module, CompileOptions, CompilerKey};
+use carat_kop::core::KernelError;
+use carat_kop::interp::Interp;
+use carat_kop::ir::parse_module;
+use carat_kop::kernel::{Kernel, KernelConfig};
+use carat_kop::policy::{PolicyModule, ViolationAction};
+use carat_kop::trace::{self, Producer, TraceEvent};
+
+const DRIVERISH_SRC: &str = r#"
+module "drv"
+global @stats : { i64, i64 } = zero
+define i64 @touch(ptr %buf, i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %p = gep i64, ptr %buf, i64 %i
+  store i64 %i, ptr %p
+  %v = load i64, ptr %p
+  %pk.p = gep { i64, i64 }, ptr @stats, i64 0, i32 0
+  %pk = load i64, ptr %pk.p
+  %pk2 = add i64 %pk, %v
+  store i64 %pk2, ptr %pk.p
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  %r.p = gep { i64, i64 }, ptr @stats, i64 0, i32 0
+  %r = load i64, ptr %r.p
+  ret i64 %r
+}
+"#;
+
+const CREDSCAN_SRC: &str = r#"
+module "credscan"
+global @found : i64 = 0
+define i64 @probe(i64 %addr) {
+entry:
+  %p = inttoptr i64 %addr to ptr
+  %word = load i64, ptr %p
+  store i64 %word, ptr @found
+  %r = load i64, ptr @found
+  ret i64 %r
+}
+"#;
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "trace-e2e")
+}
+
+/// Boot, load `DRIVERISH_SRC` with tracing enabled, run one `touch`
+/// pass, and return the kernel plus the interpreter's guard count.
+fn traced_touch_run(n: u64) -> (Kernel, u64) {
+    let out = compile_module(
+        parse_module(DRIVERISH_SRC).unwrap(),
+        &CompileOptions::carat_kop(),
+        &key(),
+    )
+    .expect("compiles");
+    let policy = Arc::new(PolicyModule::new());
+    policy.set_default_action(carat_kop::policy::DefaultAction::Allow);
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    kernel.tracer().set_enabled(true);
+    kernel.insmod(&out.signed).expect("insmod");
+    let buf = kernel.kmalloc(n * 8).unwrap();
+    let guards = {
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        let r = interp.call("drv", "touch", &[buf.raw(), n]).unwrap();
+        assert_eq!(r, Some((0..n).sum::<u64>()));
+        interp.stats().guards
+    };
+    (kernel, guards)
+}
+
+/// The reconciliation guarantee: per-site histogram totals equal the
+/// interpreter's aggregate guard count exactly — the profiler sits off
+/// the ring, so wraparound can never lose a check.
+#[test]
+fn per_site_totals_reconcile_with_interp_guard_count() {
+    let (kernel, guards) = traced_touch_run(64);
+    let tracer = kernel.tracer();
+    assert_eq!(guards, 257, "64 iterations × 4 accesses + final load");
+    assert_eq!(tracer.total_checks(), guards);
+    // Sum of per-site hits — and of per-site histogram buckets — both
+    // reconcile with the same aggregate.
+    let snap = tracer.profile_snapshot();
+    let hit_sum: u64 = snap.iter().map(|(_, p)| p.hits).sum();
+    let bucket_sum: u64 = snap.iter().map(|(_, p)| p.hist.iter().sum::<u64>()).sum();
+    assert_eq!(hit_sum, guards);
+    assert_eq!(bucket_sum, guards);
+    // Every profiled site resolves to a labelled site in @touch.
+    for (meta, prof) in &snap {
+        assert!(meta.label.starts_with("touch/g"), "label {}", meta.label);
+        assert_eq!(meta.module, "drv");
+        assert!(prof.hits > 0);
+        assert!(prof.total_ns >= prof.hits, "at least 1 ns per check");
+    }
+    // The hot loop has 4 guard sites doing 64 hits each; the exit load
+    // does one. Per-site attribution must reflect that shape.
+    let mut hits: Vec<u64> = snap.iter().map(|(_, p)| p.hits).collect();
+    hits.sort_unstable();
+    assert_eq!(hits, vec![1, 64, 64, 64, 64]);
+}
+
+/// The ring holds paired GuardEnter/GuardExit events from the interp
+/// producer with gap-free sequence numbers (capacity is larger than the
+/// event count here, so nothing is dropped).
+#[test]
+fn ring_pairs_guard_events_with_gap_free_seqs() {
+    let (kernel, guards) = traced_touch_run(8);
+    let snap = kernel.tracer().snapshot();
+    assert_eq!(snap.total_drops(), 0);
+    let interp_events: Vec<_> = snap
+        .records
+        .iter()
+        .filter(|r| r.producer == Producer::Interp)
+        .collect();
+    let enters = interp_events
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::GuardEnter { .. }))
+        .count() as u64;
+    let exits = interp_events
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::GuardExit { .. }))
+        .count() as u64;
+    assert_eq!(enters, guards);
+    assert_eq!(exits, guards);
+    for (i, r) in interp_events.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "per-producer seqs are gap-free");
+    }
+    // The loader's ModuleLoad event is in the ring too.
+    assert!(snap.records.iter().any(|r| matches!(
+        &r.event,
+        TraceEvent::ModuleLoad { module, guard_sites } if module == "drv" && *guard_sites > 0
+    )));
+}
+
+/// A quarantine run exports structurally valid perfetto JSON: metadata
+/// track names, balanced B/E spans, monotonic timestamps per track, and
+/// the Violation/ModuleQuarantine instants from the kernel producer.
+#[test]
+fn quarantine_run_exports_valid_perfetto_json() {
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    policy.set_violation_action(ViolationAction::Quarantine);
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    kernel.tracer().set_enabled(true);
+
+    let out = compile_module(
+        parse_module(CREDSCAN_SRC).unwrap(),
+        &CompileOptions::carat_kop(),
+        &key(),
+    )
+    .expect("compiles");
+    kernel.insmod(&out.signed).expect("insmod");
+
+    // Forbidden probes (user half) until the violation budget quarantines
+    // the module.
+    let mut quarantined = false;
+    {
+        let mut interp = Interp::new(&mut kernel).expect("interp");
+        for _ in 0..8 {
+            match interp.call("credscan", "probe", &[0x40_0000]) {
+                Ok(_) => {}
+                Err(KernelError::ModuleQuarantined { module, .. }) => {
+                    assert_eq!(module, "credscan");
+                    quarantined = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+    assert!(quarantined, "violation budget must trip");
+
+    let tracer = kernel.tracer();
+    let snap = tracer.snapshot();
+    assert!(snap.records.iter().any(|r| {
+        r.producer == Producer::Kernel && matches!(r.event, TraceEvent::Violation { .. })
+    }));
+    assert!(snap.records.iter().any(|r| matches!(
+        &r.event,
+        TraceEvent::ModuleQuarantine { module, violations } if module == "credscan" && *violations > 0
+    )));
+
+    // Structural validation of the export (the same checks the unit
+    // tests apply, here over a real quarantine trace).
+    let events = trace::perfetto::export_events(tracer, &snap);
+    trace::perfetto::validate_events(&events).expect("perfetto events valid");
+    let json = trace::perfetto::to_json(&events);
+    trace::perfetto::validate_json(&json).expect("perfetto JSON valid");
+    assert!(json.contains("\"ph\": \"B\"") && json.contains("\"ph\": \"E\""));
+    assert!(json.contains("module_quarantine"));
+}
+
+/// The `/dev/trace` chardev mirrors the tracefs UX end-to-end: enable
+/// over ioctl, run guarded work, read back the top-sites report, the
+/// counter registry (policy cells included), and the perfetto export.
+#[test]
+fn dev_trace_chardev_controls_and_reads_the_tracer() {
+    let out = compile_module(
+        parse_module(DRIVERISH_SRC).unwrap(),
+        &CompileOptions::carat_kop(),
+        &key(),
+    )
+    .expect("compiles");
+    let policy = Arc::new(PolicyModule::new());
+    policy.set_default_action(carat_kop::policy::DefaultAction::Allow);
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+
+    let io = |kernel: &mut Kernel, req: &str| -> String {
+        let resp = kernel
+            .ioctl(carat_kop::kernel::TRACE_DEV, req.as_bytes())
+            .unwrap_or_else(|e| panic!("ioctl {req:?}: {e}"));
+        String::from_utf8(resp).expect("utf-8 response")
+    };
+
+    assert_eq!(io(&mut kernel, "tracing_on"), "0");
+    assert_eq!(io(&mut kernel, "tracing_on 1"), "ok");
+    assert_eq!(io(&mut kernel, "tracing_on"), "1");
+
+    kernel.insmod(&out.signed).expect("insmod");
+    let buf = kernel.kmalloc(16 * 8).unwrap();
+    {
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        interp.call("drv", "touch", &[buf.raw(), 16]).unwrap();
+    }
+
+    let top = io(&mut kernel, "top 3");
+    assert!(top.contains("touch/g"), "top report names sites:\n{top}");
+    let counters = io(&mut kernel, "counters");
+    assert!(
+        counters.contains("policy.checks"),
+        "policy cells registered at boot:\n{counters}"
+    );
+    let dump = io(&mut kernel, "trace");
+    assert!(
+        dump.contains("guard_exit"),
+        "ring dump lists events:\n{dump}"
+    );
+    let perfetto = io(&mut kernel, "perfetto");
+    trace::perfetto::validate_json(&perfetto).expect("chardev perfetto output valid");
+
+    // clear drains the ring but keeps the clock running.
+    io(&mut kernel, "clear");
+    let empty = io(&mut kernel, "trace");
+    assert!(!empty.contains("guard_exit"), "{empty}");
+}
