@@ -1,11 +1,14 @@
 //! `reproduce` — regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|trace|all]
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|trace|smp|all]
 //!           [--csv]        # raw series to stdout instead of the report
 //!           [--out DIR]    # additionally write one CSV per figure into DIR
 //!           [--quick]      # tiny trial counts (CI smoke); not paper-scale
 //! ```
+//!
+//! The `smp` figure additionally writes machine-readable `BENCH_smp.json`
+//! (into `--out DIR` when given, else the current directory).
 
 use kop_bench::figures;
 
@@ -52,11 +55,12 @@ fn main() {
         "ablation-opt" => vec![figures::ablation_opt()],
         "resilience" => figures::resilience(),
         "trace" => vec![figures::trace()],
+        "smp" => vec![figures::smp()],
         "all" => figures::all_figures(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|trace|all] [--csv] [--quick]"
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|trace|smp|all] [--csv] [--quick]"
             );
             std::process::exit(2);
         }
@@ -74,6 +78,13 @@ fn main() {
         if let Some(dir) = &out_dir {
             let path = std::path::Path::new(dir).join(format!("{}.csv", fig.id));
             std::fs::write(&path, fig.render_csv()).expect("write figure CSV");
+            eprintln!("wrote {}", path.display());
+        }
+        if fig.id == "smp" {
+            // Machine-readable results for CI consumers and dashboards.
+            let dir = out_dir.as_deref().unwrap_or(".");
+            let path = std::path::Path::new(dir).join("BENCH_smp.json");
+            std::fs::write(&path, fig.render_json()).expect("write BENCH_smp.json");
             eprintln!("wrote {}", path.display());
         }
     }

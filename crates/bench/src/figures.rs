@@ -207,6 +207,70 @@ impl FigureData {
         }
         out
     }
+
+    /// Render as machine-readable JSON (what `reproduce` writes to
+    /// `BENCH_<id>.json`). Hand-rolled — no serde in the tree — with
+    /// non-finite values mapped to `null`.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": \"{}\",", esc(self.id));
+        let _ = writeln!(out, "  \"title\": \"{}\",", esc(&self.title));
+        let _ = writeln!(
+            out,
+            "  \"axes\": [\"{}\", \"{}\"],",
+            esc(self.axes.0),
+            esc(self.axes.1)
+        );
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| {
+                let pts: Vec<String> = s
+                    .points
+                    .iter()
+                    .map(|(x, y)| format!("[{}, {}]", num(*x), num(*y)))
+                    .collect();
+                format!(
+                    "    {{\"label\": \"{}\", \"points\": [{}]}}",
+                    esc(&s.label),
+                    pts.join(", ")
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"series\": [\n{}\n  ],", series.join(",\n"));
+        let heads: Vec<String> = self
+            .headlines
+            .iter()
+            .map(|(n, v)| format!("    \"{}\": {}", esc(n), num(*v)))
+            .collect();
+        let _ = writeln!(out, "  \"headlines\": {{\n{}\n  }},", heads.join(",\n"));
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("    \"{}\"", esc(n)))
+            .collect();
+        let _ = writeln!(out, "  \"notes\": [\n{}\n  ]", notes.join(",\n"));
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// Standard trial configuration (paper: ~100k packets/trial, many trials).
@@ -1070,6 +1134,320 @@ pub fn trace() -> FigureData {
     }
 }
 
+/// The SMP guard-path figure (`reproduce smp`): guarded check rate and
+/// multi-queue TX throughput vs thread count, for the mutex-store
+/// baseline, the lock-free snapshot path, and snapshot + per-thread
+/// guard TLB — plus a writer-churn phase proving revoked grants are
+/// never admitted (DESIGN §3.13).
+///
+/// Three claims, asserted in CI quick mode on a multi-core runner:
+/// (a) snapshot+TLB check throughput scales ≥3x from 1 to 4 threads
+/// while the mutex path stays ≤1.5x; (b) single-thread ns/check for
+/// snapshot+TLB is no worse than the mutex path; (c) a revoke/grant
+/// storm never admits a stale access (asserted at every scale, every
+/// run). Guard-TLB hits + misses reconcile exactly with guard calls.
+pub fn smp() -> FigureData {
+    use kop_policy::{CheckPath, GuardTlb};
+    use kop_trace::CounterRegistry;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AO};
+    use std::sync::Barrier;
+
+    let threads: &[usize] = if quick() { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let (iters, repeats, mq_frames) = if quick() {
+        (60_000u64, 3usize, 200u64)
+    } else {
+        (250_000u64, 5usize, 1_500u64)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Timing asserts only when this process is the standalone quick smoke
+    // run on a multi-core host: under `cargo test` (paper scale) sibling
+    // tests pollute the scheduler and scaling ratios are meaningless.
+    let assert_timing = quick() && cores >= 4;
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Path {
+        MutexStore,
+        Snapshot,
+        SnapshotTlb,
+    }
+
+    // One check-rate measurement: n threads hammer one shared policy
+    // with permitted kernel-half accesses; returns aggregate checks/sec
+    // (best of `repeats`, min-time discipline).
+    let check_rate = |path: Path, n: usize| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..repeats {
+            let pm = setup::two_region_policy();
+            pm.set_check_path(match path {
+                Path::MutexStore => CheckPath::MutexStore,
+                _ => CheckPath::Snapshot,
+            });
+            let barrier = Barrier::new(n);
+            let base = kop_core::layout::DIRECT_MAP_BASE;
+            let worst_ns = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|t| {
+                        let pm = std::sync::Arc::clone(&pm);
+                        let barrier = &barrier;
+                        s.spawn(move || {
+                            let tlb = GuardTlb::with_prefix("smp.rate");
+                            barrier.wait();
+                            let t0 = Instant::now();
+                            for i in 0..iters {
+                                let addr = VAddr(base + ((i ^ t as u64) % 512) * 8);
+                                let r = match path {
+                                    Path::SnapshotTlb => tlb.check(
+                                        &pm,
+                                        (i % 8) as u32,
+                                        addr,
+                                        Size(8),
+                                        AccessFlags::RW,
+                                    ),
+                                    _ => pm.check(addr, Size(8), AccessFlags::RW),
+                                };
+                                debug_assert!(r.is_ok());
+                                std::hint::black_box(&r);
+                            }
+                            t0.elapsed().as_nanos() as u64
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rate worker"))
+                    .max()
+                    .unwrap_or(1)
+            });
+            let rate = (iters as f64 * n as f64) / (worst_ns as f64 / 1e9);
+            best = best.max(rate);
+        }
+        best
+    };
+
+    let mut series = Vec::new();
+    let mut rate_1t = std::collections::HashMap::new();
+    let mut rate_4t = std::collections::HashMap::new();
+    for (label, path) in [
+        ("checkrate_mutex", Path::MutexStore),
+        ("checkrate_snapshot", Path::Snapshot),
+        ("checkrate_snapshot_tlb", Path::SnapshotTlb),
+    ] {
+        let points: Vec<(f64, f64)> = threads
+            .iter()
+            .map(|&n| {
+                let r = check_rate(path, n);
+                if n == 1 {
+                    rate_1t.insert(label, r);
+                }
+                if n == 4 {
+                    rate_4t.insert(label, r);
+                }
+                (n as f64, r / 1e6) // Mchecks/s
+            })
+            .collect();
+        series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    // Single-thread ns/check from the measured rates.
+    let ns_per_check = |label: &str| 1e9 / rate_1t.get(label).copied().unwrap_or(1.0);
+    let mutex_ns = ns_per_check("checkrate_mutex");
+    let snapshot_ns = ns_per_check("checkrate_snapshot");
+    let tlb_ns = ns_per_check("checkrate_snapshot_tlb");
+
+    // Multi-queue TX throughput: N queues, each its own driver + ring,
+    // sharing one policy. The TLB config registers every queue's hit and
+    // miss cells so they reconcile against the drivers' guard counters.
+    let mut mq_guard_calls = 0u64;
+    let mut tlb_hits = 0u64;
+    let mut tlb_misses = 0u64;
+    for (label, use_tlb) in [("mq_tx_mutex", false), ("mq_tx_snapshot_tlb", true)] {
+        let mut points = Vec::new();
+        for &n in threads {
+            let mut best = 0.0f64;
+            for _ in 0..repeats.min(3) {
+                let pm = setup::two_region_policy();
+                pm.set_check_path(if use_tlb {
+                    CheckPath::Snapshot
+                } else {
+                    CheckPath::MutexStore
+                });
+                let registry = CounterRegistry::new();
+                let report =
+                    if use_tlb {
+                        kop_e1000e::run_mq_tx_with(n, mq_frames, 64, |q| {
+                            let mem = kop_e1000e::GuardedMem::with_tlb_prefixed(
+                                kop_e1000e::DirectMem::with_defaults(
+                                    kop_e1000e::E1000Device::default(),
+                                ),
+                                std::sync::Arc::clone(&pm),
+                                &format!("policy.tlb.q{q}"),
+                            );
+                            mem.policy().tlb().register_into(&registry);
+                            mem
+                        })
+                    } else {
+                        kop_e1000e::run_mq_tx(n, mq_frames, 64, |_q| std::sync::Arc::clone(&pm))
+                    }
+                    .expect("mq tx run");
+                assert_eq!(
+                    report.delivered(),
+                    mq_frames * n as u64,
+                    "every queue must deliver every frame"
+                );
+                if use_tlb {
+                    let (mut hits, mut misses) = (0u64, 0u64);
+                    for (name, v) in registry.snapshot() {
+                        if name.ends_with(".hits") {
+                            hits += v;
+                        } else if name.ends_with(".misses") {
+                            misses += v;
+                        }
+                    }
+                    assert_eq!(
+                        hits + misses,
+                        report.guard_calls(),
+                        "TLB hits+misses must reconcile exactly with guard calls"
+                    );
+                    mq_guard_calls = report.guard_calls();
+                    tlb_hits = hits;
+                    tlb_misses = misses;
+                }
+                best = best.max(report.frames_per_sec());
+            }
+            points.push((n as f64, best));
+        }
+        series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    // Writer-churn phase: revoke/grant storm with an odd/even settle
+    // counter; an allowed check observed strictly inside a revoked
+    // window is a stale admit. Asserted zero at every scale.
+    let churns = if quick() { 1_000u64 } else { 5_000 };
+    let stale_admits;
+    let churn_publishes;
+    {
+        let pm = PolicyModule::new(); // default deny
+        let before_publishes = pm.snapshot_publishes();
+        let state = AtomicU64::new(1);
+        let stop = AtomicBool::new(false);
+        let grant =
+            Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).expect("grant region");
+        let readers = 3usize;
+        stale_admits = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let pm = &pm;
+                    let state = &state;
+                    let stop = &stop;
+                    s.spawn(move || {
+                        let tlb = GuardTlb::with_prefix("smp.churn");
+                        let mut stale = 0u64;
+                        while !stop.load(AO::SeqCst) {
+                            let s1 = state.load(AO::SeqCst);
+                            let ok = tlb
+                                .check(pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+                                .is_ok();
+                            let s2 = state.load(AO::SeqCst);
+                            if ok && s1 == s2 && s1 % 2 == 1 {
+                                stale += 1;
+                            }
+                        }
+                        stale
+                    })
+                })
+                .collect();
+            for k in 0..churns {
+                state.store(2 * k + 2, AO::SeqCst);
+                pm.add_region(grant).expect("grant");
+                pm.remove_region(grant.base).expect("revoke");
+                state.store(2 * k + 3, AO::SeqCst);
+            }
+            stop.store(true, AO::SeqCst);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader"))
+                .sum::<u64>()
+        });
+        churn_publishes = pm.snapshot_publishes() - before_publishes;
+        assert_eq!(
+            stale_admits, 0,
+            "a revoked grant must never be admitted after the revoke returns"
+        );
+        assert_eq!(churn_publishes, 2 * churns, "one publish per table write");
+    }
+
+    // Timing claims — only meaningful on a quiet multi-core host.
+    let scaling = |label: &str| -> f64 {
+        match (rate_1t.get(label), rate_4t.get(label)) {
+            (Some(&r1), Some(&r4)) if r1 > 0.0 => r4 / r1,
+            _ => f64::NAN,
+        }
+    };
+    let tlb_scaling = scaling("checkrate_snapshot_tlb");
+    let mutex_scaling = scaling("checkrate_mutex");
+    if assert_timing {
+        assert!(
+            tlb_scaling >= 3.0,
+            "snapshot+TLB must scale >=3x from 1 to 4 threads (got {tlb_scaling:.2}x)"
+        );
+        assert!(
+            mutex_scaling <= 1.5,
+            "mutex store must not scale past 1.5x (got {mutex_scaling:.2}x)"
+        );
+        assert!(
+            tlb_ns <= mutex_ns * 1.10,
+            "single-thread snapshot+TLB ns/check ({tlb_ns:.1}) must be no worse than mutex ({mutex_ns:.1})"
+        );
+    }
+
+    let notes = vec![
+        "checkrate_*: N threads hammer one shared PolicyModule with permitted accesses (Mchecks/s, best of repeats)".into(),
+        "mutex path serializes every guard on the store lock; snapshot path is lock-free RCU-style; +TLB adds a per-thread per-site grant cache".into(),
+        "mq_tx_*: N TX queues, each a full driver over its own ring, sharing only the policy (frames/s)".into(),
+        format!(
+            "writer churn: {churns} grant/revoke pairs against {} concurrent TLB readers -> 0 stale admits (asserted)",
+            3
+        ),
+        format!(
+            "TLB reconciliation: {tlb_hits} hits + {tlb_misses} misses == {mq_guard_calls} guard calls (asserted exact)"
+        ),
+        if assert_timing {
+            format!("scaling asserted on this host ({cores} cores): snapshot+TLB >=3x @4t, mutex <=1.5x @4t, 1t parity")
+        } else {
+            format!("timing asserts skipped (quick={}, cores={cores}): shapes reported, correctness still asserted", quick())
+        },
+    ];
+
+    FigureData {
+        id: "smp",
+        title: "SMP guard path: check rate & multi-queue TX vs threads (mutex vs snapshot vs snapshot+TLB)"
+            .into(),
+        axes: ("threads", "Mchecks/s | frames/s"),
+        series,
+        headlines: vec![
+            ("mutex_ns_check_1t".into(), mutex_ns),
+            ("snapshot_ns_check_1t".into(), snapshot_ns),
+            ("snapshot_tlb_ns_check_1t".into(), tlb_ns),
+            ("snapshot_tlb_scaling_1_to_4".into(), tlb_scaling),
+            ("mutex_scaling_1_to_4".into(), mutex_scaling),
+            ("stale_admits".into(), stale_admits as f64),
+            ("churn_publishes".into(), churn_publishes as f64),
+            ("tlb_hits".into(), tlb_hits as f64),
+            ("tlb_misses".into(), tlb_misses as f64),
+            ("mq_guard_calls".into(), mq_guard_calls as f64),
+        ],
+        notes,
+    }
+}
+
 /// Run every generator (the `reproduce all` path).
 pub fn all_figures() -> Vec<FigureData> {
     let mut figs = vec![
@@ -1083,6 +1461,7 @@ pub fn all_figures() -> Vec<FigureData> {
         ablation_ds(),
         ablation_opt(),
         trace(),
+        smp(),
     ];
     figs.extend(resilience());
     figs

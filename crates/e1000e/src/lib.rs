@@ -21,7 +21,10 @@
 //!   no trace of the guard code,
 //! * [`driver`] — the driver itself: reset/bring-up, ring programming,
 //!   transmit, cleanup, and receive, written once and instantiated over
-//!   either memory space ("No code was modified in the driver").
+//!   either memory space ("No code was modified in the driver"),
+//! * [`mq`] — multi-queue TX: N worker threads, each with its own driver
+//!   and ring, sharing only the policy module — the workload behind the
+//!   `reproduce smp` figure.
 
 #![warn(missing_docs)]
 
@@ -29,8 +32,10 @@ pub mod desc;
 pub mod device;
 pub mod driver;
 pub mod memspace;
+pub mod mq;
 pub mod regs;
 
 pub use device::{E1000Device, FrameSink, VecSink};
 pub use driver::{DriverError, DriverStats, E1000Driver};
-pub use memspace::{AccessCounts, DirectMem, GuardedMem, MemSpace};
+pub use memspace::{driver_site_map, AccessCounts, DirectMem, GuardedMem, MemSpace};
+pub use mq::{run_mq_tx, run_mq_tx_with, MqReport, QueueReport};

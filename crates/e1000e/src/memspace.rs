@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use kop_core::{AccessFlags, Size, VAddr, Violation};
-use kop_policy::PolicyCheck;
+use kop_policy::{GuardTlb, PolicyCheck, PolicyModule, SiteMap, TlbPolicy};
 use kop_trace::{GuardDecision, Producer, SiteId, TraceEvent, Tracer};
 
 use crate::device::{DmaMem, E1000Device, FrameSink};
@@ -314,6 +314,21 @@ impl GuardTrace {
     }
 }
 
+/// The driver's guard-site map as a [`SiteMap`] — the same classification
+/// [`GuardTrace::classify`] performs, expressed as address ranges so the
+/// guard TLB can key its entries by site. Site indices follow
+/// [`DRIVER_SITE_LABELS`] order; unmatched addresses classify as site 6
+/// ("other").
+pub fn driver_site_map(arena_base: u64, mmio_base: u64) -> SiteMap {
+    SiteMap::new(6)
+        .range(mmio_base, mmio_base + BAR_SIZE, 0)
+        .range(arena_base + TX_RING_OFF, arena_base + RX_RING_OFF, 1)
+        .range(arena_base + RX_RING_OFF, arena_base + STATS_OFF, 2)
+        .range(arena_base + STATS_OFF, arena_base + TX_BUFS_OFF, 3)
+        .range(arena_base + TX_BUFS_OFF, arena_base + RX_BUFS_OFF, 4)
+        .range(arena_base + RX_BUFS_OFF, u64::MAX, 5)
+}
+
 /// The transformed build: every load/store is preceded by a guard check.
 pub struct GuardedMem<P: PolicyCheck> {
     inner: DirectMem,
@@ -348,6 +363,69 @@ impl<P: PolicyCheck> GuardedMem<P> {
         &self.policy
     }
 
+    /// Run a guard check from a shared reference — the SMP check entry
+    /// point. Requires `P: Sync` so any number of threads can consult the
+    /// policy concurrently (with [`kop_policy::PolicyModule`] this is the
+    /// lock-free snapshot path). Checks only; it does not perform the
+    /// access and does not bump this space's `guard_calls` counter.
+    pub fn check_concurrent(
+        &self,
+        addr: u64,
+        size: u64,
+        flags: AccessFlags,
+    ) -> Result<(), Violation>
+    where
+        P: Sync,
+    {
+        self.policy.carat_guard(VAddr(addr), Size(size), flags)
+    }
+}
+
+impl GuardedMem<TlbPolicy> {
+    /// The SMP fast-path build: wrap a memory space with a shared policy
+    /// module fronted by a private per-thread guard TLB keyed by the
+    /// driver's site map. Steady-state guards cost one atomic generation
+    /// load plus a cached-region revalidation; any policy write
+    /// invalidates the TLB via generation bump.
+    pub fn with_tlb(inner: DirectMem, policy: Arc<PolicyModule>) -> GuardedMem<TlbPolicy> {
+        Self::with_tlb_prefixed(inner, policy, "policy.tlb")
+    }
+
+    /// Like [`GuardedMem::with_tlb`] but with a custom counter prefix for
+    /// the TLB's hit/miss cells — give each queue/worker its own prefix
+    /// (e.g. `policy.tlb.q3`) so all TLBs can register into one counter
+    /// registry without aliasing.
+    pub fn with_tlb_prefixed(
+        inner: DirectMem,
+        policy: Arc<PolicyModule>,
+        prefix: &str,
+    ) -> GuardedMem<TlbPolicy> {
+        let map = driver_site_map(inner.arena_base, inner.mmio_base);
+        let tlb = GuardTlb::with_prefix(prefix);
+        GuardedMem::new(inner, TlbPolicy::new(policy, map, tlb))
+    }
+
+    /// [`GuardedMem::with_tlb`] plus per-site guard tracing (see
+    /// [`GuardedMem::with_tracer`]); the TLB's hit/miss counters are also
+    /// registered into the tracer's counter registry.
+    pub fn with_tlb_and_tracer(
+        inner: DirectMem,
+        policy: Arc<PolicyModule>,
+        tracer: Arc<Tracer>,
+    ) -> GuardedMem<TlbPolicy> {
+        let map = driver_site_map(inner.arena_base, inner.mmio_base);
+        let tlb = GuardTlb::new();
+        tlb.register_into(tracer.counters());
+        let trace = Some(GuardTrace::new(tracer));
+        GuardedMem {
+            inner,
+            policy: TlbPolicy::new(policy, map, tlb),
+            trace,
+        }
+    }
+}
+
+impl<P: PolicyCheck> GuardedMem<P> {
     #[inline(always)]
     fn guard(&mut self, addr: u64, size: u64, flags: AccessFlags) -> Result<(), Violation> {
         self.inner.counts.guard_calls += 1;
@@ -570,6 +648,71 @@ mod tests {
         let snap = tracer.snapshot();
         assert_eq!(snap.records.len(), 6);
         assert!(snap.records.iter().all(|r| r.producer == Producer::Driver));
+    }
+
+    #[test]
+    fn site_map_agrees_with_guard_trace_classification() {
+        let arena = kop_core::layout::DIRECT_MAP_BASE;
+        let bar = kop_core::layout::MMIO_WINDOW_BASE;
+        let map = driver_site_map(arena, bar);
+        let probes = [
+            bar,
+            bar + 0x100,
+            arena + crate::driver::TX_RING_OFF,
+            arena + crate::driver::RX_RING_OFF,
+            arena + crate::driver::STATS_OFF,
+            arena + crate::driver::TX_BUFS_OFF,
+            arena + crate::driver::RX_BUFS_OFF,
+            arena + crate::driver::RX_BUFS_OFF + (64 << 20),
+            0x1000, // below the arena
+        ];
+        for addr in probes {
+            assert_eq!(
+                map.classify(addr) as usize,
+                GuardTrace::classify(arena, bar, addr),
+                "site map diverged at {addr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn tlb_front_caches_driver_guards() {
+        let pm = std::sync::Arc::new(PolicyModule::two_region_paper_policy());
+        let mut m = GuardedMem::with_tlb(direct(), std::sync::Arc::clone(&pm));
+        let base = m.arena_base();
+        let before = pm.stats().checks;
+        for _ in 0..100 {
+            m.write(base + crate::driver::TX_RING_OFF, 8, 1).unwrap();
+        }
+        // One miss filled the TLB; the other 99 guards never reached the
+        // policy module.
+        assert_eq!(pm.stats().checks - before, 1);
+        assert_eq!(m.counts().guard_calls, 100);
+        let tlb = m.policy().tlb();
+        assert_eq!(tlb.hits() + tlb.misses(), 100);
+        // A policy write invalidates every cached grant at once.
+        pm.clear_regions();
+        assert!(m.write(base + crate::driver::TX_RING_OFF, 8, 1).is_err());
+    }
+
+    #[test]
+    fn concurrent_checks_from_shared_reference() {
+        let pm = std::sync::Arc::new(PolicyModule::two_region_paper_policy());
+        let m = GuardedMem::new(direct(), std::sync::Arc::clone(&pm));
+        let base = m.arena_base();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        m.check_concurrent(base + (i % 256) * 8, 8, AccessFlags::RW)
+                            .unwrap();
+                        assert!(m.check_concurrent(0x4000, 8, AccessFlags::READ).is_err());
+                    }
+                });
+            }
+        });
+        assert_eq!(pm.stats().checks, 8000);
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Multi-queue transmit: N worker threads driving N queues concurrently
+//! against one shared policy module.
+//!
+//! Modern e1000e-class hardware exposes multiple TX queues so each CPU
+//! can transmit without cross-CPU serialization. This module models that
+//! shape at the granularity the guard path cares about: each queue is a
+//! full driver instance over its **own** descriptor ring and buffer arena
+//! (identical layout, so guard sites classify the same on every queue),
+//! and the **only** shared object between workers is the policy — which
+//! is exactly the contention point the `reproduce smp` figure measures.
+//! With the mutex check path every guard on every queue serializes on one
+//! lock; with the snapshot path (plus per-queue guard TLBs) queues scale
+//! independently.
+
+use std::time::{Duration, Instant};
+
+use kop_policy::PolicyCheck;
+
+use crate::device::{CountSink, E1000Device};
+use crate::driver::{DriverError, E1000Driver};
+use crate::memspace::{DirectMem, GuardedMem, MemSpace};
+
+/// What one queue worker did.
+#[derive(Clone, Debug)]
+pub struct QueueReport {
+    /// Queue index.
+    pub queue: usize,
+    /// Frames the device delivered on this queue.
+    pub delivered: u64,
+    /// Guard invocations this queue's driver performed over its whole
+    /// lifetime (probe, bring-up, and the measured transmit loop).
+    pub guard_calls: u64,
+}
+
+/// Result of a multi-queue TX run.
+#[derive(Clone, Debug)]
+pub struct MqReport {
+    /// Per-queue breakdown.
+    pub queues: Vec<QueueReport>,
+    /// Wall-clock for the whole parallel phase (all queues).
+    pub elapsed: Duration,
+}
+
+impl MqReport {
+    /// Total frames delivered across all queues.
+    pub fn delivered(&self) -> u64 {
+        self.queues.iter().map(|q| q.delivered).sum()
+    }
+
+    /// Total guard calls across all queues.
+    pub fn guard_calls(&self) -> u64 {
+        self.queues.iter().map(|q| q.guard_calls).sum()
+    }
+
+    /// Aggregate throughput in frames per second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.delivered() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run `queues` TX workers concurrently, each transmitting
+/// `frames_per_queue` frames of `payload_len` payload bytes through its
+/// own driver + ring.
+///
+/// `make_policy(queue)` builds each worker's [`PolicyCheck`] front; pass
+/// a closure cloning one shared `Arc<PolicyModule>` (optionally wrapped
+/// in a per-queue [`kop_policy::TlbPolicy`] — see
+/// [`GuardedMem::with_tlb_prefixed`]) so every guard on every queue
+/// consults the same policy. Workers start together behind a barrier so
+/// `elapsed` measures genuinely concurrent transmit.
+pub fn run_mq_tx<P, F>(
+    queues: usize,
+    frames_per_queue: u64,
+    payload_len: usize,
+    make_policy: F,
+) -> Result<MqReport, DriverError>
+where
+    P: PolicyCheck + Send,
+    F: Fn(usize) -> P + Sync,
+{
+    assert!(queues >= 1, "need at least one queue");
+    let barrier = std::sync::Barrier::new(queues);
+    let dst = [0xffu8; 6];
+    let payload = vec![0u8; payload_len];
+
+    let worker = |queue: usize| -> Result<(QueueReport, Duration), DriverError> {
+        let mem = GuardedMem::new(
+            DirectMem::with_defaults(E1000Device::default()),
+            make_policy(queue),
+        );
+        let mut drv = E1000Driver::probe(mem)?;
+        drv.up()?;
+        let mut sink = CountSink::default();
+        barrier.wait();
+        let start = Instant::now();
+        let mut delivered = 0u64;
+        for _ in 0..frames_per_queue {
+            delivered += drv.xmit_and_flush(dst, 0x88b5, &payload, &mut sink)?;
+        }
+        let elapsed = start.elapsed();
+        // Whole-lifetime guard count (probe + up + the measured loop) so
+        // it reconciles exactly with the shared policy's check counter.
+        let guard_calls = drv.counts().guard_calls;
+        Ok((
+            QueueReport {
+                queue,
+                delivered,
+                guard_calls,
+            },
+            elapsed,
+        ))
+    };
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..queues).map(|q| s.spawn(move || worker(q))).collect();
+        let mut reports = Vec::with_capacity(queues);
+        let mut elapsed = Duration::ZERO;
+        for h in handles {
+            let (report, queue_elapsed) = h.join().expect("queue worker panicked")?;
+            elapsed = elapsed.max(queue_elapsed);
+            reports.push(report);
+        }
+        reports.sort_by_key(|r| r.queue);
+        Ok(MqReport {
+            queues: reports,
+            elapsed,
+        })
+    })
+}
+
+/// Like [`run_mq_tx`] but the worker's memory space is built by
+/// `make_mem(queue)` — for callers that want per-queue guard TLBs or
+/// tracers wired in.
+pub fn run_mq_tx_with<M, F>(
+    queues: usize,
+    frames_per_queue: u64,
+    payload_len: usize,
+    make_mem: F,
+) -> Result<MqReport, DriverError>
+where
+    M: MemSpace + Send,
+    F: Fn(usize) -> M + Sync,
+{
+    assert!(queues >= 1, "need at least one queue");
+    let barrier = std::sync::Barrier::new(queues);
+    let dst = [0xffu8; 6];
+    let payload = vec![0u8; payload_len];
+
+    let worker = |queue: usize| -> Result<(QueueReport, Duration), DriverError> {
+        let mut drv = E1000Driver::probe(make_mem(queue))?;
+        drv.up()?;
+        let mut sink = CountSink::default();
+        barrier.wait();
+        let start = Instant::now();
+        let mut delivered = 0u64;
+        for _ in 0..frames_per_queue {
+            delivered += drv.xmit_and_flush(dst, 0x88b5, &payload, &mut sink)?;
+        }
+        let elapsed = start.elapsed();
+        // Whole-lifetime guard count (probe + up + the measured loop) so
+        // it reconciles exactly with the shared policy's check counter.
+        let guard_calls = drv.counts().guard_calls;
+        Ok((
+            QueueReport {
+                queue,
+                delivered,
+                guard_calls,
+            },
+            elapsed,
+        ))
+    };
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..queues).map(|q| s.spawn(move || worker(q))).collect();
+        let mut reports = Vec::with_capacity(queues);
+        let mut elapsed = Duration::ZERO;
+        for h in handles {
+            let (report, queue_elapsed) = h.join().expect("queue worker panicked")?;
+            elapsed = elapsed.max(queue_elapsed);
+            reports.push(report);
+        }
+        reports.sort_by_key(|r| r.queue);
+        Ok(MqReport {
+            queues: reports,
+            elapsed,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_policy::PolicyModule;
+    use std::sync::Arc;
+
+    fn permissive_policy() -> Arc<PolicyModule> {
+        // Kernel half allowed, user half denied — covers the arena and
+        // the MMIO window alike.
+        Arc::new(PolicyModule::two_region_paper_policy())
+    }
+
+    #[test]
+    fn queues_share_one_policy_and_all_deliver() {
+        let pm = permissive_policy();
+        let frames = 50u64;
+        let queues = 3usize;
+        let before = pm.stats().checks;
+        let report = run_mq_tx(queues, frames, 64, |_q| Arc::clone(&pm)).unwrap();
+        assert_eq!(report.queues.len(), queues);
+        for q in &report.queues {
+            assert_eq!(q.delivered, frames, "queue {} dropped frames", q.queue);
+            assert!(q.guard_calls > 0);
+        }
+        // Every guard call on every queue reached the shared policy.
+        assert_eq!(pm.stats().checks - before, report.guard_calls());
+    }
+
+    #[test]
+    fn per_queue_tlbs_reconcile_with_guard_calls() {
+        let pm = permissive_policy();
+        let frames = 50u64;
+        let queues = 2usize;
+        let before = pm.stats().checks;
+        let report = run_mq_tx_with(queues, frames, 64, |q| {
+            GuardedMem::with_tlb_prefixed(
+                DirectMem::with_defaults(E1000Device::default()),
+                Arc::clone(&pm),
+                &format!("policy.tlb.q{q}"),
+            )
+        })
+        .unwrap();
+        assert_eq!(report.delivered(), frames * queues as u64);
+        // The shared policy only saw the TLB misses; the driver's guard
+        // counter saw every guard. With warm per-site TLBs the full
+        // checks must be a small fraction of the guards.
+        let full_checks = pm.stats().checks - before;
+        assert!(
+            full_checks < report.guard_calls() / 2,
+            "TLB hits must have short-circuited most checks ({} vs {})",
+            full_checks,
+            report.guard_calls()
+        );
+    }
+}

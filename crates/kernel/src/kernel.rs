@@ -167,7 +167,7 @@ impl Kernel {
         // The policy's guard counters live in the tracer's unified
         // registry from boot, so `counters` shows them alongside driver
         // counters without a second stats path.
-        policy.guard_stats().register_into(tracer.counters());
+        policy.register_counters(tracer.counters());
         let tc = Arc::clone(&tracer);
         devices.register(
             TRACE_DEV,

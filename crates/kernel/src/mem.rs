@@ -49,11 +49,17 @@ pub trait FaultHook: Send {
 }
 
 /// Sparse simulated memory with page permissions and MMIO windows.
+///
+/// The read side takes `&self` and the fault hook sits behind a mutex,
+/// so `SimMemory` is `Send + Sync`: any number of simulated CPUs may run
+/// concurrent (guarded) loads against a shared reference — see
+/// [`SimMemory::guarded_read_uint`] — while stores keep requiring `&mut`
+/// (exclusive) access.
 #[derive(Default)]
 pub struct SimMemory {
     pages: HashMap<u64, Page>,
     mmio: Vec<MmioRange>,
-    fault_hook: Option<Box<dyn FaultHook>>,
+    fault_hook: Mutex<Option<Box<dyn FaultHook>>>,
 }
 
 struct MmioRange {
@@ -76,17 +82,18 @@ impl SimMemory {
     /// Install a fault-injection hook consulted by integer reads and (via
     /// the kernel) `kmalloc`. Replaces any previous hook.
     pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
-        self.fault_hook = Some(hook);
+        *self.fault_hook.lock() = Some(hook);
     }
 
     /// Remove and return the installed fault hook, if any.
     pub fn clear_fault_hook(&mut self) -> Option<Box<dyn FaultHook>> {
-        self.fault_hook.take()
+        self.fault_hook.lock().take()
     }
 
     /// Whether the installed hook (if any) fails a kmalloc of `size`.
     pub(crate) fn hook_fail_kmalloc(&mut self, size: u64) -> bool {
         self.fault_hook
+            .lock()
             .as_mut()
             .is_some_and(|h| h.fail_kmalloc(size))
     }
@@ -137,8 +144,10 @@ impl SimMemory {
         self.pages.len()
     }
 
-    /// Read `buf.len()` bytes at `addr`.
-    pub fn read_bytes(&mut self, addr: VAddr, buf: &mut [u8]) -> KernelResult<()> {
+    /// Read `buf.len()` bytes at `addr`. Takes `&self`: reads never
+    /// materialize pages (untouched memory reads zero), so any number of
+    /// threads may read concurrently.
+    pub fn read_bytes(&self, addr: VAddr, buf: &mut [u8]) -> KernelResult<()> {
         if let Some(r) = self.find_mmio(addr, buf.len() as u64) {
             // Byte-wise MMIO reads are legal but unusual; do one access of
             // the full width when it is a power of two <= 8.
@@ -220,16 +229,31 @@ impl SimMemory {
     }
 
     /// Read a little-endian unsigned integer of `size` (1/2/4/8) bytes.
-    pub fn read_uint(&mut self, addr: VAddr, size: Size) -> KernelResult<u64> {
+    pub fn read_uint(&self, addr: VAddr, size: Size) -> KernelResult<u64> {
         let n = size.raw();
         debug_assert!(matches!(n, 1 | 2 | 4 | 8), "bad access width {n}");
         let mut buf = [0u8; 8];
         self.read_bytes(addr, &mut buf[..n as usize])?;
         let value = u64::from_le_bytes(buf);
-        Ok(match self.fault_hook.as_mut() {
+        Ok(match self.fault_hook.lock().as_mut() {
             Some(h) => h.corrupt_read(addr, size, value),
             None => value,
         })
+    }
+
+    /// The SMP check entry point: run a guard check against `policy` and,
+    /// if permitted, perform the load — all through `&self`, so any
+    /// number of simulated CPUs can execute guarded reads concurrently
+    /// against one shared memory (`SimMemory` is `Send + Sync`; with
+    /// [`kop_policy::PolicyModule`] the check itself is lock-free).
+    pub fn guarded_read_uint(
+        &self,
+        policy: &dyn kop_policy::PolicyCheck,
+        addr: VAddr,
+        size: Size,
+    ) -> KernelResult<u64> {
+        policy.carat_guard(addr, size, kop_core::AccessFlags::READ)?;
+        self.read_uint(addr, size)
     }
 
     /// Write a little-endian unsigned integer of `size` (1/2/4/8) bytes.
@@ -249,6 +273,43 @@ mod tests {
         let mut m = SimMemory::new();
         assert_eq!(m.read_uint(VAddr(0x5000), Size(8)).unwrap(), 0);
         assert_eq!(m.resident_pages(), 0, "reads must not materialize pages");
+    }
+
+    #[test]
+    fn sim_memory_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimMemory>();
+    }
+
+    #[test]
+    fn concurrent_guarded_reads_share_one_memory() {
+        use kop_core::{Protection, Region};
+        use kop_policy::PolicyModule;
+
+        let mut m = SimMemory::new();
+        let base = VAddr(0xffff_8880_0000_0000);
+        for i in 0..64u64 {
+            m.write_uint(VAddr(base.raw() + i * 8), Size(8), i).unwrap();
+        }
+        let pm = PolicyModule::new();
+        pm.add_region(Region::new(base, Size(64 * 8), Protection::READ_ONLY).unwrap())
+            .unwrap();
+        let mem = &m;
+        let policy = &pm;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        let a = VAddr(base.raw() + i * 8);
+                        assert_eq!(mem.guarded_read_uint(policy, a, Size(8)).unwrap(), i);
+                    }
+                    // Out-of-region reads are refused by the guard.
+                    let beyond = VAddr(base.raw() + 64 * 8);
+                    assert!(mem.guarded_read_uint(policy, beyond, Size(8)).is_err());
+                });
+            }
+        });
+        assert_eq!(pm.stats().checks, 4 * 65);
     }
 
     #[test]

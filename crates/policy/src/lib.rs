@@ -22,7 +22,12 @@
 //!   store + default action + violation action + statistics, exposing the
 //!   `carat_guard` entry point,
 //! * [`manager::PolicyCmd`] — the binary ioctl protocol spoken by the
-//!   `policy-manager` user-space tool.
+//!   `policy-manager` user-space tool,
+//! * the SMP guard path (DESIGN §3.13): [`snapshot::SnapshotStore`]
+//!   (RCU-style published tables — the lock-free check path),
+//!   [`tlb::GuardTlb`] (a per-thread, per-site grant cache invalidated by
+//!   generation bump), and [`vlog::ViolationLog`] (bounded violation ring
+//!   with a dropped counter, formatting deferred to read time).
 
 #![warn(missing_docs)]
 
@@ -33,18 +38,26 @@ pub mod interval;
 pub mod intrinsics;
 pub mod manager;
 pub mod module;
+pub mod snapshot;
 pub mod sorted;
 pub mod splay;
 pub mod stats;
 pub mod store;
 pub mod table;
+pub mod tlb;
+pub mod vlog;
 
 pub use intrinsics::IntrinsicPolicy;
 pub use manager::{PolicyCmd, PolicyCmdError, PolicyResponse};
-pub use module::{DefaultAction, PolicyModule, ViolationAction};
+pub use module::{
+    CheckPath, ClassifiedCheck, DefaultAction, GuardOutcome, PolicyModule, ViolationAction,
+};
+pub use snapshot::{PolicySnapshot, SnapshotStore};
 pub use stats::GuardStats;
 pub use store::{PolicyError, RegionStore, StoreKind};
 pub use table::{RegionTable, MAX_REGIONS};
+pub use tlb::{GuardTlb, SiteMap, TlbPolicy, TLB_WAYS};
+pub use vlog::ViolationLog;
 
 use kop_core::{AccessFlags, Size, VAddr, Violation};
 

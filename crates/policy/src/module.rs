@@ -6,17 +6,36 @@
 //! transformed by the compiler. This interface is general enough — and
 //! simple enough — that potentially any memory policy system could be
 //! built on top of it."*
+//!
+//! # SMP structure
+//!
+//! The check path is read-mostly, so it is split RCU-style (DESIGN
+//! §3.13): mutations go through a mutex-protected authoritative
+//! [`RegionStore`] and republish an immutable [`PolicySnapshot`]; checks
+//! default to the lock-free snapshot path ([`CheckPath::Snapshot`]) and
+//! touch no lock at all. Default/violation actions and the intrinsic
+//! table are atomics/published snapshots for the same reason. The
+//! pre-SMP behaviour is still available as [`CheckPath::MutexStore`]
+//! (it is the baseline the `reproduce smp` figure measures against, and
+//! the only path that exercises self-adjusting stores' read-side
+//! reorganization).
 
-use std::sync::Mutex as StdMutex;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
+use arc_swap::ArcSwap;
 use parking_lot::Mutex;
 
 use kop_core::error::ViolationKind;
 use kop_core::{AccessFlags, KernelError, Region, Size, VAddr, Violation};
 
+use kop_trace::CounterRegistry;
+
 use crate::intrinsics::IntrinsicPolicy;
+use crate::snapshot::{PolicySnapshot, SnapshotStore};
 use crate::stats::{GuardStats, GuardStatsSnapshot};
 use crate::store::{make_store, Lookup, PolicyError, RegionStore, StoreKind};
+use crate::vlog::ViolationLog;
 use crate::PolicyCheck;
 
 /// What happens when no region covers an access.
@@ -27,6 +46,22 @@ pub enum DefaultAction {
     /// Deny unmatched accesses (regions act as allow rules) — the safe
     /// default for firewalling a module.
     Deny,
+}
+
+impl DefaultAction {
+    fn to_u8(self) -> u8 {
+        match self {
+            DefaultAction::Allow => 0,
+            DefaultAction::Deny => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> DefaultAction {
+        match v {
+            0 => DefaultAction::Allow,
+            _ => DefaultAction::Deny,
+        }
+    }
 }
 
 /// What the policy module does when a check fails.
@@ -53,6 +88,37 @@ pub enum ViolationAction {
     Quarantine,
 }
 
+impl ViolationAction {
+    fn to_u8(self) -> u8 {
+        match self {
+            ViolationAction::Panic => 0,
+            ViolationAction::LogAndDeny => 1,
+            ViolationAction::LogAndAllow => 2,
+            ViolationAction::Quarantine => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> ViolationAction {
+        match v {
+            1 => ViolationAction::LogAndDeny,
+            2 => ViolationAction::LogAndAllow,
+            3 => ViolationAction::Quarantine,
+            _ => ViolationAction::Panic,
+        }
+    }
+}
+
+/// Which lookup path [`PolicyModule::check`] takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckPath {
+    /// The pre-SMP path: every check locks the authoritative store. Kept
+    /// as the measured baseline, and because self-adjusting stores
+    /// (splay, cached) only reorganize on this path.
+    MutexStore,
+    /// The lock-free path: checks read the published snapshot (default).
+    Snapshot,
+}
+
 /// Outcome of an enforced guard check.
 #[derive(Debug)]
 pub enum GuardOutcome {
@@ -74,8 +140,27 @@ impl GuardOutcome {
     }
 }
 
+/// A classified check: the result plus, when a region grant permitted it
+/// via the snapshot path, the granting region and the generation it was
+/// observed under — what the guard TLB memoizes.
+pub struct ClassifiedCheck {
+    /// The check result, identical to [`PolicyModule::check`]'s.
+    pub result: Result<(), Violation>,
+    /// `Some((region, generation))` only for region-grant permits;
+    /// default-action allows and all denials yield `None` (they must not
+    /// be cached — see [`crate::tlb`]).
+    pub grant: Option<(Region, u64)>,
+}
+
 /// Maximum violation log entries retained.
 const LOG_CAP: usize = 1024;
+
+/// The intrinsic table published for lock-free checks: sorted grant ids
+/// plus the default-allow flag.
+struct IntrinsicSnapshot {
+    allowed: Vec<u32>,
+    default_allow: bool,
+}
 
 /// The CARAT KOP policy module.
 ///
@@ -90,14 +175,21 @@ const LOG_CAP: usize = 1024;
 /// assert!(pm.check(VAddr(0x9000), Size(8), AccessFlags::READ).is_err());
 /// ```
 pub struct PolicyModule {
-    store: Mutex<Box<dyn RegionStore + Send>>,
+    /// Authoritative store — mutations only (plus the MutexStore check
+    /// path). Every mutation republishes `snapshot` before releasing the
+    /// lock, so generation order matches mutation order.
+    store: Mutex<Box<dyn RegionStore + Send + Sync>>,
+    /// The published lock-free read path.
+    snapshot: SnapshotStore,
+    check_path: AtomicU8,
+    /// Authoritative intrinsic table (mutations only).
     intrinsics: Mutex<IntrinsicPolicy>,
-    default_action: Mutex<DefaultAction>,
-    violation_action: Mutex<ViolationAction>,
+    /// Published intrinsic table for lock-free checks.
+    intrinsic_snap: ArcSwap<IntrinsicSnapshot>,
+    default_action: AtomicU8,
+    violation_action: AtomicU8,
     stats: GuardStats,
-    // Std mutex here: the log is cold and std's poisoning is irrelevant for
-    // a Vec of strings.
-    log: StdMutex<Vec<String>>,
+    log: ViolationLog,
 }
 
 impl PolicyModule {
@@ -111,11 +203,17 @@ impl PolicyModule {
     pub fn with_kind(kind: StoreKind) -> PolicyModule {
         PolicyModule {
             store: Mutex::new(make_store(kind)),
+            snapshot: SnapshotStore::new(kind),
+            check_path: AtomicU8::new(1), // Snapshot
             intrinsics: Mutex::new(IntrinsicPolicy::new()),
-            default_action: Mutex::new(DefaultAction::Deny),
-            violation_action: Mutex::new(ViolationAction::Panic),
+            intrinsic_snap: ArcSwap::from_pointee(IntrinsicSnapshot {
+                allowed: Vec::new(),
+                default_allow: false,
+            }),
+            default_action: AtomicU8::new(DefaultAction::Deny.to_u8()),
+            violation_action: AtomicU8::new(ViolationAction::Panic.to_u8()),
             stats: GuardStats::new(),
-            log: StdMutex::new(Vec::new()),
+            log: ViolationLog::new(LOG_CAP),
         }
     }
 
@@ -147,61 +245,144 @@ impl PolicyModule {
 
     /// Backing structure kind.
     pub fn store_kind(&self) -> StoreKind {
-        self.store.lock().kind()
+        self.snapshot.load().kind()
+    }
+
+    /// Which lookup path [`Self::check`] takes.
+    pub fn check_path(&self) -> CheckPath {
+        match self.check_path.load(Ordering::Relaxed) {
+            0 => CheckPath::MutexStore,
+            _ => CheckPath::Snapshot,
+        }
+    }
+
+    /// Select the lookup path (the SMP figure measures both).
+    pub fn set_check_path(&self, path: CheckPath) {
+        let v = match path {
+            CheckPath::MutexStore => 0,
+            CheckPath::Snapshot => 1,
+        };
+        self.check_path.store(v, Ordering::Relaxed);
+    }
+
+    /// Republish the snapshot from the locked authoritative store.
+    fn republish(&self, store: &dyn RegionStore) {
+        self.snapshot.publish(store.kind(), store.snapshot());
     }
 
     /// Add a firewall rule.
     pub fn add_region(&self, region: Region) -> Result<(), PolicyError> {
-        self.store.lock().insert(region)
+        let mut store = self.store.lock();
+        store.insert(region)?;
+        self.republish(&**store);
+        Ok(())
     }
 
     /// Remove the rule with this base address.
     pub fn remove_region(&self, base: VAddr) -> Result<Region, PolicyError> {
-        self.store.lock().remove(base)
+        let mut store = self.store.lock();
+        let removed = store.remove(base)?;
+        self.republish(&**store);
+        Ok(removed)
     }
 
     /// Drop all rules.
     pub fn clear_regions(&self) {
-        self.store.lock().clear()
+        let mut store = self.store.lock();
+        store.clear();
+        self.republish(&**store);
+    }
+
+    /// Atomically replace the whole rule set in one publish: readers see
+    /// either the old set or the new set, never a half-built mixture
+    /// (the "firewall ruleset reload" the torn-table test leans on).
+    pub fn replace_regions(
+        &self,
+        regions: impl IntoIterator<Item = Region>,
+    ) -> Result<(), PolicyError> {
+        let mut store = self.store.lock();
+        let mut fresh = make_store(store.kind());
+        for r in regions {
+            fresh.insert(r)?;
+        }
+        *store = fresh;
+        self.republish(&**store);
+        Ok(())
     }
 
     /// Number of rules.
     pub fn region_count(&self) -> usize {
-        self.store.lock().len()
+        self.snapshot.load().len()
     }
 
     /// Snapshot of all rules.
     pub fn regions(&self) -> Vec<Region> {
-        self.store.lock().snapshot()
+        self.snapshot.load().regions().to_vec()
+    }
+
+    /// The current published policy snapshot (lock-free).
+    pub fn policy_snapshot(&self) -> Arc<PolicySnapshot> {
+        self.snapshot.load_full()
+    }
+
+    /// The store generation: bumped by every table write. The guard
+    /// TLB's validity tag.
+    #[inline]
+    pub fn store_generation(&self) -> u64 {
+        self.snapshot.generation()
+    }
+
+    /// Total snapshot publishes so far.
+    pub fn snapshot_publishes(&self) -> u64 {
+        self.snapshot.publish_counter().get()
+    }
+
+    fn publish_intrinsics(&self, table: &IntrinsicPolicy) {
+        self.intrinsic_snap.store(Arc::new(IntrinsicSnapshot {
+            allowed: table.granted(), // sorted (BTreeSet order)
+            default_allow: table.default_allow,
+        }));
     }
 
     /// Grant a privileged intrinsic (§5 extension).
     pub fn allow_intrinsic(&self, id: u32) {
-        self.intrinsics.lock().allow(id);
+        let mut table = self.intrinsics.lock();
+        table.allow(id);
+        self.publish_intrinsics(&table);
     }
 
     /// Revoke a privileged intrinsic; returns whether it was granted.
     pub fn revoke_intrinsic(&self, id: u32) -> bool {
-        self.intrinsics.lock().revoke(id)
+        let mut table = self.intrinsics.lock();
+        let was = table.revoke(id);
+        self.publish_intrinsics(&table);
+        was
     }
 
     /// The granted intrinsic ids.
     pub fn granted_intrinsics(&self) -> Vec<u32> {
-        self.intrinsics.lock().granted()
+        self.intrinsic_snap.load().allowed.clone()
     }
 
     /// The pure intrinsic check: classify, update stats, log violations.
+    /// Lock-free: consults the published intrinsic table.
     pub fn check_intrinsic(&self, id: u32) -> Result<(), Violation> {
-        match self.intrinsics.lock().check(id) {
-            Ok(()) => {
-                self.stats.record_permitted();
-                Ok(())
-            }
-            Err(v) => {
-                self.stats.record_insufficient();
-                self.log_violation(&v);
-                Err(v)
-            }
+        let table = self.intrinsic_snap.load();
+        if table.default_allow || table.allowed.binary_search(&id).is_ok() {
+            self.stats.record_permitted();
+            Ok(())
+        } else {
+            // Same violation shape as IntrinsicPolicy::check: the
+            // "address" carries the intrinsic id, size 0, EXEC intent.
+            let v = Violation::new(
+                VAddr(id as u64),
+                Size(0),
+                AccessFlags::EXEC,
+                ViolationKind::ForbiddenIntrinsic,
+            );
+            self.stats.record_insufficient();
+            self.log.push(v);
+            Err(v)
         }
     }
 
@@ -220,22 +401,23 @@ impl PolicyModule {
 
     /// Set the default action.
     pub fn set_default_action(&self, action: DefaultAction) {
-        *self.default_action.lock() = action;
+        self.default_action.store(action.to_u8(), Ordering::SeqCst);
     }
 
-    /// Current default action.
+    /// Current default action (one atomic load).
     pub fn default_action(&self) -> DefaultAction {
-        *self.default_action.lock()
+        DefaultAction::from_u8(self.default_action.load(Ordering::SeqCst))
     }
 
     /// Set the violation action.
     pub fn set_violation_action(&self, action: ViolationAction) {
-        *self.violation_action.lock() = action;
+        self.violation_action
+            .store(action.to_u8(), Ordering::SeqCst);
     }
 
-    /// Current violation action.
+    /// Current violation action (one atomic load).
     pub fn violation_action(&self) -> ViolationAction {
-        *self.violation_action.lock()
+        ViolationAction::from_u8(self.violation_action.load(Ordering::SeqCst))
     }
 
     /// Guard statistics snapshot.
@@ -249,40 +431,69 @@ impl PolicyModule {
         &self.stats
     }
 
+    /// Register every policy counter — guard stats, snapshot publishes,
+    /// dropped log entries — into a counter registry (the tracer's, so
+    /// `/dev/trace counters` shows them).
+    pub fn register_counters(&self, registry: &CounterRegistry) {
+        self.stats.register_into(registry);
+        registry.register(self.snapshot.publish_counter());
+        registry.register(self.log.dropped_counter());
+    }
+
     /// Reset statistics.
     pub fn reset_stats(&self) {
         self.stats.reset()
     }
 
-    /// The violation log (most recent last).
+    /// The violation log (most recent last), rendered. Formatting costs
+    /// are paid here — at read time — not on the denial path.
     pub fn violation_log(&self) -> Vec<String> {
-        self.log.lock().expect("log lock").clone()
+        self.log.rendered()
     }
 
-    fn log_violation(&self, v: &Violation) {
-        let mut log = self.log.lock().expect("log lock");
-        if log.len() == LOG_CAP {
-            log.remove(0);
-        }
-        log.push(v.to_string());
+    /// The raw retained violations (most recent last).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.log.entries()
     }
 
-    /// The pure check: classify the access, update stats, log violations.
-    /// Does **not** apply the violation action — see [`Self::enforce`].
-    pub fn check(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+    /// How many violation log entries were overwritten by the bounded
+    /// ring.
+    pub fn violations_dropped(&self) -> u64 {
+        self.log.dropped()
+    }
+
+    /// Reject malformed accesses before any lookup. Returns the violation
+    /// to report, if any.
+    #[inline]
+    fn precheck(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Option<Violation> {
         if size.raw() == 0 || flags.is_empty() {
-            let v = Violation::new(addr, size, flags, ViolationKind::MalformedAccess);
-            self.stats.record_malformed();
-            self.log_violation(&v);
-            return Err(v);
+            return Some(Violation::new(
+                addr,
+                size,
+                flags,
+                ViolationKind::MalformedAccess,
+            ));
         }
         if addr.checked_add(size.raw() - 1).is_none() {
-            let v = Violation::new(addr, size, flags, ViolationKind::AddressOverflow);
-            self.stats.record_malformed();
-            self.log_violation(&v);
-            return Err(v);
+            return Some(Violation::new(
+                addr,
+                size,
+                flags,
+                ViolationKind::AddressOverflow,
+            ));
         }
-        let lookup = self.store.lock().lookup(addr, size, flags);
+        None
+    }
+
+    /// Record a lookup outcome: stats + log, returning the check result.
+    #[inline]
+    fn settle(
+        &self,
+        addr: VAddr,
+        size: Size,
+        flags: AccessFlags,
+        lookup: Lookup,
+    ) -> Result<(), Violation> {
         match lookup {
             Lookup::Permitted(_) => {
                 self.stats.record_permitted();
@@ -291,7 +502,7 @@ impl PolicyModule {
             Lookup::Forbidden(_) => {
                 let v = Violation::new(addr, size, flags, ViolationKind::InsufficientPermissions);
                 self.stats.record_insufficient();
-                self.log_violation(&v);
+                self.log.push(v);
                 Err(v)
             }
             Lookup::NoMatch => match self.default_action() {
@@ -302,10 +513,54 @@ impl PolicyModule {
                 DefaultAction::Deny => {
                     let v = Violation::new(addr, size, flags, ViolationKind::NoMatchingRegion);
                     self.stats.record_no_match();
-                    self.log_violation(&v);
+                    self.log.push(v);
                     Err(v)
                 }
             },
+        }
+    }
+
+    /// The pure check: classify the access, update stats, log violations.
+    /// Does **not** apply the violation action — see [`Self::enforce`].
+    ///
+    /// On the default [`CheckPath::Snapshot`] this takes **no lock**:
+    /// one pinned snapshot load, a frozen-table lookup, and relaxed
+    /// counter updates (the denial paths additionally take the cold log
+    /// mutex).
+    pub fn check(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+        if let Some(v) = self.precheck(addr, size, flags) {
+            self.stats.record_malformed();
+            self.log.push(v);
+            return Err(v);
+        }
+        let lookup = match self.check_path() {
+            CheckPath::Snapshot => self.snapshot.load().lookup(addr, size, flags),
+            CheckPath::MutexStore => self.store.lock().lookup(addr, size, flags),
+        };
+        self.settle(addr, size, flags, lookup)
+    }
+
+    /// The check the guard TLB uses: always the lock-free snapshot path,
+    /// and reports which region granted a permit (plus the generation it
+    /// was observed under) so the caller may memoize it.
+    pub fn check_classified(&self, addr: VAddr, size: Size, flags: AccessFlags) -> ClassifiedCheck {
+        if let Some(v) = self.precheck(addr, size, flags) {
+            self.stats.record_malformed();
+            self.log.push(v);
+            return ClassifiedCheck {
+                result: Err(v),
+                grant: None,
+            };
+        }
+        let snap = self.snapshot.load();
+        let lookup = snap.lookup(addr, size, flags);
+        let grant = match lookup {
+            Lookup::Permitted(r) => Some((r, snap.generation())),
+            _ => None,
+        };
+        ClassifiedCheck {
+            result: self.settle(addr, size, flags, lookup),
+            grant,
         }
     }
 
@@ -494,11 +749,95 @@ mod tests {
     }
 
     #[test]
+    fn both_check_paths_agree_for_every_store_kind() {
+        for kind in StoreKind::ALL {
+            let pm = PolicyModule::with_kind(kind);
+            pm.add_region(
+                Region::new(VAddr(0x10_0000), Size(0x1000), Protection::READ_ONLY).unwrap(),
+            )
+            .unwrap();
+            for (addr, size, flags) in [
+                (0x10_0800u64, 8u64, AccessFlags::READ),
+                (0x10_0800, 8, AccessFlags::WRITE),
+                (0x20_0000, 8, AccessFlags::READ),
+                (0x10_0ff8, 16, AccessFlags::READ),
+            ] {
+                pm.set_check_path(CheckPath::Snapshot);
+                let snap = pm.check(VAddr(addr), Size(size), flags).map_err(|v| v.kind);
+                pm.set_check_path(CheckPath::MutexStore);
+                let mutex = pm.check(VAddr(addr), Size(size), flags).map_err(|v| v.kind);
+                assert_eq!(snap, mutex, "{kind} diverged at {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
     fn log_capped() {
         let pm = PolicyModule::new();
         for i in 0..(LOG_CAP + 10) {
             let _ = pm.check(VAddr(i as u64 * 8), Size(8), AccessFlags::READ);
         }
         assert_eq!(pm.violation_log().len(), LOG_CAP);
+        assert_eq!(pm.violations_dropped(), 10);
+    }
+
+    #[test]
+    fn mutations_bump_generation_monotonically() {
+        let pm = PolicyModule::new();
+        let g0 = pm.store_generation();
+        pm.add_region(Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).unwrap())
+            .unwrap();
+        let g1 = pm.store_generation();
+        assert!(g1 > g0);
+        pm.remove_region(VAddr(0x1000)).unwrap();
+        let g2 = pm.store_generation();
+        assert!(g2 > g1);
+        pm.clear_regions();
+        assert!(pm.store_generation() > g2);
+        assert_eq!(pm.snapshot_publishes(), 3);
+    }
+
+    #[test]
+    fn failed_mutations_do_not_publish() {
+        let pm = PolicyModule::new();
+        let before = pm.snapshot_publishes();
+        assert!(pm.remove_region(VAddr(0xdead)).is_err());
+        assert_eq!(pm.snapshot_publishes(), before);
+    }
+
+    #[test]
+    fn replace_regions_is_one_publish() {
+        let pm = PolicyModule::new();
+        let before = pm.snapshot_publishes();
+        pm.replace_regions([
+            Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).unwrap(),
+            Region::new(VAddr(0x3000), Size(0x1000), Protection::READ_ONLY).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(pm.snapshot_publishes(), before + 1);
+        assert_eq!(pm.region_count(), 2);
+        assert!(pm.check(VAddr(0x1100), Size(8), AccessFlags::RW).is_ok());
+    }
+
+    #[test]
+    fn check_classified_reports_grants_only_for_region_permits() {
+        let pm = PolicyModule::new();
+        pm.add_region(Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).unwrap())
+            .unwrap();
+        let c = pm.check_classified(VAddr(0x1100), Size(8), AccessFlags::RW);
+        assert!(c.result.is_ok());
+        let (region, gen) = c.grant.expect("region grant");
+        assert_eq!(region.base, VAddr(0x1000));
+        assert_eq!(gen, pm.store_generation());
+        // Default-action allow: permitted but not memoizable.
+        pm.set_default_action(DefaultAction::Allow);
+        let c = pm.check_classified(VAddr(0x9000), Size(8), AccessFlags::RW);
+        assert!(c.result.is_ok());
+        assert!(c.grant.is_none());
+        // Denial: no grant.
+        pm.set_default_action(DefaultAction::Deny);
+        let c = pm.check_classified(VAddr(0x9000), Size(8), AccessFlags::RW);
+        assert!(c.result.is_err());
+        assert!(c.grant.is_none());
     }
 }

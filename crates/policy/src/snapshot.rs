@@ -1,0 +1,310 @@
+//! RCU-style published snapshots of the region store — the lock-free
+//! guard read path.
+//!
+//! The region table is textbook read-mostly state: writes happen at
+//! insmod/rmmod and grant/revoke rates, reads on *every* module load and
+//! store. [`SnapshotStore`] therefore keeps an immutable
+//! [`PolicySnapshot`] behind an `arc-swap` atomic pointer: readers load
+//! the snapshot and run `lookup` with zero locks; writers rebuild a fresh
+//! snapshot from the authoritative (mutex-protected) store and publish it
+//! whole. A reader mid-check keeps the snapshot it pinned alive — it can
+//! never observe a torn table — and reclamation of the old snapshot is
+//! deferred until the last reader drops it.
+//!
+//! Every publish bumps a monotonic **generation**. The generation is the
+//! invalidation signal for the per-site guard TLB
+//! ([`crate::tlb::GuardTlb`]): a cached grant is valid only while its
+//! recorded generation equals the store's current one, so any table write
+//! — grant, revoke, wholesale replace — flushes every TLB at the cost of
+//! one atomic store.
+//!
+//! Memory-ordering argument (revoke → publish → reader-miss): the writer
+//! installs the new snapshot pointer *before* it stores the new
+//! generation, and both are `SeqCst`. A revoke therefore does not return
+//! until the shrunken table is the published one. Any reader that starts
+//! a check after revoke returns (i.e. observes any effect ordered after
+//! it) loads either the new generation — forcing a TLB miss and a lookup
+//! in the new snapshot — or the new snapshot directly. A TLB entry tagged
+//! with the old generation can never match again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use arc_swap::ArcSwap;
+
+use kop_core::{AccessFlags, Region, Size, VAddr};
+use kop_trace::Counter;
+
+use crate::store::{Lookup, StoreKind};
+
+/// An immutable, self-contained copy of the policy at one generation.
+///
+/// Lookup semantics replicate the paper's table exactly: an access is
+/// permitted if **any** covering region grants the intent; otherwise the
+/// first covering region makes it [`Lookup::Forbidden`]; otherwise
+/// [`Lookup::NoMatch`]. For the common disjoint-region case the snapshot
+/// also carries a base-sorted copy and answers lookups with one binary
+/// search (with disjoint regions at most one region can cover an access,
+/// so scan order cannot matter).
+pub struct PolicySnapshot {
+    generation: u64,
+    kind: StoreKind,
+    /// Regions in the authoritative store's snapshot order.
+    regions: Vec<Region>,
+    /// Base-sorted copy, present only when the regions are disjoint.
+    sorted: Option<Vec<Region>>,
+}
+
+impl PolicySnapshot {
+    fn build(kind: StoreKind, regions: Vec<Region>, generation: u64) -> PolicySnapshot {
+        let mut sorted = regions.clone();
+        sorted.sort_by_key(|r| r.base);
+        let disjoint = sorted.windows(2).all(|w| !w[0].overlaps(&w[1]));
+        PolicySnapshot {
+            generation,
+            kind,
+            regions,
+            sorted: disjoint.then_some(sorted),
+        }
+    }
+
+    /// The generation this snapshot was published at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The kind of the authoritative store this snapshot was built from.
+    pub fn kind(&self) -> StoreKind {
+        self.kind
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the snapshot holds no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions, in the authoritative store's order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Classify an access against this frozen table. Pure: no locks, no
+    /// mutation, callable from any thread.
+    #[inline]
+    pub fn lookup(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Lookup {
+        if let Some(sorted) = &self.sorted {
+            // Disjoint fast path: the only candidate is the last region
+            // whose base is <= addr.
+            let idx = sorted.partition_point(|r| r.base <= addr);
+            if idx > 0 {
+                let r = sorted[idx - 1];
+                if r.covers(addr, size) {
+                    return if r.prot.allows(flags) {
+                        Lookup::Permitted(r)
+                    } else {
+                        Lookup::Forbidden(r)
+                    };
+                }
+            }
+            return Lookup::NoMatch;
+        }
+        // Overlap-capable scan in store order (the paper's table walk).
+        let mut first_covering = None;
+        for r in &self.regions {
+            if r.covers(addr, size) {
+                if r.prot.allows(flags) {
+                    return Lookup::Permitted(*r);
+                }
+                if first_covering.is_none() {
+                    first_covering = Some(*r);
+                }
+            }
+        }
+        match first_covering {
+            Some(r) => Lookup::Forbidden(r),
+            None => Lookup::NoMatch,
+        }
+    }
+}
+
+impl std::fmt::Debug for PolicySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicySnapshot")
+            .field("generation", &self.generation)
+            .field("kind", &self.kind)
+            .field("regions", &self.regions.len())
+            .field("disjoint", &self.sorted.is_some())
+            .finish()
+    }
+}
+
+/// The epoch/RCU cell: current snapshot + generation + publish counter.
+///
+/// Writers must be externally serialized (the policy module publishes
+/// while holding its store mutex); readers are lock-free.
+pub struct SnapshotStore {
+    current: ArcSwap<PolicySnapshot>,
+    /// Stored *after* the snapshot pointer on publish; the TLB validity
+    /// tag. Starts at 1 so 0 can mean "no cached entry".
+    generation: AtomicU64,
+    publishes: Counter,
+}
+
+impl SnapshotStore {
+    /// An empty store of the given kind at generation 1.
+    pub fn new(kind: StoreKind) -> SnapshotStore {
+        SnapshotStore {
+            current: ArcSwap::from_pointee(PolicySnapshot::build(kind, Vec::new(), 1)),
+            generation: AtomicU64::new(1),
+            publishes: Counter::new("policy.snapshot_publishes"),
+        }
+    }
+
+    /// The current generation. `SeqCst` so that a generation observed
+    /// after a publish implies the published snapshot is visible too.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Pin and borrow the current snapshot (lock-free).
+    #[inline]
+    pub fn load(&self) -> arc_swap::Guard<'_, PolicySnapshot> {
+        self.current.load()
+    }
+
+    /// Clone out the current snapshot.
+    pub fn load_full(&self) -> Arc<PolicySnapshot> {
+        self.current.load_full()
+    }
+
+    /// Rebuild and publish a new snapshot; returns the new generation.
+    /// Callers serialize publishes (the policy module holds its store
+    /// mutex across mutate + publish, so generation order matches
+    /// mutation order).
+    pub fn publish(&self, kind: StoreKind, regions: Vec<Region>) -> u64 {
+        let gen = self.generation.load(Ordering::SeqCst) + 1;
+        self.current
+            .store(Arc::new(PolicySnapshot::build(kind, regions, gen)));
+        // Snapshot first, generation second: a TLB that sees the new
+        // generation is guaranteed the new snapshot is already live.
+        self.generation.store(gen, Ordering::SeqCst);
+        self.publishes.inc();
+        gen
+    }
+
+    /// The live publish counter cell (for registry registration).
+    pub fn publish_counter(&self) -> &Counter {
+        &self.publishes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Protection;
+
+    fn r(base: u64, len: u64, prot: Protection) -> Region {
+        Region::new(VAddr(base), Size(len), prot).unwrap()
+    }
+
+    #[test]
+    fn empty_snapshot_matches_nothing() {
+        let s = SnapshotStore::new(StoreKind::Table);
+        assert_eq!(s.generation(), 1);
+        assert_eq!(
+            s.load().lookup(VAddr(0x1000), Size(8), AccessFlags::READ),
+            Lookup::NoMatch
+        );
+    }
+
+    #[test]
+    fn publish_bumps_generation_and_swaps_table() {
+        let s = SnapshotStore::new(StoreKind::Table);
+        let g = s.publish(
+            StoreKind::Table,
+            vec![r(0x1000, 0x1000, Protection::READ_WRITE)],
+        );
+        assert_eq!(g, 2);
+        assert_eq!(s.generation(), 2);
+        assert_eq!(s.publish_counter().get(), 1);
+        assert!(matches!(
+            s.load().lookup(VAddr(0x1800), Size(8), AccessFlags::RW),
+            Lookup::Permitted(_)
+        ));
+        let g = s.publish(StoreKind::Table, Vec::new());
+        assert_eq!(g, 3);
+        assert_eq!(
+            s.load().lookup(VAddr(0x1800), Size(8), AccessFlags::RW),
+            Lookup::NoMatch
+        );
+    }
+
+    #[test]
+    fn disjoint_fast_path_agrees_with_scan() {
+        // Same region set built both ways must classify identically.
+        let disjoint = vec![
+            r(0x1000, 0x1000, Protection::READ_WRITE),
+            r(0x3000, 0x1000, Protection::READ_ONLY),
+            r(0x8000, 0x100, Protection::NONE),
+        ];
+        let snap = PolicySnapshot::build(StoreKind::Table, disjoint.clone(), 1);
+        assert!(snap.sorted.is_some());
+        let probes = [
+            (0x1800u64, 8u64, AccessFlags::RW),
+            (0x3000, 8, AccessFlags::READ),
+            (0x3000, 8, AccessFlags::WRITE),
+            (0x8000, 4, AccessFlags::READ),
+            (0x2000, 8, AccessFlags::READ),
+            (0x3ff8, 16, AccessFlags::READ), // straddles region end
+        ];
+        for (a, s, f) in probes {
+            let mut first = None;
+            let mut want = Lookup::NoMatch;
+            for reg in &disjoint {
+                if reg.covers(VAddr(a), Size(s)) {
+                    if reg.prot.allows(f) {
+                        want = Lookup::Permitted(*reg);
+                        break;
+                    }
+                    if first.is_none() {
+                        first = Some(*reg);
+                    }
+                }
+            }
+            if matches!(want, Lookup::NoMatch) {
+                if let Some(reg) = first {
+                    want = Lookup::Forbidden(reg);
+                }
+            }
+            assert_eq!(snap.lookup(VAddr(a), Size(s), f), want, "probe {a:#x}");
+        }
+    }
+
+    #[test]
+    fn overlapping_regions_use_any_grant_wins() {
+        // A NONE rule shadowed by a later RW rule over the same bytes:
+        // table semantics say any granting cover wins.
+        let regions = vec![
+            r(0x1000, 0x1000, Protection::NONE),
+            r(0x1000, 0x1000, Protection::READ_WRITE),
+        ];
+        let snap = PolicySnapshot::build(StoreKind::Table, regions, 1);
+        assert!(snap.sorted.is_none(), "overlap disables the sorted path");
+        assert!(matches!(
+            snap.lookup(VAddr(0x1400), Size(8), AccessFlags::RW),
+            Lookup::Permitted(_)
+        ));
+        // EXEC is granted by neither: Forbidden, reported on the first
+        // covering region.
+        assert!(matches!(
+            snap.lookup(VAddr(0x1400), Size(8), AccessFlags::EXEC),
+            Lookup::Forbidden(_)
+        ));
+    }
+}

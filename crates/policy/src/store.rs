@@ -164,7 +164,7 @@ pub(crate) fn validate_region(region: &Region) -> Result<(), PolicyError> {
 
 /// Construct a boxed store of the given kind (table-backed hybrids use the
 /// default table capacity).
-pub fn make_store(kind: StoreKind) -> Box<dyn RegionStore + Send> {
+pub fn make_store(kind: StoreKind) -> Box<dyn RegionStore + Send + Sync> {
     match kind {
         StoreKind::Table => Box::new(crate::table::RegionTable::new()),
         StoreKind::Sorted => Box::new(crate::sorted::SortedRegionTable::new()),

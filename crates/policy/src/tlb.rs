@@ -1,0 +1,360 @@
+//! The per-site guard TLB — memoizing `(region, generation)` per call
+//! site so the steady-state TX loop pays one atomic load and one
+//! cache-line compare per guard.
+//!
+//! A guarded driver hits the same few call sites with addresses that land
+//! in the same few policy regions, millions of times. [`GuardTlb`] is a
+//! small direct-mapped cache keyed by the guard's site id (the same
+//! per-site identity the PR-3 tracer uses): each entry remembers the
+//! region that granted the site's last access and the store generation it
+//! was granted under. A hit revalidates locally — generation compare plus
+//! [`Region::permits`] against the *cached* region — and skips the policy
+//! module entirely. Any table write bumps the generation
+//! ([`crate::snapshot::SnapshotStore`]), which invalidates every entry in
+//! every TLB at once; the next check misses and refills from the
+//! lock-free snapshot path.
+//!
+//! Only **region grants** are cached. Denials are never cached (a denial
+//! must reach the policy module for stats/log/enforcement), and neither
+//! are default-action allows (flipping the default action does not bump
+//! the generation, so caching them would be unsound; a cached region
+//! grant stays sound because any covering, granting region wins
+//! regardless of the default action).
+//!
+//! The TLB is intentionally **not** `Sync`: it models a per-thread /
+//! per-simulated-CPU structure (entries are `Cell`s). Give each worker
+//! its own instance — see [`TlbPolicy`] — and distinct counter prefixes
+//! so per-queue hit/miss cells can be summed for reconciliation:
+//! `hits + misses == guard calls` by construction.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use kop_core::{AccessFlags, Protection, Region, Size, VAddr, Violation};
+use kop_trace::{Counter, CounterRegistry};
+
+use crate::module::PolicyModule;
+use crate::PolicyCheck;
+
+/// Number of direct-mapped TLB entries (power of two).
+pub const TLB_WAYS: usize = 16;
+
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    /// Generation the grant was observed under; 0 = invalid (the
+    /// snapshot store's generations start at 1).
+    gen: u64,
+    site: u32,
+    region: Region,
+}
+
+impl TlbEntry {
+    fn invalid() -> TlbEntry {
+        TlbEntry {
+            gen: 0,
+            site: 0,
+            region: Region::new(VAddr(0), Size(0), Protection::NONE).expect("empty region"),
+        }
+    }
+}
+
+/// A per-thread direct-mapped cache of `(site → region, generation)`.
+pub struct GuardTlb {
+    entries: [Cell<TlbEntry>; TLB_WAYS],
+    hits: Counter,
+    misses: Counter,
+}
+
+impl GuardTlb {
+    /// A TLB whose counters are named `policy.tlb.hits` / `.misses`.
+    pub fn new() -> GuardTlb {
+        GuardTlb::with_prefix("policy.tlb")
+    }
+
+    /// A TLB with counters `"<prefix>.hits"` / `"<prefix>.misses"` — use
+    /// distinct prefixes (e.g. `policy.tlb.q3`) when several TLBs
+    /// register into one counter registry.
+    pub fn with_prefix(prefix: &str) -> GuardTlb {
+        GuardTlb {
+            entries: std::array::from_fn(|_| Cell::new(TlbEntry::invalid())),
+            hits: Counter::new(format!("{prefix}.hits")),
+            misses: Counter::new(format!("{prefix}.misses")),
+        }
+    }
+
+    /// Guard an access attributed to `site`.
+    ///
+    /// Hit path: one `SeqCst` generation load plus a compare against the
+    /// cached entry. Miss path: the policy module's full lock-free check;
+    /// a region grant refills the entry tagged with the generation of the
+    /// snapshot that granted it (if a publish raced in between, the tag
+    /// is already stale and the next check re-misses — never the other
+    /// way around).
+    #[inline]
+    pub fn check(
+        &self,
+        policy: &PolicyModule,
+        site: u32,
+        addr: VAddr,
+        size: Size,
+        flags: AccessFlags,
+    ) -> Result<(), Violation> {
+        let slot = &self.entries[site as usize & (TLB_WAYS - 1)];
+        let e = slot.get();
+        if e.gen != 0
+            && e.site == site
+            && e.gen == policy.store_generation()
+            && e.region.permits(addr, size, flags)
+        {
+            self.hits.inc();
+            return Ok(());
+        }
+        self.misses.inc();
+        let out = policy.check_classified(addr, size, flags);
+        if let Some((region, gen)) = out.grant {
+            slot.set(TlbEntry { gen, site, region });
+        }
+        out.result
+    }
+
+    /// Drop every cached entry (e.g. when re-homing the TLB to another
+    /// policy module).
+    pub fn flush(&self) {
+        for e in &self.entries {
+            e.set(TlbEntry::invalid());
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// The live hit counter cell.
+    pub fn hit_counter(&self) -> &Counter {
+        &self.hits
+    }
+
+    /// The live miss counter cell.
+    pub fn miss_counter(&self) -> &Counter {
+        &self.misses
+    }
+
+    /// Register the hit/miss cells into a counter registry (the tracer's
+    /// unified registry, so `/dev/trace counters` shows them).
+    pub fn register_into(&self, registry: &CounterRegistry) {
+        registry.register(&self.hits);
+        registry.register(&self.misses);
+    }
+}
+
+impl Default for GuardTlb {
+    fn default() -> Self {
+        GuardTlb::new()
+    }
+}
+
+/// Maps guarded addresses to site ids — how a native (non-interpreted)
+/// build recovers the per-site identity the compiler pass would have
+/// assigned. Ranges are checked in insertion order; unmatched addresses
+/// get the fallback site.
+#[derive(Clone, Debug)]
+pub struct SiteMap {
+    /// `(start, end_exclusive, site)` triples.
+    ranges: Vec<(u64, u64, u32)>,
+    fallback: u32,
+}
+
+impl SiteMap {
+    /// An empty map classifying everything as `fallback`.
+    pub fn new(fallback: u32) -> SiteMap {
+        SiteMap {
+            ranges: Vec::new(),
+            fallback,
+        }
+    }
+
+    /// Add a `[start, end)` → `site` range (builder style).
+    pub fn range(mut self, start: u64, end: u64, site: u32) -> SiteMap {
+        self.ranges.push((start, end, site));
+        self
+    }
+
+    /// Classify an address.
+    #[inline]
+    pub fn classify(&self, addr: u64) -> u32 {
+        for &(start, end, site) in &self.ranges {
+            if addr >= start && addr < end {
+                return site;
+            }
+        }
+        self.fallback
+    }
+}
+
+/// A [`PolicyCheck`] front that routes every guard through a private
+/// [`GuardTlb`], classifying addresses to sites with a [`SiteMap`]. One
+/// instance per worker thread; all instances share the same
+/// [`PolicyModule`].
+pub struct TlbPolicy {
+    policy: Arc<PolicyModule>,
+    map: SiteMap,
+    tlb: GuardTlb,
+}
+
+impl TlbPolicy {
+    /// Wrap `policy` with a per-thread TLB.
+    pub fn new(policy: Arc<PolicyModule>, map: SiteMap, tlb: GuardTlb) -> TlbPolicy {
+        TlbPolicy { policy, map, tlb }
+    }
+
+    /// The TLB (e.g. to read hit/miss counters).
+    pub fn tlb(&self) -> &GuardTlb {
+        &self.tlb
+    }
+
+    /// The shared policy module.
+    pub fn policy(&self) -> &Arc<PolicyModule> {
+        &self.policy
+    }
+}
+
+impl PolicyCheck for TlbPolicy {
+    #[inline]
+    fn carat_guard(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+        let site = self.map.classify(addr.raw());
+        self.tlb.check(&self.policy, site, addr, size, flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DefaultAction;
+
+    fn pm_with_region(base: u64, len: u64) -> Arc<PolicyModule> {
+        let pm = Arc::new(PolicyModule::new());
+        pm.add_region(Region::new(VAddr(base), Size(len), Protection::READ_WRITE).unwrap())
+            .unwrap();
+        pm
+    }
+
+    #[test]
+    fn steady_state_hits_after_one_miss() {
+        let pm = pm_with_region(0x1000, 0x1000);
+        let tlb = GuardTlb::new();
+        for _ in 0..100 {
+            tlb.check(&pm, 3, VAddr(0x1800), Size(8), AccessFlags::RW)
+                .unwrap();
+        }
+        assert_eq!(tlb.misses(), 1);
+        assert_eq!(tlb.hits(), 99);
+        // Only the one miss reached the policy module.
+        assert_eq!(pm.stats().checks, 1);
+    }
+
+    #[test]
+    fn table_write_invalidates_cached_grants() {
+        let pm = pm_with_region(0x1000, 0x1000);
+        let tlb = GuardTlb::new();
+        tlb.check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(tlb.hits(), 0);
+        pm.remove_region(VAddr(0x1000)).unwrap();
+        // Revoked: the cached grant's generation is stale, so the check
+        // misses, consults the new table, and denies.
+        assert!(tlb
+            .check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .is_err());
+        assert_eq!(tlb.hits(), 0);
+        assert_eq!(tlb.misses(), 2);
+    }
+
+    #[test]
+    fn denials_and_default_allows_are_never_cached() {
+        let pm = Arc::new(PolicyModule::new());
+        pm.set_default_action(DefaultAction::Allow);
+        let tlb = GuardTlb::new();
+        for _ in 0..5 {
+            // Permitted by default action only — must not populate the TLB.
+            tlb.check(&pm, 1, VAddr(0x9000), Size(8), AccessFlags::READ)
+                .unwrap();
+        }
+        assert_eq!(tlb.hits(), 0);
+        assert_eq!(tlb.misses(), 5);
+        // Flipping the default back is honoured immediately (nothing was
+        // cached).
+        pm.set_default_action(DefaultAction::Deny);
+        assert!(tlb
+            .check(&pm, 1, VAddr(0x9000), Size(8), AccessFlags::READ)
+            .is_err());
+    }
+
+    #[test]
+    fn cached_region_is_revalidated_per_access() {
+        let pm = pm_with_region(0x1000, 0x1000);
+        let tlb = GuardTlb::new();
+        tlb.check(&pm, 2, VAddr(0x1000), Size(8), AccessFlags::RW)
+            .unwrap();
+        // Same site, address outside the cached region: the cached entry
+        // cannot vouch for it, so this goes to the policy (and denies).
+        assert!(tlb
+            .check(&pm, 2, VAddr(0x5000), Size(8), AccessFlags::RW)
+            .is_err());
+        // Same site, insufficient permission: likewise a miss + denial.
+        assert!(tlb
+            .check(&pm, 2, VAddr(0x1000), Size(8), AccessFlags::EXEC)
+            .is_err());
+    }
+
+    #[test]
+    fn reconciliation_hits_plus_misses_equals_checks() {
+        let pm = pm_with_region(0x1000, 0x1000);
+        let tlb = GuardTlb::new();
+        let total = 1234u64;
+        for i in 0..total {
+            let _ = tlb.check(
+                &pm,
+                (i % 4) as u32,
+                VAddr(0x1000 + (i % 0x800)),
+                Size(8),
+                AccessFlags::RW,
+            );
+        }
+        assert_eq!(tlb.hits() + tlb.misses(), total);
+    }
+
+    #[test]
+    fn tlb_policy_classifies_and_caches() {
+        let pm = pm_with_region(0x1000, 0x2000);
+        let map = SiteMap::new(7)
+            .range(0x1000, 0x2000, 0)
+            .range(0x2000, 0x3000, 1);
+        let tp = TlbPolicy::new(Arc::clone(&pm), map, GuardTlb::new());
+        tp.carat_guard(VAddr(0x1100), Size(8), AccessFlags::READ)
+            .unwrap();
+        tp.carat_guard(VAddr(0x2100), Size(8), AccessFlags::READ)
+            .unwrap();
+        tp.carat_guard(VAddr(0x1100), Size(8), AccessFlags::READ)
+            .unwrap();
+        assert_eq!(tp.tlb().misses(), 2, "one miss per site");
+        assert_eq!(tp.tlb().hits(), 1);
+    }
+
+    #[test]
+    fn flush_forces_refill() {
+        let pm = pm_with_region(0x1000, 0x1000);
+        let tlb = GuardTlb::new();
+        tlb.check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        tlb.flush();
+        tlb.check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(tlb.misses(), 2);
+    }
+}

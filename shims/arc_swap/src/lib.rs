@@ -1,0 +1,316 @@
+//! Offline API-compatible stand-in for `arc-swap` (subset used by this
+//! workspace): an atomically swappable `Arc<T>` whose readers never lock.
+//!
+//! # Algorithm
+//!
+//! The cell keeps a small fixed array of *slots*, each holding an
+//! `Arc<T>` plus a striped pin count, and a `current` index naming the
+//! live slot.
+//!
+//! **Reader** ([`ArcSwap::load`]): read `current`, increment a pin on
+//! that slot, then re-read `current`. If it still names the same slot the
+//! pin is effective — the writer cannot reclaim a pinned slot — and the
+//! reader may dereference the slot's value for as long as it holds the
+//! [`Guard`]. If `current` moved in between, the pin came too late to be
+//! trusted: drop it and retry. The reader never dereferences a slot it
+//! has not successfully pinned *while current*.
+//!
+//! **Writer** ([`ArcSwap::store`] / [`ArcSwap::swap`], serialized by an
+//! internal mutex): pick a slot that is not current and spin until its
+//! pin count is zero, install the new `Arc` into it, then publish it by
+//! storing `current`. Reclamation of the value previously parked in that
+//! slot is thereby *deferred* until every reader that could have seen it
+//! has unpinned — the epoch/RCU discipline.
+//!
+//! # Why a racing reader is safe
+//!
+//! Suppose the writer scans a slot's pins, sees zero, and a reader pins
+//! the slot immediately after. The reader then re-reads `current`:
+//!
+//! * If the re-read happens before the writer's `current` store, it fails
+//!   (the slot is not current — the writer only ever writes non-current
+//!   slots), so the reader unpins and retries without dereferencing.
+//! * If it happens after, all ordering is `SeqCst`: the writer's value
+//!   install precedes its `current` store in program order, so the reader
+//!   observes the fully written new value.
+//!
+//! Either way no reader ever dereferences a slot while the writer is
+//! mutating it, and once a reader holds an effective pin the writer's
+//! zero-pin wait keeps the value alive. Pins are striped across padded
+//! cache lines (indexed by a per-thread id) so concurrent readers do not
+//! contend on one counter.
+
+use std::cell::UnsafeCell;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of value slots. Three non-current slots is plenty: the writer
+/// is serialized and readers pin only transiently.
+const SLOTS: usize = 4;
+
+/// Pin-count stripes per slot (readers hash their thread onto one).
+const STRIPES: usize = 8;
+
+/// A cache-line padded pin counter, so reader pins on different stripes
+/// do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PinStripe(AtomicUsize);
+
+struct Slot<T> {
+    /// Written only by the (mutex-serialized) writer, and only while the
+    /// slot is not current and has zero pins.
+    value: UnsafeCell<Option<Arc<T>>>,
+    pins: [PinStripe; STRIPES],
+}
+
+impl<T> Slot<T> {
+    fn empty() -> Slot<T> {
+        Slot {
+            value: UnsafeCell::new(None),
+            pins: Default::default(),
+        }
+    }
+
+    fn pinned(&self) -> usize {
+        self.pins.iter().map(|p| p.0.load(Ordering::SeqCst)).sum()
+    }
+}
+
+/// An `Arc<T>` that can be atomically replaced while readers dereference
+/// it without taking any lock.
+pub struct ArcSwap<T> {
+    slots: [Slot<T>; SLOTS],
+    current: AtomicUsize,
+    writer: Mutex<()>,
+}
+
+// Readers on any thread dereference &T and clone Arc<T>; the writer
+// moves Arc<T> between threads. Both need T: Send + Sync, same as
+// Arc<T>: Send + Sync.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+/// The stripe this thread pins on.
+fn stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+impl<T> ArcSwap<T> {
+    /// A cell holding `initial`.
+    pub fn new(initial: Arc<T>) -> ArcSwap<T> {
+        let slots = std::array::from_fn(|_| Slot::empty());
+        let cell = ArcSwap {
+            slots,
+            current: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        };
+        // No readers exist yet; installing directly is fine.
+        unsafe { *cell.slots[0].value.get() = Some(initial) };
+        cell
+    }
+
+    /// A cell holding `Arc::new(value)`.
+    pub fn from_pointee(value: T) -> ArcSwap<T> {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Lock-free read: pin the current value and borrow it. The value
+    /// stays alive (and the slot unreclaimed) until the guard drops —
+    /// keep guards short so writers can recycle slots.
+    pub fn load(&self) -> Guard<'_, T> {
+        let stripe = stripe();
+        loop {
+            let i = self.current.load(Ordering::SeqCst);
+            let slot = &self.slots[i];
+            slot.pins[stripe].0.fetch_add(1, Ordering::SeqCst);
+            if self.current.load(Ordering::SeqCst) == i {
+                // Effective pin: the writer will observe it before it
+                // next touches this slot. Safe to dereference.
+                let value = unsafe {
+                    (*slot.value.get())
+                        .as_ref()
+                        .expect("current slot always holds a value")
+                };
+                return Guard {
+                    slot,
+                    stripe,
+                    value,
+                };
+            }
+            // The writer republished between our two loads; this pin is
+            // not trustworthy. Retry on the new current slot.
+            slot.pins[stripe].0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Clone out the current `Arc` (pin only for the duration of the
+    /// refcount bump).
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(self.load().as_arc())
+    }
+
+    /// Replace the value, dropping the previous `Arc` once no longer
+    /// referenced.
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Replace the value and return the previously current `Arc`.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let _serialize = self.writer.lock().expect("arc-swap writer lock");
+        let cur = self.current.load(Ordering::SeqCst);
+        // Pick a reclaimable slot: never the current one, and only once
+        // unpinned. Readers pin non-current slots only transiently (the
+        // recheck fails and they unpin), so this terminates.
+        let mut target = (cur + 1) % SLOTS;
+        loop {
+            if self.slots[target].pinned() == 0 {
+                break;
+            }
+            target = (target + 1) % SLOTS;
+            if target == cur {
+                target = (target + 1) % SLOTS;
+            }
+            std::hint::spin_loop();
+        }
+        // Deferred reclamation happens here: whatever Arc was parked in
+        // this slot from an earlier reign is provably unobserved now
+        // (zero pins, not current) and gets dropped by `replace`.
+        unsafe { (*self.slots[target].value.get()).replace(new) };
+        // The previously current value stays in its slot — readers may
+        // still be mid-dereference on it — we only clone the handle.
+        let prev = unsafe {
+            (*self.slots[cur].value.get())
+                .as_ref()
+                .expect("current slot always holds a value")
+                .clone()
+        };
+        self.current.store(target, Ordering::SeqCst);
+        prev
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcSwap").field(&*self.load()).finish()
+    }
+}
+
+/// A pinned borrow of the value in an [`ArcSwap`]. Dereferences to `T`.
+pub struct Guard<'a, T> {
+    slot: &'a Slot<T>,
+    stripe: usize,
+    value: &'a Arc<T>,
+}
+
+impl<'a, T> Guard<'a, T> {
+    /// The borrowed `Arc` itself (e.g. to clone it out).
+    pub fn as_arc(&self) -> &Arc<T> {
+        self.value
+    }
+}
+
+impl<T> Deref for Guard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        self.slot.pins[self.stripe].0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_and_store_roundtrip() {
+        let cell = ArcSwap::from_pointee(1u64);
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(*cell.load_full(), 2);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let cell = ArcSwap::from_pointee("a".to_string());
+        let prev = cell.swap(Arc::new("b".to_string()));
+        assert_eq!(*prev, "a");
+        assert_eq!(*cell.load(), "b");
+    }
+
+    #[test]
+    fn guard_outlives_store() {
+        let cell = ArcSwap::from_pointee(vec![1, 2, 3]);
+        let g = cell.load();
+        cell.store(Arc::new(vec![9]));
+        // The pinned guard still sees the old value, un-reclaimed.
+        assert_eq!(*g, vec![1, 2, 3]);
+        drop(g);
+        assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn many_stores_cycle_slots() {
+        let cell = ArcSwap::from_pointee(0usize);
+        for i in 1..100 {
+            cell.store(Arc::new(i));
+            assert_eq!(*cell.load(), i);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_pairs() {
+        // Each published value is a pair (a, b) with a + b == 1000; a torn
+        // or dangling read would break the invariant (or crash).
+        let cell = Arc::new(ArcSwap::from_pointee((0u64, 1000u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let g = cell.load();
+                    assert_eq!(g.0 + g.1, 1000);
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+        for i in 0..20_000u64 {
+            let a = i % 1000;
+            cell.store(Arc::new((a, 1000 - a)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn dropped_values_are_reclaimed() {
+        // Arc strong counts prove deferred reclamation actually reclaims:
+        // after enough stores, earlier values are dropped.
+        let first = Arc::new(7u64);
+        let cell = ArcSwap::new(Arc::clone(&first));
+        for i in 0..SLOTS as u64 + 2 {
+            cell.store(Arc::new(i));
+        }
+        // `first` has been rotated out of every slot by now.
+        assert_eq!(Arc::strong_count(&first), 1);
+    }
+}

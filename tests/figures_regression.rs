@@ -236,6 +236,47 @@ fn resilience_output_is_deterministic() {
 }
 
 #[test]
+fn smp_correctness_invariants_hold_at_paper_scale() {
+    // Timing asserts are gated inside smp() (they need a quiet multi-core
+    // host); what must hold everywhere is correctness: zero stale admits
+    // under the revoke/grant storm, exact TLB reconciliation, and one
+    // snapshot publish per table write. smp() asserts those internally;
+    // here we additionally pin the figure's shape and the headline values.
+    let fig = figures::smp();
+    assert_eq!(fig.id, "smp");
+    for label in [
+        "checkrate_mutex",
+        "checkrate_snapshot",
+        "checkrate_snapshot_tlb",
+        "mq_tx_mutex",
+        "mq_tx_snapshot_tlb",
+    ] {
+        let s = fig
+            .series(label)
+            .unwrap_or_else(|| panic!("missing {label}"));
+        assert!(!s.points.is_empty());
+        assert!(
+            s.points.iter().all(|&(_, y)| y > 0.0),
+            "{label} has dead points"
+        );
+    }
+    assert_eq!(fig.headline("stale_admits"), Some(0.0));
+    let hits = fig.headline("tlb_hits").unwrap();
+    let misses = fig.headline("tlb_misses").unwrap();
+    let guards = fig.headline("mq_guard_calls").unwrap();
+    assert_eq!(hits + misses, guards, "TLB counters must reconcile");
+    assert!(
+        hits > misses,
+        "steady-state TX must be TLB-hit dominated ({hits} hits vs {misses} misses)"
+    );
+    // The JSON rendering is well-formed enough for line-based checks and
+    // includes every headline.
+    let json = fig.render_json();
+    assert!(json.contains("\"stale_admits\": 0"));
+    assert!(json.contains("\"id\": \"smp\""));
+}
+
+#[test]
 fn renders_are_nonempty_and_csv_parses() {
     for fig in [figures::fig6(), figures::claims()]
         .into_iter()
