@@ -153,6 +153,9 @@ pub fn compile_module(
     for (_, s) in pm.run(&mut module) {
         stats.merge(&s);
     }
+    // Passes restructured blocks; re-seal the layout caches so everything
+    // downstream (verifier walks, the interpreter) sees sealed functions.
+    module.seal_layout();
 
     verify_module(&module).map_err(CompileError::OutputVerify)?;
 

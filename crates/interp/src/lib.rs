@@ -23,14 +23,13 @@
 
 #![warn(missing_docs)]
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use kop_core::{AccessFlags, KernelError, KernelResult, Size, VAddr};
-use kop_ir::{BinOp, BlockId, CastOp, IcmpPred, Inst, Module, Terminator, Type, Value};
-use kop_kernel::Kernel;
+use kop_ir::{BinOp, BlockId, CastOp, IcmpPred, Inst, Terminator, Type, Value};
+use kop_kernel::{Kernel, ModuleImage};
 use kop_policy::module::GuardOutcome;
-use kop_trace::{GuardDecision, Producer, SiteId, SiteTable, TraceEvent, Tracer};
+use kop_trace::{GuardDecision, Producer, SiteId, TraceEvent, Tracer};
 
 /// Execution statistics accumulated across `call`s.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -82,14 +81,10 @@ fn sign_extend(v: u64, bits: u32) -> i64 {
     ((v << shift) as i64) >> shift
 }
 
-/// Per-call module context (IR + layout addresses + guard-site table).
-struct ModuleCtx<'a> {
-    ir: &'a Module,
-    globals: &'a BTreeMap<String, VAddr>,
-    func_addrs: &'a BTreeMap<String, VAddr>,
-    /// Guard-site lookup registered at insmod (None: unguarded module).
-    sites: Option<Arc<SiteTable>>,
-}
+/// Per-call module context: the loader's shared [`ModuleImage`] (IR +
+/// layout addresses + guard-site table). Entering module code clones one
+/// `Arc`, nothing else.
+type ModuleCtx = ModuleImage;
 
 impl<'k> Interp<'k> {
     /// Create an interpreter with default fuel. Allocates the module stack
@@ -138,20 +133,10 @@ impl<'k> Interp<'k> {
             .kernel
             .module(module_name)
             .ok_or_else(|| KernelError::NoSuchModule(module_name.to_string()))?;
-        // Clone the module context out of the kernel borrow. Modules are
-        // IR (small), and `call` is not the measured fast path — the
-        // native driver in kop-e1000e is.
-        let ir = loaded.ir.clone();
-        let globals = loaded.globals.clone();
-        let func_addrs = loaded.func_addrs.clone();
-        let sites = loaded.sites.clone();
-        let ctx = ModuleCtx {
-            ir: &ir,
-            globals: &globals,
-            func_addrs: &func_addrs,
-            sites,
-        };
-        self.call_in(&ctx, func, args)
+        // One refcount bump detaches the module context from the kernel
+        // borrow — no per-call deep clone of the IR or layout maps.
+        let image = Arc::clone(loaded.image());
+        self.call_in(&image, func, args)
     }
 
     fn burn(&mut self, n: u64) -> KernelResult<()> {
@@ -168,12 +153,7 @@ impl<'k> Interp<'k> {
 
     /// Execute one function frame (recursion happens through
     /// [`Self::dispatch_call`]).
-    fn call_in(
-        &mut self,
-        ctx: &ModuleCtx<'_>,
-        func: &str,
-        args: &[u64],
-    ) -> KernelResult<Option<u64>> {
+    fn call_in(&mut self, ctx: &ModuleCtx, func: &str, args: &[u64]) -> KernelResult<Option<u64>> {
         let f = ctx.ir.function(func).ok_or_else(|| {
             KernelError::InvalidArgument(format!("no function @{func} in module {}", ctx.ir.name))
         })?;
@@ -205,7 +185,7 @@ impl<'k> Interp<'k> {
 
     fn run_frame(
         &mut self,
-        ctx: &ModuleCtx<'_>,
+        ctx: &ModuleCtx,
         f: &kop_ir::Function,
         entry: BlockId,
     ) -> KernelResult<Option<u64>> {
@@ -216,12 +196,9 @@ impl<'k> Interp<'k> {
         loop {
             let blk = f.block(cur);
 
-            // Phi nodes first, evaluated in parallel against `prev`.
-            let phi_count = blk
-                .insts
-                .iter()
-                .take_while(|&&iid| matches!(f.inst(iid), Inst::Phi { .. }))
-                .count();
+            // Phi nodes first, evaluated in parallel against `prev`. The
+            // count comes from the sealed layout cache (O(1)).
+            let phi_count = f.leading_phi_count(cur);
             if phi_count > 0 {
                 let pb = prev.expect("phi in entry block impossible (verified)");
                 let mut staged = Vec::with_capacity(phi_count);
@@ -458,7 +435,7 @@ impl<'k> Interp<'k> {
         }
     }
 
-    fn eval(&self, ctx: &ModuleCtx<'_>, regs: &[u64], v: &Value) -> u64 {
+    fn eval(&self, ctx: &ModuleCtx, regs: &[u64], v: &Value) -> u64 {
         match v {
             Value::ConstInt(ty, val) => mask(ty, *val),
             Value::NullPtr => 0,
@@ -503,7 +480,7 @@ impl<'k> Interp<'k> {
     /// Host/internal call dispatch.
     fn dispatch_call(
         &mut self,
-        ctx: &ModuleCtx<'_>,
+        ctx: &ModuleCtx,
         callee: &str,
         args: &[u64],
         site: Option<SiteId>,

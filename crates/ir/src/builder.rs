@@ -272,7 +272,9 @@ impl FuncBuilder<'_> {
 
     /// Finish the function and add it to the module.
     pub fn finish(self) {
-        self.module.functions.push(self.func);
+        let mut func = self.func;
+        func.seal_layout();
+        self.module.functions.push(func);
     }
 }
 

@@ -401,7 +401,8 @@ pub fn parse_module(src: &str) -> Result<Module, ParseError> {
                 });
             }
             Tok::Ident(w) if w == "define" => {
-                let func = parse_function(&mut lx)?;
+                let mut func = parse_function(&mut lx)?;
+                func.seal_layout();
                 module.functions.push(func);
             }
             other => {

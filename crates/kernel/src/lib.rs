@@ -30,7 +30,7 @@ pub mod objects;
 pub mod symbols;
 
 pub use kernel::{Kernel, KernelConfig, QuarantineRecord, Verification, TRACE_DEV};
-pub use loader::LoadedModule;
+pub use loader::{LoadedModule, ModuleImage};
 pub use mem::{FaultHook, MmioDevice, SimMemory};
 pub use objects::{FileHandle, QueueHandle};
 pub use symbols::{Symbol, SymbolKind, SymbolTable, Visibility};

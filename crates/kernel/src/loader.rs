@@ -25,13 +25,31 @@ use kop_trace::{assign_guard_sites, Producer, SiteTable, TraceEvent};
 
 use crate::kernel::Kernel;
 
+/// The immutable execution image of a loaded module: the verified IR,
+/// the address layout, the guard-site table — everything an executor
+/// needs per call. Built once at insmod and shared behind an `Arc`, so
+/// `Interp::call` clones one pointer instead of deep-copying the module
+/// on every invocation.
+#[derive(Debug)]
+pub struct ModuleImage {
+    /// The verified IR the interpreter executes (layout-sealed).
+    pub ir: Module,
+    /// Address of each global.
+    pub globals: BTreeMap<String, VAddr>,
+    /// Address assigned to each function symbol (for `FuncAddr` values).
+    pub func_addrs: BTreeMap<String, VAddr>,
+    /// Guard-site lookup table registered with the kernel tracer at
+    /// insmod (`None` when the module has no guard calls). The
+    /// interpreter consults this to attribute each dynamic check to its
+    /// stable site.
+    pub sites: Option<Arc<SiteTable>>,
+}
+
 /// A module resident in the kernel.
 #[derive(Debug)]
 pub struct LoadedModule {
     /// Module name.
     pub name: String,
-    /// The verified IR the interpreter executes.
-    pub ir: Module,
     /// Base of the module's text mapping (read-only).
     pub text_base: VAddr,
     /// Size of the text mapping.
@@ -40,19 +58,40 @@ pub struct LoadedModule {
     pub data_base: VAddr,
     /// Size of the data mapping.
     pub data_size: u64,
-    /// Address of each global.
-    pub globals: BTreeMap<String, VAddr>,
-    /// Address assigned to each function symbol (for `FuncAddr` values).
-    pub func_addrs: BTreeMap<String, VAddr>,
     /// Content hash of the signed container (module identity in logs).
     pub content_hash: String,
     /// Whether the module was guard-injected (`guard_count > 0`).
     pub is_protected: bool,
-    /// Guard-site lookup table registered with the kernel tracer at
-    /// insmod (`None` when the module has no guard calls). The
-    /// interpreter consults this to attribute each dynamic check to its
-    /// stable site.
-    pub sites: Option<Arc<SiteTable>>,
+    /// The shared execution image (IR + layout + sites).
+    image: Arc<ModuleImage>,
+}
+
+impl LoadedModule {
+    /// The shared execution image. Cloning the returned `Arc` is the
+    /// per-call cost of entering module code.
+    pub fn image(&self) -> &Arc<ModuleImage> {
+        &self.image
+    }
+
+    /// The verified IR the interpreter executes.
+    pub fn ir(&self) -> &Module {
+        &self.image.ir
+    }
+
+    /// Address of each global.
+    pub fn globals(&self) -> &BTreeMap<String, VAddr> {
+        &self.image.globals
+    }
+
+    /// Address assigned to each function symbol.
+    pub fn func_addrs(&self) -> &BTreeMap<String, VAddr> {
+        &self.image.func_addrs
+    }
+
+    /// Guard-site lookup table (None: unguarded module).
+    pub fn sites(&self) -> Option<&Arc<SiteTable>> {
+        self.image.sites.as_ref()
+    }
 }
 
 impl Kernel {
@@ -90,7 +129,11 @@ impl Kernel {
         }
 
         // 2. Kernel-side re-verification.
+        let mut ir = ir;
         verify_module(&ir).map_err(|e| KernelError::BadSignature(format!("IR invalid: {e}")))?;
+        // The IR is final from here on: seal its layout caches so the
+        // executors get O(1) block-shape queries.
+        ir.seal_layout();
         if self.config().require_strict_guards && !signed.attestation.guards_strict {
             return Err(KernelError::AttestationRejected(
                 "kernel requires strict guard layout".into(),
@@ -192,18 +235,21 @@ impl Kernel {
         };
 
         let is_protected = signed.attestation.guard_count > 0;
+        let image = Arc::new(ModuleImage {
+            ir,
+            globals,
+            func_addrs,
+            sites,
+        });
         let loaded = LoadedModule {
-            name: ir.name.clone(),
+            name: image.ir.name.clone(),
             text_base,
             text_size,
             data_base,
             data_size,
-            globals,
-            func_addrs,
             content_hash: signed.content_hash(),
             is_protected,
-            sites,
-            ir,
+            image,
         };
         self.tracer().record(
             Producer::Loader,
@@ -215,8 +261,8 @@ impl Kernel {
         self.printk(&format!(
             "insmod {}: {} function(s), {} global(s), {} guard(s), text at {}",
             loaded.name,
-            loaded.ir.functions.len(),
-            loaded.ir.globals.len(),
+            loaded.ir().functions.len(),
+            loaded.ir().globals.len(),
             signed.attestation.guard_count,
             loaded.text_base,
         ));
@@ -278,8 +324,8 @@ entry:
         let loaded = kernel.insmod(&signed).unwrap();
         assert_eq!(loaded.name, "demo");
         assert!(loaded.is_protected);
-        assert_eq!(loaded.globals.len(), 2);
-        let counter = loaded.globals["counter"];
+        assert_eq!(loaded.globals().len(), 2);
+        let counter = loaded.globals()["counter"];
         let mut mem_val = [0u8; 8];
         // Global initializer landed in memory.
         kernel.mem.read_bytes(counter, &mut mem_val).unwrap();
@@ -434,7 +480,7 @@ exit:
         let mut kernel = static_kernel(false);
         let loaded = kernel.insmod(&signed).unwrap();
         assert!(loaded.is_protected);
-        assert!(loaded.ir.imported_symbols().contains(&"carat_guard"));
+        assert!(loaded.ir().imported_symbols().contains(&"carat_guard"));
     }
 
     #[test]
@@ -538,9 +584,9 @@ global @c : i16 = 3
 "#;
         let signed = compile(src, &CompileOptions::carat_kop(), &key);
         let loaded = kernel.insmod(&signed).unwrap();
-        let a = loaded.globals["a"];
-        let b = loaded.globals["b"];
-        let c = loaded.globals["c"];
+        let a = loaded.globals()["a"];
+        let b = loaded.globals()["b"];
+        let c = loaded.globals()["c"];
         assert!(b.is_aligned(8));
         assert!(c.is_aligned(2));
         assert!(a < b && b < c);
