@@ -1,14 +1,15 @@
 //! `reproduce` — regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|trace|smp|all]
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|trace|exec|smp|all]
 //!           [--csv]        # raw series to stdout instead of the report
 //!           [--out DIR]    # additionally write one CSV per figure into DIR
 //!           [--quick]      # tiny trial counts (CI smoke); not paper-scale
 //! ```
 //!
-//! The `smp` figure additionally writes machine-readable `BENCH_smp.json`
-//! (into `--out DIR` when given, else the current directory).
+//! The `smp` and `exec` figures additionally write machine-readable
+//! `BENCH_smp.json` / `BENCH_exec.json` (into `--out DIR` when given,
+//! else the current directory).
 
 use kop_bench::figures;
 
@@ -55,12 +56,13 @@ fn main() {
         "ablation-opt" => vec![figures::ablation_opt()],
         "resilience" => figures::resilience(),
         "trace" => vec![figures::trace()],
+        "exec" => vec![figures::exec()],
         "smp" => vec![figures::smp()],
         "all" => figures::all_figures(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|trace|smp|all] [--csv] [--quick]"
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|resilience|trace|exec|smp|all] [--csv] [--quick]"
             );
             std::process::exit(2);
         }
@@ -80,11 +82,11 @@ fn main() {
             std::fs::write(&path, fig.render_csv()).expect("write figure CSV");
             eprintln!("wrote {}", path.display());
         }
-        if fig.id == "smp" {
+        if fig.id == "smp" || fig.id == "exec" {
             // Machine-readable results for CI consumers and dashboards.
             let dir = out_dir.as_deref().unwrap_or(".");
-            let path = std::path::Path::new(dir).join("BENCH_smp.json");
-            std::fs::write(&path, fig.render_json()).expect("write BENCH_smp.json");
+            let path = std::path::Path::new(dir).join(format!("BENCH_{}.json", fig.id));
+            std::fs::write(&path, fig.render_json()).expect("write BENCH json");
             eprintln!("wrote {}", path.display());
         }
     }

@@ -30,6 +30,39 @@ use kop_ir::{BinOp, BlockId, CastOp, IcmpPred, Inst, Terminator, Type, Value};
 use kop_kernel::{Kernel, ModuleImage};
 use kop_policy::module::GuardOutcome;
 use kop_trace::{GuardDecision, Producer, SiteId, TraceEvent, Tracer};
+use kop_vm::HostFn;
+
+mod vm;
+
+/// Which executor [`Interp::call`] runs module code on.
+///
+/// Both engines implement identical observable semantics — return
+/// values, [`ExecStats`] (including fuel accounting), guard outcomes,
+/// squash behaviour, trace events, error messages — which the root
+/// crate's differential property tests enforce. `Tree` re-walks the IR
+/// per instruction; `Bytecode` dispatches the flat program `kop-vm`
+/// compiled at insmod.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The reference tree-walking interpreter.
+    #[default]
+    Tree,
+    /// The flat register-bytecode VM (compiled once at insmod).
+    Bytecode,
+}
+
+impl Engine {
+    /// The engine selected by the `KOP_ENGINE` environment variable:
+    /// `bytecode` (or `vm`) picks the bytecode engine, anything else —
+    /// including unset — picks the tree engine. Lets CI run every
+    /// end-to-end test once per engine without touching the tests.
+    pub fn from_env() -> Engine {
+        match std::env::var("KOP_ENGINE").as_deref() {
+            Ok("bytecode") | Ok("vm") => Engine::Bytecode,
+            _ => Engine::Tree,
+        }
+    }
+}
 
 /// Execution statistics accumulated across `call`s.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,6 +90,15 @@ pub struct Interp<'k> {
     squash_intrinsic: bool,
     cur_args: Vec<u64>,
     depth: u32,
+    engine: Engine,
+    /// Reusable staging buffer for conflicting phi-edge moves (bytecode
+    /// engine only; used transiently within one edge).
+    vm_scratch: Vec<u64>,
+    /// Retired register frames, reused across bytecode calls so the hot
+    /// path never allocates.
+    vm_frames: Vec<Vec<u64>>,
+    /// Retired argument vectors, same purpose.
+    vm_args_pool: Vec<Vec<u64>>,
 }
 
 const DEFAULT_FUEL: u64 = 50_000_000;
@@ -102,12 +144,26 @@ impl<'k> Interp<'k> {
             squash_intrinsic: false,
             cur_args: Vec::new(),
             depth: 0,
+            engine: Engine::from_env(),
+            vm_scratch: Vec::new(),
+            vm_frames: Vec::new(),
+            vm_args_pool: Vec::new(),
         })
     }
 
     /// Limit the number of executed instructions (tests / runaway modules).
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Select the execution engine (defaults to [`Engine::from_env`]).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The engine [`Interp::call`] currently dispatches to.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Statistics from calls so far.
@@ -136,7 +192,10 @@ impl<'k> Interp<'k> {
         // One refcount bump detaches the module context from the kernel
         // borrow — no per-call deep clone of the IR or layout maps.
         let image = Arc::clone(loaded.image());
-        self.call_in(&image, func, args)
+        match self.engine {
+            Engine::Tree => self.call_in(&image, func, args),
+            Engine::Bytecode => self.vm_call(&image, func, args),
+        }
     }
 
     fn burn(&mut self, n: u64) -> KernelResult<()> {
@@ -490,90 +549,123 @@ impl<'k> Interp<'k> {
         }
         match callee {
             "carat_guard" => {
-                self.stats.guards += 1;
                 let addr = VAddr(args[0]);
                 let size = Size(args[1]);
                 let flags = AccessFlags::from_raw(args[2] as u32);
-                // Per-module policy (§5): guards consult the policy
-                // governing the module that executed them.
-                let policy = self.kernel.policy_for(&ctx.ir.name);
-                let tracing = self.guard_tracer(site);
-                if let Some((tracer, site)) = &tracing {
-                    tracer.record(Producer::Interp, TraceEvent::GuardEnter { site: *site });
-                }
-                let t0 = tracing.as_ref().map(|_| std::time::Instant::now());
-                let outcome = policy.enforce(addr, size, flags);
-                if let Some((tracer, site)) = &tracing {
-                    let ns = t0.map_or(1, |t| i128::max(1, t.elapsed().as_nanos() as i128) as u64);
-                    let decision = Self::decision_of(&outcome);
-                    tracer.record(
-                        Producer::Interp,
-                        TraceEvent::GuardExit {
-                            site: *site,
-                            decision,
-                            ns,
-                        },
-                    );
-                    tracer.record_check(*site, ns, decision.is_denied());
-                }
-                match outcome {
-                    GuardOutcome::Allowed => Ok(None),
-                    GuardOutcome::Denied(_) => {
-                        self.squash_next = true;
-                        Ok(None)
-                    }
-                    GuardOutcome::Quarantined(v) => {
-                        // Squash the access and charge the module; the
-                        // kernel unloads it when the budget runs out —
-                        // and stays alive either way.
-                        self.kernel.note_violation(&ctx.ir.name, v)?;
-                        self.squash_next = true;
-                        Ok(None)
-                    }
-                    GuardOutcome::Panicked(e) => Err(self.kernel.do_panic(e)),
-                }
+                self.run_mem_guard(&ctx.ir.name, addr, size, flags, site)?;
+                Ok(None)
             }
             "carat_intrinsic_guard" => {
-                self.stats.guards += 1;
                 let id = args.first().copied().unwrap_or(u64::MAX) as u32;
-                let policy = self.kernel.policy_for(&ctx.ir.name);
-                let tracing = self.guard_tracer(site);
-                if let Some((tracer, site)) = &tracing {
-                    tracer.record(Producer::Interp, TraceEvent::GuardEnter { site: *site });
-                }
-                let t0 = tracing.as_ref().map(|_| std::time::Instant::now());
-                let outcome = policy.enforce_intrinsic(id);
-                if let Some((tracer, site)) = &tracing {
-                    let ns = t0.map_or(1, |t| i128::max(1, t.elapsed().as_nanos() as i128) as u64);
-                    let decision = Self::decision_of(&outcome);
-                    tracer.record(
-                        Producer::Interp,
-                        TraceEvent::GuardExit {
-                            site: *site,
-                            decision,
-                            ns,
-                        },
-                    );
-                    tracer.record_check(*site, ns, decision.is_denied());
-                }
-                match outcome {
-                    GuardOutcome::Allowed => Ok(None),
-                    GuardOutcome::Denied(_) => {
-                        // Squash the intrinsic itself.
-                        self.squash_intrinsic = true;
-                        Ok(None)
-                    }
-                    GuardOutcome::Quarantined(v) => {
-                        self.kernel.note_violation(&ctx.ir.name, v)?;
-                        self.squash_intrinsic = true;
-                        Ok(None)
-                    }
-                    GuardOutcome::Panicked(e) => Err(self.kernel.do_panic(e)),
-                }
+                self.run_intrinsic_guard(&ctx.ir.name, id, site)?;
+                Ok(None)
             }
-            // Privileged builtins (§5 extension). A preceding denied
-            // intrinsic guard squashes the builtin (reads return 0).
-            "__wrmsr" => {
+            other => self.host_call(&HostFn::resolve(other), args),
+        }
+    }
+
+    /// A `carat_guard` memory-access check. Shared by the tree and
+    /// bytecode engines (the bytecode engine also enters here from fused
+    /// guard-access superinstructions).
+    fn run_mem_guard(
+        &mut self,
+        module: &str,
+        addr: VAddr,
+        size: Size,
+        flags: AccessFlags,
+        site: Option<SiteId>,
+    ) -> KernelResult<()> {
+        self.stats.guards += 1;
+        // Per-module policy (§5): guards consult the policy governing
+        // the module that executed them.
+        let policy = self.kernel.policy_for(module);
+        let tracing = self.guard_tracer(site);
+        if let Some((tracer, site)) = &tracing {
+            tracer.record(Producer::Interp, TraceEvent::GuardEnter { site: *site });
+        }
+        let t0 = tracing.as_ref().map(|_| std::time::Instant::now());
+        let outcome = policy.enforce(addr, size, flags);
+        if let Some((tracer, site)) = &tracing {
+            let ns = t0.map_or(1, |t| i128::max(1, t.elapsed().as_nanos() as i128) as u64);
+            let decision = Self::decision_of(&outcome);
+            tracer.record(
+                Producer::Interp,
+                TraceEvent::GuardExit {
+                    site: *site,
+                    decision,
+                    ns,
+                },
+            );
+            tracer.record_check(*site, ns, decision.is_denied());
+        }
+        match outcome {
+            GuardOutcome::Allowed => Ok(()),
+            GuardOutcome::Denied(_) => {
+                self.squash_next = true;
+                Ok(())
+            }
+            GuardOutcome::Quarantined(v) => {
+                // Squash the access and charge the module; the kernel
+                // unloads it when the budget runs out — and stays alive
+                // either way.
+                self.kernel.note_violation(module, v)?;
+                self.squash_next = true;
+                Ok(())
+            }
+            GuardOutcome::Panicked(e) => Err(self.kernel.do_panic(e)),
+        }
+    }
+
+    /// A `carat_intrinsic_guard` check preceding a privileged builtin.
+    fn run_intrinsic_guard(
+        &mut self,
+        module: &str,
+        id: u32,
+        site: Option<SiteId>,
+    ) -> KernelResult<()> {
+        self.stats.guards += 1;
+        let policy = self.kernel.policy_for(module);
+        let tracing = self.guard_tracer(site);
+        if let Some((tracer, site)) = &tracing {
+            tracer.record(Producer::Interp, TraceEvent::GuardEnter { site: *site });
+        }
+        let t0 = tracing.as_ref().map(|_| std::time::Instant::now());
+        let outcome = policy.enforce_intrinsic(id);
+        if let Some((tracer, site)) = &tracing {
+            let ns = t0.map_or(1, |t| i128::max(1, t.elapsed().as_nanos() as i128) as u64);
+            let decision = Self::decision_of(&outcome);
+            tracer.record(
+                Producer::Interp,
+                TraceEvent::GuardExit {
+                    site: *site,
+                    decision,
+                    ns,
+                },
+            );
+            tracer.record_check(*site, ns, decision.is_denied());
+        }
+        match outcome {
+            GuardOutcome::Allowed => Ok(()),
+            GuardOutcome::Denied(_) => {
+                // Squash the intrinsic itself.
+                self.squash_intrinsic = true;
+                Ok(())
+            }
+            GuardOutcome::Quarantined(v) => {
+                self.kernel.note_violation(module, v)?;
+                self.squash_intrinsic = true;
+                Ok(())
+            }
+            GuardOutcome::Panicked(e) => Err(self.kernel.do_panic(e)),
+        }
+    }
+
+    /// The kernel ABI available to modules. Privileged builtins (§5
+    /// extension) honour a preceding denied intrinsic guard by squashing
+    /// themselves (reads return 0).
+    fn host_call(&mut self, host: &HostFn, args: &[u64]) -> KernelResult<Option<u64>> {
+        match host {
+            HostFn::Wrmsr => {
                 if !std::mem::take(&mut self.squash_intrinsic) {
                     self.kernel.wrmsr(
                         args.first().copied().unwrap_or(0),
@@ -582,58 +674,58 @@ impl<'k> Interp<'k> {
                 }
                 Ok(None)
             }
-            "__rdmsr" => {
+            HostFn::Rdmsr => {
                 if std::mem::take(&mut self.squash_intrinsic) {
                     Ok(Some(0))
                 } else {
                     Ok(Some(self.kernel.rdmsr(args.first().copied().unwrap_or(0))))
                 }
             }
-            "__cli" => {
+            HostFn::Cli => {
                 if !std::mem::take(&mut self.squash_intrinsic) {
                     self.kernel.cli();
                 }
                 Ok(None)
             }
-            "__sti" => {
+            HostFn::Sti => {
                 if !std::mem::take(&mut self.squash_intrinsic) {
                     self.kernel.sti();
                 }
                 Ok(None)
             }
-            "__invlpg" => {
+            HostFn::Invlpg => {
                 // TLB shootdown: no architectural state in the model.
                 let _ = std::mem::take(&mut self.squash_intrinsic);
                 Ok(None)
             }
-            "__hlt" => {
+            HostFn::Hlt => {
                 let _ = std::mem::take(&mut self.squash_intrinsic);
                 Err(self.kernel.do_panic(KernelError::Panic {
                     message: "module executed __hlt".into(),
                     violation: None,
                 }))
             }
-            "printk" => {
+            HostFn::Printk => {
                 let msg = format!("module printk: {:#x}", args.first().copied().unwrap_or(0));
                 self.kernel.printk(&msg);
                 Ok(None)
             }
-            "kmalloc" => {
+            HostFn::Kmalloc => {
                 let addr = self.kernel.kmalloc(args.first().copied().unwrap_or(0))?;
                 Ok(Some(addr.raw()))
             }
-            "kfree" => {
+            HostFn::Kfree => {
                 self.kernel.kfree(VAddr(args.first().copied().unwrap_or(0)));
                 Ok(None)
             }
-            "panic" => Err(self.kernel.do_panic(KernelError::Panic {
+            HostFn::Panic => Err(self.kernel.do_panic(KernelError::Panic {
                 message: format!(
                     "module called panic({:#x})",
                     args.first().copied().unwrap_or(0)
                 ),
                 violation: None,
             })),
-            other => Err(KernelError::UnresolvedSymbol(other.to_string())),
+            HostFn::Unresolved(other) => Err(KernelError::UnresolvedSymbol(other.to_string())),
         }
     }
 }

@@ -1,0 +1,417 @@
+//! Bytecode executor: the dispatch loop for `kop-vm`'s flat register
+//! programs, compiled once at insmod and cached in the loaded-module
+//! image.
+//!
+//! Everything observable — fuel accounting, squash ordering, masking,
+//! error messages, stats, trace events — matches the tree interpreter in
+//! `lib.rs` exactly; the root crate's differential property tests hold
+//! the two engines to that. The win is purely dispatch cost: operands
+//! are pre-resolved registers/immediates, branch targets are code
+//! offsets, phi transfers are prebuilt move schedules, and adjacent
+//! guard+access pairs run as one fused superinstruction that calls the
+//! policy path directly.
+
+use kop_core::{AccessFlags, KernelError, KernelResult, Size, VAddr};
+use kop_ir::{BinOp, CastOp, IcmpPred};
+use kop_vm::{CompiledFunc, CompiledModule, Op, Src};
+
+use crate::{sign_extend, Interp, ModuleCtx, MAX_CALL_DEPTH};
+
+impl<'k> Interp<'k> {
+    /// Bytecode-engine entry point, mirroring the tree engine's
+    /// `call_in` contract (same error precedence and messages).
+    pub(crate) fn vm_call(
+        &mut self,
+        ctx: &ModuleCtx,
+        func: &str,
+        args: &[u64],
+    ) -> KernelResult<Option<u64>> {
+        let compiled = ctx.compiled.as_ref().ok_or_else(|| {
+            KernelError::InvalidArgument(format!(
+                "module {} has no compiled bytecode image",
+                ctx.ir.name
+            ))
+        })?;
+        let idx = compiled.func_index(func).ok_or_else(|| {
+            KernelError::InvalidArgument(format!("no function @{func} in module {}", ctx.ir.name))
+        })?;
+        let mut argv = self.vm_args_pool.pop().unwrap_or_default();
+        argv.clear();
+        argv.extend_from_slice(args);
+        self.vm_call_idx(ctx, compiled, idx, argv)
+    }
+
+    /// One function frame by prebuilt index (recursion happens through
+    /// [`Op::CallInternal`], skipping the name lookup entirely).
+    /// Takes `args` by value: callers hand over a pooled vector, which
+    /// retires back into the pool on exit.
+    fn vm_call_idx(
+        &mut self,
+        ctx: &ModuleCtx,
+        compiled: &CompiledModule,
+        idx: u32,
+        args: Vec<u64>,
+    ) -> KernelResult<Option<u64>> {
+        let cf = compiled.func(idx);
+        if cf.n_params != args.len() {
+            return Err(KernelError::InvalidArgument(format!(
+                "@{} takes {} args, got {}",
+                cf.name,
+                cf.n_params,
+                args.len()
+            )));
+        }
+        if !cf.has_blocks {
+            return Err(KernelError::InvalidArgument(format!(
+                "@{} has no blocks",
+                cf.name
+            )));
+        }
+        if self.depth >= MAX_CALL_DEPTH {
+            return Err(KernelError::NoMemory(format!(
+                "kernel stack overflow: module call depth exceeds {MAX_CALL_DEPTH}"
+            )));
+        }
+        self.depth += 1;
+        let saved_args = std::mem::replace(&mut self.cur_args, args);
+        let saved_stack = self.stack_cursor;
+        let mut regs = self.vm_frames.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(cf.n_regs, 0);
+        let result = self.vm_run(ctx, compiled, cf, &mut regs);
+        self.vm_frames.push(regs);
+        self.stack_cursor = saved_stack;
+        let retired = std::mem::replace(&mut self.cur_args, saved_args);
+        self.vm_args_pool.push(retired);
+        self.depth -= 1;
+        result
+    }
+
+    /// Pre-resolved operand read — the bytecode replacement for the
+    /// tree's per-use `Value` pattern match.
+    #[inline]
+    fn vm_src(&self, regs: &[u64], s: Src) -> u64 {
+        match s {
+            Src::Reg(r) => regs[r as usize],
+            Src::Arg(i) => self.cur_args[i as usize],
+            Src::Imm(v) => v,
+        }
+    }
+
+    /// Traverse a control-flow edge: execute its phi move schedule,
+    /// charge the successor's phi fuel, return the target code offset.
+    /// Conflict-free edges write registers directly; edges whose
+    /// parallel moves interfere stage all reads first (same semantics
+    /// as the tree's staged phi evaluation).
+    fn vm_edge(&mut self, cf: &CompiledFunc, regs: &mut [u64], edge: u32) -> KernelResult<usize> {
+        let e = &cf.edges[edge as usize];
+        if e.staged {
+            self.vm_scratch.clear();
+            for m in e.moves.iter() {
+                let v = m.mask & self.vm_src(regs, m.src);
+                self.vm_scratch.push(v);
+            }
+            for (i, m) in e.moves.iter().enumerate() {
+                regs[m.dst as usize] = self.vm_scratch[i];
+            }
+        } else {
+            for m in e.moves.iter() {
+                regs[m.dst as usize] = m.mask & self.vm_src(regs, m.src);
+            }
+        }
+        if e.phi_burn > 0 {
+            self.burn(e.phi_burn as u64)?;
+        }
+        Ok(e.target as usize)
+    }
+
+    /// The dispatch loop. `pc` indexes `cf.code`; every op charges one
+    /// fuel unit up front (fused guard-access ops charge a second for
+    /// the access, preserving the tree's per-IR-instruction fuel
+    /// checkpoints).
+    fn vm_run(
+        &mut self,
+        ctx: &ModuleCtx,
+        compiled: &CompiledModule,
+        cf: &CompiledFunc,
+        regs: &mut [u64],
+    ) -> KernelResult<Option<u64>> {
+        let mut pc: usize = 0;
+
+        loop {
+            self.burn(1)?;
+            let op = &cf.code[pc];
+            pc += 1;
+            match op {
+                Op::Alloca { size, align, dst } => {
+                    self.stack_cursor = self.stack_cursor.div_ceil(*align) * align;
+                    if self.stack_cursor + size > self.stack_size {
+                        return Err(KernelError::NoMemory("module stack overflow".into()));
+                    }
+                    let addr = self.stack_base.raw() + self.stack_cursor;
+                    self.stack_cursor += size;
+                    regs[*dst as usize] = addr;
+                }
+                Op::Load {
+                    size,
+                    mask,
+                    ptr,
+                    dst,
+                } => {
+                    self.stats.mem_accesses += 1;
+                    let addr = VAddr(self.vm_src(regs, *ptr));
+                    if std::mem::take(&mut self.squash_next) {
+                        self.stats.squashed += 1;
+                        regs[*dst as usize] = 0;
+                    } else {
+                        let v = self.kernel.mem.read_uint(addr, Size(*size))?;
+                        regs[*dst as usize] = mask & v;
+                    }
+                }
+                Op::Store {
+                    size,
+                    mask,
+                    val,
+                    ptr,
+                } => {
+                    self.stats.mem_accesses += 1;
+                    let addr = VAddr(self.vm_src(regs, *ptr));
+                    let v = mask & self.vm_src(regs, *val);
+                    if std::mem::take(&mut self.squash_next) {
+                        self.stats.squashed += 1;
+                    } else {
+                        self.kernel.mem.write_uint(addr, Size(*size), v)?;
+                    }
+                }
+                Op::GuardLoad {
+                    site,
+                    gaddr,
+                    gsize,
+                    gflags,
+                    size,
+                    mask,
+                    ptr,
+                    dst,
+                } => {
+                    let ga = VAddr(self.vm_src(regs, *gaddr));
+                    let gs = Size(self.vm_src(regs, *gsize));
+                    let gf = AccessFlags::from_raw(self.vm_src(regs, *gflags) as u32);
+                    self.run_mem_guard(&ctx.ir.name, ga, gs, gf, *site)?;
+                    self.burn(1)?;
+                    self.stats.mem_accesses += 1;
+                    let addr = VAddr(self.vm_src(regs, *ptr));
+                    if std::mem::take(&mut self.squash_next) {
+                        self.stats.squashed += 1;
+                        regs[*dst as usize] = 0;
+                    } else {
+                        let v = self.kernel.mem.read_uint(addr, Size(*size))?;
+                        regs[*dst as usize] = mask & v;
+                    }
+                }
+                Op::GuardStore {
+                    site,
+                    gaddr,
+                    gsize,
+                    gflags,
+                    size,
+                    mask,
+                    val,
+                    ptr,
+                } => {
+                    let ga = VAddr(self.vm_src(regs, *gaddr));
+                    let gs = Size(self.vm_src(regs, *gsize));
+                    let gf = AccessFlags::from_raw(self.vm_src(regs, *gflags) as u32);
+                    self.run_mem_guard(&ctx.ir.name, ga, gs, gf, *site)?;
+                    self.burn(1)?;
+                    self.stats.mem_accesses += 1;
+                    let addr = VAddr(self.vm_src(regs, *ptr));
+                    let v = mask & self.vm_src(regs, *val);
+                    if std::mem::take(&mut self.squash_next) {
+                        self.stats.squashed += 1;
+                    } else {
+                        self.kernel.mem.write_uint(addr, Size(*size), v)?;
+                    }
+                }
+                Op::Gep {
+                    base,
+                    offset,
+                    terms,
+                    dst,
+                } => {
+                    let mut addr = self.vm_src(regs, *base).wrapping_add(*offset);
+                    for (scale, idx) in terms.iter() {
+                        addr = addr.wrapping_add(scale.wrapping_mul(self.vm_src(regs, *idx)));
+                    }
+                    regs[*dst as usize] = addr;
+                }
+                Op::Bin {
+                    op,
+                    mask,
+                    bits,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
+                    let a = mask & self.vm_src(regs, *lhs);
+                    let b = mask & self.vm_src(regs, *rhs);
+                    let bits = *bits;
+                    let r = match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::UDiv | BinOp::URem | BinOp::SDiv | BinOp::SRem if b == 0 => {
+                            return Err(KernelError::Fault {
+                                addr: VAddr::NULL,
+                                what: format!("division by zero in @{}", cf.name),
+                            });
+                        }
+                        BinOp::UDiv => a / b,
+                        BinOp::URem => a % b,
+                        BinOp::SDiv => {
+                            sign_extend(a, bits).wrapping_div(sign_extend(b, bits)) as u64
+                        }
+                        BinOp::SRem => {
+                            sign_extend(a, bits).wrapping_rem(sign_extend(b, bits)) as u64
+                        }
+                        BinOp::And => a & b,
+                        BinOp::Or => a | b,
+                        BinOp::Xor => a ^ b,
+                        BinOp::Shl => a.wrapping_shl((b % bits as u64) as u32),
+                        BinOp::LShr => a.wrapping_shr((b % bits as u64) as u32),
+                        BinOp::AShr => (sign_extend(a, bits) >> (b % bits as u64)) as u64,
+                    };
+                    regs[*dst as usize] = mask & r;
+                }
+                Op::Icmp {
+                    pred,
+                    mask,
+                    bits,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
+                    let a = mask & self.vm_src(regs, *lhs);
+                    let b = mask & self.vm_src(regs, *rhs);
+                    let (sa, sb) = (sign_extend(a, *bits), sign_extend(b, *bits));
+                    let r = match pred {
+                        IcmpPred::Eq => a == b,
+                        IcmpPred::Ne => a != b,
+                        IcmpPred::Ult => a < b,
+                        IcmpPred::Ule => a <= b,
+                        IcmpPred::Ugt => a > b,
+                        IcmpPred::Uge => a >= b,
+                        IcmpPred::Slt => sa < sb,
+                        IcmpPred::Sle => sa <= sb,
+                        IcmpPred::Sgt => sa > sb,
+                        IcmpPred::Sge => sa >= sb,
+                    };
+                    regs[*dst as usize] = r as u64;
+                }
+                Op::Cast {
+                    op,
+                    from_mask,
+                    from_bits,
+                    to_mask,
+                    val,
+                    dst,
+                } => {
+                    let v = from_mask & self.vm_src(regs, *val);
+                    let r = match op {
+                        CastOp::Zext | CastOp::PtrToInt | CastOp::IntToPtr => v,
+                        CastOp::Trunc => to_mask & v,
+                        CastOp::Sext => to_mask & (sign_extend(v, *from_bits) as u64),
+                    };
+                    regs[*dst as usize] = r;
+                }
+                Op::Select {
+                    mask,
+                    cond,
+                    then_val,
+                    else_val,
+                    dst,
+                } => {
+                    let c = self.vm_src(regs, *cond) & 1;
+                    let v = if c == 1 {
+                        self.vm_src(regs, *then_val)
+                    } else {
+                        self.vm_src(regs, *else_val)
+                    };
+                    regs[*dst as usize] = mask & v;
+                }
+                Op::CallInternal { func, args, dst } => {
+                    let mut argv = self.vm_args_pool.pop().unwrap_or_default();
+                    argv.clear();
+                    argv.extend(args.iter().map(|a| self.vm_src(regs, *a)));
+                    if let Some(v) = self.vm_call_idx(ctx, compiled, *func, argv)? {
+                        regs[*dst as usize] = v;
+                    }
+                }
+                Op::CallHost { host, args, dst } => {
+                    let mut argv = self.vm_args_pool.pop().unwrap_or_default();
+                    argv.clear();
+                    argv.extend(args.iter().map(|a| self.vm_src(regs, *a)));
+                    let r = self.host_call(host, &argv);
+                    self.vm_args_pool.push(argv);
+                    if let Some(v) = r? {
+                        regs[*dst as usize] = v;
+                    }
+                }
+                Op::Guard {
+                    site,
+                    addr,
+                    size,
+                    flags,
+                } => {
+                    let a = VAddr(self.vm_src(regs, *addr));
+                    let s = Size(self.vm_src(regs, *size));
+                    let f = AccessFlags::from_raw(self.vm_src(regs, *flags) as u32);
+                    self.run_mem_guard(&ctx.ir.name, a, s, f, *site)?;
+                }
+                Op::IntrinsicGuard { site, id } => {
+                    let id = self.vm_src(regs, *id) as u32;
+                    self.run_intrinsic_guard(&ctx.ir.name, id, *site)?;
+                }
+                Op::Asm => {
+                    return Err(KernelError::Fault {
+                        addr: VAddr::NULL,
+                        what: format!("inline assembly executed in @{}", cf.name),
+                    });
+                }
+                Op::Jump(edge) => {
+                    pc = self.vm_edge(cf, regs, *edge)?;
+                }
+                Op::CondJump {
+                    cond,
+                    then_edge,
+                    else_edge,
+                } => {
+                    let c = self.vm_src(regs, *cond) & 1;
+                    let e = if c == 1 { *then_edge } else { *else_edge };
+                    pc = self.vm_edge(cf, regs, e)?;
+                }
+                Op::SwitchJump {
+                    mask,
+                    val,
+                    arms,
+                    default_edge,
+                } => {
+                    let v = mask & self.vm_src(regs, *val);
+                    let e = arms
+                        .iter()
+                        .find(|(c, _)| *c == v)
+                        .map(|(_, e)| *e)
+                        .unwrap_or(*default_edge);
+                    pc = self.vm_edge(cf, regs, e)?;
+                }
+                Op::Ret(None) => return Ok(None),
+                Op::Ret(Some(v)) => return Ok(Some(self.vm_src(regs, *v))),
+                Op::Unreachable => {
+                    return Err(KernelError::Fault {
+                        addr: VAddr::NULL,
+                        what: format!("unreachable executed in @{}", cf.name),
+                    });
+                }
+            }
+        }
+    }
+}

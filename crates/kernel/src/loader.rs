@@ -43,6 +43,11 @@ pub struct ModuleImage {
     /// interpreter consults this to attribute each dynamic check to its
     /// stable site.
     pub sites: Option<Arc<SiteTable>>,
+    /// Flat bytecode compiled once here at insmod (`kop-vm`), for the
+    /// interpreter's bytecode engine. `None` only if lowering failed
+    /// (hand-built IR that bypassed verification); the tree engine
+    /// still runs such modules.
+    pub compiled: Option<kop_vm::CompiledModule>,
 }
 
 /// A module resident in the kernel.
@@ -91,6 +96,12 @@ impl LoadedModule {
     /// Guard-site lookup table (None: unguarded module).
     pub fn sites(&self) -> Option<&Arc<SiteTable>> {
         self.image.sites.as_ref()
+    }
+
+    /// The bytecode compiled at insmod (None: lowering was skipped and
+    /// only the tree engine can run this module).
+    pub fn compiled(&self) -> Option<&kop_vm::CompiledModule> {
+        self.image.compiled.as_ref()
     }
 }
 
@@ -234,12 +245,26 @@ impl Kernel {
             Some(self.tracer().register_module_sites(&ir.name, &guard_sites))
         };
 
+        // One-shot bytecode compilation: every later call dispatches the
+        // pre-resolved program instead of re-walking the IR tree.
+        let compiled = match kop_vm::lower_module(&ir, &globals, &func_addrs, sites.as_deref()) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                self.printk(&format!(
+                    "insmod {}: bytecode lowering skipped ({e}); tree engine only",
+                    ir.name
+                ));
+                None
+            }
+        };
+
         let is_protected = signed.attestation.guard_count > 0;
         let image = Arc::new(ModuleImage {
             ir,
             globals,
             func_addrs,
             sites,
+            compiled,
         });
         let loaded = LoadedModule {
             name: image.ir.name.clone(),

@@ -52,6 +52,7 @@ pub use event::{GuardDecision, Producer, TraceEvent, TraceRecord};
 pub use profile::{latency_bucket, SiteProfile, LATENCY_BUCKETS};
 pub use sites::{
     assign_guard_sites, canonical_site_text, GuardSite, SiteId, SiteKind, SiteMeta, SiteTable,
+    GUARD_SYMBOL, INTRINSIC_GUARD_SYMBOL,
 };
 
 /// Default ring capacity (events) used by `Tracer::new`.

@@ -1,0 +1,347 @@
+//! # kop-vm — one-shot bytecode compilation of verified KIR
+//!
+//! The tree-walking interpreter in `kop-interp` re-discovers the same
+//! facts on every executed instruction: which arena slot a value lives
+//! in, what mask its type implies, which block offset a branch target
+//! resolves to, whether a callee is internal, a kernel-ABI host
+//! function, or a guard. All of that is a pure function of the verified
+//! module and its insmod-time layout — so this crate computes it **once,
+//! at insmod**, and emits a flat register-based bytecode the interpreter
+//! can run with a tight dispatch loop.
+//!
+//! Lowering pre-resolves:
+//!
+//! * block targets → instruction offsets ([`Edge::target`]),
+//! * phi nodes → per-edge move schedules executed on the branch
+//!   ([`Edge::moves`]; staging is only paid on edges whose parallel
+//!   moves actually conflict),
+//! * globals / function addresses → immediate operands ([`Src::Imm`]),
+//! * callees → internal function indices or prebuilt [`HostFn`] kernel
+//!   ABI entries (unknown imports stay lazily-erroring, like the tree),
+//! * guard sites → inline [`SiteId`]s, so tracing attribution costs no
+//!   map probe,
+//! * adjacent `carat_guard` + load/store pairs → fused guard-access
+//!   superinstructions ([`Op::GuardLoad`] / [`Op::GuardStore`]) that
+//!   call the policy path and perform the access in one dispatch.
+//!
+//! The bytecode preserves the tree interpreter's observable semantics
+//! exactly — instruction/fuel accounting, squash ordering, masking
+//! discipline, error messages — which the differential property tests in
+//! the root crate check. Execution itself lives in `kop-interp` (it
+//! needs the kernel); this crate is deliberately kernel-free so the
+//! loader can depend on it.
+
+#![warn(missing_docs)]
+
+mod lower;
+
+use std::collections::BTreeMap;
+
+pub use lower::{lower_module, LowerError};
+
+use kop_ir::{BinOp, CastOp, IcmpPred};
+use kop_trace::SiteId;
+
+/// A pre-resolved operand: where the tree interpreter pattern-matched a
+/// [`kop_ir::Value`] per use, the bytecode reads a register, a formal
+/// argument, or an immediate (constants, global addresses, function
+/// addresses — all resolved at lowering time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    /// Virtual register (one per arena instruction).
+    Reg(u32),
+    /// Formal parameter of the executing function.
+    Arg(u32),
+    /// Immediate, pre-masked to its IR type at lowering time.
+    Imm(u64),
+}
+
+/// One scheduled phi move for a control-flow edge: `regs[dst] = mask &
+/// eval(src)`. The whole schedule is a *parallel* assignment — see
+/// [`Edge::staged`].
+#[derive(Clone, Copy, Debug)]
+pub struct Move {
+    /// Destination register (the phi's arena slot).
+    pub dst: u32,
+    /// Incoming value for this edge.
+    pub src: Src,
+    /// Mask of the phi's type, applied to the staged value.
+    pub mask: u64,
+}
+
+/// A pre-resolved control-flow edge: where to jump and which phi moves
+/// to execute on the way.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Bytecode offset of the successor block's first op. (During
+    /// lowering this temporarily holds the successor `BlockId`; it is
+    /// patched to an offset before the function is published.)
+    pub target: u32,
+    /// Phi move schedule for this edge (empty for phi-less targets).
+    pub moves: Box<[Move]>,
+    /// Fuel charged after the moves — the successor's leading-phi count,
+    /// matching the tree interpreter's per-phi accounting.
+    pub phi_burn: u32,
+    /// Whether any move reads a register another move writes: if so the
+    /// executor stages all reads before the first write (the parallel
+    /// semantics of phi nodes); conflict-free edges write directly.
+    pub staged: bool,
+}
+
+/// A kernel-ABI host function, resolved from the callee symbol at
+/// lowering time. `Unresolved` mirrors the tree interpreter's lazy
+/// behaviour: the symbol only faults if the call actually executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HostFn {
+    /// `__wrmsr(msr, value)` privileged intrinsic.
+    Wrmsr,
+    /// `__rdmsr(msr) -> value` privileged intrinsic.
+    Rdmsr,
+    /// `__cli()` privileged intrinsic.
+    Cli,
+    /// `__sti()` privileged intrinsic.
+    Sti,
+    /// `__invlpg(addr)` privileged intrinsic (no-op in the model).
+    Invlpg,
+    /// `__hlt()` privileged intrinsic (panics the kernel).
+    Hlt,
+    /// `printk(i64)`.
+    Printk,
+    /// `kmalloc(i64) -> ptr`.
+    Kmalloc,
+    /// `kfree(ptr)`.
+    Kfree,
+    /// `panic(i64)`.
+    Panic,
+    /// Import that resolved to nothing: executing it raises
+    /// `UnresolvedSymbol`, exactly like the tree interpreter.
+    Unresolved(Box<str>),
+}
+
+impl HostFn {
+    /// Resolve a callee symbol to its host entry.
+    pub fn resolve(name: &str) -> HostFn {
+        match name {
+            "__wrmsr" => HostFn::Wrmsr,
+            "__rdmsr" => HostFn::Rdmsr,
+            "__cli" => HostFn::Cli,
+            "__sti" => HostFn::Sti,
+            "__invlpg" => HostFn::Invlpg,
+            "__hlt" => HostFn::Hlt,
+            "printk" => HostFn::Printk,
+            "kmalloc" => HostFn::Kmalloc,
+            "kfree" => HostFn::Kfree,
+            "panic" => HostFn::Panic,
+            other => HostFn::Unresolved(other.into()),
+        }
+    }
+}
+
+/// One flat bytecode instruction. Every op charges one fuel unit before
+/// executing (the fused guard-access ops charge two — one per original
+/// IR instruction — with the guard/access fuel checkpoint preserved).
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // field meanings documented per variant
+pub enum Op {
+    /// Stack allocation; size/align precomputed from the IR type.
+    Alloca { size: u64, align: u64, dst: u32 },
+    /// Scalar load: `dst = mask & mem[ptr]` (`size` bytes).
+    Load {
+        size: u64,
+        mask: u64,
+        ptr: Src,
+        dst: u32,
+    },
+    /// Scalar store: `mem[ptr] = mask & val` (`size` bytes).
+    Store {
+        size: u64,
+        mask: u64,
+        val: Src,
+        ptr: Src,
+    },
+    /// Fused `carat_guard` + load superinstruction.
+    GuardLoad {
+        site: Option<SiteId>,
+        gaddr: Src,
+        gsize: Src,
+        gflags: Src,
+        size: u64,
+        mask: u64,
+        ptr: Src,
+        dst: u32,
+    },
+    /// Fused `carat_guard` + store superinstruction.
+    GuardStore {
+        site: Option<SiteId>,
+        gaddr: Src,
+        gsize: Src,
+        gflags: Src,
+        size: u64,
+        mask: u64,
+        val: Src,
+        ptr: Src,
+    },
+    /// Address arithmetic with constant contributions folded:
+    /// `dst = base + offset + Σ scale·idx` (all wrapping).
+    Gep {
+        base: Src,
+        offset: u64,
+        terms: Box<[(u64, Src)]>,
+        dst: u32,
+    },
+    /// Integer binary op; `mask`/`bits` precomputed from the type.
+    Bin {
+        op: BinOp,
+        mask: u64,
+        bits: u32,
+        lhs: Src,
+        rhs: Src,
+        dst: u32,
+    },
+    /// Integer comparison; yields 0/1.
+    Icmp {
+        pred: IcmpPred,
+        mask: u64,
+        bits: u32,
+        lhs: Src,
+        rhs: Src,
+        dst: u32,
+    },
+    /// Cast with both type masks precomputed.
+    Cast {
+        op: CastOp,
+        from_mask: u64,
+        from_bits: u32,
+        to_mask: u64,
+        val: Src,
+        dst: u32,
+    },
+    /// Ternary select.
+    Select {
+        mask: u64,
+        cond: Src,
+        then_val: Src,
+        else_val: Src,
+        dst: u32,
+    },
+    /// Call into another function of the same module, by prebuilt index.
+    CallInternal {
+        func: u32,
+        args: Box<[Src]>,
+        dst: u32,
+    },
+    /// Call a kernel-ABI host function.
+    CallHost {
+        host: HostFn,
+        args: Box<[Src]>,
+        dst: u32,
+    },
+    /// Standalone memory guard (not adjacent to its access — e.g. a
+    /// hoisted loop-invariant guard).
+    Guard {
+        site: Option<SiteId>,
+        addr: Src,
+        size: Src,
+        flags: Src,
+    },
+    /// Privileged-intrinsic guard (`carat_intrinsic_guard`).
+    IntrinsicGuard { site: Option<SiteId>, id: Src },
+    /// Inline assembly: faults on execution (attestation normally
+    /// prevents it from ever being loaded).
+    Asm,
+    /// Unconditional branch through an edge.
+    Jump(u32),
+    /// Conditional branch: `cond & 1` selects the edge.
+    CondJump {
+        cond: Src,
+        then_edge: u32,
+        else_edge: u32,
+    },
+    /// Multi-way switch; `arms` hold pre-masked case constants, scanned
+    /// first-match like the tree interpreter.
+    SwitchJump {
+        mask: u64,
+        val: Src,
+        arms: Box<[(u64, u32)]>,
+        default_edge: u32,
+    },
+    /// Return, optionally with a value.
+    Ret(Option<Src>),
+    /// Unreachable: faults on execution.
+    Unreachable,
+}
+
+/// One compiled function: flat code plus its edge table.
+#[derive(Clone, Debug)]
+pub struct CompiledFunc {
+    /// Symbol name (for error messages and call-site attribution).
+    pub name: String,
+    /// Number of formal parameters (checked on entry, same message as
+    /// the tree interpreter).
+    pub n_params: usize,
+    /// Virtual register count (one per arena instruction).
+    pub n_regs: usize,
+    /// Whether the function has any blocks; block-less declarations
+    /// error on entry exactly like the tree.
+    pub has_blocks: bool,
+    /// Flat bytecode; execution starts at offset 0 (the entry block).
+    pub code: Vec<Op>,
+    /// Control-flow edges referenced by the jump ops.
+    pub edges: Vec<Edge>,
+}
+
+/// A module lowered to bytecode: built once at insmod, cached in the
+/// loaded-module image, shared by every subsequent call.
+#[derive(Clone, Debug)]
+pub struct CompiledModule {
+    /// The module's name (used for policy lookup and diagnostics).
+    pub module_name: String,
+    funcs: Vec<CompiledFunc>,
+    by_name: BTreeMap<String, u32>,
+}
+
+impl CompiledModule {
+    pub(crate) fn new(module_name: String, funcs: Vec<CompiledFunc>) -> CompiledModule {
+        let by_name = funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i as u32))
+            .collect();
+        CompiledModule {
+            module_name,
+            funcs,
+            by_name,
+        }
+    }
+
+    /// Index of a function by symbol name.
+    pub fn func_index(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Function by index (indices come from [`CompiledModule::func_index`]
+    /// or [`Op::CallInternal`]).
+    pub fn func(&self, idx: u32) -> &CompiledFunc {
+        &self.funcs[idx as usize]
+    }
+
+    /// Number of compiled functions.
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Total number of bytecode ops across all functions.
+    pub fn op_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Number of fused guard-access superinstructions across the module
+    /// (diagnostics / tests).
+    pub fn fused_guard_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.code.iter())
+            .filter(|op| matches!(op, Op::GuardLoad { .. } | Op::GuardStore { .. }))
+            .count()
+    }
+}

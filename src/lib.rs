@@ -32,3 +32,4 @@ pub use kop_net as net;
 pub use kop_policy as policy;
 pub use kop_sim as sim;
 pub use kop_trace as trace;
+pub use kop_vm as vm;

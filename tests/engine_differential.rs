@@ -1,0 +1,306 @@
+//! Differential property testing: tree interpreter vs bytecode VM.
+//!
+//! The bytecode engine (`kop-vm` lowering + the `kop-interp` dispatch
+//! loop) claims *exactly* the tree interpreter's observable semantics.
+//! For every random verified program, under every build flavour and
+//! under both an allow-all and a deny-all (`LogAndDeny`, i.e. squash)
+//! policy, the two engines must agree on:
+//!
+//! * the returned value,
+//! * [`ExecStats`] — instruction/fuel accounting included, so fused
+//!   guard-access superinstructions and per-edge phi burns must charge
+//!   exactly what the tree charges,
+//! * guard outcomes as counted by the policy module (checks, permits,
+//!   denial classification),
+//! * memory effects — the scratch buffer and the module global read
+//!   back byte-identical.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use carat_kop::compiler::{compile_module, CompileOptions, CompilerKey};
+use carat_kop::interp::{Engine, ExecStats, Interp};
+use carat_kop::ir::{verify_module, BinOp, GlobalInit, IcmpPred, IrBuilder, Type, Value};
+use carat_kop::kernel::{Kernel, KernelConfig};
+use carat_kop::policy::stats::GuardStatsSnapshot;
+use carat_kop::policy::{DefaultAction, PolicyModule, ViolationAction};
+
+/// One step of a random straight-line program over 4 registers and an
+/// 8-slot scratch buffer (same shape as `tests/random_programs.rs`).
+#[derive(Clone, Debug)]
+enum Step {
+    /// dst = a <op> b
+    Arith(u8, BinOp, u8, u8),
+    /// dst = buf[slot]
+    Load(u8, u8),
+    /// buf[slot] = src
+    Store(u8, u8),
+    /// dst = (a < b) ? a : b  (exercises icmp + select)
+    Min(u8, u8, u8),
+    /// g = g + src (global traffic)
+    BumpGlobal(u8),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    let reg = 0u8..4;
+    let slot = 0u8..8;
+    prop_oneof![
+        (reg.clone(), arb_binop(), reg.clone(), reg.clone())
+            .prop_map(|(d, o, a, b)| Step::Arith(d, o, a, b)),
+        (reg.clone(), slot.clone()).prop_map(|(d, s)| Step::Load(d, s)),
+        (slot, reg.clone()).prop_map(|(s, r)| Step::Store(s, r)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Step::Min(d, a, b)),
+        reg.prop_map(Step::BumpGlobal),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    // Division excluded so equivalence isn't vacuously cut short by a
+    // legitimate divide-by-zero fault; shifts included (masked RHS).
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::LShr),
+    ]
+}
+
+/// Build a module from the step list: `run(ptr buf, i64 seed)` executes
+/// the steps `loop_n` times — the loop header's phis exercise the
+/// bytecode's per-edge move schedules (including the staged path when
+/// registers swap).
+fn build_program(steps: &[Step], loop_n: u64) -> carat_kop::ir::Module {
+    let mut b = IrBuilder::new("random");
+    b.global("g", Type::I64, GlobalInit::Int(1));
+    let mut f = b.function("run", vec![Type::Ptr, Type::I64], Type::I64);
+    f.name_params(&["buf", "seed"]);
+    let entry = f.block("entry");
+    let head = f.block("head");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    f.switch_to(entry);
+    f.br(head);
+
+    f.switch_to(head);
+    let i = f.phi(Type::I64, vec![(entry, Value::i64(0))]);
+    let regs_phi: Vec<Value> = (0..4)
+        .map(|k| {
+            f.phi(
+                Type::I64,
+                vec![(entry, Value::ConstInt(Type::I64, 0x9e37 + k as u64))],
+            )
+        })
+        .collect();
+    let cond = f.icmp(IcmpPred::Ult, Type::I64, i.clone(), Value::i64(loop_n));
+    f.condbr(cond, body, exit);
+
+    f.switch_to(body);
+    let mut regs: Vec<Value> = regs_phi.clone();
+    regs[0] = f.add(Type::I64, regs[0].clone(), Value::Arg(1));
+    for step in steps {
+        match step {
+            Step::Arith(d, o, a, b2) => {
+                let v = f.bin(
+                    *o,
+                    Type::I64,
+                    regs[*a as usize].clone(),
+                    regs[*b2 as usize].clone(),
+                );
+                regs[*d as usize] = v;
+            }
+            Step::Load(d, s) => {
+                let p = f.gep(Type::I64, Value::Arg(0), vec![Value::i64(*s as u64)]);
+                regs[*d as usize] = f.load(Type::I64, p);
+            }
+            Step::Store(s, r) => {
+                let p = f.gep(Type::I64, Value::Arg(0), vec![Value::i64(*s as u64)]);
+                f.store(Type::I64, regs[*r as usize].clone(), p);
+            }
+            Step::Min(d, a, b2) => {
+                let c = f.icmp(
+                    IcmpPred::Slt,
+                    Type::I64,
+                    regs[*a as usize].clone(),
+                    regs[*b2 as usize].clone(),
+                );
+                regs[*d as usize] = f.select(
+                    Type::I64,
+                    c,
+                    regs[*a as usize].clone(),
+                    regs[*b2 as usize].clone(),
+                );
+            }
+            Step::BumpGlobal(r) => {
+                let g = Value::Global("g".into());
+                let old = f.load(Type::I64, g.clone());
+                let new = f.add(Type::I64, old, regs[*r as usize].clone());
+                f.store(Type::I64, new, g);
+            }
+        }
+    }
+    let i_next = f.add(Type::I64, i.clone(), Value::i64(1));
+    f.br(head);
+
+    // Patch loop-carried phis. Because `regs` can end up a permutation
+    // of the phi registers (e.g. two Min/Arith steps swapping them),
+    // some generated back-edges genuinely require the staged
+    // parallel-move path in the bytecode engine.
+    let func = f.raw();
+    let patch = |func: &mut carat_kop::ir::Function, phi: &Value, val: Value| {
+        if let Value::Inst(id) = phi {
+            if let carat_kop::ir::Inst::Phi { incomings, .. } = func.inst_mut(*id) {
+                incomings.push((body, val));
+            }
+        }
+    };
+    patch(func, &i, i_next);
+    for (k, phi) in regs_phi.iter().enumerate() {
+        patch(func, phi, regs[k].clone());
+    }
+
+    f.switch_to(exit);
+    let mut acc = regs_phi[0].clone();
+    for r in &regs_phi[1..] {
+        acc = f.bin(BinOp::Xor, Type::I64, acc, r.clone());
+    }
+    let gfin = f.load(Type::I64, Value::Global("g".into()));
+    let result = f.add(Type::I64, acc, gfin);
+    f.ret(Some(result));
+    f.finish();
+    b.finish()
+}
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "proptest")
+}
+
+/// Everything either engine can observably produce for one run.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    result: Result<Option<u64>, String>,
+    stats: ExecStats,
+    guard_stats: GuardStatsSnapshot,
+    mem: Vec<u8>,
+    global: Vec<u8>,
+    violations: Vec<String>,
+}
+
+/// Compile `module` under `opts`, run `@run(buf, seed)` on `engine`,
+/// and collect the full observable state. `deny_all` selects a
+/// default-deny policy with `LogAndDeny` (every guarded access is
+/// squashed) instead of allow-all.
+fn observe(
+    module: carat_kop::ir::Module,
+    opts: &CompileOptions,
+    seed: u64,
+    engine: Engine,
+    deny_all: bool,
+) -> Observation {
+    let out = compile_module(module, opts, &key()).expect("compiles");
+    let policy = Arc::new(PolicyModule::new());
+    if deny_all {
+        policy.set_default_action(DefaultAction::Deny);
+        policy.set_violation_action(ViolationAction::LogAndDeny);
+    } else {
+        policy.set_default_action(DefaultAction::Allow);
+    }
+    let mut kernel = Kernel::boot(Arc::clone(&policy), vec![key()], KernelConfig::default());
+    kernel.insmod(&out.signed).expect("loads");
+    let buf = kernel.kmalloc(8 * 8).expect("buf");
+    let global = kernel
+        .module("random")
+        .expect("loaded")
+        .image()
+        .globals
+        .get("g")
+        .copied()
+        .expect("global @g laid out");
+
+    let mut interp = Interp::new(&mut kernel).expect("interp");
+    interp.set_engine(engine);
+    assert_eq!(interp.engine(), engine);
+    let result = interp
+        .call("random", "run", &[buf.raw(), seed])
+        .map_err(|e| e.to_string());
+    let stats = interp.stats();
+
+    let mut mem = vec![0u8; 64];
+    kernel.mem.read_bytes(buf, &mut mem).expect("read back");
+    let mut gbytes = vec![0u8; 8];
+    kernel.mem.read_bytes(global, &mut gbytes).expect("global");
+    Observation {
+        result,
+        stats,
+        guard_stats: policy.stats(),
+        mem,
+        global: gbytes,
+        violations: policy.violation_log(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Allow-all policy: both engines agree on every observable, for
+    /// every build flavour (baseline has no guards; carat_kop fuses
+    /// guard+access pairs; optimized leaves hoisted standalone guards).
+    #[test]
+    fn engines_agree_under_allow_all(
+        steps in proptest::collection::vec(arb_step(), 1..24),
+        loop_n in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let module = build_program(&steps, loop_n);
+        verify_module(&module).expect("generated program verifies");
+
+        for opts in [
+            CompileOptions::baseline(),
+            CompileOptions::carat_kop(),
+            CompileOptions::optimized(),
+        ] {
+            let tree = observe(module.clone(), &opts, seed, Engine::Tree, false);
+            let vm = observe(module.clone(), &opts, seed, Engine::Bytecode, false);
+            prop_assert_eq!(&tree, &vm);
+            prop_assert!(tree.result.is_ok());
+        }
+    }
+
+    /// Deny-all + LogAndDeny: every guard denies and squashes the access
+    /// it protects. The engines must agree on the squash count, the
+    /// zero-filled loads' downstream effects, the unchanged memory, and
+    /// the denial classification.
+    #[test]
+    fn engines_agree_under_deny_all_squash(
+        steps in proptest::collection::vec(arb_step(), 1..24),
+        loop_n in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let module = build_program(&steps, loop_n);
+
+        for (opts, plain_carat) in [
+            (CompileOptions::carat_kop(), true),
+            (CompileOptions::optimized(), false),
+        ] {
+            let tree = observe(module.clone(), &opts, seed, Engine::Tree, true);
+            let vm = observe(module.clone(), &opts, seed, Engine::Bytecode, true);
+            prop_assert_eq!(&tree, &vm);
+
+            // Under the unoptimized carat build every access has its own
+            // guard, every guard denies, every access is squashed.
+            if plain_carat {
+                prop_assert!(tree.result.is_ok());
+                prop_assert_eq!(tree.stats.guards, tree.stats.mem_accesses);
+                prop_assert_eq!(tree.stats.squashed, tree.stats.mem_accesses);
+                prop_assert_eq!(tree.guard_stats.permitted, 0);
+                // Squashed stores leave the scratch buffer untouched.
+                prop_assert_eq!(&tree.mem, &vec![0u8; 64]);
+            }
+        }
+    }
+}

@@ -277,6 +277,59 @@ fn smp_correctness_invariants_hold_at_paper_scale() {
 }
 
 #[test]
+fn exec_engines_agree_and_guard_accounting_reconciles() {
+    // Timing asserts (the >=3x bytecode speedup) are gated inside exec()
+    // to quick mode on a release build; the correctness invariants —
+    // identical ExecStats, byte-identical ring/frame/stats memory, exact
+    // per-site trace reconciliation — are asserted unconditionally inside
+    // exec() on every run. Here we pin the figure's shape and the
+    // headline arithmetic.
+    let fig = figures::exec();
+    assert_eq!(fig.id, "exec");
+
+    let series = fig
+        .series("ns_per_packet")
+        .expect("ns_per_packet series present");
+    assert_eq!(
+        series.points.len(),
+        4,
+        "tree/bytecode x guarded/baseline = 4 bars"
+    );
+    assert!(series.points.iter().all(|&(_, y)| y > 0.0));
+
+    let gpp = fig.headline("guards_per_packet").unwrap();
+    assert_eq!(gpp, 10.0, "mini-e1000e TX path is 10 guarded accesses");
+    let dynamic = fig.headline("dynamic_guards").unwrap();
+    assert!(dynamic > 0.0);
+    assert_eq!(
+        dynamic % gpp,
+        0.0,
+        "every packet takes the full guarded path"
+    );
+    assert!(
+        fig.headline("fused_superinstructions").unwrap() > 0.0,
+        "lowering must fuse adjacent guard+access pairs"
+    );
+    // Per-site trace attribution reconciles with the policy counter.
+    let profiled = fig.headline("profiled_checks").unwrap();
+    assert!(profiled > 0.0);
+    assert!(fig.headline("profiled_sites").unwrap() >= 10.0);
+    // All four ns/pkt headlines present and positive.
+    for h in [
+        "tree_guarded_ns_pkt",
+        "bytecode_guarded_ns_pkt",
+        "tree_baseline_ns_pkt",
+        "bytecode_baseline_ns_pkt",
+    ] {
+        assert!(fig.headline(h).unwrap() > 0.0, "{h}");
+    }
+    // JSON rendering carries the machine-readable results.
+    let json = fig.render_json();
+    assert!(json.contains("\"id\": \"exec\""));
+    assert!(json.contains("\"guards_per_packet\""));
+}
+
+#[test]
 fn renders_are_nonempty_and_csv_parses() {
     for fig in [figures::fig6(), figures::claims()]
         .into_iter()
