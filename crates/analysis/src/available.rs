@@ -1,0 +1,221 @@
+//! AvailableGuards: which guard *instructions* are available where.
+//!
+//! [`crate::coverage::GuardCoverage`] answers "is some covering fact
+//! established on every path" — enough to verify, but not to optimize:
+//! eliding a guard additionally needs to know *which* earlier guard call
+//! establishes the fact, so the elision can be justified (and audited)
+//! as "guard D dominates this point with ⊇ coverage".
+//!
+//! This analysis therefore tracks `fact → establishing guard` pairs and
+//! merges by intersection *keeping only entries whose source guard
+//! agrees across all predecessors*. If the same guard instruction D is
+//! the establisher on every path into a point P, then every entry-to-P
+//! path passes through D — i.e. D dominates P — which is exactly the
+//! obligation the independent validator re-checks with its own
+//! dominator tree.
+//!
+//! Kill rules are strictly more conservative than the verifier's:
+//!
+//! * any non-guard call clobbers everything (the callee could change the
+//!   policy, and the optimizer must not elide across that), and
+//! * entering a block kills facts whose pointer the block defines
+//!   (re-execution along a back edge re-binds the SSA name; a surviving
+//!   fact would describe the previous iteration's address — the
+//!   "post-phi alias-by-value" hazard).
+
+use std::collections::HashMap;
+
+use kop_ir::{BlockId, Function, Inst, InstId, Value};
+
+use crate::coverage::{guard_fact, GuardFact, GUARD_SYMBOL};
+use crate::dataflow::{solve, BlockStates, ForwardAnalysis};
+
+/// Map from established fact to the guard instruction that established
+/// it on every path.
+pub type AvailMap = HashMap<GuardFact, InstId>;
+
+/// The dataflow analysis. Use [`available_guards`] to run it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AvailableGuards;
+
+/// Apply one instruction's effect to an availability map — shared with
+/// in-block replay in the optimizer, so the pass sees exactly the states
+/// the fixpoint computed.
+pub fn transfer_avail(f: &Function, iid: InstId, state: &mut AvailMap) {
+    if let Some(fact) = guard_fact(f, iid) {
+        state.insert(fact, iid);
+        return;
+    }
+    if let Inst::Call { callee, .. } = f.inst(iid) {
+        // Guard calls never clobber — including range guards, whose
+        // dynamic size keeps them from parsing as a plain fact.
+        if callee != GUARD_SYMBOL {
+            state.clear();
+        }
+    }
+}
+
+/// Drop facts whose pointer is (re-)defined by `bid`.
+pub fn kill_redefined_avail(f: &Function, bid: BlockId, state: &mut AvailMap) {
+    state.retain(|fact, _| match fact.ptr {
+        Value::Inst(d) => !f.block(bid).insts.contains(&d),
+        _ => true,
+    });
+}
+
+impl ForwardAnalysis for AvailableGuards {
+    type Domain = AvailMap;
+
+    fn entry_state(&self, _f: &Function) -> Self::Domain {
+        HashMap::new()
+    }
+
+    fn merge(&self, states: &[&Self::Domain]) -> Self::Domain {
+        let mut it = states.iter();
+        let first = (*it.next().expect("merge of ≥1 state")).clone();
+        it.fold(first, |acc, s| {
+            acc.into_iter()
+                .filter(|(fact, src)| s.get(fact) == Some(src))
+                .collect()
+        })
+    }
+
+    fn transfer(&self, f: &Function, _bid: BlockId, iid: InstId, state: &mut Self::Domain) {
+        transfer_avail(f, iid, state);
+    }
+
+    fn on_block_entry(&self, f: &Function, bid: BlockId, state: &mut Self::Domain) {
+        kill_redefined_avail(f, bid, state);
+    }
+}
+
+/// Solve the analysis for `f`: per-block entry availability maps.
+pub fn available_guards(f: &Function) -> BlockStates<AvailMap> {
+    solve(f, &AvailableGuards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_ir::parse_module;
+
+    fn fact(ptr: Value, size: u64, flags: u64) -> GuardFact {
+        GuardFact { ptr, size, flags }
+    }
+
+    #[test]
+    fn same_source_survives_join() {
+        // One guard in the entry dominates the join: available there.
+        let src = r#"
+module "j"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p, i1 %c) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  condbr i1 %c, %a, %b
+a:
+  br %join
+b:
+  br %join
+join:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let states = available_guards(f);
+        let join = f.block_by_name("join").unwrap();
+        let at_join = states.entry_of(join).unwrap();
+        assert!(at_join.contains_key(&fact(Value::Arg(0), 8, 1)));
+    }
+
+    #[test]
+    fn different_sources_do_not_merge() {
+        // Branch-local guards establish the same fact through *different*
+        // instructions: neither dominates the join, so the availability
+        // map (unlike plain coverage) must be empty there.
+        let src = r#"
+module "2src"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p, i1 %c) {
+entry:
+  condbr i1 %c, %a, %b
+a:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  br %join
+b:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  br %join
+join:
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let states = available_guards(f);
+        let join = f.block_by_name("join").unwrap();
+        assert!(
+            states.entry_of(join).unwrap().is_empty(),
+            "no single guard dominates the join"
+        );
+    }
+
+    #[test]
+    fn non_guard_call_clobbers() {
+        let src = r#"
+module "clob"
+declare void @carat_guard(ptr, i64, i32)
+declare void @ext()
+define void @f(ptr %p) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 3)
+  call void @ext()
+  br %next
+next:
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let states = available_guards(f);
+        let next = f.block_by_name("next").unwrap();
+        assert!(states.entry_of(next).unwrap().is_empty());
+    }
+
+    #[test]
+    fn redefined_pointer_killed_on_block_entry() {
+        // SSA-invalid on purpose (guard precedes the definition): the
+        // analysis must not let the stale fact flow around the back edge
+        // into the block that re-defines %p.
+        let src = r#"
+module "redef"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %buf, i64 %n) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 0
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let states = available_guards(f);
+        let body = f.block_by_name("body").unwrap();
+        assert!(
+            states.entry_of(body).unwrap().is_empty(),
+            "fact about %p must die on entry to the block defining %p"
+        );
+    }
+}

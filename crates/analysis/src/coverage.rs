@@ -13,10 +13,11 @@
 //! Facts are *not* killed by intervening calls: guard validity is
 //! per-module and control-flow based, matching the paper's policy model
 //! (policies change per-module, not per-instruction), and matching what
-//! `LoopGuardHoisting` already assumes when it moves a guard above a
-//! loop containing calls. `RedundantGuardElim` is strictly more
-//! conservative than this verifier requires, so everything the
-//! optimizer produces stays provably covered.
+//! `RangeCoalescing` already assumes when it hoists a range guard above
+//! a loop containing calls. `RedundantGuardElim` (which works over the
+//! stricter [`crate::available`] analysis) is strictly more conservative
+//! than this verifier requires, so everything the optimizer produces
+//! stays provably covered.
 //!
 //! Accesses in blocks unreachable from the entry are skipped — they
 //! cannot execute, and the loader lays out only reachable code paths.
@@ -71,7 +72,7 @@ pub fn guard_fact(f: &Function, iid: InstId) -> Option<GuardFact> {
 
 /// The access key of a load/store: pointer, byte size, needed flags
 /// (1 = read, 2 = write, per `kop_core::AccessFlags`).
-fn access_key(f: &Function, iid: InstId) -> Option<(Value, u64, u64)> {
+pub(crate) fn access_key(f: &Function, iid: InstId) -> Option<(Value, u64, u64)> {
     match f.inst(iid) {
         Inst::Load { ty, ptr } => Some((ptr.clone(), ty.size_of(), 1)),
         Inst::Store { ty, ptr, .. } => Some((ptr.clone(), ty.size_of(), 2)),
@@ -101,6 +102,23 @@ impl ForwardAnalysis for GuardCoverage {
             state.insert(fact);
         }
     }
+
+    fn on_block_entry(&self, f: &Function, bid: BlockId, state: &mut Self::Domain) {
+        kill_redefined(f, bid, state);
+    }
+}
+
+/// Drop facts whose pointer is an SSA value defined in `bid`: entering the
+/// defining block (re-)executes the definition, so a surviving fact would
+/// describe the *previous* runtime value of the same SSA name. Well-formed
+/// SSA (def dominates use) makes such stale facts unreachable, but the
+/// verifier runs on untrusted module text and must not assume the SSA
+/// checker already ran — this kill closes the hole independently.
+pub(crate) fn kill_redefined(f: &Function, bid: BlockId, state: &mut HashSet<GuardFact>) {
+    state.retain(|fact| match fact.ptr {
+        Value::Inst(d) => !f.block(bid).insts.contains(&d),
+        _ => true,
+    });
 }
 
 /// Prove guard coverage for every function in `module`.
@@ -117,7 +135,7 @@ pub fn verify_guard_coverage(module: &Module) -> AnalysisReport {
     report
 }
 
-fn diag(
+pub(crate) fn diag(
     f: &Function,
     bid: BlockId,
     idx: usize,
@@ -147,6 +165,17 @@ fn diag(
 }
 
 fn verify_function(f: &Function, report: &mut AnalysisReport) {
+    verify_function_with_exemptions(f, report, &HashSet::new());
+}
+
+/// Coverage replay with an exemption set: accesses in `exempt` are
+/// treated as proven by other means (the translation validator passes
+/// the accesses of its independently re-derived range obligations).
+pub(crate) fn verify_function_with_exemptions(
+    f: &Function,
+    report: &mut AnalysisReport,
+    exempt: &HashSet<InstId>,
+) {
     if f.blocks.is_empty() {
         return;
     }
@@ -175,6 +204,11 @@ fn verify_function(f: &Function, report: &mut AnalysisReport) {
             };
             report.bump("accesses_checked", 1);
             accesses.push((bid, idx, (ptr.clone(), size, flags)));
+            if exempt.contains(&iid) {
+                report.bump("accesses_proven", 1);
+                report.bump("accesses_proven_by_range", 1);
+                continue;
+            }
             if state.iter().any(|g| g.covers(&ptr, size, flags)) {
                 report.bump("accesses_proven", 1);
                 continue;
@@ -399,8 +433,8 @@ join:
     #[test]
     fn hoisted_guard_covers_loop_body() {
         // Guard in the preheader, access in the loop body — the shape
-        // LoopGuardHoisting produces. Calls inside the loop must not
-        // invalidate the fact.
+        // a hoisted/coalesced guard produces. Calls inside the loop must
+        // not invalidate the fact.
         let src = r#"
 module "hoisted"
 global @acc : i64 = 0
@@ -468,6 +502,44 @@ dead:
         let r = verify_guard_coverage(&m);
         assert!(r.is_clean(), "{r}");
         assert_eq!(r.stat("accesses_checked"), 0);
+    }
+
+    #[test]
+    fn stale_fact_does_not_survive_reentry_of_defining_block() {
+        // A guard that textually precedes the definition of the pointer it
+        // names (invalid SSA, but parseable — the verifier must not assume
+        // `verify_module` ran). Without kill-on-redefinition the fact on
+        // `%p` flows around the back edge into `body`, where `%p` is
+        // recomputed from the new `%i`, and the load would be "proven"
+        // covered by a guard on a previous iteration's address.
+        let src = r#"
+module "stale"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %buf, i64 %n) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 0
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let r = verify_guard_coverage(&m);
+        assert_eq!(
+            r.with_code(LintCode::UnguardedAccess).count(),
+            1,
+            "stale pre-definition fact must be killed on entry to the \
+             defining block: {r}"
+        );
     }
 
     #[test]

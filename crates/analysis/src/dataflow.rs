@@ -28,6 +28,14 @@ pub trait ForwardAnalysis {
 
     /// Apply one instruction's effect to the state.
     fn transfer(&self, f: &Function, bid: BlockId, iid: InstId, state: &mut Self::Domain);
+
+    /// Adjust the merged state on entry to `bid`, before any transfer in
+    /// the block runs. The default is a no-op. Analyses whose facts
+    /// mention SSA values use this to kill facts about values the block
+    /// (re-)defines: when control re-enters a defining block along a back
+    /// edge, the defining instructions re-execute and may bind new
+    /// runtime values, so facts keyed on them are stale.
+    fn on_block_entry(&self, _f: &Function, _bid: BlockId, _state: &mut Self::Domain) {}
 }
 
 /// Fixpoint result: per-block in-states. `None` = block never reached
@@ -94,7 +102,11 @@ pub fn solve<A: ForwardAnalysis>(f: &Function, analysis: &A) -> BlockStates<A::D
     }
     let preds = f.predecessors();
 
-    in_states[0] = Some(analysis.entry_state(f));
+    in_states[0] = Some({
+        let mut s = analysis.entry_state(f);
+        analysis.on_block_entry(f, BlockId(0), &mut s);
+        s
+    });
     // Worklist of RPO positions, deduplicated via an in-queue flag.
     let mut queued = vec![false; rpo.len()];
     let mut work: std::collections::VecDeque<usize> = (0..rpo.len()).collect();
@@ -116,7 +128,9 @@ pub fn solve<A: ForwardAnalysis>(f: &Function, analysis: &A) -> BlockStates<A::D
             if reached.is_empty() {
                 continue; // not yet reachable
             }
-            in_states[bi] = Some(analysis.merge(&reached));
+            let mut merged = analysis.merge(&reached);
+            analysis.on_block_entry(f, b, &mut merged);
+            in_states[bi] = Some(merged);
         }
 
         // Transfer through the block.

@@ -23,6 +23,16 @@ pub enum LintCode {
     /// KA005: a constant-address access that statically violates the
     /// supplied policy snapshot.
     PolicyViolation,
+    /// KA006: an optimizer obligation references a guard or access that
+    /// does not exist in the module (or no longer has the claimed shape).
+    ObligationUnfounded,
+    /// KA007: a range obligation whose hoisted guard cannot be re-derived
+    /// from the loop's induction structure (wrong stride, trip count,
+    /// base, or access shape).
+    RangeUnproven,
+    /// KA008: an obligation claims a dominating guard that does not in
+    /// fact dominate the access it is said to cover.
+    ObligationDominance,
 }
 
 impl LintCode {
@@ -34,15 +44,21 @@ impl LintCode {
             LintCode::LaunderedPointer => "KA003",
             LintCode::DeadGuard => "KA004",
             LintCode::PolicyViolation => "KA005",
+            LintCode::ObligationUnfounded => "KA006",
+            LintCode::RangeUnproven => "KA007",
+            LintCode::ObligationDominance => "KA008",
         }
     }
 
     /// Default severity of this lint.
     pub fn severity(self) -> Severity {
         match self {
-            LintCode::UnguardedAccess | LintCode::GuardMismatch | LintCode::PolicyViolation => {
-                Severity::Error
-            }
+            LintCode::UnguardedAccess
+            | LintCode::GuardMismatch
+            | LintCode::PolicyViolation
+            | LintCode::ObligationUnfounded
+            | LintCode::RangeUnproven
+            | LintCode::ObligationDominance => Severity::Error,
             LintCode::LaunderedPointer | LintCode::DeadGuard => Severity::Warning,
         }
     }
@@ -55,6 +71,9 @@ impl LintCode {
             LintCode::LaunderedPointer => "inttoptr-laundered pointer access",
             LintCode::DeadGuard => "guard covers no access",
             LintCode::PolicyViolation => "constant address violates policy",
+            LintCode::ObligationUnfounded => "obligation references missing guard or access",
+            LintCode::RangeUnproven => "range obligation not derivable from loop structure",
+            LintCode::ObligationDominance => "claimed dominating guard does not dominate",
         }
     }
 }
@@ -237,6 +256,9 @@ mod tests {
         assert_eq!(LintCode::LaunderedPointer.code(), "KA003");
         assert_eq!(LintCode::DeadGuard.code(), "KA004");
         assert_eq!(LintCode::PolicyViolation.code(), "KA005");
+        assert_eq!(LintCode::ObligationUnfounded.code(), "KA006");
+        assert_eq!(LintCode::RangeUnproven.code(), "KA007");
+        assert_eq!(LintCode::ObligationDominance.code(), "KA008");
     }
 
     #[test]
@@ -244,6 +266,9 @@ mod tests {
         assert_eq!(LintCode::UnguardedAccess.severity(), Severity::Error);
         assert_eq!(LintCode::GuardMismatch.severity(), Severity::Error);
         assert_eq!(LintCode::PolicyViolation.severity(), Severity::Error);
+        assert_eq!(LintCode::ObligationUnfounded.severity(), Severity::Error);
+        assert_eq!(LintCode::RangeUnproven.severity(), Severity::Error);
+        assert_eq!(LintCode::ObligationDominance.severity(), Severity::Error);
         assert_eq!(LintCode::LaunderedPointer.severity(), Severity::Warning);
         assert_eq!(LintCode::DeadGuard.severity(), Severity::Warning);
     }

@@ -7,22 +7,41 @@
 //!   semilattice + worklist engine over the CFG).
 //! * [`coverage`] — the GuardCoverage analysis: proves every load and
 //!   store is covered on all paths by a dominating `carat_guard` call.
+//! * [`available`] — AvailableGuards: like coverage, but tracks *which*
+//!   guard instruction establishes each fact, so the optimizer can name
+//!   (and the validator can audit) the dominating guard behind an
+//!   elision.
+//! * [`range`] — SCEV-lite value-range analysis over counted loops:
+//!   plans the replacement of per-iteration element guards with one
+//!   hoisted `[base, base + stride·n)` range guard.
+//! * [`validator`] — the independent translation validator: re-derives
+//!   every optimizer obligation (elisions, range coalescings) from the
+//!   module text alone and re-proves coverage, sharing no code with the
+//!   optimizer.
 //! * [`provenance`] — pointer provenance classification used to justify
 //!   guard elision and to flag laundered or constant-address pointers.
 //! * [`diagnostics`] — stable lint codes (`KA001`…) with precise
 //!   function/block/instruction locations.
 //!
-//! The top-level entry points are [`analyze_module`] (full report) and
-//! [`verify_guard_coverage`] (coverage only).
+//! The top-level entry points are [`analyze_module`] (full report),
+//! [`verify_guard_coverage`] (coverage only), and [`validate_module`]
+//! (coverage plus obligation-ledger audit — what the signer and the
+//! loader both run).
 
+pub mod available;
 pub mod coverage;
 pub mod dataflow;
 pub mod diagnostics;
 pub mod provenance;
+pub mod range;
+pub mod validator;
 
+pub use available::{available_guards, transfer_avail, AvailMap, AvailableGuards};
 pub use coverage::{verify_guard_coverage, GuardCoverage};
 pub use diagnostics::{AnalysisReport, Diagnostic, LintCode, Severity};
 pub use provenance::{PointerProvenance, Provenance};
+pub use range::{plan_ranges, RangePlan};
+pub use validator::{validate_module, InstRef, Obligation, ObligationLedger};
 
 use kop_ir::Module;
 

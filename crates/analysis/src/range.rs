@@ -1,0 +1,216 @@
+//! Value-range / loop-induction analysis for guard coalescing.
+//!
+//! SCEV-lite: inside a counted loop `for (iv = 0; iv <u n; iv++)`
+//! (recognized by [`kop_ir::loops`]), a pointer of the shape
+//! `gep elem_ty, base, iv` with a loop-invariant `base` evaluates to the
+//! affine sequence `base + iv·stride` (`stride = size_of(elem_ty)`), and
+//! the header's bound check confines `iv` to `[0, n)` in every
+//! non-header loop block. Every per-iteration access through such a
+//! pointer therefore stays inside the byte range
+//! `[base, base + n·stride)` — one *range guard* over that interval
+//! covers all of them.
+//!
+//! [`plan_ranges`] turns this into concrete coalescing plans for the
+//! compiler's `RangeCoalescing` pass. The independent translation
+//! validator does **not** use this module: it re-derives the same
+//! interval from the loop structure with its own checking code when it
+//! audits a range obligation.
+
+use std::collections::BTreeMap;
+
+use kop_ir::dom::DomTree;
+use kop_ir::loops::{find_counted_loops, CountedLoop};
+use kop_ir::{Function, Inst, InstId, Value};
+
+use crate::coverage::guard_fact;
+
+/// Classify `ptr` as a per-iteration element pointer of loop `l`:
+/// `gep elem_ty, base, iv` with loop-invariant `base`. Returns
+/// `(base, stride)` on success.
+pub fn element_pattern(f: &Function, l: &CountedLoop, ptr: &Value) -> Option<(Value, u64)> {
+    let Value::Inst(gep) = ptr else { return None };
+    let Inst::Gep {
+        base_ty,
+        ptr: base,
+        indices,
+    } = f.inst(*gep)
+    else {
+        return None;
+    };
+    if indices.len() != 1 || indices[0] != Value::Inst(l.iv) {
+        return None;
+    }
+    if l.varies(f, base) {
+        return None;
+    }
+    let stride = base_ty.size_of();
+    if stride == 0 {
+        return None;
+    }
+    Some((base.clone(), stride))
+}
+
+/// One coalescing opportunity: all per-iteration element guards of a
+/// counted loop that walk the same `base` array with the same stride.
+#[derive(Clone, Debug)]
+pub struct RangePlan {
+    /// The loop whose iterations the range spans.
+    pub loop_: CountedLoop,
+    /// Loop-invariant base pointer of the walked array.
+    pub base: Value,
+    /// Bytes per iteration step.
+    pub stride: u64,
+    /// Union of the access-flag bits of the guards being replaced.
+    pub flags: u64,
+    /// The per-iteration guards a single range guard can replace, in
+    /// layout order.
+    pub guards: Vec<InstId>,
+}
+
+/// Find every range-coalescing opportunity in `f`.
+///
+/// A guard qualifies when it sits in a block where the induction
+/// variable is provably in `[0, n)`, its pointer matches
+/// [`element_pattern`], and its guarded byte count fits inside one
+/// stride (so `base + iv·stride + size ≤ base + n·stride`).
+pub fn plan_ranges(f: &Function) -> Vec<RangePlan> {
+    let dom = DomTree::compute(f);
+    let loops = find_counted_loops(f, &dom);
+    let mut plans = Vec::new();
+    for l in loops {
+        // Group qualifying guards by (base, stride).
+        let mut groups: BTreeMap<(String, u64), (Value, u64, Vec<InstId>)> = BTreeMap::new();
+        for bid in f.block_ids() {
+            if !l.iv_bounded_in(bid) {
+                continue;
+            }
+            for &iid in &f.block(bid).insts {
+                let Some(fact) = guard_fact(f, iid) else {
+                    continue;
+                };
+                let Some((base, stride)) = element_pattern(f, &l, &fact.ptr) else {
+                    continue;
+                };
+                if fact.size > stride {
+                    continue;
+                }
+                let key = (format!("{base:?}"), stride);
+                groups
+                    .entry(key)
+                    .or_insert_with(|| (base, stride, Vec::new()))
+                    .2
+                    .push(iid);
+            }
+        }
+        for (_, (base, stride, guards)) in groups {
+            let flags = guards
+                .iter()
+                .filter_map(|&g| guard_fact(f, g))
+                .fold(0, |acc, fa| acc | fa.flags);
+            plans.push(RangePlan {
+                loop_: l.clone(),
+                base,
+                stride,
+                flags,
+                guards,
+            });
+        }
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_ir::parse_module;
+
+    const WALK: &str = r#"
+module "walk"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @sum(ptr %buf, i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %p = gep i64, ptr %buf, i64 %i
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  %v = load i64, ptr %p
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 0
+}
+"#;
+
+    #[test]
+    fn plans_element_walk() {
+        let m = parse_module(WALK).unwrap();
+        let f = m.function("sum").unwrap();
+        let plans = plan_ranges(f);
+        assert_eq!(plans.len(), 1);
+        let p = &plans[0];
+        assert_eq!(p.base, Value::Arg(0));
+        assert_eq!(p.stride, 8);
+        assert_eq!(p.flags, 1);
+        assert_eq!(p.guards.len(), 1);
+        assert_eq!(p.loop_.bound, Value::Arg(1));
+    }
+
+    #[test]
+    fn scaled_index_does_not_qualify() {
+        // Index is `mul iv, 2` — not the raw induction variable, so the
+        // per-element interval derivation does not apply.
+        let src = WALK.replace(
+            "%p = gep i64, ptr %buf, i64 %i",
+            "%j = mul i64 %i, 2\n  %p = gep i64, ptr %buf, i64 %j",
+        );
+        let m = parse_module(&src).unwrap();
+        let f = m.function("sum").unwrap();
+        assert!(plan_ranges(f).is_empty());
+    }
+
+    #[test]
+    fn oversized_access_does_not_qualify() {
+        // A 16-byte guard strides past the next element: one range of
+        // n·8 bytes would not cover iteration n-1.
+        let src = WALK.replace("i64 8, i32 1", "i64 16, i32 1");
+        let m = parse_module(&src).unwrap();
+        let f = m.function("sum").unwrap();
+        assert!(plan_ranges(f).is_empty());
+    }
+
+    #[test]
+    fn loop_varying_base_does_not_qualify() {
+        let src = r#"
+module "varybase"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %pp, i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %buf = load ptr, ptr %pp
+  %p = gep i64, ptr %buf, i64 %i
+  call void @carat_guard(ptr %p, i64 8, i32 1)
+  %v = load i64, ptr %p
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 0
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let plans = plan_ranges(f);
+        assert!(
+            plans.is_empty(),
+            "base reloaded per iteration must not coalesce"
+        );
+    }
+}

@@ -12,9 +12,10 @@
 
 use std::fmt;
 
+use kop_analysis::ObligationLedger;
 use kop_ir::{Inst, Module};
 
-use crate::guard::{check_guards, strict_guard_layout, GUARD_SYMBOL};
+use crate::guard::{strict_guard_layout, GUARD_SYMBOL};
 
 /// Privileged intrinsics a kernel module must not call directly. Mirrors
 /// the x86 privileged-instruction surface a real attestor would reject
@@ -127,6 +128,13 @@ pub struct Attestation {
     pub privileged_wrapped: bool,
     /// Identifier of the compiler that produced the module.
     pub compiler_id: String,
+    /// The obligation ledger, in [`ObligationLedger`] text form: one
+    /// machine-checkable claim per guard the optimizer removed or
+    /// coalesced. Empty for unoptimized builds. The ledger is *bound
+    /// into the signature* and re-audited by the independent translation
+    /// validator at `insmod` — a module whose elisions the loader cannot
+    /// re-derive does not load.
+    pub obligations: String,
 }
 
 impl Attestation {
@@ -152,6 +160,19 @@ impl Attestation {
     /// immediately preceded by its matching `carat_intrinsic_guard` call
     /// (the §5 extension).
     pub fn check_with(module: &Module, allow_wrapped: bool) -> Result<Attestation, AttestError> {
+        Self::check_with_ledger(module, allow_wrapped, &ObligationLedger::empty())
+    }
+
+    /// Like [`Attestation::check_with`], but binds `ledger` — the
+    /// optimizer's obligation record — into the attestation.
+    /// `guards_covered` is computed by the independent translation
+    /// validator against that ledger, so it asserts both full coverage
+    /// *and* that every optimizer claim was independently re-derived.
+    pub fn check_with_ledger(
+        module: &Module,
+        allow_wrapped: bool,
+        ledger: &ObligationLedger,
+    ) -> Result<Attestation, AttestError> {
         scan(module, allow_wrapped)?;
         let privileged_calls = crate::intrinsics::privileged_call_count(module);
         if privileged_calls > 0 && !crate::intrinsics::validate_intrinsic_wraps(module) {
@@ -164,7 +185,7 @@ impl Attestation {
             no_inline_asm: true,
             no_privileged_calls: privileged_calls == 0,
             guards_strict: strict_guard_layout(module),
-            guards_covered: check_guards(module).is_clean(),
+            guards_covered: kop_analysis::validate_module(module, ledger).is_clean(),
             guard_count: module.call_count(GUARD_SYMBOL) as u64,
             guard_sites: sites.len() as u64,
             site_digest: crate::sha256::hex(&crate::sha256::sha256(site_text.as_bytes())),
@@ -172,13 +193,16 @@ impl Attestation {
             privileged_calls,
             privileged_wrapped: privileged_calls > 0,
             compiler_id: Self::COMPILER_ID.to_string(),
+            obligations: ledger.to_text(),
         })
     }
 
-    /// Canonical byte encoding, bound into the module signature.
+    /// Canonical byte encoding, bound into the module signature. The
+    /// obligation ledger rides at the end, prefixed by its byte length so
+    /// the encoding stays unambiguous (ledger text is multi-line).
     pub fn to_bytes(&self) -> Vec<u8> {
         format!(
-            "attestation-v4\nmodule={}\nno_asm={}\nno_priv={}\nstrict={}\ncovered={}\nguards={}\nsites={}\nsite_digest={}\naccesses={}\npriv_calls={}\npriv_wrapped={}\ncompiler={}\n",
+            "attestation-v5\nmodule={}\nno_asm={}\nno_priv={}\nstrict={}\ncovered={}\nguards={}\nsites={}\nsite_digest={}\naccesses={}\npriv_calls={}\npriv_wrapped={}\ncompiler={}\nobligations_len={}\n{}",
             self.module_name,
             self.no_inline_asm,
             self.no_privileged_calls,
@@ -191,6 +215,8 @@ impl Attestation {
             self.privileged_calls,
             self.privileged_wrapped,
             self.compiler_id,
+            self.obligations.len(),
+            self.obligations,
         )
         .into_bytes()
     }
@@ -341,12 +367,12 @@ entry:
     }
 
     #[test]
-    fn hoisted_guards_are_covered_but_not_strict() {
-        use crate::opt::LoopGuardHoisting;
+    fn coalesced_guards_are_covered_by_ledger_but_not_strict() {
+        use crate::obligations::ObligationRecorder;
+        use crate::opt::RangeCoalescing;
         let src = r#"
-module "hoist"
-global @g : i64 = 0
-define void @f(i64 %n) {
+module "coalesce"
+define void @f(ptr %buf, i64 %n) {
 entry:
   br %head
 head:
@@ -354,7 +380,8 @@ head:
   %c = icmp ult i64 %i, %n
   condbr i1 %c, %body, %exit
 body:
-  %v = load i64, ptr @g
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
   %i2 = add i64 %i, 1
   br %head
 exit:
@@ -363,11 +390,19 @@ exit:
 "#;
         let mut m = parse_module(src).unwrap();
         GuardInjectionPass.run(&mut m);
-        let s = LoopGuardHoisting.run(&mut m);
-        assert!(s.get("guards_hoisted") > 0);
-        let a = Attestation::check(&m).expect("attests");
-        assert!(!a.guards_strict, "hoisted layout is not strict");
-        assert!(a.guards_covered, "but the dataflow proof still holds");
+        let mut rec = ObligationRecorder::new();
+        let s = RangeCoalescing.run_with(&mut m, &mut rec);
+        assert!(s.get("guards_range_coalesced") > 0);
+        m.seal_layout();
+        let ledger = rec.finalize(&m);
+        let a = Attestation::check_with_ledger(&m, false, &ledger).expect("attests");
+        assert!(!a.guards_strict, "coalesced layout is not strict");
+        assert!(a.guards_covered, "the range obligation proves the body");
+        assert_eq!(a.obligations, ledger.to_text());
+        // Without the ledger the same module cannot attest coverage: the
+        // loop body access has no per-iteration guard any more.
+        let bare = Attestation::check(&m).expect("attests");
+        assert!(!bare.guards_covered);
     }
 
     #[test]

@@ -6,13 +6,23 @@
 //! runs guard injection (and, optionally, the ablation optimizations),
 //! attests, re-verifies, and signs — producing a [`SignedModule`] ready
 //! for `insmod`.
+//!
+//! Optimized builds carry an extra artifact: the obligation ledger. The
+//! optimizer records a machine-checkable justification for every guard
+//! it removes or coalesces; the driver finalizes the ledger after layout
+//! sealing, hands it to the *independent* translation validator
+//! ([`kop_analysis::validate_module`]) — which re-derives every claim
+//! from the module text alone — and refuses to sign when any claim
+//! fails. The ledger then travels inside the attestation so the kernel
+//! loader can run the exact same audit at `insmod`.
 
 use kop_ir::{verify_module, Module, VerifyError};
 
 use crate::attest::{AttestError, Attestation};
 use crate::guard::GuardInjectionPass;
 use crate::intrinsics::IntrinsicWrapPass;
-use crate::opt::{LoopGuardHoisting, RedundantGuardElim};
+use crate::obligations::ObligationRecorder;
+use crate::opt::{RangeCoalescing, RedundantGuardElim};
 use crate::pass::{PassManager, PassStats};
 use crate::signing::{CompilerKey, SignedModule};
 
@@ -24,9 +34,9 @@ pub struct CompileOptions {
     pub inject_guards: bool,
     /// Run redundant-guard elimination (CARAT CAKE-style; off in the paper).
     pub optimize_redundant: bool,
-    /// Run loop-invariant guard hoisting (CARAT CAKE-style; off in the
+    /// Run counted-loop range coalescing (CARAT CAKE-style; off in the
     /// paper).
-    pub optimize_hoist: bool,
+    pub optimize_range: bool,
     /// Wrap privileged-intrinsic calls with intrinsic guards instead of
     /// refusing them (the §5 extension). Off by default — the paper's
     /// base system refuses such modules at attestation time.
@@ -39,7 +49,7 @@ impl Default for CompileOptions {
         CompileOptions {
             inject_guards: true,
             optimize_redundant: false,
-            optimize_hoist: false,
+            optimize_range: false,
             wrap_privileged: false,
         }
     }
@@ -63,7 +73,7 @@ impl CompileOptions {
     pub fn optimized() -> Self {
         CompileOptions {
             optimize_redundant: true,
-            optimize_hoist: true,
+            optimize_range: true,
             ..Self::default()
         }
     }
@@ -86,10 +96,11 @@ pub enum CompileError {
     OutputVerify(VerifyError),
     /// Attestation refused the module.
     Attest(AttestError),
-    /// The guard-coverage verifier could not prove every memory access
-    /// guarded; the report carries the `KA…` diagnostics. The driver
-    /// refuses to sign such a module — signing it would attest to a
-    /// property that does not hold.
+    /// The guard-coverage verifier (plus the translation validator, for
+    /// optimized builds) could not prove every memory access guarded and
+    /// every optimizer obligation founded; the report carries the `KA…`
+    /// diagnostics. The driver refuses to sign such a module — signing
+    /// it would attest to a property that does not hold.
     GuardCoverage(Box<kop_analysis::AnalysisReport>),
 }
 
@@ -113,7 +124,7 @@ impl std::error::Error for CompileError {}
 pub struct CompileOutput {
     /// The signed, loadable container.
     pub signed: SignedModule,
-    /// Aggregate pass statistics (guards injected/removed/hoisted).
+    /// Aggregate pass statistics (guards injected/removed/coalesced).
     pub stats: PassStats,
 }
 
@@ -143,14 +154,18 @@ pub fn compile_module(
     if options.wrap_privileged {
         pm.add(IntrinsicWrapPass);
     }
+    // Range coalescing runs before elimination: a coalesced range guard
+    // is never a constant fact, so elim cannot remove a guard that a
+    // recorded range obligation depends on.
+    if options.optimize_range {
+        pm.add(RangeCoalescing);
+    }
     if options.optimize_redundant {
         pm.add(RedundantGuardElim);
     }
-    if options.optimize_hoist {
-        pm.add(LoopGuardHoisting);
-    }
+    let mut recorder = ObligationRecorder::new();
     let mut stats = PassStats::new();
-    for (_, s) in pm.run(&mut module) {
+    for (_, s) in pm.run_with(&mut module, &mut recorder) {
         stats.merge(&s);
     }
     // Passes restructured blocks; re-seal the layout caches so everything
@@ -159,19 +174,28 @@ pub fn compile_module(
 
     verify_module(&module).map_err(CompileError::OutputVerify)?;
 
+    // Obligations are recorded against arena ids while passes run; now
+    // that layout is final, pin them to stable `block#index` positions.
+    let ledger = recorder.finalize(&module);
+
     // Independent proof obligation: whenever this build claims guards
-    // (it injected them, or the input already carried guard calls), the
-    // dataflow verifier must be able to prove full coverage. Baseline
-    // builds of guard-free sources skip this — they claim nothing.
-    if options.inject_guards || module.call_count(crate::guard::GUARD_SYMBOL) > 0 {
-        let report = kop_analysis::verify_guard_coverage(&module);
+    // (it injected them, or the input already carried guard calls, or
+    // the optimizer claims elisions), the translation validator must be
+    // able to re-derive coverage plus every optimizer claim from the
+    // module text alone. Baseline builds of guard-free sources skip this
+    // — they claim nothing.
+    if options.inject_guards
+        || module.call_count(crate::guard::GUARD_SYMBOL) > 0
+        || !ledger.is_empty()
+    {
+        let report = kop_analysis::validate_module(&module, &ledger);
         if !report.is_clean() {
             return Err(CompileError::GuardCoverage(Box::new(report)));
         }
     }
 
-    let attestation =
-        Attestation::check_with(&module, options.wrap_privileged).map_err(CompileError::Attest)?;
+    let attestation = Attestation::check_with_ledger(&module, options.wrap_privileged, &ledger)
+        .map_err(CompileError::Attest)?;
     let signed = SignedModule::sign(&module, attestation, key);
     Ok(CompileOutput { signed, stats })
 }
@@ -205,6 +229,7 @@ entry:
         assert_eq!(out.stats.get("guards_injected"), 3);
         assert!(out.signed.attestation.guards_strict);
         assert_eq!(out.signed.attestation.guard_count, 3);
+        assert!(out.signed.attestation.obligations.is_empty());
         let verified = out.signed.verify(&[key()]).unwrap();
         assert_eq!(verified.call_count("carat_guard"), 3);
     }
@@ -221,11 +246,12 @@ entry:
 
     #[test]
     fn optimized_build_is_not_strict() {
-        // Loop so that hoisting has something to do.
+        // Element walk so range coalescing has something to do, plus a
+        // repeated global access so elimination does too.
         let src = r#"
 module "opt"
 global @g : i64 = 0
-define void @f(i64 %n) {
+define void @f(ptr %buf, i64 %n) {
 entry:
   br %head
 head:
@@ -233,8 +259,10 @@ head:
   %c = icmp ult i64 %i, %n
   condbr i1 %c, %body, %exit
 body:
-  %v = load i64, ptr @g
-  %v2 = add i64 %v, 1
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
+  %g0 = load i64, ptr @g
+  %v2 = add i64 %v, %g0
   store i64 %v2, ptr @g
   %i.next = add i64 %i, 1
   br %head
@@ -244,9 +272,11 @@ exit:
 "#;
         let m = parse_module(src).unwrap();
         let out = compile_module(m, &CompileOptions::optimized(), &key()).unwrap();
-        assert!(out.stats.get("guards_hoisted") > 0);
+        assert!(out.stats.get("guards_range_coalesced") > 0);
+        assert!(out.stats.get("guards_removed") > 0);
         assert!(!out.signed.attestation.guards_strict);
-        // Optimized modules still verify and load.
+        // The ledger made it into the attestation and survives signing.
+        assert!(!out.signed.attestation.obligations.is_empty());
         out.signed.verify(&[key()]).unwrap();
     }
 

@@ -7,9 +7,13 @@
 //!   inserted before **every** `load` and `store`, unconditionally and
 //!   unoptimized, exactly as the paper describes.
 //! * [`opt`] — the optimizations the paper deliberately *omits* (they
-//!   belong to CARAT CAKE's NOELLE-based pipeline): redundant-guard
-//!   elimination and loop-invariant guard hoisting. These exist for the
-//!   ablation benchmarks.
+//!   belong to CARAT CAKE's NOELLE-based pipeline): cross-block
+//!   redundant-guard elimination and counted-loop range coalescing.
+//!   These exist for the ablation benchmarks.
+//! * [`obligations`] — the optimizer's obligation recorder: every guard
+//!   reduction is justified by a machine-checkable claim that travels in
+//!   the attestation and is re-derived by the independent validator
+//!   (`kop_analysis::validate_module`) at signing and again at load.
 //! * [`attest`] — compile-time attestation that the module contains no
 //!   inline assembly and no calls to privileged intrinsics (§2, §5).
 //! * [`sha256`] — a from-scratch SHA-256/HMAC-SHA256 (FIPS 180-4 / RFC
@@ -27,6 +31,7 @@ pub mod attest;
 pub mod driver;
 pub mod guard;
 pub mod intrinsics;
+pub mod obligations;
 pub mod opt;
 pub mod pass;
 pub mod sha256;
@@ -39,6 +44,7 @@ pub use intrinsics::{
     intrinsic_id, intrinsic_name, validate_intrinsic_wraps, IntrinsicWrapPass,
     INTRINSIC_GUARD_SYMBOL,
 };
-pub use opt::{LoopGuardHoisting, RedundantGuardElim};
+pub use obligations::ObligationRecorder;
+pub use opt::{RangeCoalescing, RedundantGuardElim};
 pub use pass::{Pass, PassManager, PassStats};
 pub use signing::{CompilerKey, SignedModule, SigningError};

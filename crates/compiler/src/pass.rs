@@ -9,6 +9,8 @@ use std::fmt;
 
 use kop_ir::Module;
 
+use crate::obligations::ObligationRecorder;
+
 /// Statistics reported by a pass run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PassStats {
@@ -63,6 +65,14 @@ pub trait Pass {
 
     /// Run over the module, mutating it in place, and report statistics.
     fn run(&self, module: &mut Module) -> PassStats;
+
+    /// Like [`Pass::run`], but with an [`ObligationRecorder`] the pass
+    /// may use to record machine-checkable justifications for any guard
+    /// it removes or coalesces. The default ignores the recorder —
+    /// passes that never reduce guards have nothing to justify.
+    fn run_with(&self, module: &mut Module, _obligations: &mut ObligationRecorder) -> PassStats {
+        self.run(module)
+    }
 }
 
 /// Runs a sequence of passes, collecting per-pass and aggregate statistics.
@@ -95,9 +105,21 @@ impl PassManager {
 
     /// Run the pipeline. Returns `(pass name, stats)` per pass in order.
     pub fn run(&self, module: &mut Module) -> Vec<(&'static str, PassStats)> {
+        let mut unused = ObligationRecorder::new();
+        self.run_with(module, &mut unused)
+    }
+
+    /// Run the pipeline, collecting guard-reduction obligations into
+    /// `obligations` (the driver finalizes them into the attestation's
+    /// ledger after `seal_layout`).
+    pub fn run_with(
+        &self,
+        module: &mut Module,
+        obligations: &mut ObligationRecorder,
+    ) -> Vec<(&'static str, PassStats)> {
         self.passes
             .iter()
-            .map(|p| (p.name(), p.run(module)))
+            .map(|p| (p.name(), p.run_with(module, obligations)))
             .collect()
     }
 }

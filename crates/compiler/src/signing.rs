@@ -156,10 +156,23 @@ impl SignedModule {
                 "attested strict guards but validation failed".into(),
             ));
         }
-        if self.attestation.guards_covered && !crate::guard::check_guards(&module).is_clean() {
-            return Err(SigningError::AttestationMismatch(
-                "attested guard coverage but the verifier disproves it".into(),
-            ));
+        if self.attestation.guards_covered {
+            // The coverage claim is audited by the *independent*
+            // translation validator against the attested obligation
+            // ledger: every optimizer elision must be re-derivable from
+            // the shipped IR alone. An unparseable ledger, an unfounded
+            // obligation, or an unproven access all refuse the module.
+            let ledger = kop_analysis::ObligationLedger::parse(&self.attestation.obligations)
+                .map_err(|e| {
+                    SigningError::AttestationMismatch(format!("obligation ledger invalid: {e}"))
+                })?;
+            let report = kop_analysis::validate_module(&module, &ledger);
+            if !report.is_clean() {
+                return Err(SigningError::AttestationMismatch(format!(
+                    "attested guard coverage but the validator disproves it:\n{}",
+                    report.summary()
+                )));
+            }
         }
         let sites = kop_trace::assign_guard_sites(&module);
         if sites.len() as u64 != self.attestation.guard_sites {
@@ -212,6 +225,7 @@ impl SignedModule {
         out.extend_from_slice(&a.guard_sites.to_le_bytes());
         put_str(&mut out, &a.site_digest);
         put_str(&mut out, &a.compiler_id);
+        put_str(&mut out, &a.obligations);
         put_str(&mut out, &self.ir_text);
         out
     }
@@ -266,6 +280,7 @@ impl SignedModule {
         let guard_sites = get_u64(data, &mut off)?;
         let site_digest = get_str(data, &mut off)?.to_string();
         let compiler_id = get_str(data, &mut off)?.to_string();
+        let obligations = get_str(data, &mut off)?.to_string();
         let ir_text = get_str(data, &mut off)?.to_string();
         if off != data.len() {
             return Err(SigningError::Malformed("trailing bytes".into()));
@@ -285,6 +300,7 @@ impl SignedModule {
                 privileged_calls,
                 privileged_wrapped: flags & 8 != 0,
                 compiler_id,
+                obligations,
             },
             key_id,
             signature,
@@ -434,9 +450,10 @@ entry:
         // Flip a bit in the IR text region (near the end).
         let n = bytes.len();
         bytes[n - 10] ^= 0x40;
-        match SignedModule::from_bytes(&bytes) {
-            Ok(parsed) => assert!(parsed.verify(&[key()]).is_err()),
-            Err(_) => {} // structurally invalid is fine too
+        // Structurally invalid is fine too; a parseable container must
+        // still fail verification.
+        if let Ok(parsed) = SignedModule::from_bytes(&bytes) {
+            assert!(parsed.verify(&[key()]).is_err());
         }
     }
 

@@ -30,6 +30,7 @@ pub mod builder;
 pub mod dom;
 pub mod function;
 pub mod inst;
+pub mod loops;
 pub mod module;
 pub mod parser;
 pub mod printer;
@@ -39,6 +40,7 @@ pub mod verify;
 pub use builder::IrBuilder;
 pub use function::{Block, BlockId, Function, InstId};
 pub use inst::{BinOp, CastOp, IcmpPred, Inst, Terminator, Value};
+pub use loops::{find_counted_loops, CountedLoop};
 pub use module::{ExternDecl, Global, GlobalId, GlobalInit, Module};
 pub use parser::{parse_module, ParseError};
 pub use printer::print_module;

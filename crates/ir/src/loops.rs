@@ -1,0 +1,322 @@
+//! Counted-loop recognition (SCEV-lite trip counts).
+//!
+//! A *counted loop* is the canonical shape front-ends emit for
+//! `for (i = 0; i < n; i++)`:
+//!
+//! ```text
+//! preheader:                       ; single successor: the header
+//!   br %head
+//! head:
+//!   %i = phi i64 [ 0, %preheader ], [ %i.next, %latch ]
+//!   %c = icmp ult i64 %i, %n       ; %n loop-invariant
+//!   condbr i1 %c, %body..., %exit  ; true edge into the loop, false out
+//! ...body...:
+//!   %i.next = add i64 %i, 1
+//!   br %head
+//! ```
+//!
+//! Recognizing this shape yields a symbolic trip count (`%n`) and the
+//! guarantee that the induction variable is in `[0, n)` whenever any
+//! non-header loop block executes — the foundation both for the
+//! compiler's `RangeCoalescing` pass (replace per-iteration element
+//! guards with one `[base, base + stride·n)` range guard) and for the
+//! independent translation validator, which re-derives the same facts
+//! when auditing a range obligation. Keeping the recognizer here in
+//! `kop-ir` (like [`crate::dom`]) lets both sides use it without the
+//! validator depending on any optimizer code.
+
+use std::collections::BTreeSet;
+
+use crate::dom::{natural_loops, DomTree};
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{BinOp, IcmpPred, Inst, Terminator, Value};
+use crate::types::Type;
+
+/// A recognized counted loop: `for (iv = 0; iv <u bound; iv++)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountedLoop {
+    /// Loop header (contains the induction phi and the bound check).
+    pub header: BlockId,
+    /// The unique edge into the loop from outside; terminates with an
+    /// unconditional branch to the header, so code placed at its end runs
+    /// exactly once, immediately before the loop.
+    pub preheader: BlockId,
+    /// Source of the back edge.
+    pub latch: BlockId,
+    /// All blocks of the natural loop (header and latch included).
+    pub body: BTreeSet<BlockId>,
+    /// The induction phi: `phi i64 [ 0, preheader ], [ iv_next, latch ]`.
+    pub iv: InstId,
+    /// The increment: `add i64 iv, 1`.
+    pub iv_next: InstId,
+    /// The `icmp ult i64 iv, bound` bound check in the header.
+    pub cond: InstId,
+    /// The loop-invariant trip count.
+    pub bound: Value,
+    /// The false-edge target of the header branch (outside the loop).
+    pub exit: BlockId,
+}
+
+impl CountedLoop {
+    /// Whether `v` is computed inside the loop (and therefore varies per
+    /// iteration). Constants, arguments, and globals are invariant.
+    pub fn varies(&self, f: &Function, v: &Value) -> bool {
+        match v {
+            Value::Inst(id) => self.body.iter().any(|&b| f.block(b).insts.contains(id)),
+            _ => false,
+        }
+    }
+
+    /// Whether `b` is a loop block in which the induction variable is
+    /// known to be in `[0, bound)` — every block of the body except the
+    /// header itself (header instructions also run on the final,
+    /// bound-failing iteration).
+    pub fn iv_bounded_in(&self, b: BlockId) -> bool {
+        b != self.header && self.body.contains(&b)
+    }
+}
+
+/// Recognize every counted loop in `f`.
+///
+/// Conservative by construction: a natural loop that deviates from the
+/// canonical shape in any way (multiple back edges, a conditional
+/// preheader, a non-`ult` bound, a loop-varying bound, a stride other
+/// than 1, side entries into the body) is simply not reported.
+pub fn find_counted_loops(f: &Function, dom: &DomTree) -> Vec<CountedLoop> {
+    let loops = natural_loops(f, dom);
+    let preds = f.predecessors();
+    let mut found = Vec::new();
+
+    for l in &loops {
+        // A unique back edge: no other natural loop shares this header.
+        if loops.iter().filter(|o| o.header == l.header).count() != 1 {
+            continue;
+        }
+        // Header predecessors: exactly the latch plus one outside block.
+        let hp = &preds[l.header.0 as usize];
+        if hp.len() != 2 {
+            continue;
+        }
+        let Some(&preheader) = hp.iter().find(|&&p| p != l.latch) else {
+            continue;
+        };
+        if l.body.contains(&preheader) || !dom.is_reachable(preheader) {
+            continue;
+        }
+        // The preheader must fall through unconditionally: code appended
+        // there runs iff the loop is about to be entered.
+        if !matches!(f.block(preheader).term, Some(Terminator::Br(b)) if b == l.header) {
+            continue;
+        }
+        // No side entries: every non-header loop block is fed only from
+        // inside the loop, so the header's bound check guards all of them.
+        let side_entry = l
+            .body
+            .iter()
+            .any(|&b| b != l.header && preds[b.0 as usize].iter().any(|p| !l.body.contains(p)));
+        if side_entry {
+            continue;
+        }
+
+        // Find the induction phi in the header.
+        let header_insts = &f.block(l.header).insts;
+        let Some((iv, iv_next)) = header_insts.iter().find_map(|&iid| {
+            if let Inst::Phi {
+                ty: Type::I64,
+                incomings,
+            } = f.inst(iid)
+            {
+                if incomings.len() == 2 {
+                    let from_pre = incomings.iter().find(|(b, _)| *b == preheader);
+                    let from_latch = incomings.iter().find(|(b, _)| *b == l.latch);
+                    if let (Some((_, Value::ConstInt(_, 0))), Some((_, Value::Inst(next)))) =
+                        (from_pre, from_latch)
+                    {
+                        return Some((iid, *next));
+                    }
+                }
+            }
+            None
+        }) else {
+            continue;
+        };
+        // The increment must be `add i64 iv, 1` somewhere in the loop.
+        let incr_ok = matches!(
+            f.inst(iv_next),
+            Inst::Bin { op: BinOp::Add, ty: Type::I64, lhs: Value::Inst(p), rhs: Value::ConstInt(_, 1) } if *p == iv
+        ) && l.body.iter().any(|&b| f.block(b).insts.contains(&iv_next));
+        if !incr_ok {
+            continue;
+        }
+        // The bound check `icmp ult i64 iv, bound` in the header, with a
+        // loop-invariant bound, feeding the header's conditional branch.
+        let Some(Terminator::CondBr {
+            cond: Value::Inst(cond),
+            then_blk,
+            else_blk,
+        }) = f.block(l.header).term.clone()
+        else {
+            continue;
+        };
+        if !header_insts.contains(&cond) {
+            continue;
+        }
+        let Inst::Icmp {
+            pred: IcmpPred::Ult,
+            ty: Type::I64,
+            lhs: Value::Inst(lhs),
+            rhs: bound,
+        } = f.inst(cond).clone()
+        else {
+            continue;
+        };
+        if lhs != iv {
+            continue;
+        }
+        // True edge enters the loop, false edge leaves it.
+        if !l.body.contains(&then_blk) || l.body.contains(&else_blk) {
+            continue;
+        }
+        let invariant = match &bound {
+            Value::Inst(id) => !l.body.iter().any(|&b| f.block(b).insts.contains(id)),
+            _ => true,
+        };
+        if !invariant {
+            continue;
+        }
+
+        found.push(CountedLoop {
+            header: l.header,
+            preheader,
+            latch: l.latch,
+            body: l.body.clone(),
+            iv,
+            iv_next,
+            cond,
+            bound,
+            exit: else_blk,
+        });
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    const CANONICAL: &str = r#"
+module "canon"
+define i64 @sum(ptr %buf, i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 0
+}
+"#;
+
+    #[test]
+    fn recognizes_canonical_counted_loop() {
+        let m = parse_module(CANONICAL).unwrap();
+        let f = m.function("sum").unwrap();
+        let dom = DomTree::compute(f);
+        let loops = find_counted_loops(f, &dom);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, f.block_by_name("head").unwrap());
+        assert_eq!(l.preheader, f.block_by_name("entry").unwrap());
+        assert_eq!(l.latch, f.block_by_name("body").unwrap());
+        assert_eq!(l.exit, f.block_by_name("exit").unwrap());
+        assert_eq!(l.bound, Value::Arg(1));
+        assert_eq!(f.inst_name(l.iv), "i");
+        assert!(l.iv_bounded_in(f.block_by_name("body").unwrap()));
+        assert!(!l.iv_bounded_in(l.header));
+        assert!(!l.varies(f, &Value::Arg(0)));
+        assert!(l.varies(f, &Value::Inst(l.iv_next)));
+    }
+
+    #[test]
+    fn rejects_non_unit_stride() {
+        let src = CANONICAL.replace("add i64 %i, 1", "add i64 %i, 2");
+        let m = parse_module(&src).unwrap();
+        let f = m.function("sum").unwrap();
+        let dom = DomTree::compute(f);
+        assert!(find_counted_loops(f, &dom).is_empty());
+    }
+
+    #[test]
+    fn rejects_non_ult_bound() {
+        let src = CANONICAL.replace("icmp ult", "icmp ne");
+        let m = parse_module(&src).unwrap();
+        let f = m.function("sum").unwrap();
+        let dom = DomTree::compute(f);
+        assert!(find_counted_loops(f, &dom).is_empty());
+    }
+
+    #[test]
+    fn rejects_nonzero_start() {
+        let src = CANONICAL.replace("phi i64 [ 0, %entry ]", "phi i64 [ 4, %entry ]");
+        let m = parse_module(&src).unwrap();
+        let f = m.function("sum").unwrap();
+        let dom = DomTree::compute(f);
+        assert!(find_counted_loops(f, &dom).is_empty());
+    }
+
+    #[test]
+    fn rejects_loop_varying_bound() {
+        let src = r#"
+module "vary"
+define i64 @f(ptr %buf) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %n = load i64, ptr %buf
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 0
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let dom = DomTree::compute(f);
+        assert!(find_counted_loops(f, &dom).is_empty());
+    }
+
+    #[test]
+    fn rejects_conditional_preheader() {
+        let src = r#"
+module "condpre"
+define i64 @f(i64 %n, i1 %go) {
+entry:
+  condbr i1 %go, %head, %exit
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp ult i64 %i, %n
+  condbr i1 %c, %body, %exit
+body:
+  %i.next = add i64 %i, 1
+  br %head
+exit:
+  ret i64 0
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let dom = DomTree::compute(f);
+        assert!(find_counted_loops(f, &dom).is_empty());
+    }
+}

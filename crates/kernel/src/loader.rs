@@ -153,13 +153,27 @@ impl Kernel {
 
         // 2b. Static guard-coverage proof (paper §2: the guarding process
         // "can be validated by the kernel when the transformed module is
-        // inserted"). The kernel re-runs the dataflow verifier over the
-        // shipped IR, so a guard-stripped module is refused even with a
-        // valid signature — the loader *proves* coverage, it does not
-        // trust the attestation bit.
+        // inserted"). The kernel runs the independent translation
+        // validator over the shipped IR and the attested obligation
+        // ledger: full coverage is re-proven *and* every optimizer
+        // elision is re-derived from scratch, so a guard-stripped module
+        // — or an optimized one whose ledger it cannot re-establish — is
+        // refused even with a valid signature. The loader *proves* the
+        // claims, it does not trust the attestation bits.
         let mut statically_proven = false;
         if verification.runs_static() {
-            let report = kop_analysis::verify_guard_coverage(&ir);
+            let ledger =
+                match kop_analysis::ObligationLedger::parse(&signed.attestation.obligations) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        let err = KernelError::StaticVerification(format!(
+                            "obligation ledger invalid: {e}"
+                        ));
+                        self.printk(&format!("insmod {}: {err}", ir.name));
+                        return Err(err);
+                    }
+                };
+            let report = kop_analysis::validate_module(&ir, &ledger);
             if !report.is_clean() {
                 let first = report
                     .errors()
@@ -455,8 +469,7 @@ entry:
         // A loop module whose guards get hoisted (non-strict layout).
         let src = r#"
 module "opt"
-global @g : i64 = 0
-define void @f(i64 %n) {
+define void @f(ptr %buf, i64 %n) {
 entry:
   br %head
 head:
@@ -464,7 +477,8 @@ head:
   %c = icmp ult i64 %i, %n
   condbr i1 %c, %body, %exit
 body:
-  %v = load i64, ptr @g
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
   %i2 = add i64 %i, 1
   br %head
 exit:
@@ -575,8 +589,7 @@ entry:
         // Hoisted guards break the strict layout but still prove covered.
         let src = r#"
 module "opt"
-global @g : i64 = 0
-define void @f(i64 %n) {
+define void @f(ptr %buf, i64 %n) {
 entry:
   br %head
 head:
@@ -584,7 +597,8 @@ head:
   %c = icmp ult i64 %i, %n
   condbr i1 %c, %body, %exit
 body:
-  %v = load i64, ptr @g
+  %p = gep i64, ptr %buf, i64 %i
+  %v = load i64, ptr %p
   %i2 = add i64 %i, 1
   br %head
 exit:

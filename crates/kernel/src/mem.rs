@@ -270,7 +270,7 @@ mod tests {
 
     #[test]
     fn zero_fill_on_first_read() {
-        let mut m = SimMemory::new();
+        let m = SimMemory::new();
         assert_eq!(m.read_uint(VAddr(0x5000), Size(8)).unwrap(), 0);
         assert_eq!(m.resident_pages(), 0, "reads must not materialize pages");
     }

@@ -462,6 +462,16 @@ impl PolicyModule {
         self.log.dropped()
     }
 
+    /// Whether this access is the vacuous empty interval a coalesced
+    /// range guard produces on a zero-trip loop (`n == 0` ⇒ byte count
+    /// 0): nothing will be touched, so nothing needs permission. Intent
+    /// flags must still be present — a size-0 *and* flag-less check
+    /// remains malformed.
+    #[inline]
+    fn vacuous(&self, size: Size, flags: AccessFlags) -> bool {
+        size.raw() == 0 && !flags.is_empty()
+    }
+
     /// Reject malformed accesses before any lookup. Returns the violation
     /// to report, if any.
     #[inline]
@@ -528,6 +538,10 @@ impl PolicyModule {
     /// counter updates (the denial paths additionally take the cold log
     /// mutex).
     pub fn check(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+        if self.vacuous(size, flags) {
+            self.stats.record_permitted();
+            return Ok(());
+        }
         if let Some(v) = self.precheck(addr, size, flags) {
             self.stats.record_malformed();
             self.log.push(v);
@@ -544,6 +558,13 @@ impl PolicyModule {
     /// and reports which region granted a permit (plus the generation it
     /// was observed under) so the caller may memoize it.
     pub fn check_classified(&self, addr: VAddr, size: Size, flags: AccessFlags) -> ClassifiedCheck {
+        if self.vacuous(size, flags) {
+            self.stats.record_permitted();
+            return ClassifiedCheck {
+                result: Ok(()),
+                grant: None, // empty interval: nothing to memoize
+            };
+        }
         if let Some(v) = self.precheck(addr, size, flags) {
             self.stats.record_malformed();
             self.log.push(v);
@@ -649,17 +670,30 @@ mod tests {
         let pm = PolicyModule::new();
         pm.set_default_action(DefaultAction::Allow);
         let v = pm
-            .check(VAddr(0x1000), Size(0), AccessFlags::READ)
-            .unwrap_err();
-        assert_eq!(v.kind, ViolationKind::MalformedAccess);
-        let v = pm
             .check(VAddr(0x1000), Size(8), AccessFlags::NONE)
             .unwrap_err();
+        assert_eq!(v.kind, ViolationKind::MalformedAccess);
+        let v = pm.check(VAddr(0), Size(0), AccessFlags::NONE).unwrap_err();
         assert_eq!(v.kind, ViolationKind::MalformedAccess);
         let v = pm
             .check(VAddr(u64::MAX), Size(2), AccessFlags::READ)
             .unwrap_err();
         assert_eq!(v.kind, ViolationKind::AddressOverflow);
+    }
+
+    #[test]
+    fn zero_size_guard_with_intent_is_vacuously_allowed() {
+        // A coalesced range guard over a zero-trip loop checks
+        // `[base, base)` — the empty interval. Even under default-deny
+        // with no regions at all, nothing will be accessed, so the check
+        // passes; the flag-less variant above stays malformed.
+        let pm = PolicyModule::new(); // default deny, empty policy
+        assert!(pm.check(VAddr(0x1000), Size(0), AccessFlags::READ).is_ok());
+        assert!(pm.check(VAddr(0x1000), Size(0), AccessFlags::RW).is_ok());
+        let c = pm.check_classified(VAddr(0x1000), Size(0), AccessFlags::READ);
+        assert!(c.result.is_ok());
+        assert!(c.grant.is_none(), "vacuous permits are not memoizable");
+        assert_eq!(pm.stats().permitted, 3);
     }
 
     #[test]

@@ -304,8 +304,11 @@ fn malformed_access_kinds_survive_concurrency() {
     let pm = PolicyModule::new();
     for path in [CheckPath::Snapshot, CheckPath::MutexStore] {
         pm.set_check_path(path);
+        // Size-0 with intent flags is the vacuous range-guard case —
+        // allowed. Only the flag-less shape is malformed.
+        assert!(pm.check(VAddr(0x1000), Size(0), AccessFlags::READ).is_ok());
         let v = pm
-            .check(VAddr(0x1000), Size(0), AccessFlags::READ)
+            .check(VAddr(0x1000), Size(0), AccessFlags::NONE)
             .unwrap_err();
         assert_eq!(v.kind, ViolationKind::MalformedAccess);
         let v = pm

@@ -166,6 +166,60 @@ fn ablation_opt_reduces_dynamic_guards() {
 }
 
 #[test]
+fn opt_figure_reduces_guards_with_identical_observables() {
+    // Byte-identity of ring/frame/stats memory and exact per-site trace
+    // reconciliation are asserted unconditionally inside opt(); here we
+    // pin the figure's shape and the headline arithmetic.
+    let fig = figures::opt();
+    assert_eq!(fig.id, "opt");
+
+    // Four timed configurations: unopt/opt x tree/bytecode.
+    let ns = fig.series("ns_per_packet").unwrap();
+    assert_eq!(ns.points.len(), 4);
+    assert!(ns.points.iter().all(|&(_, y)| y > 0.0));
+    let gpp_series = fig.series("guards_per_packet").unwrap();
+    assert_eq!(gpp_series.points.len(), 2);
+
+    // The TX path sheds guards without shedding accesses.
+    let unopt = fig.headline("guards_per_packet_unopt").unwrap();
+    let opt = fig.headline("guards_per_packet_opt").unwrap();
+    assert_eq!(unopt, 10.0, "mini-e1000e TX path is 10 guarded accesses");
+    assert!(opt < unopt, "optimizer must shed TX-path guards: {opt}");
+    let reduction = fig.headline("guards_per_packet_reduction").unwrap();
+    assert!(
+        (reduction - (1.0 - opt / unopt)).abs() < 1e-9,
+        "reduction headline must reconcile: {reduction}"
+    );
+    assert!(reduction > 0.0 && reduction < 1.0);
+
+    // Static guard count shrinks too (elision + coalescing).
+    let s_unopt = fig.headline("static_guards_unopt").unwrap();
+    let s_opt = fig.headline("static_guards_opt").unwrap();
+    assert!(s_opt < s_unopt, "static: {s_opt} vs {s_unopt}");
+
+    // The loop-heavy workload shows the range coalescer's full effect.
+    let w_unopt = fig.headline("workload_dynamic_guards_unopt").unwrap();
+    let w_opt = fig.headline("workload_dynamic_guards_opt").unwrap();
+    assert!(
+        w_opt < w_unopt / 2.0,
+        "range coalescing should halve workload guards: {w_opt} vs {w_unopt}"
+    );
+
+    // All four ns/pkt headlines present and positive.
+    for h in [
+        "tree_unopt_ns_pkt",
+        "tree_opt_ns_pkt",
+        "bytecode_unopt_ns_pkt",
+        "bytecode_opt_ns_pkt",
+    ] {
+        assert!(fig.headline(h).unwrap() > 0.0, "{h}");
+    }
+    let json = fig.render_json();
+    assert!(json.contains("\"id\": \"opt\""));
+    assert!(json.contains("\"guards_per_packet_reduction\""));
+}
+
+#[test]
 fn resilience_degrades_smoothly_and_guards_do_not_impede_recovery() {
     let figs = figures::resilience();
     let fig = &figs[0];

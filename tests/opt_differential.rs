@@ -1,0 +1,312 @@
+//! Differential property tests for the guard-optimizing tier.
+//!
+//! For every random KIR program, the unoptimized carat build and the
+//! optimized build (cross-block redundant-guard elimination + range
+//! coalescing) must be observationally equivalent on **both** execution
+//! engines:
+//!
+//! * allow-all policy — identical results, identical memory and global
+//!   effects, identical dynamic access counts, and the optimized build
+//!   executes **no more** guards than the unoptimized one;
+//! * deny-all policy with `ViolationAction::Panic` — identical violation
+//!   *verdicts* (both builds panic, or both succeed). Site-for-site
+//!   equality is deliberately not required: flag widening and range
+//!   hoisting may surface the violation at an earlier guard, but they
+//!   must never invent or lose one.
+//!
+//! The generator is biased toward shapes the optimizer actually fires
+//! on: repeated `@g` traffic (elision + read→write flag widening) and
+//! induction-indexed element walks (range coalescing).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use carat_kop::compiler::{compile_module, CompileOptions, CompilerKey};
+use carat_kop::interp::{Engine, ExecStats, Interp};
+use carat_kop::ir::{verify_module, BinOp, GlobalInit, IcmpPred, IrBuilder, Type, Value};
+use carat_kop::kernel::{Kernel, KernelConfig};
+use carat_kop::policy::{DefaultAction, PolicyModule, ViolationAction};
+
+/// One step of a random loop body over 4 registers, an 8-slot scratch
+/// buffer, a global `@g`, and the loop induction variable `i`.
+#[derive(Clone, Debug)]
+enum Op {
+    /// dst = a <op> b
+    Arith(u8, BinOp, u8, u8),
+    /// dst = buf[slot] (fresh gep each time — never elidable)
+    SlotLoad(u8, u8),
+    /// buf[slot] = src
+    SlotStore(u8, u8),
+    /// dst = buf[i] (induction-indexed — range-coalescable)
+    WalkLoad(u8),
+    /// buf[i] = src
+    WalkStore(u8),
+    /// g = g + src (same-SSA-pointer load+store — elide/widen fodder)
+    BumpGlobal(u8),
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let reg = 0u8..4;
+    let slot = 0u8..8;
+    prop_oneof![
+        (reg.clone(), arb_binop(), reg.clone(), reg.clone())
+            .prop_map(|(d, o, a, b)| Op::Arith(d, o, a, b)),
+        (reg.clone(), slot.clone()).prop_map(|(d, s)| Op::SlotLoad(d, s)),
+        (slot, reg.clone()).prop_map(|(s, r)| Op::SlotStore(s, r)),
+        reg.clone().prop_map(Op::WalkLoad),
+        reg.clone().prop_map(Op::WalkStore),
+        reg.prop_map(Op::BumpGlobal),
+    ]
+}
+
+/// `run(ptr buf, i64 seed)`: execute `ops` in a counted loop of `loop_n`
+/// iterations, then fold the registers into the return value. The loop
+/// is the canonical counted shape the range planner recognizes.
+fn build_program(ops: &[Op], loop_n: u64) -> carat_kop::ir::Module {
+    let mut b = IrBuilder::new("optdiff");
+    b.global("g", Type::I64, GlobalInit::Int(1));
+    let mut f = b.function("run", vec![Type::Ptr, Type::I64], Type::I64);
+    f.name_params(&["buf", "seed"]);
+    let entry = f.block("entry");
+    let head = f.block("head");
+    let body = f.block("body");
+    let exit = f.block("exit");
+
+    f.switch_to(entry);
+    f.br(head);
+
+    f.switch_to(head);
+    let i = f.phi(Type::I64, vec![(entry, Value::i64(0))]);
+    let regs_phi: Vec<Value> = (0..4)
+        .map(|k| {
+            f.phi(
+                Type::I64,
+                vec![(entry, Value::ConstInt(Type::I64, 0xace1 + k as u64))],
+            )
+        })
+        .collect();
+    let cond = f.icmp(IcmpPred::Ult, Type::I64, i.clone(), Value::i64(loop_n));
+    f.condbr(cond, body, exit);
+
+    f.switch_to(body);
+    let mut regs: Vec<Value> = regs_phi.clone();
+    regs[0] = f.add(Type::I64, regs[0].clone(), Value::Arg(1));
+    for op in ops {
+        match op {
+            Op::Arith(d, o, a, b2) => {
+                let v = f.bin(
+                    *o,
+                    Type::I64,
+                    regs[*a as usize].clone(),
+                    regs[*b2 as usize].clone(),
+                );
+                regs[*d as usize] = v;
+            }
+            Op::SlotLoad(d, s) => {
+                let p = f.gep(Type::I64, Value::Arg(0), vec![Value::i64(*s as u64)]);
+                regs[*d as usize] = f.load(Type::I64, p);
+            }
+            Op::SlotStore(s, r) => {
+                let p = f.gep(Type::I64, Value::Arg(0), vec![Value::i64(*s as u64)]);
+                f.store(Type::I64, regs[*r as usize].clone(), p);
+            }
+            Op::WalkLoad(d) => {
+                let p = f.gep(Type::I64, Value::Arg(0), vec![i.clone()]);
+                regs[*d as usize] = f.load(Type::I64, p);
+            }
+            Op::WalkStore(r) => {
+                let p = f.gep(Type::I64, Value::Arg(0), vec![i.clone()]);
+                f.store(Type::I64, regs[*r as usize].clone(), p);
+            }
+            Op::BumpGlobal(r) => {
+                let g = Value::Global("g".into());
+                let old = f.load(Type::I64, g.clone());
+                let new = f.add(Type::I64, old, regs[*r as usize].clone());
+                f.store(Type::I64, new, g);
+            }
+        }
+    }
+    let i_next = f.add(Type::I64, i.clone(), Value::i64(1));
+    f.br(head);
+
+    // Patch the loop-carried phi incomings.
+    let func = f.raw();
+    let patch = |func: &mut carat_kop::ir::Function, phi: &Value, val: Value| {
+        if let Value::Inst(id) = phi {
+            if let carat_kop::ir::Inst::Phi { incomings, .. } = func.inst_mut(*id) {
+                incomings.push((body, val));
+            }
+        }
+    };
+    patch(func, &i, i_next);
+    for (k, phi) in regs_phi.iter().enumerate() {
+        patch(func, phi, regs[k].clone());
+    }
+
+    f.switch_to(exit);
+    // No trailing memory access here: a program whose ops touch no
+    // memory must run violation-free even under deny-all.
+    let mut acc = regs_phi[0].clone();
+    for r in &regs_phi[1..] {
+        acc = f.bin(BinOp::Xor, Type::I64, acc, r.clone());
+    }
+    f.ret(Some(acc));
+    f.finish();
+    b.finish()
+}
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "proptest")
+}
+
+/// Everything one run observably produces.
+#[derive(Debug, PartialEq)]
+struct Obs {
+    result: Result<Option<u64>, String>,
+    stats: ExecStats,
+    mem: Vec<u8>,
+    global: Vec<u8>,
+}
+
+/// Compile `module` under `opts` and run `@run(buf, seed)` on `engine`.
+/// `deny_panic` selects default-deny + `ViolationAction::Panic` (the
+/// paper's enforcement mode) instead of allow-all.
+fn observe(
+    module: carat_kop::ir::Module,
+    opts: &CompileOptions,
+    seed: u64,
+    engine: Engine,
+    deny_panic: bool,
+) -> Obs {
+    let out = compile_module(module, opts, &key()).expect("compiles");
+    let policy = Arc::new(PolicyModule::new());
+    if deny_panic {
+        policy.set_default_action(DefaultAction::Deny);
+        policy.set_violation_action(ViolationAction::Panic);
+    } else {
+        policy.set_default_action(DefaultAction::Allow);
+    }
+    let mut kernel = Kernel::boot(Arc::clone(&policy), vec![key()], KernelConfig::default());
+    kernel.insmod(&out.signed).expect("loads");
+    let buf = kernel.kmalloc(8 * 8).expect("buf");
+    let global = kernel
+        .module("optdiff")
+        .expect("loaded")
+        .image()
+        .globals
+        .get("g")
+        .copied()
+        .expect("global @g laid out");
+
+    let mut interp = Interp::new(&mut kernel).expect("interp");
+    interp.set_engine(engine);
+    let result = interp
+        .call("optdiff", "run", &[buf.raw(), seed])
+        .map_err(|e| e.to_string());
+    let stats = interp.stats();
+
+    let mut mem = vec![0u8; 64];
+    kernel.mem.read_bytes(buf, &mut mem).expect("read back");
+    let mut gbytes = vec![0u8; 8];
+    kernel.mem.read_bytes(global, &mut gbytes).expect("global");
+    Obs {
+        result,
+        stats,
+        mem,
+        global: gbytes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Allow-all: the optimizer must be invisible in every observable
+    /// except the guard count, which may only shrink.
+    #[test]
+    fn optimized_build_is_invisible_under_allow_all(
+        ops in proptest::collection::vec(arb_op(), 1..20),
+        loop_n in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let module = build_program(&ops, loop_n);
+        verify_module(&module).expect("generated program verifies");
+
+        for engine in [Engine::Tree, Engine::Bytecode] {
+            let unopt = observe(
+                module.clone(), &CompileOptions::carat_kop(), seed, engine, false,
+            );
+            let opt = observe(
+                module.clone(), &CompileOptions::optimized(), seed, engine, false,
+            );
+
+            prop_assert!(unopt.result.is_ok());
+            prop_assert_eq!(&unopt.result, &opt.result);
+            prop_assert_eq!(&unopt.mem, &opt.mem);
+            prop_assert_eq!(&unopt.global, &opt.global);
+
+            // The optimizer rewrites guards, never accesses.
+            prop_assert_eq!(unopt.stats.mem_accesses, opt.stats.mem_accesses);
+            // Unoptimized carat: one guard per access. Optimized: never
+            // more than that.
+            prop_assert_eq!(unopt.stats.guards, unopt.stats.mem_accesses);
+            prop_assert!(
+                opt.stats.guards <= unopt.stats.guards,
+                "optimizer executed more guards ({} > {})",
+                opt.stats.guards, unopt.stats.guards,
+            );
+        }
+
+        // And the two engines agree with each other on the optimized
+        // build, byte for byte.
+        let tree = observe(
+            module.clone(), &CompileOptions::optimized(), seed, Engine::Tree, false,
+        );
+        let vm = observe(
+            module, &CompileOptions::optimized(), seed, Engine::Bytecode, false,
+        );
+        prop_assert_eq!(&tree, &vm);
+    }
+
+    /// Deny-all + Panic: elision, widening, and range hoisting may move
+    /// *where* the first violation fires, but never *whether* one fires.
+    #[test]
+    fn optimized_build_agrees_on_violation_verdicts_under_deny_panic(
+        ops in proptest::collection::vec(arb_op(), 1..20),
+        loop_n in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let module = build_program(&ops, loop_n);
+
+        let mut verdicts = Vec::new();
+        for opts in [CompileOptions::carat_kop(), CompileOptions::optimized()] {
+            let tree = observe(module.clone(), &opts, seed, Engine::Tree, true);
+            let vm = observe(module.clone(), &opts, seed, Engine::Bytecode, true);
+            // Engines agree on everything, including the panic message.
+            prop_assert_eq!(&tree, &vm);
+            // No access may slip past a denying policy: a violating run
+            // panics before its first access commits.
+            if tree.result.is_err() {
+                prop_assert_eq!(tree.stats.mem_accesses, 0);
+                prop_assert_eq!(&tree.mem, &vec![0u8; 64]);
+            }
+            verdicts.push(tree.result.is_ok());
+        }
+        prop_assert_eq!(
+            verdicts[0], verdicts[1],
+            "builds disagree on whether the program violates (unopt ok={}, opt ok={})",
+            verdicts[0], verdicts[1],
+        );
+    }
+}
