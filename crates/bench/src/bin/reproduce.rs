@@ -1,16 +1,16 @@
 //! `reproduce` — regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|all]
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|soak|all]
 //!           [--csv]        # raw series to stdout instead of the report
 //!           [--out DIR]    # additionally write one CSV per figure into DIR
 //!           [--quick]      # tiny trial counts (CI smoke); not paper-scale
 //! ```
 //!
-//! The `smp`, `exec`, and `opt` figures additionally write
+//! The `smp`, `exec`, `opt`, and `soak` figures additionally write
 //! machine-readable `BENCH_smp.json` / `BENCH_exec.json` /
-//! `BENCH_opt.json` (into `--out DIR` when given, else the current
-//! directory).
+//! `BENCH_opt.json` / `BENCH_soak.json` (into `--out DIR` when given,
+//! else the current directory).
 
 use kop_bench::figures;
 
@@ -60,11 +60,12 @@ fn main() {
         "trace" => vec![figures::trace()],
         "exec" => vec![figures::exec()],
         "smp" => vec![figures::smp()],
+        "soak" => vec![figures::soak()],
         "all" => figures::all_figures(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|all] [--csv] [--quick]"
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|soak|all] [--csv] [--quick]"
             );
             std::process::exit(2);
         }
@@ -84,7 +85,7 @@ fn main() {
             std::fs::write(&path, fig.render_csv()).expect("write figure CSV");
             eprintln!("wrote {}", path.display());
         }
-        if fig.id == "smp" || fig.id == "exec" || fig.id == "opt" {
+        if fig.id == "smp" || fig.id == "exec" || fig.id == "opt" || fig.id == "soak" {
             // Machine-readable results for CI consumers and dashboards.
             let dir = out_dir.as_deref().unwrap_or(".");
             let path = std::path::Path::new(dir).join(format!("BENCH_{}.json", fig.id));

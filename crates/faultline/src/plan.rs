@@ -116,11 +116,16 @@ pub struct FaultPlan {
     /// Policy seam: a check is delayed (costed at
     /// [`crate::DELAY_CYCLES`]). Counted per check.
     pub check_delay: FaultPoint,
+    /// Harness seam: the module under supervision misbehaves (probes a
+    /// forbidden address) this round, driving it toward quarantine and
+    /// the supervisor toward a restart. Counted per supervision round by
+    /// the soak harness — no wrapper consumes it.
+    pub restart_storm: FaultPoint,
 }
 
 /// Distinct per-point seed offsets so sites with probability triggers
 /// draw independent streams from the same plan seed.
-const POINT_SALTS: [u64; 9] = [
+const POINT_SALTS: [u64; 10] = [
     0x9e37_79b9_7f4a_7c15,
     0xbf58_476d_1ce4_e5b9,
     0x94d0_49bb_1331_11eb,
@@ -130,6 +135,7 @@ const POINT_SALTS: [u64; 9] = [
     0xfedc_ba98_7654_3210,
     0x0f0f_0f0f_f0f0_f0f0,
     0x3c6e_f372_fe94_f82b,
+    0x1f83_d9ab_fb41_bd6b,
 ];
 
 impl FaultPlan {
@@ -148,6 +154,7 @@ impl FaultPlan {
             read_corrupt: point(),
             spurious_deny: point(),
             check_delay: point(),
+            restart_storm: point(),
         }
     }
 
@@ -211,6 +218,13 @@ impl FaultPlan {
     /// Enable guard-check delays with the given trigger.
     pub fn with_check_delay(mut self, t: Trigger) -> FaultPlan {
         Self::retrigger(&mut self.check_delay, t);
+        self
+    }
+
+    /// Enable supervised-module misbehaviour storms with the given
+    /// trigger.
+    pub fn with_restart_storm(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.restart_storm, t);
         self
     }
 }

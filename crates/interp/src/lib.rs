@@ -151,6 +151,42 @@ impl<'k> Interp<'k> {
         })
     }
 
+    /// Create an interpreter on a caller-owned module stack of
+    /// [`Interp::stack_size`] bytes. The kernel heap is a bump allocator,
+    /// so long-lived harnesses that construct many short-lived
+    /// interpreters (one per supervision round, say) must allocate the
+    /// stack once — via one [`Interp::new`] and [`Interp::stack_base`] —
+    /// and thread it through here instead of kmallocing per round.
+    pub fn with_stack(kernel: &'k mut Kernel, stack_base: VAddr) -> Interp<'k> {
+        Interp {
+            kernel,
+            fuel: DEFAULT_FUEL,
+            stack_base,
+            stack_size: STACK_SIZE,
+            stack_cursor: 0,
+            stats: ExecStats::default(),
+            squash_next: false,
+            squash_intrinsic: false,
+            cur_args: Vec::new(),
+            depth: 0,
+            engine: Engine::from_env(),
+            vm_scratch: Vec::new(),
+            vm_frames: Vec::new(),
+            vm_args_pool: Vec::new(),
+        }
+    }
+
+    /// Base of this interpreter's module stack (pass to
+    /// [`Interp::with_stack`] to reuse the allocation).
+    pub fn stack_base(&self) -> VAddr {
+        self.stack_base
+    }
+
+    /// Size in bytes of the module stack backing an interpreter.
+    pub fn stack_size(&self) -> u64 {
+        self.stack_size
+    }
+
     /// Limit the number of executed instructions (tests / runaway modules).
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;

@@ -10,6 +10,7 @@ use kop_policy::{PolicyCmd, PolicyModule};
 use kop_trace::{Producer, TraceEvent, Tracer};
 
 use crate::chardev::DevRegistry;
+use crate::lifecycle::LifecycleState;
 use crate::loader::LoadedModule;
 use crate::mem::SimMemory;
 use crate::symbols::{Symbol, SymbolKind, SymbolTable, Visibility};
@@ -139,6 +140,12 @@ pub struct Kernel {
     violations: std::collections::BTreeMap<String, u32>,
     /// Modules force-unloaded after exhausting their violation budget.
     quarantined: Vec<QuarantineRecord>,
+    /// Dispatch aliases: calls addressed to the alias resolve to the
+    /// target instance (live upgrade swaps point the stable name at the
+    /// new version here).
+    aliases: std::collections::BTreeMap<String, String>,
+    /// Operator-visible lifecycle registry, shared with `/dev/trace`.
+    lifecycle: Arc<LifecycleState>,
     /// The kernel-wide trace instance (always present, disabled until
     /// `echo 1 > tracing_on` via [`TRACE_DEV`] or [`Tracer::set_enabled`]).
     tracer: Arc<Tracer>,
@@ -153,6 +160,14 @@ impl Kernel {
         trusted_keys: Vec<CompilerKey>,
         config: KernelConfig,
     ) -> Kernel {
+        // Enforce the documented `violation_budget ≥ 1` invariant at the
+        // boundary: a budget of 0 could never charge the violation that
+        // triggers the unload, so it is clamped (and logged below).
+        let mut config = config;
+        let budget_clamped = config.violation_budget == 0;
+        if budget_clamped {
+            config.violation_budget = 1;
+        }
         let mut devices = DevRegistry::new();
         let pm = Arc::clone(&policy);
         devices.register(
@@ -168,12 +183,24 @@ impl Kernel {
         // registry from boot, so `counters` shows them alongside driver
         // counters without a second stats path.
         policy.register_counters(tracer.counters());
+        let lifecycle = LifecycleState::new();
         let tc = Arc::clone(&tracer);
+        let lc = Arc::clone(&lifecycle);
         devices.register(
             TRACE_DEV,
             Box::new(move |req| {
                 let text = std::str::from_utf8(req)
                     .map_err(|_| KernelError::BadIoctl("trace request not utf-8".into()))?;
+                // The lifecycle command is answered from the shared
+                // registry; everything else is tracefs business.
+                let mut parts = text.split_whitespace();
+                if parts.next() == Some("lifecycle") {
+                    let reply = match parts.next() {
+                        Some(module) => lc.render_module(module),
+                        None => lc.render(),
+                    };
+                    return Ok(reply.into_bytes());
+                }
                 kop_trace::control::handle(&tc, text)
                     .map(String::into_bytes)
                     .map_err(KernelError::BadIoctl)
@@ -246,10 +273,15 @@ impl Kernel {
             queues: Vec::new(),
             violations: std::collections::BTreeMap::new(),
             quarantined: Vec::new(),
+            aliases: std::collections::BTreeMap::new(),
+            lifecycle,
             tracer,
         };
         kernel.printk("CARAT KOP simulated kernel booted");
         kernel.printk(&format!("policy store: {}", kernel.policy.store_kind()));
+        if budget_clamped {
+            kernel.printk("carat: violation_budget 0 is invalid, clamped to 1");
+        }
         kernel
     }
 
@@ -270,6 +302,34 @@ impl Kernel {
     /// load per emission site until enabled.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// The operator-visible lifecycle registry (also served by the
+    /// `/dev/trace` `lifecycle` command).
+    pub fn lifecycle(&self) -> &Arc<LifecycleState> {
+        &self.lifecycle
+    }
+
+    /// Point dispatch for `alias` at the loaded instance `target`: calls
+    /// addressed to `alias` resolve to `target` from now on. The live
+    /// upgrade's swap step — one map write, after the policy epoch bump.
+    pub fn set_dispatch_alias(&mut self, alias: &str, target: &str) -> KernelResult<()> {
+        if self.modules.iter().all(|m| m.name != target) {
+            return Err(KernelError::NoSuchModule(target.to_string()));
+        }
+        self.printk(&format!("carat: dispatch '{alias}' -> '{target}'"));
+        self.aliases.insert(alias.to_string(), target.to_string());
+        Ok(())
+    }
+
+    /// Remove a dispatch alias; returns whether one existed.
+    pub fn clear_dispatch_alias(&mut self, alias: &str) -> bool {
+        self.aliases.remove(alias).is_some()
+    }
+
+    /// The instance `name` currently dispatches to, if aliased.
+    pub fn dispatch_target(&self, name: &str) -> Option<&str> {
+        self.aliases.get(name).map(String::as_str)
     }
 
     /// Install a per-module policy override: guards executed by `module`
@@ -373,11 +433,13 @@ impl Kernel {
             self.symbols.remove_provider(module);
         }
         self.clear_module_policy(module);
-        self.quarantined.push(QuarantineRecord {
+        let record = QuarantineRecord {
             module: module.to_string(),
             violations: count,
             last: v,
-        });
+        };
+        self.lifecycle.note_quarantine(&record);
+        self.quarantined.push(record);
         self.printk(&format!(
             "carat: module '{module}' unloaded; kernel continues"
         ));
@@ -407,6 +469,13 @@ impl Kernel {
     /// Guard violations charged to `module` so far.
     pub fn violation_count(&self, module: &str) -> u32 {
         self.violations.get(module).copied().unwrap_or(0)
+    }
+
+    /// Zero `module`'s violation charge — a restarted module gets a
+    /// fresh budget, or its first post-restart violation would instantly
+    /// re-quarantine it.
+    pub(crate) fn reset_violations(&mut self, module: &str) {
+        self.violations.remove(module);
     }
 
     /// Fail with `KernelError::Panic` if the kernel has already panicked —
@@ -471,9 +540,13 @@ impl Kernel {
         &self.modules
     }
 
-    /// Find a loaded module by name.
+    /// Find a loaded module by name. A name with no direct match follows
+    /// one level of dispatch alias (the live-upgrade indirection).
     pub fn module(&self, name: &str) -> Option<&LoadedModule> {
-        self.modules.iter().find(|m| m.name == name)
+        self.modules.iter().find(|m| m.name == name).or_else(|| {
+            let target = self.aliases.get(name)?;
+            self.modules.iter().find(|m| &m.name == target)
+        })
     }
 
     pub(crate) fn push_module(&mut self, m: LoadedModule) {
@@ -608,6 +681,76 @@ mod tests {
         assert_eq!(kernel.quarantine_records().len(), 1);
         assert_eq!(kernel.quarantine_records()[0].last, v);
         assert!(kernel.dmesg().iter().any(|l| l.contains("Oops")));
+    }
+
+    #[test]
+    fn violation_budget_zero_clamped_at_boot() {
+        use kop_core::error::ViolationKind;
+        let key = CompilerKey::from_passphrase("k", "s");
+        let mut kernel = Kernel::boot(
+            Arc::new(PolicyModule::new()),
+            vec![key],
+            KernelConfig {
+                violation_budget: 0,
+                ..KernelConfig::default()
+            },
+        );
+        // The invariant holds after boot and the clamp is logged.
+        assert_eq!(kernel.config().violation_budget, 1);
+        assert!(kernel
+            .dmesg()
+            .iter()
+            .any(|l| l.contains("violation_budget 0 is invalid")));
+        // Budget 1: the very first violation quarantines.
+        let v = Violation::new(
+            VAddr(0x100),
+            Size(8),
+            AccessFlags::READ,
+            ViolationKind::NoMatchingRegion,
+        );
+        assert!(kernel.note_violation("rogue", v).is_err());
+        assert!(kernel.is_quarantined("rogue"));
+        // Any budget ≥ 1 passes through untouched.
+        let (kernel, _) = Kernel::boot_default();
+        assert_eq!(kernel.config().violation_budget, 3);
+    }
+
+    #[test]
+    fn lifecycle_chardev_reports_quarantine() {
+        use kop_core::error::ViolationKind;
+        let (mut kernel, _) = Kernel::boot_default();
+        let empty = kernel.ioctl(TRACE_DEV, b"lifecycle").unwrap();
+        assert_eq!(empty, b"no modules tracked");
+        let v = Violation::new(
+            VAddr(0x100),
+            Size(8),
+            AccessFlags::READ,
+            ViolationKind::NoMatchingRegion,
+        );
+        for _ in 0..2 {
+            let _ = kernel.note_violation("rogue", v);
+        }
+        assert!(kernel.note_violation("rogue", v).is_err());
+        let out = kernel.ioctl(TRACE_DEV, b"lifecycle rogue").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("state=quarantined"), "{text}");
+        assert!(text.contains("last_quarantine(violations=3"), "{text}");
+        // Unknown module and the non-lifecycle path still work.
+        let out = kernel.ioctl(TRACE_DEV, b"lifecycle ghost").unwrap();
+        assert_eq!(out, b"ghost: unknown");
+        assert!(kernel.ioctl(TRACE_DEV, b"tracing_on").is_ok());
+    }
+
+    #[test]
+    fn dispatch_alias_resolves_one_level() {
+        let (mut kernel, _) = Kernel::boot_default();
+        // Aliasing to an unloaded target is refused.
+        assert!(matches!(
+            kernel.set_dispatch_alias("nic", "nic#v2").unwrap_err(),
+            KernelError::NoSuchModule(_)
+        ));
+        assert!(kernel.dispatch_target("nic").is_none());
+        assert!(!kernel.clear_dispatch_alias("nic"));
     }
 
     #[test]

@@ -24,13 +24,15 @@
 
 pub mod chardev;
 pub mod kernel;
+pub mod lifecycle;
 pub mod loader;
 pub mod mem;
 pub mod objects;
 pub mod symbols;
 
 pub use kernel::{Kernel, KernelConfig, QuarantineRecord, Verification, TRACE_DEV};
-pub use loader::{LoadedModule, ModuleImage};
+pub use lifecycle::{LifecycleState, ModuleLifecycle};
+pub use loader::{LoadedModule, ModuleImage, ModuleLayout};
 pub use mem::{FaultHook, MmioDevice, SimMemory};
 pub use objects::{FileHandle, QueueHandle};
 pub use symbols::{Symbol, SymbolKind, SymbolTable, Visibility};

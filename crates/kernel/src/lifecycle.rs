@@ -1,0 +1,153 @@
+//! Operator-visible module lifecycle state.
+//!
+//! The supervision layer (`kop-super`) drives modules through
+//! `Running → Quarantined → Backoff → Restarting → Running | Failed`;
+//! this registry is the kernel-side mirror of that machine, shared with
+//! the `/dev/trace` chardev so an operator can inspect the fleet
+//! (`lifecycle` command) without a debugger. The kernel itself updates
+//! it on insmod/rmmod/quarantine/restart; the supervisor layers its
+//! backoff states on top via [`LifecycleState::set_state`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::QuarantineRecord;
+
+/// One module's lifecycle as the operator sees it.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleLifecycle {
+    /// Current state label (`running`, `quarantined`, `backoff(n)`,
+    /// `restarting`, `failed`, `unloaded`, ...). Free-form so the
+    /// supervisor can annotate without the kernel knowing its machine.
+    pub state: String,
+    /// Successful supervised restarts so far.
+    pub restarts: u64,
+    /// The most recent quarantine, if any.
+    pub last_quarantine: Option<QuarantineRecord>,
+}
+
+/// The fleet-wide lifecycle registry. Shared (`Arc`) between the kernel
+/// and the `/dev/trace` closure; internally locked, never held across
+/// any other lock.
+#[derive(Default)]
+pub struct LifecycleState {
+    inner: Mutex<BTreeMap<String, ModuleLifecycle>>,
+}
+
+impl LifecycleState {
+    /// An empty registry.
+    pub fn new() -> Arc<LifecycleState> {
+        Arc::new(LifecycleState::default())
+    }
+
+    /// Set `module`'s state label.
+    pub fn set_state(&self, module: &str, state: &str) {
+        let mut inner = self.inner.lock();
+        inner.entry(module.to_string()).or_default().state = state.to_string();
+    }
+
+    /// Record one successful supervised restart of `module` (also flips
+    /// its state back to `running`). Returns the new restart count.
+    pub fn note_restart(&self, module: &str) -> u64 {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(module.to_string()).or_default();
+        entry.restarts += 1;
+        entry.state = "running".to_string();
+        entry.restarts
+    }
+
+    /// Record a quarantine (also flips the state to `quarantined`).
+    pub fn note_quarantine(&self, record: &QuarantineRecord) {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(record.module.clone()).or_default();
+        entry.state = "quarantined".to_string();
+        entry.last_quarantine = Some(record.clone());
+    }
+
+    /// Forget `module` entirely (clean rmmod of a healthy module).
+    pub fn forget(&self, module: &str) {
+        self.inner.lock().remove(module);
+    }
+
+    /// A snapshot of `module`'s lifecycle.
+    pub fn get(&self, module: &str) -> Option<ModuleLifecycle> {
+        self.inner.lock().get(module).cloned()
+    }
+
+    /// Restart count for `module`.
+    pub fn restarts(&self, module: &str) -> u64 {
+        self.inner.lock().get(module).map_or(0, |m| m.restarts)
+    }
+
+    /// Render one module's lifecycle line (the `lifecycle <module>`
+    /// chardev reply).
+    pub fn render_module(&self, module: &str) -> String {
+        match self.get(module) {
+            Some(m) => Self::line(module, &m),
+            None => format!("{module}: unknown"),
+        }
+    }
+
+    /// Render the whole fleet, one line per module, name-sorted (the
+    /// `lifecycle` chardev reply).
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock();
+        if inner.is_empty() {
+            return "no modules tracked".to_string();
+        }
+        inner
+            .iter()
+            .map(|(name, m)| Self::line(name, m))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn line(name: &str, m: &ModuleLifecycle) -> String {
+        let mut s = format!("{name}: state={} restarts={}", m.state, m.restarts);
+        if let Some(q) = &m.last_quarantine {
+            s.push_str(&format!(
+                " last_quarantine(violations={} last={})",
+                q.violations, q.last
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::error::ViolationKind;
+    use kop_core::{AccessFlags, Size, VAddr, Violation};
+
+    #[test]
+    fn lifecycle_tracks_states_and_restarts() {
+        let lc = LifecycleState::new();
+        assert_eq!(lc.render(), "no modules tracked");
+        lc.set_state("nic", "running");
+        let record = QuarantineRecord {
+            module: "nic".into(),
+            violations: 3,
+            last: Violation::new(
+                VAddr(0x100),
+                Size(8),
+                AccessFlags::READ,
+                ViolationKind::NoMatchingRegion,
+            ),
+        };
+        lc.note_quarantine(&record);
+        assert_eq!(lc.get("nic").unwrap().state, "quarantined");
+        assert_eq!(lc.note_restart("nic"), 1);
+        assert_eq!(lc.restarts("nic"), 1);
+        assert_eq!(lc.get("nic").unwrap().state, "running");
+        let rendered = lc.render_module("nic");
+        assert!(rendered.contains("state=running"), "{rendered}");
+        assert!(rendered.contains("restarts=1"), "{rendered}");
+        assert!(rendered.contains("last_quarantine"), "{rendered}");
+        assert_eq!(lc.render_module("ghost"), "ghost: unknown");
+        lc.forget("nic");
+        assert_eq!(lc.render(), "no modules tracked");
+    }
+}

@@ -50,6 +50,27 @@ pub struct ModuleImage {
     pub compiled: Option<kop_vm::CompiledModule>,
 }
 
+/// The address-space footprint of a loaded module, captured so a
+/// supervisor can re-insert a quarantined module at the *same* addresses
+/// (the cached bytecode has globals and function entry points
+/// pre-resolved). Module space is never reclaimed, so the original slots
+/// stay free for rebinding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuleLayout {
+    /// Base of the text mapping.
+    pub text_base: VAddr,
+    /// Size of the text mapping.
+    pub text_size: u64,
+    /// Base of the data mapping (globals).
+    pub data_base: VAddr,
+    /// Size of the data mapping.
+    pub data_size: u64,
+    /// Content hash of the signed container the image was built from.
+    pub content_hash: String,
+    /// Whether the module was guard-injected.
+    pub is_protected: bool,
+}
+
 /// A module resident in the kernel.
 #[derive(Debug)]
 pub struct LoadedModule {
@@ -103,11 +124,45 @@ impl LoadedModule {
     pub fn compiled(&self) -> Option<&kop_vm::CompiledModule> {
         self.image.compiled.as_ref()
     }
+
+    /// The address-space footprint, for supervised same-address restart.
+    pub fn layout(&self) -> ModuleLayout {
+        ModuleLayout {
+            text_base: self.text_base,
+            text_size: self.text_size,
+            data_base: self.data_base,
+            data_size: self.data_size,
+            content_hash: self.content_hash.clone(),
+            is_protected: self.is_protected,
+        }
+    }
 }
 
 impl Kernel {
     /// Insert a signed module (insmod).
     pub fn insmod(&mut self, signed: &SignedModule) -> KernelResult<&LoadedModule> {
+        self.insmod_as(signed, None)
+    }
+
+    /// Insert a signed module under an explicit instance name (the live
+    /// upgrade loads `name#v2` alongside the running `name`). All
+    /// verification runs against the signed container exactly as
+    /// [`Kernel::insmod`]; only the loaded identity — duplicate check,
+    /// symbol provider, guard-site track, violation accounting — uses the
+    /// instance name.
+    pub fn insmod_named(
+        &mut self,
+        signed: &SignedModule,
+        instance: &str,
+    ) -> KernelResult<&LoadedModule> {
+        self.insmod_as(signed, Some(instance))
+    }
+
+    fn insmod_as(
+        &mut self,
+        signed: &SignedModule,
+        instance: Option<&str>,
+    ) -> KernelResult<&LoadedModule> {
         self.check_alive()?;
         let verification = self.config().verification;
 
@@ -135,12 +190,21 @@ impl Kernel {
             }
         };
 
-        if self.module(&ir.name).is_some() {
+        // The signature (or the static proof below) covers the shipped
+        // container; renaming the parsed instance afterwards changes only
+        // the loaded identity, which every later keyed structure (symbol
+        // provider, site track, violation budget, dispatch) sees
+        // consistently.
+        let mut ir = ir;
+        if let Some(instance) = instance {
+            ir.name = instance.to_string();
+        }
+
+        if self.modules().iter().any(|m| m.name == ir.name) {
             return Err(KernelError::ModuleAlreadyLoaded(ir.name.clone()));
         }
 
         // 2. Kernel-side re-verification.
-        let mut ir = ir;
         verify_module(&ir).map_err(|e| KernelError::BadSignature(format!("IR invalid: {e}")))?;
         // The IR is final from here on: seal its layout caches so the
         // executors get O(1) block-shape queries.
@@ -305,6 +369,7 @@ impl Kernel {
             signed.attestation.guard_count,
             loaded.text_base,
         ));
+        self.lifecycle().set_state(&loaded.name, "running");
         self.push_module(loaded);
         Ok(self.modules().last().expect("just pushed"))
     }
@@ -324,7 +389,118 @@ impl Kernel {
                 module: name.to_string(),
             },
         );
+        self.lifecycle().forget(name);
         self.printk(&format!("rmmod {name}"));
+        Ok(())
+    }
+
+    /// Re-insert a quarantined (or cleanly removed) module from its
+    /// cached execution image, at its original addresses — the
+    /// supervisor's restart step. No recompile and no re-lowering: the
+    /// image's bytecode has every global and entry point pre-resolved, so
+    /// the module *must* come back at the layout it first loaded at
+    /// (module space never reclaims, so those slots are still free).
+    /// Guard sites are **not** re-registered — the tracer track survives
+    /// the quarantine, so per-site counts reconcile across restarts.
+    ///
+    /// The signed container is re-verified under the kernel's
+    /// configuration (signature and/or static proof), and its content
+    /// hash must match the one the image was built from.
+    pub fn restart_module(
+        &mut self,
+        signed: &SignedModule,
+        image: &Arc<ModuleImage>,
+        layout: &ModuleLayout,
+    ) -> KernelResult<()> {
+        self.check_alive()?;
+        let name = image.ir.name.clone();
+        if self.modules().iter().any(|m| m.name == name) {
+            return Err(KernelError::ModuleAlreadyLoaded(name));
+        }
+
+        // Attestation re-verification, same acceptance rules as insmod.
+        let verification = self.config().verification;
+        let signature_ok = signed.verify(self.trusted_keys()).is_ok();
+        if !signature_ok {
+            let signature_required = verification.needs_signature()
+                && (self.config().require_signature
+                    || verification == crate::kernel::Verification::SignatureAndStatic);
+            if signature_required {
+                let err = KernelError::BadSignature("restart: signature no longer verifies".into());
+                self.printk(&format!("restart {name}: {err}"));
+                return Err(err);
+            }
+        }
+        if verification.runs_static() {
+            let ledger = kop_analysis::ObligationLedger::parse(&signed.attestation.obligations)
+                .map_err(|e| {
+                    KernelError::StaticVerification(format!("obligation ledger invalid: {e}"))
+                })?;
+            let report = kop_analysis::validate_module(&image.ir, &ledger);
+            if !report.is_clean() {
+                return Err(KernelError::StaticVerification(
+                    "restart: guard coverage no longer provable".into(),
+                ));
+            }
+        }
+        if signed.content_hash() != layout.content_hash {
+            return Err(KernelError::BadSignature(
+                "restart: container does not match cached image".into(),
+            ));
+        }
+
+        // Re-initialize globals. Unlike first insmod, the data pages are
+        // not pristine — Zero initializers must be written explicitly or
+        // the module would resume with its pre-quarantine state.
+        for g in &image.ir.globals {
+            let addr = image.globals[&g.name];
+            match &g.init {
+                GlobalInit::Zero => {
+                    let zeros = vec![0u8; g.ty.size_of().max(1) as usize];
+                    self.mem
+                        .write_bytes(addr, &zeros)
+                        .map_err(|e| KernelError::NoMemory(e.to_string()))?;
+                }
+                GlobalInit::Int(v) => {
+                    let size = g.ty.size_of().clamp(1, 8);
+                    self.mem
+                        .write_uint(addr, kop_core::Size(size), *v)
+                        .map_err(|e| KernelError::NoMemory(e.to_string()))?;
+                }
+                GlobalInit::Bytes(bytes) => {
+                    self.mem
+                        .write_bytes(addr, bytes)
+                        .map_err(|e| KernelError::NoMemory(e.to_string()))?;
+                }
+            }
+        }
+        self.mem
+            .protect_readonly(layout.text_base, layout.text_size);
+
+        // Fresh violation budget: the restart is a clean slate.
+        self.reset_violations(&name);
+
+        self.push_module(LoadedModule {
+            name: name.clone(),
+            text_base: layout.text_base,
+            text_size: layout.text_size,
+            data_base: layout.data_base,
+            data_size: layout.data_size,
+            content_hash: layout.content_hash.clone(),
+            is_protected: layout.is_protected,
+            image: Arc::clone(image),
+        });
+        let attempt = self.lifecycle().note_restart(&name);
+        self.tracer().record(
+            Producer::Loader,
+            TraceEvent::ModuleRestart {
+                module: name.clone(),
+                attempt,
+            },
+        );
+        self.printk(&format!(
+            "carat: restarted module '{name}' (attempt {attempt})"
+        ));
         Ok(())
     }
 }

@@ -25,6 +25,6 @@ pub mod tool;
 
 pub use frame::{EtherType, Frame, MacAddr};
 pub use sender::{RawSender, SendError};
-pub use sink::PacketSink;
+pub use sink::{LedgerSink, PacketSink};
 pub use skb::{SkBuff, SkBuffPool};
 pub use tool::{ToolConfig, ToolReport};

@@ -310,6 +310,18 @@ impl PolicyModule {
         Ok(())
     }
 
+    /// Force a revocation epoch: republish the (unchanged) rule set so the
+    /// snapshot generation advances. Every guard TLB entry and inline
+    /// cache tagged with an older generation becomes stale in this single
+    /// publish — the live-upgrade swap uses this so no check can admit
+    /// against a grant observed before the swap. Returns the new
+    /// generation.
+    pub fn bump_epoch(&self) -> u64 {
+        let store = self.store.lock();
+        self.republish(&**store);
+        self.snapshot.generation()
+    }
+
     /// Number of rules.
     pub fn region_count(&self) -> usize {
         self.snapshot.load().len()

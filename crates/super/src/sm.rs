@@ -1,0 +1,287 @@
+//! The supervision state machine, pure and deterministic.
+//!
+//! One [`SupervisorSm`] per supervised module walks
+//! `Running → Quarantined → Backoff(n) → Restarting → Running | Failed`
+//! against a virtual clock. It decides *when* to restart; the
+//! [`crate::Supervisor`] performs the actual kernel calls and feeds the
+//! results back in. Keeping the machine pure makes every schedule
+//! replayable and lets the proptest drive it with arbitrary fault
+//! sequences.
+
+use core::fmt;
+
+/// Where a supervised module is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModuleState {
+    /// Loaded and serving.
+    Running,
+    /// Down (quarantined by the kernel, or reported unhealthy); a
+    /// restart has not been scheduled yet.
+    Quarantined,
+    /// Waiting out the exponential backoff before restart `attempt`.
+    Backoff {
+        /// The restart attempt this backoff gates (1-based).
+        attempt: u32,
+        /// Virtual-clock tick at which the restart becomes due.
+        until: u64,
+    },
+    /// Restart `attempt` is in flight.
+    Restarting {
+        /// The restart attempt being performed (1-based).
+        attempt: u32,
+    },
+    /// Restart budget exhausted; the module stays down permanently.
+    Failed,
+}
+
+impl ModuleState {
+    /// Operator-facing label (mirrored into the kernel's lifecycle
+    /// registry, so `/dev/trace lifecycle` shows it).
+    pub fn label(&self) -> String {
+        match self {
+            ModuleState::Running => "running".into(),
+            ModuleState::Quarantined => "quarantined".into(),
+            ModuleState::Backoff { attempt, .. } => format!("backoff({attempt})"),
+            ModuleState::Restarting { attempt } => format!("restarting({attempt})"),
+            ModuleState::Failed => "failed".into(),
+        }
+    }
+}
+
+impl fmt::Display for ModuleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Whether `from → to` is an edge the supervision machine may take.
+/// Staying put is always legal; `Failed` is terminal.
+pub fn legal_edge(from: &ModuleState, to: &ModuleState) -> bool {
+    use ModuleState::*;
+    if from == to {
+        return true;
+    }
+    match (from, to) {
+        (Running, Quarantined) => true,
+        (Quarantined, Backoff { .. }) | (Quarantined, Failed) => true,
+        (Backoff { .. }, Restarting { .. }) => true,
+        (Restarting { .. }, Running)
+        | (Restarting { .. }, Backoff { .. })
+        | (Restarting { .. }, Failed) => true,
+        // Backoff reschedules (e.g. a fresh quarantine observed while
+        // waiting) keep the same shape with a later attempt.
+        (Backoff { .. }, Backoff { .. }) => true,
+        _ => false,
+    }
+}
+
+/// Supervision policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SuperConfig {
+    /// Restarts granted before the module is declared [`ModuleState::Failed`].
+    pub max_restarts: u32,
+    /// Backoff before the first restart, in virtual-clock ticks.
+    pub base_backoff_ticks: u64,
+    /// Backoff ceiling (the exponential curve saturates here).
+    pub max_backoff_ticks: u64,
+}
+
+impl Default for SuperConfig {
+    fn default() -> Self {
+        SuperConfig {
+            max_restarts: 5,
+            base_backoff_ticks: 2,
+            max_backoff_ticks: 64,
+        }
+    }
+}
+
+impl SuperConfig {
+    /// Deterministic exponential backoff for restart `attempt` (1-based):
+    /// `min(base · 2^(attempt-1), max)`.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .base_backoff_ticks
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u64::MAX);
+        shifted.min(self.max_backoff_ticks)
+    }
+}
+
+/// The per-module supervision machine.
+#[derive(Clone, Debug)]
+pub struct SupervisorSm {
+    cfg: SuperConfig,
+    state: ModuleState,
+    /// Restarts performed or in flight so far.
+    attempts: u32,
+}
+
+impl SupervisorSm {
+    /// A machine for a freshly attached (running) module.
+    pub fn new(cfg: SuperConfig) -> SupervisorSm {
+        SupervisorSm {
+            cfg,
+            state: ModuleState::Running,
+            attempts: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ModuleState {
+        self.state
+    }
+
+    /// Restart attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    fn transition(&mut self, to: ModuleState) {
+        debug_assert!(
+            legal_edge(&self.state, &to),
+            "illegal supervision edge {} -> {}",
+            self.state,
+            to
+        );
+        self.state = to;
+    }
+
+    /// The module went down (kernel quarantine observed, or a
+    /// watchdog/reset health strike). Only meaningful while `Running`;
+    /// any other state already knows the module is down.
+    pub fn on_down(&mut self) {
+        if self.state == ModuleState::Running {
+            self.transition(ModuleState::Quarantined);
+        }
+    }
+
+    /// Advance to virtual-clock tick `now`. Returns `Some(attempt)` when
+    /// a restart is due — the caller must perform it and report back via
+    /// [`Self::on_restart_ok`] / [`Self::on_restart_err`].
+    pub fn poll(&mut self, now: u64) -> Option<u32> {
+        match self.state {
+            ModuleState::Quarantined => {
+                let attempt = self.attempts + 1;
+                if attempt > self.cfg.max_restarts {
+                    self.transition(ModuleState::Failed);
+                } else {
+                    self.transition(ModuleState::Backoff {
+                        attempt,
+                        until: now + self.cfg.backoff(attempt),
+                    });
+                }
+                None
+            }
+            ModuleState::Backoff { attempt, until } if now >= until => {
+                self.attempts = attempt;
+                self.transition(ModuleState::Restarting { attempt });
+                Some(attempt)
+            }
+            _ => None,
+        }
+    }
+
+    /// The restart issued by [`Self::poll`] succeeded.
+    pub fn on_restart_ok(&mut self) {
+        debug_assert!(matches!(self.state, ModuleState::Restarting { .. }));
+        self.transition(ModuleState::Running);
+    }
+
+    /// The restart issued by [`Self::poll`] failed at tick `now`.
+    pub fn on_restart_err(&mut self, now: u64) {
+        let ModuleState::Restarting { attempt } = self.state else {
+            debug_assert!(false, "restart_err outside Restarting");
+            return;
+        };
+        let next = attempt + 1;
+        if next > self.cfg.max_restarts {
+            self.transition(ModuleState::Failed);
+        } else {
+            self.transition(ModuleState::Backoff {
+                attempt: next,
+                until: now + self.cfg.backoff(next),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_saturates() {
+        let cfg = SuperConfig::default();
+        assert_eq!(cfg.backoff(1), 2);
+        assert_eq!(cfg.backoff(2), 4);
+        assert_eq!(cfg.backoff(3), 8);
+        assert_eq!(cfg.backoff(6), 64);
+        assert_eq!(cfg.backoff(60), 64, "saturates at the ceiling");
+    }
+
+    #[test]
+    fn happy_restart_walks_the_canonical_edges() {
+        let mut sm = SupervisorSm::new(SuperConfig::default());
+        assert_eq!(sm.state(), ModuleState::Running);
+        sm.on_down();
+        assert_eq!(sm.state(), ModuleState::Quarantined);
+        assert_eq!(sm.poll(10), None);
+        assert_eq!(
+            sm.state(),
+            ModuleState::Backoff {
+                attempt: 1,
+                until: 12
+            }
+        );
+        assert_eq!(sm.poll(11), None, "backoff not yet elapsed");
+        assert_eq!(sm.poll(12), Some(1));
+        assert_eq!(sm.state(), ModuleState::Restarting { attempt: 1 });
+        sm.on_restart_ok();
+        assert_eq!(sm.state(), ModuleState::Running);
+        assert_eq!(sm.attempts(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_terminal_failed() {
+        let cfg = SuperConfig {
+            max_restarts: 2,
+            ..SuperConfig::default()
+        };
+        let mut sm = SupervisorSm::new(cfg);
+        let mut now = 0;
+        for _ in 0..2 {
+            sm.on_down();
+            sm.poll(now);
+            let ModuleState::Backoff { until, .. } = sm.state() else {
+                panic!("expected backoff");
+            };
+            now = until;
+            let attempt = sm.poll(now).expect("restart due");
+            assert!(attempt <= 2);
+            sm.on_restart_ok();
+        }
+        sm.on_down();
+        sm.poll(now);
+        assert_eq!(sm.state(), ModuleState::Failed);
+        // Terminal: nothing moves it again.
+        sm.on_down();
+        assert_eq!(sm.poll(now + 1000), None);
+        assert_eq!(sm.state(), ModuleState::Failed);
+    }
+
+    #[test]
+    fn failed_restart_reschedules_with_longer_backoff() {
+        let mut sm = SupervisorSm::new(SuperConfig::default());
+        sm.on_down();
+        sm.poll(0);
+        let a1 = sm.poll(2).expect("first restart due");
+        assert_eq!(a1, 1);
+        sm.on_restart_err(2);
+        let ModuleState::Backoff { attempt, until } = sm.state() else {
+            panic!("expected rescheduled backoff");
+        };
+        assert_eq!(attempt, 2);
+        assert_eq!(until, 2 + 4, "second backoff is twice the first");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the supervision state machine: no fault sequence,
+//! however adversarial, can drive it along an illegal edge — and the
+//! whole schedule is a deterministic function of the input sequence.
+
+use kop_super::{legal_edge, ModuleState, SuperConfig, SupervisorSm};
+use proptest::prelude::*;
+
+/// One external stimulus to the machine.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// A quarantine record / health strike lands.
+    Down,
+    /// The virtual clock advances this many ticks, polling at each one.
+    Advance(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::Down), (1u64..12).prop_map(Op::Advance),]
+}
+
+/// Drive the machine with `ops`, resolving each issued restart with the
+/// next outcome from `outcomes` (cycled). Returns the observed state
+/// trace, one entry per transition opportunity.
+fn drive(cfg: SuperConfig, ops: &[Op], outcomes: &[bool]) -> Vec<ModuleState> {
+    let mut sm = SupervisorSm::new(cfg);
+    let mut now = 0u64;
+    let mut outcome_cursor = 0usize;
+    let mut trace = vec![sm.state()];
+    for op in ops {
+        match op {
+            Op::Down => {
+                sm.on_down();
+                trace.push(sm.state());
+            }
+            Op::Advance(ticks) => {
+                for _ in 0..*ticks {
+                    now += 1;
+                    if let Some(_attempt) = sm.poll(now) {
+                        trace.push(sm.state());
+                        let ok = outcomes.is_empty() || outcomes[outcome_cursor % outcomes.len()];
+                        outcome_cursor += 1;
+                        if ok {
+                            sm.on_restart_ok();
+                        } else {
+                            sm.on_restart_err(now);
+                        }
+                    }
+                    trace.push(sm.state());
+                }
+            }
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_fault_sequence_walks_only_legal_edges(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        outcomes in proptest::collection::vec(any::<bool>(), 1..8),
+        max_restarts in 1u32..6,
+    ) {
+        let cfg = SuperConfig { max_restarts, ..SuperConfig::default() };
+        let trace = drive(cfg, &ops, &outcomes);
+        for w in trace.windows(2) {
+            prop_assert!(
+                legal_edge(&w[0], &w[1]),
+                "illegal edge {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Failed is terminal: once reached, nothing after it differs.
+        if let Some(first_failed) = trace.iter().position(|s| *s == ModuleState::Failed) {
+            for s in &trace[first_failed..] {
+                prop_assert_eq!(*s, ModuleState::Failed, "left terminal Failed");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        outcomes in proptest::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let cfg = SuperConfig::default();
+        let a = drive(cfg, &ops, &outcomes);
+        let b = drive(cfg, &ops, &outcomes);
+        prop_assert_eq!(a, b, "same inputs must replay to the same schedule");
+    }
+
+    #[test]
+    fn restart_budget_is_never_exceeded(
+        ops in proptest::collection::vec(arb_op(), 1..80),
+        max_restarts in 1u32..5,
+    ) {
+        let cfg = SuperConfig { max_restarts, ..SuperConfig::default() };
+        // All restarts fail, so the budget is consumed as fast as possible.
+        let mut sm = SupervisorSm::new(cfg);
+        let mut now = 0u64;
+        let mut issued = 0u32;
+        for op in &ops {
+            match op {
+                Op::Down => sm.on_down(),
+                Op::Advance(ticks) => {
+                    for _ in 0..*ticks {
+                        now += 1;
+                        if sm.poll(now).is_some() {
+                            issued += 1;
+                            sm.on_restart_err(now);
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(issued <= max_restarts, "issued {} > budget {}", issued, max_restarts);
+        if issued == max_restarts {
+            prop_assert_eq!(sm.state(), ModuleState::Failed);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Supervisor against a live kernel: quarantine → backoff → restart →
+//! serving again, budget exhaustion → terminal `Failed`, and the
+//! zero-downtime upgrade path on a device-free module.
+
+use std::sync::Arc;
+
+use kop_compiler::{compile_module, CompileOptions, CompilerKey};
+use kop_core::{KernelError, Size, VAddr};
+use kop_interp::Interp;
+use kop_ir::parse_module;
+use kop_kernel::{Kernel, KernelConfig};
+use kop_policy::{PolicyModule, ViolationAction};
+use kop_super::{upgrade_module, ModuleState, NoDrain, SuperConfig, Supervisor, UpgradeOptions};
+
+const CREDSCAN_SRC: &str = r#"
+module "credscan"
+global @found : i64 = 0
+define i64 @scan(i64 %start, i64 %len) {
+entry:
+  br %head
+head:
+  %off = phi i64 [ 0, %entry ], [ %off.next, %next ]
+  %c = icmp ult i64 %off, %len
+  condbr i1 %c, %body, %done
+body:
+  %addr = add i64 %start, %off
+  %p = inttoptr i64 %addr to ptr
+  %word = load i64, ptr %p
+  %hit = icmp eq i64 %word, 0x6472777373617020
+  condbr i1 %hit, %record, %next
+record:
+  store i64 %addr, ptr @found
+  br %next
+next:
+  %off.next = add i64 %off, 8
+  br %head
+done:
+  %r = load i64, ptr @found
+  ret i64 %r
+}
+"#;
+
+/// v2 of the same module: identical scanner plus a version probe, so a
+/// test can prove dispatch reaches the new code.
+const CREDSCAN_V2_SRC: &str = r#"
+module "credscan"
+global @found : i64 = 0
+define i64 @scan(i64 %start, i64 %len) {
+entry:
+  br %head
+head:
+  %off = phi i64 [ 0, %entry ], [ %off.next, %next ]
+  %c = icmp ult i64 %off, %len
+  condbr i1 %c, %body, %done
+body:
+  %addr = add i64 %start, %off
+  %p = inttoptr i64 %addr to ptr
+  %word = load i64, ptr %p
+  %hit = icmp eq i64 %word, 0x6472777373617020
+  condbr i1 %hit, %record, %next
+record:
+  store i64 %addr, ptr @found
+  br %next
+next:
+  %off.next = add i64 %off, 8
+  br %head
+done:
+  %r = load i64, ptr @found
+  ret i64 %r
+}
+define i64 @ver() {
+entry:
+  ret i64 2
+}
+"#;
+
+const SECRET_ADDR: u64 = 0x0060_0000;
+const SECRET_WORD: u64 = 0x6472_7773_7361_7020;
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "carat-kop-dev")
+}
+
+fn compile(src: &str) -> kop_compiler::SignedModule {
+    let module = parse_module(src).expect("parse");
+    compile_module(module, &CompileOptions::carat_kop(), &key())
+        .expect("compile")
+        .signed
+}
+
+fn quarantine_kernel() -> Kernel {
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    policy.set_violation_action(ViolationAction::Quarantine);
+    let mut kernel = Kernel::boot(policy, vec![key()], KernelConfig::default());
+    kernel
+        .mem
+        .write_uint(VAddr(SECRET_ADDR), Size(8), SECRET_WORD)
+        .expect("plant secret");
+    kernel
+}
+
+/// Probe the forbidden word until the kernel quarantines the module.
+fn exhaust_budget(kernel: &mut Kernel, name: &str) {
+    let mut interp = Interp::new(kernel).expect("interp");
+    for _ in 0..16 {
+        match interp.call(name, "scan", &[SECRET_ADDR, 8]) {
+            Ok(Some(found)) => assert_eq!(found, 0, "probe must be squashed"),
+            Err(KernelError::ModuleQuarantined { module, .. }) => {
+                assert_eq!(module, name);
+                return;
+            }
+            other => panic!("unexpected probe outcome: {other:?}"),
+        }
+    }
+    panic!("budget never exhausted");
+}
+
+/// Tick the supervisor until `name` reports `Running` again (or give up).
+fn tick_until_running(sup: &mut Supervisor, kernel: &mut Kernel, name: &str) {
+    for _ in 0..64 {
+        sup.tick(kernel);
+        if sup.state(name) == Some(ModuleState::Running) {
+            return;
+        }
+    }
+    panic!(
+        "supervisor never restarted '{name}' ({:?})",
+        sup.state(name)
+    );
+}
+
+#[test]
+fn quarantined_module_is_restarted_and_serves_again() {
+    let mut kernel = quarantine_kernel();
+    let signed = compile(CREDSCAN_SRC);
+    kernel.insmod(&signed).expect("insmod");
+
+    let mut sup = Supervisor::new(SuperConfig::default());
+    sup.attach(&kernel, "credscan", &signed).expect("attach");
+
+    let sites_before = kernel.tracer().site_count();
+    exhaust_budget(&mut kernel, "credscan");
+    assert!(
+        kernel.module("credscan").is_none(),
+        "quarantine unloaded it"
+    );
+
+    tick_until_running(&mut sup, &mut kernel, "credscan");
+    assert!(
+        kernel.module("credscan").is_some(),
+        "restart re-inserted it"
+    );
+    assert_eq!(sup.restarts("credscan"), 1);
+    assert_eq!(sup.recovery_latencies().len(), 1);
+    assert_eq!(
+        kernel.violation_count("credscan"),
+        0,
+        "restart grants a fresh violation budget"
+    );
+    assert_eq!(
+        kernel.tracer().site_count(),
+        sites_before,
+        "restart must not re-register guard sites"
+    );
+
+    // The restarted instance serves: a single fresh probe is squashed
+    // (budget 1/3), proving guards and globals were re-armed.
+    let mut interp = Interp::new(&mut kernel).expect("interp");
+    let found = interp
+        .call("credscan", "scan", &[SECRET_ADDR, 8])
+        .expect("restarted module serves")
+        .expect("returns");
+    assert_eq!(found, 0, "@found was re-zeroed and the probe squashed");
+}
+
+#[test]
+fn restart_budget_exhaustion_is_permanent_failure() {
+    let mut kernel = quarantine_kernel();
+    let signed = compile(CREDSCAN_SRC);
+    kernel.insmod(&signed).expect("insmod");
+
+    let cfg = SuperConfig {
+        max_restarts: 2,
+        base_backoff_ticks: 1,
+        max_backoff_ticks: 4,
+    };
+    let mut sup = Supervisor::new(cfg);
+    sup.attach(&kernel, "credscan", &signed).expect("attach");
+
+    for round in 0..2 {
+        exhaust_budget(&mut kernel, "credscan");
+        tick_until_running(&mut sup, &mut kernel, "credscan");
+        assert_eq!(sup.restarts("credscan"), round + 1);
+    }
+
+    // Third quarantine: the budget (2) is gone.
+    exhaust_budget(&mut kernel, "credscan");
+    for _ in 0..8 {
+        sup.tick(&mut kernel);
+    }
+    assert!(sup.failed("credscan"), "escalates to permanent Failed");
+    assert!(kernel.module("credscan").is_none(), "stays unloaded");
+    assert_eq!(
+        kernel.lifecycle().get("credscan").map(|l| l.state),
+        Some("failed".to_string()),
+        "operator-visible record"
+    );
+    assert!(
+        kernel
+            .dmesg()
+            .iter()
+            .any(|l| l.contains("FAILED permanently")),
+        "permanent failure lands in dmesg"
+    );
+}
+
+#[test]
+fn live_upgrade_swaps_dispatch_and_bumps_epoch() {
+    let mut kernel = quarantine_kernel();
+    let v1 = compile(CREDSCAN_SRC);
+    kernel.insmod(&v1).expect("insmod v1");
+
+    let gen_before = kernel.policy().store_generation();
+    let v2 = compile(CREDSCAN_V2_SRC);
+    let report = upgrade_module(
+        &mut kernel,
+        "credscan",
+        &v2,
+        &mut NoDrain,
+        UpgradeOptions::default(),
+    )
+    .expect("upgrade");
+
+    assert_eq!(report.instance, "credscan#v2");
+    assert!(report.migrated.is_empty(), "nothing to migrate on NoDrain");
+    assert!(
+        report.generation > gen_before,
+        "swap bumps the policy snapshot epoch"
+    );
+    assert_eq!(kernel.dispatch_target("credscan"), Some("credscan#v2"));
+    assert!(
+        kernel.modules().iter().all(|m| m.name != "credscan"),
+        "v1 unloaded after the swap"
+    );
+
+    // Calls through the module name reach v2's code.
+    let mut interp = Interp::new(&mut kernel).expect("interp");
+    let ver = interp
+        .call("credscan", "ver", &[])
+        .expect("dispatch resolves to v2")
+        .expect("returns");
+    assert_eq!(ver, 2);
+
+    // A second upgrade walks the instance namespace forward.
+    let report2 = upgrade_module(
+        &mut kernel,
+        "credscan",
+        &v2,
+        &mut NoDrain,
+        UpgradeOptions::default(),
+    )
+    .expect("second upgrade");
+    assert_eq!(report2.instance, "credscan#v3");
+    assert!(kernel.modules().iter().all(|m| m.name != "credscan#v2"));
+}

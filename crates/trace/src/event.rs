@@ -159,6 +159,24 @@ pub enum TraceEvent {
         /// Violations accumulated at quarantine time.
         violations: u64,
     },
+    /// A quarantined (or health-failed) module was re-inserted from its
+    /// cached image by the supervision layer.
+    ModuleRestart {
+        /// Module name.
+        module: String,
+        /// Which restart this is for the module (1-based).
+        attempt: u64,
+    },
+    /// A live upgrade atomically swapped dispatch from one module
+    /// instance to its successor.
+    UpgradeSwap {
+        /// The stable dispatch name being upgraded.
+        module: String,
+        /// The instance now receiving dispatch.
+        instance: String,
+        /// Policy snapshot generation after the revocation epoch bump.
+        generation: u64,
+    },
     /// The driver queued a frame for transmit.
     Xmit {
         /// On-wire frame length in bytes.
@@ -189,6 +207,8 @@ impl TraceEvent {
             TraceEvent::ModuleLoad { .. } => "module_load",
             TraceEvent::ModuleUnload { .. } => "module_unload",
             TraceEvent::ModuleQuarantine { .. } => "module_quarantine",
+            TraceEvent::ModuleRestart { .. } => "module_restart",
+            TraceEvent::UpgradeSwap { .. } => "upgrade_swap",
             TraceEvent::Xmit { .. } => "xmit",
             TraceEvent::Watchdog { .. } => "watchdog",
             TraceEvent::Reset => "reset",
@@ -224,6 +244,19 @@ impl fmt::Display for TraceEvent {
                 write!(
                     f,
                     "module_quarantine module={module} violations={violations}"
+                )
+            }
+            TraceEvent::ModuleRestart { module, attempt } => {
+                write!(f, "module_restart module={module} attempt={attempt}")
+            }
+            TraceEvent::UpgradeSwap {
+                module,
+                instance,
+                generation,
+            } => {
+                write!(
+                    f,
+                    "upgrade_swap module={module} instance={instance} generation={generation}"
                 )
             }
             TraceEvent::Xmit { bytes } => write!(f, "xmit bytes={bytes}"),

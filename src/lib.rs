@@ -31,5 +31,6 @@ pub use kop_kernel as kernel;
 pub use kop_net as net;
 pub use kop_policy as policy;
 pub use kop_sim as sim;
+pub use kop_super as supervisor;
 pub use kop_trace as trace;
 pub use kop_vm as vm;

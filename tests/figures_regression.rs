@@ -384,6 +384,59 @@ fn exec_engines_agree_and_guard_accounting_reconciles() {
 }
 
 #[test]
+fn soak_supervised_dominates_and_upgrade_is_lossless() {
+    // The hard correctness claims — supervised >= baseline at every
+    // rate, exact per-site trace reconciliation through restarts, zero
+    // dropped/duplicated frames and zero stale admits across the live
+    // upgrade — are asserted unconditionally inside soak() on every run.
+    // Here we pin the figure's shape and the headline arithmetic.
+    let fig = figures::soak();
+    assert_eq!(fig.id, "soak");
+
+    let sup = fig.series("supervised").unwrap();
+    let base = fig.series("baseline").unwrap();
+    assert_eq!(sup.points.len(), base.points.len());
+    for (s, b) in sup.points.iter().zip(&base.points) {
+        assert_eq!(s.0, b.0, "same rate grid");
+        assert!(
+            s.1 + 1e-9 >= b.1,
+            "supervised must dominate at rate {}: {} < {}",
+            s.0,
+            s.1,
+            b.1
+        );
+    }
+    // The top storm rate separates the two fleets and forces restarts.
+    let top = sup.points.last().unwrap();
+    let top_base = base.points.last().unwrap();
+    assert!(top.1 > top_base.1, "strict win under the worst storm");
+    let pm = (top.0 * 1000.0).round() as u64;
+    assert!(fig.headline(&format!("super_restarts_r{pm}")).unwrap() >= 1.0);
+
+    // Live upgrade: lossless, no duplicates, no stale admits, epoch
+    // advanced, and the wedged backlog actually exercised migration.
+    assert_eq!(fig.headline("upgrade_missing"), Some(0.0));
+    assert_eq!(fig.headline("upgrade_duplicates"), Some(0.0));
+    assert_eq!(fig.headline("upgrade_stale_admits"), Some(0.0));
+    assert!(fig.headline("upgrade_generation_delta").unwrap() >= 1.0);
+    assert!(fig.headline("upgrade_migrated").unwrap() > 0.0);
+    assert_eq!(
+        fig.headline("upgrade_delivered"),
+        fig.headline("upgrade_expected")
+    );
+
+    // The recovery-latency CDF is a proper monotone CDF.
+    let cdf = fig
+        .series(&format!("recovery-cdf-r{pm}"))
+        .expect("recovery CDF present at the top rate");
+    assert!(cdf.points.len() >= 2);
+    for w in cdf.points.windows(2) {
+        assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1, "CDF monotone");
+    }
+    assert!((cdf.points.last().unwrap().1 - 1.0).abs() < 1e-9);
+}
+
+#[test]
 fn renders_are_nonempty_and_csv_parses() {
     for fig in [figures::fig6(), figures::claims()]
         .into_iter()

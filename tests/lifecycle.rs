@@ -1,0 +1,380 @@
+//! End-to-end module lifecycle: supervised restart and live upgrade.
+//!
+//! Test 1 drives the full supervision loop against the rootkit-style
+//! credscan module while a guarded e1000e TX workload shares the policy:
+//! quarantine → backoff → restart from the cached image → serving again,
+//! with the concurrent workload byte-identical to a fault-free run and
+//! the whole story visible through the `/dev/trace` `lifecycle` command.
+//!
+//! Test 2 performs a zero-downtime live upgrade while sequence-numbered
+//! TX traffic flows: v1's NIC is wedged with a backlog, the bounded
+//! drain times out, the backlog is force-migrated and resubmitted
+//! through v2's driver, and a [`LedgerSink`] proves zero dropped and
+//! zero duplicated frames. Calls through the module name reach v2.
+
+use std::sync::Arc;
+
+use carat_kop::compiler::{compile_module, CompileOptions, CompilerKey};
+use carat_kop::core::{KernelError, Size, VAddr};
+use carat_kop::e1000e::device::VecSink;
+use carat_kop::e1000e::{DirectMem, E1000Device, E1000Driver, GuardedMem, MemSpace};
+use carat_kop::faultline::{FaultPlan, FaultyMem, Trigger};
+use carat_kop::interp::Interp;
+use carat_kop::ir::parse_module;
+use carat_kop::kernel::{Kernel, KernelConfig, TRACE_DEV};
+use carat_kop::net::LedgerSink;
+use carat_kop::policy::{PolicyModule, ViolationAction};
+use carat_kop::supervisor::{
+    upgrade_module, DrainPort, ModuleState, SuperConfig, Supervisor, UpgradeOptions,
+};
+
+const CREDSCAN_SRC: &str = r#"
+module "credscan"
+global @found : i64 = 0
+define i64 @scan(i64 %start, i64 %len) {
+entry:
+  br %head
+head:
+  %off = phi i64 [ 0, %entry ], [ %off.next, %next ]
+  %c = icmp ult i64 %off, %len
+  condbr i1 %c, %body, %done
+body:
+  %addr = add i64 %start, %off
+  %p = inttoptr i64 %addr to ptr
+  %word = load i64, ptr %p
+  %hit = icmp eq i64 %word, 0x6472777373617020
+  condbr i1 %hit, %record, %next
+record:
+  store i64 %addr, ptr @found
+  br %next
+next:
+  %off.next = add i64 %off, 8
+  br %head
+done:
+  %r = load i64, ptr @found
+  ret i64 %r
+}
+"#;
+
+/// v2: the same scanner plus a version probe, so the test can prove that
+/// post-swap dispatch reaches the new code.
+const CREDSCAN_V2_SRC: &str = r#"
+module "credscan"
+global @found : i64 = 0
+define i64 @scan(i64 %start, i64 %len) {
+entry:
+  br %head
+head:
+  %off = phi i64 [ 0, %entry ], [ %off.next, %next ]
+  %c = icmp ult i64 %off, %len
+  condbr i1 %c, %body, %done
+body:
+  %addr = add i64 %start, %off
+  %p = inttoptr i64 %addr to ptr
+  %word = load i64, ptr %p
+  %hit = icmp eq i64 %word, 0x6472777373617020
+  condbr i1 %hit, %record, %next
+record:
+  store i64 %addr, ptr @found
+  br %next
+next:
+  %off.next = add i64 %off, 8
+  br %head
+done:
+  %r = load i64, ptr @found
+  ret i64 %r
+}
+define i64 @ver() {
+entry:
+  ret i64 2
+}
+"#;
+
+const SECRET_ADDR: u64 = 0x0060_0000;
+const SECRET_WORD: u64 = 0x6472_7773_7361_7020;
+/// Legal scan target: inside the kernel direct map the policy permits.
+const WORK_ADDR: u64 = carat_kop::core::layout::DIRECT_MAP_BASE + 0x10_0000;
+const ROUNDS: usize = 12;
+const FRAMES_PER_ROUND: usize = 10;
+const DST: [u8; 6] = [0x52, 0x54, 0x00, 0x12, 0x34, 0x56];
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "carat-kop-dev")
+}
+
+fn compile(src: &str) -> carat_kop::compiler::SignedModule {
+    let module = parse_module(src).expect("parse");
+    compile_module(module, &CompileOptions::carat_kop(), &key())
+        .expect("compile")
+        .signed
+}
+
+fn guarded_driver(policy: Arc<PolicyModule>) -> E1000Driver<GuardedMem<Arc<PolicyModule>>> {
+    let mem = GuardedMem::new(DirectMem::with_defaults(E1000Device::default()), policy);
+    let mut drv = E1000Driver::probe(mem).expect("probe");
+    drv.up().expect("up");
+    drv
+}
+
+/// One round of guarded TX work: deterministic payloads, synchronous DMA.
+fn tx_round(
+    drv: &mut E1000Driver<GuardedMem<Arc<PolicyModule>>>,
+    sink: &mut VecSink,
+    round: usize,
+) {
+    for i in 0..FRAMES_PER_ROUND {
+        let payload: Vec<u8> = (0..114).map(|b| (round * 31 + i * 7 + b) as u8).collect();
+        drv.xmit_and_flush(DST, 0x0800, &payload, sink)
+            .expect("guarded TX must keep working");
+    }
+}
+
+/// The same TX workload with no rootkit (and no supervisor) anywhere
+/// near the system.
+fn fault_free_frames() -> Vec<Vec<u8>> {
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    let mut drv = guarded_driver(policy);
+    let mut sink = VecSink::default();
+    for round in 0..ROUNDS {
+        tx_round(&mut drv, &mut sink, round);
+    }
+    sink.frames
+}
+
+fn lifecycle_line(kernel: &Kernel, module: &str) -> String {
+    let out = kernel
+        .ioctl(TRACE_DEV, format!("lifecycle {module}").as_bytes())
+        .expect("lifecycle ioctl");
+    String::from_utf8(out).expect("utf-8 reply")
+}
+
+#[test]
+fn quarantined_module_restarts_and_tx_stays_byte_identical() {
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    policy.set_violation_action(ViolationAction::Quarantine);
+
+    let mut kernel = Kernel::boot(policy.clone(), vec![key()], KernelConfig::default());
+    kernel
+        .mem
+        .write_uint(VAddr(SECRET_ADDR), Size(8), SECRET_WORD)
+        .expect("plant secret");
+
+    let signed = compile(CREDSCAN_SRC);
+    kernel.insmod(&signed).expect("insmod");
+
+    let mut sup = Supervisor::new(SuperConfig {
+        max_restarts: 3,
+        base_backoff_ticks: 2,
+        max_backoff_ticks: 8,
+    });
+    sup.attach(&kernel, "credscan", &signed).expect("attach");
+
+    // The driver shares the kernel's policy module but runs its own NIC —
+    // the concurrent workload neither the quarantine nor the restart may
+    // disturb.
+    let mut drv = guarded_driver(policy.clone());
+    let mut sink = VecSink::default();
+
+    let mut quarantined_at = None;
+    let mut restarted_at = None;
+    for round in 0..ROUNDS {
+        tx_round(&mut drv, &mut sink, round);
+        {
+            let mut interp = Interp::new(&mut kernel).expect("interp");
+            if (1..=3).contains(&round) {
+                // One forbidden probe per round; the default violation
+                // budget (3) quarantines on the third.
+                match interp.call("credscan", "scan", &[SECRET_ADDR, 8]) {
+                    Ok(Some(found)) => assert_eq!(found, 0, "squashed probe sees nothing"),
+                    Err(KernelError::ModuleQuarantined { module, .. }) => {
+                        assert_eq!(module, "credscan");
+                        quarantined_at = Some(round);
+                    }
+                    other => panic!("unexpected probe outcome: {other:?}"),
+                }
+            } else if restarted_at.is_some() {
+                // The restarted instance serves legal work every round.
+                let r = interp
+                    .call("credscan", "scan", &[WORK_ADDR, 64])
+                    .expect("restarted module serves")
+                    .expect("returns");
+                assert_eq!(r, 0);
+            }
+        }
+        if quarantined_at == Some(round) {
+            let line = lifecycle_line(&kernel, "credscan");
+            assert!(line.contains("state=quarantined"), "{line}");
+            assert!(line.contains("last_quarantine(violations=3"), "{line}");
+        }
+        sup.tick(&mut kernel);
+        if restarted_at.is_none()
+            && quarantined_at.is_some()
+            && sup.state("credscan") == Some(ModuleState::Running)
+        {
+            restarted_at = Some(sup.clock());
+            assert!(kernel.module("credscan").is_some(), "re-inserted");
+        }
+    }
+
+    let quarantined_at = quarantined_at.expect("budget was exhausted");
+    assert_eq!(quarantined_at, 3);
+    restarted_at.expect("supervisor restarted within the run");
+    assert_eq!(sup.restarts("credscan"), 1);
+    assert!(kernel.panicked().is_none(), "kernel must not panic");
+    kernel.check_alive().expect("kernel keeps running");
+
+    // Operator view: running again, one supervised restart on record,
+    // the quarantine retained for the post-mortem.
+    let line = lifecycle_line(&kernel, "credscan");
+    assert!(line.contains("state=running"), "{line}");
+    assert!(line.contains("restarts=1"), "{line}");
+    assert!(line.contains("last_quarantine"), "{line}");
+
+    // The concurrent workload was untouched through quarantine, backoff,
+    // and restart: byte-identical to the fault-free run.
+    let clean = fault_free_frames();
+    assert_eq!(sink.frames.len(), ROUNDS * FRAMES_PER_ROUND);
+    assert_eq!(
+        sink.frames, clean,
+        "delivered frames must match the fault-free run byte for byte"
+    );
+    assert_eq!(drv.stats().resets, 0, "driver never needed recovery");
+}
+
+/// A sequence-numbered raw frame (LE `u64` at `frame[14..22]`, where
+/// [`LedgerSink`] audits it).
+fn seq_frame(seq: u64) -> Vec<u8> {
+    let mut f = vec![0u8; 96];
+    f[0..6].copy_from_slice(&DST);
+    f[6..12].copy_from_slice(&[0x02, 0x00, 0x00, 0x00, 0x00, 0x01]);
+    f[12] = 0x88;
+    f[13] = 0xb5;
+    f[14..22].copy_from_slice(&seq.to_le_bytes());
+    f
+}
+
+/// [`DrainPort`] over v1's (wedged) driver: the upgrade drains what it
+/// can and force-migrates the rest.
+struct DriverPort<M: MemSpace> {
+    drv: E1000Driver<M>,
+    ledger: LedgerSink,
+}
+
+impl<M: MemSpace> DrainPort for DriverPort<M> {
+    fn drain(&mut self, max_ticks: u64) -> u64 {
+        self.drv.drain(&mut self.ledger, max_ticks).unwrap_or(0)
+    }
+    fn pending(&self) -> u64 {
+        self.drv.tx_pending()
+    }
+    fn migrate(&mut self) -> Vec<Vec<u8>> {
+        self.drv.take_pending_frames().unwrap_or_default()
+    }
+}
+
+#[test]
+fn live_upgrade_under_tx_storm_drops_nothing() {
+    const BACKLOG: u64 = 8;
+    const FOREGROUND: u64 = 40;
+
+    let policy = Arc::new(PolicyModule::two_region_paper_policy());
+    policy.set_violation_action(ViolationAction::Quarantine);
+    let mut kernel = Kernel::boot(policy.clone(), vec![key()], KernelConfig::default());
+    kernel.insmod(&compile(CREDSCAN_SRC)).expect("insmod v1");
+
+    // v1's NIC wedges after its first DMA tick — the reason to upgrade —
+    // with a backlog of sequenced frames stuck in the ring.
+    let hung = FaultyMem::new(
+        GuardedMem::new(
+            DirectMem::with_defaults(E1000Device::default()),
+            policy.clone(),
+        ),
+        FaultPlan::new(42).with_tx_hang(Trigger::Window {
+            start: 1,
+            len: u64::MAX / 2,
+        }),
+    );
+    let mut v1 = E1000Driver::probe(hung).expect("probe v1");
+    v1.up().expect("up v1");
+    for seq in 0..BACKLOG {
+        v1.xmit_raw(&seq_frame(seq)).expect("queue backlog");
+    }
+    assert_eq!(v1.tx_pending(), BACKLOG);
+    let mut port = DriverPort {
+        drv: v1,
+        ledger: LedgerSink::new(),
+    };
+
+    // Foreground traffic on its own healthy queue, flowing before,
+    // during (interleaved), and after the swap.
+    let mut fg = guarded_driver(policy.clone());
+    let mut ledger = LedgerSink::new();
+    for seq in 1_000..1_000 + FOREGROUND / 2 {
+        fg.xmit_raw(&seq_frame(seq)).expect("fg xmit");
+        fg.drain(&mut ledger, 2).expect("fg drain");
+    }
+
+    let gen_before = policy.store_generation();
+    let report = upgrade_module(
+        &mut kernel,
+        "credscan",
+        &compile(CREDSCAN_V2_SRC),
+        &mut port,
+        UpgradeOptions { drain_ticks: 4 },
+    )
+    .expect("upgrade");
+
+    for seq in 1_000 + FOREGROUND / 2..1_000 + FOREGROUND {
+        fg.xmit_raw(&seq_frame(seq)).expect("fg xmit");
+        fg.drain(&mut ledger, 2).expect("fg drain");
+    }
+    fg.drain(&mut ledger, 1_024).expect("fg final drain");
+    assert_eq!(fg.tx_pending(), 0);
+
+    // The wedged ring could not drain: every backlog frame migrated.
+    assert_eq!(report.instance, "credscan#v2");
+    assert_eq!(report.migrated.len() as u64, BACKLOG, "full migration");
+    assert!(report.generation > gen_before, "epoch bumped at the swap");
+
+    // Resubmit the migrated in-flight frames through v2's driver.
+    let mut v2 = guarded_driver(policy.clone());
+    for frame in &report.migrated {
+        v2.xmit_raw(frame).expect("resubmit migrated");
+    }
+    v2.drain(&mut ledger, 1_024).expect("drain migrated");
+
+    // Zero dropped, zero duplicated — across backlog and foreground.
+    for l in [&port.ledger, &ledger] {
+        assert_eq!(l.duplicates, 0, "no frame delivered twice");
+    }
+    for seq in 0..BACKLOG {
+        assert!(ledger.has(seq), "backlog seq {seq} dropped");
+    }
+    for seq in 1_000..1_000 + FOREGROUND {
+        assert!(ledger.has(seq), "foreground seq {seq} dropped");
+    }
+    assert_eq!(
+        ledger.distinct() + port.ledger.distinct(),
+        BACKLOG + FOREGROUND
+    );
+
+    // Dispatch through the module name reaches v2's code.
+    assert_eq!(kernel.dispatch_target("credscan"), Some("credscan#v2"));
+    let mut interp = Interp::new(&mut kernel).expect("interp");
+    let ver = interp
+        .call("credscan", "ver", &[])
+        .expect("alias dispatch")
+        .expect("returns");
+    assert_eq!(ver, 2);
+    drop(interp);
+
+    assert!(
+        kernel
+            .dmesg()
+            .iter()
+            .any(|l| l.contains("upgraded 'credscan'")),
+        "upgrade lands in dmesg"
+    );
+    let line = lifecycle_line(&kernel, "credscan#v2");
+    assert!(line.contains("state=running"), "{line}");
+}
