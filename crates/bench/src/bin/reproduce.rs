@@ -1,16 +1,16 @@
 //! `reproduce` — regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|soak|all]
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|soak|forward|all]
 //!           [--csv]        # raw series to stdout instead of the report
 //!           [--out DIR]    # additionally write one CSV per figure into DIR
 //!           [--quick]      # tiny trial counts (CI smoke); not paper-scale
 //! ```
 //!
-//! The `smp`, `exec`, `opt`, and `soak` figures additionally write
-//! machine-readable `BENCH_smp.json` / `BENCH_exec.json` /
-//! `BENCH_opt.json` / `BENCH_soak.json` (into `--out DIR` when given,
-//! else the current directory).
+//! The `smp`, `exec`, `opt`, `soak`, and `forward` figures additionally
+//! write machine-readable `BENCH_smp.json` / `BENCH_exec.json` /
+//! `BENCH_opt.json` / `BENCH_soak.json` / `BENCH_forward.json` (into
+//! `--out DIR` when given, else the current directory).
 
 use kop_bench::figures;
 
@@ -61,11 +61,12 @@ fn main() {
         "exec" => vec![figures::exec()],
         "smp" => vec![figures::smp()],
         "soak" => vec![figures::soak()],
+        "forward" => vec![figures::forward()],
         "all" => figures::all_figures(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|soak|all] [--csv] [--quick]"
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|soak|forward|all] [--csv] [--quick]"
             );
             std::process::exit(2);
         }
@@ -85,7 +86,12 @@ fn main() {
             std::fs::write(&path, fig.render_csv()).expect("write figure CSV");
             eprintln!("wrote {}", path.display());
         }
-        if fig.id == "smp" || fig.id == "exec" || fig.id == "opt" || fig.id == "soak" {
+        if fig.id == "smp"
+            || fig.id == "exec"
+            || fig.id == "opt"
+            || fig.id == "soak"
+            || fig.id == "forward"
+        {
             // Machine-readable results for CI consumers and dashboards.
             let dir = out_dir.as_deref().unwrap_or(".");
             let path = std::path::Path::new(dir).join(format!("BENCH_{}.json", fig.id));

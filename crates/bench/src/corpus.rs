@@ -93,6 +93,67 @@ entry:
 }
 "#;
 
+/// The forwarding rewrite expressed in KIR — the RX-side companion to
+/// [`MINI_E1000E_IR`]. `@fwd_rewrite` copies a received frame into a TX
+/// buffer byte-by-byte (guarded loads from the DMA-filled RX buffer,
+/// guarded stores into the TX buffer), then patches the Ethernet header
+/// for the echo path: destination becomes the original source,
+/// source becomes the forwarder's own MAC (passed as a 48-bit
+/// little-endian integer). Matches [`kop_net::rewrite`] exactly, so the
+/// interpreter-driven and native forwarding paths are byte-comparable.
+pub const FORWARD_IR: &str = r#"
+module "fwd-rewrite"
+
+global @fwd_stats : { i64, i64 } = zero
+
+define i64 @fwd_rewrite(ptr %rx, ptr %tx, i64 %own48, i64 %len) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %copy ]
+  %more = icmp ult i64 %i, %len
+  condbr i1 %more, %copy, %patch
+copy:
+  %sp = gep i8, ptr %rx, i64 %i
+  %b = load i8, ptr %sp
+  %dp = gep i8, ptr %tx, i64 %i
+  store i8 %b, ptr %dp
+  %i.next = add i64 %i, 1
+  br %head
+patch:
+  br %swap
+swap:
+  %j = phi i64 [ 0, %patch ], [ %j.next, %swapbody ]
+  %c = icmp ult i64 %j, 6
+  condbr i1 %c, %swapbody, %ownmac
+swapbody:
+  %soff = add i64 %j, 6
+  %srcb.p = gep i8, ptr %rx, i64 %soff
+  %srcb = load i8, ptr %srcb.p
+  %dstb.p = gep i8, ptr %tx, i64 %j
+  store i8 %srcb, ptr %dstb.p
+  %j.next = add i64 %j, 1
+  br %swap
+ownmac:
+  %own32 = trunc i64 %own48 to i32
+  %sp6 = gep i8, ptr %tx, i64 6
+  store i32 %own32, ptr %sp6
+  %hi = lshr i64 %own48, 32
+  %own16 = trunc i64 %hi to i16
+  %sp10 = gep i8, ptr %tx, i64 10
+  store i16 %own16, ptr %sp10
+  %pk.p = gep { i64, i64 }, ptr @fwd_stats, i64 0, i32 0
+  %pk = load i64, ptr %pk.p
+  %pk2 = add i64 %pk, 1
+  store i64 %pk2, ptr %pk.p
+  %by.p = gep { i64, i64 }, ptr @fwd_stats, i64 0, i32 1
+  %by = load i64, ptr %by.p
+  %by2 = add i64 %by, %len
+  store i64 %by2, ptr %by.p
+  ret i64 %len
+}
+"#;
+
 /// A guard-optimization workload: a hot loop with loop-invariant global
 /// accesses (hoistable) and repeated same-pointer accesses (deduplicable).
 pub const OPT_WORKLOAD_IR: &str = r#"
@@ -222,6 +283,7 @@ pub fn synthetic_large(n_funcs: usize) -> Module {
 pub fn all() -> Vec<(&'static str, Module)> {
     vec![
         ("mini-e1000e", parse(MINI_E1000E_IR)),
+        ("fwd-rewrite", parse(FORWARD_IR)),
         ("opt-workload", parse(OPT_WORKLOAD_IR)),
         ("credscan", parse(ROOTKIT_IR)),
     ]
@@ -238,6 +300,16 @@ mod tests {
             verify_module(&module).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(module.memory_access_count() > 0, "{name} touches memory");
         }
+    }
+
+    #[test]
+    fn forward_rewrite_has_expected_shape() {
+        let m = parse(FORWARD_IR);
+        assert_eq!(m.functions.len(), 1);
+        assert!(m.function("fwd_rewrite").is_some());
+        // Copy loop (1 load + 1 store) + MAC swap loop (1 load + 1 store)
+        // + own-MAC patch (2 stores) + stats (2 loads, 2 stores).
+        assert!(m.memory_access_count() >= 10);
     }
 
     #[test]

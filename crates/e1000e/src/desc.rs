@@ -18,6 +18,16 @@ pub mod txsts {
     pub const DD: u8 = 1 << 0;
 }
 
+/// RX descriptor status bits (written back by the receive DMA engine).
+pub mod rxsts {
+    /// Descriptor done: the device filled this descriptor's buffer.
+    pub const DD: u8 = 1 << 0;
+    /// End of packet: this descriptor holds the frame's final bytes.
+    /// Frames longer than one buffer span several descriptors; only the
+    /// last carries EOP, and the driver assembles across them.
+    pub const EOP: u8 = 1 << 1;
+}
+
 /// A legacy transmit descriptor.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TxDesc {

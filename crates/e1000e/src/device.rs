@@ -5,8 +5,13 @@
 //! entirely (§4: DMA "is not checked (and thus not slowed)"; footnote 3:
 //! controlling DMA belongs to IOMMU/SR-IOV, out of scope).
 
-use crate::desc::{txcmd, txsts, RxDesc, TxDesc, DESC_SIZE};
+use crate::desc::{rxsts, txcmd, txsts, RxDesc, TxDesc, DESC_SIZE};
 use crate::regs::{self, ctrl, eerd, intr, rctl, status, tctl};
+
+/// Bytes one RX descriptor's buffer can hold (RCTL.BSIZE default on the
+/// 8254x family: 2048). Frames longer than this span several descriptors,
+/// with EOP set only on the last.
+pub const RX_BUF_CAP: usize = 2048;
 
 /// Physical memory as seen by the DMA engine.
 pub trait DmaMem {
@@ -74,6 +79,14 @@ pub struct DeviceStats {
     pub reg_reads: u64,
     /// Register writes observed.
     pub reg_writes: u64,
+    /// Frames the wire offered that the receiver dropped (disabled, ring
+    /// exhausted, or not enough free descriptors for the whole frame).
+    pub rx_dropped: u64,
+    /// RXT0 causes actually latched by the receive engine.
+    pub rx_irqs_raised: u64,
+    /// Frame arrivals the interrupt-coalescing throttle (RDTR) absorbed
+    /// without latching a cause.
+    pub rx_irqs_coalesced: u64,
 }
 
 /// The simulated 82574L-style NIC.
@@ -95,6 +108,7 @@ pub struct E1000Device {
     rdlen: u64,
     rdh: u64,
     rdt: u64,
+    rdtr: u64,
     ral0: u64,
     rah0: u64,
     eerd: u64,
@@ -105,6 +119,8 @@ pub struct E1000Device {
     eeprom: [u16; 64],
     /// Partial multi-descriptor frame being assembled by the TX engine.
     tx_partial: Vec<u8>,
+    /// Frames accumulated toward the next RXT0 under the RDTR throttle.
+    rx_coalesce: u64,
     /// Model statistics.
     pub stats: DeviceStats,
 }
@@ -139,6 +155,7 @@ impl E1000Device {
             rdlen: 0,
             rdh: 0,
             rdt: 0,
+            rdtr: 0,
             ral0: 0,
             rah0: 0,
             eerd: 0,
@@ -147,6 +164,7 @@ impl E1000Device {
             gprc: 0,
             eeprom,
             tx_partial: Vec::new(),
+            rx_coalesce: 0,
             stats: DeviceStats::default(),
         }
     }
@@ -185,6 +203,7 @@ impl E1000Device {
             regs::RDLEN => self.rdlen,
             regs::RDH => self.rdh,
             regs::RDT => self.rdt,
+            regs::RDTR => self.rdtr,
             regs::RAL0 => self.ral0,
             regs::RAH0 => self.rah0,
             regs::GPTC => self.gptc,
@@ -232,6 +251,7 @@ impl E1000Device {
             regs::RDLEN => self.rdlen = value & 0xf_ff80,
             regs::RDH => self.rdh = value & 0xffff,
             regs::RDT => self.rdt = value & 0xffff,
+            regs::RDTR => self.rdtr = value & 0xffff,
             regs::RAL0 => self.ral0 = value,
             regs::RAH0 => self.rah0 = value,
             _ => {}
@@ -316,33 +336,76 @@ impl E1000Device {
         sent
     }
 
-    /// Inject a received frame (the wire side). Returns `true` if the
-    /// device had a free RX descriptor and delivered it to memory.
-    pub fn rx_inject(&mut self, mem: &mut dyn DmaMem, frame: &[u8]) -> bool {
-        if self.rctl & rctl::EN == 0 || self.rx_ring_entries() == 0 {
-            return false;
+    /// RX descriptors the device currently owns (programmed by the driver
+    /// via RDT, consumed by the receive engine via RDH).
+    fn rx_free_descs(&self) -> u64 {
+        let entries = self.rx_ring_entries();
+        if entries == 0 {
+            return 0;
         }
         // Ring empty for the device when RDH == RDT (driver owns none).
-        if self.rdh == self.rdt {
+        (self.rdt + entries - self.rdh) % entries
+    }
+
+    /// Inject a received frame (the wire side). Returns `true` if the
+    /// device had enough free RX descriptors and DMA'd the frame into
+    /// their buffers — frames longer than [`RX_BUF_CAP`] span several
+    /// descriptors, with [`rxsts::EOP`] set only on the last. A frame
+    /// that does not fit is dropped whole (counted in
+    /// [`DeviceStats::rx_dropped`], RXO latched); partial delivery never
+    /// happens. RXT0 is latched per the RDTR coalescing throttle.
+    pub fn rx_inject(&mut self, mem: &mut dyn DmaMem, frame: &[u8]) -> bool {
+        if self.rctl & rctl::EN == 0 || self.rx_ring_entries() == 0 {
+            self.stats.rx_dropped += 1;
             return false;
         }
-        let daddr = self.rx_base() + self.rdh * DESC_SIZE;
-        let mut dbytes = [0u8; 16];
-        mem.dma_read(daddr, &mut dbytes);
-        self.stats.dma_read_bytes += DESC_SIZE;
-        let mut desc = RxDesc::from_bytes(&dbytes);
+        let needed = frame.len().div_ceil(RX_BUF_CAP).max(1) as u64;
+        if self.rx_free_descs() < needed {
+            self.stats.rx_dropped += 1;
+            self.icr |= intr::RXO;
+            return false;
+        }
 
-        mem.dma_write(desc.buffer, frame);
-        self.stats.dma_write_bytes += frame.len() as u64;
-        desc.length = frame.len() as u16;
-        desc.status |= txsts::DD;
-        let out = desc.to_bytes();
-        mem.dma_write(daddr, &out);
-        self.stats.dma_write_bytes += DESC_SIZE;
+        let entries = self.rx_ring_entries();
+        for (i, chunk) in frame
+            .chunks(RX_BUF_CAP)
+            .chain(frame.is_empty().then_some(frame))
+            .enumerate()
+        {
+            let daddr = self.rx_base() + self.rdh * DESC_SIZE;
+            let mut dbytes = [0u8; 16];
+            mem.dma_read(daddr, &mut dbytes);
+            self.stats.dma_read_bytes += DESC_SIZE;
+            let mut desc = RxDesc::from_bytes(&dbytes);
 
-        self.rdh = (self.rdh + 1) % self.rx_ring_entries();
+            mem.dma_write(desc.buffer, chunk);
+            self.stats.dma_write_bytes += chunk.len() as u64;
+            desc.length = chunk.len() as u16;
+            desc.status |= rxsts::DD;
+            if i as u64 + 1 == needed {
+                desc.status |= rxsts::EOP;
+            }
+            let out = desc.to_bytes();
+            mem.dma_write(daddr, &out);
+            self.stats.dma_write_bytes += DESC_SIZE;
+            self.rdh = (self.rdh + 1) % entries;
+        }
+
         self.gprc += 1;
-        self.icr |= intr::RXT0;
+        // Descriptor low-water mark: tell the driver the ring is running
+        // dry (the driver only sees it if it unmasks RXDMT0).
+        if self.rx_free_descs() <= entries / 8 {
+            self.icr |= intr::RXDMT0;
+        }
+        // Interrupt-coalescing throttle: RDTR frames per RXT0.
+        self.rx_coalesce += 1;
+        if self.rx_coalesce >= self.rdtr.max(1) {
+            self.rx_coalesce = 0;
+            self.icr |= intr::RXT0;
+            self.stats.rx_irqs_raised += 1;
+        } else {
+            self.stats.rx_irqs_coalesced += 1;
+        }
         true
     }
 }
@@ -567,5 +630,107 @@ mod tests {
         let mut d = reset_device();
         let mut mem = vec![0u8; 1 << 16];
         assert!(!d.rx_inject(&mut mem, b"x"));
+        assert_eq!(d.stats.rx_dropped, 1);
+    }
+
+    /// Program an RX ring with `entries` descriptors and buffers, RDT at
+    /// `entries - 1` (all but one descriptor owned by the device).
+    fn setup_rx(d: &mut E1000Device, mem: &mut [u8], entries: u64) {
+        d.reg_write(regs::RDBAL, 0x2000);
+        d.reg_write(regs::RDLEN, entries * DESC_SIZE);
+        d.reg_write(regs::RCTL, rctl::EN | rctl::BAM);
+        for i in 0..entries {
+            let desc = RxDesc {
+                buffer: 0x20_000 + i * 2048,
+                ..RxDesc::default()
+            };
+            let daddr = (0x2000 + i * DESC_SIZE) as usize;
+            mem[daddr..daddr + 16].copy_from_slice(&desc.to_bytes());
+        }
+        d.reg_write(regs::RDH, 0);
+        d.reg_write(regs::RDT, entries - 1);
+    }
+
+    fn rx_desc_at(mem: &[u8], i: usize) -> RxDesc {
+        let daddr = 0x2000 + i * 16;
+        RxDesc::from_bytes(&mem[daddr..daddr + 16].try_into().expect("16 bytes"))
+    }
+
+    #[test]
+    fn rx_long_frame_spans_descriptors_with_eop_on_last() {
+        let mut d = reset_device();
+        let mut mem = vec![0u8; 1 << 20];
+        setup_rx(&mut d, &mut mem, 8);
+        // 2048 + 2048 + 1 bytes → three descriptors.
+        let frame: Vec<u8> = (0..2 * RX_BUF_CAP + 1).map(|i| i as u8).collect();
+        assert!(d.rx_inject(&mut mem, &frame));
+        let d0 = rx_desc_at(&mem, 0);
+        let d1 = rx_desc_at(&mem, 1);
+        let d2 = rx_desc_at(&mem, 2);
+        for (i, desc) in [d0, d1, d2].iter().enumerate() {
+            assert!(desc.status & rxsts::DD != 0, "desc {i} done");
+        }
+        assert_eq!(d0.status & rxsts::EOP, 0, "first chunk is not EOP");
+        assert_eq!(d1.status & rxsts::EOP, 0, "middle chunk is not EOP");
+        assert!(d2.status & rxsts::EOP != 0, "last chunk carries EOP");
+        assert_eq!((d0.length, d1.length, d2.length), (2048, 2048, 1));
+        // Buffers hold the right slices.
+        assert_eq!(&mem[0x20_000..0x20_000 + 2048], &frame[..2048]);
+        assert_eq!(mem[0x21_000], frame[4096]);
+        assert_eq!(d.reg_read(regs::RDH), 3);
+        assert_eq!(d.reg_read(regs::GPRC), 1, "one frame, not three");
+    }
+
+    #[test]
+    fn rx_overrun_drops_whole_frame_and_latches_rxo() {
+        let mut d = reset_device();
+        let mut mem = vec![0u8; 1 << 20];
+        setup_rx(&mut d, &mut mem, 8);
+        d.reg_write(regs::RDT, 3);
+        // 3 descriptors free; a 3-buffer frame fits, the next one doesn't.
+        let big: Vec<u8> = vec![0xab; 2 * RX_BUF_CAP + 1];
+        assert!(d.rx_inject(&mut mem, &big));
+        assert!(!d.rx_inject(&mut mem, b"no room"));
+        assert_eq!(d.stats.rx_dropped, 1);
+        assert_eq!(d.reg_read(regs::GPRC), 1);
+        // Nothing was DMA'd for the dropped frame and RDH did not move.
+        assert_eq!(d.reg_read(regs::RDH), 3);
+        let icr = d.reg_read(regs::ICR);
+        assert!(icr & intr::RXO != 0, "overrun cause latched");
+    }
+
+    #[test]
+    fn rdtr_throttle_coalesces_rx_interrupts() {
+        let mut d = reset_device();
+        let mut mem = vec![0u8; 1 << 20];
+        setup_rx(&mut d, &mut mem, 32);
+        d.reg_write(regs::RDTR, 4); // one RXT0 per 4 frames
+        d.reg_write(regs::IMS, intr::RXT0);
+        for i in 0..3 {
+            assert!(d.rx_inject(&mut mem, b"burst"));
+            assert!(!d.irq_pending(), "frame {i} absorbed by the throttle");
+        }
+        assert!(d.rx_inject(&mut mem, b"burst"));
+        assert!(d.irq_pending(), "4th frame latches RXT0");
+        assert_eq!(d.stats.rx_irqs_raised, 1);
+        assert_eq!(d.stats.rx_irqs_coalesced, 3);
+        // Throttle restarts after firing.
+        let _ = d.reg_read(regs::ICR);
+        assert!(d.rx_inject(&mut mem, b"burst"));
+        assert!(!d.irq_pending());
+    }
+
+    #[test]
+    fn rx_low_water_mark_latches_rxdmt0() {
+        let mut d = reset_device();
+        let mut mem = vec![0u8; 1 << 20];
+        setup_rx(&mut d, &mut mem, 16);
+        // 15 free; low-water mark is entries/8 == 2.
+        for _ in 0..12 {
+            assert!(d.rx_inject(&mut mem, b"fill"));
+        }
+        assert_eq!(d.reg_read(regs::ICR) & intr::RXDMT0, 0);
+        assert!(d.rx_inject(&mut mem, b"fill")); // 2 free now
+        assert!(d.reg_read(regs::ICR) & intr::RXDMT0 != 0);
     }
 }

@@ -38,6 +38,12 @@ pub const RDLEN: u64 = 0x2808;
 pub const RDH: u64 = 0x2810;
 /// Receive descriptor tail (driver doorbell).
 pub const RDT: u64 = 0x2818;
+/// Receive interrupt delay timer — the interrupt-coalescing throttle.
+/// The model interprets the programmed value as "frames to accumulate
+/// before latching RXT0" (0 or 1 ⇒ an interrupt per frame); arrivals
+/// absorbed by the throttle are counted in the device's
+/// `rx_irqs_coalesced` statistic instead of raising a cause bit.
+pub const RDTR: u64 = 0x2820;
 /// Receive address low (MAC address bytes 0-3).
 pub const RAL0: u64 = 0x5400;
 /// Receive address high (MAC bytes 4-5 + valid bit).
@@ -93,6 +99,10 @@ pub mod intr {
     pub const TXDW: u64 = 1 << 0;
     /// Link status change.
     pub const LSC: u64 = 1 << 2;
+    /// Receive descriptor minimum threshold hit (ring nearly exhausted).
+    pub const RXDMT0: u64 = 1 << 4;
+    /// Receiver overrun: a frame arrived with no free descriptor.
+    pub const RXO: u64 = 1 << 6;
     /// Receiver timer interrupt (packet received).
     pub const RXT0: u64 = 1 << 7;
 }
@@ -117,7 +127,7 @@ mod tests {
     fn offsets_are_distinct_and_in_bar() {
         let regs = [
             CTRL, STATUS, EERD, ICR, IMS, IMC, RCTL, TCTL, TDBAL, TDBAH, TDLEN, TDH, TDT, RDBAL,
-            RDBAH, RDLEN, RDH, RDT, RAL0, RAH0, GPTC, GOTCL, GOTCH, GPRC,
+            RDBAH, RDLEN, RDH, RDT, RDTR, RAL0, RAH0, GPTC, GOTCL, GOTCH, GPRC,
         ];
         let set: std::collections::BTreeSet<u64> = regs.iter().copied().collect();
         assert_eq!(set.len(), regs.len());

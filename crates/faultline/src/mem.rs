@@ -14,7 +14,13 @@
 //!   but the frames never reach the wire;
 //! * **link flap** — STATUS reads report link down;
 //! * **descriptor corruption** — a RAM read (the driver's RAM reads are
-//!   descriptor reads) comes back with one bit flipped.
+//!   descriptor reads) comes back with one bit flipped;
+//! * **RX DMA drop** — an incoming frame vanishes before the receive
+//!   engine sees it (wire loss);
+//! * **RX status corruption** — a descriptor status-byte read comes back
+//!   with DD|EOP flipped (done work looks pending, or vice versa);
+//! * **interrupt storm / lost interrupt** — ICR reads come back with
+//!   spurious causes set, or with every latched cause swallowed.
 //!
 //! The wrapper sits *under* the guard layer (wrap `DirectMem`, then
 //! [`kop_e1000e::GuardedMem`] over it) or *over* it — either way the
@@ -47,6 +53,14 @@ pub struct FaultStats {
     pub link_flaps: u64,
     /// RAM reads answered with a flipped bit.
     pub reads_corrupted: u64,
+    /// Incoming frames dropped before the receive DMA engine saw them.
+    pub rx_frames_dropped: u64,
+    /// RX descriptor status reads answered with flipped low bits.
+    pub rx_status_corrupted: u64,
+    /// ICR reads answered with spurious causes set (interrupt storm).
+    pub irq_storms: u64,
+    /// ICR reads answered with zero, swallowing latched causes.
+    pub irqs_lost: u64,
 }
 
 impl FaultStats {
@@ -58,6 +72,10 @@ impl FaultStats {
             + self.frames_dropped
             + self.link_flaps
             + self.reads_corrupted
+            + self.rx_frames_dropped
+            + self.rx_status_corrupted
+            + self.irq_storms
+            + self.irqs_lost
     }
 }
 
@@ -136,6 +154,20 @@ impl<M: MemSpace> MemSpace for FaultyMem<M> {
                 self.note_fault("link_flap");
                 v &= !regs::status::LU;
             }
+            if addr == self.inner.mmio_base() + regs::ICR {
+                // The inner read already cleared ICR; the fault decides
+                // what the ISR *sees* (spurious causes / nothing at all).
+                if self.plan.irq_storm.check() {
+                    self.stats.irq_storms += 1;
+                    self.note_fault("irq_storm");
+                    v |= regs::intr::RXT0 | regs::intr::TXDW;
+                }
+                if self.plan.lost_irq.check() {
+                    self.stats.irqs_lost += 1;
+                    self.note_fault("lost_irq");
+                    v = 0;
+                }
+            }
             return Ok(v);
         }
         let mut v = self.inner.read(addr, size)?;
@@ -144,6 +176,14 @@ impl<M: MemSpace> MemSpace for FaultyMem<M> {
             self.note_fault("desc_corrupt");
             // Deterministic bit choice: walk the word as faults accumulate.
             v ^= 1 << (self.plan.desc_corrupt.fired() % (size * 8).max(1));
+        }
+        if size == 1 && self.plan.rx_desc_corrupt.check() {
+            self.stats.rx_status_corrupted += 1;
+            self.note_fault("rx_desc_corrupt");
+            // Status bytes are the driver's only 1-byte reads; flipping
+            // DD|EOP makes done work look pending (missed harvest) or
+            // pending work look done (garbage descriptor).
+            v ^= 0b11;
         }
         Ok(v)
     }
@@ -184,6 +224,11 @@ impl<M: MemSpace> MemSpace for FaultyMem<M> {
     }
 
     fn rx_inject(&mut self, frame: &[u8]) -> bool {
+        if self.plan.rx_dma_drop.check() {
+            self.stats.rx_frames_dropped += 1;
+            self.note_fault("rx_dma_drop");
+            return false;
+        }
         self.inner.rx_inject(frame)
     }
 
@@ -337,6 +382,73 @@ mod tests {
         );
         // The guarded read under the fault layer was traced too.
         assert_eq!(tracer.total_checks(), 1);
+    }
+
+    #[test]
+    fn rx_dma_drop_loses_frames_on_the_wire_side() {
+        let plan = FaultPlan::quiet().with_rx_dma_drop(Trigger::Nth(2));
+        let mut drv = E1000Driver::probe(faulty(plan)).unwrap();
+        drv.up().unwrap();
+        assert!(drv.mem().rx_inject(b"delivered frame"));
+        assert!(!drv.mem().rx_inject(b"dropped frame"), "wire loss");
+        assert!(drv.mem().rx_inject(b"delivered again"));
+        assert_eq!(drv.mem().fault_stats().rx_frames_dropped, 1);
+        // The driver harvests exactly the two delivered frames.
+        let frames = drv.rx_poll().unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], b"delivered frame");
+        assert_eq!(frames[1], b"delivered again");
+    }
+
+    #[test]
+    fn rx_status_corruption_hides_done_work_until_next_poll() {
+        // Fire on the driver's first 1-byte status read: the completed
+        // descriptor looks pending, the poll comes up empty, and the
+        // next (clean) poll harvests the frame — no loss.
+        let plan = FaultPlan::quiet().with_rx_desc_corrupt(Trigger::Nth(1));
+        let mut drv = E1000Driver::probe(faulty(plan)).unwrap();
+        drv.up().unwrap();
+        assert!(drv.mem().rx_inject(b"hidden briefly"));
+        let (frames, drained) = drv.poll(8).unwrap();
+        assert!(frames.is_empty(), "corrupted status hid the frame");
+        // The end-of-pass drain re-check reads the true status byte, so
+        // NAPI already knows there is still work: poll again.
+        assert!(!drained);
+        assert_eq!(drv.mem().fault_stats().rx_status_corrupted, 1);
+        let (frames, _) = drv.poll(8).unwrap();
+        assert_eq!(frames, vec![b"hidden briefly".to_vec()], "recovered");
+    }
+
+    #[test]
+    fn irq_storm_raises_spurious_causes() {
+        let plan = FaultPlan::quiet().with_irq_storm(Trigger::Nth(1));
+        let mut drv = E1000Driver::probe(faulty(plan)).unwrap();
+        drv.up().unwrap();
+        // No RX work exists, yet the ISR sees causes.
+        let cause = drv.irq_enter().unwrap();
+        assert_ne!(cause & regs::intr::RXT0, 0, "spurious RXT0");
+        assert_eq!(drv.mem().fault_stats().irq_storms, 1);
+        // The poll behind the spurious interrupt finds nothing and
+        // re-arms; the datapath is unharmed.
+        let (frames, drained) = drv.poll(8).unwrap();
+        assert!(frames.is_empty());
+        assert!(drained);
+        assert_eq!(drv.stats().rx_no_desc, 1);
+    }
+
+    #[test]
+    fn lost_irq_recovered_by_polling() {
+        let plan = FaultPlan::quiet().with_lost_irq(Trigger::Nth(1));
+        let mut drv = E1000Driver::probe(faulty(plan)).unwrap();
+        drv.up().unwrap();
+        assert!(drv.mem().rx_inject(b"quietly waiting"));
+        // The latched RXT0 is swallowed at ISR entry...
+        let cause = drv.irq_enter().unwrap();
+        assert_eq!(cause, 0, "interrupt lost");
+        assert_eq!(drv.mem().fault_stats().irqs_lost, 1);
+        // ...but the frame is still in the ring; a poll recovers it.
+        let (frames, _) = drv.poll(8).unwrap();
+        assert_eq!(frames, vec![b"quietly waiting".to_vec()]);
     }
 
     #[test]

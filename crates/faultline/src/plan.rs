@@ -121,11 +121,28 @@ pub struct FaultPlan {
     /// the supervisor toward a restart. Counted per supervision round by
     /// the soak harness — no wrapper consumes it.
     pub restart_storm: FaultPoint,
+    /// Device RX seam: the receive DMA engine drops an incoming frame on
+    /// the floor (wire loss — `rx_inject` reports failure, nothing is
+    /// written to memory). Counted per `rx_inject`.
+    pub rx_dma_drop: FaultPoint,
+    /// Device RX seam: an RX descriptor *status-byte* read comes back
+    /// with its low bits flipped — the driver sees done-work as pending
+    /// (a missed harvest, recovered on the next poll) or garbage.
+    /// Counted per 1-byte RAM read.
+    pub rx_desc_corrupt: FaultPoint,
+    /// Interrupt seam: an ICR read comes back with RX/TX causes spuriously
+    /// set (interrupt storm — the ISR runs with no work behind it).
+    /// Counted per ICR read.
+    pub irq_storm: FaultPoint,
+    /// Interrupt seam: an ICR read comes back zero, swallowing latched
+    /// causes (lost interrupt — recovered by the next poll or watchdog).
+    /// Counted per ICR read.
+    pub lost_irq: FaultPoint,
 }
 
 /// Distinct per-point seed offsets so sites with probability triggers
 /// draw independent streams from the same plan seed.
-const POINT_SALTS: [u64; 10] = [
+const POINT_SALTS: [u64; 14] = [
     0x9e37_79b9_7f4a_7c15,
     0xbf58_476d_1ce4_e5b9,
     0x94d0_49bb_1331_11eb,
@@ -136,6 +153,10 @@ const POINT_SALTS: [u64; 10] = [
     0x0f0f_0f0f_f0f0_f0f0,
     0x3c6e_f372_fe94_f82b,
     0x1f83_d9ab_fb41_bd6b,
+    0x5be0_cd19_137e_2179,
+    0x6a09_e667_f3bc_c908,
+    0xbb67_ae85_84ca_a73b,
+    0x510e_527f_ade6_82d1,
 ];
 
 impl FaultPlan {
@@ -155,6 +176,10 @@ impl FaultPlan {
             spurious_deny: point(),
             check_delay: point(),
             restart_storm: point(),
+            rx_dma_drop: point(),
+            rx_desc_corrupt: point(),
+            irq_storm: point(),
+            lost_irq: point(),
         }
     }
 
@@ -225,6 +250,30 @@ impl FaultPlan {
     /// trigger.
     pub fn with_restart_storm(mut self, t: Trigger) -> FaultPlan {
         Self::retrigger(&mut self.restart_storm, t);
+        self
+    }
+
+    /// Enable RX wire-side frame drops with the given trigger.
+    pub fn with_rx_dma_drop(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.rx_dma_drop, t);
+        self
+    }
+
+    /// Enable RX descriptor status corruption with the given trigger.
+    pub fn with_rx_desc_corrupt(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.rx_desc_corrupt, t);
+        self
+    }
+
+    /// Enable spurious interrupt storms with the given trigger.
+    pub fn with_irq_storm(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.irq_storm, t);
+        self
+    }
+
+    /// Enable lost interrupts with the given trigger.
+    pub fn with_lost_irq(mut self, t: Trigger) -> FaultPlan {
+        Self::retrigger(&mut self.lost_irq, t);
         self
     }
 }

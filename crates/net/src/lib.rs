@@ -13,16 +13,26 @@
 //!   real driver model, counts its actual memory work, and converts it to
 //!   cycles on a [`kop_sim::MachineProfile`],
 //! * [`tool`] — trial orchestration (N packets per trial, many trials),
-//!   producing the samples Figures 3–7 are drawn from.
+//!   producing the samples Figures 3–7 are drawn from,
+//! * [`flowgen`] — seeded flow-level load generation for the receive
+//!   path (thousands of flows, heavy-tailed sizes, bursts),
+//! * [`forward`] — the echo/forwarding workload closing the loop
+//!   RX → parse → rewrite → TX.
 
 #![warn(missing_docs)]
 
+pub mod flowgen;
+pub mod forward;
 pub mod frame;
 pub mod sender;
 pub mod sink;
 pub mod skb;
 pub mod tool;
 
+pub use flowgen::FlowGen;
+pub use forward::{
+    rewrite, run_forward, run_mq_forward, ForwardQueueReport, ForwardReport, MqForwardReport,
+};
 pub use frame::{EtherType, Frame, MacAddr};
 pub use sender::{RawSender, SendError};
 pub use sink::{LedgerSink, PacketSink};

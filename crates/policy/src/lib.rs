@@ -50,7 +50,8 @@ pub mod vlog;
 pub use intrinsics::IntrinsicPolicy;
 pub use manager::{PolicyCmd, PolicyCmdError, PolicyResponse};
 pub use module::{
-    CheckPath, ClassifiedCheck, DefaultAction, GuardOutcome, PolicyModule, ViolationAction,
+    CheckPath, ClassifiedCheck, DatapathGeometry, DefaultAction, GuardOutcome, PolicyModule,
+    ViolationAction,
 };
 pub use snapshot::{PolicySnapshot, SnapshotStore};
 pub use stats::GuardStats;

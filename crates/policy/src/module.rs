@@ -38,6 +38,25 @@ use crate::store::{make_store, Lookup, PolicyError, RegionStore, StoreKind};
 use crate::vlog::ViolationLog;
 use crate::PolicyCheck;
 
+/// The memory geometry of one NIC datapath, in the driver's virtual
+/// address space, used by [`PolicyModule::datapath_policy`] to build a
+/// least-privilege rule set. Each window is `(base, len)`; zero-length
+/// windows are skipped.
+#[derive(Clone, Debug, Default)]
+pub struct DatapathGeometry {
+    /// Control structures the CPU reads and writes: descriptor rings,
+    /// stats scratch.
+    pub control: Vec<(u64, u64)>,
+    /// Transmit payload buffers — the CPU writes frames here for the
+    /// device to DMA out (read-write).
+    pub tx_buffers: (u64, u64),
+    /// Receive payload buffers — the *device* writes these via DMA
+    /// (below the guards); the CPU only ever reads them (read-only).
+    pub rx_buffers: (u64, u64),
+    /// The device's MMIO BAR window (read-write).
+    pub mmio: (u64, u64),
+}
+
 /// What happens when no region covers an access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DefaultAction {
@@ -240,6 +259,52 @@ impl PolicyModule {
             Region::new(VAddr(0), Size(USER_HALF_END), Protection::NONE).expect("user half"),
         )
         .expect("insert user half");
+        pm
+    }
+
+    /// A least-privilege datapath policy built from a NIC driver's
+    /// memory geometry, with the receive DMA buffers as a first-class
+    /// region of their own.
+    ///
+    /// The paper's two-region policy admits the whole kernel half; a
+    /// real deployment wants the module confined to exactly the memory
+    /// its datapath touches. This constructor encodes that: descriptor
+    /// rings, stats scratch, and transmit buffers are read-write (the
+    /// CPU builds frames and recycles descriptors there), while the
+    /// **receive buffers are CPU read-only** — the device's DMA engine
+    /// fills them from the physical side, below the guards (§4 of the
+    /// paper: DMA is unguarded), and the module is only ever allowed to
+    /// *read* received data, never scribble into DMA-owned memory. The
+    /// MMIO window is read-write. Everything else is default-deny.
+    pub fn datapath_policy(geo: &DatapathGeometry) -> PolicyModule {
+        use kop_core::Protection;
+        let pm = PolicyModule::new();
+        let add = |base: u64, len: u64, prot, what: &str| {
+            if len == 0 {
+                return;
+            }
+            pm.add_region(
+                Region::new(VAddr(base), Size(len), prot)
+                    .unwrap_or_else(|| panic!("bad {what} region")),
+            )
+            .unwrap_or_else(|_| panic!("insert {what} region"));
+        };
+        for &(base, len) in &geo.control {
+            add(base, len, Protection::READ_WRITE, "control");
+        }
+        add(
+            geo.tx_buffers.0,
+            geo.tx_buffers.1,
+            Protection::READ_WRITE,
+            "tx buffer",
+        );
+        add(
+            geo.rx_buffers.0,
+            geo.rx_buffers.1,
+            Protection::READ_ONLY,
+            "rx buffer",
+        );
+        add(geo.mmio.0, geo.mmio.1, Protection::READ_WRITE, "mmio");
         pm
     }
 
@@ -643,6 +708,35 @@ mod tests {
     use super::*;
     use kop_core::layout::{DIRECT_MAP_BASE, KERNEL_HALF_BASE};
     use kop_core::Protection;
+
+    #[test]
+    fn datapath_policy_makes_rx_buffers_read_only() {
+        let geo = DatapathGeometry {
+            control: vec![(0x1000, 0x1000), (0x3000, 0x800)],
+            tx_buffers: (0x10_000, 0x80_000),
+            rx_buffers: (0x90_000, 0x40_000),
+            mmio: (0xf000_0000, 0x2_0000),
+        };
+        let pm = PolicyModule::datapath_policy(&geo);
+        assert_eq!(pm.region_count(), 5);
+        // Control and TX windows are read-write.
+        assert!(pm.check(VAddr(0x1008), Size(8), AccessFlags::RW).is_ok());
+        assert!(pm.check(VAddr(0x10_100), Size(8), AccessFlags::RW).is_ok());
+        // RX buffers: reads fine, writes are a violation — DMA fills
+        // them from below the guards, the CPU must not.
+        assert!(pm
+            .check(VAddr(0x90_010), Size(8), AccessFlags::READ)
+            .is_ok());
+        let v = pm
+            .check(VAddr(0x90_010), Size(8), AccessFlags::WRITE)
+            .unwrap_err();
+        assert_eq!(v.kind, ViolationKind::InsufficientPermissions);
+        // MMIO read-write; everything uncovered is default-deny.
+        assert!(pm
+            .check(VAddr(0xf000_0100), Size(4), AccessFlags::RW)
+            .is_ok());
+        assert!(pm.check(VAddr(0x8000), Size(8), AccessFlags::READ).is_err());
+    }
 
     #[test]
     fn two_region_paper_policy_semantics() {

@@ -182,6 +182,23 @@ pub enum TraceEvent {
         /// On-wire frame length in bytes.
         bytes: u64,
     },
+    /// The driver harvested a complete received frame from the RX ring.
+    RxFrame {
+        /// On-wire frame length in bytes.
+        bytes: u64,
+    },
+    /// The driver entered its interrupt handler with a non-zero cause.
+    Irq {
+        /// ICR cause bits as read (and cleared) at ISR entry.
+        cause: u64,
+    },
+    /// One NAPI-style poll pass over the RX ring completed.
+    PollPass {
+        /// Descriptors harvested this pass (bounded by the budget).
+        harvested: u64,
+        /// Whether the ring was drained (interrupts re-enabled).
+        drained: bool,
+    },
     /// The TX watchdog ran.
     Watchdog {
         /// Whether this pass fired (declared the queue hung).
@@ -210,6 +227,9 @@ impl TraceEvent {
             TraceEvent::ModuleRestart { .. } => "module_restart",
             TraceEvent::UpgradeSwap { .. } => "upgrade_swap",
             TraceEvent::Xmit { .. } => "xmit",
+            TraceEvent::RxFrame { .. } => "rx_frame",
+            TraceEvent::Irq { .. } => "irq",
+            TraceEvent::PollPass { .. } => "poll_pass",
             TraceEvent::Watchdog { .. } => "watchdog",
             TraceEvent::Reset => "reset",
             TraceEvent::FaultInjected { .. } => "fault_injected",
@@ -260,6 +280,11 @@ impl fmt::Display for TraceEvent {
                 )
             }
             TraceEvent::Xmit { bytes } => write!(f, "xmit bytes={bytes}"),
+            TraceEvent::RxFrame { bytes } => write!(f, "rx_frame bytes={bytes}"),
+            TraceEvent::Irq { cause } => write!(f, "irq cause={cause:#x}"),
+            TraceEvent::PollPass { harvested, drained } => {
+                write!(f, "poll_pass harvested={harvested} drained={drained}")
+            }
             TraceEvent::Watchdog { fired } => write!(f, "watchdog fired={fired}"),
             TraceEvent::Reset => f.write_str("reset"),
             TraceEvent::FaultInjected { what } => write!(f, "fault_injected what={what}"),

@@ -306,6 +306,9 @@ pub mod control {
     /// * `trace` → the retained ring, one record per line
     /// * `top` / `top N` → the top-N guard-sites table (default 10)
     /// * `counters` → the unified counter registry, `name=value` lines
+    /// * `rx` (alias `forward`) → the receive/forwarding datapath slice
+    ///   of the registry: every counter whose leaf name starts with
+    ///   `rx_`, `irq_` or `poll_`, `name=value` lines
     /// * `perfetto` → chrome://tracing JSON for the retained ring
     /// * `clear` → `"ok"` (drop retained records)
     ///
@@ -338,6 +341,22 @@ pub mod control {
                 }
                 Ok(s)
             }
+            (Some("rx") | Some("forward"), None) => {
+                let mut s = String::new();
+                for (name, v) in tracer.counters().snapshot() {
+                    let leaf = name.rsplit('.').next().unwrap_or(&name);
+                    if leaf.starts_with("rx_")
+                        || leaf.starts_with("irq_")
+                        || leaf.starts_with("poll_")
+                    {
+                        s.push_str(&name);
+                        s.push('=');
+                        s.push_str(&v.to_string());
+                        s.push('\n');
+                    }
+                }
+                Ok(s)
+            }
             (Some("perfetto"), None) => Ok(perfetto::export_json(tracer)),
             (Some("clear"), None) => {
                 tracer.clear();
@@ -345,7 +364,7 @@ pub mod control {
             }
             _ => Err(format!(
                 "unknown trace command {req:?}; \
-                 usage: tracing_on [0|1] | trace | top [N] | counters | perfetto | clear"
+                 usage: tracing_on [0|1] | trace | top [N] | counters | rx | perfetto | clear"
             )),
         }
     }
@@ -460,6 +479,24 @@ mod tests {
         assert!(control::handle(&t, "bogus").is_err());
         assert_eq!(control::handle(&t, "tracing_on 0").unwrap(), "ok");
         assert!(!t.enabled());
+    }
+
+    #[test]
+    fn rx_command_filters_receive_counters() {
+        let t = Tracer::new();
+        t.counters().counter("e1000e.rx_packets").add(12);
+        t.counters().counter("e1000e.irq_fired").add(3);
+        t.counters().counter("e1000e.poll_passes").add(5);
+        t.counters().counter("e1000e.tx_packets").add(99);
+        t.counters().counter("policy.checks").add(1000);
+        let out = control::handle(&t, "rx").unwrap();
+        assert!(out.contains("e1000e.rx_packets=12"), "{out}");
+        assert!(out.contains("e1000e.irq_fired=3"), "{out}");
+        assert!(out.contains("e1000e.poll_passes=5"), "{out}");
+        assert!(!out.contains("tx_packets"), "{out}");
+        assert!(!out.contains("policy.checks"), "{out}");
+        // `forward` is an alias.
+        assert_eq!(control::handle(&t, "forward").unwrap(), out);
     }
 
     #[test]

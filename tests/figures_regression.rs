@@ -437,6 +437,62 @@ fn soak_supervised_dominates_and_upgrade_is_lossless() {
 }
 
 #[test]
+fn forward_figure_shape_and_audits() {
+    // The hard claims — byte-identical forwarded frames, identical
+    // baseline/guarded ForwardReports, exact per-queue ledger audits,
+    // RX+TX trace reconciliation, zero stale admits across the mid-load
+    // epoch bump, and tree/bytecode equivalence of @fwd_rewrite — are
+    // asserted unconditionally inside forward() on every run. Here we
+    // pin the figure's shape and headline arithmetic.
+    let fig = figures::forward();
+    assert_eq!(fig.id, "forward");
+
+    // Rate-vs-offered-load series for both builds, on the same grid.
+    let guarded = fig.series("guarded").unwrap();
+    let baseline = fig.series("baseline").unwrap();
+    assert_eq!(guarded.points.len(), baseline.points.len());
+    assert!(guarded.points.len() >= 2);
+    for (g, b) in guarded.points.iter().zip(&baseline.points) {
+        assert_eq!(g.0, b.0, "same offered-load grid");
+        assert!(g.1 > 0.0 && b.1 > 0.0);
+    }
+    // Guards cost something: baseline wins at the top load (min-of-
+    // repeats keeps this stable across hosts).
+    let slowdown = fig
+        .headlines
+        .iter()
+        .find(|(k, _)| k.starts_with("guard_slowdown_o"))
+        .map(|&(_, v)| v)
+        .expect("slowdown headline");
+    assert!(
+        slowdown > 1.0,
+        "guarded forwarding must be slower: {slowdown}"
+    );
+
+    // Multi-queue scaling: one point per queue count, all productive.
+    let mq = fig.series("mq-scaling").unwrap();
+    assert!(mq.points.len() >= 2);
+    assert!(mq.points.iter().all(|&(_, y)| y > 0.0));
+
+    // Audited invariants surface as headlines.
+    assert_eq!(fig.headline("churn_stale_admits"), Some(0.0));
+    assert!(fig.headline("churn_generation_delta").unwrap() > 0.0);
+    assert!(fig.headline("byte_identical_frames").unwrap() > 0.0);
+    assert!(fig.headline("traced_guard_calls").unwrap() > 0.0);
+    assert!(fig.headline("traced_sites").unwrap() >= 5.0);
+    assert!(fig.headline("ir_guards_per_rewrite").unwrap() > 0.0);
+    assert!(
+        fig.headline("traced_polls_per_irq").unwrap() >= 1.0,
+        "every ISR entry leads to at least one poll pass"
+    );
+
+    // The machine-readable rendering carries the results.
+    let json = fig.render_json();
+    assert!(json.contains("\"id\": \"forward\""));
+    assert!(json.contains("\"churn_stale_admits\": 0"));
+}
+
+#[test]
 fn renders_are_nonempty_and_csv_parses() {
     for fig in [figures::fig6(), figures::claims()]
         .into_iter()
