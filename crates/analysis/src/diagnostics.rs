@@ -33,6 +33,18 @@ pub enum LintCode {
     /// KA008: an obligation claims a dominating guard that does not in
     /// fact dominate the access it is said to cover.
     ObligationDominance,
+    /// KA009: an inline obligation's baked `[lo, hi)` bound does not
+    /// equal any grant the cited snapshot generation held — a forged
+    /// immediate.
+    InlineBoundForged,
+    /// KA010: an inline obligation cites a snapshot generation the grant
+    /// oracle no longer (or never did) retain — the bound cannot be
+    /// independently recomputed, so it must not be trusted.
+    InlineBoundStale,
+    /// KA011: an inline obligation's baked bound belongs to a real grant,
+    /// but not one covering the guard site it is attached to (bound for
+    /// the wrong site).
+    InlineBoundSiteMismatch,
 }
 
 impl LintCode {
@@ -47,6 +59,9 @@ impl LintCode {
             LintCode::ObligationUnfounded => "KA006",
             LintCode::RangeUnproven => "KA007",
             LintCode::ObligationDominance => "KA008",
+            LintCode::InlineBoundForged => "KA009",
+            LintCode::InlineBoundStale => "KA010",
+            LintCode::InlineBoundSiteMismatch => "KA011",
         }
     }
 
@@ -58,7 +73,10 @@ impl LintCode {
             | LintCode::PolicyViolation
             | LintCode::ObligationUnfounded
             | LintCode::RangeUnproven
-            | LintCode::ObligationDominance => Severity::Error,
+            | LintCode::ObligationDominance
+            | LintCode::InlineBoundForged
+            | LintCode::InlineBoundStale
+            | LintCode::InlineBoundSiteMismatch => Severity::Error,
             LintCode::LaunderedPointer | LintCode::DeadGuard => Severity::Warning,
         }
     }
@@ -74,6 +92,9 @@ impl LintCode {
             LintCode::ObligationUnfounded => "obligation references missing guard or access",
             LintCode::RangeUnproven => "range obligation not derivable from loop structure",
             LintCode::ObligationDominance => "claimed dominating guard does not dominate",
+            LintCode::InlineBoundForged => "inlined guard bound does not match any cited grant",
+            LintCode::InlineBoundStale => "inlined guard bound cites an unretained generation",
+            LintCode::InlineBoundSiteMismatch => "inlined guard bound belongs to another site",
         }
     }
 }
@@ -259,6 +280,9 @@ mod tests {
         assert_eq!(LintCode::ObligationUnfounded.code(), "KA006");
         assert_eq!(LintCode::RangeUnproven.code(), "KA007");
         assert_eq!(LintCode::ObligationDominance.code(), "KA008");
+        assert_eq!(LintCode::InlineBoundForged.code(), "KA009");
+        assert_eq!(LintCode::InlineBoundStale.code(), "KA010");
+        assert_eq!(LintCode::InlineBoundSiteMismatch.code(), "KA011");
     }
 
     #[test]
@@ -269,6 +293,12 @@ mod tests {
         assert_eq!(LintCode::ObligationUnfounded.severity(), Severity::Error);
         assert_eq!(LintCode::RangeUnproven.severity(), Severity::Error);
         assert_eq!(LintCode::ObligationDominance.severity(), Severity::Error);
+        assert_eq!(LintCode::InlineBoundForged.severity(), Severity::Error);
+        assert_eq!(LintCode::InlineBoundStale.severity(), Severity::Error);
+        assert_eq!(
+            LintCode::InlineBoundSiteMismatch.severity(),
+            Severity::Error
+        );
         assert_eq!(LintCode::LaunderedPointer.severity(), Severity::Warning);
         assert_eq!(LintCode::DeadGuard.severity(), Severity::Warning);
     }

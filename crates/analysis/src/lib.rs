@@ -41,7 +41,10 @@ pub use coverage::{verify_guard_coverage, GuardCoverage};
 pub use diagnostics::{AnalysisReport, Diagnostic, LintCode, Severity};
 pub use provenance::{PointerProvenance, Provenance};
 pub use range::{plan_ranges, RangePlan};
-pub use validator::{validate_module, InstRef, Obligation, ObligationLedger};
+pub use validator::{
+    validate_module, validate_module_with_grants, GrantOracle, InstRef, Obligation,
+    ObligationLedger,
+};
 
 use kop_ir::Module;
 

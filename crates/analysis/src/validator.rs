@@ -32,6 +32,7 @@
 use core::fmt;
 use std::collections::{HashMap, HashSet};
 
+use kop_core::{AccessFlags, Region, Size, VAddr};
 use kop_ir::dom::DomTree;
 use kop_ir::loops::find_counted_loops;
 use kop_ir::{BinOp, BlockId, Function, Inst, InstId, Module, Type, Value};
@@ -92,6 +93,34 @@ pub enum Obligation {
         /// Access-flag bits the removed guard granted.
         flags: u64,
     },
+    /// "I re-lowered the guard at `guard` into an inline-bounds fast
+    /// admit: `[lo, hi)` with permission bits `flags`, baked from the
+    /// region that granted this site's observed address envelope
+    /// `[env_lo, env_hi)` under snapshot generation `gen`."
+    ///
+    /// The validator does not trust the baked immediates: it asks a
+    /// [`GrantOracle`] for the regions the cited generation actually
+    /// held, recomputes which grant covers the envelope, and requires
+    /// the baked bound to equal that grant exactly (KA009 forged /
+    /// KA010 stale citation / KA011 bound-for-another-site otherwise).
+    Inline {
+        /// Enclosing function name.
+        function: String,
+        /// The guard call the bound was inlined into.
+        guard: InstRef,
+        /// Baked lower bound (inclusive).
+        lo: u64,
+        /// Baked upper bound (exclusive).
+        hi: u64,
+        /// Permission bits the baked region grants.
+        flags: u64,
+        /// Snapshot generation the bound was baked under.
+        gen: u64,
+        /// Lowest address the site was profiled touching.
+        env_lo: u64,
+        /// One past the highest profiled byte.
+        env_hi: u64,
+    },
     /// "I replaced per-iteration element guards in the counted loop
     /// headed at `header` with `guard`, a single range guard of
     /// `trip_count · stride` bytes; it covers exactly `accesses`."
@@ -123,6 +152,20 @@ impl fmt::Display for Obligation {
             } => write!(
                 f,
                 "elide fn={function} guard={guard} access={access} size={size} flags={flags}"
+            ),
+            Obligation::Inline {
+                function,
+                guard,
+                lo,
+                hi,
+                flags,
+                gen,
+                env_lo,
+                env_hi,
+            } => write!(
+                f,
+                "inline fn={function} guard={guard} lo={lo} hi={hi} flags={flags} gen={gen} \
+                 elo={env_lo} ehi={env_hi}"
             ),
             Obligation::Range {
                 function,
@@ -156,8 +199,15 @@ pub struct ObligationLedger {
 }
 
 impl ObligationLedger {
-    /// First line of any non-empty ledger text.
+    /// First line of a non-empty ledger carrying only v1 obligation
+    /// kinds (elide, range).
     pub const HEADER: &'static str = "obligations-v1";
+
+    /// First line of a ledger carrying inline-bounds obligations. A v2
+    /// parser accepts v1 text unchanged; ledgers without inline
+    /// obligations keep rendering as v1 so pre-existing attestations
+    /// stay byte-identical.
+    pub const HEADER_V2: &'static str = "obligations-v2";
 
     /// A ledger with no obligations.
     pub fn empty() -> ObligationLedger {
@@ -174,13 +224,27 @@ impl ObligationLedger {
         self.obligations.len()
     }
 
+    /// Whether the ledger carries inline-bounds obligations (and thus
+    /// requires the v2 text form).
+    pub fn has_inline(&self) -> bool {
+        self.obligations
+            .iter()
+            .any(|ob| matches!(ob, Obligation::Inline { .. }))
+    }
+
     /// Canonical text form. The empty ledger renders as the empty
-    /// string (attestations without optimizations stay byte-lean).
+    /// string (attestations without optimizations stay byte-lean); a
+    /// ledger with inline obligations renders under [`Self::HEADER_V2`],
+    /// anything else under [`Self::HEADER`].
     pub fn to_text(&self) -> String {
         if self.obligations.is_empty() {
             return String::new();
         }
-        let mut out = String::from(Self::HEADER);
+        let mut out = String::from(if self.has_inline() {
+            Self::HEADER_V2
+        } else {
+            Self::HEADER
+        });
         out.push('\n');
         for ob in &self.obligations {
             out.push_str(&ob.to_string());
@@ -190,20 +254,45 @@ impl ObligationLedger {
     }
 
     /// Parse the canonical text form. The empty string parses to the
-    /// empty ledger; anything else must start with [`Self::HEADER`].
+    /// empty ledger; anything else must start with [`Self::HEADER`] or
+    /// [`Self::HEADER_V2`]. Inline obligations under a v1 header are
+    /// rejected — a v1 signer cannot have vouched for a kind it did not
+    /// know.
     pub fn parse(text: &str) -> Result<ObligationLedger, String> {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
         let Some(header) = lines.next() else {
             return Ok(ObligationLedger::empty());
         };
-        if header.trim() != Self::HEADER {
-            return Err(format!("bad obligation ledger header {header:?}"));
-        }
+        let v2 = match header.trim() {
+            h if h == Self::HEADER => false,
+            h if h == Self::HEADER_V2 => true,
+            other => return Err(format!("bad obligation ledger header {other:?}")),
+        };
         let mut obligations = Vec::new();
         for line in lines {
-            obligations.push(parse_line(line)?);
+            let ob = parse_line(line)?;
+            if !v2 && matches!(ob, Obligation::Inline { .. }) {
+                return Err("inline obligation under a v1 ledger header".to_string());
+            }
+            obligations.push(ob);
         }
         Ok(ObligationLedger { obligations })
+    }
+}
+
+/// The validator's window into what the policy actually granted, at
+/// which generation — implemented by the policy module's bounded
+/// snapshot history. Returns `None` for generations no longer (or never)
+/// retained: the validator must then refuse the citation (KA010), since
+/// a bound it cannot recompute is a bound it cannot trust.
+pub trait GrantOracle {
+    /// The regions the policy table held at `generation`, if retained.
+    fn regions_at(&self, generation: u64) -> Option<Vec<Region>>;
+}
+
+impl<F: Fn(u64) -> Option<Vec<Region>>> GrantOracle for F {
+    fn regions_at(&self, generation: u64) -> Option<Vec<Region>> {
+        self(generation)
     }
 }
 
@@ -238,6 +327,16 @@ fn parse_line(line: &str) -> Result<Obligation, String> {
             access: iref("access")?,
             size: num("size")?,
             flags: num("flags")?,
+        }),
+        "inline" => Ok(Obligation::Inline {
+            function: req("fn")?.to_string(),
+            guard: iref("guard")?,
+            lo: num("lo")?,
+            hi: num("hi")?,
+            flags: num("flags")?,
+            gen: num("gen")?,
+            env_lo: num("elo")?,
+            env_hi: num("ehi")?,
         }),
         "range" => {
             let accesses = req("accesses")?
@@ -287,7 +386,23 @@ fn unresolved(code: LintCode, function: &str, at: &InstRef, message: String) -> 
 /// KA006/KA007/KA008 from the obligation audit) makes the module
 /// unsignable and unloadable in static-verification mode. With an empty
 /// ledger this is equivalent to [`crate::verify_guard_coverage`].
+///
+/// Inline-bounds obligations need a [`GrantOracle`] to be audited; with
+/// none available this entry point rejects them (KA010) — use
+/// [`validate_module_with_grants`].
 pub fn validate_module(module: &Module, ledger: &ObligationLedger) -> AnalysisReport {
+    validate_module_with_grants(module, ledger, None)
+}
+
+/// [`validate_module`] plus a grant oracle for auditing inline-bounds
+/// obligations. Both checkpoints use this: the promotion pass before
+/// installing a specialized tier (signing side) and the loader at insmod
+/// (with the kernel's live policy as the oracle).
+pub fn validate_module_with_grants(
+    module: &Module,
+    ledger: &ObligationLedger,
+    grants: Option<&dyn GrantOracle>,
+) -> AnalysisReport {
     let mut report = AnalysisReport::new();
     // Accesses proven by a *validated* range obligation, per function.
     let mut exempt: HashMap<String, HashSet<InstId>> = HashMap::new();
@@ -304,6 +419,11 @@ pub fn validate_module(module: &Module, ledger: &ObligationLedger) -> AnalysisRe
             } => {
                 if check_elide(module, function, guard, access, *size, *flags, &mut report) {
                     report.bump("obligations_elide_ok", 1);
+                }
+            }
+            Obligation::Inline { .. } => {
+                if check_inline(module, ob, grants, &mut report) {
+                    report.bump("obligations_inline_ok", 1);
                 }
             }
             Obligation::Range {
@@ -452,6 +572,119 @@ fn check_elide(
         return false;
     }
     true
+}
+
+/// Audit one inline-bounds obligation. The baked `[lo, hi)` is treated
+/// as a *claim*, never a fact: the validator asks the grant oracle for
+/// the regions the cited generation held, independently recomputes which
+/// grant covers the site's profiled envelope, and accepts only if the
+/// baked immediates equal that grant exactly. Pushes KA006 (dangling
+/// guard reference), KA009 (forged bound), KA010 (unverifiable
+/// citation), or KA011 (bound belongs to another site) and returns false
+/// on any failure.
+fn check_inline(
+    module: &Module,
+    ob: &Obligation,
+    grants: Option<&dyn GrantOracle>,
+    report: &mut AnalysisReport,
+) -> bool {
+    let Obligation::Inline {
+        function,
+        guard,
+        lo,
+        hi,
+        flags,
+        gen,
+        env_lo,
+        env_hi,
+    } = ob
+    else {
+        return false;
+    };
+    let fail = |report: &mut AnalysisReport, code: LintCode, msg: String| {
+        report.push(unresolved(code, function, guard, msg));
+    };
+    // Structural: the guard the bound was inlined into must exist and be
+    // a guard call.
+    let Some(f) = module.function(function) else {
+        fail(
+            report,
+            LintCode::ObligationUnfounded,
+            format!("inline obligation names unknown function @{function}"),
+        );
+        return false;
+    };
+    let guard_ok = resolve(f, guard).is_some_and(|(_, _, giid)| {
+        matches!(f.inst(giid), Inst::Call { callee, args, .. }
+            if callee == GUARD_SYMBOL && args.len() == 3)
+    });
+    if !guard_ok {
+        fail(
+            report,
+            LintCode::ObligationUnfounded,
+            format!("inlined guard {guard} does not exist or is not a guard call"),
+        );
+        return false;
+    }
+    let aflags = AccessFlags::from_raw(*flags as u32);
+    if *lo >= *hi || aflags.is_empty() {
+        fail(
+            report,
+            LintCode::InlineBoundForged,
+            format!("baked bound [{lo:#x}, {hi:#x}) flags {flags} is vacuous"),
+        );
+        return false;
+    }
+    if *env_lo >= *env_hi || *env_lo < *lo || *env_hi > *hi {
+        fail(
+            report,
+            LintCode::InlineBoundSiteMismatch,
+            format!(
+                "baked bound [{lo:#x}, {hi:#x}) does not cover the site's profiled \
+                 envelope [{env_lo:#x}, {env_hi:#x})"
+            ),
+        );
+        return false;
+    }
+    // Citation: recompute the grant from the cited generation.
+    let Some(regions) = grants.and_then(|o| o.regions_at(*gen)) else {
+        fail(
+            report,
+            LintCode::InlineBoundStale,
+            format!("cited snapshot generation {gen} is not retained by any grant oracle"),
+        );
+        return false;
+    };
+    let span = Size(env_hi - env_lo);
+    let granting = regions
+        .iter()
+        .find(|r| r.permits(VAddr(*env_lo), span, aflags));
+    let bound_of = |r: &Region| (r.base.raw(), r.base.raw().saturating_add(r.len.raw()));
+    match granting {
+        Some(r) if bound_of(r) == (*lo, *hi) => true,
+        _ => {
+            // A real region of that generation with exactly this bound
+            // means the immediates were lifted from the wrong site's
+            // grant; otherwise they match nothing the table ever held.
+            if regions.iter().any(|r| bound_of(r) == (*lo, *hi)) {
+                fail(
+                    report,
+                    LintCode::InlineBoundSiteMismatch,
+                    format!(
+                        "baked bound [{lo:#x}, {hi:#x}) names a generation-{gen} grant \
+                         that does not cover this site's envelope"
+                    ),
+                );
+            } else {
+                fail(
+                    report,
+                    LintCode::InlineBoundForged,
+                    format!("baked bound [{lo:#x}, {hi:#x}) equals no grant generation {gen} held"),
+                );
+            }
+            false
+        }
+    }
 }
 
 /// Audit one range obligation. Pushes KA007 and returns `None` on any
@@ -879,6 +1112,177 @@ entry:
         };
         let r = validate_module(&m, &ledger);
         assert_eq!(r.with_code(LintCode::ObligationDominance).count(), 1, "{r}");
+    }
+
+    /// A minimal fully-guarded function whose guard an inline obligation
+    /// can cite.
+    const GUARDED: &str = r#"
+module "inl"
+declare void @carat_guard(ptr, i64, i32)
+define i64 @f(ptr %p) {
+entry:
+  call void @carat_guard(ptr %p, i64 8, i32 3)
+  %v = load i64, ptr %p
+  ret i64 %v
+}
+"#;
+
+    fn inline_ob() -> Obligation {
+        Obligation::Inline {
+            function: "f".into(),
+            guard: InstRef::parse("entry#0").unwrap(),
+            lo: 0x1000,
+            hi: 0x2000,
+            flags: 3,
+            gen: 5,
+            env_lo: 0x1100,
+            env_hi: 0x1200,
+        }
+    }
+
+    /// A grant oracle retaining only generation 5: an RW region at
+    /// `[0x1000, 0x2000)`, a deny region over the same span's neighbour,
+    /// and an unrelated RW region at `[0x8000, 0x8100)`.
+    fn oracle(gen: u64) -> Option<Vec<kop_core::Region>> {
+        use kop_core::Protection;
+        (gen == 5).then(|| {
+            vec![
+                kop_core::Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).unwrap(),
+                kop_core::Region::new(VAddr(0x8000), Size(0x100), Protection::READ_WRITE).unwrap(),
+            ]
+        })
+    }
+
+    #[test]
+    fn inline_ledger_renders_v2_and_round_trips() {
+        let ledger = ObligationLedger {
+            obligations: vec![inline_ob()],
+        };
+        let text = ledger.to_text();
+        assert!(text.starts_with(ObligationLedger::HEADER_V2), "{text}");
+        assert_eq!(ObligationLedger::parse(&text).unwrap(), ledger);
+        // Ledgers without inline obligations keep the v1 header.
+        assert!(range_ledger(8).to_text().starts_with("obligations-v1\n"));
+        // An inline line smuggled under a v1 header is refused.
+        let smuggled = text.replacen("obligations-v2", "obligations-v1", 1);
+        assert!(ObligationLedger::parse(&smuggled).is_err());
+    }
+
+    #[test]
+    fn honest_inline_obligation_validates_against_the_oracle() {
+        let m = parse_module(GUARDED).unwrap();
+        let ledger = ObligationLedger {
+            obligations: vec![inline_ob()],
+        };
+        let r = validate_module_with_grants(&m, &ledger, Some(&oracle));
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.stat("obligations_inline_ok"), 1);
+    }
+
+    #[test]
+    fn forged_inline_bound_is_rejected_with_ka009() {
+        let m = parse_module(GUARDED).unwrap();
+        for (lo, hi) in [(0x1000, 0x2008), (0x0ff8, 0x2000)] {
+            let mut ob = inline_ob();
+            let Obligation::Inline { lo: l, hi: h, .. } = &mut ob else {
+                unreachable!()
+            };
+            (*l, *h) = (lo, hi);
+            let ledger = ObligationLedger {
+                obligations: vec![ob],
+            };
+            let r = validate_module_with_grants(&m, &ledger, Some(&oracle));
+            assert_eq!(
+                r.with_code(LintCode::InlineBoundForged).count(),
+                1,
+                "bound [{lo:#x},{hi:#x}): {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_generation_citation_is_rejected_with_ka010() {
+        let m = parse_module(GUARDED).unwrap();
+        let mut ob = inline_ob();
+        let Obligation::Inline { gen, .. } = &mut ob else {
+            unreachable!()
+        };
+        *gen = 4; // evicted / never published
+        let ledger = ObligationLedger {
+            obligations: vec![ob],
+        };
+        let r = validate_module_with_grants(&m, &ledger, Some(&oracle));
+        assert_eq!(r.with_code(LintCode::InlineBoundStale).count(), 1, "{r}");
+        // No oracle at all: same refusal — an unverifiable citation is
+        // never trusted.
+        let honest = ObligationLedger {
+            obligations: vec![inline_ob()],
+        };
+        let r = validate_module(&m, &honest);
+        assert_eq!(r.with_code(LintCode::InlineBoundStale).count(), 1, "{r}");
+    }
+
+    #[test]
+    fn wrong_site_inline_bound_is_rejected_with_ka011() {
+        let m = parse_module(GUARDED).unwrap();
+        // The unrelated region's bound pasted onto this site's envelope.
+        let mut ob = inline_ob();
+        let Obligation::Inline { lo, hi, .. } = &mut ob else {
+            unreachable!()
+        };
+        (*lo, *hi) = (0x8000, 0x8100);
+        let ledger = ObligationLedger {
+            obligations: vec![ob],
+        };
+        let r = validate_module_with_grants(&m, &ledger, Some(&oracle));
+        assert_eq!(
+            r.with_code(LintCode::InlineBoundSiteMismatch).count(),
+            1,
+            "{r}"
+        );
+        // An envelope forced inside the wrong region: the bound names a
+        // real grant, but not one covering what this site touches.
+        let mut ob = inline_ob();
+        let Obligation::Inline {
+            flags,
+            env_lo,
+            env_hi,
+            ..
+        } = &mut ob
+        else {
+            unreachable!()
+        };
+        // Ask for EXEC the RW grant cannot give: the cited bound exists
+        // but does not grant this envelope.
+        *flags = 7;
+        (*env_lo, *env_hi) = (0x1100, 0x1200);
+        let ledger = ObligationLedger {
+            obligations: vec![ob],
+        };
+        let r = validate_module_with_grants(&m, &ledger, Some(&oracle));
+        assert_eq!(
+            r.with_code(LintCode::InlineBoundSiteMismatch).count(),
+            1,
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn inline_obligation_must_cite_a_real_guard() {
+        let m = parse_module(GUARDED).unwrap();
+        let mut ob = inline_ob();
+        let Obligation::Inline { guard, .. } = &mut ob else {
+            unreachable!()
+        };
+        *guard = InstRef::parse("entry#1").unwrap(); // the load, not a guard
+        let ledger = ObligationLedger {
+            obligations: vec![ob],
+        };
+        let r = validate_module_with_grants(&m, &ledger, Some(&oracle));
+        assert!(
+            r.with_code(LintCode::ObligationUnfounded).count() >= 1,
+            "{r}"
+        );
     }
 
     #[test]

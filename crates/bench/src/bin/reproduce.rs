@@ -1,16 +1,17 @@
 //! `reproduce` — regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|soak|forward|all]
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|jit|smp|soak|forward|all]
 //!           [--csv]        # raw series to stdout instead of the report
 //!           [--out DIR]    # additionally write one CSV per figure into DIR
 //!           [--quick]      # tiny trial counts (CI smoke); not paper-scale
 //! ```
 //!
-//! The `smp`, `exec`, `opt`, `soak`, and `forward` figures additionally
-//! write machine-readable `BENCH_smp.json` / `BENCH_exec.json` /
-//! `BENCH_opt.json` / `BENCH_soak.json` / `BENCH_forward.json` (into
-//! `--out DIR` when given, else the current directory).
+//! The `smp`, `exec`, `jit`, `opt`, `soak`, and `forward` figures
+//! additionally write machine-readable `BENCH_smp.json` /
+//! `BENCH_exec.json` / `BENCH_jit.json` / `BENCH_opt.json` /
+//! `BENCH_soak.json` / `BENCH_forward.json` (into `--out DIR` when
+//! given, else the current directory).
 
 use kop_bench::figures;
 
@@ -59,6 +60,7 @@ fn main() {
         "resilience" => figures::resilience(),
         "trace" => vec![figures::trace()],
         "exec" => vec![figures::exec()],
+        "jit" => vec![figures::jit()],
         "smp" => vec![figures::smp()],
         "soak" => vec![figures::soak()],
         "forward" => vec![figures::forward()],
@@ -66,7 +68,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|smp|soak|forward|all] [--csv] [--quick]"
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|jit|smp|soak|forward|all] [--csv] [--quick]"
             );
             std::process::exit(2);
         }
@@ -88,6 +90,7 @@ fn main() {
         }
         if fig.id == "smp"
             || fig.id == "exec"
+            || fig.id == "jit"
             || fig.id == "opt"
             || fig.id == "soak"
             || fig.id == "forward"

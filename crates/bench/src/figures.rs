@@ -1381,6 +1381,612 @@ pub fn exec() -> FigureData {
     }
 }
 
+/// JIT: the profile-directed superblock trace tier (`reproduce jit`).
+/// Closes the loop between kop-trace and kop-vm: per-site hit/latency
+/// profiles select hot guard sites, the kernel re-lowers their
+/// containing functions with the granting region's `[lo, hi)` bound
+/// inlined as immediate compares (each baked bound re-derived by the
+/// independent translation validator before install), and the promoted
+/// dispatch runs the specialized copies until a policy publish drops the
+/// tier. The same tier runs on the native forwarding datapath as a
+/// per-thread [`kop_policy::HotPolicy`].
+///
+/// Asserted, not just measured: (a) the promoted tier at least halves
+/// the guard *overhead* (guarded minus baseline ns/packet) over the
+/// general path on both the interpreter TX loop and the native
+/// forwarding datapath; (b) general and promoted runs are observably
+/// identical — ExecStats and ring/frame/@stats/TDT bytes on the TX
+/// loop, ForwardReports on the datapath; (c) steady state answers every
+/// interpreter guard inline with zero deopts, and fast admits still
+/// reconcile (`policy.checks` == guard count); (d) enabling the tracer
+/// forces the general path and per-site attribution reconciles exactly;
+/// (e) a policy publish drops the tier atomically — zero stale admits —
+/// and lazy re-promotion restores it at the new generation; (f) the
+/// promotion-warmed guard TLB preseeds without phantom checks.
+pub fn jit() -> FigureData {
+    use kop_e1000e::{DirectMem, E1000Device, GuardedMem};
+    use kop_interp::{Engine, ExecStats, Interp};
+    use kop_policy::HotSite;
+    use std::sync::Arc;
+
+    let key = CompilerKey::from_passphrase("operator-key", "carat-kop-dev");
+    let (packets, repeats) = if quick() {
+        (2_000u64, 3)
+    } else {
+        (20_000u64, 7)
+    };
+    let profile_pkts = 256u64;
+    // Timing asserts only in the standalone quick smoke run: under
+    // `cargo test` sibling tests pollute the scheduler (and debug builds
+    // distort the engine ratios); correctness is asserted everywhere.
+    let assert_timing = quick();
+
+    const RING_BYTES: u64 = 256 * 16;
+    const FRAME_BYTES: u64 = 64;
+    const MMIO_BYTES: u64 = 0x4000;
+    const TDT_OFF: u64 = 0x3818;
+    const STATS_BYTES: usize = 24;
+    const LEN: u64 = 114;
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Mode {
+        Baseline,
+        General,
+        Promoted,
+    }
+
+    struct RunOut {
+        ns_pkt: f64,
+        stats: ExecStats,
+        promoted_ops: u64,
+        inline_admits: u64,
+        inline_deopts: u64,
+        ring: Vec<u8>,
+        frame: Vec<u8>,
+        stats_glob: Vec<u8>,
+        tdt: u64,
+    }
+
+    let run = |mode: Mode, packets: u64| -> RunOut {
+        let opts = match mode {
+            Mode::Baseline => CompileOptions::baseline(),
+            _ => CompileOptions::carat_kop(),
+        };
+        let out =
+            compile_module(corpus::parse(corpus::MINI_E1000E_IR), &opts, &key).expect("compiles");
+        let mut kernel = Kernel::boot(
+            setup::two_region_policy(),
+            vec![key.clone()],
+            KernelConfig::default(),
+        );
+        kernel.insmod(&out.signed).expect("loads");
+        let image = Arc::clone(kernel.module("mini-e1000e").expect("loaded").image());
+        let stats_addr = image
+            .globals
+            .get("stats")
+            .copied()
+            .expect("@stats laid out");
+        let ring = kernel.kmalloc(RING_BYTES).expect("ring");
+        let frame = kernel.kmalloc(FRAME_BYTES).expect("frame");
+        let mmio = kernel.kmalloc(MMIO_BYTES).expect("mmio window");
+
+        // Profile window — identical in every mode so the deterministic
+        // outputs stay comparable. The tracer builds the per-site
+        // envelopes promotion feeds on (a no-op for the baseline build,
+        // which has no guard sites).
+        kernel.tracer().set_enabled(true);
+        {
+            let mut interp = Interp::new(&mut kernel).expect("interp");
+            interp.set_engine(Engine::Bytecode);
+            for p in 0..profile_pkts {
+                let slot = p & 255;
+                interp
+                    .call(
+                        "mini-e1000e",
+                        "xmit",
+                        &[ring.raw(), frame.raw(), mmio.raw(), slot, LEN, slot],
+                    )
+                    .expect("profile xmit");
+            }
+        }
+        kernel.tracer().set_enabled(false);
+
+        let mut promoted_ops = 0u64;
+        if mode == Mode::Promoted {
+            promoted_ops = kernel
+                .promote_hot("mini-e1000e", 1)
+                .expect("promotion passes its own validation") as u64;
+            assert!(promoted_ops > 0, "hot guard sites were promoted");
+            let compiled = image.compiled.as_ref().expect("bytecode image");
+            assert_ne!(compiled.promoted_generation(), 0, "tier installed");
+        }
+
+        let engine = if mode == Mode::Promoted {
+            Engine::Promoted
+        } else {
+            Engine::Bytecode
+        };
+        let (ns_pkt, stats, inline_admits, inline_deopts) = {
+            let mut interp = Interp::new(&mut kernel).expect("interp");
+            interp.set_engine(engine);
+            let start = Instant::now();
+            for p in 0..packets {
+                let slot = p & 255;
+                interp
+                    .call(
+                        "mini-e1000e",
+                        "xmit",
+                        &[ring.raw(), frame.raw(), mmio.raw(), slot, LEN, slot],
+                    )
+                    .expect("xmit");
+            }
+            (
+                start.elapsed().as_nanos() as f64 / packets as f64,
+                interp.stats(),
+                interp.inline_admits(),
+                interp.inline_deopts(),
+            )
+        };
+        let mut ring_bytes = vec![0u8; RING_BYTES as usize];
+        kernel.mem.read_bytes(ring, &mut ring_bytes).expect("ring");
+        let mut frame_bytes = vec![0u8; FRAME_BYTES as usize];
+        kernel
+            .mem
+            .read_bytes(frame, &mut frame_bytes)
+            .expect("frame");
+        let mut stats_glob = vec![0u8; STATS_BYTES];
+        kernel
+            .mem
+            .read_bytes(stats_addr, &mut stats_glob)
+            .expect("@stats");
+        let tdt = kernel
+            .mem
+            .read_uint(kop_core::VAddr(mmio.raw() + TDT_OFF), Size(4))
+            .expect("tdt");
+        RunOut {
+            ns_pkt,
+            stats,
+            promoted_ops,
+            inline_admits,
+            inline_deopts,
+            ring: ring_bytes,
+            frame: frame_bytes,
+            stats_glob,
+            tdt,
+        }
+    };
+
+    // Timed passes: interleave the three configurations within each
+    // repeat round and keep the fastest (minima are robust to noise).
+    let mut best: [Option<RunOut>; 3] = [None, None, None];
+    for _ in 0..repeats {
+        for (i, mode) in [Mode::Baseline, Mode::General, Mode::Promoted]
+            .into_iter()
+            .enumerate()
+        {
+            let r = run(mode, packets);
+            if best[i].as_ref().is_none_or(|b| r.ns_pkt < b.ns_pkt) {
+                best[i] = Some(r);
+            }
+        }
+    }
+    let [base, general, promoted] = best.map(|o| o.expect("all configurations ran"));
+
+    // Observable identity: the tier changed guard *mechanics*, never the
+    // module's behaviour.
+    assert_eq!(
+        general.stats, promoted.stats,
+        "general and promoted ExecStats must match"
+    );
+    assert_eq!(general.ring, promoted.ring, "TX ring bytes");
+    assert_eq!(general.frame, promoted.frame, "frame buffer bytes");
+    assert_eq!(general.stats_glob, promoted.stats_glob, "@stats bytes");
+    assert_eq!(general.tdt, promoted.tdt, "TDT doorbell cell");
+    assert_eq!(base.stats.guards, 0, "baseline build executes no guards");
+    assert!(general.stats.guards > 0 && general.stats.guards % packets == 0);
+
+    // Steady state: every guard answered inline, zero deopts.
+    assert_eq!(
+        promoted.inline_admits, promoted.stats.guards,
+        "every steady-state guard is answered by the inline tier"
+    );
+    assert_eq!(promoted.inline_deopts, 0, "zero steady-state deopts");
+    assert_eq!(general.inline_admits, 0);
+
+    // The headline claim: the tier at least halves the guard overhead.
+    let general_over = (general.ns_pkt - base.ns_pkt).max(0.0);
+    let promoted_over = (promoted.ns_pkt - base.ns_pkt).max(0.0);
+    if assert_timing {
+        assert!(
+            promoted_over <= general_over / 2.0,
+            "promoted tier must at least halve the TX guard overhead \
+             (baseline {:.1} ns/pkt, general {:.1}, promoted {:.1}: overhead {:.1} -> {:.1})",
+            base.ns_pkt,
+            general.ns_pkt,
+            promoted.ns_pkt,
+            general_over,
+            promoted_over
+        );
+    }
+    // Floor the residual at 1 ns so a promoted run inside noise of the
+    // baseline reports a large-but-finite reduction.
+    let vm_reduction = general_over / promoted_over.max(1.0);
+
+    // Traced correctness pass: with the tracer enabled the promoted
+    // dispatch must fall back to the general bytecode, so per-site
+    // attribution reconciles exactly.
+    let (traced_checks, traced_guards) = {
+        let tp = if quick() { 512 } else { 2_048 };
+        let out = compile_module(
+            corpus::parse(corpus::MINI_E1000E_IR),
+            &CompileOptions::carat_kop(),
+            &key,
+        )
+        .expect("compiles");
+        let mut kernel = Kernel::boot(
+            setup::two_region_policy(),
+            vec![key.clone()],
+            KernelConfig::default(),
+        );
+        kernel.insmod(&out.signed).expect("loads");
+        let ring = kernel.kmalloc(RING_BYTES).expect("ring");
+        let frame = kernel.kmalloc(FRAME_BYTES).expect("frame");
+        let mmio = kernel.kmalloc(MMIO_BYTES).expect("mmio window");
+        kernel.tracer().set_enabled(true);
+        {
+            let mut interp = Interp::new(&mut kernel).expect("interp");
+            interp.set_engine(Engine::Bytecode);
+            for p in 0..profile_pkts {
+                let slot = p & 255;
+                interp
+                    .call(
+                        "mini-e1000e",
+                        "xmit",
+                        &[ring.raw(), frame.raw(), mmio.raw(), slot, LEN, slot],
+                    )
+                    .expect("profile xmit");
+            }
+        }
+        kernel.tracer().set_enabled(false);
+        assert!(kernel.promote_hot("mini-e1000e", 1).expect("promote") > 0);
+        kernel.tracer().set_enabled(true);
+        let before = kernel.tracer().total_checks();
+        let (stats, admits) = {
+            let mut interp = Interp::new(&mut kernel).expect("interp");
+            interp.set_engine(Engine::Promoted);
+            for p in 0..tp {
+                let slot = p & 255;
+                interp
+                    .call(
+                        "mini-e1000e",
+                        "xmit",
+                        &[ring.raw(), frame.raw(), mmio.raw(), slot, LEN, slot],
+                    )
+                    .expect("traced xmit");
+            }
+            (interp.stats(), interp.inline_admits())
+        };
+        assert_eq!(
+            admits, 0,
+            "a traced run takes the general path so attribution stays exact"
+        );
+        let delta = kernel.tracer().total_checks() - before;
+        assert_eq!(
+            delta, stats.guards,
+            "per-site profile totals must reconcile with the guard counter"
+        );
+        (delta, stats.guards)
+    };
+
+    // Invalidation and lazy re-promotion: a policy publish drops the
+    // tier wholesale (zero stale admits by construction — the promoted
+    // dispatch deopts to the general bytecode), and the next promotion
+    // re-bakes at the new generation.
+    let bump_generation_delta = {
+        let out = compile_module(
+            corpus::parse(corpus::MINI_E1000E_IR),
+            &CompileOptions::carat_kop(),
+            &key,
+        )
+        .expect("compiles");
+        let policy = setup::two_region_policy();
+        let mut kernel = Kernel::boot(
+            Arc::clone(&policy),
+            vec![key.clone()],
+            KernelConfig {
+                // The sweep threshold `tick()` uses — one hit qualifies,
+                // so the standing profile re-promotes after the bump.
+                hot_threshold: 1,
+                ..KernelConfig::default()
+            },
+        );
+        kernel.insmod(&out.signed).expect("loads");
+        let image = Arc::clone(kernel.module("mini-e1000e").expect("loaded").image());
+        let compiled = image.compiled.as_ref().expect("bytecode image");
+        let ring = kernel.kmalloc(RING_BYTES).expect("ring");
+        let frame = kernel.kmalloc(FRAME_BYTES).expect("frame");
+        let mmio = kernel.kmalloc(MMIO_BYTES).expect("mmio window");
+        let xmit_n = |kernel: &mut Kernel, n: u64, engine: Engine| -> (ExecStats, u64, u64) {
+            let mut interp = Interp::new(kernel).expect("interp");
+            interp.set_engine(engine);
+            for p in 0..n {
+                let slot = p & 255;
+                interp
+                    .call(
+                        "mini-e1000e",
+                        "xmit",
+                        &[ring.raw(), frame.raw(), mmio.raw(), slot, LEN, slot],
+                    )
+                    .expect("xmit");
+            }
+            (
+                interp.stats(),
+                interp.inline_admits(),
+                interp.inline_deopts(),
+            )
+        };
+        kernel.tracer().set_enabled(true);
+        xmit_n(&mut kernel, profile_pkts, Engine::Bytecode);
+        kernel.tracer().set_enabled(false);
+        assert!(kernel.promote_hot("mini-e1000e", 1).expect("promote") > 0);
+        let gen1 = compiled.promoted_generation();
+        assert_eq!(gen1, policy.store_generation(), "tier is current");
+        let (s1, a1, d1) = xmit_n(&mut kernel, 64, Engine::Promoted);
+        assert_eq!(a1, s1.guards);
+        assert_eq!(d1, 0);
+
+        // The publish: the generation subscription drops the tier on the
+        // publishing thread, before bump_epoch returns.
+        policy.bump_epoch();
+        assert_eq!(
+            compiled.promoted_generation(),
+            0,
+            "a policy publish drops the promoted tier wholesale"
+        );
+        let (s2, a2, d2) = xmit_n(&mut kernel, 64, Engine::Promoted);
+        assert_eq!(a2, 0, "zero stale admits after the epoch bump");
+        assert_eq!(d2, 0, "tier dropped before any op could even deopt");
+        assert_eq!(s2.guards, s1.guards, "general path answered everything");
+
+        // Lazy re-promotion: the accumulated profile still qualifies, so
+        // the next sweep re-bakes against the *new* snapshot.
+        assert!(kernel.tick() > 0, "re-promotion from the standing profile");
+        let gen2 = compiled.promoted_generation();
+        assert_eq!(gen2, policy.store_generation());
+        assert!(gen2 > gen1);
+        let (s3, a3, d3) = xmit_n(&mut kernel, 64, Engine::Promoted);
+        assert_eq!(a3, s3.guards, "inline admits resume at the new generation");
+        assert_eq!(d3, 0);
+        gen2 - gen1
+    };
+
+    // ---- The native forwarding datapath: the same tier as a ----
+    // per-thread HotPolicy in front of the shared policy module.
+    let (fwd_offered, fwd_repeats, fwd_flows, fwd_budget) = if quick() {
+        (600u64, 2usize, 256usize, 64u64)
+    } else {
+        (4_000, 4, 512, 64)
+    };
+    let fwd_seed = 7_300u64;
+
+    // Profile pass: one traced window builds the per-site envelopes.
+    // The forwarding comparison runs a 32-region table policy — the
+    // per-allocation shape a CARAT-tracked kernel actually carries, with
+    // the driver's grants at the worst-case scan position (as in the
+    // Figure 5 sweep). General and hot runs share the same policy; the
+    // hot tier's inlined bounds are what make its cost independent of
+    // table size.
+    let pm = setup::n_region_policy(32);
+    let tracer = kop_trace::Tracer::with_capacity(kop_trace::DEFAULT_CAPACITY);
+    let mem = GuardedMem::with_tracer(
+        DirectMem::with_defaults(E1000Device::default()),
+        Arc::clone(&pm),
+        Arc::clone(&tracer),
+    );
+    tracer.set_enabled(true);
+    let (_, prof_rep, prof_guards) =
+        forward_once(mem, fwd_seed, fwd_flows, fwd_offered, fwd_budget);
+    tracer.set_enabled(false);
+    assert!(prof_rep.forwarded > 0 && prof_guards > 0);
+
+    // Envelope → site map: the driver's synthetic sites, classified by
+    // the same ranges the native build guards with.
+    let probe = DirectMem::with_defaults(E1000Device::default());
+    let site_map = kop_e1000e::driver_site_map(probe.arena_base(), probe.mmio_base());
+    let mut hot_sites = Vec::new();
+    let mut tlb_seeds = Vec::new();
+    for (_meta, prof) in tracer.hot_sites(1) {
+        let Some((lo, hi)) = prof.envelope() else {
+            continue;
+        };
+        let site = site_map.classify(lo);
+        hot_sites.push(HotSite {
+            site,
+            lo,
+            hi,
+            flags: AccessFlags::RW,
+        });
+        tlb_seeds.push((site, lo, (hi - lo).max(1), AccessFlags::RW));
+    }
+    assert!(
+        !hot_sites.is_empty(),
+        "forwarding guard sites were profiled"
+    );
+
+    let reg = kop_trace::CounterRegistry::new();
+    let mut fwd_base_best = f64::MAX;
+    let mut fwd_general_best = f64::MAX;
+    let mut fwd_hot_best = f64::MAX;
+    let mut fwd_admits = 0u64;
+    let mut fwd_deopts = 0u64;
+    let mut tlb_preseeded = 0u64;
+    for r in 0..fwd_repeats {
+        let (rate_b, rep_b, _) = forward_once(
+            DirectMem::with_defaults(E1000Device::default()),
+            fwd_seed,
+            fwd_flows,
+            fwd_offered,
+            fwd_budget,
+        );
+        let (rate_g, rep_g, guard_calls) = forward_once(
+            GuardedMem::new(
+                DirectMem::with_defaults(E1000Device::default()),
+                Arc::clone(&pm),
+            ),
+            fwd_seed,
+            fwd_flows,
+            fwd_offered,
+            fwd_budget,
+        );
+        let hot_mem = GuardedMem::with_hot_prefixed(
+            DirectMem::with_defaults(E1000Device::default()),
+            Arc::clone(&pm),
+            hot_sites.clone(),
+            &format!("jit.r{r}"),
+        );
+        assert!(hot_mem.policy().promoted_count() > 0, "sites promoted");
+        hot_mem.policy().register_into(&reg);
+        let (rate_h, rep_h, hot_guard_calls) =
+            forward_once(hot_mem, fwd_seed, fwd_flows, fwd_offered, fwd_budget);
+        // The promotion-warmed TLB: preseeds land without phantom checks
+        // and the warmed run is behaviourally identical too.
+        let warm_mem = GuardedMem::with_tlb_warmed(
+            DirectMem::with_defaults(E1000Device::default()),
+            Arc::clone(&pm),
+            &format!("jit.tlb.r{r}"),
+            &tlb_seeds,
+        );
+        let pres = warm_mem.policy().tlb().preseeded();
+        assert!(pres > 0, "promotion warmed the guard TLB");
+        warm_mem.policy().tlb().register_into(&reg);
+        let checks_before_warm = pm.stats().checks;
+        let (_, rep_w, warm_guards) =
+            forward_once(warm_mem, fwd_seed, fwd_flows, fwd_offered, fwd_budget);
+        tlb_preseeded = pres;
+
+        assert_eq!(
+            rep_b, rep_g,
+            "general forwarding is behaviourally identical"
+        );
+        assert_eq!(
+            rep_b, rep_h,
+            "promoted forwarding is behaviourally identical"
+        );
+        assert_eq!(
+            rep_b, rep_w,
+            "warmed-TLB forwarding is behaviourally identical"
+        );
+        assert_eq!(guard_calls, hot_guard_calls, "same guard count either way");
+        // Preseeding never fabricates a policy check: the warmed run's
+        // policy checks are its TLB misses only.
+        let warm_misses = reg
+            .get(&format!("jit.tlb.r{r}.misses"))
+            .expect("warm miss counter")
+            .get();
+        assert_eq!(
+            pm.stats().checks - checks_before_warm,
+            warm_misses,
+            "preseeded entries are hits, not phantom checks"
+        );
+        assert!(warm_guards > 0);
+        let admits = reg
+            .get(&format!("jit.r{r}.inline_admits"))
+            .expect("admit counter")
+            .get();
+        let deopts = reg
+            .get(&format!("jit.r{r}.deopts"))
+            .expect("deopt counter")
+            .get();
+        assert!(admits > 0, "the hot tier answered guards inline");
+        assert_eq!(deopts, 0, "zero steady-state deopts on the datapath");
+        fwd_admits += admits;
+        fwd_deopts += deopts;
+        // Keep the *fastest* pass per configuration, as ns per frame.
+        fwd_base_best = fwd_base_best.min(1e9 / rate_b.max(1e-9));
+        fwd_general_best = fwd_general_best.min(1e9 / rate_g.max(1e-9));
+        fwd_hot_best = fwd_hot_best.min(1e9 / rate_h.max(1e-9));
+    }
+    let fwd_general_over = (fwd_general_best - fwd_base_best).max(0.0);
+    let fwd_hot_over = (fwd_hot_best - fwd_base_best).max(0.0);
+    if assert_timing {
+        assert!(
+            fwd_hot_over <= fwd_general_over / 2.0,
+            "promoted tier must at least halve the forwarding guard overhead \
+             (baseline {fwd_base_best:.1} ns/frame, general {fwd_general_best:.1}, \
+              hot {fwd_hot_best:.1}: overhead {fwd_general_over:.1} -> {fwd_hot_over:.1})"
+        );
+    }
+    let fwd_reduction = fwd_general_over / fwd_hot_over.max(1.0);
+
+    let guards_per_packet = general.stats.guards / packets;
+    let notes = vec![
+        "x=0 baseline build, x=1 guarded general bytecode, x=2 guarded promoted tier (TX ns/packet)".into(),
+        "promotion: tracer envelopes -> covering region of the current snapshot -> inlined [lo,hi)+perm+generation, self-validated by the translation validator before install".into(),
+        format!(
+            "steady state: {} inline admits, {} deopts; traced pass reconciled {} profiled checks == {} guards",
+            promoted.inline_admits, promoted.inline_deopts, traced_checks, traced_guards
+        ),
+        format!(
+            "epoch bump dropped the tier atomically (generation +{bump_generation_delta}), zero stale admits, tick() re-promoted"
+        ),
+        format!(
+            "native datapath: HotPolicy admits {fwd_admits} inline / {fwd_deopts} deopts; warmed TLB preseeded {tlb_preseeded} entries with zero phantom checks"
+        ),
+        if assert_timing {
+            ">=2x guard-overhead reduction asserted on both the TX and forwarding paths".into()
+        } else {
+            format!(
+                "timing asserts skipped (quick={}): shapes reported, correctness still asserted",
+                quick()
+            )
+        },
+    ];
+
+    FigureData {
+        id: "jit",
+        title: "profile-directed promotion: hot guard sites re-lowered with inlined bounds vs the general guarded path".into(),
+        axes: ("configuration", "ns per packet | ns per frame"),
+        series: vec![
+            Series {
+                label: "tx_ns_per_packet".into(),
+                points: vec![
+                    (0.0, base.ns_pkt),
+                    (1.0, general.ns_pkt),
+                    (2.0, promoted.ns_pkt),
+                ],
+            },
+            Series {
+                label: "fwd_ns_per_frame".into(),
+                points: vec![
+                    (0.0, fwd_base_best),
+                    (1.0, fwd_general_best),
+                    (2.0, fwd_hot_best),
+                ],
+            },
+        ],
+        headlines: vec![
+            ("vm_baseline_ns_pkt".into(), base.ns_pkt),
+            ("vm_general_ns_pkt".into(), general.ns_pkt),
+            ("vm_promoted_ns_pkt".into(), promoted.ns_pkt),
+            ("vm_overhead_reduction".into(), vm_reduction),
+            ("vm_promoted_ops".into(), promoted.promoted_ops as f64),
+            ("vm_inline_admits".into(), promoted.inline_admits as f64),
+            ("vm_inline_deopts".into(), promoted.inline_deopts as f64),
+            ("vm_guards_per_packet".into(), guards_per_packet as f64),
+            ("vm_traced_checks".into(), traced_checks as f64),
+            ("bump_generation_delta".into(), bump_generation_delta as f64),
+            ("fwd_baseline_ns_frame".into(), fwd_base_best),
+            ("fwd_general_ns_frame".into(), fwd_general_best),
+            ("fwd_hot_ns_frame".into(), fwd_hot_best),
+            ("fwd_overhead_reduction".into(), fwd_reduction),
+            ("fwd_inline_admits".into(), fwd_admits as f64),
+            ("fwd_inline_deopts".into(), fwd_deopts as f64),
+            ("tlb_preseeded".into(), tlb_preseeded as f64),
+        ],
+        notes,
+    }
+}
+
 /// The OPT figure (`reproduce opt`): the guard-optimizing analysis tier
 /// end to end on the interpreter-driven e1000e TX path. Compares the
 /// paper build (every access guarded) against the optimized build
@@ -2628,6 +3234,28 @@ pub fn forward() -> FigureData {
         headlines.push((format!("mq_fwd_rate_q{q}"), best));
     }
 
+    // Striping the policy counters removed the shared-cell ping-pong
+    // that once made two queues *slower* than one; hold that line with a
+    // monotone-with-slack scaling assertion over the per-queue rates.
+    // Like the SMP figure's scaling asserts, this is only meaningful in
+    // the standalone quick smoke run on a multi-core host — under
+    // `cargo test` sibling tests pollute the scheduler and per-queue
+    // rates are noise.
+    const MQ_SLACK: f64 = 0.85;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if quick() && cores >= 4 {
+        for w in mq_pts.windows(2) {
+            let ((ql, lo), (qh, hi)) = (w[0], w[1]);
+            assert!(
+                hi >= lo * MQ_SLACK,
+                "mq scaling anomaly: q{qh} rate {hi:.0} fps < {MQ_SLACK} x q{ql} rate {lo:.0} fps"
+            );
+        }
+    }
+    headlines.push(("mq_monotonic_slack".into(), MQ_SLACK));
+
     // ---- Per-site trace reconciliation across the combined RX+TX ----
     // path: profile exactly one forwarding window and require the
     // per-site totals to equal the driver's guard-call delta.
@@ -2889,6 +3517,7 @@ pub fn all_figures() -> Vec<FigureData> {
         opt(),
         trace(),
         exec(),
+        jit(),
         smp(),
         soak(),
         forward(),

@@ -124,7 +124,25 @@ impl SignedModule {
     /// parsed module. This is the load-time check the kernel performs: MAC
     /// valid, IR parses, attestation consistent with the IR it shipped
     /// with.
+    ///
+    /// Runs without a grant oracle, so a ledger carrying inline-bounds
+    /// obligations cannot attest coverage here — use
+    /// [`Self::verify_with_grants`] when the verifier holds the policy
+    /// whose snapshot history can re-derive the baked bounds.
     pub fn verify(&self, trusted_keys: &[CompilerKey]) -> Result<Module, SigningError> {
+        self.verify_with_grants(trusted_keys, None)
+    }
+
+    /// [`Self::verify`] with a grant oracle for auditing inline-bounds
+    /// obligations (a promoted container): the validator recomputes every
+    /// baked `[lo, hi)` from the regions the cited snapshot generation
+    /// held and refuses forged, stale, or wrong-site immediates
+    /// (KA009/KA010/KA011).
+    pub fn verify_with_grants(
+        &self,
+        trusted_keys: &[CompilerKey],
+        grants: Option<&dyn kop_analysis::GrantOracle>,
+    ) -> Result<Module, SigningError> {
         let key = trusted_keys
             .iter()
             .find(|k| k.key_id == self.key_id)
@@ -166,7 +184,18 @@ impl SignedModule {
                 .map_err(|e| {
                     SigningError::AttestationMismatch(format!("obligation ledger invalid: {e}"))
                 })?;
-            let report = kop_analysis::validate_module(&module, &ledger);
+            let inline = ledger
+                .obligations
+                .iter()
+                .filter(|ob| matches!(ob, kop_analysis::Obligation::Inline { .. }))
+                .count() as u64;
+            if inline != self.attestation.inline_obligations {
+                return Err(SigningError::AttestationMismatch(format!(
+                    "inline obligation count {} vs attested {}",
+                    inline, self.attestation.inline_obligations
+                )));
+            }
+            let report = kop_analysis::validate_module_with_grants(&module, &ledger, grants);
             if !report.is_clean() {
                 return Err(SigningError::AttestationMismatch(format!(
                     "attested guard coverage but the validator disproves it:\n{}",
@@ -285,6 +314,17 @@ impl SignedModule {
         if off != data.len() {
             return Err(SigningError::Malformed("trailing bytes".into()));
         }
+        // Not a container field of its own: recomputed from the ledger
+        // text exactly as the signer computed it, so the attestation
+        // bytes (and thus the signature) round-trip.
+        let inline_obligations = kop_analysis::ObligationLedger::parse(&obligations)
+            .map(|l| {
+                l.obligations
+                    .iter()
+                    .filter(|ob| matches!(ob, kop_analysis::Obligation::Inline { .. }))
+                    .count() as u64
+            })
+            .unwrap_or(0);
         Ok(SignedModule {
             ir_text,
             attestation: Attestation {
@@ -301,6 +341,7 @@ impl SignedModule {
                 privileged_wrapped: flags & 8 != 0,
                 compiler_id,
                 obligations,
+                inline_obligations,
             },
             key_id,
             signature,

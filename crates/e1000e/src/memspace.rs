@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use kop_core::{AccessFlags, Size, VAddr, Violation};
-use kop_policy::{GuardTlb, PolicyCheck, PolicyModule, SiteMap, TlbPolicy};
+use kop_policy::{GuardTlb, HotPolicy, HotSite, PolicyCheck, PolicyModule, SiteMap, TlbPolicy};
 use kop_trace::{GuardDecision, Producer, SiteId, TraceEvent, Tracer};
 
 use crate::device::{DmaMem, E1000Device, FrameSink};
@@ -425,6 +425,56 @@ impl GuardedMem<TlbPolicy> {
     }
 }
 
+impl GuardedMem<TlbPolicy> {
+    /// Like [`GuardedMem::with_tlb_prefixed`], but the TLB starts warm:
+    /// each `(site, addr, size, flags)` seed is pre-resolved against the
+    /// current policy snapshot before the first guard runs, so a
+    /// restarted (or freshly promoted) worker pays no cold-miss burst.
+    /// Preseeding bumps only the `<prefix>.preseeded` counter — never
+    /// hits, misses, or policy checks — so reconciliation still sees
+    /// exactly one policy check per cold guard.
+    pub fn with_tlb_warmed(
+        inner: DirectMem,
+        policy: Arc<PolicyModule>,
+        prefix: &str,
+        seeds: &[(u32, u64, u64, AccessFlags)],
+    ) -> GuardedMem<TlbPolicy> {
+        let map = driver_site_map(inner.arena_base, inner.mmio_base);
+        let tlb = GuardTlb::with_prefix(prefix);
+        GuardedMem::new(inner, TlbPolicy::warmed(policy, map, tlb, seeds))
+    }
+}
+
+impl GuardedMem<HotPolicy> {
+    /// The inline-bounds build: wrap a memory space with a shared policy
+    /// fronted by a per-thread [`HotPolicy`] that admits promoted sites
+    /// with three baked compares (bounds + generation) and deopts to the
+    /// full policy path on any miss. Counters land under `"jit."`.
+    pub fn with_hot(
+        inner: DirectMem,
+        policy: Arc<PolicyModule>,
+        sites: Vec<HotSite>,
+    ) -> GuardedMem<HotPolicy> {
+        let map = driver_site_map(inner.arena_base, inner.mmio_base);
+        GuardedMem::new(inner, HotPolicy::promote(policy, map, sites))
+    }
+
+    /// Like [`GuardedMem::with_hot`] with a custom counter prefix (one
+    /// per queue/worker, e.g. `jit.q3`).
+    pub fn with_hot_prefixed(
+        inner: DirectMem,
+        policy: Arc<PolicyModule>,
+        sites: Vec<HotSite>,
+        prefix: &str,
+    ) -> GuardedMem<HotPolicy> {
+        let map = driver_site_map(inner.arena_base, inner.mmio_base);
+        GuardedMem::new(
+            inner,
+            HotPolicy::promote_prefixed(prefix, policy, map, sites),
+        )
+    }
+}
+
 impl<P: PolicyCheck> GuardedMem<P> {
     #[inline(always)]
     fn guard(&mut self, addr: u64, size: u64, flags: AccessFlags) -> Result<(), Violation> {
@@ -445,7 +495,9 @@ impl<P: PolicyCheck> GuardedMem<P> {
                 Producer::Driver,
                 TraceEvent::GuardExit { site, decision, ns },
             );
-            t.tracer.record_check(site, ns, r.is_err());
+            // Envelope-aware: feeds the per-site address range the
+            // promotion pass maps onto a policy region.
+            t.tracer.record_check_at(site, ns, r.is_err(), addr, size);
             return r;
         }
         self.policy.carat_guard(VAddr(addr), Size(size), flags)

@@ -49,16 +49,26 @@ pub enum Engine {
     Tree,
     /// The flat register-bytecode VM (compiled once at insmod).
     Bytecode,
+    /// The bytecode VM with the promoted tier enabled: functions whose
+    /// hot guard sites were re-lowered with inlined bounds dispatch
+    /// through the promoted code; everything else (and every run with
+    /// tracing on, which needs per-check events) falls back to the
+    /// general bytecode. Observable semantics are still identical —
+    /// a promoted guard that cannot fast-admit deopts into the exact
+    /// general policy path.
+    Promoted,
 }
 
 impl Engine {
     /// The engine selected by the `KOP_ENGINE` environment variable:
-    /// `bytecode` (or `vm`) picks the bytecode engine, anything else —
-    /// including unset — picks the tree engine. Lets CI run every
-    /// end-to-end test once per engine without touching the tests.
+    /// `bytecode` (or `vm`) picks the bytecode engine, `promoted` (or
+    /// `jit`) the promoted tier, anything else — including unset — picks
+    /// the tree engine. Lets CI run every end-to-end test once per
+    /// engine without touching the tests.
     pub fn from_env() -> Engine {
         match std::env::var("KOP_ENGINE").as_deref() {
             Ok("bytecode") | Ok("vm") => Engine::Bytecode,
+            Ok("promoted") | Ok("jit") => Engine::Promoted,
             _ => Engine::Tree,
         }
     }
@@ -99,6 +109,29 @@ pub struct Interp<'k> {
     vm_frames: Vec<Vec<u64>>,
     /// Retired argument vectors, same purpose.
     vm_args_pool: Vec<Vec<u64>>,
+    /// Guards admitted by an inlined bound (promoted engine only).
+    /// Kept off [`ExecStats`] so stats stay engine-identical for the
+    /// differential tests.
+    vm_inline_admits: u64,
+    /// Promoted guards that fell back to the general policy path
+    /// (generation bump, out-of-bounds, or permission miss).
+    vm_inline_deopts: u64,
+    /// The policy governing the currently-executing *promoted* frame,
+    /// resolved once at frame entry instead of per guard. Sound for the
+    /// frame's duration: remapping a module's policy needs `&mut Kernel`,
+    /// which this interpreter holds exclusively, and the one in-run
+    /// mutation path (quarantine) aborts the run before another guard
+    /// executes. Bound staleness is still caught per-op by the
+    /// generation tag.
+    vm_policy: Option<Arc<kop_policy::PolicyModule>>,
+    /// Fast admits not yet accounted against `vm_policy`'s striped
+    /// `checks`/`permitted` counters. The inline admit bumps this plain
+    /// field; frame entry/exit flushes it with one counted add
+    /// (`record_fast_permits`), so the per-guard cost carries no
+    /// thread-local counter round-trips and every post-run observer
+    /// still sees `policy.checks == stats.guards`. Non-zero only while
+    /// `vm_policy` is `Some`.
+    vm_pending_fast_permits: u64,
 }
 
 const DEFAULT_FUEL: u64 = 50_000_000;
@@ -148,6 +181,10 @@ impl<'k> Interp<'k> {
             vm_scratch: Vec::new(),
             vm_frames: Vec::new(),
             vm_args_pool: Vec::new(),
+            vm_inline_admits: 0,
+            vm_inline_deopts: 0,
+            vm_policy: None,
+            vm_pending_fast_permits: 0,
         })
     }
 
@@ -173,6 +210,10 @@ impl<'k> Interp<'k> {
             vm_scratch: Vec::new(),
             vm_frames: Vec::new(),
             vm_args_pool: Vec::new(),
+            vm_inline_admits: 0,
+            vm_inline_deopts: 0,
+            vm_policy: None,
+            vm_pending_fast_permits: 0,
         }
     }
 
@@ -207,6 +248,18 @@ impl<'k> Interp<'k> {
         self.stats
     }
 
+    /// Guards admitted by an inlined bound since construction (promoted
+    /// engine only; 0 on the other engines).
+    pub fn inline_admits(&self) -> u64 {
+        self.vm_inline_admits
+    }
+
+    /// Promoted guards that deopted to the general policy path since
+    /// construction (generation bump, bounds, or permission miss).
+    pub fn inline_deopts(&self) -> u64 {
+        self.vm_inline_deopts
+    }
+
     /// The kernel being driven.
     pub fn kernel(&mut self) -> &mut Kernel {
         self.kernel
@@ -230,7 +283,9 @@ impl<'k> Interp<'k> {
         let image = Arc::clone(loaded.image());
         match self.engine {
             Engine::Tree => self.call_in(&image, func, args),
-            Engine::Bytecode => self.vm_call(&image, func, args),
+            // The promoted engine is the bytecode engine with promoted
+            // dispatch enabled at function entry (see `vm_call_idx`).
+            Engine::Bytecode | Engine::Promoted => self.vm_call(&image, func, args),
         }
     }
 
@@ -632,7 +687,10 @@ impl<'k> Interp<'k> {
                     ns,
                 },
             );
-            tracer.record_check(*site, ns, decision.is_denied());
+            // Envelope-aware recording: the profile keeps the [lo, hi)
+            // address range each site actually touched, which the
+            // promotion pass later checks against the baked bound.
+            tracer.record_check_at(*site, ns, decision.is_denied(), addr.raw(), size.raw());
         }
         match outcome {
             GuardOutcome::Allowed => Ok(()),

@@ -52,7 +52,21 @@ impl<'k> Interp<'k> {
         idx: u32,
         args: Vec<u64>,
     ) -> KernelResult<Option<u64>> {
-        let cf = compiled.func(idx);
+        // Promoted dispatch: on the promoted engine, a function the
+        // promotion pass re-lowered runs its inline-bounds code instead.
+        // Tracing runs always take the general tier — the fast admit
+        // emits no per-check events, and reconciliation (trace hits ==
+        // policy checks, exact per-site) must hold to the guard.
+        let promoted =
+            if self.engine() == crate::Engine::Promoted && !self.kernel.tracer().enabled() {
+                compiled.promoted_func(idx)
+            } else {
+                None
+            };
+        let cf = match &promoted {
+            Some(p) => p.as_ref(),
+            None => compiled.func(idx),
+        };
         if cf.n_params != args.len() {
             return Err(KernelError::InvalidArgument(format!(
                 "@{} takes {} args, got {}",
@@ -75,11 +89,24 @@ impl<'k> Interp<'k> {
         self.depth += 1;
         let saved_args = std::mem::replace(&mut self.cur_args, args);
         let saved_stack = self.stack_cursor;
+        // Promoted frames resolve their governing policy once — the
+        // inline fast path then pays a field read per guard instead of a
+        // per-module map lookup (see the `vm_policy` field docs for why
+        // this is sound for the frame's duration).
+        self.vm_flush_fast_permits();
+        let saved_policy = if promoted.is_some() {
+            let p = self.kernel.policy_for(&ctx.ir.name);
+            self.vm_policy.replace(p)
+        } else {
+            self.vm_policy.take()
+        };
         let mut regs = self.vm_frames.pop().unwrap_or_default();
         regs.clear();
         regs.resize(cf.n_regs, 0);
         let result = self.vm_run(ctx, compiled, cf, &mut regs);
         self.vm_frames.push(regs);
+        self.vm_flush_fast_permits();
+        self.vm_policy = saved_policy;
         self.stack_cursor = saved_stack;
         let retired = std::mem::replace(&mut self.cur_args, saved_args);
         self.vm_args_pool.push(retired);
@@ -96,6 +123,73 @@ impl<'k> Interp<'k> {
             Src::Arg(i) => self.cur_args[i as usize],
             Src::Imm(v) => v,
         }
+    }
+
+    /// Drain the fast admits accumulated this frame into the governing
+    /// policy's `checks`/`permitted` counters with one counted add.
+    /// Runs at every frame entry (before the policy slot changes hands)
+    /// and exit, so the pending count always lands on the policy it was
+    /// accumulated against.
+    #[inline]
+    fn vm_flush_fast_permits(&mut self) {
+        if self.vm_pending_fast_permits > 0 {
+            let n = self.vm_pending_fast_permits;
+            self.vm_pending_fast_permits = 0;
+            if let Some(p) = self.vm_policy.as_deref() {
+                p.record_fast_permits(n);
+            }
+        }
+    }
+
+    /// The promoted guard check: admit with three compares against the
+    /// baked bound when the snapshot generation still matches, else
+    /// deopt into the exact general policy path with the original
+    /// operands. The fast admit still counts as a guard and as a policy
+    /// check (batched: `vm_pending_fast_permits`, flushed at frame
+    /// boundaries), so every reconciliation invariant —
+    /// `stats.guards == policy.checks` — survives promotion. A
+    /// degenerate request (zero size, empty flags, wrapping range)
+    /// always deopts; the general path owns the malformed-input
+    /// verdicts.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn vm_inline_guard(
+        &mut self,
+        ctx: &ModuleCtx,
+        lo: u64,
+        hi: u64,
+        perm: u32,
+        gen: u64,
+        addr: u64,
+        size: u64,
+        flags: u32,
+        site: Option<kop_trace::SiteId>,
+    ) -> KernelResult<()> {
+        let fast = {
+            let policy = self
+                .vm_policy
+                .as_deref()
+                .expect("promoted frame resolved its policy at entry");
+            size > 0
+                && flags != 0
+                && (flags & !perm) == 0
+                && gen == policy.store_generation()
+                && matches!(addr.checked_add(size), Some(end) if lo <= addr && end <= hi)
+        };
+        if fast {
+            self.stats.guards += 1;
+            self.vm_pending_fast_permits += 1;
+            self.vm_inline_admits += 1;
+            return Ok(());
+        }
+        self.vm_inline_deopts += 1;
+        self.run_mem_guard(
+            &ctx.ir.name,
+            VAddr(addr),
+            Size(size),
+            AccessFlags::from_raw(flags),
+            site,
+        )
     }
 
     /// Traverse a control-flow edge: execute its phi move schedule,
@@ -355,6 +449,78 @@ impl<'k> Interp<'k> {
                     if let Some(v) = r? {
                         regs[*dst as usize] = v;
                     }
+                }
+                Op::InlineGuardLoad {
+                    site,
+                    lo,
+                    hi,
+                    perm,
+                    gen,
+                    gaddr,
+                    gsize,
+                    gflags,
+                    size,
+                    mask,
+                    ptr,
+                    dst,
+                } => {
+                    let ga = self.vm_src(regs, *gaddr);
+                    let gs = self.vm_src(regs, *gsize);
+                    let gf = self.vm_src(regs, *gflags) as u32;
+                    self.vm_inline_guard(ctx, *lo, *hi, *perm, *gen, ga, gs, gf, *site)?;
+                    self.burn(1)?;
+                    self.stats.mem_accesses += 1;
+                    let addr = VAddr(self.vm_src(regs, *ptr));
+                    if std::mem::take(&mut self.squash_next) {
+                        self.stats.squashed += 1;
+                        regs[*dst as usize] = 0;
+                    } else {
+                        let v = self.kernel.mem.read_uint(addr, Size(*size))?;
+                        regs[*dst as usize] = mask & v;
+                    }
+                }
+                Op::InlineGuardStore {
+                    site,
+                    lo,
+                    hi,
+                    perm,
+                    gen,
+                    gaddr,
+                    gsize,
+                    gflags,
+                    size,
+                    mask,
+                    val,
+                    ptr,
+                } => {
+                    let ga = self.vm_src(regs, *gaddr);
+                    let gs = self.vm_src(regs, *gsize);
+                    let gf = self.vm_src(regs, *gflags) as u32;
+                    self.vm_inline_guard(ctx, *lo, *hi, *perm, *gen, ga, gs, gf, *site)?;
+                    self.burn(1)?;
+                    self.stats.mem_accesses += 1;
+                    let addr = VAddr(self.vm_src(regs, *ptr));
+                    let v = mask & self.vm_src(regs, *val);
+                    if std::mem::take(&mut self.squash_next) {
+                        self.stats.squashed += 1;
+                    } else {
+                        self.kernel.mem.write_uint(addr, Size(*size), v)?;
+                    }
+                }
+                Op::InlineGuard {
+                    site,
+                    lo,
+                    hi,
+                    perm,
+                    gen,
+                    addr,
+                    size,
+                    flags,
+                } => {
+                    let a = self.vm_src(regs, *addr);
+                    let s = self.vm_src(regs, *size);
+                    let f = self.vm_src(regs, *flags) as u32;
+                    self.vm_inline_guard(ctx, *lo, *hi, *perm, *gen, a, s, f, *site)?;
                 }
                 Op::Guard {
                     site,

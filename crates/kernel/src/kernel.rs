@@ -72,6 +72,11 @@ pub struct KernelConfig {
     /// ignores it. Must be ≥ 1 — the violation that reaches the budget is
     /// the one that triggers the unload.
     pub violation_budget: u32,
+    /// Profiled checks a guard site needs before [`Kernel::tick`]
+    /// promotes it into the inline-bounds tier. Defaults from the
+    /// `KOP_HOT_THRESHOLD` environment variable (falling back to 1024).
+    /// Explicit [`Kernel::promote_hot`] calls pass their own threshold.
+    pub hot_threshold: u64,
 }
 
 impl Default for KernelConfig {
@@ -82,6 +87,10 @@ impl Default for KernelConfig {
             verification: Verification::Signature,
             heap_size: 64 << 20,
             violation_budget: 3,
+            hot_threshold: std::env::var("KOP_HOT_THRESHOLD")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1024),
         }
     }
 }
@@ -149,6 +158,12 @@ pub struct Kernel {
     /// The kernel-wide trace instance (always present, disabled until
     /// `echo 1 > tracing_on` via [`TRACE_DEV`] or [`Tracer::set_enabled`]).
     tracer: Arc<Tracer>,
+    /// Modules whose promoted tier is subscribed to their policy's
+    /// generation publishes (each publish atomically drops the tier, so
+    /// stale promoted code is discarded promptly — the per-op generation
+    /// check already guarantees it could never admit). Cleared on
+    /// restart so the fresh image re-subscribes.
+    hot_subscribed: std::collections::BTreeSet<String>,
 }
 
 impl Kernel {
@@ -276,6 +291,7 @@ impl Kernel {
             aliases: std::collections::BTreeMap::new(),
             lifecycle,
             tracer,
+            hot_subscribed: std::collections::BTreeSet::new(),
         };
         kernel.printk("CARAT KOP simulated kernel booted");
         kernel.printk(&format!("policy store: {}", kernel.policy.store_kind()));
@@ -339,11 +355,34 @@ impl Kernel {
     pub fn set_module_policy(&mut self, module: &str, policy: Arc<PolicyModule>) {
         self.printk(&format!("policy: per-module override for '{module}'"));
         self.module_policies.insert(module.to_string(), policy);
+        // The promoted tier baked bounds (and a generation tag) from the
+        // *previous* policy object; a different policy could reuse the
+        // same generation number, so the tag alone is not enough here.
+        // Drop the tier and the old policy's subscription outright.
+        self.drop_promotions(module);
     }
 
     /// Remove a per-module override; returns whether one existed.
     pub fn clear_module_policy(&mut self, module: &str) -> bool {
-        self.module_policies.remove(module).is_some()
+        let had = self.module_policies.remove(module).is_some();
+        if had {
+            // Same generation-collision hazard as `set_module_policy`:
+            // the module now answers to the global policy.
+            self.drop_promotions(module);
+        }
+        had
+    }
+
+    /// Invalidate `module`'s promoted trace tier and forget its
+    /// generation subscription, so the next promotion re-bakes bounds
+    /// from (and re-subscribes to) the now-governing policy.
+    fn drop_promotions(&mut self, module: &str) {
+        if let Some(loaded) = self.module(module) {
+            if let Some(compiled) = loaded.image().compiled.as_ref() {
+                compiled.invalidate_promotions();
+            }
+        }
+        self.forget_hot_subscription(module);
     }
 
     /// The policy governing `module`: its override if installed, else the
@@ -358,6 +397,154 @@ impl Kernel {
     /// The boot configuration.
     pub fn config(&self) -> &KernelConfig {
         &self.config
+    }
+
+    /// Profile-directed promotion: re-lower `module`'s hot guard sites
+    /// into the inline-bounds tier.
+    ///
+    /// Sites with at least `min_hits` profiled checks — and not a single
+    /// denial — are mapped through their observed address envelope onto
+    /// the covering region of the *current* policy snapshot; that
+    /// region's `[lo, hi)` bound and permission bits are baked into
+    /// promoted copies of the containing functions as immediate
+    /// compares, tagged with the snapshot generation. Before installing,
+    /// the kernel audits its own work: the inline obligations are run
+    /// through the independent translation validator with the policy's
+    /// retained-snapshot grant oracle, so a bound the validator cannot
+    /// recompute from the cited generation is refused (KA009–KA011).
+    ///
+    /// A later `bump_epoch`/`replace_regions` publish atomically drops
+    /// the tier (and every promoted op independently rechecks the
+    /// generation, so a stale bound can never admit). Promotion is lazy
+    /// after that: call this again — or let [`Kernel::tick`] do it —
+    /// once the profile warrants it.
+    ///
+    /// Returns the number of guard ops promoted (0 when nothing is hot,
+    /// the module is unguarded, or it has no bytecode image).
+    pub fn promote_hot(&mut self, module: &str, min_hits: u64) -> KernelResult<usize> {
+        let loaded = self
+            .module(module)
+            .ok_or_else(|| KernelError::NoSuchModule(module.to_string()))?;
+        let image = Arc::clone(loaded.image());
+        let (Some(compiled), Some(sites)) = (image.compiled.as_ref(), image.sites.as_ref()) else {
+            return Ok(0);
+        };
+
+        // Hot-site selection: the tracer's profile, envelope required.
+        let hot: Vec<_> = self
+            .tracer()
+            .hot_sites(min_hits)
+            .into_iter()
+            .filter(|(m, p)| m.module == module && p.lo_addr < p.hi_addr)
+            .collect();
+        if hot.is_empty() {
+            return Ok(0);
+        }
+
+        // Map each site id back to its guard call so the obligation can
+        // cite it (same deterministic walk the loader registered from).
+        let mut guard_of = std::collections::BTreeMap::new();
+        for gs in kop_trace::assign_guard_sites(&image.ir) {
+            if let Some(id) = sites.lookup(&gs.function, gs.inst) {
+                guard_of.insert(id, gs);
+            }
+        }
+
+        // Bake bounds from the current snapshot.
+        let policy = self.policy_for(module);
+        let snap = policy.policy_snapshot();
+        let gen = snap.generation();
+        let mut specs = Vec::new();
+        let mut obligations = Vec::new();
+        for (meta, prof) in &hot {
+            let Some(gs) = guard_of.get(&meta.id) else {
+                continue;
+            };
+            let Some(guard) = inst_ref_of(&image.ir, &gs.function, gs.inst) else {
+                continue;
+            };
+            // The covering grant for the whole observed envelope; a site
+            // straddling regions (or outside every region) stays cold.
+            let Some(region) = snap.regions().iter().find(|r| {
+                r.base.raw() <= prof.lo_addr
+                    && prof.hi_addr <= r.base.raw().saturating_add(r.len.raw())
+            }) else {
+                continue;
+            };
+            let lo = region.base.raw();
+            let hi = region.base.raw().saturating_add(region.len.raw());
+            let perm = region.prot.granted().raw();
+            specs.push(kop_vm::PromotionSpec {
+                site: meta.id,
+                lo,
+                hi,
+                perm,
+            });
+            obligations.push(kop_analysis::Obligation::Inline {
+                function: gs.function.clone(),
+                guard,
+                lo,
+                hi,
+                flags: perm as u64,
+                gen,
+                env_lo: prof.lo_addr,
+                env_hi: prof.hi_addr,
+            });
+        }
+        if specs.is_empty() {
+            return Ok(0);
+        }
+
+        // Self-validation before install: the independent validator must
+        // re-derive every baked bound from the retained snapshot history.
+        let ledger = kop_analysis::ObligationLedger { obligations };
+        let grants = |g: u64| policy.regions_at(g);
+        let report = kop_analysis::validate_module_with_grants(&image.ir, &ledger, Some(&grants));
+        if !report.is_clean() {
+            let first = report
+                .errors()
+                .next()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "inline obligations rejected".into());
+            let err = KernelError::StaticVerification(format!(
+                "promotion refused: {first} ({} error(s) total)",
+                report.errors().count()
+            ));
+            self.printk(&format!("carat-jit {module}: {err}"));
+            return Err(err);
+        }
+
+        let n = compiled.promote(gen, &specs);
+        if n == 0 {
+            return Ok(0);
+        }
+        // One subscription per module image: any policy publish drops
+        // the tier wholesale.
+        if self.hot_subscribed.insert(module.to_string()) {
+            let tier = compiled.clone();
+            policy.subscribe_generation(Box::new(move |_gen| {
+                tier.invalidate_promotions();
+            }));
+        }
+        let sites_promoted = specs.len();
+        self.printk(&format!(
+            "carat-jit {module}: promoted {n} guard op(s) across {sites_promoted} site(s) at generation {gen}"
+        ));
+        Ok(n)
+    }
+
+    /// Periodic promotion sweep: runs [`Kernel::promote_hot`] over every
+    /// loaded module at the configured
+    /// [`KernelConfig::hot_threshold`]. Modules whose inline ledger the
+    /// validator refuses are skipped (the refusal is in dmesg); the
+    /// sweep never fails. Returns the total guard ops promoted.
+    pub fn tick(&mut self) -> usize {
+        let names: Vec<String> = self.modules.iter().map(|m| m.name.clone()).collect();
+        let threshold = self.config.hot_threshold;
+        names
+            .iter()
+            .map(|n| self.promote_hot(n, threshold).unwrap_or(0))
+            .sum()
     }
 
     /// Trusted compiler keys (loader uses these to verify signatures).
@@ -588,6 +775,27 @@ impl Kernel {
     pub fn interrupts_enabled(&self) -> bool {
         self.interrupts_enabled
     }
+
+    /// Forget a module's promotion subscription (restart/upgrade installs
+    /// a fresh image whose tier must subscribe anew).
+    pub(crate) fn forget_hot_subscription(&mut self, module: &str) {
+        self.hot_subscribed.remove(module);
+    }
+}
+
+/// Locate a guard call's `(block, index)` reference — the citation an
+/// inline obligation carries — from its arena instruction id.
+fn inst_ref_of(ir: &kop_ir::Module, function: &str, inst: u32) -> Option<kop_analysis::InstRef> {
+    let f = ir.function(function)?;
+    for b in &f.blocks {
+        if let Some(index) = b.insts.iter().position(|iid| iid.0 == inst) {
+            return Some(kop_analysis::InstRef {
+                block: b.name.clone(),
+                index,
+            });
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -237,7 +237,13 @@ impl Kernel {
                         return Err(err);
                     }
                 };
-            let report = kop_analysis::validate_module(&ir, &ledger);
+            // The grant oracle lets the validator re-derive inline-bounds
+            // obligations (a promoted container) from the policy's
+            // retained snapshot history; ledgers without inline
+            // obligations never consult it.
+            let policy = self.policy_for(&ir.name);
+            let grants = |g: u64| policy.regions_at(g);
+            let report = kop_analysis::validate_module_with_grants(&ir, &ledger, Some(&grants));
             if !report.is_clean() {
                 let first = report
                     .errors()
@@ -390,6 +396,7 @@ impl Kernel {
             },
         );
         self.lifecycle().forget(name);
+        self.forget_hot_subscription(name);
         self.printk(&format!("rmmod {name}"));
         Ok(())
     }
@@ -436,7 +443,10 @@ impl Kernel {
                 .map_err(|e| {
                     KernelError::StaticVerification(format!("obligation ledger invalid: {e}"))
                 })?;
-            let report = kop_analysis::validate_module(&image.ir, &ledger);
+            let policy = self.policy_for(&name);
+            let grants = |g: u64| policy.regions_at(g);
+            let report =
+                kop_analysis::validate_module_with_grants(&image.ir, &ledger, Some(&grants));
             if !report.is_clean() {
                 return Err(KernelError::StaticVerification(
                     "restart: guard coverage no longer provable".into(),
@@ -448,6 +458,16 @@ impl Kernel {
                 "restart: container does not match cached image".into(),
             ));
         }
+
+        // The cached image may carry a promoted tier baked against a
+        // policy generation from before the quarantine; drop it and let
+        // the warmed profile re-promote lazily. The old generation
+        // subscription points at this same shared tier, so it is also
+        // forgotten and re-established on the next promotion.
+        if let Some(compiled) = image.compiled.as_ref() {
+            compiled.invalidate_promotions();
+        }
+        self.forget_hot_subscription(&name);
 
         // Re-initialize globals. Unlike first insmod, the data pages are
         // not pristine — Zero initializers must be written explicitly or

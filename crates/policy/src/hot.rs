@@ -1,0 +1,386 @@
+//! The promoted hot tier for the native datapath: per-site guard bounds
+//! baked as immediate compares.
+//!
+//! The guard TLB ([`crate::tlb`]) already memoizes `(region, generation)`
+//! per site, but a hit still walks a direct-mapped array, re-derives the
+//! slot, and revalidates against a cached [`Region`] struct. The profile
+//! -directed tier goes one step further, the way an inline cache does: at
+//! *promotion* time it looks up the region that grants a hot site's
+//! observed address envelope and bakes the region's `[lo, hi)` bound and
+//! permission set into a per-site slot as plain integers. The steady-state
+//! admit is then a generation compare plus two immediate bound compares —
+//! no region lookup of any kind.
+//!
+//! Soundness is carried entirely by the generation tag: a slot admits
+//! only while its baked generation equals the policy's current store
+//! generation ([`crate::snapshot::SnapshotStore`] publishes snapshot
+//! first, generation second, both `SeqCst`). Any table write — grant,
+//! revoke, `bump_epoch` — makes every baked slot stale in one atomic
+//! store, and the next check at that site **deopts** to the general
+//! policy path. A stale admit is impossible by construction; deopted
+//! sites are lazily re-promoted via [`HotPolicy::repromote`] once the
+//! caller decides they are hot again.
+//!
+//! Fast admits still account, but *batched*: the admit path bumps plain
+//! per-thread cells and [`HotPolicy::flush`] (run by every accessor and
+//! on drop) drains them into the same (striped) `policy.checks`/
+//! `policy.permitted` cells the general path uses — so `checks == guard
+//! calls` reconciliation holds for any observer, while the steady-state
+//! admit pays zero striped-counter round-trips.
+//!
+//! Like the TLB, a [`HotPolicy`] is per-thread (slots are `Cell`s): give
+//! each worker its own instance over the shared [`PolicyModule`].
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use kop_core::{AccessFlags, Protection, Size, VAddr, Violation};
+use kop_trace::{Counter, CounterRegistry};
+
+use crate::module::PolicyModule;
+use crate::store::Lookup;
+use crate::tlb::SiteMap;
+use crate::PolicyCheck;
+
+/// What a promotion request asks for: bake the region granting this
+/// site's observed address envelope `[lo, hi)` for accesses with `flags`
+/// intent. Envelopes come from the tracer's per-site profiles
+/// (`SiteProfile::envelope`).
+#[derive(Clone, Copy, Debug)]
+pub struct HotSite {
+    /// The guard site id (the [`SiteMap`] must classify the site's
+    /// addresses to this id).
+    pub site: u32,
+    /// Lowest address the site was observed to touch.
+    pub lo: u64,
+    /// One past the highest byte the site was observed to touch.
+    pub hi: u64,
+    /// The access intent the site issues.
+    pub flags: AccessFlags,
+}
+
+/// One baked slot: the inlined bound. `gen == 0` means "not promoted"
+/// (store generations start at 1).
+#[derive(Clone, Copy)]
+struct HotSlot {
+    gen: u64,
+    lo: u64,
+    hi: u64,
+    prot: Protection,
+}
+
+impl HotSlot {
+    fn cold() -> HotSlot {
+        HotSlot {
+            gen: 0,
+            lo: 0,
+            hi: 0,
+            prot: Protection::NONE,
+        }
+    }
+}
+
+/// A [`PolicyCheck`] front whose promoted sites admit via inlined
+/// immediate bounds; everything else (and every deopt) takes the general
+/// policy path.
+pub struct HotPolicy {
+    policy: Arc<PolicyModule>,
+    map: SiteMap,
+    /// The promotion requests, kept so [`Self::repromote`] can re-bake
+    /// after an invalidating publish.
+    requests: Vec<HotSite>,
+    /// Dense by site id; sites beyond the table always take the general
+    /// path.
+    slots: Vec<Cell<HotSlot>>,
+    admits: Counter,
+    deopts: Counter,
+    promotions: Counter,
+    /// Fast-path accounting is *batched*: the admit path bumps these
+    /// plain per-thread cells (this struct is per-thread by design) and
+    /// [`Self::flush`] drains them into the shared striped counters —
+    /// one counted add instead of three TLS round-trips per guard.
+    /// Every read path (accessors, drop) flushes first, so no reader
+    /// can observe a deficit.
+    pending_admits: Cell<u64>,
+    pending_deopts: Cell<u64>,
+}
+
+impl HotPolicy {
+    /// Promote `sites` against the current policy snapshot, with counters
+    /// named `jit.inline_admits` / `jit.deopts` / `jit.promotions`.
+    pub fn promote(policy: Arc<PolicyModule>, map: SiteMap, sites: Vec<HotSite>) -> HotPolicy {
+        Self::promote_prefixed("jit", policy, map, sites)
+    }
+
+    /// Like [`Self::promote`] with counters under `"<prefix>."` — use
+    /// distinct prefixes (e.g. `jit.q3`) when several per-thread
+    /// instances register into one counter registry.
+    pub fn promote_prefixed(
+        prefix: &str,
+        policy: Arc<PolicyModule>,
+        map: SiteMap,
+        sites: Vec<HotSite>,
+    ) -> HotPolicy {
+        let n_slots = sites.iter().map(|s| s.site as usize + 1).max().unwrap_or(0);
+        let hp = HotPolicy {
+            policy,
+            map,
+            requests: sites,
+            slots: (0..n_slots).map(|_| Cell::new(HotSlot::cold())).collect(),
+            admits: Counter::new(format!("{prefix}.inline_admits")),
+            deopts: Counter::new(format!("{prefix}.deopts")),
+            promotions: Counter::new(format!("{prefix}.promotions")),
+            pending_admits: Cell::new(0),
+            pending_deopts: Cell::new(0),
+        };
+        hp.repromote();
+        hp
+    }
+
+    /// Re-bake every requested site against the *current* snapshot;
+    /// returns how many sites came out promoted. A request whose envelope
+    /// no single region grants any more is left cold (its checks simply
+    /// take the general path — never a fabricated bound).
+    pub fn repromote(&self) -> usize {
+        let snap = self.policy.policy_snapshot();
+        let mut promoted = 0;
+        for req in &self.requests {
+            let slot = &self.slots[req.site as usize];
+            let len = req.hi.saturating_sub(req.lo);
+            if len == 0 {
+                slot.set(HotSlot::cold());
+                continue;
+            }
+            match snap.lookup(VAddr(req.lo), Size(len), req.flags) {
+                Lookup::Permitted(r) => {
+                    slot.set(HotSlot {
+                        gen: snap.generation(),
+                        lo: r.base.raw(),
+                        hi: r.base.raw().saturating_add(r.len.raw()),
+                        prot: r.prot,
+                    });
+                    promoted += 1;
+                    self.promotions.inc();
+                }
+                _ => slot.set(HotSlot::cold()),
+            }
+        }
+        promoted
+    }
+
+    /// Sites currently holding a baked (possibly stale) bound.
+    pub fn promoted_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().gen != 0).count()
+    }
+
+    /// Drain the batched fast-path accounting into the shared counters:
+    /// the admit/deopt cells and the policy's `checks`/`permitted` cells
+    /// (via [`PolicyModule::record_fast_permits`]), so reconciliation
+    /// (`checks == guard calls`) holds for any observer from here on.
+    pub fn flush(&self) {
+        let a = self.pending_admits.replace(0);
+        if a > 0 {
+            self.admits.add(a);
+            self.policy.record_fast_permits(a);
+        }
+        let d = self.pending_deopts.replace(0);
+        if d > 0 {
+            self.deopts.add(d);
+        }
+    }
+
+    /// Fast-path admits so far.
+    pub fn admits(&self) -> u64 {
+        self.flush();
+        self.admits.get()
+    }
+
+    /// Deopts to the general path so far (a promoted site whose slot
+    /// could not vouch for the access: stale generation, out-of-bounds
+    /// address, or insufficient permission).
+    pub fn deopts(&self) -> u64 {
+        self.flush();
+        self.deopts.get()
+    }
+
+    /// Successful site promotions so far (counting re-promotions).
+    pub fn promotions(&self) -> u64 {
+        self.promotions.get()
+    }
+
+    /// Register the admit/deopt/promotion cells into a counter registry.
+    pub fn register_into(&self, registry: &CounterRegistry) {
+        registry.register(&self.admits);
+        registry.register(&self.deopts);
+        registry.register(&self.promotions);
+    }
+
+    /// The shared policy module.
+    pub fn policy(&self) -> &Arc<PolicyModule> {
+        &self.policy
+    }
+}
+
+impl Drop for HotPolicy {
+    fn drop(&mut self) {
+        // Whatever the owning thread accumulated lands in the shared
+        // cells before the instance disappears.
+        self.flush();
+    }
+}
+
+impl PolicyCheck for HotPolicy {
+    #[inline]
+    fn carat_guard(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Result<(), Violation> {
+        let site = self.map.classify(addr.raw());
+        if let Some(slot) = self.slots.get(site as usize) {
+            let e = slot.get();
+            if e.gen != 0 {
+                // The inlined compare sequence a re-lowered trace would
+                // carry: generation tag, then immediate bounds, then the
+                // baked permission mask. Malformed shapes (size 0, empty
+                // intent, wrapping end) fall through to the general path,
+                // which classifies them exactly as before.
+                if let Some(end) = addr.raw().checked_add(size.raw()) {
+                    if size.raw() > 0
+                        && !flags.is_empty()
+                        && e.gen == self.policy.store_generation()
+                        && e.lo <= addr.raw()
+                        && end <= e.hi
+                        && e.prot.allows(flags)
+                    {
+                        self.pending_admits.set(self.pending_admits.get() + 1);
+                        return Ok(());
+                    }
+                }
+                self.pending_deopts.set(self.pending_deopts.get() + 1);
+            }
+        }
+        self.policy.check(addr, size, flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kop_core::Region;
+
+    fn setup() -> (Arc<PolicyModule>, HotPolicy) {
+        let pm = Arc::new(PolicyModule::new());
+        pm.add_region(Region::new(VAddr(0x1000), Size(0x1000), Protection::READ_WRITE).unwrap())
+            .unwrap();
+        let map = SiteMap::new(9).range(0x1000, 0x2000, 0);
+        let hp = HotPolicy::promote(
+            Arc::clone(&pm),
+            map,
+            vec![HotSite {
+                site: 0,
+                lo: 0x1000,
+                hi: 0x1100,
+                flags: AccessFlags::RW,
+            }],
+        );
+        (pm, hp)
+    }
+
+    #[test]
+    fn promoted_site_admits_inline_and_still_accounts() {
+        let (pm, hp) = setup();
+        assert_eq!(hp.promoted_count(), 1);
+        for _ in 0..100 {
+            hp.carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+                .unwrap();
+        }
+        assert_eq!(hp.admits(), 100);
+        assert_eq!(hp.deopts(), 0);
+        // Every fast admit was accounted: reconciliation stays exact.
+        let s = pm.stats();
+        assert_eq!(s.checks, 100);
+        assert_eq!(s.permitted, 100);
+    }
+
+    #[test]
+    fn generation_bump_deopts_then_repromote_recovers() {
+        let (pm, hp) = setup();
+        hp.carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        pm.bump_epoch();
+        // Stale tag: the check still allows (general path) but deopts.
+        hp.carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(hp.admits(), 1);
+        assert_eq!(hp.deopts(), 1);
+        assert_eq!(hp.repromote(), 1);
+        hp.carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(hp.admits(), 2);
+        assert_eq!(hp.promotions(), 2);
+    }
+
+    #[test]
+    fn revocation_is_honoured_not_just_deopted() {
+        let (pm, hp) = setup();
+        hp.carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        pm.remove_region(VAddr(0x1000)).unwrap();
+        // The baked bound still names the old region, but the generation
+        // tag is stale: the access reaches the general path and denies.
+        assert!(hp
+            .carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+            .is_err());
+        assert_eq!(hp.deopts(), 1);
+        // And re-promotion of a revoked envelope refuses to bake.
+        assert_eq!(hp.repromote(), 0);
+        assert_eq!(hp.promoted_count(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_and_permission_misses_take_the_general_path() {
+        let (pm, hp) = setup();
+        // Outside the baked [lo, hi): general path, default deny.
+        assert!(hp
+            .carat_guard(VAddr(0x0900), Size(8), AccessFlags::RW)
+            .is_err());
+        // In bounds but asking for EXEC the baked prot lacks.
+        assert!(hp
+            .carat_guard(VAddr(0x1800), Size(8), AccessFlags::EXEC)
+            .is_err());
+        assert_eq!(hp.admits(), 0);
+        // The EXEC probe was classified to the promoted site → deopt; the
+        // 0x0900 probe classified to the fallback site (no slot).
+        assert_eq!(hp.deopts(), 1);
+        // Malformed shapes are never inline-admitted.
+        assert!(hp
+            .carat_guard(VAddr(0x1800), Size(8), AccessFlags::NONE)
+            .is_err());
+        assert!(hp
+            .carat_guard(VAddr(u64::MAX), Size(2), AccessFlags::READ)
+            .is_err());
+        assert_eq!(hp.admits(), 0);
+        let _ = pm;
+    }
+
+    #[test]
+    fn unpromotable_envelope_stays_cold() {
+        let pm = Arc::new(PolicyModule::new());
+        pm.add_region(Region::new(VAddr(0x1000), Size(0x100), Protection::READ_WRITE).unwrap())
+            .unwrap();
+        // Envelope spans beyond the region: no single grant covers it.
+        let hp = HotPolicy::promote(
+            Arc::clone(&pm),
+            SiteMap::new(9).range(0x1000, 0x2000, 0),
+            vec![HotSite {
+                site: 0,
+                lo: 0x1000,
+                hi: 0x1200,
+                flags: AccessFlags::RW,
+            }],
+        );
+        assert_eq!(hp.promoted_count(), 0);
+        // Checks inside the region still allow via the general path.
+        hp.carat_guard(VAddr(0x1080), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(hp.admits(), 0);
+        assert_eq!(hp.deopts(), 0);
+    }
+}

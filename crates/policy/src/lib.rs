@@ -34,6 +34,7 @@
 pub mod bloom;
 pub mod cache;
 pub mod cuckoo;
+pub mod hot;
 pub mod interval;
 pub mod intrinsics;
 pub mod manager;
@@ -47,13 +48,14 @@ pub mod table;
 pub mod tlb;
 pub mod vlog;
 
+pub use hot::{HotPolicy, HotSite};
 pub use intrinsics::IntrinsicPolicy;
 pub use manager::{PolicyCmd, PolicyCmdError, PolicyResponse};
 pub use module::{
     CheckPath, ClassifiedCheck, DatapathGeometry, DefaultAction, GuardOutcome, PolicyModule,
     ViolationAction,
 };
-pub use snapshot::{PolicySnapshot, SnapshotStore};
+pub use snapshot::{GenerationSubscriber, PolicySnapshot, SnapshotStore, SNAPSHOT_HISTORY_CAP};
 pub use stats::GuardStats;
 pub use store::{PolicyError, RegionStore, StoreKind};
 pub use table::{RegionTable, MAX_REGIONS};

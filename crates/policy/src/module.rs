@@ -414,6 +414,47 @@ impl PolicyModule {
         self.snapshot.publish_counter().get()
     }
 
+    /// The regions the table held at `generation`, if that generation is
+    /// still inside the bounded snapshot history
+    /// ([`crate::snapshot::SNAPSHOT_HISTORY_CAP`] publishes). This is the
+    /// grant oracle the translation validator uses to recompute inlined
+    /// guard bounds against the generation a promoted trace cites.
+    pub fn regions_at(&self, generation: u64) -> Option<Vec<Region>> {
+        self.snapshot.regions_at(generation)
+    }
+
+    /// Register a callback fired after every snapshot publish with the
+    /// new generation. Callbacks run on the publishing thread while
+    /// publishes are still serialized, so they must **not** mutate this
+    /// policy module — flip flags and bump atomics only. The promoted
+    /// trace tier subscribes here to invalidate its inline caches
+    /// promptly (soundness never depends on the callback: every inline
+    /// admit re-checks its generation tag).
+    pub fn subscribe_generation(&self, sub: crate::snapshot::GenerationSubscriber) {
+        self.snapshot.subscribe(sub);
+    }
+
+    /// Account a guard admitted by a specialized fast path (inlined
+    /// bounds baked from a region grant of the *current* generation)
+    /// without re-running the lookup. Keeps `stats.checks` equal to the
+    /// number of guard invocations even when a hot tier answers most of
+    /// them, so per-site trace reconciliation stays exact.
+    #[inline]
+    pub fn record_fast_permit(&self) {
+        self.stats.record_permitted();
+    }
+
+    /// Batched form of [`Self::record_fast_permit`]: account `n` fast
+    /// admits with one pair of counter updates. Callers that defer their
+    /// accounting (per-thread hot tiers) flush through here before any
+    /// reader can observe the stats.
+    #[inline]
+    pub fn record_fast_permits(&self, n: u64) {
+        if n > 0 {
+            self.stats.record_permitted_n(n);
+        }
+    }
+
     fn publish_intrinsics(&self, table: &IntrinsicPolicy) {
         self.intrinsic_snap.store(Arc::new(IntrinsicSnapshot {
             allowed: table.granted(), // sorted (BTreeSet order)

@@ -27,15 +27,30 @@
 //! in the new snapshot — or the new snapshot directly. A TLB entry tagged
 //! with the old generation can never match again.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use arc_swap::ArcSwap;
+use parking_lot::Mutex;
 
 use kop_core::{AccessFlags, Region, Size, VAddr};
 use kop_trace::Counter;
 
 use crate::store::{Lookup, StoreKind};
+
+/// How many `(generation, regions)` pairs the store retains for
+/// [`SnapshotStore::regions_at`]. The translation validator re-derives
+/// inlined guard bounds from the grant a *cited* generation held; eight
+/// generations of history comfortably covers a promote → validate window
+/// while bounding memory on churn-heavy workloads.
+pub const SNAPSHOT_HISTORY_CAP: usize = 8;
+
+/// A callback invoked after every snapshot publish with the new
+/// generation. Used by the promoted-trace tier to invalidate eagerly
+/// (the generation tag check makes invalidation correct even without the
+/// callback; the callback just makes it prompt).
+pub type GenerationSubscriber = Box<dyn Fn(u64) + Send + Sync>;
 
 /// An immutable, self-contained copy of the policy at one generation.
 ///
@@ -153,15 +168,26 @@ pub struct SnapshotStore {
     /// tag. Starts at 1 so 0 can mean "no cached entry".
     generation: AtomicU64,
     publishes: Counter,
+    /// Bounded `(generation, regions)` history for the validator's grant
+    /// oracle; never read on the guard path.
+    history: Mutex<VecDeque<(u64, Vec<Region>)>>,
+    /// Publish subscribers. Fired while the writer still serializes
+    /// publishes, so callbacks must not mutate the policy (deadlock) —
+    /// they should only flip flags / bump atomics.
+    subscribers: Mutex<Vec<GenerationSubscriber>>,
 }
 
 impl SnapshotStore {
     /// An empty store of the given kind at generation 1.
     pub fn new(kind: StoreKind) -> SnapshotStore {
+        let mut history = VecDeque::with_capacity(SNAPSHOT_HISTORY_CAP);
+        history.push_back((1, Vec::new()));
         SnapshotStore {
             current: ArcSwap::from_pointee(PolicySnapshot::build(kind, Vec::new(), 1)),
             generation: AtomicU64::new(1),
             publishes: Counter::new("policy.snapshot_publishes"),
+            history: Mutex::new(history),
+            subscribers: Mutex::new(Vec::new()),
         }
     }
 
@@ -189,13 +215,40 @@ impl SnapshotStore {
     /// mutation order).
     pub fn publish(&self, kind: StoreKind, regions: Vec<Region>) -> u64 {
         let gen = self.generation.load(Ordering::SeqCst) + 1;
+        {
+            let mut history = self.history.lock();
+            history.push_back((gen, regions.clone()));
+            while history.len() > SNAPSHOT_HISTORY_CAP {
+                history.pop_front();
+            }
+        }
         self.current
             .store(Arc::new(PolicySnapshot::build(kind, regions, gen)));
         // Snapshot first, generation second: a TLB that sees the new
         // generation is guaranteed the new snapshot is already live.
         self.generation.store(gen, Ordering::SeqCst);
         self.publishes.inc();
+        for sub in self.subscribers.lock().iter() {
+            sub(gen);
+        }
         gen
+    }
+
+    /// The regions the table held at `generation`, if still retained
+    /// (last [`SNAPSHOT_HISTORY_CAP`] publishes). The validator's grant
+    /// oracle: lets it recompute what an inlined bound *should* have been
+    /// at the generation a promoted trace cites.
+    pub fn regions_at(&self, generation: u64) -> Option<Vec<Region>> {
+        self.history
+            .lock()
+            .iter()
+            .find(|(g, _)| *g == generation)
+            .map(|(_, regions)| regions.clone())
+    }
+
+    /// Register a publish subscriber (see [`GenerationSubscriber`]).
+    pub fn subscribe(&self, sub: GenerationSubscriber) {
+        self.subscribers.lock().push(sub);
     }
 
     /// The live publish counter cell (for registry registration).
@@ -243,6 +296,34 @@ mod tests {
             s.load().lookup(VAddr(0x1800), Size(8), AccessFlags::RW),
             Lookup::NoMatch
         );
+    }
+
+    #[test]
+    fn history_answers_recent_generations_and_forgets_old_ones() {
+        let s = SnapshotStore::new(StoreKind::Table);
+        assert_eq!(s.regions_at(1), Some(Vec::new()));
+        let region = r(0x1000, 0x1000, Protection::READ_WRITE);
+        let g = s.publish(StoreKind::Table, vec![region]);
+        assert_eq!(s.regions_at(g), Some(vec![region]));
+        assert_eq!(s.regions_at(g + 1), None, "future generation unknown");
+        // Push the first generation out of the bounded window.
+        for _ in 0..SNAPSHOT_HISTORY_CAP {
+            s.publish(StoreKind::Table, vec![region]);
+        }
+        assert_eq!(s.regions_at(1), None, "evicted from bounded history");
+        assert_eq!(s.regions_at(s.generation()), Some(vec![region]));
+    }
+
+    #[test]
+    fn subscribers_see_every_publish_in_order() {
+        use std::sync::Mutex as StdMutex;
+        let s = SnapshotStore::new(StoreKind::Table);
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        s.subscribe(Box::new(move |gen| sink.lock().unwrap().push(gen)));
+        s.publish(StoreKind::Table, Vec::new());
+        s.publish(StoreKind::Table, Vec::new());
+        assert_eq!(*seen.lock().unwrap(), vec![2, 3]);
     }
 
     #[test]

@@ -79,6 +79,14 @@ impl GuardStats {
         self.permitted.inc();
     }
 
+    /// Record `n` permitted accesses in one pair of counter updates — the
+    /// flush half of a batching fast path that defers its accounting.
+    #[inline]
+    pub fn record_permitted_n(&self, n: u64) {
+        self.checks.add(n);
+        self.permitted.add(n);
+    }
+
     /// Record a denial with no covering region.
     #[inline]
     pub fn record_no_match(&self) {

@@ -34,6 +34,7 @@ use kop_core::{AccessFlags, Protection, Region, Size, VAddr, Violation};
 use kop_trace::{Counter, CounterRegistry};
 
 use crate::module::PolicyModule;
+use crate::store::Lookup;
 use crate::PolicyCheck;
 
 /// Number of direct-mapped TLB entries (power of two).
@@ -63,6 +64,7 @@ pub struct GuardTlb {
     entries: [Cell<TlbEntry>; TLB_WAYS],
     hits: Counter,
     misses: Counter,
+    preseeded: Counter,
 }
 
 impl GuardTlb {
@@ -79,6 +81,37 @@ impl GuardTlb {
             entries: std::array::from_fn(|_| Cell::new(TlbEntry::invalid())),
             hits: Counter::new(format!("{prefix}.hits")),
             misses: Counter::new(format!("{prefix}.misses")),
+            preseeded: Counter::new(format!("{prefix}.preseeded")),
+        }
+    }
+
+    /// Warm one entry ahead of traffic: classify a representative access
+    /// for `site` against the *current* snapshot and, if a region grants
+    /// it, install the grant exactly as a miss refill would — but without
+    /// touching the hit/miss cells or the policy's check stats (nothing
+    /// was guarded; reconciliation must not see a phantom check). Returns
+    /// whether an entry was seeded. Used on promotion/restart so the
+    /// first post-invalidation packet burst doesn't pay a full-TLB miss
+    /// storm.
+    pub fn preseed(
+        &self,
+        policy: &PolicyModule,
+        site: u32,
+        addr: VAddr,
+        size: Size,
+        flags: AccessFlags,
+    ) -> bool {
+        let snap = policy.policy_snapshot();
+        if let Lookup::Permitted(region) = snap.lookup(addr, size, flags) {
+            self.entries[site as usize & (TLB_WAYS - 1)].set(TlbEntry {
+                gen: snap.generation(),
+                site,
+                region,
+            });
+            self.preseeded.inc();
+            true
+        } else {
+            false
         }
     }
 
@@ -145,11 +178,22 @@ impl GuardTlb {
         &self.misses
     }
 
-    /// Register the hit/miss cells into a counter registry (the tracer's
-    /// unified registry, so `/dev/trace counters` shows them).
+    /// Entries installed by [`Self::preseed`] so far.
+    pub fn preseeded(&self) -> u64 {
+        self.preseeded.get()
+    }
+
+    /// The live preseed counter cell.
+    pub fn preseed_counter(&self) -> &Counter {
+        &self.preseeded
+    }
+
+    /// Register the hit/miss/preseed cells into a counter registry (the
+    /// tracer's unified registry, so `/dev/trace counters` shows them).
     pub fn register_into(&self, registry: &CounterRegistry) {
         registry.register(&self.hits);
         registry.register(&self.misses);
+        registry.register(&self.preseeded);
     }
 }
 
@@ -210,6 +254,23 @@ pub struct TlbPolicy {
 impl TlbPolicy {
     /// Wrap `policy` with a per-thread TLB.
     pub fn new(policy: Arc<PolicyModule>, map: SiteMap, tlb: GuardTlb) -> TlbPolicy {
+        TlbPolicy { policy, map, tlb }
+    }
+
+    /// Like [`Self::new`], but warm: pre-seed one TLB entry per seed
+    /// `(site, addr, size, flags)` — a representative access the site is
+    /// about to issue — so the first packet burst starts on the hit path
+    /// instead of paying a cold-TLB miss per site. Seeds nothing covers
+    /// are skipped (the site just misses as before).
+    pub fn warmed(
+        policy: Arc<PolicyModule>,
+        map: SiteMap,
+        tlb: GuardTlb,
+        seeds: &[(u32, u64, u64, AccessFlags)],
+    ) -> TlbPolicy {
+        for &(site, addr, size, flags) in seeds {
+            tlb.preseed(&policy, site, VAddr(addr), Size(size), flags);
+        }
         TlbPolicy { policy, map, tlb }
     }
 
@@ -344,6 +405,46 @@ mod tests {
             .unwrap();
         assert_eq!(tp.tlb().misses(), 2, "one miss per site");
         assert_eq!(tp.tlb().hits(), 1);
+    }
+
+    #[test]
+    fn preseeded_entry_hits_without_a_policy_check() {
+        let pm = pm_with_region(0x1000, 0x1000);
+        let tlb = GuardTlb::new();
+        assert!(tlb.preseed(&pm, 3, VAddr(0x1800), Size(8), AccessFlags::RW));
+        assert_eq!(tlb.preseeded(), 1);
+        // Seeding consumed no check: reconciliation stays exact.
+        assert_eq!(pm.stats().checks, 0);
+        tlb.check(&pm, 3, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(tlb.hits(), 1, "first real check is already a hit");
+        assert_eq!(tlb.misses(), 0);
+        assert_eq!(pm.stats().checks, 0);
+        // A seed nothing covers is refused.
+        assert!(!tlb.preseed(&pm, 4, VAddr(0x9000), Size(8), AccessFlags::RW));
+        assert_eq!(tlb.preseeded(), 1);
+        // A table write after seeding still invalidates the seeded grant.
+        pm.remove_region(VAddr(0x1000)).unwrap();
+        assert!(tlb
+            .check(&pm, 3, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .is_err());
+    }
+
+    #[test]
+    fn warmed_tlb_policy_skips_cold_misses() {
+        let pm = pm_with_region(0x1000, 0x2000);
+        let map = SiteMap::new(7).range(0x1000, 0x3000, 0);
+        let tp = TlbPolicy::warmed(
+            Arc::clone(&pm),
+            map,
+            GuardTlb::new(),
+            &[(0, 0x1000, 8, AccessFlags::READ)],
+        );
+        tp.carat_guard(VAddr(0x1100), Size(8), AccessFlags::READ)
+            .unwrap();
+        assert_eq!(tp.tlb().misses(), 0);
+        assert_eq!(tp.tlb().hits(), 1);
+        assert_eq!(tp.tlb().preseeded(), 1);
     }
 
     #[test]

@@ -147,6 +147,20 @@ impl Tracer {
         self.profiler.lock().record(site, ns, denied);
     }
 
+    /// Like [`Tracer::record_check`], additionally folding the guarded
+    /// `[addr, addr + size)` span into the site's observed address
+    /// envelope — the input the profile-directed promotion tier uses to
+    /// map a hot site onto its policy region.
+    #[inline]
+    pub fn record_check_at(&self, site: SiteId, ns: u64, denied: bool, addr: u64, size: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.profiler
+            .lock()
+            .record_at(site, ns, denied, Some((addr, size)));
+    }
+
     /// Consistent snapshot of the ring, sequences, and drop counters.
     pub fn snapshot(&self) -> TraceSnapshot {
         let ring = self.ring.lock();
@@ -257,6 +271,21 @@ impl Tracer {
     /// must reconcile with the interpreter's/policy's own check count.
     pub fn total_checks(&self) -> u64 {
         self.profiler.lock().total_hits()
+    }
+
+    /// The hotness query the promotion tier runs: every profiled site
+    /// with at least `min_hits` checks and not a single denial, hottest
+    /// first. Denied sites are excluded by design — a site that ever
+    /// produced a violation must keep the full check + trace path, never
+    /// an inlined fast admit.
+    pub fn hot_sites(&self, min_hits: u64) -> Vec<(SiteMeta, SiteProfile)> {
+        let mut hot: Vec<(SiteMeta, SiteProfile)> = self
+            .profile_snapshot()
+            .into_iter()
+            .filter(|(_, p)| p.hits >= min_hits.max(1) && p.denied == 0)
+            .collect();
+        hot.sort_by(|a, b| b.1.hits.cmp(&a.1.hits).then(a.0.id.cmp(&b.0.id)));
+        hot
     }
 
     /// Reset all per-site profiles (site registrations are kept).
@@ -463,6 +492,32 @@ mod tests {
         assert_eq!(t.total_checks(), 2);
         let top = report::top_sites(&t, 5);
         assert!(top.contains("tx_desc_store"), "{top}");
+    }
+
+    #[test]
+    fn hot_sites_ranks_by_hits_and_excludes_denied_and_cold() {
+        let t = Tracer::new();
+        let hot = t.register_site("m", "hot");
+        let cold = t.register_site("m", "cold");
+        let bad = t.register_site("m", "violator");
+        t.set_enabled(true);
+        for i in 0..100u64 {
+            t.record_check_at(hot, 10, false, 0x1000 + i * 8, 8);
+        }
+        t.record_check(cold, 10, false);
+        for _ in 0..200 {
+            t.record_check(bad, 10, false);
+        }
+        t.record_check(bad, 10, true); // one denial disqualifies
+        let hits = t.hot_sites(50);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.id, hot);
+        assert_eq!(hits[0].1.envelope(), Some((0x1000, 0x1000 + 100 * 8)));
+        // Lower threshold admits the cold site too, hottest first.
+        let all = t.hot_sites(1);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0.id, hot);
+        assert_eq!(all[1].0.id, cold);
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct SiteProfile {
     pub total_ns: u64,
     /// log2 latency histogram; `hist[i]` counts checks in `[2^i, 2^(i+1))` ns.
     pub hist: [u64; LATENCY_BUCKETS],
+    /// Lowest guarded address attributed to this site (`u64::MAX` when no
+    /// check ever carried an address).
+    pub lo_addr: u64,
+    /// One past the highest guarded byte attributed to this site (0 when
+    /// no check ever carried an address).
+    pub hi_addr: u64,
 }
 
 impl Default for SiteProfile {
@@ -37,6 +43,8 @@ impl Default for SiteProfile {
             denied: 0,
             total_ns: 0,
             hist: [0; LATENCY_BUCKETS],
+            lo_addr: u64::MAX,
+            hi_addr: 0,
         }
     }
 }
@@ -51,6 +59,13 @@ impl SiteProfile {
     pub fn max_bucket(&self) -> Option<usize> {
         self.hist.iter().rposition(|&n| n > 0)
     }
+
+    /// The observed address envelope `[lo, hi)` of this site's checks, if
+    /// any check carried its guarded address. The promotion tier uses the
+    /// envelope to find the policy region a hot site's accesses live in.
+    pub fn envelope(&self) -> Option<(u64, u64)> {
+        (self.hi_addr > self.lo_addr).then_some((self.lo_addr, self.hi_addr))
+    }
 }
 
 /// Dense per-site profile store, indexed by raw [`SiteId`].
@@ -61,6 +76,16 @@ pub(crate) struct Profiler {
 
 impl Profiler {
     pub(crate) fn record(&mut self, site: SiteId, ns: u64, denied: bool) {
+        self.record_at(site, ns, denied, None);
+    }
+
+    pub(crate) fn record_at(
+        &mut self,
+        site: SiteId,
+        ns: u64,
+        denied: bool,
+        span: Option<(u64, u64)>,
+    ) {
         let idx = site.0 as usize;
         if idx >= self.per_site.len() {
             self.per_site.resize(idx + 1, SiteProfile::default());
@@ -72,6 +97,10 @@ impl Profiler {
         }
         p.total_ns += ns;
         p.hist[latency_bucket(ns)] += 1;
+        if let Some((addr, size)) = span {
+            p.lo_addr = p.lo_addr.min(addr);
+            p.hi_addr = p.hi_addr.max(addr.saturating_add(size));
+        }
     }
 
     pub(crate) fn get(&self, site: SiteId) -> SiteProfile {
@@ -113,6 +142,18 @@ mod tests {
         assert_eq!(latency_bucket(1023), 9);
         assert_eq!(latency_bucket(1024), 10);
         assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn envelope_tracks_the_observed_address_window() {
+        let mut p = Profiler::default();
+        assert_eq!(p.get(SiteId(1)).envelope(), None);
+        p.record(SiteId(1), 10, false); // no address attached
+        assert_eq!(p.get(SiteId(1)).envelope(), None);
+        p.record_at(SiteId(1), 10, false, Some((0x1000, 8)));
+        p.record_at(SiteId(1), 10, false, Some((0x1040, 16)));
+        assert_eq!(p.get(SiteId(1)).envelope(), Some((0x1000, 0x1050)));
+        assert_eq!(p.get(SiteId(1)).hits, 3);
     }
 
     #[test]

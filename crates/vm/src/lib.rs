@@ -36,6 +36,9 @@
 mod lower;
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use arc_swap::ArcSwap;
 
 pub use lower::{lower_module, LowerError};
 
@@ -236,6 +239,55 @@ pub enum Op {
         args: Box<[Src]>,
         dst: u32,
     },
+    /// Promoted form of [`Op::GuardLoad`]: the policy region bound is
+    /// baked in as immediates (`lo`/`hi`/`perm`) tagged with the
+    /// snapshot generation (`gen`) it was taken from. The executor
+    /// admits with three compares when the generation still matches;
+    /// any mismatch (generation bump, out-of-bounds request,
+    /// insufficient permission) deopts to the general policy path using
+    /// the retained original operands — never a stale admit. Fuel and
+    /// observable semantics are identical to the general op on both
+    /// paths.
+    InlineGuardLoad {
+        site: Option<SiteId>,
+        lo: u64,
+        hi: u64,
+        perm: u32,
+        gen: u64,
+        gaddr: Src,
+        gsize: Src,
+        gflags: Src,
+        size: u64,
+        mask: u64,
+        ptr: Src,
+        dst: u32,
+    },
+    /// Promoted form of [`Op::GuardStore`]; see [`Op::InlineGuardLoad`].
+    InlineGuardStore {
+        site: Option<SiteId>,
+        lo: u64,
+        hi: u64,
+        perm: u32,
+        gen: u64,
+        gaddr: Src,
+        gsize: Src,
+        gflags: Src,
+        size: u64,
+        mask: u64,
+        val: Src,
+        ptr: Src,
+    },
+    /// Promoted form of [`Op::Guard`]; see [`Op::InlineGuardLoad`].
+    InlineGuard {
+        site: Option<SiteId>,
+        lo: u64,
+        hi: u64,
+        perm: u32,
+        gen: u64,
+        addr: Src,
+        size: Src,
+        flags: Src,
+    },
     /// Standalone memory guard (not adjacent to its access — e.g. a
     /// hoisted loop-invariant guard).
     Guard {
@@ -290,14 +342,47 @@ pub struct CompiledFunc {
     pub edges: Vec<Edge>,
 }
 
+/// The baked bound for one hot guard site, produced by the promotion
+/// pass from a policy snapshot. `perm` holds raw access-flag bits; the
+/// admit test is `lo <= addr && addr + size <= hi && perm ⊇ flags`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PromotionSpec {
+    /// The guard site whose bound is being inlined.
+    pub site: SiteId,
+    /// Inclusive lower bound of the granted region.
+    pub lo: u64,
+    /// Exclusive upper bound of the granted region.
+    pub hi: u64,
+    /// Raw permission bits the grant carries (`AccessFlags::raw`).
+    pub perm: u32,
+}
+
+/// One published generation of promoted code: the re-lowered functions
+/// plus the snapshot generation their bounds were baked from. Swapped
+/// wholesale — readers either see the complete tier or none of it.
+#[derive(Debug, Default)]
+pub struct PromotedTier {
+    /// Snapshot generation every baked bound in this tier cites
+    /// (0 = the empty tier; real generations start at 1).
+    pub gen: u64,
+    funcs: BTreeMap<u32, Arc<CompiledFunc>>,
+}
+
 /// A module lowered to bytecode: built once at insmod, cached in the
 /// loaded-module image, shared by every subsequent call.
+///
+/// The optional *promoted tier* holds re-lowered copies of hot
+/// functions whose guard ops carry inlined bounds. It lives behind an
+/// [`ArcSwap`] so the promotion pass can publish (and epoch bumps can
+/// invalidate) without locking executors; clones of the module share
+/// one tier.
 #[derive(Clone, Debug)]
 pub struct CompiledModule {
     /// The module's name (used for policy lookup and diagnostics).
     pub module_name: String,
     funcs: Vec<CompiledFunc>,
     by_name: BTreeMap<String, u32>,
+    promoted: Arc<ArcSwap<PromotedTier>>,
 }
 
 impl CompiledModule {
@@ -311,6 +396,7 @@ impl CompiledModule {
             module_name,
             funcs,
             by_name,
+            promoted: Arc::new(ArcSwap::from_pointee(PromotedTier::default())),
         }
     }
 
@@ -343,5 +429,288 @@ impl CompiledModule {
             .flat_map(|f| f.code.iter())
             .filter(|op| matches!(op, Op::GuardLoad { .. } | Op::GuardStore { .. }))
             .count()
+    }
+
+    /// Re-lower every function containing one of `specs`' sites into the
+    /// promoted tier, replacing each matching guard op 1:1 with its
+    /// inline form carrying the baked bound and `gen`. Offsets, edges,
+    /// register counts, and fuel accounting are untouched — a promoted
+    /// function is the same program with three compares where the policy
+    /// call was. Publishes the new tier atomically (replacing any prior
+    /// tier wholesale) and returns the number of guard ops promoted.
+    ///
+    /// Sites are promoted wherever they occur; sites in `specs` that
+    /// match no guard op are skipped. An empty result publishes nothing
+    /// and leaves the existing tier in place.
+    pub fn promote(&self, gen: u64, specs: &[PromotionSpec]) -> usize {
+        let by_site: BTreeMap<SiteId, &PromotionSpec> = specs.iter().map(|s| (s.site, s)).collect();
+        let mut tier = PromotedTier {
+            gen,
+            funcs: BTreeMap::new(),
+        };
+        let mut promoted_ops = 0usize;
+        for (idx, func) in self.funcs.iter().enumerate() {
+            let hits = func
+                .code
+                .iter()
+                .filter(|op| match op {
+                    Op::GuardLoad { site: Some(s), .. }
+                    | Op::GuardStore { site: Some(s), .. }
+                    | Op::Guard { site: Some(s), .. } => by_site.contains_key(s),
+                    _ => false,
+                })
+                .count();
+            if hits == 0 {
+                continue;
+            }
+            promoted_ops += hits;
+            let mut clone = func.clone();
+            for op in &mut clone.code {
+                *op = match op.clone() {
+                    Op::GuardLoad {
+                        site: Some(s),
+                        gaddr,
+                        gsize,
+                        gflags,
+                        size,
+                        mask,
+                        ptr,
+                        dst,
+                    } if by_site.contains_key(&s) => {
+                        let spec = by_site[&s];
+                        Op::InlineGuardLoad {
+                            site: Some(s),
+                            lo: spec.lo,
+                            hi: spec.hi,
+                            perm: spec.perm,
+                            gen,
+                            gaddr,
+                            gsize,
+                            gflags,
+                            size,
+                            mask,
+                            ptr,
+                            dst,
+                        }
+                    }
+                    Op::GuardStore {
+                        site: Some(s),
+                        gaddr,
+                        gsize,
+                        gflags,
+                        size,
+                        mask,
+                        val,
+                        ptr,
+                    } if by_site.contains_key(&s) => {
+                        let spec = by_site[&s];
+                        Op::InlineGuardStore {
+                            site: Some(s),
+                            lo: spec.lo,
+                            hi: spec.hi,
+                            perm: spec.perm,
+                            gen,
+                            gaddr,
+                            gsize,
+                            gflags,
+                            size,
+                            mask,
+                            val,
+                            ptr,
+                        }
+                    }
+                    Op::Guard {
+                        site: Some(s),
+                        addr,
+                        size,
+                        flags,
+                    } if by_site.contains_key(&s) => {
+                        let spec = by_site[&s];
+                        Op::InlineGuard {
+                            site: Some(s),
+                            lo: spec.lo,
+                            hi: spec.hi,
+                            perm: spec.perm,
+                            gen,
+                            addr,
+                            size,
+                            flags,
+                        }
+                    }
+                    other => other,
+                };
+            }
+            tier.funcs.insert(idx as u32, Arc::new(clone));
+        }
+        if promoted_ops == 0 {
+            return 0;
+        }
+        self.promoted.store(Arc::new(tier));
+        promoted_ops
+    }
+
+    /// The promoted re-lowering of a function, if this tier has one.
+    /// Callers dispatch through this at call entry; a `None` means run
+    /// the general bytecode.
+    pub fn promoted_func(&self, idx: u32) -> Option<Arc<CompiledFunc>> {
+        self.promoted.load().funcs.get(&idx).cloned()
+    }
+
+    /// Snapshot generation of the current promoted tier (0 = none).
+    pub fn promoted_generation(&self) -> u64 {
+        self.promoted.load().gen
+    }
+
+    /// Number of functions with a promoted re-lowering in the current
+    /// tier.
+    pub fn promoted_func_count(&self) -> usize {
+        self.promoted.load().funcs.len()
+    }
+
+    /// Number of inline (promoted) guard ops across the current tier.
+    pub fn promoted_guard_count(&self) -> usize {
+        self.promoted
+            .load()
+            .funcs
+            .values()
+            .flat_map(|f| f.code.iter())
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::InlineGuardLoad { .. }
+                        | Op::InlineGuardStore { .. }
+                        | Op::InlineGuard { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Atomically drop the promoted tier: every subsequent call entry
+    /// sees the general bytecode. Used on epoch bumps / policy
+    /// replacement so no executor can admit against a stale bound;
+    /// in-flight promoted frames deopt per-op via the generation check.
+    pub fn invalidate_promotions(&self) {
+        self.promoted.store(Arc::new(PromotedTier::default()));
+    }
+}
+
+#[cfg(test)]
+mod promote_tests {
+    use super::*;
+
+    fn guard_func() -> CompiledFunc {
+        CompiledFunc {
+            name: "tx".into(),
+            n_params: 1,
+            n_regs: 4,
+            has_blocks: true,
+            code: vec![
+                Op::GuardLoad {
+                    site: Some(SiteId(7)),
+                    gaddr: Src::Arg(0),
+                    gsize: Src::Imm(4),
+                    gflags: Src::Imm(1),
+                    size: 4,
+                    mask: u64::MAX,
+                    ptr: Src::Arg(0),
+                    dst: 0,
+                },
+                Op::Guard {
+                    site: Some(SiteId(9)),
+                    addr: Src::Arg(0),
+                    size: Src::Imm(8),
+                    flags: Src::Imm(2),
+                },
+                Op::GuardStore {
+                    site: Some(SiteId(11)),
+                    gaddr: Src::Arg(0),
+                    gsize: Src::Imm(4),
+                    gflags: Src::Imm(2),
+                    size: 4,
+                    mask: u64::MAX,
+                    val: Src::Reg(0),
+                    ptr: Src::Arg(0),
+                },
+                Op::Ret(Some(Src::Reg(0))),
+            ],
+            edges: Vec::new(),
+        }
+    }
+
+    fn spec(site: u32, lo: u64, hi: u64) -> PromotionSpec {
+        PromotionSpec {
+            site: SiteId(site),
+            lo,
+            hi,
+            perm: 3,
+        }
+    }
+
+    #[test]
+    fn promote_replaces_ops_one_to_one_and_bakes_the_bound() {
+        let m = CompiledModule::new("m".into(), vec![guard_func()]);
+        assert_eq!(m.promoted_generation(), 0);
+        assert!(m.promoted_func(0).is_none());
+
+        let n = m.promote(5, &[spec(7, 0x1000, 0x2000), spec(11, 0x3000, 0x4000)]);
+        assert_eq!(n, 2);
+        assert_eq!(m.promoted_generation(), 5);
+        assert_eq!(m.promoted_func_count(), 1);
+        assert_eq!(m.promoted_guard_count(), 2);
+
+        let pf = m.promoted_func(0).expect("tier holds the function");
+        // Same shape: offsets, edges, register counts all unchanged.
+        assert_eq!(pf.code.len(), m.func(0).code.len());
+        assert_eq!(pf.n_regs, m.func(0).n_regs);
+        match &pf.code[0] {
+            Op::InlineGuardLoad {
+                site,
+                lo,
+                hi,
+                perm,
+                gen,
+                ptr,
+                ..
+            } => {
+                assert_eq!(*site, Some(SiteId(7)));
+                assert_eq!((*lo, *hi, *perm, *gen), (0x1000, 0x2000, 3, 5));
+                assert_eq!(*ptr, Src::Arg(0));
+            }
+            other => panic!("expected InlineGuardLoad, got {other:?}"),
+        }
+        // Unpromoted site 9 keeps its general op.
+        assert!(matches!(&pf.code[1], Op::Guard { site: Some(s), .. } if *s == SiteId(9)));
+        assert!(matches!(&pf.code[2], Op::InlineGuardStore { gen: 5, .. }));
+        // The general tier is untouched.
+        assert!(matches!(&m.func(0).code[0], Op::GuardLoad { .. }));
+    }
+
+    #[test]
+    fn promoting_unknown_sites_publishes_nothing() {
+        let m = CompiledModule::new("m".into(), vec![guard_func()]);
+        m.promote(3, &[spec(7, 0, 0x100)]);
+        assert_eq!(m.promoted_generation(), 3);
+        // A later pass with no matching sites must not clobber the tier.
+        assert_eq!(m.promote(4, &[spec(999, 0, 0x100)]), 0);
+        assert_eq!(m.promoted_generation(), 3);
+        assert!(m.promoted_func(0).is_some());
+    }
+
+    #[test]
+    fn invalidate_drops_the_tier_and_clones_share_it() {
+        let m = CompiledModule::new("m".into(), vec![guard_func()]);
+        let alias = m.clone();
+        m.promote(9, &[spec(9, 0x10, 0x20)]);
+        assert_eq!(alias.promoted_generation(), 9, "clones share the tier");
+        assert!(matches!(
+            &alias.promoted_func(0).unwrap().code[1],
+            Op::InlineGuard { gen: 9, .. }
+        ));
+        alias.invalidate_promotions();
+        assert_eq!(m.promoted_generation(), 0);
+        assert!(m.promoted_func(0).is_none());
+        // Re-promotion after invalidation works (lazy re-promote path).
+        assert_eq!(m.promote(10, &[spec(9, 0x10, 0x20)]), 1);
+        assert_eq!(alias.promoted_generation(), 10);
     }
 }

@@ -437,6 +437,75 @@ fn soak_supervised_dominates_and_upgrade_is_lossless() {
 }
 
 #[test]
+fn jit_figure_shape_and_promotion_audits() {
+    // Timing asserts (the >=2x guard-overhead reduction on TX and
+    // forwarding) are gated inside jit() to the quick smoke run on a
+    // release build; the correctness invariants — identical ExecStats
+    // and ring/frame/@stats/TDT bytes across general and promoted,
+    // every steady-state guard answered inline with zero deopts, exact
+    // traced-pass reconciliation, atomic drop on epoch bump with
+    // re-promotion via tick() — are asserted unconditionally inside
+    // jit() on every run. Here we pin the figure's shape and headline
+    // arithmetic.
+    let fig = figures::jit();
+    assert_eq!(fig.id, "jit");
+
+    // Three timed configurations per datapath: baseline / general /
+    // promoted, for the interpreter TX path and the native forwarder.
+    for label in ["tx_ns_per_packet", "fwd_ns_per_frame"] {
+        let s = fig
+            .series(label)
+            .unwrap_or_else(|| panic!("missing {label}"));
+        assert_eq!(s.points.len(), 3, "{label}");
+        assert!(s.points.iter().all(|&(_, y)| y > 0.0), "{label}");
+    }
+
+    // Promotion really happened and carried the whole steady state.
+    assert!(fig.headline("vm_promoted_ops").unwrap() > 0.0);
+    let admits = fig.headline("vm_inline_admits").unwrap();
+    assert!(admits > 0.0);
+    assert_eq!(fig.headline("vm_inline_deopts"), Some(0.0));
+    assert_eq!(
+        fig.headline("vm_guards_per_packet").unwrap(),
+        10.0,
+        "mini-e1000e TX path is 10 guarded accesses"
+    );
+    assert!(fig.headline("vm_traced_checks").unwrap() > 0.0);
+
+    // Invalidation: the epoch bump advanced the generation at least once.
+    assert!(fig.headline("bump_generation_delta").unwrap() >= 1.0);
+
+    // Native datapath: the hot tier admitted inline, never deopted in
+    // steady state, and promotion preseeded the guard TLB.
+    assert!(fig.headline("fwd_inline_admits").unwrap() > 0.0);
+    assert_eq!(fig.headline("fwd_inline_deopts"), Some(0.0));
+    assert!(fig.headline("tlb_preseeded").unwrap() > 0.0);
+
+    // Reduction headlines reconcile with the plotted overheads (the
+    // residual is floored at 1 ns inside jit()).
+    for (reduction, series) in [
+        ("vm_overhead_reduction", "tx_ns_per_packet"),
+        ("fwd_overhead_reduction", "fwd_ns_per_frame"),
+    ] {
+        let r = fig.headline(reduction).unwrap();
+        assert!(r > 0.0 && r.is_finite(), "{reduction}: {r}");
+        let pts = &fig.series(series).unwrap().points;
+        let general_over = (pts[1].1 - pts[0].1).max(0.0);
+        let promoted_over = (pts[2].1 - pts[0].1).max(0.0);
+        assert!(
+            (r - general_over / promoted_over.max(1.0)).abs() < 1e-9,
+            "{reduction} must reconcile: {r}"
+        );
+    }
+
+    // The machine-readable rendering carries the results.
+    let json = fig.render_json();
+    assert!(json.contains("\"id\": \"jit\""));
+    assert!(json.contains("\"vm_overhead_reduction\""));
+    assert!(json.contains("\"tlb_preseeded\""));
+}
+
+#[test]
 fn forward_figure_shape_and_audits() {
     // The hard claims — byte-identical forwarded frames, identical
     // baseline/guarded ForwardReports, exact per-queue ledger audits,

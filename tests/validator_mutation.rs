@@ -278,3 +278,245 @@ fn obligation_for_still_missing_guard_is_rejected_ka001() {
     };
     assert!(msg.contains("KA001"), "got: {msg}");
 }
+
+// ---------------------------------------------------------------------
+// Inline-bounds (promoted container) mutations: the profile-directed
+// tier bakes a grant's `[lo, hi)` into the ledger as an `inline`
+// obligation citing the snapshot generation it was lifted from. The
+// validator treats the immediates as a *claim* and recomputes them from
+// the grant oracle (the policy's retained snapshot history), so a
+// forged bound (KA009), a stale citation (KA010), and a bound lifted
+// from another site's grant (KA011) are each refused — at the signing
+// boundary (`verify_with_grants`) and again at insmod.
+// ---------------------------------------------------------------------
+
+use carat_kop::core::{Protection, Region, Size, VAddr};
+
+/// Region A: where the hot site's profiled envelope actually lives.
+const GRANT_A: (u64, u64) = (0x1000, 0x2000);
+/// Region B: a different, real grant of the same generation — the
+/// wrong-site forgery bakes this bound.
+const GRANT_B: (u64, u64) = (0x8000, 0x9000);
+
+/// Boot a static-verification kernel over a policy holding grants A and
+/// B, and return the kernel plus the shared policy and its generation.
+fn promoted_kernel() -> (Kernel, Arc<PolicyModule>, u64) {
+    let pm = Arc::new(PolicyModule::new());
+    let kernel = Kernel::boot(
+        Arc::clone(&pm),
+        vec![trusted_key()],
+        KernelConfig {
+            require_signature: false,
+            verification: Verification::Static,
+            ..KernelConfig::default()
+        },
+    );
+    for (lo, hi) in [GRANT_A, GRANT_B] {
+        pm.add_region(Region::new(VAddr(lo), Size(hi - lo), Protection::READ_WRITE).unwrap())
+            .unwrap();
+    }
+    let gen = pm.store_generation();
+    (kernel, pm, gen)
+}
+
+/// The `block#index` citation of the first guard call in `@walk`.
+fn first_guard_ref(ir: &Module) -> String {
+    let f = ir.function("walk").unwrap();
+    f.blocks
+        .iter()
+        .find_map(|b| {
+            b.insts
+                .iter()
+                .position(|&iid| {
+                    matches!(f.inst(iid), Inst::Call { callee, args, .. }
+                        if callee == "carat_guard" && args.len() == 3)
+                })
+                .map(|i| format!("{}#{i}", b.name))
+        })
+        .expect("optimized build keeps at least one guard")
+}
+
+/// Re-sign the honest optimized container with one `inline` obligation
+/// appended (upgrading the ledger header to v2) — the container shape
+/// `Kernel::promote_hot` attests, built by hand so each field can be
+/// forged independently.
+fn resign_with_inline(
+    signed: &SignedModule,
+    ir: &Module,
+    guard: &str,
+    lo: u64,
+    hi: u64,
+    gen: u64,
+    env: (u64, u64),
+) -> SignedModule {
+    let base = signed
+        .attestation
+        .obligations
+        .replace(ObligationLedger::HEADER, ObligationLedger::HEADER_V2);
+    let forged = format!(
+        "{}inline fn=walk guard={guard} lo={lo} hi={hi} flags=3 gen={gen} elo={} ehi={}\n",
+        base, env.0, env.1,
+    );
+    let mut attestation = signed.attestation.clone();
+    attestation.obligations = forged;
+    attestation.inline_obligations = 1;
+    SignedModule::sign(ir, attestation, &trusted_key())
+}
+
+/// Assert the promoted container is rejected by the grant-aware signing
+/// check and by insmod, both naming `code_tag`.
+fn assert_inline_rejected(signed: &SignedModule, pm: &Arc<PolicyModule>, code_tag: &str) {
+    let grants = |g: u64| pm.regions_at(g);
+    let err = signed
+        .verify_with_grants(&[trusted_key()], Some(&grants))
+        .unwrap_err();
+    let SigningError::AttestationMismatch(msg) = err else {
+        panic!("expected AttestationMismatch, got {err:?}");
+    };
+    assert!(msg.contains(code_tag), "{code_tag} missing from: {msg}");
+
+    let (mut kernel, _, _) = promoted_kernel_with(pm);
+    let err = kernel.insmod(signed).unwrap_err();
+    let KernelError::StaticVerification(msg) = err else {
+        panic!("expected StaticVerification, got {err:?}");
+    };
+    assert!(msg.contains(code_tag), "{code_tag} missing from: {msg}");
+}
+
+/// Boot a fresh static kernel over an *existing* policy (so the forged
+/// container faces the same grant history the oracle answered from).
+fn promoted_kernel_with(pm: &Arc<PolicyModule>) -> (Kernel, Arc<PolicyModule>, u64) {
+    let kernel = Kernel::boot(
+        Arc::clone(pm),
+        vec![trusted_key()],
+        KernelConfig {
+            require_signature: false,
+            verification: Verification::Static,
+            ..KernelConfig::default()
+        },
+    );
+    let gen = pm.store_generation();
+    (kernel, Arc::clone(pm), gen)
+}
+
+#[test]
+fn honest_promoted_container_passes_with_a_grant_oracle() {
+    let (mut kernel, pm, gen) = promoted_kernel();
+    let (signed, ir) = optimized_build();
+    let guard = first_guard_ref(&ir);
+    let honest = resign_with_inline(
+        &signed,
+        &ir,
+        &guard,
+        GRANT_A.0,
+        GRANT_A.1,
+        gen,
+        (0x1200, 0x1260),
+    );
+
+    // Without the oracle the citation is unverifiable — the signing
+    // boundary refuses rather than trusting the immediates (KA010).
+    let err = honest.verify(&[trusted_key()]).unwrap_err();
+    let SigningError::AttestationMismatch(msg) = err else {
+        panic!("expected AttestationMismatch, got {err:?}");
+    };
+    assert!(msg.contains("KA010"), "got: {msg}");
+
+    // With it, the bound is re-derived and the container is accepted at
+    // both enforcement points.
+    let grants = |g: u64| pm.regions_at(g);
+    honest
+        .verify_with_grants(&[trusted_key()], Some(&grants))
+        .unwrap();
+    kernel.insmod(&honest).unwrap();
+}
+
+#[test]
+fn forged_inline_bound_is_rejected_ka009() {
+    // The baked interval is widened past the real grant: it equals no
+    // region generation `gen` ever held, so the recomputation refuses.
+    let (_, pm, gen) = promoted_kernel();
+    let (signed, ir) = optimized_build();
+    let guard = first_guard_ref(&ir);
+    let corrupt = resign_with_inline(
+        &signed,
+        &ir,
+        &guard,
+        GRANT_A.0,
+        GRANT_A.1 + 0x100,
+        gen,
+        (0x1200, 0x1260),
+    );
+    assert_inline_rejected(&corrupt, &pm, "KA009");
+}
+
+#[test]
+fn stale_generation_citation_is_rejected_ka010() {
+    // The citation names a generation the snapshot history never
+    // retained — a bound the validator cannot recompute is a bound the
+    // kernel does not trust, even though the immediates happen to match
+    // a real current grant.
+    let (_, pm, gen) = promoted_kernel();
+    let (signed, ir) = optimized_build();
+    let guard = first_guard_ref(&ir);
+    let corrupt = resign_with_inline(
+        &signed,
+        &ir,
+        &guard,
+        GRANT_A.0,
+        GRANT_A.1,
+        gen + 1_000,
+        (0x1200, 0x1260),
+    );
+    assert_inline_rejected(&corrupt, &pm, "KA010");
+}
+
+#[test]
+fn wrong_site_bound_is_rejected_ka011() {
+    // The immediates are lifted from grant B — a real region of the
+    // cited generation — while the site's profiled envelope lives in
+    // grant A. The bound does not cover the envelope, so admitting with
+    // it would answer for the wrong site.
+    let (_, pm, gen) = promoted_kernel();
+    let (signed, ir) = optimized_build();
+    let guard = first_guard_ref(&ir);
+    let corrupt = resign_with_inline(
+        &signed,
+        &ir,
+        &guard,
+        GRANT_B.0,
+        GRANT_B.1,
+        gen,
+        (0x1200, 0x1260),
+    );
+    assert_inline_rejected(&corrupt, &pm, "KA011");
+}
+
+#[test]
+fn inline_count_mismatch_is_rejected_at_signing() {
+    // The v6 attestation binds the inline-obligation count; a ledger
+    // that grew an inline claim the count does not admit is refused
+    // before any validation replay.
+    let (_, pm, gen) = promoted_kernel();
+    let (signed, ir) = optimized_build();
+    let guard = first_guard_ref(&ir);
+    let mut forged = resign_with_inline(
+        &signed,
+        &ir,
+        &guard,
+        GRANT_A.0,
+        GRANT_A.1,
+        gen,
+        (0x1200, 0x1260),
+    );
+    forged.attestation.inline_obligations = 0;
+    let forged = SignedModule::sign(&ir, forged.attestation, &trusted_key());
+    let grants = |g: u64| pm.regions_at(g);
+    let err = forged
+        .verify_with_grants(&[trusted_key()], Some(&grants))
+        .unwrap_err();
+    let SigningError::AttestationMismatch(msg) = err else {
+        panic!("expected AttestationMismatch, got {err:?}");
+    };
+    assert!(msg.contains("inline obligation count"), "got: {msg}");
+}
