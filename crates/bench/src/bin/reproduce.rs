@@ -1,17 +1,17 @@
 //! `reproduce` — regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|jit|smp|soak|forward|all]
+//! reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|jit|smp|soak|forward|fleet|all]
 //!           [--csv]        # raw series to stdout instead of the report
 //!           [--out DIR]    # additionally write one CSV per figure into DIR
 //!           [--quick]      # tiny trial counts (CI smoke); not paper-scale
 //! ```
 //!
-//! The `smp`, `exec`, `jit`, `opt`, `soak`, and `forward` figures
-//! additionally write machine-readable `BENCH_smp.json` /
+//! The `smp`, `exec`, `jit`, `opt`, `soak`, `forward`, and `fleet`
+//! figures additionally write machine-readable `BENCH_smp.json` /
 //! `BENCH_exec.json` / `BENCH_jit.json` / `BENCH_opt.json` /
-//! `BENCH_soak.json` / `BENCH_forward.json` (into `--out DIR` when
-//! given, else the current directory).
+//! `BENCH_soak.json` / `BENCH_forward.json` / `BENCH_fleet.json`
+//! (into `--out DIR` when given, else the current directory).
 
 use kop_bench::figures;
 
@@ -64,11 +64,12 @@ fn main() {
         "smp" => vec![figures::smp()],
         "soak" => vec![figures::soak()],
         "forward" => vec![figures::forward()],
+        "fleet" => vec![figures::fleet()],
         "all" => figures::all_figures(),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|jit|smp|soak|forward|all] [--csv] [--quick]"
+                "usage: reproduce [fig3|fig4|fig5|fig6|fig7|claims|analysis|ablation-ds|ablation-opt|opt|resilience|trace|exec|jit|smp|soak|forward|fleet|all] [--csv] [--quick]"
             );
             std::process::exit(2);
         }
@@ -94,6 +95,7 @@ fn main() {
             || fig.id == "opt"
             || fig.id == "soak"
             || fig.id == "forward"
+            || fig.id == "fleet"
         {
             // Machine-readable results for CI consumers and dashboards.
             let dir = out_dir.as_deref().unwrap_or(".");

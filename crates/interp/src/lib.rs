@@ -132,6 +132,11 @@ pub struct Interp<'k> {
     /// still sees `policy.checks == stats.guards`. Non-zero only while
     /// `vm_policy` is `Some`.
     vm_pending_fast_permits: u64,
+    /// Revocation epoch the currently-executing promoted frame's tier
+    /// was baked under; the inline admit compares it against the live
+    /// epoch so a fleet-wide revoke (which bumps no generation) deopts
+    /// promoted guards promptly. 0 while no promoted frame runs.
+    vm_promoted_epoch: u64,
 }
 
 const DEFAULT_FUEL: u64 = 50_000_000;
@@ -185,6 +190,7 @@ impl<'k> Interp<'k> {
             vm_inline_deopts: 0,
             vm_policy: None,
             vm_pending_fast_permits: 0,
+            vm_promoted_epoch: 0,
         })
     }
 
@@ -214,6 +220,7 @@ impl<'k> Interp<'k> {
             vm_inline_deopts: 0,
             vm_policy: None,
             vm_pending_fast_permits: 0,
+            vm_promoted_epoch: 0,
         }
     }
 

@@ -59,12 +59,15 @@ impl<'k> Interp<'k> {
         // policy checks, exact per-site) must hold to the guard.
         let promoted =
             if self.engine() == crate::Engine::Promoted && !self.kernel.tracer().enabled() {
-                compiled.promoted_func(idx)
+                // One tier load yields function + bake epoch together, so
+                // the frame can't pair one tier's code with another's
+                // epoch.
+                compiled.promoted_entry(idx)
             } else {
                 None
             };
         let cf = match &promoted {
-            Some(p) => p.as_ref(),
+            Some((p, _)) => p.as_ref(),
             None => compiled.func(idx),
         };
         if cf.n_params != args.len() {
@@ -94,10 +97,13 @@ impl<'k> Interp<'k> {
         // per-module map lookup (see the `vm_policy` field docs for why
         // this is sound for the frame's duration).
         self.vm_flush_fast_permits();
-        let saved_policy = if promoted.is_some() {
+        let saved_epoch = self.vm_promoted_epoch;
+        let saved_policy = if let Some((_, epoch)) = &promoted {
+            self.vm_promoted_epoch = *epoch;
             let p = self.kernel.policy_for(&ctx.ir.name);
             self.vm_policy.replace(p)
         } else {
+            self.vm_promoted_epoch = 0;
             self.vm_policy.take()
         };
         let mut regs = self.vm_frames.pop().unwrap_or_default();
@@ -107,6 +113,7 @@ impl<'k> Interp<'k> {
         self.vm_frames.push(regs);
         self.vm_flush_fast_permits();
         self.vm_policy = saved_policy;
+        self.vm_promoted_epoch = saved_epoch;
         self.stack_cursor = saved_stack;
         let retired = std::mem::replace(&mut self.cur_args, saved_args);
         self.vm_args_pool.push(retired);
@@ -174,6 +181,7 @@ impl<'k> Interp<'k> {
                 && flags != 0
                 && (flags & !perm) == 0
                 && gen == policy.store_generation()
+                && self.vm_promoted_epoch == policy.revocation_epoch()
                 && matches!(addr.checked_add(size), Some(end) if lo <= addr && end <= hi)
         };
         if fast {

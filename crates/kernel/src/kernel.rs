@@ -6,7 +6,7 @@ use std::sync::Arc;
 use kop_compiler::CompilerKey;
 use kop_core::layout::{DIRECT_MAP_BASE, MODULE_SPACE_BASE, PAGE_SIZE};
 use kop_core::{KernelError, KernelResult, VAddr, Violation};
-use kop_policy::{PolicyCmd, PolicyModule};
+use kop_policy::{NamespaceStore, PolicyCmd, PolicyModule};
 use kop_trace::{Producer, TraceEvent, Tracer};
 
 use crate::chardev::DevRegistry;
@@ -137,10 +137,12 @@ pub struct Kernel {
     msrs: std::collections::BTreeMap<u64, u64>,
     /// Whether maskable interrupts are enabled (cli/sti state).
     interrupts_enabled: bool,
-    /// Per-module policy overrides (§5: "determine if a *given* kernel
-    /// module has access"). Modules without an override use the global
-    /// policy module.
-    module_policies: std::collections::BTreeMap<String, Arc<PolicyModule>>,
+    /// Per-module policy namespaces (§5: "determine if a *given* kernel
+    /// module has access"), sharded by module id so concurrent insmod
+    /// registrations contend on different locks. Modules without a
+    /// namespace of their own fall back to the global policy (bound to
+    /// namespace id [`kop_policy::GLOBAL_NAMESPACE`] at boot).
+    namespaces: Arc<NamespaceStore>,
     /// Registered VFS files (§5 object protection).
     pub(crate) files: Vec<crate::objects::FileHandle>,
     /// Registered IPC queues (§5 object protection).
@@ -164,6 +166,11 @@ pub struct Kernel {
     /// check already guarantees it could never admit). Cleared on
     /// restart so the fresh image re-subscribes.
     hot_subscribed: std::collections::BTreeSet<String>,
+    /// Names reserved by an in-flight staged insmod
+    /// ([`Kernel::reserve_module`]) but not yet committed. A second
+    /// insmod of the same name races the short reserve section, not the
+    /// expensive verify/lower phases.
+    pub(crate) pending: std::collections::BTreeSet<String>,
 }
 
 impl Kernel {
@@ -267,6 +274,9 @@ impl Kernel {
         }
 
         let heap_base = VAddr(DIRECT_MAP_BASE + (1 << 30)); // 1 GiB into the direct map
+        // Binds the global policy to namespace id 1; per-module policies
+        // get fresh ids as they register.
+        let namespaces = Arc::new(NamespaceStore::new(Arc::clone(&policy)));
         let mut kernel = Kernel {
             mem: SimMemory::new(),
             symbols,
@@ -283,7 +293,7 @@ impl Kernel {
             config,
             msrs: std::collections::BTreeMap::new(),
             interrupts_enabled: true,
-            module_policies: std::collections::BTreeMap::new(),
+            namespaces,
             files: Vec::new(),
             queues: Vec::new(),
             violations: std::collections::BTreeMap::new(),
@@ -292,6 +302,7 @@ impl Kernel {
             lifecycle,
             tracer,
             hot_subscribed: std::collections::BTreeSet::new(),
+            pending: std::collections::BTreeSet::new(),
         };
         kernel.printk("CARAT KOP simulated kernel booted");
         kernel.printk(&format!("policy store: {}", kernel.policy.store_kind()));
@@ -353,24 +364,46 @@ impl Kernel {
     /// operator gives, say, a perf-monitoring module MSR access while the
     /// NIC driver keeps a tight memory-only policy.
     pub fn set_module_policy(&mut self, module: &str, policy: Arc<PolicyModule>) {
-        self.printk(&format!("policy: per-module override for '{module}'"));
-        self.module_policies.insert(module.to_string(), policy);
+        let ns = self.namespaces.register(module, policy);
+        self.printk(&format!(
+            "policy: per-module override for '{module}' (namespace {ns})"
+        ));
         // The promoted tier baked bounds (and a generation tag) from the
         // *previous* policy object; a different policy could reuse the
         // same generation number, so the tag alone is not enough here.
-        // Drop the tier and the old policy's subscription outright.
+        // Drop the tier and the old policy's subscription outright. (The
+        // TLB and hot tiers also key on the namespace id, which the
+        // registration just changed — their entries are already stale.)
         self.drop_promotions(module);
     }
 
     /// Remove a per-module override; returns whether one existed.
     pub fn clear_module_policy(&mut self, module: &str) -> bool {
-        let had = self.module_policies.remove(module).is_some();
+        let had = self.namespaces.remove(module).is_some();
         if had {
             // Same generation-collision hazard as `set_module_policy`:
             // the module now answers to the global policy.
             self.drop_promotions(module);
         }
         had
+    }
+
+    /// The sharded per-module policy namespace registry. Shared with
+    /// check-path holders (`Arc`): resolving a module's policy never
+    /// takes a kernel-wide lock.
+    pub fn namespaces(&self) -> &Arc<NamespaceStore> {
+        &self.namespaces
+    }
+
+    /// Fleet-wide revocation: advance the revocation epoch of the global
+    /// policy and every registered namespace, so every cached grant in
+    /// every tier (guard TLBs, hot slots, promoted inline bounds) goes
+    /// stale at once — without republishing a single ruleset. Returns
+    /// how many policies were bumped.
+    pub fn revoke_fleet(&mut self) -> usize {
+        let n = self.namespaces.revoke_all();
+        self.printk(&format!("carat: fleet revocation, {n} polic(ies) bumped"));
+        n
     }
 
     /// Invalidate `module`'s promoted trace tier and forget its
@@ -385,13 +418,10 @@ impl Kernel {
         self.forget_hot_subscription(module);
     }
 
-    /// The policy governing `module`: its override if installed, else the
-    /// global policy.
+    /// The policy governing `module`: its own namespace if registered,
+    /// else the global policy. One shard read-lock.
     pub fn policy_for(&self, module: &str) -> Arc<PolicyModule> {
-        self.module_policies
-            .get(module)
-            .cloned()
-            .unwrap_or_else(|| Arc::clone(&self.policy))
+        self.namespaces.resolve(module)
     }
 
     /// The boot configuration.
@@ -450,8 +480,12 @@ impl Kernel {
             }
         }
 
-        // Bake bounds from the current snapshot.
+        // Bake bounds from the current snapshot. The revocation epoch is
+        // read *before* the snapshot: a fleet revocation racing the bake
+        // leaves the tier already-stale (per-frame epoch mismatch, prompt
+        // deopt), never falsely fresh.
         let policy = self.policy_for(module);
+        let epoch = policy.revocation_epoch();
         let snap = policy.policy_snapshot();
         let gen = snap.generation();
         let mut specs = Vec::new();
@@ -514,7 +548,7 @@ impl Kernel {
             return Err(err);
         }
 
-        let n = compiled.promote(gen, &specs);
+        let n = compiled.promote(gen, epoch, &specs);
         if n == 0 {
             return Ok(0);
         }

@@ -32,7 +32,10 @@ pub mod symbols;
 
 pub use kernel::{Kernel, KernelConfig, QuarantineRecord, Verification, TRACE_DEV};
 pub use lifecycle::{LifecycleState, ModuleLifecycle};
-pub use loader::{LoadedModule, ModuleImage, ModuleLayout};
+pub use loader::{
+    LoadedModule, LoweredModule, ModuleImage, ModuleLayout, ModuleReservation, ModuleStager,
+    StageError, StagedModule,
+};
 pub use mem::{FaultHook, MmioDevice, SimMemory};
 pub use objects::{FileHandle, QueueHandle};
 pub use symbols::{Symbol, SymbolKind, SymbolTable, Visibility};

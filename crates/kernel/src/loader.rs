@@ -18,12 +18,13 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use kop_compiler::SignedModule;
+use kop_compiler::{CompilerKey, SignedModule};
 use kop_core::{KernelError, KernelResult, VAddr};
 use kop_ir::{verify_module, GlobalInit, Module};
-use kop_trace::{assign_guard_sites, Producer, SiteTable, TraceEvent};
+use kop_policy::NamespaceStore;
+use kop_trace::{assign_guard_sites, GuardSite, Producer, SiteTable, Tracer, TraceEvent};
 
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, KernelConfig};
 
 /// The immutable execution image of a loaded module: the verified IR,
 /// the address layout, the guard-site table — everything an executor
@@ -138,6 +139,260 @@ impl LoadedModule {
     }
 }
 
+/// A staging failure: the underlying error, plus the dmesg line the
+/// serialized `insmod` path would have logged for it (`None` where the
+/// serialized path fails silently).
+#[derive(Debug)]
+pub struct StageError {
+    /// The dmesg line to log, if the failure is a logged one.
+    pub dmesg: Option<String>,
+    /// The underlying error.
+    pub err: KernelError,
+}
+
+impl StageError {
+    fn silent(err: KernelError) -> StageError {
+        StageError { dmesg: None, err }
+    }
+}
+
+/// Phase 1 of the stall-free insmod path: everything expensive —
+/// signature verification, parsing, kernel-side IR re-verification,
+/// layout sealing, the static guard-coverage proof, and the
+/// deterministic guard-site walk — runs here against an immutable
+/// snapshot of the kernel's loading configuration, with **no** access to
+/// mutable kernel state. An insmod storm stages on worker threads while
+/// the check path (and every other tenant's staging) proceeds untouched;
+/// only the short [`Kernel::reserve_module`] / [`Kernel::commit_module`]
+/// sections serialize on the kernel.
+pub struct ModuleStager {
+    trusted_keys: Vec<CompilerKey>,
+    config: KernelConfig,
+    namespaces: Arc<NamespaceStore>,
+}
+
+/// A verified, sealed, proof-carrying module awaiting its reservation.
+/// Produced by [`ModuleStager::stage`]; consumed by
+/// [`Kernel::commit_module`].
+#[derive(Debug)]
+pub struct StagedModule {
+    /// Verified IR, layout-sealed, already renamed to the instance name.
+    ir: Module,
+    /// The deterministic guard-site walk over the shipped IR.
+    guard_sites: Vec<GuardSite>,
+    /// Whether the container signature verified against a trusted key.
+    signature_ok: bool,
+    /// Whether the static verifier proved guard coverage at stage time.
+    statically_proven: bool,
+    /// Content hash of the signed container.
+    content_hash: String,
+    /// Attested guard count (`is_protected` iff > 0).
+    guard_count: u64,
+}
+
+impl StagedModule {
+    /// The instance name this staging will load under.
+    pub fn name(&self) -> &str {
+        &self.ir.name
+    }
+
+    /// Whether the module is "trusted" for private-symbol resolution:
+    /// its signature verified, or the kernel itself proved it guarded.
+    pub fn trusted(&self) -> bool {
+        self.signature_ok || self.statically_proven
+    }
+
+    /// Phase 3, also lock-free: register the guard-site track with the
+    /// (thread-safe) tracer and lower the IR to bytecode. Runs between
+    /// [`Kernel::reserve_module`] and [`Kernel::commit_module`], outside
+    /// any kernel critical section.
+    pub fn lower(&self, reservation: &ModuleReservation, tracer: &Tracer) -> LoweredModule {
+        let sites = if self.guard_sites.is_empty() {
+            None
+        } else {
+            Some(tracer.register_module_sites(&self.ir.name, &self.guard_sites))
+        };
+        let (compiled, lower_note) = match kop_vm::lower_module(
+            &self.ir,
+            &reservation.global_addrs,
+            &reservation.func_addrs,
+            sites.as_deref(),
+        ) {
+            Ok(c) => (Some(c), None),
+            Err(e) => (
+                None,
+                Some(format!(
+                    "insmod {}: bytecode lowering skipped ({e}); tree engine only",
+                    self.ir.name
+                )),
+            ),
+        };
+        LoweredModule {
+            sites,
+            compiled,
+            lower_note,
+        }
+    }
+}
+
+impl ModuleStager {
+    /// Stage a signed module: verify, parse, re-verify, seal, prove.
+    /// CPU-bound and lock-free — safe to run on any thread, concurrently
+    /// with guard checks and with other stagings.
+    pub fn stage(
+        &self,
+        signed: &SignedModule,
+        instance: Option<&str>,
+    ) -> Result<StagedModule, StageError> {
+        let verification = self.config.verification;
+
+        // 1. Signature validation. In `Verification::Static` mode a bad
+        // signature is tolerated — step 2b's proof is what gates the
+        // module; `SignatureAndStatic` insists on the signature always.
+        let verify_result = signed.verify(&self.trusted_keys);
+        let signature_ok = verify_result.is_ok();
+        let ir = match verify_result {
+            Ok(ir) => ir,
+            Err(e) => {
+                let signature_required = verification.needs_signature()
+                    && (self.config.require_signature
+                        || verification == crate::kernel::Verification::SignatureAndStatic);
+                if signature_required {
+                    let err = KernelError::BadSignature(e.to_string());
+                    return Err(StageError {
+                        dmesg: Some(format!("insmod: {err}")),
+                        err,
+                    });
+                }
+                // Parse without trusting the signature — either the
+                // unsafe demo mode, or Static mode about to prove the
+                // module on its own merits.
+                kop_ir::parse_module(&signed.ir_text)
+                    .map_err(|pe| StageError::silent(KernelError::BadSignature(pe.to_string())))?
+            }
+        };
+
+        // The signature (or the static proof below) covers the shipped
+        // container; renaming the parsed instance afterwards changes only
+        // the loaded identity, which every later keyed structure (symbol
+        // provider, site track, violation budget, dispatch) sees
+        // consistently.
+        let mut ir = ir;
+        if let Some(instance) = instance {
+            ir.name = instance.to_string();
+        }
+
+        // 2. Kernel-side re-verification.
+        verify_module(&ir).map_err(|e| {
+            StageError::silent(KernelError::BadSignature(format!("IR invalid: {e}")))
+        })?;
+        // The IR is final from here on: seal its layout caches so the
+        // executors get O(1) block-shape queries.
+        ir.seal_layout();
+        if self.config.require_strict_guards && !signed.attestation.guards_strict {
+            return Err(StageError::silent(KernelError::AttestationRejected(
+                "kernel requires strict guard layout".into(),
+            )));
+        }
+
+        // 2b. Static guard-coverage proof (paper §2: the guarding process
+        // "can be validated by the kernel when the transformed module is
+        // inserted"). The independent translation validator re-proves
+        // full coverage and re-derives every optimizer elision from
+        // scratch, so a guard-stripped module — or an optimized one whose
+        // ledger it cannot re-establish — is refused even with a valid
+        // signature. The loader *proves* the claims, it does not trust
+        // the attestation bits.
+        let mut statically_proven = false;
+        if verification.runs_static() {
+            let ledger =
+                match kop_analysis::ObligationLedger::parse(&signed.attestation.obligations) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        let err = KernelError::StaticVerification(format!(
+                            "obligation ledger invalid: {e}"
+                        ));
+                        return Err(StageError {
+                            dmesg: Some(format!("insmod {}: {err}", ir.name)),
+                            err,
+                        });
+                    }
+                };
+            // The grant oracle lets the validator re-derive inline-bounds
+            // obligations (a promoted container) from the policy's
+            // retained snapshot history; ledgers without inline
+            // obligations never consult it. Resolved through the sharded
+            // namespace registry — one shard read-lock, no kernel lock.
+            let policy = self.namespaces.resolve(&ir.name);
+            let grants = |g: u64| policy.regions_at(g);
+            let report = kop_analysis::validate_module_with_grants(&ir, &ledger, Some(&grants));
+            if !report.is_clean() {
+                let first = report
+                    .errors()
+                    .next()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "guard coverage not provable".into());
+                let err = KernelError::StaticVerification(format!(
+                    "{} ({} error(s) total)",
+                    first,
+                    report.errors().count()
+                ));
+                return Err(StageError {
+                    dmesg: Some(format!("insmod {}: {err}", ir.name)),
+                    err,
+                });
+            }
+            statically_proven = true;
+        }
+
+        // Guard-site walk: recompute deterministically over the *shipped*
+        // IR (never the attested numbers — the signed path already
+        // cross-checked the attested site digest inside
+        // `SignedModule::verify`, and the unsigned/static path trusts
+        // only what it can derive itself).
+        let guard_sites = assign_guard_sites(&ir);
+
+        Ok(StagedModule {
+            ir,
+            guard_sites,
+            signature_ok,
+            statically_proven,
+            content_hash: signed.content_hash(),
+            guard_count: signed.attestation.guard_count,
+        })
+    }
+}
+
+/// Phase 2's output: the instance name is claimed and its address-space
+/// slots are carved out. Handed (with the [`StagedModule`]) to phase 3
+/// lowering and phase 4 commit.
+#[derive(Debug)]
+pub struct ModuleReservation {
+    /// The reserved instance name (held in the kernel's pending set).
+    pub name: String,
+    /// Base of the text mapping.
+    pub text_base: VAddr,
+    /// Size of the text mapping.
+    pub text_size: u64,
+    /// Base of the data mapping.
+    pub data_base: VAddr,
+    /// Size of the data mapping.
+    pub data_size: u64,
+    /// Address assigned to each function symbol.
+    pub func_addrs: BTreeMap<String, VAddr>,
+    /// Address assigned to each global.
+    pub global_addrs: BTreeMap<String, VAddr>,
+}
+
+/// Phase 3's output: the registered site track and the lowered bytecode.
+#[derive(Debug)]
+pub struct LoweredModule {
+    sites: Option<Arc<SiteTable>>,
+    compiled: Option<kop_vm::CompiledModule>,
+    /// The dmesg note for a skipped lowering (logged at commit).
+    lower_note: Option<String>,
+}
+
 impl Kernel {
     /// Insert a signed module (insmod).
     pub fn insmod(&mut self, signed: &SignedModule) -> KernelResult<&LoadedModule> {
@@ -158,142 +413,145 @@ impl Kernel {
         self.insmod_as(signed, Some(instance))
     }
 
+    /// The serialized insmod path, now a thin wrapper over the staged
+    /// pipeline: stage (lock-free) → reserve (short critical section) →
+    /// lower (lock-free) → commit (short critical section). Callers that
+    /// want the stall-free concurrency run the phases themselves via
+    /// [`Kernel::stager`].
     fn insmod_as(
         &mut self,
         signed: &SignedModule,
         instance: Option<&str>,
     ) -> KernelResult<&LoadedModule> {
         self.check_alive()?;
-        let verification = self.config().verification;
-
-        // 1. Signature validation. In `Verification::Static` mode a bad
-        // signature is tolerated — step 2b's proof is what gates the
-        // module; `SignatureAndStatic` insists on the signature always.
-        let verify_result = signed.verify(self.trusted_keys());
-        let signature_ok = verify_result.is_ok();
-        let ir = match verify_result {
-            Ok(ir) => ir,
+        let staged = match self.stager().stage(signed, instance) {
+            Ok(s) => s,
             Err(e) => {
-                let signature_required = verification.needs_signature()
-                    && (self.config().require_signature
-                        || verification == crate::kernel::Verification::SignatureAndStatic);
-                if signature_required {
-                    let err = KernelError::BadSignature(e.to_string());
-                    self.printk(&format!("insmod: {err}"));
-                    return Err(err);
+                if let Some(line) = &e.dmesg {
+                    self.printk(line);
                 }
-                // Parse without trusting the signature — either the
-                // unsafe demo mode, or Static mode about to prove the
-                // module on its own merits.
-                kop_ir::parse_module(&signed.ir_text)
-                    .map_err(|pe| KernelError::BadSignature(pe.to_string()))?
+                return Err(e.err);
             }
         };
+        let reservation = self.reserve_module(&staged)?;
+        let lowered = staged.lower(&reservation, self.tracer());
+        self.commit_module(staged, reservation, lowered)
+    }
 
-        // The signature (or the static proof below) covers the shipped
-        // container; renaming the parsed instance afterwards changes only
-        // the loaded identity, which every later keyed structure (symbol
-        // provider, site track, violation budget, dispatch) sees
-        // consistently.
-        let mut ir = ir;
-        if let Some(instance) = instance {
-            ir.name = instance.to_string();
+    /// A [`ModuleStager`] snapshotting this kernel's trusted keys and
+    /// loading configuration. The stager holds no lock and no reference
+    /// into the kernel — `stage()` runs on any thread while guard checks
+    /// (and reserve/commit sections of *other* modules) proceed.
+    pub fn stager(&self) -> ModuleStager {
+        ModuleStager {
+            trusted_keys: self.trusted_keys().to_vec(),
+            config: self.config().clone(),
+            namespaces: Arc::clone(self.namespaces()),
+        }
+    }
+
+    /// Phase 2 of the staged insmod: claim the instance name and carve
+    /// out its address-space slots. This is a **short** critical section
+    /// — name checks, import resolution against the export table, and
+    /// two bump allocations; no verification, no lowering, no proofs.
+    /// The name goes into the pending set so a racing insmod of the same
+    /// name is refused here, not after it wasted a full verify.
+    pub fn reserve_module(&mut self, staged: &StagedModule) -> KernelResult<ModuleReservation> {
+        self.check_alive()?;
+        let name = staged.ir.name.clone();
+        if self.modules().iter().any(|m| m.name == name) || self.pending.contains(&name) {
+            return Err(KernelError::ModuleAlreadyLoaded(name));
         }
 
-        if self.modules().iter().any(|m| m.name == ir.name) {
-            return Err(KernelError::ModuleAlreadyLoaded(ir.name.clone()));
-        }
-
-        // 2. Kernel-side re-verification.
-        verify_module(&ir).map_err(|e| KernelError::BadSignature(format!("IR invalid: {e}")))?;
-        // The IR is final from here on: seal its layout caches so the
-        // executors get O(1) block-shape queries.
-        ir.seal_layout();
-        if self.config().require_strict_guards && !signed.attestation.guards_strict {
-            return Err(KernelError::AttestationRejected(
-                "kernel requires strict guard layout".into(),
-            ));
-        }
-
-        // 2b. Static guard-coverage proof (paper §2: the guarding process
-        // "can be validated by the kernel when the transformed module is
-        // inserted"). The kernel runs the independent translation
-        // validator over the shipped IR and the attested obligation
-        // ledger: full coverage is re-proven *and* every optimizer
-        // elision is re-derived from scratch, so a guard-stripped module
-        // — or an optimized one whose ledger it cannot re-establish — is
-        // refused even with a valid signature. The loader *proves* the
-        // claims, it does not trust the attestation bits.
-        let mut statically_proven = false;
-        if verification.runs_static() {
-            let ledger =
-                match kop_analysis::ObligationLedger::parse(&signed.attestation.obligations) {
-                    Ok(l) => l,
-                    Err(e) => {
-                        let err = KernelError::StaticVerification(format!(
-                            "obligation ledger invalid: {e}"
-                        ));
-                        self.printk(&format!("insmod {}: {err}", ir.name));
-                        return Err(err);
-                    }
-                };
-            // The grant oracle lets the validator re-derive inline-bounds
-            // obligations (a promoted container) from the policy's
-            // retained snapshot history; ledgers without inline
-            // obligations never consult it.
-            let policy = self.policy_for(&ir.name);
-            let grants = |g: u64| policy.regions_at(g);
-            let report = kop_analysis::validate_module_with_grants(&ir, &ledger, Some(&grants));
-            if !report.is_clean() {
-                let first = report
-                    .errors()
-                    .next()
-                    .map(|d| d.to_string())
-                    .unwrap_or_else(|| "guard coverage not provable".into());
-                let err = KernelError::StaticVerification(format!(
-                    "{} ({} error(s) total)",
-                    first,
-                    report.errors().count()
-                ));
-                self.printk(&format!("insmod {}: {err}", ir.name));
-                return Err(err);
-            }
-            statically_proven = true;
-        }
-
-        // 3. Import resolution. The module is "trusted" for private-symbol
+        // Import resolution. The module is "trusted" for private-symbol
         // purposes iff its signature verified — or, in static mode, iff
         // the kernel itself proved the module guarded.
-        let trusted = signature_ok || statically_proven;
-        for import in ir.imported_symbols() {
+        let trusted = staged.trusted();
+        for import in staged.ir.imported_symbols() {
             if self.symbols.resolve(import, trusted).is_none() {
                 let err = KernelError::UnresolvedSymbol(import.to_string());
-                self.printk(&format!("insmod {}: {err}", ir.name));
+                self.printk(&format!("insmod {name}: {err}"));
                 return Err(err);
             }
         }
 
-        // 4. Layout: text (one slot per function, page-ish sizing by IR
-        // length) then data (globals).
-        let text_size = (ir.functions.len().max(1) as u64) * 0x100;
+        // Layout: text (one slot per function, page-ish sizing by IR
+        // length) then data (globals). Addresses only — the initializer
+        // writes happen at commit.
+        let text_size = (staged.ir.functions.len().max(1) as u64) * 0x100;
         let text_base = self.alloc_module_space(text_size)?;
         let mut func_addrs = BTreeMap::new();
-        for (i, f) in ir.functions.iter().enumerate() {
+        for (i, f) in staged.ir.functions.iter().enumerate() {
             func_addrs.insert(f.name.clone(), VAddr(text_base.raw() + (i as u64) * 0x100));
         }
 
         let mut data_size = 0u64;
+        let mut global_addrs = BTreeMap::new();
         let mut global_offsets = BTreeMap::new();
-        for g in &ir.globals {
+        for g in &staged.ir.globals {
             let align = g.ty.align_of().max(1);
             data_size = data_size.div_ceil(align) * align;
             global_offsets.insert(g.name.clone(), data_size);
             data_size += g.ty.size_of().max(1);
         }
         let data_base = self.alloc_module_space(data_size.max(1))?;
-        let mut globals = BTreeMap::new();
+        for (gname, off) in &global_offsets {
+            global_addrs.insert(gname.clone(), VAddr(data_base.raw() + off));
+        }
+
+        self.pending.insert(name.clone());
+        Ok(ModuleReservation {
+            name,
+            text_base,
+            text_size,
+            data_base,
+            data_size,
+            func_addrs,
+            global_addrs,
+        })
+    }
+
+    /// Abandon a reservation (a stall-free driver dropping a staged
+    /// module between reserve and commit). The name becomes loadable
+    /// again; the address-space slots stay consumed (module space never
+    /// reclaims).
+    pub fn abort_reservation(&mut self, reservation: ModuleReservation) {
+        self.pending.remove(&reservation.name);
+    }
+
+    /// Phase 4 of the staged insmod: publish the module. Another
+    /// **short** critical section — write the global initializers, map
+    /// text read-only, record the trace/lifecycle events, and push onto
+    /// the module list. Everything expensive already happened off-lock.
+    pub fn commit_module(
+        &mut self,
+        staged: StagedModule,
+        reservation: ModuleReservation,
+        lowered: LoweredModule,
+    ) -> KernelResult<&LoadedModule> {
+        // The reservation is consumed either way: a failed commit must
+        // not wedge the name forever.
+        self.pending.remove(&reservation.name);
+        self.check_alive()?;
+
+        let StagedModule {
+            ir,
+            guard_sites,
+            content_hash,
+            guard_count,
+            ..
+        } = staged;
+        let LoweredModule {
+            sites,
+            compiled,
+            lower_note,
+        } = lowered;
+        if let Some(note) = &lower_note {
+            self.printk(note);
+        }
+
         for g in &ir.globals {
-            let addr = VAddr(data_base.raw() + global_offsets[&g.name]);
+            let addr = reservation.global_addrs[&g.name];
             match &g.init {
                 GlobalInit::Zero => {
                     // Memory reads zero by default; nothing to write.
@@ -310,53 +568,28 @@ impl Kernel {
                         .map_err(|e| KernelError::NoMemory(e.to_string()))?;
                 }
             }
-            globals.insert(g.name.clone(), addr);
         }
 
         // Text pages are mapped read-only (§2: paging prevents
         // self-modifying module code).
-        self.mem.protect_readonly(text_base, text_size);
+        self.mem
+            .protect_readonly(reservation.text_base, reservation.text_size);
 
-        // Guard-site registration: recompute the deterministic site walk
-        // over the *shipped* IR (never the attested numbers — the signed
-        // path already cross-checked the attested site digest inside
-        // `SignedModule::verify`, and the unsigned/static path trusts
-        // only what it can derive itself) and hand the tracer the map.
-        let guard_sites = assign_guard_sites(&ir);
-        let sites = if guard_sites.is_empty() {
-            None
-        } else {
-            Some(self.tracer().register_module_sites(&ir.name, &guard_sites))
-        };
-
-        // One-shot bytecode compilation: every later call dispatches the
-        // pre-resolved program instead of re-walking the IR tree.
-        let compiled = match kop_vm::lower_module(&ir, &globals, &func_addrs, sites.as_deref()) {
-            Ok(c) => Some(c),
-            Err(e) => {
-                self.printk(&format!(
-                    "insmod {}: bytecode lowering skipped ({e}); tree engine only",
-                    ir.name
-                ));
-                None
-            }
-        };
-
-        let is_protected = signed.attestation.guard_count > 0;
+        let is_protected = guard_count > 0;
         let image = Arc::new(ModuleImage {
             ir,
-            globals,
-            func_addrs,
+            globals: reservation.global_addrs,
+            func_addrs: reservation.func_addrs,
             sites,
             compiled,
         });
         let loaded = LoadedModule {
             name: image.ir.name.clone(),
-            text_base,
-            text_size,
-            data_base,
-            data_size,
-            content_hash: signed.content_hash(),
+            text_base: reservation.text_base,
+            text_size: reservation.text_size,
+            data_base: reservation.data_base,
+            data_size: reservation.data_size,
+            content_hash,
             is_protected,
             image,
         };
@@ -372,7 +605,7 @@ impl Kernel {
             loaded.name,
             loaded.ir().functions.len(),
             loaded.ir().globals.len(),
-            signed.attestation.guard_count,
+            guard_count,
             loaded.text_base,
         ));
         self.lifecycle().set_state(&loaded.name, "running");
@@ -806,6 +1039,73 @@ exit:
         assert!(!signed.attestation.guards_strict);
         let mut kernel = static_kernel(false);
         kernel.insmod(&signed).unwrap();
+    }
+
+    #[test]
+    fn staged_pipeline_loads_concurrently_staged_modules() {
+        // Phase 1 on worker threads, phases 2–4 serialized on the
+        // kernel: the stall-free shape of an insmod storm.
+        let (mut kernel, key) = Kernel::boot_default();
+        let stager = Arc::new(kernel.stager());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let stager = Arc::clone(&stager);
+            let signed = compile(SRC, &CompileOptions::carat_kop(), &key);
+            handles.push(std::thread::spawn(move || {
+                let name = format!("demo{i}");
+                stager.stage(&signed, Some(&name)).map_err(|e| e.err)
+            }));
+        }
+        for h in handles {
+            let staged = h.join().unwrap().expect("stages clean");
+            let res = kernel.reserve_module(&staged).unwrap();
+            let lowered = staged.lower(&res, kernel.tracer());
+            kernel.commit_module(staged, res, lowered).unwrap();
+        }
+        assert_eq!(kernel.modules().len(), 8);
+        for i in 0..8 {
+            let m = kernel.module(&format!("demo{i}")).expect("loaded");
+            assert!(m.is_protected);
+            assert!(m.compiled().is_some());
+        }
+    }
+
+    #[test]
+    fn reservation_blocks_duplicates_until_commit_or_abort() {
+        let (mut kernel, key) = Kernel::boot_default();
+        let signed = compile(SRC, &CompileOptions::carat_kop(), &key);
+        let stager = kernel.stager();
+        let a = stager.stage(&signed, None).unwrap();
+        let b = stager.stage(&signed, None).unwrap();
+        let res_a = kernel.reserve_module(&a).unwrap();
+        // The name is pending: a racing reserve is refused *here*, after
+        // its cheap check, not after a wasted verify.
+        assert!(matches!(
+            kernel.reserve_module(&b).unwrap_err(),
+            KernelError::ModuleAlreadyLoaded(_)
+        ));
+        // Abort releases the name; the second staging goes through.
+        kernel.abort_reservation(res_a);
+        let res_b = kernel.reserve_module(&b).unwrap();
+        let lowered = b.lower(&res_b, kernel.tracer());
+        kernel.commit_module(b, res_b, lowered).unwrap();
+        assert!(kernel.module("demo").is_some());
+        // And a committed module still blocks re-reservation.
+        let c = stager.stage(&signed, None).unwrap();
+        assert!(matches!(
+            kernel.reserve_module(&c).unwrap_err(),
+            KernelError::ModuleAlreadyLoaded(_)
+        ));
+    }
+
+    #[test]
+    fn stage_error_carries_serialized_dmesg_line() {
+        let (kernel, key) = Kernel::boot_default();
+        let mut signed = compile(SRC, &CompileOptions::carat_kop(), &key);
+        signed.ir_text.push(' ');
+        let err = kernel.stager().stage(&signed, None).unwrap_err();
+        assert!(matches!(err.err, KernelError::BadSignature(_)));
+        assert!(err.dmesg.unwrap().starts_with("insmod: "));
     }
 
     #[test]

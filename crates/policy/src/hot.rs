@@ -64,6 +64,9 @@ pub struct HotSite {
 #[derive(Clone, Copy)]
 struct HotSlot {
     gen: u64,
+    /// Revocation epoch the bound was baked under: a fleet-wide revoke
+    /// stales every slot without any generation churn.
+    epoch: u64,
     lo: u64,
     hi: u64,
     prot: Protection,
@@ -73,6 +76,7 @@ impl HotSlot {
     fn cold() -> HotSlot {
         HotSlot {
             gen: 0,
+            epoch: 0,
             lo: 0,
             hi: 0,
             prot: Protection::NONE,
@@ -142,6 +146,9 @@ impl HotPolicy {
     /// no single region grants any more is left cold (its checks simply
     /// take the general path — never a fabricated bound).
     pub fn repromote(&self) -> usize {
+        // Epoch read BEFORE the snapshot: a revoke racing past the bake
+        // leaves the slot already-stale, never falsely fresh.
+        let epoch = self.policy.revocation_epoch();
         let snap = self.policy.policy_snapshot();
         let mut promoted = 0;
         for req in &self.requests {
@@ -155,6 +162,7 @@ impl HotPolicy {
                 Lookup::Permitted(r) => {
                     slot.set(HotSlot {
                         gen: snap.generation(),
+                        epoch,
                         lo: r.base.raw(),
                         hi: r.base.raw().saturating_add(r.len.raw()),
                         prot: r.prot,
@@ -245,6 +253,7 @@ impl PolicyCheck for HotPolicy {
                     if size.raw() > 0
                         && !flags.is_empty()
                         && e.gen == self.policy.store_generation()
+                        && e.epoch == self.policy.revocation_epoch()
                         && e.lo <= addr.raw()
                         && end <= e.hi
                         && e.prot.allows(flags)
@@ -358,6 +367,27 @@ mod tests {
             .is_err());
         assert_eq!(hp.admits(), 0);
         let _ = pm;
+    }
+
+    #[test]
+    fn revocation_epoch_deopts_baked_slots() {
+        let (pm, hp) = setup();
+        hp.carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        let gen = pm.store_generation();
+        pm.bump_revocation();
+        assert_eq!(pm.store_generation(), gen, "revoke is epoch-only");
+        // Stale epoch: the access deopts to the general path (which still
+        // allows — the ruleset is unchanged).
+        hp.carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(hp.admits(), 1);
+        assert_eq!(hp.deopts(), 1);
+        // Re-baking under the new epoch restores the fast path.
+        assert_eq!(hp.repromote(), 1);
+        hp.carat_guard(VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(hp.admits(), 2);
     }
 
     #[test]

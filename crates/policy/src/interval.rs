@@ -107,6 +107,21 @@ fn insert_node(node: Option<Box<Node>>, region: Region) -> Box<Node> {
     }
 }
 
+/// BST search for a node whose region has exactly this base.
+fn find_base(node: &Option<Box<Node>>, base: VAddr) -> Option<Region> {
+    let mut cur = node;
+    while let Some(n) = cur {
+        if base < n.region.base {
+            cur = &n.left;
+        } else if base > n.region.base {
+            cur = &n.right;
+        } else {
+            return Some(n.region);
+        }
+    }
+    None
+}
+
 fn remove_node(node: Option<Box<Node>>, base: VAddr) -> (Option<Box<Node>>, Option<Region>) {
     let Some(mut n) = node else {
         return (None, None);
@@ -232,6 +247,12 @@ impl RegionStore for IntervalTree {
 
     fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
         validate_region(&region)?;
+        // Bases key removal; duplicates would make `remove(base)` ambiguous
+        // (only the first node on the search path would be reachable), so
+        // they are rejected uniformly across all stores.
+        if let Some(existing) = find_base(&self.root, region.base) {
+            return Err(PolicyError::DuplicateBase { existing });
+        }
         self.root = Some(insert_node(self.root.take(), region));
         self.len += 1;
         Ok(())

@@ -34,11 +34,13 @@
 pub mod bloom;
 pub mod cache;
 pub mod cuckoo;
+pub mod frozen;
 pub mod hot;
 pub mod interval;
 pub mod intrinsics;
 pub mod manager;
 pub mod module;
+pub mod namespace;
 pub mod snapshot;
 pub mod sorted;
 pub mod splay;
@@ -48,6 +50,7 @@ pub mod table;
 pub mod tlb;
 pub mod vlog;
 
+pub use frozen::{FrozenKind, FrozenStore};
 pub use hot::{HotPolicy, HotSite};
 pub use intrinsics::IntrinsicPolicy;
 pub use manager::{PolicyCmd, PolicyCmdError, PolicyResponse};
@@ -55,6 +58,7 @@ pub use module::{
     CheckPath, ClassifiedCheck, DatapathGeometry, DefaultAction, GuardOutcome, PolicyModule,
     ViolationAction,
 };
+pub use namespace::{NamespaceStore, GLOBAL_NAMESPACE, NAMESPACE_SHARDS};
 pub use snapshot::{GenerationSubscriber, PolicySnapshot, SnapshotStore, SNAPSHOT_HISTORY_CAP};
 pub use stats::GuardStats;
 pub use store::{PolicyError, RegionStore, StoreKind};

@@ -20,7 +20,7 @@
 //! the only path that exercises self-adjusting stores' read-side
 //! reorganization).
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use arc_swap::ArcSwap;
@@ -209,6 +209,18 @@ pub struct PolicyModule {
     violation_action: AtomicU8,
     stats: GuardStats,
     log: ViolationLog,
+    /// Namespace id assigned by the [`crate::namespace::NamespaceStore`]
+    /// this policy is registered in (0 = unbound). Cache tiers key their
+    /// entries by `(namespace, generation)` so a policy swapped out of a
+    /// namespace can never satisfy a stale cached grant.
+    ns: AtomicU64,
+    /// The fleet-wide revocation epoch this policy last observed. Bumped
+    /// by [`Self::bump_revocation`] (fanned out by
+    /// `NamespaceStore::revoke_all`); cache tiers tag entries with it so
+    /// one revocation invalidates every cached grant without touching
+    /// any per-namespace generation. Starts at 1 so 0 can mean "no
+    /// cached entry".
+    revocation: AtomicU64,
 }
 
 impl PolicyModule {
@@ -233,6 +245,8 @@ impl PolicyModule {
             violation_action: AtomicU8::new(ViolationAction::Panic.to_u8()),
             stats: GuardStats::new(),
             log: ViolationLog::new(LOG_CAP),
+            ns: AtomicU64::new(0),
+            revocation: AtomicU64::new(1),
         }
     }
 
@@ -385,6 +399,38 @@ impl PolicyModule {
         let store = self.store.lock();
         self.republish(&**store);
         self.snapshot.generation()
+    }
+
+    /// The namespace id this policy is bound to (0 = unbound). One
+    /// `SeqCst` load — part of every cache tier's validity tag.
+    #[inline]
+    pub fn namespace(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+
+    /// Bind this policy to a namespace id. Called exactly once by the
+    /// namespace store at registration; a fresh id retires any cache
+    /// entry tagged with the previous binding.
+    pub fn set_namespace(&self, ns: u64) {
+        self.ns.store(ns, Ordering::SeqCst);
+    }
+
+    /// The revocation epoch this policy currently observes. One `SeqCst`
+    /// load — the global half of every cache tier's validity tag (the
+    /// per-namespace generation is the local half).
+    #[inline]
+    pub fn revocation_epoch(&self) -> u64 {
+        self.revocation.load(Ordering::SeqCst)
+    }
+
+    /// Advance the revocation epoch: every guard TLB entry, hot slot,
+    /// and promoted inline cache tagged with the old epoch goes stale in
+    /// one atomic store, without republishing the (unchanged) rule set.
+    /// Returns the new epoch. Fleet-wide revocation
+    /// (`NamespaceStore::revoke_all`) fans out through here — the cold
+    /// path pays O(policies), the hot path still pays one load.
+    pub fn bump_revocation(&self) -> u64 {
+        self.revocation.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Number of rules.

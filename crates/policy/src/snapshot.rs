@@ -37,6 +37,7 @@ use parking_lot::Mutex;
 use kop_core::{AccessFlags, Region, Size, VAddr};
 use kop_trace::Counter;
 
+use crate::frozen::{FrozenKind, FrozenStore};
 use crate::store::{Lookup, StoreKind};
 
 /// How many `(generation, regions)` pairs the store retains for
@@ -57,29 +58,25 @@ pub type GenerationSubscriber = Box<dyn Fn(u64) + Send + Sync>;
 /// Lookup semantics replicate the paper's table exactly: an access is
 /// permitted if **any** covering region grants the intent; otherwise the
 /// first covering region makes it [`Lookup::Forbidden`]; otherwise
-/// [`Lookup::NoMatch`]. For the common disjoint-region case the snapshot
-/// also carries a base-sorted copy and answers lookups with one binary
-/// search (with disjoint regions at most one region can cover an access,
-/// so scan order cannot matter).
+/// [`Lookup::NoMatch`]. Lookups are served by a [`FrozenStore`] built at
+/// publish time: a one-probe sorted array when the regions are disjoint,
+/// an augmented interval tree when they overlap — O(log n) either way,
+/// with bit-exact flat-scan semantics (store-order any-grant-wins).
 pub struct PolicySnapshot {
     generation: u64,
     kind: StoreKind,
-    /// Regions in the authoritative store's snapshot order.
-    regions: Vec<Region>,
-    /// Base-sorted copy, present only when the regions are disjoint.
-    sorted: Option<Vec<Region>>,
+    /// The frozen index (also owns the store-order region list).
+    frozen: FrozenStore,
 }
 
 impl PolicySnapshot {
-    fn build(kind: StoreKind, regions: Vec<Region>, generation: u64) -> PolicySnapshot {
-        let mut sorted = regions.clone();
-        sorted.sort_by_key(|r| r.base);
-        let disjoint = sorted.windows(2).all(|w| !w[0].overlaps(&w[1]));
+    /// Build a snapshot over `regions` (in the authoritative store's
+    /// snapshot order) at `generation`.
+    pub fn build(kind: StoreKind, regions: Vec<Region>, generation: u64) -> PolicySnapshot {
         PolicySnapshot {
             generation,
             kind,
-            regions,
-            sorted: disjoint.then_some(sorted),
+            frozen: FrozenStore::build(regions),
         }
     }
 
@@ -95,55 +92,34 @@ impl PolicySnapshot {
 
     /// Number of regions.
     pub fn len(&self) -> usize {
-        self.regions.len()
+        self.frozen.len()
     }
 
     /// Whether the snapshot holds no regions.
     pub fn is_empty(&self) -> bool {
-        self.regions.is_empty()
+        self.frozen.is_empty()
     }
 
     /// The regions, in the authoritative store's order.
     pub fn regions(&self) -> &[Region] {
-        &self.regions
+        self.frozen.regions()
+    }
+
+    /// The frozen index serving this snapshot's lookups.
+    pub fn frozen(&self) -> &FrozenStore {
+        &self.frozen
+    }
+
+    /// Which frozen index this snapshot built (sorted vs interval).
+    pub fn frozen_kind(&self) -> FrozenKind {
+        self.frozen.kind()
     }
 
     /// Classify an access against this frozen table. Pure: no locks, no
     /// mutation, callable from any thread.
     #[inline]
     pub fn lookup(&self, addr: VAddr, size: Size, flags: AccessFlags) -> Lookup {
-        if let Some(sorted) = &self.sorted {
-            // Disjoint fast path: the only candidate is the last region
-            // whose base is <= addr.
-            let idx = sorted.partition_point(|r| r.base <= addr);
-            if idx > 0 {
-                let r = sorted[idx - 1];
-                if r.covers(addr, size) {
-                    return if r.prot.allows(flags) {
-                        Lookup::Permitted(r)
-                    } else {
-                        Lookup::Forbidden(r)
-                    };
-                }
-            }
-            return Lookup::NoMatch;
-        }
-        // Overlap-capable scan in store order (the paper's table walk).
-        let mut first_covering = None;
-        for r in &self.regions {
-            if r.covers(addr, size) {
-                if r.prot.allows(flags) {
-                    return Lookup::Permitted(*r);
-                }
-                if first_covering.is_none() {
-                    first_covering = Some(*r);
-                }
-            }
-        }
-        match first_covering {
-            Some(r) => Lookup::Forbidden(r),
-            None => Lookup::NoMatch,
-        }
+        self.frozen.lookup_frozen(addr, size, flags)
     }
 }
 
@@ -152,8 +128,8 @@ impl std::fmt::Debug for PolicySnapshot {
         f.debug_struct("PolicySnapshot")
             .field("generation", &self.generation)
             .field("kind", &self.kind)
-            .field("regions", &self.regions.len())
-            .field("disjoint", &self.sorted.is_some())
+            .field("regions", &self.frozen.len())
+            .field("frozen", &self.frozen.kind())
             .finish()
     }
 }
@@ -335,7 +311,7 @@ mod tests {
             r(0x8000, 0x100, Protection::NONE),
         ];
         let snap = PolicySnapshot::build(StoreKind::Table, disjoint.clone(), 1);
-        assert!(snap.sorted.is_some());
+        assert_eq!(snap.frozen_kind(), FrozenKind::Sorted);
         let probes = [
             (0x1800u64, 8u64, AccessFlags::RW),
             (0x3000, 8, AccessFlags::READ),
@@ -376,7 +352,11 @@ mod tests {
             r(0x1000, 0x1000, Protection::READ_WRITE),
         ];
         let snap = PolicySnapshot::build(StoreKind::Table, regions, 1);
-        assert!(snap.sorted.is_none(), "overlap disables the sorted path");
+        assert_eq!(
+            snap.frozen_kind(),
+            FrozenKind::Interval,
+            "overlap selects the interval index"
+        );
         assert!(matches!(
             snap.lookup(VAddr(0x1400), Size(8), AccessFlags::RW),
             Lookup::Permitted(_)

@@ -39,6 +39,13 @@ impl RegionStore for SortedRegionTable {
     fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
         validate_region(&region)?;
         let pos = self.regions.partition_point(|r| r.base < region.base);
+        // Duplicate bases are rejected before any overlap classification so
+        // every store reports the same error for the same degenerate input.
+        if pos < self.regions.len() && self.regions[pos].base == region.base {
+            return Err(PolicyError::DuplicateBase {
+                existing: self.regions[pos],
+            });
+        }
         // Overlap can only involve the immediate neighbours in sorted order.
         if pos > 0 && self.regions[pos - 1].overlaps(&region) {
             return Err(PolicyError::Overlap {

@@ -158,6 +158,15 @@ impl RegionStore for SplayRegionTree {
 
     fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
         validate_region(&region)?;
+        // Duplicate bases reported as such (not as Overlap) so every store
+        // rejects the same degenerate input with the same error.
+        if let Some(fl) = self.floor_node(region.base) {
+            if self.nodes[fl].region.base == region.base {
+                return Err(PolicyError::DuplicateBase {
+                    existing: self.nodes[fl].region,
+                });
+            }
+        }
         // Overlap check against floor and its successor.
         if let Some(fl) = self.floor_node(region.base) {
             if self.nodes[fl].region.overlaps(&region) {

@@ -25,6 +25,13 @@ pub enum PolicyError {
         /// The existing region that overlaps the inserted one.
         existing: Region,
     },
+    /// A rule with exactly this base address already exists. Bases key
+    /// removal (`remove(base)`), so two rules sharing one base would make
+    /// removal ambiguous; every store rejects them uniformly.
+    DuplicateBase {
+        /// The existing region with the same base.
+        existing: Region,
+    },
     /// Zero-length regions are meaningless firewall rules.
     ZeroLength,
     /// `base + len` would overflow the address space.
@@ -44,6 +51,9 @@ impl fmt::Display for PolicyError {
             }
             PolicyError::Overlap { existing } => {
                 write!(f, "region overlaps existing rule {existing}")
+            }
+            PolicyError::DuplicateBase { existing } => {
+                write!(f, "region duplicates base of existing rule {existing}")
             }
             PolicyError::ZeroLength => f.write_str("zero-length region"),
             PolicyError::Overflow => f.write_str("region overflows address space"),

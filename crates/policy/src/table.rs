@@ -74,6 +74,13 @@ impl RegionStore for RegionTable {
 
     fn insert(&mut self, region: Region) -> Result<(), PolicyError> {
         validate_region(&region)?;
+        // Bases key removal, so duplicates are rejected uniformly across
+        // all stores (overlap *acceptance* still differs by structure).
+        if let Some(existing) = self.iter().find(|r| r.base == region.base) {
+            return Err(PolicyError::DuplicateBase {
+                existing: *existing,
+            });
+        }
         if self.len >= self.capacity {
             return Err(PolicyError::TableFull {
                 capacity: self.capacity,
@@ -267,14 +274,24 @@ mod tests {
     fn scan_order_is_insertion_order() {
         // Both rules cover the address; the permitted one is found even
         // though the forbidden one is first (scan continues past
-        // insufficient rules).
+        // insufficient rules). Distinct bases: duplicate bases are
+        // rejected uniformly across stores.
         let mut t = RegionTable::new();
-        t.insert(r(0x1000, 0x1000, Protection::NONE)).unwrap();
+        t.insert(r(0x0800, 0x2000, Protection::NONE)).unwrap();
         t.insert(r(0x1000, 0x1000, Protection::ALL)).unwrap();
         assert!(matches!(
             t.lookup(VAddr(0x1500), Size(4), AccessFlags::RW),
             Lookup::Permitted(_)
         ));
+    }
+
+    #[test]
+    fn duplicate_base_rejected() {
+        let mut t = RegionTable::new();
+        t.insert(r(0x1000, 0x1000, Protection::NONE)).unwrap();
+        let err = t.insert(r(0x1000, 0x2000, Protection::ALL)).unwrap_err();
+        assert!(matches!(err, PolicyError::DuplicateBase { existing } if existing.base == VAddr(0x1000)));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

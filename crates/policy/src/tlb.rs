@@ -43,8 +43,16 @@ pub const TLB_WAYS: usize = 16;
 #[derive(Clone, Copy)]
 struct TlbEntry {
     /// Generation the grant was observed under; 0 = invalid (the
-    /// snapshot store's generations start at 1).
+    /// snapshot store's generations start at 1). Per-namespace: another
+    /// tenant's publish does not move this policy's generation.
     gen: u64,
+    /// Namespace the granting policy was bound to when cached — a policy
+    /// re-registered under a fresh namespace id never matches old entries.
+    ns: u64,
+    /// Revocation epoch observed when cached; a fleet-wide revoke bumps
+    /// every policy's epoch, invalidating all entries without any
+    /// generation churn.
+    epoch: u64,
     site: u32,
     region: Region,
 }
@@ -53,6 +61,8 @@ impl TlbEntry {
     fn invalid() -> TlbEntry {
         TlbEntry {
             gen: 0,
+            ns: 0,
+            epoch: 0,
             site: 0,
             region: Region::new(VAddr(0), Size(0), Protection::NONE).expect("empty region"),
         }
@@ -101,10 +111,17 @@ impl GuardTlb {
         size: Size,
         flags: AccessFlags,
     ) -> bool {
+        // Tag fields read BEFORE the snapshot: if a revoke or re-bind
+        // races past between here and the install, the tag is already
+        // stale and the entry just misses — never the other way around.
+        let ns = policy.namespace();
+        let epoch = policy.revocation_epoch();
         let snap = policy.policy_snapshot();
         if let Lookup::Permitted(region) = snap.lookup(addr, size, flags) {
             self.entries[site as usize & (TLB_WAYS - 1)].set(TlbEntry {
                 gen: snap.generation(),
+                ns,
+                epoch,
                 site,
                 region,
             });
@@ -136,6 +153,8 @@ impl GuardTlb {
         let e = slot.get();
         if e.gen != 0
             && e.site == site
+            && e.ns == policy.namespace()
+            && e.epoch == policy.revocation_epoch()
             && e.gen == policy.store_generation()
             && e.region.permits(addr, size, flags)
         {
@@ -143,9 +162,20 @@ impl GuardTlb {
             return Ok(());
         }
         self.misses.inc();
+        // Tag fields read BEFORE the classified check: a revoke or
+        // namespace re-bind racing past the lookup leaves the installed
+        // entry already-stale (harmless re-miss), never falsely fresh.
+        let ns = policy.namespace();
+        let epoch = policy.revocation_epoch();
         let out = policy.check_classified(addr, size, flags);
         if let Some((region, gen)) = out.grant {
-            slot.set(TlbEntry { gen, site, region });
+            slot.set(TlbEntry {
+                gen,
+                ns,
+                epoch,
+                site,
+                region,
+            });
         }
         out.result
     }
@@ -445,6 +475,38 @@ mod tests {
         assert_eq!(tp.tlb().misses(), 0);
         assert_eq!(tp.tlb().hits(), 1);
         assert_eq!(tp.tlb().preseeded(), 1);
+    }
+
+    #[test]
+    fn revocation_epoch_invalidates_without_generation_churn() {
+        let pm = pm_with_region(0x1000, 0x1000);
+        let tlb = GuardTlb::new();
+        tlb.check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        let gen = pm.store_generation();
+        pm.bump_revocation();
+        assert_eq!(pm.store_generation(), gen, "no publish happened");
+        // The cached grant's epoch is stale: next check must miss and
+        // refill from the (unchanged) snapshot.
+        tlb.check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(tlb.misses(), 2);
+        // The refill carries the new epoch, so it hits again.
+        tlb.check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(tlb.hits(), 1);
+    }
+
+    #[test]
+    fn namespace_rebind_invalidates_cached_grants() {
+        let pm = pm_with_region(0x1000, 0x1000);
+        let tlb = GuardTlb::new();
+        tlb.check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        pm.set_namespace(42);
+        tlb.check(&pm, 0, VAddr(0x1800), Size(8), AccessFlags::RW)
+            .unwrap();
+        assert_eq!(tlb.misses(), 2, "rebind forced a re-miss");
     }
 
     #[test]

@@ -365,6 +365,11 @@ pub struct PromotedTier {
     /// Snapshot generation every baked bound in this tier cites
     /// (0 = the empty tier; real generations start at 1).
     pub gen: u64,
+    /// Revocation epoch the tier was baked under (0 = the empty tier;
+    /// real epochs start at 1). A fleet-wide revoke advances the
+    /// policy's epoch without republishing, so promoted frames compare
+    /// this against the live epoch to deopt promptly.
+    pub epoch: u64,
     funcs: BTreeMap<u32, Arc<CompiledFunc>>,
 }
 
@@ -442,10 +447,15 @@ impl CompiledModule {
     /// Sites are promoted wherever they occur; sites in `specs` that
     /// match no guard op are skipped. An empty result publishes nothing
     /// and leaves the existing tier in place.
-    pub fn promote(&self, gen: u64, specs: &[PromotionSpec]) -> usize {
+    ///
+    /// `epoch` is the governing policy's revocation epoch at bake time;
+    /// promoted frames deopt when it no longer matches the live epoch
+    /// (fleet-wide revocation without generation churn).
+    pub fn promote(&self, gen: u64, epoch: u64, specs: &[PromotionSpec]) -> usize {
         let by_site: BTreeMap<SiteId, &PromotionSpec> = specs.iter().map(|s| (s.site, s)).collect();
         let mut tier = PromotedTier {
             gen,
+            epoch,
             funcs: BTreeMap::new(),
         };
         let mut promoted_ops = 0usize;
@@ -556,9 +566,23 @@ impl CompiledModule {
         self.promoted.load().funcs.get(&idx).cloned()
     }
 
+    /// The promoted re-lowering of a function plus the revocation epoch
+    /// the tier was baked under, from **one** tier load — so a frame
+    /// entry can never pair one tier's function with another tier's
+    /// epoch.
+    pub fn promoted_entry(&self, idx: u32) -> Option<(Arc<CompiledFunc>, u64)> {
+        let tier = self.promoted.load();
+        tier.funcs.get(&idx).cloned().map(|f| (f, tier.epoch))
+    }
+
     /// Snapshot generation of the current promoted tier (0 = none).
     pub fn promoted_generation(&self) -> u64 {
         self.promoted.load().gen
+    }
+
+    /// Revocation epoch of the current promoted tier (0 = none).
+    pub fn promoted_epoch(&self) -> u64 {
+        self.promoted.load().epoch
     }
 
     /// Number of functions with a promoted re-lowering in the current
@@ -652,9 +676,10 @@ mod promote_tests {
         assert_eq!(m.promoted_generation(), 0);
         assert!(m.promoted_func(0).is_none());
 
-        let n = m.promote(5, &[spec(7, 0x1000, 0x2000), spec(11, 0x3000, 0x4000)]);
+        let n = m.promote(5, 1, &[spec(7, 0x1000, 0x2000), spec(11, 0x3000, 0x4000)]);
         assert_eq!(n, 2);
         assert_eq!(m.promoted_generation(), 5);
+        assert_eq!(m.promoted_epoch(), 1);
         assert_eq!(m.promoted_func_count(), 1);
         assert_eq!(m.promoted_guard_count(), 2);
 
@@ -688,10 +713,10 @@ mod promote_tests {
     #[test]
     fn promoting_unknown_sites_publishes_nothing() {
         let m = CompiledModule::new("m".into(), vec![guard_func()]);
-        m.promote(3, &[spec(7, 0, 0x100)]);
+        m.promote(3, 1, &[spec(7, 0, 0x100)]);
         assert_eq!(m.promoted_generation(), 3);
         // A later pass with no matching sites must not clobber the tier.
-        assert_eq!(m.promote(4, &[spec(999, 0, 0x100)]), 0);
+        assert_eq!(m.promote(4, 1, &[spec(999, 0, 0x100)]), 0);
         assert_eq!(m.promoted_generation(), 3);
         assert!(m.promoted_func(0).is_some());
     }
@@ -700,8 +725,9 @@ mod promote_tests {
     fn invalidate_drops_the_tier_and_clones_share_it() {
         let m = CompiledModule::new("m".into(), vec![guard_func()]);
         let alias = m.clone();
-        m.promote(9, &[spec(9, 0x10, 0x20)]);
+        m.promote(9, 1, &[spec(9, 0x10, 0x20)]);
         assert_eq!(alias.promoted_generation(), 9, "clones share the tier");
+        assert_eq!(alias.promoted_entry(0).unwrap().1, 1, "entry carries epoch");
         assert!(matches!(
             &alias.promoted_func(0).unwrap().code[1],
             Op::InlineGuard { gen: 9, .. }
@@ -710,7 +736,7 @@ mod promote_tests {
         assert_eq!(m.promoted_generation(), 0);
         assert!(m.promoted_func(0).is_none());
         // Re-promotion after invalidation works (lazy re-promote path).
-        assert_eq!(m.promote(10, &[spec(9, 0x10, 0x20)]), 1);
+        assert_eq!(m.promote(10, 2, &[spec(9, 0x10, 0x20)]), 1);
         assert_eq!(alias.promoted_generation(), 10);
     }
 }

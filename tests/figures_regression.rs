@@ -562,6 +562,63 @@ fn forward_figure_shape_and_audits() {
 }
 
 #[test]
+fn fleet_figure_shape_and_audits() {
+    // The hard claims — frozen-store/linear-scan parity across store
+    // kinds, exact per-tenant guard reconciliation, zero stale admits
+    // across the fleet-wide upgrade storm, 64/64 insmod-storm commits,
+    // per-site trace reconciliation — are asserted unconditionally
+    // inside fleet() on every run (the latency-ratio bounds are gated
+    // to the quick multi-core smoke run). Here we pin the figure's
+    // shape and headline arithmetic.
+    let fig = figures::fleet();
+    assert_eq!(fig.id, "fleet");
+
+    // The p99 sweep: all three store series on the same module grid,
+    // from a single module up to fleet scale.
+    let flat = fig.series("flat-scan").unwrap();
+    let sorted = fig.series("frozen-sorted").unwrap();
+    let interval = fig.series("frozen-interval").unwrap();
+    assert!(flat.points.len() >= 4);
+    assert_eq!(flat.points.len(), sorted.points.len());
+    assert_eq!(flat.points.len(), interval.points.len());
+    for ((f, s), i) in flat.points.iter().zip(&sorted.points).zip(&interval.points) {
+        assert_eq!(f.0, s.0, "same module grid");
+        assert_eq!(f.0, i.0, "same module grid");
+        assert!(f.1 > 0.0 && s.1 > 0.0 && i.1 > 0.0);
+    }
+    assert_eq!(flat.points.first().unwrap().0, 1.0);
+    assert!(flat.points.last().unwrap().0 >= 256.0);
+
+    // The scaling separation: the flat scan degrades super-linearly
+    // (asserted >= 10x inside fleet()); at the top of the sweep it
+    // must sit far above both frozen indexes.
+    assert!(fig.headline("flat_p99_growth_1_to_256").unwrap() >= 10.0);
+    let top = flat.points.last().unwrap().1;
+    assert!(top > 4.0 * sorted.points.last().unwrap().1);
+    assert!(top > 4.0 * interval.points.last().unwrap().1);
+
+    // MQ fleet throughput: every fleet size forwards productively.
+    let mq = fig.series("mq-fleet").unwrap();
+    assert!(mq.points.len() >= 2);
+    assert!(mq.points.iter().all(|&(_, y)| y > 0.0));
+
+    // Audited invariants surface as headlines.
+    assert_eq!(fig.headline("storm_stale_admits"), Some(0.0));
+    assert!(fig.headline("storm_registrations").unwrap() > 0.0);
+    assert_eq!(fig.headline("insmod_storm_modules"), Some(64.0));
+    assert!(fig.headline("insmod_check_p99_before_ns").unwrap() > 0.0);
+    assert!(fig.headline("insmod_check_p99_during_ns").unwrap() > 0.0);
+    assert!(fig.headline("traced_tenant_guard_calls").unwrap() > 0.0);
+    let r1 = fig.headline("fleet_fwd_rate_f1").unwrap();
+    assert!(r1 > 0.0);
+
+    // The machine-readable rendering carries the results.
+    let json = fig.render_json();
+    assert!(json.contains("\"id\": \"fleet\""));
+    assert!(json.contains("\"storm_stale_admits\": 0"));
+}
+
+#[test]
 fn renders_are_nonempty_and_csv_parses() {
     for fig in [figures::fig6(), figures::claims()]
         .into_iter()

@@ -1,0 +1,246 @@
+//! FLEET torture: the stall-free loader and the namespaced policy
+//! engine under combined load (DESIGN §3.19).
+//!
+//! The headline test stages 64 module instances concurrently through
+//! [`carat_kop::kernel::ModuleStager`] — signature verification, layout
+//! sealing, static proof, and guard-site assignment all off the kernel
+//! lock — while multi-queue guarded forwarding runs against per-tenant
+//! policies resolved through the kernel's sharded `NamespaceStore`.
+//! Invariants held throughout:
+//!
+//! * every staged module commits (64/64 loaded, then callable with live
+//!   guards),
+//! * every MQ forwarding round's ledger audit is exact (no duplicates,
+//!   no unaccounted frames) and its guard calls reconcile one-for-one
+//!   against the owning tenants' policy counters,
+//! * a fleet-wide revocation issued mid-test reaches every tenant
+//!   (zero stale grants observed after the epoch is published).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use carat_kop::compiler::{compile_module, CompileOptions, CompilerKey};
+use carat_kop::e1000e::{DirectMem, E1000Device, GuardedMem};
+use carat_kop::interp::Interp;
+use carat_kop::ir::parse_module;
+use carat_kop::kernel::{Kernel, KernelConfig, Verification};
+use carat_kop::net::run_mq_forward;
+use carat_kop::policy::PolicyModule;
+
+const STORM_MODULES: usize = 64;
+const TENANTS: usize = 4;
+
+/// A module with a handful of guarded accesses — enough that every
+/// committed instance exercises the guard path when called.
+const STORM_SRC: &str = r#"
+module "storm"
+define i64 @work(ptr %buf) {
+entry:
+  store i64 1, ptr %buf
+  %p1 = gep i64, ptr %buf, i64 1
+  store i64 2, ptr %p1
+  %a = load i64, ptr %buf
+  %b = load i64, ptr %p1
+  %s = add i64 %a, %b
+  store i64 %s, ptr %p1
+  ret i64 %s
+}
+"#;
+
+fn key() -> CompilerKey {
+    CompilerKey::from_passphrase("operator-key", "fleet-torture")
+}
+
+fn boot() -> Kernel {
+    Kernel::boot(
+        Arc::new(PolicyModule::two_region_paper_policy()),
+        vec![key()],
+        KernelConfig {
+            verification: Verification::SignatureAndStatic,
+            ..KernelConfig::default()
+        },
+    )
+}
+
+#[test]
+fn insmod_storm_under_mq_forwarding_holds_invariants() {
+    let out = compile_module(
+        parse_module(STORM_SRC).unwrap(),
+        &CompileOptions::carat_kop(),
+        &key(),
+    )
+    .unwrap();
+    let mut kernel = boot();
+    for t in 0..TENANTS {
+        kernel.set_module_policy(
+            &format!("nic{t}"),
+            Arc::new(PolicyModule::two_region_paper_policy()),
+        );
+    }
+    let ns = Arc::clone(kernel.namespaces());
+    let stager = Arc::new(kernel.stager());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let stager_threads = cores.clamp(2, 6);
+
+    let next_idx = AtomicUsize::new(0);
+    let revoked = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel();
+
+    let mq_rounds = std::thread::scope(|s| {
+        // Stagers: the lock-free two thirds of insmod, in parallel.
+        for _ in 0..stager_threads {
+            let stager = Arc::clone(&stager);
+            let out = &out;
+            let next_idx = &next_idx;
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let i = next_idx.fetch_add(1, Ordering::SeqCst);
+                if i >= STORM_MODULES {
+                    break;
+                }
+                let staged = stager
+                    .stage(&out.signed, Some(&format!("storm{i}")))
+                    .map_err(|e| e.err)
+                    .expect("storm module stages clean");
+                tx.send(staged).expect("main thread receives");
+            });
+        }
+        drop(tx);
+
+        // Forwarder: MQ rounds against namespaced tenants, concurrent
+        // with the storm, continuing past the fleet revocation.
+        let forwarder = {
+            let ns = Arc::clone(&ns);
+            let revoked = &revoked;
+            s.spawn(move || {
+                let mut rounds = 0u64;
+                let mut seen_revoked = false;
+                loop {
+                    let tenants: Vec<Arc<PolicyModule>> = (0..2)
+                        .map(|qi| ns.resolve(&format!("nic{qi}")))
+                        .collect();
+                    let before: Vec<u64> = tenants.iter().map(|p| p.stats().checks).collect();
+                    let report = run_mq_forward(2, 120, 64, 9_000 + rounds, 64, |qi| {
+                        GuardedMem::new(
+                            DirectMem::with_defaults(E1000Device::default()),
+                            Arc::clone(&tenants[qi]),
+                        )
+                    })
+                    .expect("mq round");
+                    assert!(report.all_clean(), "round {rounds}: ledger audit");
+                    let delta: u64 = tenants
+                        .iter()
+                        .zip(&before)
+                        .map(|(p, b)| p.stats().checks - b)
+                        .sum();
+                    assert_eq!(
+                        delta,
+                        report.guard_calls(),
+                        "round {rounds}: per-tenant guard reconciliation"
+                    );
+                    // Once the fleet revocation is published, every
+                    // tenant must already carry the bumped epoch — a
+                    // stale grant would mean a cache outlived it.
+                    if revoked.load(Ordering::SeqCst) {
+                        for p in &tenants {
+                            assert!(
+                                p.revocation_epoch() >= 2,
+                                "round {rounds}: tenant missed the fleet revocation"
+                            );
+                        }
+                        seen_revoked = true;
+                    }
+                    rounds += 1;
+                    if seen_revoked && rounds >= 2 {
+                        return rounds;
+                    }
+                }
+            })
+        };
+
+        // Main thread: the short reserve/commit sections, pipelined as
+        // staged modules arrive.
+        let mut committed = 0usize;
+        for staged in rx {
+            let res = kernel.reserve_module(&staged).expect("reserve");
+            let lowered = staged.lower(&res, kernel.tracer());
+            kernel.commit_module(staged, res, lowered).expect("commit");
+            committed += 1;
+        }
+        assert_eq!(committed, STORM_MODULES);
+
+        // Fleet-wide revocation mid-test: global + every tenant bumped.
+        let bumped = kernel.revoke_fleet();
+        assert_eq!(bumped, TENANTS + 1);
+        revoked.store(true, Ordering::SeqCst);
+
+        forwarder.join().expect("forwarder")
+    });
+    assert!(mq_rounds >= 2, "forwarding ran alongside the storm");
+
+    // All 64 instances are live modules with working guards.
+    assert_eq!(kernel.modules().len(), STORM_MODULES);
+    let buf = kernel.kmalloc(4 * 8).expect("buffer");
+    for i in [0usize, 17, STORM_MODULES - 1] {
+        let mut interp = Interp::new(&mut kernel).unwrap();
+        let ret = interp.call(&format!("storm{i}"), "work", &[buf.raw()]).unwrap();
+        assert_eq!(ret, Some(3), "storm{i} computes through guarded memory");
+        assert!(interp.stats().guards > 0, "storm{i} executed live guards");
+    }
+}
+
+#[test]
+fn namespace_registration_is_monotone_and_falls_back_to_global() {
+    let mut kernel = boot();
+    let global = Arc::clone(kernel.policy());
+
+    kernel.set_module_policy("a", Arc::new(PolicyModule::two_region_paper_policy()));
+    kernel.set_module_policy("b", Arc::new(PolicyModule::two_region_paper_policy()));
+    let ns = Arc::clone(kernel.namespaces());
+    let ns_a = ns.namespace_of("a").expect("a registered");
+    let ns_b = ns.namespace_of("b").expect("b registered");
+    assert_ne!(ns_a, ns_b, "tenants get distinct namespace ids");
+    assert!(!Arc::ptr_eq(&ns.resolve("a"), &ns.resolve("b")));
+
+    // Re-registration (live upgrade) always gets a fresh id — stale
+    // cache tags keyed on the old namespace can never match again.
+    kernel.set_module_policy("a", Arc::new(PolicyModule::two_region_paper_policy()));
+    let ns_a2 = ns.namespace_of("a").expect("a still registered");
+    assert!(ns_a2 > ns_a.max(ns_b), "namespace ids are never reused");
+
+    // Removal falls back to the global policy.
+    assert!(kernel.clear_module_policy("b"));
+    assert!(!kernel.clear_module_policy("b"), "second removal is a no-op");
+    assert!(Arc::ptr_eq(&ns.resolve("b"), &global));
+    assert_eq!(ns.len(), 1);
+}
+
+#[test]
+fn fleet_revocation_reaches_every_tenant_every_time() {
+    let mut kernel = boot();
+    let tenants: Vec<Arc<PolicyModule>> = (0..8)
+        .map(|t| {
+            let pm = Arc::new(PolicyModule::two_region_paper_policy());
+            kernel.set_module_policy(&format!("mod{t}"), Arc::clone(&pm));
+            pm
+        })
+        .collect();
+    let global = Arc::clone(kernel.policy());
+    let before: Vec<u64> = tenants.iter().map(|p| p.revocation_epoch()).collect();
+    let global_before = global.revocation_epoch();
+
+    assert_eq!(kernel.revoke_fleet(), 9, "8 tenants + the global policy");
+    for (p, b) in tenants.iter().zip(&before) {
+        assert_eq!(p.revocation_epoch(), b + 1);
+    }
+    assert_eq!(global.revocation_epoch(), global_before + 1);
+
+    // Revocation is repeatable and monotone.
+    assert_eq!(kernel.revoke_fleet(), 9);
+    for (p, b) in tenants.iter().zip(&before) {
+        assert_eq!(p.revocation_epoch(), b + 2);
+    }
+    assert_eq!(kernel.namespaces().revocation_count(), 2);
+}

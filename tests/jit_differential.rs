@@ -383,7 +383,7 @@ fn stale_generation_promotion_deopts_every_guard() {
         .compiled
         .clone()
         .expect("bytecode image");
-    assert!(compiled.promote(stale_gen, &specs) > 0);
+    assert!(compiled.promote(stale_gen, policy.revocation_epoch(), &specs) > 0);
     assert_eq!(compiled.promoted_generation(), stale_gen);
 
     let s0 = policy.stats();
